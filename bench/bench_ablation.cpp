@@ -1,0 +1,153 @@
+// Ablations for the design choices called out in DESIGN.md §5:
+//  1. Algorithm 1's partition rule vs lossy-compressing everything —
+//     the justification for keeping BN statistics/metadata lossless.
+//  2. blosc-lz byte-shuffle on/off — why shuffle+fast-LZ wins on floats.
+//  3. Relative vs absolute error bounding — why REL adapts across layers
+//     with different dynamic ranges (Section V-D1).
+#include <cstdio>
+
+#include "common.hpp"
+#include "compress/lossless/lz77.hpp"
+#include "core/fedsz.hpp"
+#include "data/dataloader.hpp"
+#include "data/synthetic.hpp"
+#include "nn/metrics.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace fedsz;
+
+double evaluate(const std::string& arch, const StateDict& dict) {
+  const data::SyntheticSpec spec = data::dataset_spec("cifar10");
+  nn::ModelConfig config;
+  config.arch = arch;
+  config.scale = nn::ModelScale::kBench;
+  config.in_channels = spec.channels;
+  config.image_size = spec.image_size;
+  config.num_classes = spec.classes;
+  nn::BuiltModel built = nn::build_model(config);
+  built.model.load_state_dict(dict);
+  auto [train, test] = data::make_dataset("cifar10");
+  const data::Batch batch = data::full_batch(*data::take(test, 256));
+  const Tensor logits = built.model.forward(batch.images, false);
+  return nn::top1_accuracy(logits,
+                           {batch.labels.data(), batch.labels.size()});
+}
+
+StateDict lossy_roundtrip(const StateDict& dict, bool partitioned,
+                          double rel) {
+  const lossy::LossyCodec& sz2 = lossy::lossy_codec(lossy::LossyId::kSz2);
+  StateDict out = dict;
+  for (auto& [name, tensor] : out.entries_mutable()) {
+    const bool compress_lossy =
+        partitioned ? core::is_lossy_entry(name, tensor.numel(), 1000)
+                    : tensor.numel() > 1;  // "lossy everything" ablation
+    if (!compress_lossy) continue;
+    const Bytes blob =
+        sz2.compress(tensor.span(), lossy::ErrorBound::relative(rel));
+    tensor = Tensor::from_data(tensor.shape(),
+                               sz2.decompress({blob.data(), blob.size()}));
+  }
+  return out;
+}
+
+void ablation_partition_rule() {
+  std::printf(
+      "Ablation 1: Algorithm 1 partition rule vs lossy-everything\n"
+      "(Top-1 after a lossy round trip of a trained MobileNet-V2 update —\n"
+      " the BN-statistics-rich model where the rule matters most)\n\n");
+  const StateDict trained =
+      benchx::trained_state_dict("mobilenet_v2", "cifar10");
+  benchx::Table table({"REL bound", "Partitioned (Algorithm 1)",
+                       "Lossy everything"});
+  for (const double rel : {1e-2, 5e-2, 1e-1}) {
+    const double partitioned =
+        evaluate("mobilenet_v2", lossy_roundtrip(trained, true, rel));
+    const double everything =
+        evaluate("mobilenet_v2", lossy_roundtrip(trained, false, rel));
+    table.add_row({benchx::fmt(rel, 3),
+                   benchx::fmt(partitioned * 100.0, 1) + "%",
+                   benchx::fmt(everything * 100.0, 1) + "%"});
+  }
+  table.print();
+  std::printf(
+      "Expected: lossy-compressing BN running statistics and small tensors\n"
+      "costs accuracy that the partitioned pipeline keeps (Section V-C).\n\n");
+}
+
+void ablation_shuffle() {
+  std::printf(
+      "Ablation 2: byte-shuffle inside the fast-LZ path (blosc-lz design)\n\n");
+  const StateDict trained = benchx::trained_state_dict("alexnet", "cifar10");
+  const Bytes metadata = benchx::lossless_partition_bytes(trained);
+  // Shuffled vs raw bytes through the same zstd-like entropy/LZ stack, plus
+  // the production blosc-lz codec (shuffle + LZ4-style tokens, no entropy).
+  const auto& zstd = lossless::lossless_codec(lossless::LosslessId::kZstd);
+  const auto& blosc = lossless::lossless_codec(lossless::LosslessId::kBloscLz);
+  const Bytes padded(metadata.begin(),
+                     metadata.begin() + metadata.size() / 4 * 4);
+  const Bytes shuffled =
+      lossless::shuffle_bytes({padded.data(), padded.size()}, 4);
+  benchx::Table table({"Pipeline", "Compressed", "Ratio"});
+  auto add = [&](const std::string& label, std::size_t compressed) {
+    table.add_row({label, benchx::fmt_bytes(compressed),
+                   benchx::fmt(static_cast<double>(padded.size()) /
+                                   static_cast<double>(compressed),
+                               3)});
+  };
+  add("zstd-like on raw bytes",
+      zstd.compress({padded.data(), padded.size()}).size());
+  add("zstd-like on shuffled bytes",
+      zstd.compress({shuffled.data(), shuffled.size()}).size());
+  add("blosc-lz (shuffle + fast LZ)",
+      blosc.compress({padded.data(), padded.size()}).size());
+  table.print();
+  std::printf(
+      "Expected: shuffling groups the similar high bytes of neighboring\n"
+      "floats, lifting every back end — the Table II explanation for\n"
+      "blosc-lz reaching xz-class ratios at >10x the speed.\n\n");
+}
+
+void ablation_rel_vs_abs() {
+  std::printf(
+      "Ablation 3: relative vs absolute error bounds (Section V-D1)\n"
+      "(SZ2 on two layers of a trained AlexNet with different dynamic\n"
+      " ranges; ABS bound fixed to 1e-2)\n\n");
+  const StateDict trained = benchx::trained_state_dict("alexnet", "cifar10");
+  const lossy::LossyCodec& sz2 = lossy::lossy_codec(lossy::LossyId::kSz2);
+  benchx::Table table({"Tensor", "Range", "Mode", "CR", "Max error/range"});
+  for (const auto& [name, tensor] : trained) {
+    if (!core::is_lossy_entry(name, tensor.numel(), 1000)) continue;
+    const double range = stats::summarize(tensor.span()).range();
+    for (const bool relative : {true, false}) {
+      const lossy::ErrorBound bound =
+          relative ? lossy::ErrorBound::relative(1e-2)
+                   : lossy::ErrorBound::absolute(1e-2);
+      const Bytes blob = sz2.compress(tensor.span(), bound);
+      const auto back = sz2.decompress({blob.data(), blob.size()});
+      const double err =
+          stats::max_abs_error(tensor.span(), {back.data(), back.size()});
+      table.add_row({name, benchx::fmt(range, 3),
+                     relative ? "REL 1e-2" : "ABS 1e-2",
+                     benchx::fmt(static_cast<double>(tensor.numel() * 4) /
+                                     static_cast<double>(blob.size()),
+                                 2),
+                     benchx::fmt(err / range, 4)});
+    }
+  }
+  table.print();
+  std::printf(
+      "Expected: ABS over-compresses narrow-range layers (relative error\n"
+      "blows past 1e-2 of range) and under-compresses wide ones; REL holds\n"
+      "the normalized error constant across layers.\n");
+}
+
+}  // namespace
+
+int main() {
+  ablation_partition_rule();
+  ablation_shuffle();
+  ablation_rel_vs_abs();
+  return 0;
+}

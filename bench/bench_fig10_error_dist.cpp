@@ -1,0 +1,56 @@
+// Figure 10: distribution of FedSZ decompression errors at large relative
+// error bounds (0.5 / 0.1 / 0.05) — ASCII density histograms with
+// maximum-likelihood Laplace and Normal fits and Kolmogorov-Smirnov
+// goodness-of-fit, probing the paper's differential-privacy observation
+// (Section VII-D).
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/dp_analysis.hpp"
+
+int main() {
+  using namespace fedsz;
+  const StateDict trained = benchx::trained_state_dict("alexnet", "cifar10");
+  const auto weights = benchx::lossy_partition_values(trained);
+  const lossy::LossyCodec& sz2 = lossy::lossy_codec(lossy::LossyId::kSz2);
+  std::printf(
+      "Figure 10: decompression-error distribution of SZ2 on trained\n"
+      "AlexNet weights (n=%zu)\n\n",
+      weights.size());
+
+  for (const double rel : {0.5, 0.1, 0.05}) {
+    const Bytes blob = sz2.compress({weights.data(), weights.size()},
+                                    lossy::ErrorBound::relative(rel));
+    const auto back = sz2.decompress({blob.data(), blob.size()});
+    const core::ErrorDistribution dist = core::analyze_errors(
+        {weights.data(), weights.size()}, {back.data(), back.size()}, 41);
+    std::printf("REL bound = %.2f\n", rel);
+    double peak = 0.0;
+    for (std::size_t i = 0; i < dist.histogram.counts.size(); ++i)
+      peak = std::max(peak, dist.histogram.density(i));
+    for (std::size_t i = 0; i < dist.histogram.counts.size(); ++i) {
+      const double center = dist.histogram.lo +
+                            (static_cast<double>(i) + 0.5) *
+                                dist.histogram.bin_width();
+      const int bar = peak > 0.0
+          ? static_cast<int>(dist.histogram.density(i) / peak * 56.0) : 0;
+      std::printf("%10.4f | %-56.*s\n", center, bar,
+                  "########################################################");
+    }
+    std::printf(
+        "  Laplace fit: mu=%.5f b=%.5f (KS=%.4f)\n"
+        "  Normal fit:  mu=%.5f sigma=%.5f (KS=%.4f)\n"
+        "  %s fits better\n\n",
+        dist.laplace.mu, dist.laplace.b, dist.ks_laplace, dist.normal.mu,
+        dist.normal.sigma, dist.ks_normal,
+        dist.laplace_fits_better() ? "Laplace" : "Normal");
+  }
+  std::printf(
+      "Shape to check (paper Fig. 10): errors are zero-centred and sharply\n"
+      "peaked. At REL 0.5 nearly all weights quantize to the central bin, so\n"
+      "the error inherits the Laplacian weight distribution (Laplace fit\n"
+      "wins); at tighter bounds this implementation's per-bin uniform\n"
+      "component flattens the peak — a partial reproduction recorded in\n"
+      "EXPERIMENTS.md.\n");
+  return 0;
+}

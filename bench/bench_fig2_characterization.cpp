@@ -1,0 +1,67 @@
+// Figure 2: FL model parameters vs scientific simulation data — the paper
+// contrasts spiky weight snippets against smooth MIRANDA slices. This bench
+// quantifies the contrast: roughness (normalized total variation) and the
+// SZ3 compression ratio of each snippet, plus short value series for visual
+// inspection.
+#include <cstdio>
+
+#include "common.hpp"
+#include "data/scientific.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+void print_series(const char* label, std::span<const float> values) {
+  std::printf("%-24s", label);
+  for (std::size_t i = 0; i < std::min<std::size_t>(values.size(), 12); ++i)
+    std::printf(" %7.3f", values[i]);
+  std::printf(" ...\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace fedsz;
+  std::printf(
+      "Figure 2: FL model parameters vs scientific simulation data\n\n");
+  const StateDict trained = benchx::trained_state_dict("alexnet", "cifar10");
+  const auto weights = benchx::lossy_partition_values(trained);
+  const auto field = data::smooth_field(weights.size(), 17);
+
+  // Paper-style snippets: five 500-element windows of the weight stream and
+  // smooth-field slices.
+  const std::size_t offsets[] = {500, 59500, 200000 % weights.size(),
+                                 weights.size() / 2, weights.size() - 600};
+  const lossy::LossyCodec& sz3 = lossy::lossy_codec(lossy::LossyId::kSz3);
+  const lossy::ErrorBound bound = lossy::ErrorBound::relative(1e-3);
+
+  benchx::Table table({"Snippet", "Kind", "Roughness", "SZ3 CR @1e-3"});
+  int index = 0;
+  for (const std::size_t offset : offsets) {
+    const std::size_t start = std::min(offset, weights.size() - 500);
+    std::span<const float> snippet{weights.data() + start, 500};
+    const Bytes blob = sz3.compress(snippet, bound);
+    table.add_row({"weights[" + std::to_string(start) + ":+500]",
+                   "FL parameters", benchx::fmt(stats::roughness(snippet), 4),
+                   benchx::fmt(2000.0 / static_cast<double>(blob.size()), 2)});
+    if (index == 0) print_series("weights snippet:", snippet);
+    ++index;
+  }
+  for (int slice = 0; slice < 4; ++slice) {
+    const std::size_t start = slice * (field.size() / 4);
+    std::span<const float> snippet{field.data() + start, 500};
+    const Bytes blob = sz3.compress(snippet, bound);
+    table.add_row({"field[" + std::to_string(start) + ":+500]",
+                   "scientific field",
+                   benchx::fmt(stats::roughness(snippet), 4),
+                   benchx::fmt(2000.0 / static_cast<double>(blob.size()), 2)});
+    if (slice == 0) print_series("smooth field slice:", snippet);
+  }
+  std::printf("\n");
+  table.print();
+  std::printf(
+      "\nShape to check: weight snippets are one to two orders of magnitude\n"
+      "rougher than the smooth field and compress far worse at the same\n"
+      "bound — the paper's motivation for characterizing EBLC on FL data.\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Figure 3: distribution of trained weights for the three model analogues —
+// an ASCII density histogram per model plus summary statistics, showing the
+// zero-centred, heavy-tailed shape that motivates relative error bounds
+// (Section V-D1).
+#include <cstdio>
+
+#include "common.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  using namespace fedsz;
+  std::printf("Figure 3: Distribution of trained weights per model\n\n");
+  for (const std::string& arch : nn::model_architectures()) {
+    const StateDict trained = benchx::trained_state_dict(arch, "cifar10");
+    const auto weights = benchx::lossy_partition_values(trained);
+    std::vector<double> values(weights.begin(), weights.end());
+    const stats::Summary summary = stats::summarize(
+        std::span<const double>(values.data(), values.size()));
+    const stats::Histogram hist = stats::histogram(values, 41);
+    std::printf("%s: n=%zu range=[%.4f, %.4f] mean=%.5f stddev=%.5f\n",
+                nn::model_display_name(arch).c_str(), summary.count,
+                summary.min, summary.max, summary.mean, summary.stddev);
+    double peak = 0.0;
+    for (std::size_t i = 0; i < hist.counts.size(); ++i)
+      peak = std::max(peak, hist.density(i));
+    for (std::size_t i = 0; i < hist.counts.size(); ++i) {
+      const double center =
+          hist.lo + (static_cast<double>(i) + 0.5) * hist.bin_width();
+      const int bar_length = peak > 0.0
+          ? static_cast<int>(hist.density(i) / peak * 60.0) : 0;
+      std::printf("%9.4f | %-60.*s %.3f\n", center, bar_length,
+                  "############################################################",
+                  hist.density(i));
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "Shape to check (paper Fig. 3): every model's weights cluster sharply\n"
+      "around zero with model-specific dynamic ranges — the argument for\n"
+      "RELATIVE error bounds over a fixed absolute bound.\n");
+  return 0;
+}

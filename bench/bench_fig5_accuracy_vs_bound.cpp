@@ -1,0 +1,82 @@
+// Figure 5: inference accuracy across models and datasets while varying the
+// FedSZ relative error bound from 1e-5 to 1e-1 (log sweep), against the
+// uncompressed baseline. The paper's claim: accuracy holds to within ~0.5%
+// for bounds <= 1e-2, then falls off a cliff.
+//
+// Default: three models on CIFAR-10 (FEDSZ_BENCH_FULL=1 for all datasets).
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/fl/coordinator.hpp"
+#include "data/synthetic.hpp"
+
+namespace {
+
+using namespace fedsz;
+
+double final_accuracy(const std::string& arch, const std::string& dataset,
+                      core::UpdateCodecPtr codec) {
+  const data::SyntheticSpec spec = data::dataset_spec(dataset);
+  nn::ModelConfig model;
+  model.arch = arch;
+  model.scale = nn::ModelScale::kTiny;
+  model.in_channels = spec.channels;
+  model.image_size = spec.image_size;
+  model.num_classes = spec.classes;
+  auto [train, test] = data::make_dataset(dataset);
+  core::FlRunConfig config;
+  config.clients = 4;
+  config.rounds = 4;
+  config.eval_limit = 192;
+  config.threads = 4;
+  config.client.batch_size = 16;
+  // AlexNet (no BatchNorm) diverges at the BN models' rate.
+  config.client.sgd.learning_rate = arch == "alexnet" ? 0.02f : 0.05f;
+  config.seed = 7;
+  config.evaluate_every_round = false;
+  const std::size_t train_samples = spec.image_size >= 64 ? 256 : 512;
+  core::FlCoordinator coordinator(model, data::take(train, train_samples),
+                                  data::take(test, 256), config,
+                                  std::move(codec));
+  return coordinator.run().final_accuracy;
+}
+
+}  // namespace
+
+int main() {
+  using namespace fedsz;
+  const bool full = benchx::full_grid();
+  const std::vector<std::string> datasets =
+      full ? data::dataset_names() : std::vector<std::string>{"cifar10"};
+  const double bounds[] = {1e-5, 1e-4, 1e-3, 1e-2, 1e-1};
+  std::printf(
+      "Figure 5: Top-1 accuracy vs FedSZ REL error bound (FedAvg, 4\n"
+      "clients, 4 rounds)%s\n\n",
+      full ? "" : " — set FEDSZ_BENCH_FULL=1 for all datasets");
+
+  for (const std::string& dataset : datasets) {
+    std::printf("Dataset: %s\n", dataset.c_str());
+    benchx::Table table({"Model", "1e-5", "1e-4", "1e-3", "1e-2", "1e-1",
+                         "Uncompressed"});
+    for (const std::string& arch : nn::model_architectures()) {
+      std::vector<std::string> row{nn::model_display_name(arch)};
+      for (const double rel : bounds) {
+        core::FedSzConfig fc;
+        fc.bound = lossy::ErrorBound::relative(rel);
+        row.push_back(benchx::fmt(
+            final_accuracy(arch, dataset, core::make_fedsz_codec(fc)) * 100.0,
+            1));
+      }
+      row.push_back(benchx::fmt(
+          final_accuracy(arch, dataset, core::make_identity_codec()) * 100.0,
+          1));
+      table.add_row(std::move(row));
+    }
+    table.print();
+    std::printf("\n");
+  }
+  std::printf(
+      "Shape to check (paper Fig. 5): accuracy flat and within noise of the\n"
+      "uncompressed column up to 1e-2, degrading at 1e-1.\n");
+  return 0;
+}

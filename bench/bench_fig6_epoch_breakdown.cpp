@@ -1,0 +1,60 @@
+// Figure 6: client runtime-per-epoch breakdown with FedSZ compression —
+// mean client training time, server-side validation time, and total
+// compression time per communication round, for every model x dataset pair
+// at REL 1e-2.
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/fl/coordinator.hpp"
+#include "data/synthetic.hpp"
+
+int main() {
+  using namespace fedsz;
+  std::printf(
+      "Figure 6: client runtime per epoch breakdown (FedSZ SZ2 @ REL 1e-2,\n"
+      "tiny-scale models, 4 clients)\n\n");
+  for (const std::string& dataset : data::dataset_names()) {
+    const data::SyntheticSpec spec = data::dataset_spec(dataset);
+    std::printf("Dataset: %s\n", dataset.c_str());
+    benchx::Table table({"Model", "Client Training (s)", "Validation (s)",
+                         "Compression (s)", "Compression share"});
+    for (const std::string& arch : nn::model_architectures()) {
+      nn::ModelConfig model;
+      model.arch = arch;
+      model.scale = nn::ModelScale::kTiny;
+      model.in_channels = spec.channels;
+      model.image_size = spec.image_size;
+      model.num_classes = spec.classes;
+      auto [train, test] = data::make_dataset(dataset);
+      core::FlRunConfig config;
+      config.clients = 4;
+      config.rounds = 2;
+      config.eval_limit = 256;
+      config.threads = 4;
+      config.client.batch_size = 16;
+      const std::size_t train_samples = spec.image_size >= 64 ? 256 : 512;
+      core::FlCoordinator coordinator(model, data::take(train, train_samples),
+                                      data::take(test, 256), config,
+                                      core::make_fedsz_codec());
+      const core::FlRunResult result = coordinator.run();
+      // Use the second round (first pays cache warm-up).
+      const core::RoundRecord& record = result.rounds.back();
+      const double compression =
+          record.compress_seconds + record.decompress_seconds;
+      const double total =
+          record.train_seconds + record.eval_seconds + compression;
+      table.add_row({nn::model_display_name(arch),
+                     benchx::fmt(record.train_seconds, 3),
+                     benchx::fmt(record.eval_seconds, 3),
+                     benchx::fmt(compression, 4),
+                     benchx::fmt(compression / total * 100.0, 1) + "%"});
+    }
+    table.print();
+    std::printf("\n");
+  }
+  std::printf(
+      "Shape to check (paper Fig. 6): compression is a small slice of the\n"
+      "epoch — the paper reports an average of 4.7%% of client wall time,\n"
+      "worst case 17%% (AlexNet/CIFAR-10).\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 7: total communication time (compression + transfer +
+// decompression) for a client update over a simulated 10 Mbps network,
+// sweeping the FedSZ relative error bound 1e-5..1e-2, against the
+// uncompressed transfer — per model.
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/fedsz.hpp"
+#include "net/bandwidth.hpp"
+#include "util/timer.hpp"
+
+int main() {
+  using namespace fedsz;
+  const net::SimulatedNetwork network({10.0, 0.0});
+  std::printf(
+      "Figure 7: total communication time over a 10 Mbps link vs REL bound\n"
+      "(bench-scale trained models; time = t_C + transfer(S') + t_D)\n\n");
+  const double bounds[] = {1e-5, 1e-4, 1e-3, 1e-2};
+  for (const std::string& arch : nn::model_architectures()) {
+    const StateDict trained = benchx::trained_state_dict(arch, "cifar10");
+    const std::size_t raw_bytes = trained.serialize().size();
+    const double uncompressed_seconds = network.transfer_seconds(raw_bytes);
+    std::printf("Model: %s (update %s, uncompressed transfer %ss)\n",
+                nn::model_display_name(arch).c_str(),
+                benchx::fmt_bytes(raw_bytes).c_str(),
+                benchx::fmt(uncompressed_seconds, 2).c_str());
+    benchx::Table table({"REL bound", "CR", "FedSZ time (s)",
+                         "Uncompressed (s)", "Speedup"});
+    for (const double rel : bounds) {
+      core::FedSzConfig config;
+      config.bound = lossy::ErrorBound::relative(rel);
+      const core::FedSz fedsz(config);
+      core::CompressionStats stats;
+      Timer timer;
+      const Bytes blob = fedsz.compress(trained, &stats);
+      const double compress_seconds = timer.seconds();
+      double decompress_seconds = 0.0;
+      fedsz.decompress({blob.data(), blob.size()}, &decompress_seconds);
+      const net::CompressionDecision decision = net::evaluate_compression(
+          raw_bytes, blob.size(), compress_seconds, decompress_seconds,
+          network);
+      table.add_row({benchx::fmt(rel, 5), benchx::fmt(stats.ratio(), 2),
+                     benchx::fmt(decision.compressed_seconds, 3),
+                     benchx::fmt(decision.uncompressed_seconds, 3),
+                     benchx::fmt(decision.speedup(), 2) + "x"});
+    }
+    table.print();
+    std::printf("\n");
+  }
+  std::printf(
+      "Shape to check (paper Fig. 7): an order-of-magnitude reduction at\n"
+      "every bound, growing as the bound loosens (paper: 13.26x for AlexNet\n"
+      "at 1e-2 on 10 Mbps).\n");
+  return 0;
+}

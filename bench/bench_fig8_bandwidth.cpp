@@ -1,0 +1,83 @@
+// Figure 8: communication time for transmitting the AlexNet update across
+// bandwidths 1..1000 Mbps for SZ2 / SZ3 / ZFP / original — the Eqn (1)
+// trade-off curve, including the crossover bandwidth beyond which
+// compression stops paying.
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/fedsz.hpp"
+#include "net/bandwidth.hpp"
+#include "util/timer.hpp"
+
+int main() {
+  using namespace fedsz;
+  const StateDict trained = benchx::trained_state_dict("alexnet", "cifar10");
+  const std::size_t raw_bytes = trained.serialize().size();
+  std::printf(
+      "Figure 8: communication time vs bandwidth for the AlexNet update\n"
+      "(%s; FedSZ @ REL 1e-2 with each lossy codec)\n\n",
+      benchx::fmt_bytes(raw_bytes).c_str());
+
+  struct Candidate {
+    std::string label;
+    std::size_t bytes;
+    double codec_seconds;  // t_C + t_D
+  };
+  std::vector<Candidate> candidates;
+  for (const lossy::LossyId id :
+       {lossy::LossyId::kSz2, lossy::LossyId::kSz3, lossy::LossyId::kZfp}) {
+    core::FedSzConfig config;
+    config.lossy_id = id;
+    const core::FedSz fedsz(config);
+    Timer timer;
+    const Bytes blob = fedsz.compress(trained);
+    const double compress_seconds = timer.seconds();
+    double decompress_seconds = 0.0;
+    fedsz.decompress({blob.data(), blob.size()}, &decompress_seconds);
+    candidates.push_back({lossy::lossy_codec(id).name(), blob.size(),
+                          compress_seconds + decompress_seconds});
+  }
+  candidates.push_back({"original", raw_bytes, 0.0});
+
+  std::vector<std::string> headers{"Bandwidth (Mbps)"};
+  for (const Candidate& c : candidates) headers.push_back(c.label + " (s)");
+  headers.push_back("best");
+  benchx::Table table(std::move(headers));
+  std::vector<double> crossover(candidates.size(), -1.0);
+  for (double mbps = 1.0; mbps <= 1024.0; mbps *= 2.0) {
+    const net::SimulatedNetwork network({mbps, 0.0});
+    std::vector<std::string> row{benchx::fmt(mbps, 0)};
+    double best_time = 1e300;
+    std::size_t best_index = 0;
+    const double original_time = network.transfer_seconds(raw_bytes);
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      const double total = candidates[i].codec_seconds +
+                           network.transfer_seconds(candidates[i].bytes);
+      row.push_back(benchx::fmt(total, 3));
+      if (total < best_time) {
+        best_time = total;
+        best_index = i;
+      }
+      if (crossover[i] < 0.0 && i + 1 < candidates.size() &&
+          total >= original_time)
+        crossover[i] = mbps;
+    }
+    row.push_back(candidates[best_index].label);
+    table.add_row(std::move(row));
+  }
+  table.print();
+  std::printf("\n");
+  for (std::size_t i = 0; i + 1 < candidates.size(); ++i) {
+    if (crossover[i] > 0.0)
+      std::printf("%s stops paying off at ~%.0f Mbps\n",
+                  candidates[i].label.c_str(), crossover[i]);
+    else
+      std::printf("%s still pays off at 1024 Mbps\n",
+                  candidates[i].label.c_str());
+  }
+  std::printf(
+      "\nShape to check (paper Fig. 8): compression wins below roughly\n"
+      "500 Mbps, with SZ2 best at the low end; above the crossover the raw\n"
+      "transfer is faster than compress+send+decompress.\n");
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Google-benchmark micro-benchmarks for the codec suites: per-codec
+// compress/decompress throughput on weight-shaped float payloads and
+// metadata-shaped byte payloads. Complements the table benches with
+// statistically robust per-operation timings.
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+
+#include "common.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace fedsz;
+
+std::vector<float> weight_payload(std::size_t n) {
+  Rng rng(404);
+  std::vector<float> values(n);
+  for (auto& v : values) v = static_cast<float>(rng.laplace(0.0, 0.05));
+  return values;
+}
+
+Bytes metadata_payload(std::size_t n_floats) {
+  Rng rng(405);
+  std::vector<float> values(n_floats);
+  for (auto& v : values) v = static_cast<float>(rng.normal(0.0, 0.02));
+  Bytes bytes(values.size() * sizeof(float));
+  std::memcpy(bytes.data(), values.data(), bytes.size());
+  return bytes;
+}
+
+void BM_LossyCompress(benchmark::State& state, lossy::LossyId id,
+                      double rel) {
+  const auto values = weight_payload(1 << 18);
+  const lossy::LossyCodec& codec = lossy::lossy_codec(id);
+  const lossy::ErrorBound bound = lossy::ErrorBound::relative(rel);
+  std::size_t compressed_size = 0;
+  for (auto _ : state) {
+    Bytes blob = codec.compress({values.data(), values.size()}, bound);
+    compressed_size = blob.size();
+    benchmark::DoNotOptimize(blob);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(values.size() * 4));
+  state.counters["ratio"] =
+      static_cast<double>(values.size() * 4) /
+      static_cast<double>(compressed_size);
+}
+
+void BM_LossyDecompress(benchmark::State& state, lossy::LossyId id,
+                        double rel) {
+  const auto values = weight_payload(1 << 18);
+  const lossy::LossyCodec& codec = lossy::lossy_codec(id);
+  const Bytes blob = codec.compress({values.data(), values.size()},
+                                    lossy::ErrorBound::relative(rel));
+  for (auto _ : state) {
+    auto out = codec.decompress({blob.data(), blob.size()});
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(values.size() * 4));
+}
+
+void BM_LosslessCompress(benchmark::State& state, lossless::LosslessId id) {
+  const Bytes payload = metadata_payload(1 << 16);
+  const lossless::LosslessCodec& codec = lossless::lossless_codec(id);
+  std::size_t compressed_size = 0;
+  for (auto _ : state) {
+    Bytes blob = codec.compress({payload.data(), payload.size()});
+    compressed_size = blob.size();
+    benchmark::DoNotOptimize(blob);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(payload.size()));
+  state.counters["ratio"] = static_cast<double>(payload.size()) /
+                            static_cast<double>(compressed_size);
+}
+
+void BM_LosslessDecompress(benchmark::State& state,
+                           lossless::LosslessId id) {
+  const Bytes payload = metadata_payload(1 << 16);
+  const lossless::LosslessCodec& codec = lossless::lossless_codec(id);
+  const Bytes blob = codec.compress({payload.data(), payload.size()});
+  for (auto _ : state) {
+    auto out = codec.decompress({blob.data(), blob.size()});
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(payload.size()));
+}
+
+void register_benchmarks() {
+  for (const lossy::LossyCodec* codec : lossy::all_lossy_codecs()) {
+    for (const double rel : {1e-2, 1e-4}) {
+      const std::string suffix =
+          codec->name() + "/rel=" + benchx::fmt(rel, 4);
+      benchmark::RegisterBenchmark(("BM_LossyCompress/" + suffix).c_str(),
+                                   BM_LossyCompress, codec->id(), rel);
+      benchmark::RegisterBenchmark(("BM_LossyDecompress/" + suffix).c_str(),
+                                   BM_LossyDecompress, codec->id(), rel);
+    }
+  }
+  for (const lossless::LosslessCodec* codec :
+       lossless::all_lossless_codecs()) {
+    benchmark::RegisterBenchmark(
+        ("BM_LosslessCompress/" + codec->name()).c_str(), BM_LosslessCompress,
+        codec->id());
+    benchmark::RegisterBenchmark(
+        ("BM_LosslessDecompress/" + codec->name()).c_str(),
+        BM_LosslessDecompress, codec->id());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_benchmarks();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Table I: EBLC comparison across models for CIFAR-10 — runtime, throughput,
+// compression ratio, and Top-1 accuracy for SZ2/SZ3/SZx/ZFP at relative
+// error bounds 1e-2 / 1e-3 / 1e-4.
+//
+// Runtime/throughput/CR are measured by compressing the lossy partition of
+// a briefly-trained bench-scale model (the paper uses a Raspberry Pi 5;
+// absolute times shift with the host, relative ordering is the result).
+// Accuracy is the Top-1 score of the model after a lossy round trip of its
+// weights (the paper's FL-training accuracy column is regenerated in full by
+// bench_fig4_convergence; this per-codec inference proxy surfaces the same
+// pass/fail signal at a fraction of the cost).
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/fedsz.hpp"
+#include "data/dataloader.hpp"
+#include "data/synthetic.hpp"
+#include "nn/metrics.hpp"
+
+namespace {
+
+using namespace fedsz;
+
+double accuracy_after_roundtrip(const std::string& arch,
+                                const StateDict& trained,
+                                const lossy::LossyCodec& codec, double rel) {
+  StateDict mutated = trained;
+  for (auto& [name, tensor] : mutated.entries_mutable()) {
+    if (!core::is_lossy_entry(name, tensor.numel(), 1000)) continue;
+    const Bytes blob =
+        codec.compress(tensor.span(), lossy::ErrorBound::relative(rel));
+    auto values = codec.decompress({blob.data(), blob.size()});
+    tensor = Tensor::from_data(tensor.shape(), std::move(values));
+  }
+  const data::SyntheticSpec spec = data::dataset_spec("cifar10");
+  nn::ModelConfig config;
+  config.arch = arch;
+  config.scale = nn::ModelScale::kBench;
+  config.in_channels = spec.channels;
+  config.image_size = spec.image_size;
+  config.num_classes = spec.classes;
+  nn::BuiltModel built = nn::build_model(config);
+  built.model.load_state_dict(mutated);
+  auto [train, test] = data::make_dataset("cifar10");
+  const data::Batch batch = data::full_batch(*data::take(test, 128));
+  const Tensor logits = built.model.forward(batch.images, false);
+  return nn::top1_accuracy(logits, {batch.labels.data(),
+                                    batch.labels.size()});
+}
+
+}  // namespace
+
+int main() {
+  using namespace fedsz;
+  std::printf(
+      "Table I: EBLC comparison across models for CIFAR-10\n"
+      "(bench-scale analogues; runtime/throughput on this host; accuracy =\n"
+      " Top-1 after one lossy round trip of the trained weights)\n\n");
+  const double bounds[] = {1e-2, 1e-3, 1e-4};
+  for (const std::string& arch : nn::model_architectures()) {
+    const StateDict trained = benchx::trained_state_dict(arch, "cifar10");
+    const auto values = benchx::lossy_partition_values(trained);
+    std::printf("Model: %s (lossy partition: %s)\n",
+                nn::model_display_name(arch).c_str(),
+                benchx::fmt_bytes(values.size() * sizeof(float)).c_str());
+    benchx::Table table({"Compressor", "REL bound", "Runtime (s)",
+                         "Throughput (MB/s)", "Compression Ratio",
+                         "Top-1 Accuracy (%)"});
+    for (const lossy::LossyCodec* codec : lossy::all_lossy_codecs()) {
+      for (const double rel : bounds) {
+        const benchx::CodecTiming timing = benchx::measure_lossy(
+            *codec, {values.data(), values.size()},
+            lossy::ErrorBound::relative(rel));
+        const double accuracy =
+            accuracy_after_roundtrip(arch, trained, *codec, rel);
+        table.add_row({codec->name(), benchx::fmt(rel, 4),
+                       benchx::fmt(timing.compress_seconds, 4),
+                       benchx::fmt(timing.throughput_mb_s(), 2),
+                       benchx::fmt(timing.ratio(), 3),
+                       benchx::fmt(accuracy * 100.0, 2)});
+      }
+    }
+    table.print();
+    std::printf("\n");
+  }
+  std::printf(
+      "Expected shape (paper): SZx fastest by orders of magnitude; SZ2 best\n"
+      "CR/accuracy balance; SZ3 close to SZ2 but slower; ZFP lowest CR on\n"
+      "1-D spiky weights. Note: this SZx honors the error bound, so the\n"
+      "paper's SZx accuracy collapse does not reproduce (see EXPERIMENTS.md).\n");
+  return 0;
+}

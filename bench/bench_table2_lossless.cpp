@@ -1,0 +1,63 @@
+// Table II: lossless compressor comparison for AlexNet metadata — runtime,
+// throughput and compression ratio of blosc-lz / gzip / xz / zlib / zstd on
+// the serialized lossless partition (biases, small tensors, BN statistics)
+// of a trained AlexNet analogue.
+#include <cstdio>
+#include <cstring>
+
+#include "common.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+void compare(const char* label, fedsz::ByteSpan payload) {
+  using namespace fedsz;
+  std::printf("%s (%s)\n", label, benchx::fmt_bytes(payload.size()).c_str());
+  benchx::Table table({"Compressor", "Runtime (s)", "Throughput (MB/s)",
+                       "Compression Ratio"});
+  for (const lossless::LosslessCodec* codec :
+       lossless::all_lossless_codecs()) {
+    const benchx::CodecTiming timing =
+        benchx::measure_lossless(*codec, payload, 5);
+    table.add_row({codec->name(), benchx::fmt(timing.compress_seconds, 5),
+                   benchx::fmt(timing.throughput_mb_s(), 1),
+                   benchx::fmt(timing.ratio(), 3)});
+  }
+  table.print();
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace fedsz;
+  std::printf(
+      "Table II: Lossless compressor comparison for AlexNet metadata\n\n");
+
+  // (a) The actual lossless partition of our briefly-trained analogue.
+  // Its biases are still close to the uniform Kaiming init — near
+  // maximum-entropy floats — so absolute ratios sit below the paper's
+  // (whose AlexNet is fully pretrained); the speed ordering is unaffected.
+  const StateDict trained = benchx::trained_state_dict("alexnet", "cifar10");
+  const Bytes metadata = benchx::lossless_partition_bytes(trained);
+  compare("(a) analogue's lossless partition", {metadata.data(),
+                                                metadata.size()});
+
+  // (b) Pretrained-like metadata: biases/BN-stat floats drawn from the
+  // concentrated near-zero distribution real pretrained networks exhibit —
+  // the payload regime the paper's 1.16-1.25x ratios come from.
+  Rng rng(2024);
+  std::vector<float> values(32768);
+  for (auto& v : values) v = static_cast<float>(rng.normal(0.0, 0.02));
+  Bytes pretrained_like(values.size() * sizeof(float));
+  std::memcpy(pretrained_like.data(), values.data(), pretrained_like.size());
+  compare("(b) pretrained-like float metadata",
+          {pretrained_like.data(), pretrained_like.size()});
+
+  std::printf(
+      "Expected shape (paper): blosc-lz fastest by >10x with an xz-class\n"
+      "ratio on float metadata; zlib/gzip similar mid ratios; xz slowest\n"
+      "with the top ratio. Paper values: blosc 1.248 @ 674 MB/s,\n"
+      "gzip/zlib ~1.16 @ 28 MB/s, zstd 1.169 @ 349 MB/s, xz 1.250 @ 4 MB/s.\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Table V: FedSZ compression ratios for every model x dataset combination at
+// relative error bounds 1e-1 / 1e-2 / 1e-3 / 1e-4 — the full pipeline
+// (Algorithm 1 partitioning + SZ2 + blosc-lz) applied to trained updates.
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/fedsz.hpp"
+#include "data/synthetic.hpp"
+
+int main() {
+  using namespace fedsz;
+  std::printf(
+      "Table V: FedSZ compression ratios (SZ2 + blosc-lz full pipeline)\n\n");
+  const double bounds[] = {1e-1, 1e-2, 1e-3, 1e-4};
+  for (const std::string& dataset : data::dataset_names()) {
+    const data::SyntheticSpec spec = data::dataset_spec(dataset);
+    // Larger images train slower; shrink the calibration set accordingly.
+    const std::size_t samples = spec.image_size >= 64 ? 192 : 768;
+    std::printf("Dataset: %s\n", dataset.c_str());
+    benchx::Table table({"Model", "REL 1e-1", "REL 1e-2", "REL 1e-3",
+                         "REL 1e-4"});
+    for (const std::string& arch : nn::model_architectures()) {
+      const StateDict trained = benchx::trained_state_dict(
+          arch, dataset, nn::ModelScale::kBench, 1, samples);
+      std::vector<std::string> row{nn::model_display_name(arch)};
+      for (const double rel : bounds) {
+        core::FedSzConfig config;
+        config.bound = lossy::ErrorBound::relative(rel);
+        core::CompressionStats stats;
+        core::FedSz(config).compress(trained, &stats);
+        row.push_back(benchx::fmt(stats.ratio(), 2) + "x");
+      }
+      table.add_row(std::move(row));
+    }
+    table.print();
+    std::printf("\n");
+  }
+  std::printf(
+      "Paper reference (CIFAR-10): AlexNet 54.5/12.6/5.5/3.5x,\n"
+      "MobileNetV2 11.1/5.4/3.2/1.9x, ResNet50 20.2/7.0/4.0/2.7x.\n"
+      "Shape to check: ratios fall monotonically with the bound; the\n"
+      "FC-dominated AlexNet compresses best, MobileNetV2 worst.\n");
+  return 0;
+}

@@ -1,0 +1,199 @@
+#include "common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "core/fedsz.hpp"
+#include "data/dataloader.hpp"
+#include "data/synthetic.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "util/timer.hpp"
+
+namespace fedsz::benchx {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print() const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+  auto print_row = [&](const std::vector<std::string>& row) {
+    std::printf("|");
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      std::printf(" %-*s |", static_cast<int>(widths[c]), cell.c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(headers_);
+  std::printf("|");
+  for (const std::size_t w : widths) {
+    for (std::size_t i = 0; i < w + 2; ++i) std::printf("-");
+    std::printf("|");
+  }
+  std::printf("\n");
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string fmt(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+std::string fmt_bytes(std::size_t bytes) {
+  char buffer[64];
+  if (bytes >= 1024 * 1024)
+    std::snprintf(buffer, sizeof(buffer), "%.2fMB",
+                  static_cast<double>(bytes) / (1024.0 * 1024.0));
+  else if (bytes >= 1024)
+    std::snprintf(buffer, sizeof(buffer), "%.1fKB",
+                  static_cast<double>(bytes) / 1024.0);
+  else
+    std::snprintf(buffer, sizeof(buffer), "%zuB", bytes);
+  return buffer;
+}
+
+bool full_grid() {
+  const char* env = std::getenv("FEDSZ_BENCH_FULL");
+  return env != nullptr && env[0] == '1';
+}
+
+namespace {
+
+std::filesystem::path cache_path(const std::string& arch,
+                                 const std::string& dataset,
+                                 nn::ModelScale scale, int epochs,
+                                 std::size_t samples) {
+  const char* scale_name = scale == nn::ModelScale::kTiny    ? "tiny"
+                           : scale == nn::ModelScale::kBench ? "bench"
+                                                             : "paper";
+  // v2: per-architecture learning rates (AlexNet diverged at the v1 rate).
+  return std::filesystem::path("bench_cache") /
+         (arch + "_" + dataset + "_" + scale_name + "_" +
+          std::to_string(epochs) + "e_" + std::to_string(samples) + "_v2.sd");
+}
+
+}  // namespace
+
+StateDict trained_state_dict(const std::string& arch,
+                             const std::string& dataset, nn::ModelScale scale,
+                             int epochs, std::size_t samples) {
+  const std::filesystem::path path =
+      cache_path(arch, dataset, scale, epochs, samples);
+  if (std::filesystem::exists(path)) {
+    std::ifstream in(path, std::ios::binary);
+    Bytes bytes((std::istreambuf_iterator<char>(in)),
+                std::istreambuf_iterator<char>());
+    return StateDict::deserialize({bytes.data(), bytes.size()});
+  }
+
+  const data::SyntheticSpec spec = data::dataset_spec(dataset);
+  nn::ModelConfig config;
+  config.arch = arch;
+  config.scale = scale;
+  config.in_channels = spec.channels;
+  config.image_size = spec.image_size;
+  config.num_classes = spec.classes;
+  nn::BuiltModel built = nn::build_model(config);
+
+  auto [train, test] = data::make_dataset(dataset);
+  data::DataLoader loader(data::take(train, samples), 32, true, 17);
+  // AlexNet (no BatchNorm) diverges at the BN models' rate.
+  const float lr = arch == "alexnet" ? 0.015f : 0.03f;
+  nn::Sgd optimizer(built.model.parameters(), {lr, 0.9f, 0.0f});
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    loader.reset();
+    data::Batch batch;
+    while (loader.next(batch)) {
+      built.model.zero_grad();
+      const Tensor logits = built.model.forward(batch.images, true);
+      const nn::LossResult loss = nn::softmax_cross_entropy(
+          logits, {batch.labels.data(), batch.labels.size()});
+      built.model.backward(loss.grad_logits);
+      optimizer.step();
+    }
+  }
+  StateDict dict = built.model.state_dict();
+  std::filesystem::create_directories(path.parent_path());
+  const Bytes bytes = dict.serialize();
+  std::ofstream out(path, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  return dict;
+}
+
+std::vector<float> lossy_partition_values(const StateDict& dict,
+                                          std::size_t threshold) {
+  std::vector<float> values;
+  for (const auto& [name, tensor] : dict)
+    if (core::is_lossy_entry(name, tensor.numel(), threshold))
+      values.insert(values.end(), tensor.data(),
+                    tensor.data() + tensor.numel());
+  return values;
+}
+
+Bytes lossless_partition_bytes(const StateDict& dict, std::size_t threshold) {
+  StateDict partition;
+  for (const auto& [name, tensor] : dict)
+    if (!core::is_lossy_entry(name, tensor.numel(), threshold))
+      partition.set(name, tensor);
+  return partition.serialize();
+}
+
+CodecTiming measure_lossy(const lossy::LossyCodec& codec,
+                          std::span<const float> data,
+                          const lossy::ErrorBound& bound, int repetitions) {
+  CodecTiming timing;
+  timing.raw_bytes = data.size() * sizeof(float);
+  Bytes compressed;
+  double best_compress = 1e300, best_decompress = 1e300;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    Timer timer;
+    compressed = codec.compress(data, bound);
+    best_compress = std::min(best_compress, timer.seconds());
+    timer.reset();
+    volatile std::size_t sink =
+        codec.decompress({compressed.data(), compressed.size()}).size();
+    (void)sink;
+    best_decompress = std::min(best_decompress, timer.seconds());
+  }
+  timing.compress_seconds = best_compress;
+  timing.decompress_seconds = best_decompress;
+  timing.compressed_bytes = compressed.size();
+  return timing;
+}
+
+CodecTiming measure_lossless(const lossless::LosslessCodec& codec,
+                             ByteSpan data, int repetitions) {
+  CodecTiming timing;
+  timing.raw_bytes = data.size();
+  Bytes compressed;
+  double best_compress = 1e300, best_decompress = 1e300;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    Timer timer;
+    compressed = codec.compress(data);
+    best_compress = std::min(best_compress, timer.seconds());
+    timer.reset();
+    volatile std::size_t sink =
+        codec.decompress({compressed.data(), compressed.size()}).size();
+    (void)sink;
+    best_decompress = std::min(best_decompress, timer.seconds());
+  }
+  timing.compress_seconds = best_compress;
+  timing.decompress_seconds = best_decompress;
+  timing.compressed_bytes = compressed.size();
+  return timing;
+}
+
+}  // namespace fedsz::benchx

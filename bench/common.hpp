@@ -1,0 +1,79 @@
+// Shared utilities for the benchmark harness: fixed-width table printing in
+// the paper's row/column layout, codec timing helpers, and a disk cache of
+// briefly-trained models so every bench binary measures compression on
+// trained (spiky, zero-centred) weights without re-paying training time.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "compress/lossless/lossless.hpp"
+#include "compress/lossy/lossy.hpp"
+#include "nn/models.hpp"
+#include "tensor/state_dict.hpp"
+
+namespace fedsz::benchx {
+
+/// Fixed-width console table. Columns are sized to the widest cell.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+  void add_row(std::vector<std::string> cells);
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::string fmt(double value, int precision = 3);
+std::string fmt_bytes(std::size_t bytes);
+
+/// True when FEDSZ_BENCH_FULL=1: run the paper's full grid instead of the
+/// laptop-scale default subset.
+bool full_grid();
+
+/// Train a bench-scale model for `epochs` passes over `samples` synthetic
+/// samples and return its state dict. Results are cached under
+/// ./bench_cache/ so repeated bench binaries do not retrain.
+StateDict trained_state_dict(const std::string& arch,
+                             const std::string& dataset,
+                             nn::ModelScale scale = nn::ModelScale::kBench,
+                             int epochs = 1, std::size_t samples = 768);
+
+/// Concatenated float storage of every tensor routed to the lossy path by
+/// Algorithm 1 (the payload the EBLC benchmarks compress).
+std::vector<float> lossy_partition_values(const StateDict& dict,
+                                          std::size_t threshold = 1000);
+
+/// Serialized bytes of the lossless partition (the "metadata" payload of
+/// Table II).
+Bytes lossless_partition_bytes(const StateDict& dict,
+                               std::size_t threshold = 1000);
+
+struct CodecTiming {
+  double compress_seconds = 0.0;
+  double decompress_seconds = 0.0;
+  std::size_t raw_bytes = 0;
+  std::size_t compressed_bytes = 0;
+  double ratio() const {
+    return compressed_bytes ? static_cast<double>(raw_bytes) /
+                                  static_cast<double>(compressed_bytes)
+                            : 0.0;
+  }
+  /// Compression throughput over the raw payload, MB/s.
+  double throughput_mb_s() const {
+    return compress_seconds > 0.0
+               ? static_cast<double>(raw_bytes) / 1e6 / compress_seconds
+               : 0.0;
+  }
+};
+
+CodecTiming measure_lossy(const lossy::LossyCodec& codec,
+                          std::span<const float> data,
+                          const lossy::ErrorBound& bound, int repetitions = 3);
+
+CodecTiming measure_lossless(const lossless::LosslessCodec& codec,
+                             ByteSpan data, int repetitions = 3);
+
+}  // namespace fedsz::benchx

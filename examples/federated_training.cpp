@@ -1,0 +1,77 @@
+// Federated training with compressed communication — the paper's headline
+// scenario. Runs FedAvg over four clients on the synthetic CIFAR-10 task
+// twice: once uncompressed and once with FedSZ at REL 1e-2, then compares
+// accuracy trajectories, bytes moved, and simulated 10 Mbps transfer time.
+//
+//   ./build/examples/federated_training [rounds] [clients]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/fl/coordinator.hpp"
+#include "data/synthetic.hpp"
+
+namespace {
+
+fedsz::core::FlRunResult run(fedsz::core::UpdateCodecPtr codec, int rounds,
+                             std::size_t clients) {
+  using namespace fedsz;
+  nn::ModelConfig model;
+  model.arch = "mobilenet_v2";
+  model.scale = nn::ModelScale::kTiny;
+  auto [train, test] = data::make_dataset("cifar10");
+  core::FlRunConfig config;
+  config.clients = clients;
+  config.rounds = rounds;
+  config.eval_limit = 256;
+  config.threads = clients;
+  config.network.bandwidth_mbps = 10.0;
+  config.client.batch_size = 16;
+  config.client.sgd.learning_rate = 0.05f;
+  core::FlCoordinator coordinator(model,
+                                  data::take(train, clients * 128),
+                                  data::take(test, 256), config,
+                                  std::move(codec));
+  return coordinator.run();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fedsz;
+  const int rounds = argc > 1 ? std::atoi(argv[1]) : 6;
+  const std::size_t clients = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 4;
+  std::printf(
+      "FedAvg on synthetic CIFAR-10: %zu clients, %d rounds, 10 Mbps link\n\n",
+      clients, rounds);
+
+  const core::FlRunResult raw = run(core::make_identity_codec(), rounds,
+                                    clients);
+  const core::FlRunResult compressed =
+      run(core::make_fedsz_codec(), rounds, clients);
+
+  std::printf("%-8s %-22s %-22s\n", "round", "uncompressed acc / comm",
+              "fedsz-sz2 acc / comm");
+  double raw_comm = 0.0, fedsz_comm = 0.0;
+  std::size_t raw_bytes = 0, fedsz_bytes = 0;
+  for (int r = 0; r < rounds; ++r) {
+    const auto& a = raw.rounds[static_cast<std::size_t>(r)];
+    const auto& b = compressed.rounds[static_cast<std::size_t>(r)];
+    std::printf("%-8d %5.1f%% / %6.3fs       %5.1f%% / %6.3fs\n", r,
+                a.accuracy * 100.0, a.comm_seconds, b.accuracy * 100.0,
+                b.comm_seconds);
+    raw_comm += a.comm_seconds;
+    fedsz_comm += b.comm_seconds;
+    raw_bytes += a.bytes_sent;
+    fedsz_bytes += b.bytes_sent;
+  }
+  std::printf(
+      "\ntotals: uncompressed %zu bytes, %.2fs simulated transfer\n"
+      "        fedsz        %zu bytes, %.2fs simulated transfer\n"
+      "        -> %.2fx fewer bytes, %.2fx less transfer time,\n"
+      "           final accuracy %.1f%% vs %.1f%% (uncompressed)\n",
+      raw_bytes, raw_comm, fedsz_bytes, fedsz_comm,
+      static_cast<double>(raw_bytes) / static_cast<double>(fedsz_bytes),
+      raw_comm / fedsz_comm, compressed.final_accuracy * 100.0,
+      raw.final_accuracy * 100.0);
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Privacy noise exploration (Section VII-D): is the error a lossy
+// compressor injects into a model update shaped like differential-privacy
+// noise?
+//
+// Compresses a trained update at several large relative bounds, collects the
+// per-parameter reconstruction error, fits Laplace and Normal distributions
+// by maximum likelihood, compares Kolmogorov-Smirnov distances, and — as a
+// DP-flavored illustration — reports the epsilon a genuine Laplace mechanism
+// with the fitted scale would correspond to for a unit-sensitivity query.
+//
+//   ./build/examples/privacy_noise
+#include <cstdio>
+
+#include "core/dp_analysis.hpp"
+#include "core/fedsz.hpp"
+#include "data/dataloader.hpp"
+#include "data/synthetic.hpp"
+#include "nn/loss.hpp"
+#include "nn/models.hpp"
+#include "nn/optimizer.hpp"
+
+namespace {
+
+// Briefly train so weights have the spiky trained distribution the paper
+// analyzes (initialization alone is uniform and less representative).
+fedsz::StateDict trained_update() {
+  using namespace fedsz;
+  nn::ModelConfig config;
+  config.arch = "alexnet";
+  config.scale = nn::ModelScale::kTiny;
+  nn::BuiltModel built = nn::build_model(config);
+  auto [train, test] = data::make_dataset("cifar10");
+  data::DataLoader loader(data::take(train, 256), 32, true, 5);
+  nn::Sgd optimizer(built.model.parameters(), {0.03f, 0.9f, 0.0f});
+  for (int epoch = 0; epoch < 2; ++epoch) {
+    loader.reset();
+    data::Batch batch;
+    while (loader.next(batch)) {
+      built.model.zero_grad();
+      const Tensor logits = built.model.forward(batch.images, true);
+      const nn::LossResult loss = nn::softmax_cross_entropy(
+          logits, {batch.labels.data(), batch.labels.size()});
+      built.model.backward(loss.grad_logits);
+      optimizer.step();
+    }
+  }
+  return built.model.state_dict();
+}
+
+}  // namespace
+
+int main() {
+  using namespace fedsz;
+  const StateDict update = trained_update();
+  std::printf(
+      "FedSZ decompression error as a differential-privacy noise source\n"
+      "(trained AlexNet analogue, %zu parameters)\n\n",
+      update.total_parameters());
+
+  std::printf("%-10s %-12s %-12s %-12s %-12s %-10s\n", "REL bound",
+              "Laplace b", "KS(Laplace)", "KS(Normal)", "better fit",
+              "eps (sens=1)");
+  for (const double rel : {0.5, 0.1, 0.05, 0.01}) {
+    core::FedSzConfig config;
+    config.bound = lossy::ErrorBound::relative(rel);
+    core::FedSz fedsz(config);
+    const Bytes blob = fedsz.compress(update);
+    const StateDict restored = fedsz.decompress({blob.data(), blob.size()});
+    const core::ErrorDistribution dist =
+        core::analyze_state_dict_errors(update, restored);
+    // A Laplace mechanism adding Lap(b) noise to a sensitivity-1 query is
+    // (1/b)-differentially private; purely illustrative here, since the
+    // compressor's noise is bounded and data-dependent (the paper makes the
+    // same caveat).
+    const double eps_dp = dist.laplace.b > 0.0 ? 1.0 / dist.laplace.b : 0.0;
+    std::printf("%-10.2f %-12.5f %-12.4f %-12.4f %-12s %-10.1f\n", rel,
+                dist.laplace.b, dist.ks_laplace, dist.ks_normal,
+                dist.laplace_fits_better() ? "Laplace" : "Normal", eps_dp);
+  }
+  std::printf(
+      "\nReading: at large bounds most weights quantize to the central bin,\n"
+      "so the injected error inherits the weights' Laplacian shape — the\n"
+      "paper's observation that lossy compression resembles a Laplace\n"
+      "mechanism. The resemblance is NOT a DP guarantee (error is bounded\n"
+      "and data-dependent); see Section VII-D and EXPERIMENTS.md.\n");
+  return 0;
+}

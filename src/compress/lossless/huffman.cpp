@@ -1,0 +1,241 @@
+#include "compress/lossless/huffman.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace fedsz::lossless {
+
+namespace {
+
+// Internal node for the frequency heap.
+struct Node {
+  std::uint64_t weight;
+  int left = -1;   // node indices, -1 for leaves
+  int right = -1;
+  std::uint32_t symbol = 0;  // valid for leaves
+};
+
+/// Optimal (unlimited) Huffman code lengths via the classic two-queue/heap
+/// construction, then repaired to honor the length limit by a Kraft-sum
+/// adjustment (the zlib-style approach: demote overlong codes, then re-pay
+/// the Kraft budget greedily).
+std::vector<unsigned> huffman_lengths(
+    const std::vector<std::pair<std::uint32_t, std::uint64_t>>& freqs,
+    unsigned max_len) {
+  const std::size_t n = freqs.size();
+  std::vector<unsigned> lengths(n, 0);
+  if (n == 0) return lengths;
+  if (n == 1) {
+    lengths[0] = 1;
+    return lengths;
+  }
+
+  std::vector<Node> nodes;
+  nodes.reserve(2 * n);
+  using HeapItem = std::pair<std::uint64_t, int>;  // (weight, node index)
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+  for (std::size_t i = 0; i < n; ++i) {
+    nodes.push_back(Node{freqs[i].second, -1, -1, freqs[i].first});
+    heap.emplace(freqs[i].second, static_cast<int>(i));
+  }
+  while (heap.size() > 1) {
+    const auto [wa, a] = heap.top();
+    heap.pop();
+    const auto [wb, b] = heap.top();
+    heap.pop();
+    nodes.push_back(Node{wa + wb, a, b, 0});
+    heap.emplace(wa + wb, static_cast<int>(nodes.size() - 1));
+  }
+
+  // Depth-first traversal to assign depths to leaves.
+  std::vector<std::pair<int, unsigned>> stack{{heap.top().second, 0}};
+  while (!stack.empty()) {
+    const auto [idx, depth] = stack.back();
+    stack.pop_back();
+    const Node& node = nodes[idx];
+    if (node.left < 0) {
+      lengths[static_cast<std::size_t>(idx)] = std::max(1u, depth);
+    } else {
+      stack.emplace_back(node.left, depth + 1);
+      stack.emplace_back(node.right, depth + 1);
+    }
+  }
+
+  // Length-limit repair. Kraft units: each code of length L costs
+  // 2^(max_len - L); the budget is 2^max_len.
+  const std::uint64_t budget = std::uint64_t{1} << max_len;
+  std::uint64_t kraft = 0;
+  for (auto& len : lengths) {
+    if (len > max_len) len = max_len;
+    kraft += std::uint64_t{1} << (max_len - len);
+  }
+  if (kraft > budget) {
+    // Demote (lengthen) the cheapest-to-demote codes until feasible.
+    // Lengthening a code of length L < max_len frees 2^(max_len-L-1) units.
+    std::vector<std::size_t> order(n);
+    for (std::size_t i = 0; i < n; ++i) order[i] = i;
+    // Prefer lengthening already-long codes (smallest Kraft release, but they
+    // belong to the rarest symbols, minimizing cost increase).
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return lengths[a] > lengths[b];
+    });
+    std::size_t cursor = 0;
+    while (kraft > budget) {
+      const std::size_t i = order[cursor % n];
+      ++cursor;
+      if (lengths[i] < max_len) {
+        kraft -= std::uint64_t{1} << (max_len - lengths[i] - 1);
+        ++lengths[i];
+      }
+    }
+  }
+  return lengths;
+}
+
+}  // namespace
+
+HuffmanCodebook HuffmanCodebook::from_frequencies(
+    const std::vector<std::pair<std::uint32_t, std::uint64_t>>& freqs) {
+  if (freqs.size() > 65536)
+    throw InvalidArgument("HuffmanCodebook: more than 65536 distinct symbols");
+  const std::vector<unsigned> lengths = huffman_lengths(freqs, kMaxCodeLength);
+  std::vector<std::pair<std::uint32_t, unsigned>> symbol_lengths;
+  symbol_lengths.reserve(freqs.size());
+  for (std::size_t i = 0; i < freqs.size(); ++i)
+    symbol_lengths.emplace_back(freqs[i].first, lengths[i]);
+  HuffmanCodebook book;
+  book.build_canonical(std::move(symbol_lengths));
+  return book;
+}
+
+HuffmanCodebook HuffmanCodebook::from_symbols(
+    std::span<const std::uint32_t> symbols) {
+  std::unordered_map<std::uint32_t, std::uint64_t> counts;
+  counts.reserve(1024);
+  for (const std::uint32_t s : symbols) ++counts[s];
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> freqs(counts.begin(),
+                                                             counts.end());
+  // Deterministic table construction regardless of hash iteration order.
+  std::sort(freqs.begin(), freqs.end());
+  return from_frequencies(freqs);
+}
+
+void HuffmanCodebook::build_canonical(
+    std::vector<std::pair<std::uint32_t, unsigned>> symbol_lengths) {
+  std::sort(symbol_lengths.begin(), symbol_lengths.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second < b.second;
+              return a.first < b.first;
+            });
+  count_.fill(0);
+  symbols_.clear();
+  symbols_.reserve(symbol_lengths.size());
+  for (const auto& [symbol, length] : symbol_lengths) {
+    if (length == 0 || length > kMaxCodeLength)
+      throw InvalidArgument("HuffmanCodebook: invalid code length");
+    ++count_[length];
+    symbols_.push_back(symbol);
+  }
+  // Canonical first codes per length.
+  std::uint32_t code = 0;
+  std::uint32_t index = 0;
+  std::uint64_t kraft = 0;
+  for (unsigned len = 1; len <= kMaxCodeLength; ++len) {
+    code <<= 1;
+    first_code_[len] = code;
+    first_index_[len] = index;
+    code += count_[len];
+    index += count_[len];
+    kraft += static_cast<std::uint64_t>(count_[len])
+             << (kMaxCodeLength - len);
+  }
+  if (kraft > (std::uint64_t{1} << kMaxCodeLength))
+    throw CorruptStream("HuffmanCodebook: oversubscribed code lengths");
+  // Encoder map.
+  enc_.clear();
+  enc_.reserve(symbols_.size() * 2);
+  std::size_t i = 0;
+  for (unsigned len = 1; len <= kMaxCodeLength; ++len) {
+    for (std::uint32_t k = 0; k < count_[len]; ++k, ++i) {
+      enc_[symbols_[i]] = {first_code_[len] + k, len};
+    }
+  }
+}
+
+void HuffmanCodebook::write_table(ByteWriter& out) const {
+  out.put_varint(symbols_.size());
+  std::size_t i = 0;
+  for (unsigned len = 1; len <= kMaxCodeLength; ++len) {
+    for (std::uint32_t k = 0; k < count_[len]; ++k, ++i) {
+      out.put_varint(symbols_[i]);
+      out.put_u8(static_cast<std::uint8_t>(len));
+    }
+  }
+}
+
+HuffmanCodebook HuffmanCodebook::read_table(ByteReader& in) {
+  const std::uint64_t n = in.get_varint();
+  if (n > 65536) throw CorruptStream("HuffmanCodebook: table too large");
+  std::vector<std::pair<std::uint32_t, unsigned>> symbol_lengths;
+  symbol_lengths.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const auto symbol = static_cast<std::uint32_t>(in.get_varint());
+    const unsigned length = in.get_u8();
+    symbol_lengths.emplace_back(symbol, length);
+  }
+  HuffmanCodebook book;
+  book.build_canonical(std::move(symbol_lengths));
+  return book;
+}
+
+void HuffmanCodebook::encode(BitWriter& out, std::uint32_t symbol) const {
+  const auto it = enc_.find(symbol);
+  if (it == enc_.end())
+    throw InvalidArgument("HuffmanCodebook: symbol not in codebook");
+  const auto [code, length] = it->second;
+  for (unsigned b = length; b-- > 0;) out.write_bit((code >> b) & 1u);
+}
+
+std::uint32_t HuffmanCodebook::decode(BitReader& in) const {
+  std::uint32_t code = 0;
+  for (unsigned len = 1; len <= kMaxCodeLength; ++len) {
+    code = (code << 1) | static_cast<std::uint32_t>(in.read_bit());
+    if (count_[len] != 0 && code >= first_code_[len] &&
+        code - first_code_[len] < count_[len]) {
+      return symbols_[first_index_[len] + (code - first_code_[len])];
+    }
+  }
+  throw CorruptStream("HuffmanCodebook: invalid code in stream");
+}
+
+unsigned HuffmanCodebook::code_length(std::uint32_t symbol) const {
+  const auto it = enc_.find(symbol);
+  return it == enc_.end() ? 0 : it->second.second;
+}
+
+Bytes huffman_encode(std::span<const std::uint32_t> symbols) {
+  ByteWriter out;
+  out.put_varint(symbols.size());
+  if (symbols.empty()) return out.finish();
+  const HuffmanCodebook book = HuffmanCodebook::from_symbols(symbols);
+  book.write_table(out);
+  BitWriter bits;
+  for (const std::uint32_t s : symbols) book.encode(bits, s);
+  out.put_blob(bits.finish());
+  return out.finish();
+}
+
+std::vector<std::uint32_t> huffman_decode(ByteSpan data) {
+  ByteReader in(data);
+  const std::uint64_t count = in.get_varint();
+  std::vector<std::uint32_t> symbols;
+  if (count == 0) return symbols;
+  const HuffmanCodebook book = HuffmanCodebook::read_table(in);
+  const Bytes payload = in.get_blob();
+  BitReader bits({payload.data(), payload.size()});
+  symbols.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) symbols.push_back(book.decode(bits));
+  return symbols;
+}
+
+}  // namespace fedsz::lossless

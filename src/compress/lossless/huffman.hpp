@@ -1,0 +1,65 @@
+// Canonical, length-limited Huffman coding over 32-bit symbols.
+//
+// Used in two places, mirroring the paper's compressor stack:
+//  - the SZ2/SZ3 lossy codecs entropy-code their quantization integers with
+//    Huffman (Section II-A),
+//  - the deflate- and zstd-like lossless codecs entropy-code LZ token streams.
+//
+// Codes are canonical (assigned by (length, symbol) order) and limited to
+// kMaxCodeLength bits so the decoder can walk lengths with bounded state.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/bitstream.hpp"
+#include "util/bytebuffer.hpp"
+#include "util/common.hpp"
+
+namespace fedsz::lossless {
+
+class HuffmanCodebook {
+ public:
+  static constexpr unsigned kMaxCodeLength = 16;
+
+  /// Build from (symbol, count) pairs; counts must be > 0 and symbols
+  /// distinct. At most 65536 distinct symbols (the 16-bit length limit is
+  /// infeasible beyond that).
+  static HuffmanCodebook from_frequencies(
+      const std::vector<std::pair<std::uint32_t, std::uint64_t>>& freqs);
+
+  /// Count symbols then build.
+  static HuffmanCodebook from_symbols(std::span<const std::uint32_t> symbols);
+
+  /// Serialize the (symbol, code length) table.
+  void write_table(ByteWriter& out) const;
+  static HuffmanCodebook read_table(ByteReader& in);
+
+  void encode(BitWriter& out, std::uint32_t symbol) const;
+  std::uint32_t decode(BitReader& in) const;
+
+  std::size_t distinct_symbols() const { return symbols_.size(); }
+  /// Code length in bits for a symbol (0 if the symbol is not in the book).
+  unsigned code_length(std::uint32_t symbol) const;
+
+ private:
+  void build_canonical(
+      std::vector<std::pair<std::uint32_t, unsigned>> symbol_lengths);
+
+  // Encoder side: symbol -> (canonical code, length).
+  std::unordered_map<std::uint32_t, std::pair<std::uint32_t, unsigned>> enc_;
+  // Decoder side: canonical layout.
+  std::vector<std::uint32_t> symbols_;  // sorted by (length, symbol)
+  std::array<std::uint32_t, kMaxCodeLength + 1> count_{};       // per length
+  std::array<std::uint32_t, kMaxCodeLength + 1> first_code_{};  // per length
+  std::array<std::uint32_t, kMaxCodeLength + 1> first_index_{};
+};
+
+/// Self-contained one-shot encode: table header + symbol count + bitstream.
+Bytes huffman_encode(std::span<const std::uint32_t> symbols);
+std::vector<std::uint32_t> huffman_decode(ByteSpan data);
+
+}  // namespace fedsz::lossless

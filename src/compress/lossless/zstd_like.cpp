@@ -1,0 +1,170 @@
+// zstd analogue: LZ77 with a large (1 MiB) window and lazy matching, token
+// stream split into independent streams (literal bytes; literal-length,
+// match-length and offset bucket codes), each entropy-coded with its own
+// canonical Huffman table, extra bits in a shared raw bitstream. This is
+// zstd's architectural split (literals vs sequences, per-stream entropy
+// tables), trading a little speed for ratio over deflate.
+#include <algorithm>
+#include <bit>
+
+#include "compress/lossless/huffman.hpp"
+#include "compress/lossless/lossless.hpp"
+#include "compress/lossless/lz77.hpp"
+#include "util/bitstream.hpp"
+#include "util/bytebuffer.hpp"
+
+namespace fedsz::lossless {
+
+namespace {
+
+constexpr std::uint8_t kModeRaw = 0;
+constexpr std::uint8_t kModeCompressed = 1;
+constexpr unsigned kMinMatch = 4;
+
+struct CodedValue {
+  std::uint32_t code;
+  unsigned extra_bits;
+  std::uint32_t extra;
+};
+
+/// Values < 16 code as themselves; larger values bucket by bit width
+/// (code = 12 + bit_width, which starts at 16 and so never collides).
+CodedValue value_code(std::uint32_t v) {
+  if (v < 16) return {v, 0, 0};
+  const unsigned k = std::bit_width(v) - 1;  // v >= 16 -> k >= 4
+  return {12 + k, k, v - (1u << k)};
+}
+
+std::uint32_t decode_value(std::uint32_t code, BitReader& bits) {
+  if (code < 16) return code;
+  const unsigned k = code - 12;
+  if (k >= 32) throw CorruptStream("zstd-like: bad value code");
+  return (1u << k) + static_cast<std::uint32_t>(bits.read(k));
+}
+
+class ZstdLikeCodec final : public LosslessCodec {
+ public:
+  LosslessId id() const override { return LosslessId::kZstd; }
+  std::string name() const override { return "zstd"; }
+
+  Bytes compress(ByteSpan data) const override {
+    ByteWriter w;
+    w.put_varint(data.size());
+    if (data.empty()) {
+      w.put_u8(kModeRaw);
+      return w.finish();
+    }
+    LzParams params;
+    params.window_log = 20;  // 1 MiB window
+    params.min_match = kMinMatch;
+    params.max_chain = 64;
+    params.lazy = true;
+    const auto seqs = lz77_parse(data, params);
+
+    // Split into streams.
+    std::vector<std::uint32_t> literal_syms;
+    std::vector<std::uint32_t> ll_codes, ml_codes, of_codes;
+    BitWriter extras;
+    std::uint64_t trailing_literals = 0;
+    for (const LzSequence& seq : seqs) {
+      for (std::uint32_t i = 0; i < seq.literal_len; ++i)
+        literal_syms.push_back(data[seq.literal_start + i]);
+      if (seq.match_len == 0) {
+        trailing_literals = seq.literal_len;
+        continue;
+      }
+      const CodedValue ll = value_code(seq.literal_len);
+      const CodedValue ml = value_code(seq.match_len - kMinMatch);
+      const CodedValue of = value_code(seq.match_offset);
+      ll_codes.push_back(ll.code);
+      ml_codes.push_back(ml.code);
+      of_codes.push_back(of.code);
+      extras.write(ll.extra, ll.extra_bits);
+      extras.write(ml.extra, ml.extra_bits);
+      extras.write(of.extra, of.extra_bits);
+    }
+
+    ByteWriter body;
+    body.put_varint(trailing_literals);
+    Bytes lit_block = huffman_encode(literal_syms);
+    body.put_blob({lit_block.data(), lit_block.size()});
+    Bytes ll_block = huffman_encode(ll_codes);
+    body.put_blob({ll_block.data(), ll_block.size()});
+    Bytes ml_block = huffman_encode(ml_codes);
+    body.put_blob({ml_block.data(), ml_block.size()});
+    Bytes of_block = huffman_encode(of_codes);
+    body.put_blob({of_block.data(), of_block.size()});
+    body.put_blob(extras.finish());
+
+    const Bytes body_bytes = body.finish();
+    if (body_bytes.size() >= data.size()) {
+      w.put_u8(kModeRaw);
+      w.put_bytes(data);
+    } else {
+      w.put_u8(kModeCompressed);
+      w.put_bytes({body_bytes.data(), body_bytes.size()});
+    }
+    return w.finish();
+  }
+
+  Bytes decompress(ByteSpan data) const override {
+    ByteReader r(data);
+    const auto raw_size = static_cast<std::size_t>(r.get_varint());
+    const std::uint8_t mode = r.get_u8();
+    if (mode == kModeRaw) {
+      ByteSpan raw = r.get_bytes(raw_size);
+      return Bytes(raw.begin(), raw.end());
+    }
+    if (mode != kModeCompressed)
+      throw CorruptStream("zstd-like: unknown mode byte");
+    const std::uint64_t trailing_literals = r.get_varint();
+    const Bytes lit_block = r.get_blob();
+    const Bytes ll_block = r.get_blob();
+    const Bytes ml_block = r.get_blob();
+    const Bytes of_block = r.get_blob();
+    const Bytes extras_bytes = r.get_blob();
+
+    const auto literals = huffman_decode({lit_block.data(), lit_block.size()});
+    const auto ll_codes = huffman_decode({ll_block.data(), ll_block.size()});
+    const auto ml_codes = huffman_decode({ml_block.data(), ml_block.size()});
+    const auto of_codes = huffman_decode({of_block.data(), of_block.size()});
+    if (ll_codes.size() != ml_codes.size() ||
+        ll_codes.size() != of_codes.size())
+      throw CorruptStream("zstd-like: sequence stream length mismatch");
+    BitReader extras({extras_bytes.data(), extras_bytes.size()});
+
+    Bytes out;
+    out.reserve(raw_size);
+    std::size_t lit_pos = 0;
+    auto take_literals = [&](std::uint64_t n) {
+      if (lit_pos + n > literals.size())
+        throw CorruptStream("zstd-like: literal stream exhausted");
+      for (std::uint64_t i = 0; i < n; ++i)
+        out.push_back(static_cast<std::uint8_t>(literals[lit_pos++]));
+    };
+    for (std::size_t s = 0; s < ll_codes.size(); ++s) {
+      const std::uint32_t lit_len = decode_value(ll_codes[s], extras);
+      const std::uint32_t match_len =
+          decode_value(ml_codes[s], extras) + kMinMatch;
+      const std::uint32_t offset = decode_value(of_codes[s], extras);
+      take_literals(lit_len);
+      if (offset == 0 || offset > out.size())
+        throw CorruptStream("zstd-like: bad offset");
+      const std::size_t from = out.size() - offset;
+      for (std::uint32_t i = 0; i < match_len; ++i)
+        out.push_back(out[from + i]);
+    }
+    take_literals(trailing_literals);
+    if (out.size() != raw_size) throw CorruptStream("zstd-like: size mismatch");
+    return out;
+  }
+};
+
+}  // namespace
+
+const LosslessCodec& zstd_codec_instance() {
+  static const ZstdLikeCodec codec;
+  return codec;
+}
+
+}  // namespace fedsz::lossless

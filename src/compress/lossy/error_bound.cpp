@@ -1,0 +1,21 @@
+#include "compress/lossy/error_bound.hpp"
+
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace fedsz::lossy {
+
+void ErrorBound::validate() const {
+  if (!(value > 0.0) || !std::isfinite(value))
+    throw InvalidArgument("ErrorBound: value must be positive and finite");
+}
+
+double ErrorBound::absolute_for(FloatSpan data) const {
+  validate();
+  if (mode == BoundMode::kAbsolute) return value;
+  const stats::Summary s = stats::summarize(data);
+  return value * s.range();
+}
+
+}  // namespace fedsz::lossy

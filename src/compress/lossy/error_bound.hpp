@@ -1,0 +1,38 @@
+// Error-bound specification shared by all lossy codecs. The paper evaluates
+// relative (REL) bounds exclusively (Section V-D1): the absolute tolerance is
+// the bound value times the global value range of the array, adapting the
+// noise floor to each layer's dynamic range.
+#pragma once
+
+#include <cstdint>
+
+#include "util/common.hpp"
+
+namespace fedsz::lossy {
+
+enum class BoundMode : std::uint8_t {
+  kAbsolute = 0,  // epsilon = value
+  kRelative = 1,  // epsilon = value * (max - min) of the input array
+};
+
+struct ErrorBound {
+  BoundMode mode = BoundMode::kRelative;
+  double value = 1e-2;
+
+  static ErrorBound absolute(double eps) {
+    return ErrorBound{BoundMode::kAbsolute, eps};
+  }
+  static ErrorBound relative(double eps) {
+    return ErrorBound{BoundMode::kRelative, eps};
+  }
+
+  /// Resolve to the absolute tolerance for a concrete array. Throws on
+  /// non-positive or non-finite bound values. A constant array under REL
+  /// resolves to 0 (any exact reconstruction satisfies it); callers clamp.
+  double absolute_for(FloatSpan data) const;
+
+  /// Validate the bound itself (positive, finite).
+  void validate() const;
+};
+
+}  // namespace fedsz::lossy

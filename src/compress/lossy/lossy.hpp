@@ -1,0 +1,58 @@
+// Error-bounded lossy compressor (EBLC) suite: from-scratch analogues of the
+// four compressors the paper characterizes (Section II-A, Table I), one per
+// classic compression model:
+//
+//   SZ2  prediction-based: blockwise Lorenzo/linear-regression hybrid
+//        prediction, error-bounded quantization, Huffman + LZ back end
+//   SZ3  prediction-based: multi-level spline interpolation prediction
+//        (no stored regression coefficients), same quantization back end
+//   SZx  bit-wise: constant-block detection + fixed-point bit truncation,
+//        designed for speed
+//   ZFP  transform-based: 4-sample blocks, orthogonal lifting transform,
+//        negabinary bit-plane coding, fixed-precision rate control
+//
+// All compressed buffers are self-contained (length, resolved epsilon and
+// codec parameters embedded). SZ2/SZ3/SZx guarantee max|x - x'| <= epsilon
+// (strictly_bounded() == true); ZFP's fixed-precision mode is calibrated to
+// the requested bound but not pointwise-guaranteed, matching the real tool's
+// lack of a REL mode (Section V-D1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "compress/lossy/error_bound.hpp"
+#include "util/common.hpp"
+
+namespace fedsz::lossy {
+
+enum class LossyId : std::uint8_t {
+  kSz2 = 1,
+  kSz3 = 2,
+  kSzx = 3,
+  kZfp = 4,
+};
+
+class LossyCodec {
+ public:
+  virtual ~LossyCodec() = default;
+  virtual LossyId id() const = 0;
+  virtual std::string name() const = 0;
+  /// True if every reconstructed element is guaranteed within epsilon.
+  virtual bool strictly_bounded() const = 0;
+
+  /// Compress. Input must be finite (NaN/Inf rejected with InvalidArgument).
+  virtual Bytes compress(FloatSpan data, const ErrorBound& bound) const = 0;
+  /// Decompress a buffer produced by the same codec.
+  virtual std::vector<float> decompress(ByteSpan data) const = 0;
+};
+
+const LossyCodec& lossy_codec(LossyId id);
+const LossyCodec& lossy_codec(const std::string& name);
+std::vector<const LossyCodec*> all_lossy_codecs();
+
+/// Shared input validation: throws InvalidArgument on non-finite values.
+void require_finite(FloatSpan data, const std::string& codec_name);
+
+}  // namespace fedsz::lossy

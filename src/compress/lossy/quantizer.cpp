@@ -1,0 +1,36 @@
+#include "compress/lossy/quantizer.hpp"
+
+#include <cmath>
+
+namespace fedsz::lossy {
+
+LinearQuantizer::LinearQuantizer(double eps, std::uint32_t radius)
+    : eps_(eps), radius_(radius) {
+  if (radius_ < 2) throw InvalidArgument("LinearQuantizer: radius too small");
+  // A zero epsilon arises for constant arrays under relative bounds; clamp to
+  // a denormal-safe floor so every residual becomes "unpredictable" (exact).
+  if (!(eps_ > 0.0)) eps_ = 1e-300;
+  inv_step_ = 1.0 / (2.0 * eps_);
+}
+
+std::uint32_t LinearQuantizer::quantize(double residual) const {
+  const double scaled = residual * inv_step_;
+  // Reject residuals whose bin index cannot be represented.
+  if (!(std::fabs(scaled) < static_cast<double>(radius_) - 1.0))
+    return kUnpredictable;
+  const auto bin = static_cast<std::int64_t>(std::llround(scaled));
+  const std::int64_t code = bin + static_cast<std::int64_t>(radius_);
+  if (code < 1 || code >= 2 * static_cast<std::int64_t>(radius_))
+    return kUnpredictable;
+  return static_cast<std::uint32_t>(code);
+}
+
+double LinearQuantizer::reconstruct(std::uint32_t code) const {
+  if (code == kUnpredictable || code >= 2 * radius_)
+    throw InvalidArgument("LinearQuantizer: invalid code");
+  const auto bin =
+      static_cast<std::int64_t>(code) - static_cast<std::int64_t>(radius_);
+  return static_cast<double>(bin) * 2.0 * eps_;
+}
+
+}  // namespace fedsz::lossy

@@ -1,0 +1,39 @@
+// Error-bounded linear quantization of prediction residuals, the mechanism
+// shared by the SZ2- and SZ3-like codecs: residual r maps to the integer bin
+// round(r / 2eps), guaranteeing |r - reconstructed| <= eps. Bin indices are
+// biased by `radius` into unsigned codes; code 0 is reserved for
+// "unpredictable" values that fall outside the code range and are stored
+// verbatim (and hence reconstructed exactly).
+#pragma once
+
+#include <cstdint>
+
+#include "util/common.hpp"
+
+namespace fedsz::lossy {
+
+class LinearQuantizer {
+ public:
+  static constexpr std::uint32_t kDefaultRadius = 32768;
+  static constexpr std::uint32_t kUnpredictable = 0;
+
+  explicit LinearQuantizer(double eps,
+                           std::uint32_t radius = kDefaultRadius);
+
+  /// Quantize a residual. Returns a code in [1, 2*radius - 1], or
+  /// kUnpredictable if the residual does not fit.
+  std::uint32_t quantize(double residual) const;
+
+  /// Reconstruct the residual midpoint for a valid (non-zero) code.
+  double reconstruct(std::uint32_t code) const;
+
+  double eps() const { return eps_; }
+  std::uint32_t radius() const { return radius_; }
+
+ private:
+  double eps_;
+  double inv_step_;  // 1 / (2 * eps)
+  std::uint32_t radius_;
+};
+
+}  // namespace fedsz::lossy

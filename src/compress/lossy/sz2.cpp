@@ -1,0 +1,219 @@
+// SZ2 analogue (prediction-based model, Liang et al. 2018): the array is cut
+// into fixed blocks; each block selects between a Lorenzo predictor (previous
+// reconstructed value) and a per-block linear regression (stored as two f32
+// coefficients); prediction residuals are quantized into error-bounded bins,
+// entropy-coded with canonical Huffman, and the whole body is passed through
+// the LZ back end — the SZ2 pipeline of Section II-A. Out-of-range residuals
+// are stored verbatim (exact), preserving the hard error bound.
+#include <cmath>
+#include <cstring>
+
+#include "compress/lossless/huffman.hpp"
+#include "compress/lossless/lossless.hpp"
+#include "compress/lossy/lossy.hpp"
+#include "compress/lossy/quantizer.hpp"
+#include "util/bytebuffer.hpp"
+#include "util/stats.hpp"
+
+namespace fedsz::lossy {
+
+namespace {
+
+constexpr std::size_t kBlockSize = 256;
+constexpr std::uint8_t kPredictorLorenzo = 0;
+constexpr std::uint8_t kPredictorRegression = 1;
+
+struct Regression {
+  float slope = 0.0f;
+  float intercept = 0.0f;
+};
+
+/// Least-squares fit of x[i] ~ intercept + slope * i over a block.
+Regression fit_regression(FloatSpan block) {
+  const std::size_t n = block.size();
+  if (n == 1) return {0.0f, block[0]};
+  double sum_x = 0.0, sum_i = 0.0, sum_ix = 0.0, sum_ii = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double xi = block[i];
+    const double di = static_cast<double>(i);
+    sum_x += xi;
+    sum_i += di;
+    sum_ix += di * xi;
+    sum_ii += di * di;
+  }
+  const double dn = static_cast<double>(n);
+  const double denom = dn * sum_ii - sum_i * sum_i;
+  double slope = denom != 0.0 ? (dn * sum_ix - sum_i * sum_x) / denom : 0.0;
+  double intercept = (sum_x - slope * sum_i) / dn;
+  return {static_cast<float>(slope), static_cast<float>(intercept)};
+}
+
+/// Estimated absolute prediction error of each candidate over a block
+/// (selection heuristic; actual encoding uses reconstructed-value Lorenzo).
+double lorenzo_cost(FloatSpan block, float prev) {
+  double cost = 0.0;
+  float last = prev;
+  for (const float v : block) {
+    cost += std::fabs(static_cast<double>(v) - last);
+    last = v;
+  }
+  return cost;
+}
+
+double regression_cost(FloatSpan block, const Regression& reg) {
+  double cost = 0.0;
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    const double pred =
+        static_cast<double>(reg.intercept) +
+        static_cast<double>(reg.slope) * static_cast<double>(i);
+    cost += std::fabs(static_cast<double>(block[i]) - pred);
+  }
+  return cost;
+}
+
+class Sz2Codec final : public LossyCodec {
+ public:
+  LossyId id() const override { return LossyId::kSz2; }
+  std::string name() const override { return "sz2"; }
+  bool strictly_bounded() const override { return true; }
+
+  Bytes compress(FloatSpan data, const ErrorBound& bound) const override {
+    require_finite(data, name());
+    const double eps = bound.absolute_for(data);
+
+    ByteWriter body;
+    body.put_varint(data.size());
+    body.put_f64(eps);
+    if (data.empty()) {
+      return lossless::lossless_codec(lossless::LosslessId::kZstd)
+          .compress({body.finish()});
+    }
+
+    const LinearQuantizer quantizer(eps);
+    const std::size_t n_blocks = (data.size() + kBlockSize - 1) / kBlockSize;
+
+    std::vector<std::uint8_t> predictor_tags(n_blocks);
+    std::vector<Regression> regressions(n_blocks);
+    std::vector<std::uint32_t> codes;
+    codes.reserve(data.size());
+    std::vector<float> verbatim;
+
+    float last_reconstructed = 0.0f;
+    for (std::size_t b = 0; b < n_blocks; ++b) {
+      const std::size_t begin = b * kBlockSize;
+      const std::size_t len = std::min(kBlockSize, data.size() - begin);
+      FloatSpan block = data.subspan(begin, len);
+
+      const Regression reg = fit_regression(block);
+      const bool use_regression =
+          regression_cost(block, reg) <
+          lorenzo_cost(block, b == 0 ? 0.0f : data[begin - 1]);
+      predictor_tags[b] = use_regression ? kPredictorRegression
+                                         : kPredictorLorenzo;
+      regressions[b] = reg;
+
+      for (std::size_t i = 0; i < len; ++i) {
+        const double pred =
+            use_regression
+                ? static_cast<double>(reg.intercept) +
+                      static_cast<double>(reg.slope) * static_cast<double>(i)
+                : static_cast<double>(last_reconstructed);
+        const double residual = static_cast<double>(block[i]) - pred;
+        const std::uint32_t code = quantizer.quantize(residual);
+        codes.push_back(code);
+        if (code == LinearQuantizer::kUnpredictable) {
+          verbatim.push_back(block[i]);
+          last_reconstructed = block[i];
+        } else {
+          last_reconstructed =
+              static_cast<float>(pred + quantizer.reconstruct(code));
+        }
+      }
+    }
+
+    for (std::size_t b = 0; b < n_blocks; ++b) {
+      body.put_u8(predictor_tags[b]);
+      if (predictor_tags[b] == kPredictorRegression) {
+        body.put_f32(regressions[b].slope);
+        body.put_f32(regressions[b].intercept);
+      }
+    }
+    const Bytes huffman = lossless::huffman_encode(codes);
+    body.put_blob({huffman.data(), huffman.size()});
+    body.put_varint(verbatim.size());
+    body.put_bytes(as_bytes({verbatim.data(), verbatim.size()}));
+
+    return lossless::lossless_codec(lossless::LosslessId::kZstd)
+        .compress({body.finish()});
+  }
+
+  std::vector<float> decompress(ByteSpan stream) const override {
+    const Bytes body = lossless::lossless_codec(lossless::LosslessId::kZstd)
+                           .decompress(stream);
+    ByteReader r({body.data(), body.size()});
+    const auto n = static_cast<std::size_t>(r.get_varint());
+    const double eps = r.get_f64();
+    std::vector<float> out;
+    if (n == 0) return out;
+    out.reserve(n);
+
+    const LinearQuantizer quantizer(eps);
+    const std::size_t n_blocks = (n + kBlockSize - 1) / kBlockSize;
+    std::vector<std::uint8_t> predictor_tags(n_blocks);
+    std::vector<Regression> regressions(n_blocks);
+    for (std::size_t b = 0; b < n_blocks; ++b) {
+      predictor_tags[b] = r.get_u8();
+      if (predictor_tags[b] == kPredictorRegression) {
+        regressions[b].slope = r.get_f32();
+        regressions[b].intercept = r.get_f32();
+      } else if (predictor_tags[b] != kPredictorLorenzo) {
+        throw CorruptStream("sz2: unknown predictor tag");
+      }
+    }
+    const Bytes huffman = r.get_blob();
+    const auto codes = lossless::huffman_decode({huffman.data(),
+                                                 huffman.size()});
+    if (codes.size() != n) throw CorruptStream("sz2: code count mismatch");
+    const auto n_verbatim = static_cast<std::size_t>(r.get_varint());
+    ByteSpan raw = r.get_bytes(n_verbatim * sizeof(float));
+    std::vector<float> verbatim(n_verbatim);
+    std::memcpy(verbatim.data(), raw.data(), raw.size());
+
+    std::size_t v = 0;
+    float last_reconstructed = 0.0f;
+    for (std::size_t b = 0; b < n_blocks; ++b) {
+      const std::size_t begin = b * kBlockSize;
+      const std::size_t len = std::min(kBlockSize, n - begin);
+      const bool use_regression = predictor_tags[b] == kPredictorRegression;
+      for (std::size_t i = 0; i < len; ++i) {
+        const std::uint32_t code = codes[begin + i];
+        float value;
+        if (code == LinearQuantizer::kUnpredictable) {
+          if (v >= verbatim.size())
+            throw CorruptStream("sz2: verbatim stream exhausted");
+          value = verbatim[v++];
+        } else {
+          const double pred =
+              use_regression
+                  ? static_cast<double>(regressions[b].intercept) +
+                        static_cast<double>(regressions[b].slope) *
+                            static_cast<double>(i)
+                  : static_cast<double>(last_reconstructed);
+          value = static_cast<float>(pred + quantizer.reconstruct(code));
+        }
+        out.push_back(value);
+        last_reconstructed = value;
+      }
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+const LossyCodec& sz2_codec_instance() {
+  static const Sz2Codec codec;
+  return codec;
+}
+
+}  // namespace fedsz::lossy

@@ -1,0 +1,151 @@
+// SZ3 analogue (Liang et al. 2023 / Zhao et al. 2021): multi-level spline
+// interpolation prediction. Index 0 is seeded, then strides halve from the
+// largest power of two; each point at an odd multiple of the stride is
+// predicted from already-reconstructed neighbors (cubic 4-point spline when
+// both outer neighbors exist, else linear, else previous). No per-block
+// coefficients are stored — SZ3's key advantage over SZ2 at high error
+// bounds — at the cost of a more expensive traversal. Residuals share the
+// SZ2 quantizer/Huffman/LZ back end.
+#include <bit>
+#include <cmath>
+#include <cstring>
+
+#include "compress/lossless/huffman.hpp"
+#include "compress/lossless/lossless.hpp"
+#include "compress/lossy/lossy.hpp"
+#include "compress/lossy/quantizer.hpp"
+
+namespace fedsz::lossy {
+
+namespace {
+
+/// Visit indices level by level: stride = 2^k halving to 1, points at odd
+/// multiples of the stride. Every index in [1, n) is visited exactly once and
+/// its neighbors at +-stride (multiples of 2*stride) are always visited
+/// earlier, so interpolation uses reconstructed data only.
+template <typename Fn>
+void for_each_interpolation_point(std::size_t n, Fn&& fn) {
+  if (n < 2) return;
+  std::size_t stride = std::bit_floor(n - 1);
+  for (; stride >= 1; stride /= 2) {
+    for (std::size_t i = stride; i < n; i += 2 * stride) fn(i, stride);
+    if (stride == 1) break;
+  }
+}
+
+/// Predict reconstructed[i] from already-decoded grid points.
+double interpolate(const std::vector<float>& recon, std::size_t i,
+                   std::size_t stride, std::size_t n) {
+  const bool has_right = i + stride < n;
+  const bool has_far_left = i >= 3 * stride;
+  const bool has_far_right = i + 3 * stride < n;
+  if (has_right && has_far_left && has_far_right) {
+    // Cubic spline through the four surrounding coarse points.
+    return (-static_cast<double>(recon[i - 3 * stride]) +
+            9.0 * recon[i - stride] + 9.0 * recon[i + stride] -
+            static_cast<double>(recon[i + 3 * stride])) /
+           16.0;
+  }
+  if (has_right)
+    return 0.5 * (static_cast<double>(recon[i - stride]) + recon[i + stride]);
+  return recon[i - stride];
+}
+
+class Sz3Codec final : public LossyCodec {
+ public:
+  LossyId id() const override { return LossyId::kSz3; }
+  std::string name() const override { return "sz3"; }
+  bool strictly_bounded() const override { return true; }
+
+  Bytes compress(FloatSpan data, const ErrorBound& bound) const override {
+    require_finite(data, name());
+    const double eps = bound.absolute_for(data);
+
+    ByteWriter body;
+    body.put_varint(data.size());
+    body.put_f64(eps);
+    if (data.empty()) {
+      return lossless::lossless_codec(lossless::LosslessId::kZstd)
+          .compress({body.finish()});
+    }
+
+    const LinearQuantizer quantizer(eps);
+    const std::size_t n = data.size();
+    // Codes are emitted in traversal order (seed, then level order).
+    std::vector<std::uint32_t> codes;
+    codes.reserve(n);
+    std::vector<float> verbatim;
+    std::vector<float> recon(n, 0.0f);
+
+    auto encode_point = [&](std::size_t i, double pred) {
+      const double residual = static_cast<double>(data[i]) - pred;
+      const std::uint32_t code = quantizer.quantize(residual);
+      codes.push_back(code);
+      if (code == LinearQuantizer::kUnpredictable) {
+        verbatim.push_back(data[i]);
+        recon[i] = data[i];
+      } else {
+        recon[i] = static_cast<float>(pred + quantizer.reconstruct(code));
+      }
+    };
+
+    encode_point(0, 0.0);
+    for_each_interpolation_point(n, [&](std::size_t i, std::size_t stride) {
+      encode_point(i, interpolate(recon, i, stride, n));
+    });
+
+    const Bytes huffman = lossless::huffman_encode(codes);
+    body.put_blob({huffman.data(), huffman.size()});
+    body.put_varint(verbatim.size());
+    body.put_bytes(as_bytes({verbatim.data(), verbatim.size()}));
+    return lossless::lossless_codec(lossless::LosslessId::kZstd)
+        .compress({body.finish()});
+  }
+
+  std::vector<float> decompress(ByteSpan stream) const override {
+    const Bytes body = lossless::lossless_codec(lossless::LosslessId::kZstd)
+                           .decompress(stream);
+    ByteReader r({body.data(), body.size()});
+    const auto n = static_cast<std::size_t>(r.get_varint());
+    const double eps = r.get_f64();
+    if (n == 0) return {};
+
+    const LinearQuantizer quantizer(eps);
+    const Bytes huffman = r.get_blob();
+    const auto codes = lossless::huffman_decode({huffman.data(),
+                                                 huffman.size()});
+    if (codes.size() != n) throw CorruptStream("sz3: code count mismatch");
+    const auto n_verbatim = static_cast<std::size_t>(r.get_varint());
+    ByteSpan raw = r.get_bytes(n_verbatim * sizeof(float));
+    std::vector<float> verbatim(n_verbatim);
+    std::memcpy(verbatim.data(), raw.data(), raw.size());
+
+    std::vector<float> recon(n, 0.0f);
+    std::size_t next_code = 0, next_verbatim = 0;
+    auto decode_point = [&](std::size_t i, double pred) {
+      const std::uint32_t code = codes[next_code++];
+      if (code == LinearQuantizer::kUnpredictable) {
+        if (next_verbatim >= verbatim.size())
+          throw CorruptStream("sz3: verbatim stream exhausted");
+        recon[i] = verbatim[next_verbatim++];
+      } else {
+        recon[i] = static_cast<float>(pred + quantizer.reconstruct(code));
+      }
+    };
+
+    decode_point(0, 0.0);
+    for_each_interpolation_point(n, [&](std::size_t i, std::size_t stride) {
+      decode_point(i, interpolate(recon, i, stride, n));
+    });
+    return recon;
+  }
+};
+
+}  // namespace
+
+const LossyCodec& sz3_codec_instance() {
+  static const Sz3Codec codec;
+  return codec;
+}
+
+}  // namespace fedsz::lossy

@@ -1,0 +1,73 @@
+// FL-compression baselines from the paper's related-work taxonomy
+// (Section III-C) and the composition the paper argues for: FedSZ is a
+// "last-step" compressor, so gradient sparsification / quantization outputs
+// can be FedSZ-compressed further.
+//
+//   TopKCodec      magnitude sparsification: per lossy-eligible tensor keep
+//                  the top-K fraction of entries (indices + values), zero
+//                  the rest; metadata ships losslessly.
+//   QsgdCodec      QSGD-style stochastic uniform quantization to s levels
+//                  per tensor (unbiased; norm + signs + level indices).
+//   ComposedCodec  any baseline followed by a FedSZ pass over its dense
+//                  reconstruction — the paper's "works in concert" claim.
+#pragma once
+
+#include "core/update_codec.hpp"
+#include "util/rng.hpp"
+
+namespace fedsz::core {
+
+struct TopKConfig {
+  double keep_fraction = 0.1;     // fraction of entries kept per tensor
+  std::size_t lossy_threshold = 1000;  // same eligibility rule as FedSZ
+};
+
+class TopKCodec final : public UpdateCodec {
+ public:
+  explicit TopKCodec(TopKConfig config);
+  std::string name() const override { return "topk"; }
+  Encoded encode(const StateDict& dict) const override;
+  StateDict decode(ByteSpan payload, double* decode_seconds) const override;
+
+ private:
+  TopKConfig config_;
+};
+
+struct QsgdConfig {
+  unsigned levels = 64;           // quantization levels per tensor
+  std::size_t lossy_threshold = 1000;
+  std::uint64_t seed = 99;        // stochastic rounding stream
+};
+
+class QsgdCodec final : public UpdateCodec {
+ public:
+  explicit QsgdCodec(QsgdConfig config);
+  std::string name() const override { return "qsgd"; }
+  Encoded encode(const StateDict& dict) const override;
+  StateDict decode(ByteSpan payload, double* decode_seconds) const override;
+
+ private:
+  QsgdConfig config_;
+};
+
+/// first(dict) -> reconstructed dict -> second(reconstructed). Decode runs
+/// in reverse. Byte accounting reports the final payload against the
+/// original update size.
+class ComposedCodec final : public UpdateCodec {
+ public:
+  ComposedCodec(UpdateCodecPtr first, UpdateCodecPtr second);
+  std::string name() const override;
+  Encoded encode(const StateDict& dict) const override;
+  StateDict decode(ByteSpan payload, double* decode_seconds) const override;
+
+ private:
+  UpdateCodecPtr first_;
+  UpdateCodecPtr second_;
+};
+
+UpdateCodecPtr make_topk_codec(TopKConfig config = {});
+UpdateCodecPtr make_qsgd_codec(QsgdConfig config = {});
+UpdateCodecPtr make_composed_codec(UpdateCodecPtr first,
+                                   UpdateCodecPtr second);
+
+}  // namespace fedsz::core

@@ -1,0 +1,55 @@
+#include "core/dp_analysis.hpp"
+
+namespace fedsz::core {
+
+namespace {
+
+ErrorDistribution analyze(std::vector<double> errors,
+                          std::size_t histogram_bins) {
+  ErrorDistribution dist;
+  dist.errors = std::move(errors);
+  dist.summary = stats::summarize(
+      std::span<const double>(dist.errors.data(), dist.errors.size()));
+  dist.laplace = stats::fit_laplace(dist.errors);
+  dist.normal = stats::fit_normal(dist.errors);
+  const auto laplace = dist.laplace;
+  const auto normal = dist.normal;
+  dist.ks_laplace = stats::ks_statistic(
+      dist.errors, [laplace](double x) { return laplace.cdf(x); });
+  dist.ks_normal = stats::ks_statistic(
+      dist.errors, [normal](double x) { return normal.cdf(x); });
+  if (!dist.errors.empty())
+    dist.histogram = stats::histogram(dist.errors, histogram_bins);
+  return dist;
+}
+
+}  // namespace
+
+ErrorDistribution analyze_errors(FloatSpan original, FloatSpan reconstructed,
+                                 std::size_t histogram_bins) {
+  if (original.size() != reconstructed.size())
+    throw InvalidArgument("analyze_errors: size mismatch");
+  std::vector<double> errors;
+  errors.reserve(original.size());
+  for (std::size_t i = 0; i < original.size(); ++i)
+    errors.push_back(static_cast<double>(original[i]) - reconstructed[i]);
+  return analyze(std::move(errors), histogram_bins);
+}
+
+ErrorDistribution analyze_state_dict_errors(const StateDict& original,
+                                            const StateDict& reconstructed,
+                                            std::size_t histogram_bins) {
+  std::vector<double> errors;
+  errors.reserve(original.total_parameters());
+  for (const auto& [name, tensor] : original) {
+    const Tensor& other = reconstructed.get(name);
+    if (!tensor.same_shape(other))
+      throw InvalidArgument("analyze_state_dict_errors: shape mismatch for " +
+                            name);
+    for (std::size_t i = 0; i < tensor.numel(); ++i)
+      errors.push_back(static_cast<double>(tensor[i]) - other[i]);
+  }
+  return analyze(std::move(errors), histogram_bins);
+}
+
+}  // namespace fedsz::core

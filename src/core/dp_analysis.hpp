@@ -1,0 +1,37 @@
+// Error-distribution analysis behind the paper's differential-privacy
+// observation (Section VII-D, Figure 10): collect the pairwise differences
+// between original and decompressed parameters, fit Laplace and Normal
+// distributions by maximum likelihood, and compare goodness of fit with the
+// Kolmogorov-Smirnov statistic. The paper's finding — the error histogram is
+// much closer to Laplacian than Gaussian — corresponds to ks_laplace <<
+// ks_normal here.
+#pragma once
+
+#include "tensor/state_dict.hpp"
+#include "util/stats.hpp"
+
+namespace fedsz::core {
+
+struct ErrorDistribution {
+  std::vector<double> errors;  // original - reconstructed, per element
+  stats::Summary summary;
+  stats::LaplaceFit laplace;
+  stats::NormalFit normal;
+  double ks_laplace = 0.0;
+  double ks_normal = 0.0;
+  stats::Histogram histogram;
+
+  bool laplace_fits_better() const { return ks_laplace < ks_normal; }
+};
+
+/// Analyze elementwise reconstruction error between two equal-sized arrays.
+ErrorDistribution analyze_errors(FloatSpan original, FloatSpan reconstructed,
+                                 std::size_t histogram_bins = 61);
+
+/// Analyze across all matching entries of two state dicts (original vs
+/// decompressed update). Entries are matched by name; shapes must agree.
+ErrorDistribution analyze_state_dict_errors(const StateDict& original,
+                                            const StateDict& reconstructed,
+                                            std::size_t histogram_bins = 61);
+
+}  // namespace fedsz::core

@@ -1,0 +1,40 @@
+// Explicit Laplace-mechanism noise for FL updates — the comparison point for
+// the paper's Section VII-D observation that lossy-compression error
+// *resembles* Laplacian DP noise. LaplaceNoiseCodec perturbs every
+// lossy-eligible tensor with Laplace(b) noise scaled to the tensor's value
+// range before handing the update to an inner codec, so experiments can put
+// genuine DP-style noise and compression-induced noise through the same FL
+// pipeline and compare accuracy and error distributions.
+#pragma once
+
+#include "core/update_codec.hpp"
+#include "util/rng.hpp"
+
+namespace fedsz::core {
+
+struct LaplaceNoiseConfig {
+  /// Noise scale b as a fraction of each tensor's value range (mirrors the
+  /// REL error-bound convention of the lossy codecs).
+  double relative_scale = 1e-2;
+  std::size_t lossy_threshold = 1000;  // same eligibility as Algorithm 1
+  std::uint64_t seed = 1234;
+};
+
+class LaplaceNoiseCodec final : public UpdateCodec {
+ public:
+  LaplaceNoiseCodec(LaplaceNoiseConfig config, UpdateCodecPtr inner);
+
+  std::string name() const override;
+  Encoded encode(const StateDict& dict) const override;
+  StateDict decode(ByteSpan payload, double* decode_seconds) const override;
+
+ private:
+  LaplaceNoiseConfig config_;
+  UpdateCodecPtr inner_;
+};
+
+/// Laplace noise in front of `inner` (default inner: uncompressed).
+UpdateCodecPtr make_laplace_noise_codec(LaplaceNoiseConfig config = {},
+                                        UpdateCodecPtr inner = nullptr);
+
+}  // namespace fedsz::core

@@ -1,0 +1,163 @@
+#include "core/fedsz.hpp"
+
+#include <cstring>
+
+#include "util/bytebuffer.hpp"
+#include "util/timer.hpp"
+
+namespace fedsz::core {
+
+namespace {
+constexpr char kMagic[4] = {'F', 'S', 'Z', '1'};
+constexpr std::uint16_t kVersion = 1;
+}  // namespace
+
+bool is_lossy_entry(const std::string& name, std::size_t numel,
+                    std::size_t threshold) {
+  return name.find("weight") != std::string::npos && numel > threshold;
+}
+
+Partition partition_state_dict(const StateDict& dict, std::size_t threshold) {
+  Partition partition;
+  for (const auto& [name, tensor] : dict) {
+    if (is_lossy_entry(name, tensor.numel(), threshold)) {
+      partition.lossy_names.push_back(name);
+      partition.lossy_bytes += tensor.numel() * sizeof(float);
+    } else {
+      partition.lossless_names.push_back(name);
+      partition.lossless_bytes += tensor.numel() * sizeof(float);
+    }
+  }
+  return partition;
+}
+
+FedSz::FedSz(FedSzConfig config) : config_(config) {
+  config_.bound.validate();
+  // Resolve the codecs eagerly so a bad id fails at construction.
+  (void)lossy::lossy_codec(config_.lossy_id);
+  (void)lossless::lossless_codec(config_.lossless_id);
+}
+
+Bytes FedSz::compress(const StateDict& dict, CompressionStats* stats) const {
+  Timer timer;
+  const lossy::LossyCodec& lossy_codec = lossy::lossy_codec(config_.lossy_id);
+  const lossless::LosslessCodec& lossless_codec =
+      lossless::lossless_codec(config_.lossless_id);
+
+  CompressionStats local;
+  local.original_bytes = dict.total_bytes();
+
+  // Algorithm 1: route each entry.
+  StateDict lossless_partition;
+  struct LossyEntry {
+    const std::string* name;
+    const Tensor* tensor;
+  };
+  std::vector<LossyEntry> lossy_entries;
+  for (const auto& [name, tensor] : dict) {
+    if (is_lossy_entry(name, tensor.numel(), config_.lossy_threshold)) {
+      lossy_entries.push_back({&name, &tensor});
+      local.lossy_original_bytes += tensor.numel() * sizeof(float);
+    } else {
+      lossless_partition.set(name, tensor);
+      local.lossless_original_bytes += tensor.numel() * sizeof(float);
+    }
+  }
+
+  ByteWriter w;
+  w.put_bytes({reinterpret_cast<const std::uint8_t*>(kMagic), 4});
+  w.put_u16(kVersion);
+  w.put_u8(static_cast<std::uint8_t>(config_.lossy_id));
+  w.put_u8(static_cast<std::uint8_t>(config_.lossless_id));
+  w.put_u8(static_cast<std::uint8_t>(config_.bound.mode));
+  w.put_f64(config_.bound.value);
+  w.put_u32(static_cast<std::uint32_t>(lossy_entries.size()));
+
+  // Lossy partition: each tensor flattened and compressed independently
+  // (Algorithm 1 lines 3-5).
+  for (const LossyEntry& entry : lossy_entries) {
+    w.put_string(*entry.name);
+    const Shape& shape = entry.tensor->shape();
+    w.put_u8(static_cast<std::uint8_t>(shape.size()));
+    for (const std::int64_t d : shape)
+      w.put_varint(static_cast<std::uint64_t>(d));
+    const Bytes payload =
+        lossy_codec.compress(entry.tensor->span(), config_.bound);
+    local.lossy_compressed_bytes += payload.size();
+    w.put_blob({payload.data(), payload.size()});
+  }
+
+  // Lossless partition: serialize ("pickle") then compress as one block.
+  const Bytes serialized = lossless_partition.serialize();
+  const Bytes lossless_payload =
+      lossless_codec.compress({serialized.data(), serialized.size()});
+  local.lossless_compressed_bytes = lossless_payload.size();
+  w.put_blob({lossless_payload.data(), lossless_payload.size()});
+
+  Bytes out = w.finish();
+  local.compressed_bytes = out.size();
+  local.compress_seconds = timer.seconds();
+  if (stats) *stats = local;
+  return out;
+}
+
+StateDict FedSz::decompress(ByteSpan stream, double* seconds) const {
+  Timer timer;
+  ByteReader r(stream);
+  ByteSpan magic = r.get_bytes(4);
+  if (std::memcmp(magic.data(), kMagic, 4) != 0)
+    throw CorruptStream("FedSz: bad magic");
+  const std::uint16_t version = r.get_u16();
+  if (version != kVersion)
+    throw CorruptStream("FedSz: unsupported version " +
+                        std::to_string(version));
+  const auto lossy_id = static_cast<lossy::LossyId>(r.get_u8());
+  const auto lossless_id = static_cast<lossless::LosslessId>(r.get_u8());
+  (void)r.get_u8();   // bound mode (informational)
+  (void)r.get_f64();  // bound value (informational)
+  const lossy::LossyCodec& lossy_codec = lossy::lossy_codec(lossy_id);
+  const lossless::LosslessCodec& lossless_codec =
+      lossless::lossless_codec(lossless_id);
+
+  const std::uint32_t n_lossy = r.get_u32();
+  struct DecodedEntry {
+    std::string name;
+    Tensor tensor;
+  };
+  std::vector<DecodedEntry> lossy_entries;
+  lossy_entries.reserve(n_lossy);
+  for (std::uint32_t i = 0; i < n_lossy; ++i) {
+    std::string name = r.get_string();
+    const std::uint8_t rank = r.get_u8();
+    Shape shape;
+    shape.reserve(rank);
+    for (std::uint8_t d = 0; d < rank; ++d)
+      shape.push_back(static_cast<std::int64_t>(r.get_varint()));
+    const Bytes payload = r.get_blob();
+    std::vector<float> values =
+        lossy_codec.decompress({payload.data(), payload.size()});
+    if (values.size() != shape_numel(shape))
+      throw CorruptStream("FedSz: decompressed size mismatch for " + name);
+    lossy_entries.push_back(
+        {std::move(name), Tensor::from_data(std::move(shape),
+                                            std::move(values))});
+  }
+  const Bytes lossless_payload = r.get_blob();
+  if (!r.done()) throw CorruptStream("FedSz: trailing bytes");
+  const Bytes serialized = lossless_codec.decompress(
+      {lossless_payload.data(), lossless_payload.size()});
+  const StateDict lossless_partition =
+      StateDict::deserialize({serialized.data(), serialized.size()});
+
+  // Reassemble. Entry order is lossy entries first, then lossless; FedAvg
+  // aggregation matches by name, so order differences from the original are
+  // irrelevant — but we keep a deterministic layout.
+  StateDict out;
+  for (DecodedEntry& entry : lossy_entries)
+    out.set(entry.name, std::move(entry.tensor));
+  for (const auto& [name, tensor] : lossless_partition) out.set(name, tensor);
+  if (seconds) *seconds = timer.seconds();
+  return out;
+}
+
+}  // namespace fedsz::core

@@ -1,0 +1,85 @@
+// FedSZ — the paper's contribution (Section V, Algorithm 1): compress an FL
+// client's model update (a StateDict) by
+//   (i)   partitioning entries into a lossy partition (tensors whose name
+//         contains "weight" and whose flattened size exceeds a threshold)
+//         and a lossless partition (everything else: biases, BatchNorm
+//         running statistics, small tensors),
+//   (ii)  compressing the lossy partition with an error-bounded lossy codec
+//         (SZ2 by default) and the serialized lossless partition with a fast
+//         lossless codec (blosc-lz by default),
+//   (iii) emitting a single self-describing bitstream for the server, which
+//         decompresses and reshapes entries back into a StateDict.
+#pragma once
+
+#include "compress/lossless/lossless.hpp"
+#include "compress/lossy/lossy.hpp"
+#include "tensor/state_dict.hpp"
+#include "util/common.hpp"
+
+namespace fedsz::core {
+
+struct FedSzConfig {
+  lossy::LossyId lossy_id = lossy::LossyId::kSz2;
+  lossless::LosslessId lossless_id = lossless::LosslessId::kBloscLz;
+  lossy::ErrorBound bound = lossy::ErrorBound::relative(1e-2);
+  /// Algorithm 1's `threshold`: minimum flattened element count for the
+  /// lossy path.
+  std::size_t lossy_threshold = 1000;
+};
+
+/// Algorithm 1, line 4: the partition predicate.
+bool is_lossy_entry(const std::string& name, std::size_t numel,
+                    std::size_t threshold);
+
+/// Partition census (drives Table III's "% lossy data" column and the
+/// partition-rule tests).
+struct Partition {
+  std::vector<std::string> lossy_names;
+  std::vector<std::string> lossless_names;
+  std::size_t lossy_bytes = 0;
+  std::size_t lossless_bytes = 0;
+  double lossy_fraction() const {
+    const double total =
+        static_cast<double>(lossy_bytes + lossless_bytes);
+    return total > 0 ? static_cast<double>(lossy_bytes) / total : 0.0;
+  }
+};
+
+Partition partition_state_dict(const StateDict& dict, std::size_t threshold);
+
+/// Byte accounting and timing for one compress/decompress cycle.
+struct CompressionStats {
+  std::size_t original_bytes = 0;
+  std::size_t compressed_bytes = 0;
+  std::size_t lossy_original_bytes = 0;
+  std::size_t lossy_compressed_bytes = 0;
+  std::size_t lossless_original_bytes = 0;
+  std::size_t lossless_compressed_bytes = 0;
+  double compress_seconds = 0.0;
+
+  double ratio() const {
+    return compressed_bytes > 0 ? static_cast<double>(original_bytes) /
+                                      static_cast<double>(compressed_bytes)
+                                : 0.0;
+  }
+};
+
+class FedSz {
+ public:
+  explicit FedSz(FedSzConfig config);
+
+  /// Compress a state dict to the FedSZ bitstream. Optional stats out-param.
+  Bytes compress(const StateDict& dict,
+                 CompressionStats* stats = nullptr) const;
+
+  /// Decompress a FedSZ bitstream. Optional wall-clock out-param. Throws
+  /// CorruptStream on malformed input.
+  StateDict decompress(ByteSpan stream, double* seconds = nullptr) const;
+
+  const FedSzConfig& config() const { return config_; }
+
+ private:
+  FedSzConfig config_;
+};
+
+}  // namespace fedsz::core

@@ -1,0 +1,112 @@
+#include "core/fl/aggregator.hpp"
+
+#include <cmath>
+
+namespace fedsz::core {
+
+StateDict weighted_mean(
+    const StateDict& reference,
+    const std::vector<std::pair<StateDict, std::size_t>>& updates) {
+  if (updates.empty()) throw InvalidArgument("weighted_mean: no updates");
+  std::size_t total = 0;
+  for (const auto& [update, samples] : updates) total += samples;
+  if (total == 0) throw InvalidArgument("weighted_mean: zero total samples");
+  StateDict mean = reference.zeros_like();
+  for (const auto& [update, samples] : updates) {
+    const float weight = static_cast<float>(
+        static_cast<double>(samples) / static_cast<double>(total));
+    for (auto& [name, tensor] : mean.entries_mutable())
+      tensor.add_scaled(update.get(name), weight);
+  }
+  return mean;
+}
+
+namespace {
+
+class FedAvg final : public Aggregator {
+ public:
+  std::string name() const override { return "fedavg"; }
+  void aggregate(StateDict& global,
+                 const std::vector<std::pair<StateDict, std::size_t>>&
+                     updates) override {
+    global = weighted_mean(global, updates);
+  }
+};
+
+class FedAvgM final : public Aggregator {
+ public:
+  explicit FedAvgM(float beta) : beta_(beta) {
+    if (beta < 0.0f || beta >= 1.0f)
+      throw InvalidArgument("FedAvgM: beta must be in [0, 1)");
+  }
+  std::string name() const override { return "fedavgm"; }
+  void aggregate(StateDict& global,
+                 const std::vector<std::pair<StateDict, std::size_t>>&
+                     updates) override {
+    const StateDict mean = weighted_mean(global, updates);
+    if (velocity_.empty()) velocity_ = global.zeros_like();
+    // v <- beta v + (mean - global); global <- global + v
+    for (std::size_t i = 0; i < velocity_.entries().size(); ++i) {
+      Tensor& v = velocity_.entries_mutable()[i].second;
+      const Tensor& m = mean.entries()[i].second;
+      Tensor& g = global.entries_mutable()[i].second;
+      for (std::size_t k = 0; k < v.numel(); ++k) {
+        v[k] = beta_ * v[k] + (m[k] - g[k]);
+        g[k] += v[k];
+      }
+    }
+  }
+
+ private:
+  float beta_;
+  StateDict velocity_;
+};
+
+class FedAdam final : public Aggregator {
+ public:
+  explicit FedAdam(FedAdamConfig config) : config_(config) {
+    if (!(config.learning_rate > 0.0f))
+      throw InvalidArgument("FedAdam: learning rate must be positive");
+  }
+  std::string name() const override { return "fedadam"; }
+  void aggregate(StateDict& global,
+                 const std::vector<std::pair<StateDict, std::size_t>>&
+                     updates) override {
+    const StateDict mean = weighted_mean(global, updates);
+    if (m_.empty()) {
+      m_ = global.zeros_like();
+      v_ = global.zeros_like();
+    }
+    for (std::size_t i = 0; i < m_.entries().size(); ++i) {
+      Tensor& m = m_.entries_mutable()[i].second;
+      Tensor& v = v_.entries_mutable()[i].second;
+      const Tensor& avg = mean.entries()[i].second;
+      Tensor& g = global.entries_mutable()[i].second;
+      for (std::size_t k = 0; k < m.numel(); ++k) {
+        const float delta = avg[k] - g[k];  // round pseudo-gradient
+        m[k] = config_.beta1 * m[k] + (1.0f - config_.beta1) * delta;
+        v[k] = config_.beta2 * v[k] + (1.0f - config_.beta2) * delta * delta;
+        g[k] += config_.learning_rate * m[k] /
+                (std::sqrt(v[k]) + config_.epsilon);
+      }
+    }
+  }
+
+ private:
+  FedAdamConfig config_;
+  StateDict m_, v_;
+};
+
+}  // namespace
+
+AggregatorPtr make_fedavg() { return std::make_shared<FedAvg>(); }
+
+AggregatorPtr make_fedavgm(float beta) {
+  return std::make_shared<FedAvgM>(beta);
+}
+
+AggregatorPtr make_fedadam(FedAdamConfig config) {
+  return std::make_shared<FedAdam>(config);
+}
+
+}  // namespace fedsz::core

@@ -1,0 +1,53 @@
+// Server-side aggregation strategies. The paper evaluates FedAvg (McMahan
+// et al. 2017) through APPFL, whose server supports a family of aggregation
+// rules; this module provides the same pluggability so compression studies
+// can be repeated under momentum/adaptive servers:
+//
+//   FedAvg   weighted mean of client states (the paper's configuration)
+//   FedAvgM  server momentum over the aggregate pseudo-gradient
+//   FedAdam  Adam-style adaptive server step (Reddi et al. 2021)
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "tensor/state_dict.hpp"
+
+namespace fedsz::core {
+
+class Aggregator {
+ public:
+  virtual ~Aggregator() = default;
+  virtual std::string name() const = 0;
+
+  /// Fold one round of client updates (state, sample count) into `global`.
+  virtual void aggregate(
+      StateDict& global,
+      const std::vector<std::pair<StateDict, std::size_t>>& updates) = 0;
+};
+
+using AggregatorPtr = std::shared_ptr<Aggregator>;
+
+/// Sample-count-weighted mean over full client states.
+AggregatorPtr make_fedavg();
+
+/// FedAvg with server momentum: v <- beta v + (avg - global); global += v.
+AggregatorPtr make_fedavgm(float beta = 0.9f);
+
+struct FedAdamConfig {
+  float learning_rate = 0.3f;  // server step size on the pseudo-gradient
+  float beta1 = 0.9f;
+  float beta2 = 0.99f;
+  float epsilon = 1e-3f;       // adaptivity floor (tau in Reddi et al.)
+};
+
+/// Adaptive server optimizer over the round's pseudo-gradient.
+AggregatorPtr make_fedadam(FedAdamConfig config = {});
+
+/// Helper shared by all strategies: the weighted mean of updates, with the
+/// structure of `reference`.
+StateDict weighted_mean(
+    const StateDict& reference,
+    const std::vector<std::pair<StateDict, std::size_t>>& updates);
+
+}  // namespace fedsz::core

@@ -1,0 +1,45 @@
+// FL client: owns a local model replica and a data shard; each round it
+// loads the global state, runs local SGD epochs (FedAvg's client step), and
+// returns its updated state dict — the object FedSZ compresses.
+#pragma once
+
+#include "data/dataloader.hpp"
+#include "nn/loss.hpp"
+#include "nn/models.hpp"
+#include "nn/optimizer.hpp"
+
+namespace fedsz::core {
+
+struct ClientConfig {
+  nn::SgdConfig sgd{0.02f, 0.9f, 0.0f};
+  std::size_t batch_size = 32;
+  int local_epochs = 1;
+  std::uint64_t seed = 1;
+};
+
+struct ClientRoundResult {
+  StateDict update;
+  std::size_t samples = 0;
+  double train_seconds = 0.0;
+  double mean_loss = 0.0;
+};
+
+class FlClient {
+ public:
+  FlClient(int id, const nn::ModelConfig& model_config,
+           data::DatasetPtr shard, ClientConfig config);
+
+  /// One FedAvg round: load global weights, train local epochs, snapshot.
+  ClientRoundResult run_round(const StateDict& global_state);
+
+  int id() const { return id_; }
+  std::size_t dataset_size() const { return shard_->size(); }
+
+ private:
+  int id_;
+  nn::Model model_;
+  data::DatasetPtr shard_;
+  ClientConfig config_;
+};
+
+}  // namespace fedsz::core

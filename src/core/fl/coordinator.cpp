@@ -1,0 +1,105 @@
+#include "core/fl/coordinator.hpp"
+
+#include <mutex>
+
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace fedsz::core {
+
+FlCoordinator::FlCoordinator(const nn::ModelConfig& model_config,
+                             data::DatasetPtr train, data::DatasetPtr test,
+                             FlRunConfig config, UpdateCodecPtr codec)
+    : model_config_(model_config),
+      test_(std::move(test)),
+      config_(std::move(config)),
+      codec_(std::move(codec)),
+      server_(model_config) {
+  if (config_.clients == 0)
+    throw InvalidArgument("FlCoordinator: need at least one client");
+  if (!codec_) throw InvalidArgument("FlCoordinator: null update codec");
+  Rng rng(config_.seed);
+  const auto shards = data::partition_iid(train->size(), config_.clients, rng);
+  for (std::size_t i = 0; i < config_.clients; ++i) {
+    ClientConfig client_config = config_.client;
+    client_config.seed = config_.seed ^ (0xC11E47ull * (i + 1));
+    clients_.push_back(std::make_unique<FlClient>(
+        static_cast<int>(i), model_config_,
+        std::make_shared<data::SubsetDataset>(train, shards[i]),
+        client_config));
+  }
+}
+
+FlRunResult FlCoordinator::run() {
+  Timer wall;
+  FlRunResult result;
+  const net::SimulatedNetwork network(config_.network);
+  ThreadPool pool(std::max<std::size_t>(1, config_.threads));
+
+  for (int round = 0; round < config_.rounds; ++round) {
+    RoundRecord record;
+    record.round = round;
+    const StateDict& global = server_.global_state();
+
+    struct PerClient {
+      Bytes payload;
+      std::size_t samples = 0;
+      double train_seconds = 0.0;
+      double compress_seconds = 0.0;
+      double loss = 0.0;
+      std::size_t raw_bytes = 0;
+    };
+    std::vector<PerClient> outputs(clients_.size());
+
+    // Clients train and encode concurrently (one "process" per client).
+    pool.parallel_for(clients_.size(), [&](std::size_t i) {
+      ClientRoundResult client_result = clients_[i]->run_round(global);
+      UpdateCodec::Encoded encoded = codec_->encode(client_result.update);
+      PerClient& out = outputs[i];
+      out.samples = client_result.samples;
+      out.train_seconds = client_result.train_seconds;
+      out.loss = client_result.mean_loss;
+      out.compress_seconds = encoded.stats.compress_seconds;
+      out.raw_bytes = encoded.stats.original_bytes;
+      out.payload = std::move(encoded.payload);
+    });
+
+    // Server receives (simulated transfer), decodes, aggregates.
+    std::vector<std::pair<StateDict, std::size_t>> updates;
+    updates.reserve(outputs.size());
+    for (PerClient& out : outputs) {
+      record.train_seconds += out.train_seconds;
+      record.compress_seconds += out.compress_seconds;
+      record.mean_loss += out.loss;
+      record.bytes_sent += out.payload.size();
+      record.raw_bytes += out.raw_bytes;
+      record.comm_seconds += network.transfer_seconds(out.payload.size());
+      double decode_seconds = 0.0;
+      StateDict update = codec_->decode(
+          {out.payload.data(), out.payload.size()}, &decode_seconds);
+      record.decompress_seconds += decode_seconds;
+      updates.emplace_back(std::move(update), out.samples);
+    }
+    const double inv_clients = 1.0 / static_cast<double>(clients_.size());
+    record.train_seconds *= inv_clients;
+    record.compress_seconds *= inv_clients;
+    record.decompress_seconds *= inv_clients;
+    record.comm_seconds *= inv_clients;
+    record.mean_loss *= inv_clients;
+
+    server_.aggregate(updates);
+
+    if (config_.evaluate_every_round || round + 1 == config_.rounds) {
+      Timer eval_timer;
+      record.accuracy = server_.evaluate(*test_, config_.eval_limit);
+      record.eval_seconds = eval_timer.seconds();
+    }
+    result.rounds.push_back(record);
+  }
+  result.final_accuracy =
+      result.rounds.empty() ? 0.0 : result.rounds.back().accuracy;
+  result.total_wall_seconds = wall.seconds();
+  return result;
+}
+
+}  // namespace fedsz::core

@@ -1,0 +1,36 @@
+// FL server: holds the global model, performs FedAvg aggregation
+// (sample-count weighted mean over client state dicts, McMahan et al. 2017)
+// and evaluates global accuracy on held-out data.
+#pragma once
+
+#include "core/fl/aggregator.hpp"
+#include "data/dataset.hpp"
+#include "nn/models.hpp"
+
+namespace fedsz::core {
+
+class FlServer {
+ public:
+  explicit FlServer(const nn::ModelConfig& model_config);
+
+  const StateDict& global_state() const { return global_state_; }
+
+  /// Replace the aggregation rule (default: FedAvg, the paper's setting).
+  void set_aggregator(AggregatorPtr aggregator);
+
+  /// Fold a round of updates into the global state via the configured
+  /// aggregation rule. Updates must share the global state's structure.
+  void aggregate(const std::vector<std::pair<StateDict, std::size_t>>& updates);
+
+  /// Top-1 accuracy of the global model on (up to `limit` samples of) a
+  /// dataset; limit 0 = all.
+  double evaluate(const data::Dataset& test_set, std::size_t limit = 0,
+                  std::size_t batch_size = 64);
+
+ private:
+  nn::Model model_;
+  StateDict global_state_;
+  AggregatorPtr aggregator_;
+};
+
+}  // namespace fedsz::core

@@ -1,0 +1,51 @@
+#include "core/update_codec.hpp"
+
+#include "util/timer.hpp"
+
+namespace fedsz::core {
+
+UpdateCodec::Encoded IdentityCodec::encode(const StateDict& dict) const {
+  Timer timer;
+  Encoded encoded;
+  encoded.payload = dict.serialize();
+  // "Original" is what an uncompressed transfer would ship: the serialized
+  // update (tensor payloads plus name/shape headers). Ratio is exactly 1.
+  encoded.stats.original_bytes = encoded.payload.size();
+  encoded.stats.compressed_bytes = encoded.payload.size();
+  encoded.stats.lossless_original_bytes = encoded.stats.original_bytes;
+  encoded.stats.lossless_compressed_bytes = encoded.payload.size();
+  encoded.stats.compress_seconds = timer.seconds();
+  return encoded;
+}
+
+StateDict IdentityCodec::decode(ByteSpan payload,
+                                double* decode_seconds) const {
+  Timer timer;
+  StateDict dict = StateDict::deserialize(payload);
+  if (decode_seconds) *decode_seconds = timer.seconds();
+  return dict;
+}
+
+std::string FedSzCodec::name() const {
+  return "fedsz-" + lossy::lossy_codec(fedsz_.config().lossy_id).name();
+}
+
+UpdateCodec::Encoded FedSzCodec::encode(const StateDict& dict) const {
+  Encoded encoded;
+  encoded.payload = fedsz_.compress(dict, &encoded.stats);
+  return encoded;
+}
+
+StateDict FedSzCodec::decode(ByteSpan payload, double* decode_seconds) const {
+  return fedsz_.decompress(payload, decode_seconds);
+}
+
+UpdateCodecPtr make_identity_codec() {
+  return std::make_shared<IdentityCodec>();
+}
+
+UpdateCodecPtr make_fedsz_codec(FedSzConfig config) {
+  return std::make_shared<FedSzCodec>(config);
+}
+
+}  // namespace fedsz::core

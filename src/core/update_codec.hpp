@@ -1,0 +1,55 @@
+// Pluggable update-compression boundary for the FL stack: the coordinator
+// encodes every client->server update through an UpdateCodec, so the same
+// training loop runs uncompressed (IdentityCodec, the paper's baseline) or
+// with FedSZ under any lossy codec / error bound (FedSzCodec).
+#pragma once
+
+#include <memory>
+
+#include "core/fedsz.hpp"
+
+namespace fedsz::core {
+
+class UpdateCodec {
+ public:
+  virtual ~UpdateCodec() = default;
+  virtual std::string name() const = 0;
+
+  struct Encoded {
+    Bytes payload;
+    CompressionStats stats;
+  };
+  virtual Encoded encode(const StateDict& dict) const = 0;
+  /// `decode_seconds` (optional) receives the decompression wall time.
+  virtual StateDict decode(ByteSpan payload,
+                           double* decode_seconds = nullptr) const = 0;
+};
+
+using UpdateCodecPtr = std::shared_ptr<const UpdateCodec>;
+
+/// Baseline: plain serialization, no compression.
+class IdentityCodec final : public UpdateCodec {
+ public:
+  std::string name() const override { return "uncompressed"; }
+  Encoded encode(const StateDict& dict) const override;
+  StateDict decode(ByteSpan payload, double* decode_seconds) const override;
+};
+
+/// FedSZ compression with a given configuration.
+class FedSzCodec final : public UpdateCodec {
+ public:
+  explicit FedSzCodec(FedSzConfig config) : fedsz_(config) {}
+
+  std::string name() const override;
+  Encoded encode(const StateDict& dict) const override;
+  StateDict decode(ByteSpan payload, double* decode_seconds) const override;
+  const FedSz& fedsz() const { return fedsz_; }
+
+ private:
+  FedSz fedsz_;
+};
+
+UpdateCodecPtr make_identity_codec();
+UpdateCodecPtr make_fedsz_codec(FedSzConfig config = {});
+
+}  // namespace fedsz::core

@@ -1,0 +1,73 @@
+#include "data/dataloader.hpp"
+
+#include <cstring>
+#include <numeric>
+
+namespace fedsz::data {
+
+DataLoader::DataLoader(DatasetPtr dataset, std::size_t batch_size,
+                       bool shuffle, std::uint64_t seed)
+    : dataset_(std::move(dataset)),
+      batch_size_(batch_size),
+      shuffle_(shuffle),
+      rng_(seed),
+      order_(dataset_->size()) {
+  if (batch_size_ == 0)
+    throw InvalidArgument("DataLoader: batch_size must be > 0");
+  std::iota(order_.begin(), order_.end(), 0);
+  reset();
+}
+
+void DataLoader::reset() {
+  cursor_ = 0;
+  if (shuffle_) {
+    for (std::size_t i = order_.size(); i > 1; --i)
+      std::swap(order_[i - 1], order_[rng_.uniform_index(i)]);
+  }
+}
+
+std::size_t DataLoader::batches_per_epoch() const {
+  return (order_.size() + batch_size_ - 1) / batch_size_;
+}
+
+bool DataLoader::next(Batch& batch) {
+  if (cursor_ >= order_.size()) return false;
+  const std::size_t count =
+      std::min(batch_size_, order_.size() - cursor_);
+  const Shape img = dataset_->image_shape();
+  batch.images = Tensor({static_cast<std::int64_t>(count), img[0], img[1],
+                         img[2]});
+  batch.labels.resize(count);
+  const std::size_t sample_numel = shape_numel(img);
+  for (std::size_t b = 0; b < count; ++b) {
+    const Sample sample = dataset_->get(order_[cursor_ + b]);
+    if (sample.image.numel() != sample_numel)
+      throw InvalidArgument("DataLoader: inconsistent image shape");
+    std::memcpy(batch.images.data() + b * sample_numel, sample.image.data(),
+                sample_numel * sizeof(float));
+    batch.labels[b] = sample.label;
+  }
+  cursor_ += count;
+  return true;
+}
+
+Batch full_batch(const Dataset& dataset, std::size_t limit) {
+  const std::size_t count =
+      limit == 0 ? dataset.size() : std::min(limit, dataset.size());
+  if (count == 0) throw InvalidArgument("full_batch: empty dataset");
+  const Shape img = dataset.image_shape();
+  Batch batch;
+  batch.images = Tensor({static_cast<std::int64_t>(count), img[0], img[1],
+                         img[2]});
+  batch.labels.resize(count);
+  const std::size_t sample_numel = shape_numel(img);
+  for (std::size_t i = 0; i < count; ++i) {
+    const Sample sample = dataset.get(i);
+    std::memcpy(batch.images.data() + i * sample_numel, sample.image.data(),
+                sample_numel * sizeof(float));
+    batch.labels[i] = sample.label;
+  }
+  return batch;
+}
+
+}  // namespace fedsz::data

@@ -1,0 +1,42 @@
+// Mini-batch iteration over a Dataset with optional shuffling: assembles
+// NCHW image batches and label vectors for the training loop.
+#pragma once
+
+#include "data/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace fedsz::data {
+
+struct Batch {
+  Tensor images;            // {B, C, H, W}
+  std::vector<int> labels;  // B entries
+  std::size_t size() const { return labels.size(); }
+};
+
+class DataLoader {
+ public:
+  DataLoader(DatasetPtr dataset, std::size_t batch_size, bool shuffle,
+             std::uint64_t seed = 1);
+
+  /// Restart iteration (reshuffles when enabled).
+  void reset();
+
+  /// Fill the next batch; returns false when the epoch is exhausted.
+  /// The final batch of an epoch may be smaller than batch_size.
+  bool next(Batch& batch);
+
+  std::size_t batches_per_epoch() const;
+
+ private:
+  DatasetPtr dataset_;
+  std::size_t batch_size_;
+  bool shuffle_;
+  Rng rng_;
+  std::vector<std::size_t> order_;
+  std::size_t cursor_ = 0;
+};
+
+/// Materialize an entire dataset as one batch (used for evaluation).
+Batch full_batch(const Dataset& dataset, std::size_t limit = 0);
+
+}  // namespace fedsz::data

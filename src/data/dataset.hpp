@@ -1,0 +1,54 @@
+// Dataset abstraction. Samples are generated procedurally and
+// deterministically from (dataset seed, index), so datasets of any nominal
+// size cost no storage and experiments are exactly reproducible.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace fedsz::data {
+
+struct Sample {
+  Tensor image;  // CHW float32, values roughly in [-1, 1]
+  int label = 0;
+};
+
+class Dataset {
+ public:
+  virtual ~Dataset() = default;
+  virtual std::size_t size() const = 0;
+  virtual Sample get(std::size_t index) const = 0;
+  virtual int num_classes() const = 0;
+  virtual Shape image_shape() const = 0;  // {C, H, W}
+};
+
+using DatasetPtr = std::shared_ptr<const Dataset>;
+
+/// View of a dataset through an index list (client shards, train subsets).
+class SubsetDataset final : public Dataset {
+ public:
+  SubsetDataset(DatasetPtr base, std::vector<std::size_t> indices)
+      : base_(std::move(base)), indices_(std::move(indices)) {}
+
+  std::size_t size() const override { return indices_.size(); }
+  Sample get(std::size_t index) const override {
+    if (index >= indices_.size())
+      throw InvalidArgument("SubsetDataset: index out of range");
+    return base_->get(indices_[index]);
+  }
+  int num_classes() const override { return base_->num_classes(); }
+  Shape image_shape() const override { return base_->image_shape(); }
+
+ private:
+  DatasetPtr base_;
+  std::vector<std::size_t> indices_;
+};
+
+/// First `count` samples of `base` (clamped to its size).
+DatasetPtr take(DatasetPtr base, std::size_t count);
+
+}  // namespace fedsz::data

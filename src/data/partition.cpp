@@ -1,0 +1,72 @@
+#include "data/partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace fedsz::data {
+
+std::vector<std::vector<std::size_t>> partition_iid(std::size_t n,
+                                                    std::size_t clients,
+                                                    Rng& rng) {
+  if (clients == 0) throw InvalidArgument("partition_iid: clients must be > 0");
+  std::vector<std::size_t> indices(n);
+  std::iota(indices.begin(), indices.end(), 0);
+  for (std::size_t i = n; i > 1; --i)
+    std::swap(indices[i - 1], indices[rng.uniform_index(i)]);
+  std::vector<std::vector<std::size_t>> shards(clients);
+  for (std::size_t i = 0; i < n; ++i)
+    shards[i % clients].push_back(indices[i]);
+  return shards;
+}
+
+std::vector<std::vector<std::size_t>> partition_dirichlet(
+    const std::vector<int>& labels, std::size_t clients, double alpha,
+    Rng& rng) {
+  if (clients == 0)
+    throw InvalidArgument("partition_dirichlet: clients must be > 0");
+  if (!(alpha > 0.0))
+    throw InvalidArgument("partition_dirichlet: alpha must be > 0");
+  int num_classes = 0;
+  for (const int label : labels) num_classes = std::max(num_classes, label + 1);
+
+  std::vector<std::vector<std::size_t>> shards(clients);
+  for (int c = 0; c < num_classes; ++c) {
+    std::vector<std::size_t> class_indices;
+    for (std::size_t i = 0; i < labels.size(); ++i)
+      if (labels[i] == c) class_indices.push_back(i);
+    if (class_indices.empty()) continue;
+    // Dirichlet proportions via normalized Gamma draws.
+    std::vector<double> weights(clients);
+    double total = 0.0;
+    for (double& w : weights) {
+      w = rng.gamma(alpha);
+      total += w;
+    }
+    if (total <= 0.0) total = 1.0;
+    // Deal the class's samples by cumulative proportion.
+    std::size_t assigned = 0;
+    for (std::size_t k = 0; k < clients; ++k) {
+      const std::size_t quota =
+          (k + 1 == clients)
+              ? class_indices.size() - assigned
+              : static_cast<std::size_t>(weights[k] / total *
+                                         static_cast<double>(
+                                             class_indices.size()));
+      for (std::size_t j = 0; j < quota && assigned < class_indices.size();
+           ++j)
+        shards[k].push_back(class_indices[assigned++]);
+    }
+  }
+  return shards;
+}
+
+std::vector<DatasetPtr> shard_dataset(
+    DatasetPtr base, const std::vector<std::vector<std::size_t>>& shards) {
+  std::vector<DatasetPtr> out;
+  out.reserve(shards.size());
+  for (const auto& shard : shards)
+    out.push_back(std::make_shared<SubsetDataset>(base, shard));
+  return out;
+}
+
+}  // namespace fedsz::data

@@ -1,0 +1,29 @@
+// Client data partitioning for federated simulation: IID round-robin-random
+// shards and the standard Dirichlet(alpha) label-skew partitioner used in FL
+// literature for non-IID experiments.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace fedsz::data {
+
+/// Shuffle [0, n) and deal out `clients` near-equal shards.
+std::vector<std::vector<std::size_t>> partition_iid(std::size_t n,
+                                                    std::size_t clients,
+                                                    Rng& rng);
+
+/// Label-skewed partition: for each class, split its samples by proportions
+/// drawn from Dirichlet(alpha) over clients. Lower alpha = more skew.
+std::vector<std::vector<std::size_t>> partition_dirichlet(
+    const std::vector<int>& labels, std::size_t clients, double alpha,
+    Rng& rng);
+
+/// Materialize shards as SubsetDataset views.
+std::vector<DatasetPtr> shard_dataset(
+    DatasetPtr base, const std::vector<std::vector<std::size_t>>& shards);
+
+}  // namespace fedsz::data

@@ -1,0 +1,31 @@
+#include "data/scientific.hpp"
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace fedsz::data {
+
+std::vector<float> smooth_field(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  constexpr int kModes = 6;
+  double freq[kModes], phase[kModes], amp[kModes];
+  for (int m = 0; m < kModes; ++m) {
+    freq[m] = (m + 1) * rng.uniform(0.5, 1.5);
+    phase[m] = rng.uniform(0.0, 6.28318530717958647692);
+    amp[m] = 1.0 / (m + 1);
+  }
+  std::vector<float> field(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(n);
+    double v = 1.5;  // baseline offset (density-like, positive)
+    for (int m = 0; m < kModes; ++m)
+      v += amp[m] * std::sin(6.28318530717958647692 * freq[m] * t + phase[m]);
+    // Slow envelope adds large-scale structure.
+    v *= 1.0 + 0.5 * std::sin(6.28318530717958647692 * 0.3 * t);
+    field[i] = static_cast<float>(v);
+  }
+  return field;
+}
+
+}  // namespace fedsz::data

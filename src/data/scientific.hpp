@@ -1,0 +1,17 @@
+// Smooth "scientific simulation" field generator — the stand-in for the
+// MIRANDA turbulence snapshots of Figure 2. The figure's point is purely the
+// contrast between smooth, band-limited physical fields and spiky FL model
+// parameters; any low-frequency field exhibits it (quantified here with
+// stats::roughness and per-codec compression ratios).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fedsz::data {
+
+/// 1-D smooth field: a sum of low-frequency sinusoids with a slowly varying
+/// envelope, values roughly in [-3, 6] like the paper's density slices.
+std::vector<float> smooth_field(std::size_t n, std::uint64_t seed = 17);
+
+}  // namespace fedsz::data

@@ -1,0 +1,52 @@
+// Class-conditional procedural image datasets — the stand-ins for CIFAR-10,
+// Fashion-MNIST and Caltech101 (Table IV). Each class owns a deterministic
+// signature (grating orientation/frequency plus a Gaussian blob layout);
+// samples add per-index jitter and pixel noise. The tasks are genuinely
+// learnable by the model zoo, which is what the accuracy-vs-error-bound
+// experiments (Figures 4/5) require; absolute accuracies are not expected to
+// match the paper's real-image numbers (see DESIGN.md substitution table).
+#pragma once
+
+#include "data/dataset.hpp"
+
+namespace fedsz::data {
+
+struct SyntheticSpec {
+  std::string name = "cifar10";
+  int channels = 3;
+  int image_size = 32;
+  int classes = 10;
+  std::size_t train_size = 50000;
+  std::size_t test_size = 10000;
+  float noise = 0.25f;
+  std::uint64_t seed = 7;
+};
+
+/// Table IV presets.
+SyntheticSpec cifar10_spec();        // 32x32x3, 10 classes, 60k samples
+SyntheticSpec fashion_mnist_spec();  // 28x28x1, 10 classes, 70k samples
+SyntheticSpec caltech101_spec();     // 64x64x3 (paper: 224), 101 classes, 9k
+SyntheticSpec dataset_spec(const std::string& name);
+std::vector<std::string> dataset_names();
+
+class SyntheticImageDataset final : public Dataset {
+ public:
+  /// `split` 0 = train, 1 = test (affects size and the sample seed stream).
+  SyntheticImageDataset(SyntheticSpec spec, int split);
+
+  std::size_t size() const override;
+  Sample get(std::size_t index) const override;
+  int num_classes() const override { return spec_.classes; }
+  Shape image_shape() const override;
+  const SyntheticSpec& spec() const { return spec_; }
+
+ private:
+  SyntheticSpec spec_;
+  int split_;
+};
+
+/// Convenience: (train, test) pair for a named dataset.
+std::pair<DatasetPtr, DatasetPtr> make_dataset(const std::string& name,
+                                               std::uint64_t seed = 7);
+
+}  // namespace fedsz::data

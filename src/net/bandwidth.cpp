@@ -1,0 +1,34 @@
+#include "net/bandwidth.hpp"
+
+#include "util/common.hpp"
+
+namespace fedsz::net {
+
+SimulatedNetwork::SimulatedNetwork(NetworkProfile profile)
+    : profile_(profile) {
+  if (!(profile_.bandwidth_mbps > 0.0))
+    throw InvalidArgument("SimulatedNetwork: bandwidth must be positive");
+  if (profile_.latency_s < 0.0)
+    throw InvalidArgument("SimulatedNetwork: latency must be non-negative");
+}
+
+double SimulatedNetwork::transfer_seconds(std::size_t bytes) const {
+  const double bits = static_cast<double>(bytes) * 8.0;
+  return profile_.latency_s + bits / (profile_.bandwidth_mbps * 1e6);
+}
+
+CompressionDecision evaluate_compression(std::size_t raw_bytes,
+                                         std::size_t compressed_bytes,
+                                         double compress_seconds,
+                                         double decompress_seconds,
+                                         const SimulatedNetwork& network) {
+  CompressionDecision decision;
+  decision.uncompressed_seconds = network.transfer_seconds(raw_bytes);
+  decision.compressed_seconds = compress_seconds + decompress_seconds +
+                                network.transfer_seconds(compressed_bytes);
+  decision.worthwhile =
+      decision.compressed_seconds < decision.uncompressed_seconds;
+  return decision;
+}
+
+}  // namespace fedsz::net

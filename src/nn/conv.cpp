@@ -1,0 +1,147 @@
+#include "nn/conv.hpp"
+
+#include "nn/layers.hpp"
+
+namespace fedsz::nn {
+
+Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels, int kernel,
+               int stride, int padding, std::int64_t groups, bool bias,
+               Rng& rng)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      groups_(groups),
+      kernel_(kernel),
+      stride_(stride),
+      padding_(padding),
+      has_bias_(bias),
+      weight_({out_channels, in_channels / groups, kernel, kernel}),
+      bias_({out_channels}),
+      weight_grad_({out_channels, in_channels / groups, kernel, kernel}),
+      bias_grad_({out_channels}) {
+  if (in_channels % groups != 0 || out_channels % groups != 0)
+    throw InvalidArgument("Conv2d: channels must divide groups");
+  if (kernel <= 0 || stride <= 0 || padding < 0)
+    throw InvalidArgument("Conv2d: bad kernel/stride/padding");
+  const std::int64_t fan_in = (in_channels / groups) * kernel * kernel;
+  kaiming_uniform(weight_, fan_in, rng);
+  if (has_bias_) kaiming_uniform(bias_, fan_in, rng);
+}
+
+Tensor Conv2d::forward(const Tensor& input, bool /*training*/) {
+  if (input.rank() != 4 || input.dim(1) != in_channels_)
+    throw InvalidArgument("Conv2d: expected NCHW with C=" +
+                          std::to_string(in_channels_) + ", got " +
+                          input.shape_string());
+  cached_input_ = input;
+  const std::int64_t N = input.dim(0), H = input.dim(2), W = input.dim(3);
+  const std::int64_t Ho = (H + 2 * padding_ - kernel_) / stride_ + 1;
+  const std::int64_t Wo = (W + 2 * padding_ - kernel_) / stride_ + 1;
+  if (Ho <= 0 || Wo <= 0) throw InvalidArgument("Conv2d: input too small");
+  Tensor out({N, out_channels_, Ho, Wo});
+
+  const std::int64_t cin_per_group = in_channels_ / groups_;
+  const std::int64_t cout_per_group = out_channels_ / groups_;
+  const float* x = input.data();
+  const float* w = weight_.data();
+  float* y = out.data();
+
+  for (std::int64_t n = 0; n < N; ++n) {
+    for (std::int64_t oc = 0; oc < out_channels_; ++oc) {
+      const std::int64_t g = oc / cout_per_group;
+      float* yp = y + (n * out_channels_ + oc) * Ho * Wo;
+      const float b = has_bias_ ? bias_[static_cast<std::size_t>(oc)] : 0.0f;
+      for (std::int64_t i = 0; i < Ho * Wo; ++i) yp[i] = b;
+      for (std::int64_t ic = 0; ic < cin_per_group; ++ic) {
+        const float* xp =
+            x + (n * in_channels_ + g * cin_per_group + ic) * H * W;
+        const float* wp =
+            w + ((oc * cin_per_group) + ic) * kernel_ * kernel_;
+        for (std::int64_t ho = 0; ho < Ho; ++ho) {
+          const std::int64_t h0 = ho * stride_ - padding_;
+          for (std::int64_t wo = 0; wo < Wo; ++wo) {
+            const std::int64_t w0 = wo * stride_ - padding_;
+            float acc = 0.0f;
+            for (int kh = 0; kh < kernel_; ++kh) {
+              const std::int64_t h = h0 + kh;
+              if (h < 0 || h >= H) continue;
+              const float* xrow = xp + h * W;
+              const float* wrow = wp + kh * kernel_;
+              for (int kw = 0; kw < kernel_; ++kw) {
+                const std::int64_t ww = w0 + kw;
+                if (ww < 0 || ww >= W) continue;
+                acc += xrow[ww] * wrow[kw];
+              }
+            }
+            yp[ho * Wo + wo] += acc;
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_output) {
+  const Tensor& input = cached_input_;
+  const std::int64_t N = input.dim(0), H = input.dim(2), W = input.dim(3);
+  const std::int64_t Ho = grad_output.dim(2), Wo = grad_output.dim(3);
+  if (grad_output.rank() != 4 || grad_output.dim(0) != N ||
+      grad_output.dim(1) != out_channels_)
+    throw InvalidArgument("Conv2d::backward: bad grad shape");
+  Tensor grad_input(input.shape());
+
+  const std::int64_t cin_per_group = in_channels_ / groups_;
+  const std::int64_t cout_per_group = out_channels_ / groups_;
+  const float* x = input.data();
+  const float* w = weight_.data();
+  const float* g = grad_output.data();
+  float* gx = grad_input.data();
+  float* gw = weight_grad_.data();
+  float* gb = bias_grad_.data();
+
+  for (std::int64_t n = 0; n < N; ++n) {
+    for (std::int64_t oc = 0; oc < out_channels_; ++oc) {
+      const std::int64_t grp = oc / cout_per_group;
+      const float* gp = g + (n * out_channels_ + oc) * Ho * Wo;
+      if (has_bias_) {
+        float acc = 0.0f;
+        for (std::int64_t i = 0; i < Ho * Wo; ++i) acc += gp[i];
+        gb[oc] += acc;
+      }
+      for (std::int64_t ic = 0; ic < cin_per_group; ++ic) {
+        const std::int64_t in_c = grp * cin_per_group + ic;
+        const float* xp = x + (n * in_channels_ + in_c) * H * W;
+        float* gxp = gx + (n * in_channels_ + in_c) * H * W;
+        const float* wp = w + ((oc * cin_per_group) + ic) * kernel_ * kernel_;
+        float* gwp = gw + ((oc * cin_per_group) + ic) * kernel_ * kernel_;
+        for (std::int64_t ho = 0; ho < Ho; ++ho) {
+          const std::int64_t h0 = ho * stride_ - padding_;
+          for (std::int64_t wo = 0; wo < Wo; ++wo) {
+            const std::int64_t w0 = wo * stride_ - padding_;
+            const float go = gp[ho * Wo + wo];
+            if (go == 0.0f) continue;
+            for (int kh = 0; kh < kernel_; ++kh) {
+              const std::int64_t h = h0 + kh;
+              if (h < 0 || h >= H) continue;
+              for (int kw = 0; kw < kernel_; ++kw) {
+                const std::int64_t ww = w0 + kw;
+                if (ww < 0 || ww >= W) continue;
+                gwp[kh * kernel_ + kw] += go * xp[h * W + ww];
+                gxp[h * W + ww] += go * wp[kh * kernel_ + kw];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+void Conv2d::collect(const std::string& prefix, std::vector<ParamRef>& params,
+                     std::vector<BufferRef>& /*buffers*/) {
+  params.push_back({prefix + "weight", &weight_, &weight_grad_});
+  if (has_bias_) params.push_back({prefix + "bias", &bias_, &bias_grad_});
+}
+
+}  // namespace fedsz::nn

@@ -1,0 +1,53 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+
+#include "util/common.hpp"
+
+namespace fedsz::nn {
+
+Tensor softmax(const Tensor& logits) {
+  if (logits.rank() != 2) throw InvalidArgument("softmax: expected {N, C}");
+  const std::int64_t N = logits.dim(0), C = logits.dim(1);
+  Tensor probs(logits.shape());
+  for (std::int64_t n = 0; n < N; ++n) {
+    const float* row = logits.data() + n * C;
+    float* out = probs.data() + n * C;
+    float max_logit = row[0];
+    for (std::int64_t c = 1; c < C; ++c) max_logit = std::max(max_logit, row[c]);
+    double denom = 0.0;
+    for (std::int64_t c = 0; c < C; ++c) {
+      out[c] = std::exp(row[c] - max_logit);
+      denom += out[c];
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (std::int64_t c = 0; c < C; ++c) out[c] *= inv;
+  }
+  return probs;
+}
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 std::span<const int> labels) {
+  if (logits.rank() != 2)
+    throw InvalidArgument("softmax_cross_entropy: expected {N, C}");
+  const std::int64_t N = logits.dim(0), C = logits.dim(1);
+  if (labels.size() != static_cast<std::size_t>(N))
+    throw InvalidArgument("softmax_cross_entropy: label count mismatch");
+  LossResult result;
+  result.grad_logits = softmax(logits);
+  double loss = 0.0;
+  const float inv_n = 1.0f / static_cast<float>(N);
+  for (std::int64_t n = 0; n < N; ++n) {
+    const int label = labels[static_cast<std::size_t>(n)];
+    if (label < 0 || label >= C)
+      throw InvalidArgument("softmax_cross_entropy: label out of range");
+    float* row = result.grad_logits.data() + n * C;
+    loss -= std::log(std::max(row[label], 1e-12f));
+    row[label] -= 1.0f;
+    for (std::int64_t c = 0; c < C; ++c) row[c] *= inv_n;
+  }
+  result.loss = loss / static_cast<double>(N);
+  return result;
+}
+
+}  // namespace fedsz::nn

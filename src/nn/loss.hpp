@@ -1,0 +1,24 @@
+// Softmax cross-entropy, the loss used by every experiment in the paper's
+// evaluation (image classification with FedAvg local SGD).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace fedsz::nn {
+
+struct LossResult {
+  double loss = 0.0;      // mean cross-entropy over the batch
+  Tensor grad_logits;     // d loss / d logits (already divided by batch)
+};
+
+/// logits: {N, num_classes}; labels: N class indices.
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 std::span<const int> labels);
+
+/// Row-wise softmax probabilities (numerically stabilized).
+Tensor softmax(const Tensor& logits);
+
+}  // namespace fedsz::nn

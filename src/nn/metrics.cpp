@@ -1,0 +1,25 @@
+#include "nn/metrics.hpp"
+
+#include "util/common.hpp"
+
+namespace fedsz::nn {
+
+double top1_accuracy(const Tensor& logits, std::span<const int> labels) {
+  if (logits.rank() != 2)
+    throw InvalidArgument("top1_accuracy: expected {N, C}");
+  const std::int64_t N = logits.dim(0), C = logits.dim(1);
+  if (labels.size() != static_cast<std::size_t>(N))
+    throw InvalidArgument("top1_accuracy: label count mismatch");
+  if (N == 0) return 0.0;
+  std::int64_t correct = 0;
+  for (std::int64_t n = 0; n < N; ++n) {
+    const float* row = logits.data() + n * C;
+    std::int64_t best = 0;
+    for (std::int64_t c = 1; c < C; ++c)
+      if (row[c] > row[best]) best = c;
+    if (best == labels[static_cast<std::size_t>(n)]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(N);
+}
+
+}  // namespace fedsz::nn

@@ -1,0 +1,47 @@
+// Model zoo: structural analogues of the three networks the paper profiles
+// (Table III) — AlexNet (FC-heavy classifier, ~99.98% of bytes in large
+// "weight" tensors), MobileNetV2 (inverted residuals, depthwise convolutions
+// and many BatchNorms, hence the lowest lossy fraction), and a
+// bottleneck-block ResNet. Three width presets:
+//
+//   kTiny   unit-test scale (sub-second training steps)
+//   kBench  benchmark scale (meaningful training on synthetic datasets,
+//           hundreds of thousands to millions of parameters)
+//   kPaper  the published widths (AlexNet-class FC sizes, MobileNetV2's
+//           (t,c,n,s) table, ResNet50's [3,4,6,3] bottlenecks) — buildable
+//           for compression experiments, too slow to train here
+#pragma once
+
+#include <string>
+
+#include "nn/module.hpp"
+
+namespace fedsz::nn {
+
+enum class ModelScale { kTiny, kBench, kPaper };
+
+struct ModelConfig {
+  std::string arch = "alexnet";  // "alexnet" | "mobilenet_v2" | "resnet"
+  int in_channels = 3;
+  int image_size = 32;
+  int num_classes = 10;
+  ModelScale scale = ModelScale::kBench;
+  std::uint64_t seed = 42;
+};
+
+struct BuiltModel {
+  Model model;
+  double flops = 0.0;  // multiply-accumulate * 2, one forward pass, batch 1
+};
+
+/// Build a model by architecture name. Throws InvalidArgument for unknown
+/// arch strings or image sizes too small for the pooling pyramid.
+BuiltModel build_model(const ModelConfig& config);
+
+/// All architecture names accepted by build_model, in Table III order.
+std::vector<std::string> model_architectures();
+
+/// Human-readable display name ("AlexNet", "MobileNet-V2", "ResNet50").
+std::string model_display_name(const std::string& arch);
+
+}  // namespace fedsz::nn

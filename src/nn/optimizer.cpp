@@ -1,0 +1,28 @@
+#include "nn/optimizer.hpp"
+
+namespace fedsz::nn {
+
+Sgd::Sgd(std::vector<ParamRef> params, SgdConfig config)
+    : params_(std::move(params)), config_(config) {
+  velocity_.reserve(params_.size());
+  for (const ParamRef& p : params_)
+    velocity_.push_back(Tensor::zeros(p.value->shape()));
+}
+
+void Sgd::step() {
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    Tensor& w = *params_[k].value;
+    const Tensor& g = *params_[k].grad;
+    Tensor& v = velocity_[k];
+    const float lr = config_.learning_rate;
+    const float mu = config_.momentum;
+    const float wd = config_.weight_decay;
+    for (std::size_t i = 0; i < w.numel(); ++i) {
+      const float grad = g[i] + wd * w[i];
+      v[i] = mu * v[i] + grad;
+      w[i] -= lr * v[i];
+    }
+  }
+}
+
+}  // namespace fedsz::nn

@@ -1,0 +1,33 @@
+// SGD with momentum and weight decay — the local optimizer run by each
+// FedAvg client (McMahan et al. 2017).
+#pragma once
+
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace fedsz::nn {
+
+struct SgdConfig {
+  float learning_rate = 0.01f;
+  float momentum = 0.9f;
+  float weight_decay = 0.0f;
+};
+
+class Sgd {
+ public:
+  Sgd(std::vector<ParamRef> params, SgdConfig config);
+
+  /// Apply one update from the accumulated gradients.
+  void step();
+
+  const SgdConfig& config() const { return config_; }
+  void set_learning_rate(float lr) { config_.learning_rate = lr; }
+
+ private:
+  std::vector<ParamRef> params_;
+  std::vector<Tensor> velocity_;
+  SgdConfig config_;
+};
+
+}  // namespace fedsz::nn

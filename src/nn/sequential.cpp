@@ -1,0 +1,68 @@
+#include "nn/sequential.hpp"
+
+namespace fedsz::nn {
+
+Tensor Sequential::forward(const Tensor& input, bool training) {
+  Tensor x = input;
+  for (const ModulePtr& child : children_) x = child->forward(x, training);
+  return x;
+}
+
+Tensor Sequential::backward(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  for (auto it = children_.rbegin(); it != children_.rend(); ++it)
+    g = (*it)->backward(g);
+  return g;
+}
+
+void Sequential::collect(const std::string& prefix,
+                         std::vector<ParamRef>& params,
+                         std::vector<BufferRef>& buffers) {
+  for (std::size_t i = 0; i < children_.size(); ++i)
+    children_[i]->collect(prefix + std::to_string(i) + ".", params, buffers);
+}
+
+Tensor Residual::forward(const Tensor& input, bool training) {
+  Tensor main_out = main_->forward(input, training);
+  Tensor shortcut_out =
+      shortcut_ ? shortcut_->forward(input, training) : input;
+  if (!main_out.same_shape(shortcut_out))
+    throw InvalidArgument("Residual: branch shape mismatch " +
+                          main_out.shape_string() + " vs " +
+                          shortcut_out.shape_string());
+  main_out += shortcut_out;
+  if (post_relu_) {
+    relu_mask_.assign(main_out.numel(), 0);
+    for (std::size_t i = 0; i < main_out.numel(); ++i) {
+      if (main_out[i] > 0.0f)
+        relu_mask_[i] = 1;
+      else
+        main_out[i] = 0.0f;
+    }
+  }
+  return main_out;
+}
+
+Tensor Residual::backward(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  if (post_relu_) {
+    for (std::size_t i = 0; i < g.numel(); ++i)
+      if (!relu_mask_[i]) g[i] = 0.0f;
+  }
+  Tensor grad_input = main_->backward(g);
+  if (shortcut_) {
+    grad_input += shortcut_->backward(g);
+  } else {
+    grad_input += g;
+  }
+  return grad_input;
+}
+
+void Residual::collect(const std::string& prefix,
+                       std::vector<ParamRef>& params,
+                       std::vector<BufferRef>& buffers) {
+  main_->collect(prefix + "main.", params, buffers);
+  if (shortcut_) shortcut_->collect(prefix + "shortcut.", params, buffers);
+}
+
+}  // namespace fedsz::nn

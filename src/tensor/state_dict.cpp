@@ -1,0 +1,114 @@
+#include "tensor/state_dict.hpp"
+
+#include <limits>
+
+#include "util/bytebuffer.hpp"
+
+namespace fedsz {
+
+namespace {
+constexpr std::size_t kNpos = std::numeric_limits<std::size_t>::max();
+}
+
+std::size_t StateDict::index_of(const std::string& name) const {
+  for (std::size_t i = 0; i < entries_.size(); ++i)
+    if (entries_[i].first == name) return i;
+  return kNpos;
+}
+
+void StateDict::set(const std::string& name, Tensor tensor) {
+  const std::size_t idx = index_of(name);
+  if (idx == kNpos)
+    entries_.emplace_back(name, std::move(tensor));
+  else
+    entries_[idx].second = std::move(tensor);
+}
+
+bool StateDict::contains(const std::string& name) const {
+  return index_of(name) != kNpos;
+}
+
+const Tensor& StateDict::get(const std::string& name) const {
+  const std::size_t idx = index_of(name);
+  if (idx == kNpos) throw InvalidArgument("StateDict: no entry '" + name + "'");
+  return entries_[idx].second;
+}
+
+Tensor& StateDict::get_mutable(const std::string& name) {
+  const std::size_t idx = index_of(name);
+  if (idx == kNpos) throw InvalidArgument("StateDict: no entry '" + name + "'");
+  return entries_[idx].second;
+}
+
+std::size_t StateDict::total_parameters() const {
+  std::size_t n = 0;
+  for (const auto& [name, tensor] : entries_) n += tensor.numel();
+  return n;
+}
+
+bool StateDict::equals(const StateDict& other) const {
+  if (entries_.size() != other.entries_.size()) return false;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].first != other.entries_[i].first) return false;
+    if (!entries_[i].second.equals(other.entries_[i].second)) return false;
+  }
+  return true;
+}
+
+void StateDict::add_scaled(const StateDict& other, float scale) {
+  if (entries_.size() != other.entries_.size())
+    throw InvalidArgument("StateDict::add_scaled: entry count mismatch");
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].first != other.entries_[i].first)
+      throw InvalidArgument("StateDict::add_scaled: name mismatch at index " +
+                            std::to_string(i));
+    entries_[i].second.add_scaled(other.entries_[i].second, scale);
+  }
+}
+
+void StateDict::scale(float factor) {
+  for (auto& [name, tensor] : entries_) tensor *= factor;
+}
+
+StateDict StateDict::zeros_like() const {
+  StateDict out;
+  for (const auto& [name, tensor] : entries_)
+    out.set(name, Tensor::zeros(tensor.shape()));
+  return out;
+}
+
+Bytes StateDict::serialize() const {
+  ByteWriter w;
+  w.put_u32(static_cast<std::uint32_t>(entries_.size()));
+  for (const auto& [name, tensor] : entries_) {
+    w.put_string(name);
+    w.put_u8(static_cast<std::uint8_t>(tensor.rank()));
+    for (const std::int64_t d : tensor.shape())
+      w.put_varint(static_cast<std::uint64_t>(d));
+    w.put_bytes(as_bytes(tensor.span()));
+  }
+  return w.finish();
+}
+
+StateDict StateDict::deserialize(ByteSpan bytes) {
+  ByteReader r(bytes);
+  const std::uint32_t count = r.get_u32();
+  StateDict out;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::string name = r.get_string();
+    const std::uint8_t rank = r.get_u8();
+    Shape shape;
+    shape.reserve(rank);
+    for (std::uint8_t d = 0; d < rank; ++d)
+      shape.push_back(static_cast<std::int64_t>(r.get_varint()));
+    const std::size_t numel = shape_numel(shape);
+    ByteSpan raw = r.get_bytes(numel * sizeof(float));
+    std::vector<float> data(numel);
+    std::memcpy(data.data(), raw.data(), raw.size());
+    out.set(name, Tensor::from_data(std::move(shape), std::move(data)));
+  }
+  if (!r.done()) throw CorruptStream("StateDict: trailing bytes");
+  return out;
+}
+
+}  // namespace fedsz

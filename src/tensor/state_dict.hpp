@@ -1,0 +1,66 @@
+// Ordered mapping from parameter name to Tensor — the analogue of a PyTorch
+// model.state_dict(). FedSZ's Algorithm 1 iterates this structure, routing
+// each entry to the lossy or lossless pipeline by name and size.
+//
+// Insertion order is preserved (like Python dicts) so serialization is
+// deterministic and aggregation can zip state dicts positionally.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+#include "util/common.hpp"
+
+namespace fedsz {
+
+class StateDict {
+ public:
+  using Entry = std::pair<std::string, Tensor>;
+
+  StateDict() = default;
+
+  /// Insert or overwrite. New names keep insertion order.
+  void set(const std::string& name, Tensor tensor);
+
+  bool contains(const std::string& name) const;
+  const Tensor& get(const std::string& name) const;
+  Tensor& get_mutable(const std::string& name);
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  std::vector<Entry>& entries_mutable() { return entries_; }
+
+  auto begin() const { return entries_.begin(); }
+  auto end() const { return entries_.end(); }
+
+  /// Total number of float parameters across all tensors.
+  std::size_t total_parameters() const;
+  /// Total storage in bytes (float32).
+  std::size_t total_bytes() const { return total_parameters() * sizeof(float); }
+
+  /// Bit-exact equality of names (in order), shapes and contents.
+  bool equals(const StateDict& other) const;
+
+  /// this += scale * other, elementwise per entry; structures must match.
+  void add_scaled(const StateDict& other, float scale);
+  void scale(float factor);
+
+  /// Deep structural copy with all tensors zero-filled (aggregation buffer).
+  StateDict zeros_like() const;
+
+  // ---- serialization (the "pickle" analogue) ----
+  // Format: u32 count, then per entry: string name, u8 rank, varint dims...,
+  // raw little-endian float32 payload.
+  Bytes serialize() const;
+  static StateDict deserialize(ByteSpan bytes);
+
+ private:
+  std::size_t index_of(const std::string& name) const;  // npos if missing
+  std::vector<Entry> entries_;
+};
+
+}  // namespace fedsz

@@ -1,0 +1,49 @@
+#include "util/bitstream.hpp"
+
+namespace fedsz {
+
+void BitWriter::write(std::uint64_t bits, unsigned count) {
+  if (count > 64) throw InvalidArgument("BitWriter::write: count > 64");
+  if (count < 64) bits &= (std::uint64_t{1} << count) - 1;
+  while (count > 0) {
+    if (used_ == 8) {
+      out_.push_back(0);
+      used_ = 0;
+    }
+    const unsigned space = 8 - used_;
+    const unsigned take = count < space ? count : space;
+    out_.back() |= static_cast<std::uint8_t>((bits & ((1u << take) - 1))
+                                             << used_);
+    bits >>= take;
+    used_ += take;
+    count -= take;
+  }
+}
+
+Bytes BitWriter::finish() {
+  Bytes result = std::move(out_);
+  out_.clear();
+  used_ = 8;
+  return result;
+}
+
+std::uint64_t BitReader::read(unsigned count) {
+  if (count > 64) throw InvalidArgument("BitReader::read: count > 64");
+  if (pos_ + count > data_.size() * 8)
+    throw CorruptStream("BitReader: read past end of stream");
+  std::uint64_t result = 0;
+  unsigned got = 0;
+  while (got < count) {
+    const std::size_t byte = pos_ >> 3;
+    const unsigned offset = static_cast<unsigned>(pos_ & 7);
+    const unsigned avail = 8 - offset;
+    const unsigned take = (count - got) < avail ? (count - got) : avail;
+    const std::uint64_t chunk = (data_[byte] >> offset) & ((1u << take) - 1);
+    result |= chunk << got;
+    got += take;
+    pos_ += take;
+  }
+  return result;
+}
+
+}  // namespace fedsz

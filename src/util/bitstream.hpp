@@ -1,0 +1,47 @@
+// Bit-granular writer/reader used by the entropy coders (Huffman, ZFP
+// bit-plane coding). Bits are packed LSB-first within each byte.
+#pragma once
+
+#include <cstdint>
+
+#include "util/common.hpp"
+
+namespace fedsz {
+
+class BitWriter {
+ public:
+  /// Append the low `count` bits of `bits` (0 <= count <= 64).
+  void write(std::uint64_t bits, unsigned count);
+
+  /// Append a single bit.
+  void write_bit(bool bit) { write(bit ? 1u : 0u, 1); }
+
+  /// Number of bits written so far.
+  std::size_t bit_count() const { return out_.size() * 8 - (8 - used_) % 8; }
+
+  /// Flush any partial byte and return the buffer. The writer is left empty.
+  Bytes finish();
+
+ private:
+  Bytes out_;
+  unsigned used_ = 8;  // bits used in the last byte; 8 == byte is full
+};
+
+class BitReader {
+ public:
+  explicit BitReader(ByteSpan data) : data_(data) {}
+
+  /// Read `count` bits (0 <= count <= 64). Throws CorruptStream past the end.
+  std::uint64_t read(unsigned count);
+
+  bool read_bit() { return read(1) != 0; }
+
+  /// Bits remaining in the underlying buffer.
+  std::size_t bits_left() const { return data_.size() * 8 - pos_; }
+
+ private:
+  ByteSpan data_;
+  std::size_t pos_ = 0;  // absolute bit position
+};
+
+}  // namespace fedsz

@@ -1,0 +1,38 @@
+// Common aliases and error types shared across the FedSZ library.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace fedsz {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteSpan = std::span<const std::uint8_t>;
+using FloatSpan = std::span<const float>;
+
+/// Thrown when a serialized stream fails validation (bad magic, truncated
+/// payload, inconsistent section sizes, unknown codec id, ...).
+class CorruptStream : public std::runtime_error {
+ public:
+  explicit CorruptStream(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown on API misuse detectable at run time (invalid argument combinations
+/// that cannot be enforced by the type system).
+class InvalidArgument : public std::invalid_argument {
+ public:
+  explicit InvalidArgument(const std::string& what)
+      : std::invalid_argument(what) {}
+};
+
+/// Reinterpret a float span as its raw little-endian byte representation.
+inline ByteSpan as_bytes(FloatSpan values) {
+  return {reinterpret_cast<const std::uint8_t*>(values.data()),
+          values.size() * sizeof(float)};
+}
+
+}  // namespace fedsz

@@ -1,0 +1,110 @@
+// Deterministic, seedable pseudo-random generation. All stochastic components
+// of the library (weight init, synthetic data, data shuffling) use this
+// generator so experiments are exactly reproducible from a seed.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace fedsz {
+
+/// xoshiro256** seeded via splitmix64. Small, fast, and reproducible across
+/// platforms (unlike std::mt19937 distributions, whose output is
+/// implementation-defined for e.g. std::normal_distribution).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    std::uint64_t x = seed;
+    for (auto& word : state_) word = splitmix64(x);
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t uniform_index(std::uint64_t n) { return next_u64() % n; }
+
+  /// Standard normal via Box-Muller (one value per call; caches the pair).
+  double normal() {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    double u1 = uniform();
+    while (u1 <= 0.0) u1 = uniform();
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 6.283185307179586476925286766559 * u2;
+    cached_ = r * std::sin(theta);
+    has_cached_ = true;
+    return r * std::cos(theta);
+  }
+
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Laplace(mu, b) via inverse CDF.
+  double laplace(double mu, double b) {
+    const double u = uniform() - 0.5;
+    const double sign = u < 0 ? -1.0 : 1.0;
+    return mu - b * sign * std::log(1.0 - 2.0 * std::fabs(u));
+  }
+
+  /// Gamma(shape, 1) via Marsaglia-Tsang; used by the Dirichlet partitioner.
+  double gamma(double shape) {
+    if (shape < 1.0) {
+      const double u = uniform();
+      return gamma(shape + 1.0) * std::pow(u, 1.0 / shape);
+    }
+    const double d = shape - 1.0 / 3.0;
+    const double c = 1.0 / std::sqrt(9.0 * d);
+    while (true) {
+      double x = normal();
+      double v = 1.0 + c * x;
+      if (v <= 0) continue;
+      v = v * v * v;
+      const double u = uniform();
+      if (u < 1.0 - 0.0331 * x * x * x * x) return d * v;
+      if (std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) return d * v;
+    }
+  }
+
+  /// Fork an independent stream (e.g. one per FL client / dataset sample).
+  Rng fork(std::uint64_t stream_id) {
+    return Rng(next_u64() ^ (0x9E3779B97F4A7C15ull * (stream_id + 1)));
+  }
+
+ private:
+  static std::uint64_t splitmix64(std::uint64_t& x) {
+    x += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+  static std::uint64_t rotl(std::uint64_t v, int k) {
+    return (v << k) | (v >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+  double cached_ = 0.0;
+  bool has_cached_ = false;
+};
+
+}  // namespace fedsz

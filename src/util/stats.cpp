@@ -1,0 +1,176 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fedsz::stats {
+
+namespace {
+
+template <typename T>
+Summary summarize_impl(std::span<const T> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  double sum = 0.0, sum_sq = 0.0;
+  double lo = values[0], hi = values[0];
+  for (const T v : values) {
+    const double d = static_cast<double>(v);
+    sum += d;
+    sum_sq += d * d;
+    lo = std::min(lo, d);
+    hi = std::max(hi, d);
+  }
+  const double n = static_cast<double>(values.size());
+  s.min = lo;
+  s.max = hi;
+  s.mean = sum / n;
+  const double var = std::max(0.0, sum_sq / n - s.mean * s.mean);
+  s.stddev = std::sqrt(var);
+  return s;
+}
+
+}  // namespace
+
+Summary summarize(FloatSpan values) { return summarize_impl(values); }
+Summary summarize(std::span<const double> values) {
+  return summarize_impl(values);
+}
+
+double Histogram::density(std::size_t i) const {
+  if (total == 0 || counts.empty()) return 0.0;
+  const double w = bin_width();
+  if (w <= 0.0) return 0.0;
+  return static_cast<double>(counts[i]) / (static_cast<double>(total) * w);
+}
+
+Histogram histogram(std::span<const double> values, std::size_t bins,
+                    double lo, double hi) {
+  if (bins == 0) throw InvalidArgument("histogram: bins must be > 0");
+  if (!(hi > lo)) throw InvalidArgument("histogram: hi must exceed lo");
+  Histogram h;
+  h.lo = lo;
+  h.hi = hi;
+  h.counts.assign(bins, 0);
+  const double scale = static_cast<double>(bins) / (hi - lo);
+  for (double v : values) {
+    if (v < lo || v > hi) continue;
+    auto idx = static_cast<std::size_t>((v - lo) * scale);
+    if (idx >= bins) idx = bins - 1;  // v == hi lands in the last bin
+    ++h.counts[idx];
+    ++h.total;
+  }
+  return h;
+}
+
+Histogram histogram(std::span<const double> values, std::size_t bins) {
+  const Summary s = summarize(values);
+  double lo = s.min, hi = s.max;
+  if (!(hi > lo)) {  // constant input: widen to a degenerate-safe interval
+    lo -= 0.5;
+    hi += 0.5;
+  }
+  return histogram(values, bins, lo, hi);
+}
+
+double LaplaceFit::cdf(double x) const {
+  const double scale = b > 0 ? b : 1e-300;
+  if (x < mu) return 0.5 * std::exp((x - mu) / scale);
+  return 1.0 - 0.5 * std::exp(-(x - mu) / scale);
+}
+
+LaplaceFit fit_laplace(std::span<const double> values) {
+  LaplaceFit fit;
+  if (values.empty()) return fit;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t n = sorted.size();
+  fit.mu = (n % 2 == 1) ? sorted[n / 2]
+                        : 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+  double abs_dev = 0.0;
+  for (double v : sorted) abs_dev += std::fabs(v - fit.mu);
+  fit.b = abs_dev / static_cast<double>(n);
+  return fit;
+}
+
+double NormalFit::cdf(double x) const {
+  const double s = sigma > 0 ? sigma : 1e-300;
+  return 0.5 * std::erfc(-(x - mu) / (s * std::sqrt(2.0)));
+}
+
+NormalFit fit_normal(std::span<const double> values) {
+  const Summary s = summarize(values);
+  return NormalFit{s.mean, s.stddev};
+}
+
+double roughness(FloatSpan values) {
+  if (values.size() < 2) return 0.0;
+  const Summary s = summarize(values);
+  const double range = s.range();
+  if (range <= 0.0) return 0.0;
+  double tv = 0.0;
+  for (std::size_t i = 1; i < values.size(); ++i)
+    tv += std::fabs(static_cast<double>(values[i]) - values[i - 1]);
+  return tv / (static_cast<double>(values.size() - 1) * range);
+}
+
+double max_abs_error(FloatSpan original, FloatSpan reconstructed) {
+  if (original.size() != reconstructed.size())
+    throw InvalidArgument("max_abs_error: size mismatch");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < original.size(); ++i)
+    worst = std::max(worst, std::fabs(static_cast<double>(original[i]) -
+                                      reconstructed[i]));
+  return worst;
+}
+
+double psnr(FloatSpan original, FloatSpan reconstructed) {
+  if (original.size() != reconstructed.size())
+    throw InvalidArgument("psnr: size mismatch");
+  if (original.empty()) return 0.0;
+  const Summary s = summarize(original);
+  double mse = 0.0;
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const double d = static_cast<double>(original[i]) - reconstructed[i];
+    mse += d * d;
+  }
+  mse /= static_cast<double>(original.size());
+  if (mse <= 0.0) return 999.0;  // bit-exact reconstruction
+  const double peak = s.range() > 0 ? s.range() : 1.0;
+  return 10.0 * std::log10(peak * peak / mse);
+}
+
+double correlation(FloatSpan a, FloatSpan b) {
+  if (a.size() != b.size()) throw InvalidArgument("correlation: size mismatch");
+  if (a.size() < 2) return 0.0;
+  const Summary sa = summarize(a), sb = summarize(b);
+  if (sa.stddev == 0.0 || sb.stddev == 0.0) return 0.0;
+  double cov = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    cov += (a[i] - sa.mean) * (b[i] - sb.mean);
+  cov /= static_cast<double>(a.size());
+  return cov / (sa.stddev * sb.stddev);
+}
+
+namespace detail {
+
+void sort_values(std::vector<double>& values) {
+  std::sort(values.begin(), values.end());
+}
+
+double ks_from_sorted(const std::vector<double>& sorted,
+                      const std::vector<double>& cdf_at_points) {
+  const double n = static_cast<double>(sorted.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const double ecdf_hi = static_cast<double>(i + 1) / n;
+    const double ecdf_lo = static_cast<double>(i) / n;
+    d = std::max(d, std::fabs(ecdf_hi - cdf_at_points[i]));
+    d = std::max(d, std::fabs(cdf_at_points[i] - ecdf_lo));
+  }
+  return d;
+}
+
+}  // namespace detail
+
+}  // namespace fedsz::stats

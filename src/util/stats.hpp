@@ -1,0 +1,98 @@
+// Statistical utilities backing the paper's analyses:
+//  - summary statistics & histograms (Figures 3 and 10),
+//  - Laplace / Gaussian maximum-likelihood fits and Kolmogorov-Smirnov
+//    goodness-of-fit (the Section VII-D differential-privacy observation),
+//  - signal-roughness metrics (the Figure 2 "spiky vs smooth" contrast),
+//  - reconstruction-error metrics for lossy codecs (max error, PSNR).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace fedsz::stats {
+
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  // population standard deviation
+  double range() const { return max - min; }
+};
+
+Summary summarize(FloatSpan values);
+Summary summarize(std::span<const double> values);
+
+struct Histogram {
+  double lo = 0.0;
+  double hi = 0.0;
+  std::vector<std::size_t> counts;
+  std::size_t total = 0;
+
+  double bin_width() const {
+    return counts.empty() ? 0.0 : (hi - lo) / static_cast<double>(counts.size());
+  }
+  /// Probability density of bin `i` (counts normalized by total * width).
+  double density(std::size_t i) const;
+};
+
+Histogram histogram(std::span<const double> values, std::size_t bins,
+                    double lo, double hi);
+Histogram histogram(std::span<const double> values, std::size_t bins);
+
+/// Laplace(mu, b) fitted by maximum likelihood: mu = median, b = mean |x-mu|.
+struct LaplaceFit {
+  double mu = 0.0;
+  double b = 0.0;
+  double cdf(double x) const;
+};
+LaplaceFit fit_laplace(std::span<const double> values);
+
+/// Normal(mu, sigma) fitted by maximum likelihood.
+struct NormalFit {
+  double mu = 0.0;
+  double sigma = 0.0;
+  double cdf(double x) const;
+};
+NormalFit fit_normal(std::span<const double> values);
+
+/// One-sample Kolmogorov-Smirnov statistic of `values` against a CDF.
+/// Smaller is a better fit. `Cdf` is any callable double -> double.
+template <typename Cdf>
+double ks_statistic(std::vector<double> values, Cdf&& cdf);
+
+/// Total variation per element: mean |x[i+1] - x[i]| normalized by the value
+/// range. Spiky FL weights score high; smooth scientific fields score low
+/// (the Figure 2 contrast, as a single number).
+double roughness(FloatSpan values);
+
+/// Largest absolute pointwise difference; the quantity bounded by epsilon.
+double max_abs_error(FloatSpan original, FloatSpan reconstructed);
+
+/// Peak signal-to-noise ratio in dB (peak = value range of `original`).
+double psnr(FloatSpan original, FloatSpan reconstructed);
+
+/// Pearson correlation between two equally-sized sequences.
+double correlation(FloatSpan a, FloatSpan b);
+
+// ---- implementation of the templated KS statistic ----
+
+namespace detail {
+double ks_from_sorted(const std::vector<double>& sorted,
+                      const std::vector<double>& cdf_at_points);
+void sort_values(std::vector<double>& values);
+}  // namespace detail
+
+template <typename Cdf>
+double ks_statistic(std::vector<double> values, Cdf&& cdf) {
+  if (values.empty()) return 0.0;
+  detail::sort_values(values);
+  std::vector<double> cdf_vals;
+  cdf_vals.reserve(values.size());
+  for (double v : values) cdf_vals.push_back(cdf(v));
+  return detail::ks_from_sorted(values, cdf_vals);
+}
+
+}  // namespace fedsz::stats

@@ -1,0 +1,39 @@
+// Wall-clock timing for the runtime/throughput measurements reported by the
+// benchmark harness (Tables I/II, Figures 6-9).
+#pragma once
+
+#include <chrono>
+
+namespace fedsz {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates time across multiple scoped intervals (e.g. total compression
+/// time over a training epoch).
+class StopWatch {
+ public:
+  void start() { timer_.reset(); }
+  void stop() { total_ += timer_.seconds(); }
+  double total_seconds() const { return total_; }
+  void clear() { total_ = 0.0; }
+
+ private:
+  Timer timer_;
+  double total_ = 0.0;
+};
+
+}  // namespace fedsz

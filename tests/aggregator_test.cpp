@@ -1,0 +1,136 @@
+// Tests for the server aggregation strategies (FedAvg / FedAvgM / FedAdam)
+// and the Laplace-mechanism noise codec.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/dp_analysis.hpp"
+#include "core/dp_noise.hpp"
+#include "core/fl/aggregator.hpp"
+
+namespace fedsz::core {
+namespace {
+
+StateDict scalar_dict(float value) {
+  StateDict dict;
+  dict.set("w", Tensor::full({4}, value));
+  return dict;
+}
+
+TEST(WeightedMean, ComputesSampleWeightedAverage) {
+  const StateDict reference = scalar_dict(0.0f);
+  const StateDict mean = weighted_mean(
+      reference, {{scalar_dict(1.0f), 10}, {scalar_dict(4.0f), 30}});
+  EXPECT_FLOAT_EQ(mean.get("w")[0], 0.25f * 1.0f + 0.75f * 4.0f);
+}
+
+TEST(WeightedMean, RejectsDegenerateInputs) {
+  const StateDict reference = scalar_dict(0.0f);
+  EXPECT_THROW(weighted_mean(reference, {}), InvalidArgument);
+  EXPECT_THROW(weighted_mean(reference, {{scalar_dict(1.0f), 0}}),
+               InvalidArgument);
+}
+
+TEST(FedAvgAggregator, MatchesWeightedMean) {
+  auto aggregator = make_fedavg();
+  EXPECT_EQ(aggregator->name(), "fedavg");
+  StateDict global = scalar_dict(0.0f);
+  aggregator->aggregate(global, {{scalar_dict(2.0f), 1},
+                                 {scalar_dict(4.0f), 1}});
+  EXPECT_FLOAT_EQ(global.get("w")[0], 3.0f);
+}
+
+TEST(FedAvgMAggregator, FirstRoundEqualsFedAvg) {
+  auto aggregator = make_fedavgm(0.9f);
+  StateDict global = scalar_dict(0.0f);
+  aggregator->aggregate(global, {{scalar_dict(1.0f), 1}});
+  EXPECT_FLOAT_EQ(global.get("w")[0], 1.0f);  // v = 1-0, g = 0+1
+}
+
+TEST(FedAvgMAggregator, MomentumCarriesAcrossRounds) {
+  auto aggregator = make_fedavgm(0.5f);
+  StateDict global = scalar_dict(0.0f);
+  aggregator->aggregate(global, {{scalar_dict(1.0f), 1}});  // g=1, v=1
+  // Clients report the same state as the server: plain FedAvg would stop,
+  // momentum overshoots.
+  aggregator->aggregate(global, {{scalar_dict(1.0f), 1}});
+  // v = 0.5*1 + (1-1) = 0.5; g = 1.5
+  EXPECT_FLOAT_EQ(global.get("w")[0], 1.5f);
+}
+
+TEST(FedAvgMAggregator, InvalidBetaThrows) {
+  EXPECT_THROW(make_fedavgm(1.0f), InvalidArgument);
+  EXPECT_THROW(make_fedavgm(-0.1f), InvalidArgument);
+}
+
+TEST(FedAdamAggregator, ConvergesTowardUpdates) {
+  // Clients keep reporting 1.0; the adaptive server step overshoots then
+  // settles (Adam's momentum), so assert convergence, not monotonicity.
+  auto aggregator = make_fedadam({0.3f, 0.9f, 0.99f, 1e-3f});
+  EXPECT_EQ(aggregator->name(), "fedadam");
+  StateDict global = scalar_dict(0.0f);
+  double after_first = 0.0;
+  for (int round = 0; round < 60; ++round) {
+    aggregator->aggregate(global, {{scalar_dict(1.0f), 1}});
+    if (round == 0) after_first = global.get("w")[0];
+  }
+  const double final_value = global.get("w")[0];
+  EXPECT_LT(std::fabs(final_value - 1.0), std::fabs(after_first - 1.0));
+  EXPECT_NEAR(final_value, 1.0, 0.3);
+}
+
+TEST(FedAdamAggregator, InvalidLearningRateThrows) {
+  EXPECT_THROW(make_fedadam({0.0f, 0.9f, 0.99f, 1e-3f}), InvalidArgument);
+}
+
+TEST(LaplaceNoise, PerturbsOnlyLossyEligibleTensors) {
+  StateDict dict;
+  dict.set("big.weight", Tensor::full({2048}, 1.0f));
+  dict.get_mutable("big.weight")[0] = -1.0f;  // give the tensor a range
+  dict.set("small.bias", Tensor::full({4}, 0.5f));
+  const auto codec = make_laplace_noise_codec({0.05, 1000, 42});
+  const auto encoded = codec->encode(dict);
+  const StateDict back =
+      codec->decode({encoded.payload.data(), encoded.payload.size()});
+  EXPECT_TRUE(back.get("small.bias").equals(dict.get("small.bias")));
+  EXPECT_FALSE(back.get("big.weight").equals(dict.get("big.weight")));
+}
+
+TEST(LaplaceNoise, ErrorDistributionIsLaplacian) {
+  StateDict dict;
+  Tensor tensor({20000});
+  for (std::size_t i = 0; i < tensor.numel(); ++i)
+    tensor[i] = static_cast<float>(i % 100) / 50.0f - 1.0f;  // range 2
+  dict.set("layer.weight", tensor);
+  const auto codec = make_laplace_noise_codec({0.02, 1000, 7});
+  const auto encoded = codec->encode(dict);
+  const StateDict back =
+      codec->decode({encoded.payload.data(), encoded.payload.size()});
+  const ErrorDistribution dist = analyze_state_dict_errors(dict, back);
+  EXPECT_TRUE(dist.laplace_fits_better());
+  // b = 0.02 * range(2) = 0.04
+  EXPECT_NEAR(dist.laplace.b, 0.04, 0.005);
+}
+
+TEST(LaplaceNoise, ComposesWithFedSz) {
+  StateDict dict;
+  Tensor tensor({4096});
+  for (std::size_t i = 0; i < tensor.numel(); ++i)
+    tensor[i] = static_cast<float>(i) / 4096.0f;
+  dict.set("layer.weight", tensor);
+  const auto codec =
+      make_laplace_noise_codec({0.01, 1000, 3}, make_fedsz_codec());
+  EXPECT_EQ(codec->name(), "laplace+fedsz-sz2");
+  const auto encoded = codec->encode(dict);
+  EXPECT_LT(encoded.payload.size(), dict.total_bytes());
+  const StateDict back =
+      codec->decode({encoded.payload.data(), encoded.payload.size()});
+  EXPECT_TRUE(back.get("layer.weight").same_shape(tensor));
+}
+
+TEST(LaplaceNoise, InvalidScaleThrows) {
+  EXPECT_THROW(make_laplace_noise_codec({0.0, 1000, 1}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace fedsz::core

@@ -1,0 +1,192 @@
+// Tests for the FL-compression baselines (Top-K sparsification, QSGD-style
+// quantization) and the "FedSZ as last step" composition from Section III-C.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/baselines.hpp"
+#include "nn/models.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace fedsz::core {
+namespace {
+
+StateDict model_dict() {
+  nn::ModelConfig cfg;
+  cfg.arch = "alexnet";
+  cfg.scale = nn::ModelScale::kTiny;
+  return nn::build_model(cfg).model.state_dict();
+}
+
+// ---- Top-K ----
+
+TEST(TopK, RoundTripPreservesStructure) {
+  const StateDict dict = model_dict();
+  const auto codec = make_topk_codec({0.1, 1000});
+  const auto encoded = codec->encode(dict);
+  const StateDict back =
+      codec->decode({encoded.payload.data(), encoded.payload.size()});
+  ASSERT_EQ(back.size(), dict.size());
+  for (const auto& [name, tensor] : dict)
+    EXPECT_TRUE(back.get(name).same_shape(tensor)) << name;
+}
+
+TEST(TopK, KeepsLargestMagnitudesZeroesRest) {
+  StateDict dict;
+  std::vector<float> values(2000);
+  for (std::size_t i = 0; i < values.size(); ++i)
+    values[i] = static_cast<float>(i) - 1000.0f;  // |.| largest at both ends
+  dict.set("layer.weight", Tensor::from_data({2000}, values));
+  const auto codec = make_topk_codec({0.01, 1000});  // keep 20 entries
+  const auto encoded = codec->encode(dict);
+  const StateDict back =
+      codec->decode({encoded.payload.data(), encoded.payload.size()});
+  const Tensor& tensor = back.get("layer.weight");
+  std::size_t nonzero = 0;
+  for (std::size_t i = 0; i < tensor.numel(); ++i)
+    if (tensor[i] != 0.0f) {
+      ++nonzero;
+      EXPECT_GE(std::fabs(tensor[i]), 989.0f);  // only extreme entries kept
+      EXPECT_EQ(tensor[i], values[i]);          // kept values exact
+    }
+  EXPECT_EQ(nonzero, 20u);
+}
+
+TEST(TopK, SubThresholdTensorsAreExact) {
+  const StateDict dict = model_dict();
+  const auto codec = make_topk_codec({0.05, 1000});
+  const auto encoded = codec->encode(dict);
+  const StateDict back =
+      codec->decode({encoded.payload.data(), encoded.payload.size()});
+  for (const auto& [name, tensor] : dict)
+    if (!is_lossy_entry(name, tensor.numel(), 1000))
+      EXPECT_TRUE(back.get(name).equals(tensor)) << name;
+}
+
+TEST(TopK, SmallerKeepFractionShrinksPayload) {
+  const StateDict dict = model_dict();
+  const auto big = make_topk_codec({0.5, 1000})->encode(dict);
+  const auto small = make_topk_codec({0.05, 1000})->encode(dict);
+  EXPECT_LT(small.payload.size(), big.payload.size());
+  EXPECT_LT(small.payload.size(), small.stats.original_bytes / 2);
+}
+
+TEST(TopK, InvalidConfigThrows) {
+  EXPECT_THROW(TopKCodec({0.0, 1000}), InvalidArgument);
+  EXPECT_THROW(TopKCodec({1.5, 1000}), InvalidArgument);
+}
+
+TEST(TopK, CorruptPayloadThrows) {
+  const StateDict dict = model_dict();
+  const auto codec = make_topk_codec({0.1, 1000});
+  auto encoded = codec->encode(dict);
+  encoded.payload[0] = 'X';
+  EXPECT_THROW(codec->decode({encoded.payload.data(),
+                              encoded.payload.size()}),
+               CorruptStream);
+}
+
+// ---- QSGD ----
+
+TEST(Qsgd, RoundTripBoundedByStep) {
+  const StateDict dict = model_dict();
+  const QsgdConfig config{256, 1000, 7};
+  const auto codec = make_qsgd_codec(config);
+  const auto encoded = codec->encode(dict);
+  const StateDict back =
+      codec->decode({encoded.payload.data(), encoded.payload.size()});
+  for (const auto& [name, tensor] : dict) {
+    if (!is_lossy_entry(name, tensor.numel(), 1000)) continue;
+    float max_abs = 0.0f;
+    for (std::size_t i = 0; i < tensor.numel(); ++i)
+      max_abs = std::max(max_abs, std::fabs(tensor[i]));
+    const double step = max_abs / 256.0;
+    const double err =
+        stats::max_abs_error(tensor.span(), back.get(name).span());
+    EXPECT_LE(err, step * (1 + 1e-5)) << name;
+  }
+}
+
+TEST(Qsgd, StochasticRoundingIsUnbiasedOnAverage) {
+  StateDict dict;
+  dict.set("w.weight", Tensor::full({4096}, 0.31f));
+  double sum = 0.0;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const auto codec = make_qsgd_codec({16, 1000, seed});
+    const auto encoded = codec->encode(dict);
+    const StateDict back =
+        codec->decode({encoded.payload.data(), encoded.payload.size()});
+    const Tensor& tensor = back.get("w.weight");
+    for (std::size_t i = 0; i < tensor.numel(); ++i) sum += tensor[i];
+  }
+  const double mean = sum / (8.0 * 4096.0);
+  EXPECT_NEAR(mean, 0.31, 0.005);
+}
+
+TEST(Qsgd, FewerLevelsSmallerPayload) {
+  const StateDict dict = model_dict();
+  const auto coarse = make_qsgd_codec({4, 1000, 1})->encode(dict);
+  const auto fine = make_qsgd_codec({4096, 1000, 1})->encode(dict);
+  EXPECT_LT(coarse.payload.size(), fine.payload.size());
+  EXPECT_LT(coarse.payload.size(), coarse.stats.original_bytes / 2);
+}
+
+TEST(Qsgd, InvalidLevelsThrow) {
+  EXPECT_THROW(QsgdCodec({1, 1000, 0}), InvalidArgument);
+  EXPECT_THROW(QsgdCodec({70000, 1000, 0}), InvalidArgument);
+}
+
+TEST(Qsgd, SubThresholdTensorsAreExact) {
+  const StateDict dict = model_dict();
+  const auto codec = make_qsgd_codec({64, 1000, 3});
+  const auto encoded = codec->encode(dict);
+  const StateDict back =
+      codec->decode({encoded.payload.data(), encoded.payload.size()});
+  for (const auto& [name, tensor] : dict)
+    if (!is_lossy_entry(name, tensor.numel(), 1000))
+      EXPECT_TRUE(back.get(name).equals(tensor)) << name;
+}
+
+// ---- composition (the Section III-C "last step" claim) ----
+
+TEST(Composition, TopKThenFedSzShrinksFurther) {
+  const StateDict dict = model_dict();
+  const auto topk = make_topk_codec({0.2, 1000});
+  const auto composed =
+      make_composed_codec(make_topk_codec({0.2, 1000}), make_fedsz_codec());
+  const auto alone = topk->encode(dict);
+  const auto stacked = composed->encode(dict);
+  // Sparsified tensors are mostly zeros; the FedSZ pass compresses them
+  // dramatically better than shipping index/value pairs raw.
+  EXPECT_LT(stacked.payload.size(), alone.payload.size());
+  const StateDict back = composed->decode(
+      {stacked.payload.data(), stacked.payload.size()});
+  EXPECT_EQ(back.size(), dict.size());
+}
+
+TEST(Composition, NamesConcatenate) {
+  const auto composed =
+      make_composed_codec(make_qsgd_codec(), make_fedsz_codec());
+  EXPECT_EQ(composed->name(), "qsgd+fedsz-sz2");
+}
+
+TEST(Composition, QsgdThenFedSzRoundTrips) {
+  const StateDict dict = model_dict();
+  const auto composed =
+      make_composed_codec(make_qsgd_codec({64, 1000, 5}),
+                          make_fedsz_codec());
+  const auto encoded = composed->encode(dict);
+  const StateDict back =
+      composed->decode({encoded.payload.data(), encoded.payload.size()});
+  for (const auto& [name, tensor] : dict)
+    EXPECT_TRUE(back.get(name).same_shape(tensor));
+}
+
+TEST(Composition, NullStageThrows) {
+  EXPECT_THROW(ComposedCodec(nullptr, make_fedsz_codec()), InvalidArgument);
+  EXPECT_THROW(ComposedCodec(make_fedsz_codec(), nullptr), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace fedsz::core

@@ -1,0 +1,259 @@
+// Tests for the synthetic datasets, partitioners, loaders, and the smooth
+// scientific-field generator.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/dataloader.hpp"
+#include "data/partition.hpp"
+#include "data/scientific.hpp"
+#include "data/synthetic.hpp"
+#include "util/stats.hpp"
+
+namespace fedsz::data {
+namespace {
+
+TEST(SyntheticSpecs, MatchTableFour) {
+  const SyntheticSpec cifar = cifar10_spec();
+  EXPECT_EQ(cifar.image_size, 32);
+  EXPECT_EQ(cifar.channels, 3);
+  EXPECT_EQ(cifar.classes, 10);
+  EXPECT_EQ(cifar.train_size + cifar.test_size, 60000u);
+
+  const SyntheticSpec fmnist = fashion_mnist_spec();
+  EXPECT_EQ(fmnist.image_size, 28);
+  EXPECT_EQ(fmnist.channels, 1);
+  EXPECT_EQ(fmnist.train_size + fmnist.test_size, 70000u);
+
+  const SyntheticSpec caltech = caltech101_spec();
+  EXPECT_EQ(caltech.classes, 101);
+  EXPECT_EQ(caltech.train_size + caltech.test_size, 9000u);
+}
+
+TEST(SyntheticSpecs, LookupByName) {
+  EXPECT_EQ(dataset_spec("cifar10").name, "cifar10");
+  EXPECT_EQ(dataset_spec("fmnist").channels, 1);
+  EXPECT_THROW(dataset_spec("imagenet"), InvalidArgument);
+  EXPECT_EQ(dataset_names().size(), 3u);
+}
+
+TEST(SyntheticDataset, SamplesAreDeterministic) {
+  SyntheticImageDataset a(cifar10_spec(), 0);
+  SyntheticImageDataset b(cifar10_spec(), 0);
+  const Sample sa = a.get(123);
+  const Sample sb = b.get(123);
+  EXPECT_EQ(sa.label, sb.label);
+  EXPECT_TRUE(sa.image.equals(sb.image));
+}
+
+TEST(SyntheticDataset, DifferentIndicesDiffer) {
+  SyntheticImageDataset ds(cifar10_spec(), 0);
+  EXPECT_FALSE(ds.get(0).image.equals(ds.get(10).image));
+}
+
+TEST(SyntheticDataset, TrainAndTestSplitsDiffer) {
+  SyntheticImageDataset train(cifar10_spec(), 0);
+  SyntheticImageDataset test(cifar10_spec(), 1);
+  EXPECT_FALSE(train.get(5).image.equals(test.get(5).image));
+}
+
+TEST(SyntheticDataset, LabelsAreBalanced) {
+  SyntheticImageDataset ds(cifar10_spec(), 0);
+  std::vector<int> counts(10, 0);
+  for (std::size_t i = 0; i < 1000; ++i) ++counts[ds.get(i).label];
+  for (const int c : counts) EXPECT_EQ(c, 100);
+}
+
+TEST(SyntheticDataset, ImageShapeMatchesSpec) {
+  SyntheticImageDataset ds(caltech101_spec(), 0);
+  EXPECT_EQ(ds.image_shape(), (Shape{3, 64, 64}));
+  EXPECT_EQ(ds.get(0).image.shape(), (Shape{3, 64, 64}));
+  EXPECT_EQ(ds.num_classes(), 101);
+}
+
+TEST(SyntheticDataset, OutOfRangeThrows) {
+  SyntheticSpec spec = cifar10_spec();
+  spec.train_size = 10;
+  SyntheticImageDataset ds(spec, 0);
+  EXPECT_THROW(ds.get(10), InvalidArgument);
+  EXPECT_THROW(SyntheticImageDataset(spec, 2), InvalidArgument);
+}
+
+TEST(SyntheticDataset, SameClassSharesStructure) {
+  // Same-class images should correlate far more than cross-class ones.
+  SyntheticImageDataset ds(cifar10_spec(), 0);
+  const Sample a0 = ds.get(0), a1 = ds.get(10);   // both class 0
+  const Sample b = ds.get(3);                     // class 3
+  ASSERT_EQ(a0.label, a1.label);
+  ASSERT_NE(a0.label, b.label);
+  const double same = stats::correlation(a0.image.span(), a1.image.span());
+  const double cross = stats::correlation(a0.image.span(), b.image.span());
+  EXPECT_GT(same, cross + 0.2);
+}
+
+TEST(SubsetDatasetTest, ViewsSelectedIndices) {
+  auto base = std::make_shared<SyntheticImageDataset>(cifar10_spec(), 0);
+  SubsetDataset subset(base, {5, 7, 9});
+  EXPECT_EQ(subset.size(), 3u);
+  EXPECT_TRUE(subset.get(1).image.equals(base->get(7).image));
+  EXPECT_THROW(subset.get(3), InvalidArgument);
+}
+
+TEST(SubsetDatasetTest, TakeClampsToSize) {
+  SyntheticSpec spec = cifar10_spec();
+  spec.train_size = 50;
+  auto base = std::make_shared<SyntheticImageDataset>(spec, 0);
+  EXPECT_EQ(take(base, 20)->size(), 20u);
+  EXPECT_EQ(take(base, 500)->size(), 50u);
+}
+
+TEST(PartitionIid, CoversAllIndicesDisjointly) {
+  Rng rng(1);
+  const auto shards = partition_iid(1000, 7, rng);
+  ASSERT_EQ(shards.size(), 7u);
+  std::set<std::size_t> seen;
+  for (const auto& shard : shards) {
+    EXPECT_GE(shard.size(), 1000u / 7);
+    EXPECT_LE(shard.size(), 1000u / 7 + 1);
+    for (const auto idx : shard) {
+      EXPECT_TRUE(seen.insert(idx).second) << "duplicate index " << idx;
+      EXPECT_LT(idx, 1000u);
+    }
+  }
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(PartitionIid, ZeroClientsThrows) {
+  Rng rng(2);
+  EXPECT_THROW(partition_iid(10, 0, rng), InvalidArgument);
+}
+
+TEST(PartitionDirichlet, CoversAllSamples) {
+  Rng rng(3);
+  std::vector<int> labels(600);
+  for (std::size_t i = 0; i < labels.size(); ++i)
+    labels[i] = static_cast<int>(i % 6);
+  const auto shards = partition_dirichlet(labels, 4, 0.5, rng);
+  std::set<std::size_t> seen;
+  for (const auto& shard : shards)
+    for (const auto idx : shard) EXPECT_TRUE(seen.insert(idx).second);
+  EXPECT_EQ(seen.size(), labels.size());
+}
+
+TEST(PartitionDirichlet, LowAlphaIsMoreSkewedThanHighAlpha) {
+  std::vector<int> labels(2000);
+  for (std::size_t i = 0; i < labels.size(); ++i)
+    labels[i] = static_cast<int>(i % 10);
+  auto skew = [&](double alpha, std::uint64_t seed) {
+    Rng rng(seed);
+    const auto shards = partition_dirichlet(labels, 8, alpha, rng);
+    // Measure max class concentration across shards.
+    double worst = 0.0;
+    for (const auto& shard : shards) {
+      if (shard.empty()) continue;
+      std::vector<int> counts(10, 0);
+      for (const auto idx : shard) ++counts[labels[idx]];
+      const int max_count = *std::max_element(counts.begin(), counts.end());
+      worst = std::max(worst, static_cast<double>(max_count) /
+                                  static_cast<double>(shard.size()));
+    }
+    return worst;
+  };
+  EXPECT_GT(skew(0.05, 4), skew(100.0, 5));
+}
+
+TEST(PartitionDirichlet, InvalidArgsThrow) {
+  Rng rng(6);
+  const std::vector<int> labels{0, 1};
+  EXPECT_THROW(partition_dirichlet(labels, 0, 1.0, rng), InvalidArgument);
+  EXPECT_THROW(partition_dirichlet(labels, 2, 0.0, rng), InvalidArgument);
+}
+
+TEST(ShardDataset, ProducesViews) {
+  auto base = std::make_shared<SyntheticImageDataset>(cifar10_spec(), 0);
+  Rng rng(7);
+  const auto indices = partition_iid(100, 4, rng);
+  const auto shards = shard_dataset(base, indices);
+  ASSERT_EQ(shards.size(), 4u);
+  EXPECT_EQ(shards[0]->size(), 25u);
+}
+
+TEST(DataLoaderTest, IteratesWholeEpochInBatches) {
+  SyntheticSpec spec = cifar10_spec();
+  spec.train_size = 70;
+  auto ds = std::make_shared<SyntheticImageDataset>(spec, 0);
+  DataLoader loader(ds, 32, false);
+  EXPECT_EQ(loader.batches_per_epoch(), 3u);
+  Batch batch;
+  std::size_t total = 0;
+  std::vector<std::size_t> sizes;
+  while (loader.next(batch)) {
+    total += batch.size();
+    sizes.push_back(batch.size());
+    EXPECT_EQ(batch.images.dim(0), static_cast<std::int64_t>(batch.size()));
+  }
+  EXPECT_EQ(total, 70u);
+  EXPECT_EQ(sizes.back(), 6u);  // final partial batch
+}
+
+TEST(DataLoaderTest, ShuffleChangesOrderDeterministically) {
+  SyntheticSpec spec = cifar10_spec();
+  spec.train_size = 64;
+  auto ds = std::make_shared<SyntheticImageDataset>(spec, 0);
+  DataLoader a(ds, 64, true, 9);
+  DataLoader b(ds, 64, true, 9);
+  DataLoader c(ds, 64, true, 10);
+  Batch ba, bb, bc;
+  a.next(ba);
+  b.next(bb);
+  c.next(bc);
+  EXPECT_EQ(ba.labels, bb.labels);  // same seed, same order
+  EXPECT_NE(ba.labels, bc.labels);  // different seed
+}
+
+TEST(DataLoaderTest, ResetRestartsEpoch) {
+  SyntheticSpec spec = cifar10_spec();
+  spec.train_size = 10;
+  auto ds = std::make_shared<SyntheticImageDataset>(spec, 0);
+  DataLoader loader(ds, 10, false);
+  Batch batch;
+  EXPECT_TRUE(loader.next(batch));
+  EXPECT_FALSE(loader.next(batch));
+  loader.reset();
+  EXPECT_TRUE(loader.next(batch));
+}
+
+TEST(DataLoaderTest, ZeroBatchSizeThrows) {
+  auto ds = std::make_shared<SyntheticImageDataset>(cifar10_spec(), 0);
+  EXPECT_THROW(DataLoader(ds, 0, false), InvalidArgument);
+}
+
+TEST(FullBatch, MaterializesDataset) {
+  SyntheticSpec spec = cifar10_spec();
+  spec.test_size = 12;
+  SyntheticImageDataset ds(spec, 1);
+  const Batch batch = full_batch(ds);
+  EXPECT_EQ(batch.size(), 12u);
+  const Batch limited = full_batch(ds, 5);
+  EXPECT_EQ(limited.size(), 5u);
+}
+
+TEST(SmoothField, IsSmootherThanWeights) {
+  const auto field = smooth_field(4096, 17);
+  Rng rng(18);
+  std::vector<float> weights(4096);
+  for (auto& w : weights) w = static_cast<float>(rng.laplace(0.0, 0.05));
+  const double field_roughness =
+      stats::roughness({field.data(), field.size()});
+  const double weight_roughness =
+      stats::roughness({weights.data(), weights.size()});
+  EXPECT_LT(field_roughness * 20.0, weight_roughness);
+}
+
+TEST(SmoothField, DeterministicPerSeed) {
+  EXPECT_EQ(smooth_field(100, 5), smooth_field(100, 5));
+  EXPECT_NE(smooth_field(100, 5), smooth_field(100, 6));
+}
+
+}  // namespace
+}  // namespace fedsz::data

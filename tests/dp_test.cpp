@@ -1,0 +1,115 @@
+// Tests for the error-distribution / differential-privacy analysis
+// (Section VII-D, Figure 10).
+#include <gtest/gtest.h>
+
+#include "compress/lossy/lossy.hpp"
+#include "core/dp_analysis.hpp"
+#include "util/rng.hpp"
+
+namespace fedsz::core {
+namespace {
+
+TEST(DpAnalysis, RecognizesSyntheticLaplaceNoise) {
+  Rng rng(1);
+  std::vector<float> original(20000), noisy(20000);
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    original[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+    noisy[i] = original[i] + static_cast<float>(rng.laplace(0.0, 0.01));
+  }
+  const ErrorDistribution dist = analyze_errors(
+      {original.data(), original.size()}, {noisy.data(), noisy.size()});
+  EXPECT_TRUE(dist.laplace_fits_better());
+  EXPECT_NEAR(dist.laplace.b, 0.01, 0.002);
+  EXPECT_NEAR(dist.laplace.mu, 0.0, 0.002);
+  EXPECT_LT(dist.ks_laplace, 0.05);
+}
+
+TEST(DpAnalysis, RecognizesGaussianNoiseAsNotLaplace) {
+  Rng rng(2);
+  std::vector<float> original(20000), noisy(20000);
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    original[i] = 0.0f;
+    noisy[i] = static_cast<float>(rng.normal(0.0, 0.02));
+  }
+  const ErrorDistribution dist = analyze_errors(
+      {original.data(), original.size()}, {noisy.data(), noisy.size()});
+  EXPECT_FALSE(dist.laplace_fits_better());
+}
+
+TEST(DpAnalysis, ExactReconstructionGivesDegenerateErrors) {
+  const std::vector<float> values{1.0f, 2.0f, 3.0f};
+  const ErrorDistribution dist =
+      analyze_errors({values.data(), values.size()},
+                     {values.data(), values.size()});
+  EXPECT_EQ(dist.summary.max, 0.0);
+  EXPECT_EQ(dist.summary.min, 0.0);
+  EXPECT_EQ(dist.laplace.b, 0.0);
+}
+
+TEST(DpAnalysis, SizeMismatchThrows) {
+  const std::vector<float> a{1.0f}, b{1.0f, 2.0f};
+  EXPECT_THROW(analyze_errors({a.data(), a.size()}, {b.data(), b.size()}),
+               InvalidArgument);
+}
+
+TEST(DpAnalysis, StateDictVariantConcatenatesEntries) {
+  StateDict original, reconstructed;
+  original.set("a", Tensor::from_data({2}, {1.0f, 2.0f}));
+  original.set("b", Tensor::from_data({2}, {3.0f, 4.0f}));
+  reconstructed.set("a", Tensor::from_data({2}, {1.5f, 2.0f}));
+  reconstructed.set("b", Tensor::from_data({2}, {3.0f, 3.0f}));
+  const ErrorDistribution dist =
+      analyze_state_dict_errors(original, reconstructed);
+  ASSERT_EQ(dist.errors.size(), 4u);
+  EXPECT_DOUBLE_EQ(dist.errors[0], -0.5);
+  EXPECT_DOUBLE_EQ(dist.errors[3], 1.0);
+}
+
+TEST(DpAnalysis, StateDictShapeMismatchThrows) {
+  StateDict original, reconstructed;
+  original.set("a", Tensor({2}));
+  reconstructed.set("a", Tensor({3}));
+  EXPECT_THROW(analyze_state_dict_errors(original, reconstructed),
+               InvalidArgument);
+}
+
+TEST(DpAnalysis, Sz2ErrorsOnWeightsLookLaplacianAtLargeBounds) {
+  // The paper's Figure 10 observation: at a large REL bound (0.5) the
+  // quantizer collapses almost all values into the central bin, so the
+  // decompression error inherits the (Laplacian) shape of the weights and
+  // the Laplace fit beats the Gaussian fit. At tighter bounds (0.1/0.05)
+  // this implementation's error mixes per-bin uniform components and the
+  // Laplacian advantage fades — a divergence from the paper recorded in
+  // EXPERIMENTS.md; here we assert the 0.5 case and zero-centering for all.
+  Rng rng(3);
+  std::vector<float> weights(100000);
+  for (auto& w : weights) w = static_cast<float>(rng.laplace(0.0, 0.05));
+  const lossy::LossyCodec& sz2 = lossy::lossy_codec(lossy::LossyId::kSz2);
+  for (const double rel : {0.5, 0.1, 0.05}) {
+    const Bytes blob = sz2.compress({weights.data(), weights.size()},
+                                    lossy::ErrorBound::relative(rel));
+    const auto back = sz2.decompress({blob.data(), blob.size()});
+    const ErrorDistribution dist =
+        analyze_errors({weights.data(), weights.size()},
+                       {back.data(), back.size()});
+    if (rel == 0.5) EXPECT_LT(dist.ks_laplace, dist.ks_normal);
+    EXPECT_GT(dist.laplace.b, 0.0) << "rel=" << rel;
+    EXPECT_NEAR(dist.laplace.mu, 0.0, 0.01) << "rel=" << rel;
+  }
+}
+
+TEST(DpAnalysis, HistogramCoversErrors) {
+  Rng rng(4);
+  std::vector<float> original(5000), noisy(5000);
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    original[i] = 0.0f;
+    noisy[i] = static_cast<float>(rng.laplace(0.0, 0.05));
+  }
+  const ErrorDistribution dist = analyze_errors(
+      {original.data(), original.size()}, {noisy.data(), noisy.size()}, 31);
+  EXPECT_EQ(dist.histogram.counts.size(), 31u);
+  EXPECT_EQ(dist.histogram.total, 5000u);
+}
+
+}  // namespace
+}  // namespace fedsz::core

@@ -1,0 +1,258 @@
+// Tests for the FedSZ pipeline itself: Algorithm 1's partition rule, the
+// wire format, byte accounting, error-bound behaviour per partition, and
+// corruption handling.
+#include <gtest/gtest.h>
+
+#include "core/fedsz.hpp"
+#include "core/update_codec.hpp"
+#include "nn/models.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace fedsz::core {
+namespace {
+
+StateDict model_dict(const std::string& arch = "alexnet",
+                     nn::ModelScale scale = nn::ModelScale::kTiny) {
+  nn::ModelConfig cfg;
+  cfg.arch = arch;
+  cfg.scale = scale;
+  return nn::build_model(cfg).model.state_dict();
+}
+
+// ---- Algorithm 1 partition rule ----
+
+TEST(PartitionRule, RequiresWeightInNameAndSizeAboveThreshold) {
+  EXPECT_TRUE(is_lossy_entry("features.0.weight", 5000, 1000));
+  EXPECT_FALSE(is_lossy_entry("features.0.bias", 5000, 1000));
+  EXPECT_FALSE(is_lossy_entry("features.0.weight", 1000, 1000));  // strict >
+  EXPECT_TRUE(is_lossy_entry("features.0.weight", 1001, 1000));
+  EXPECT_FALSE(is_lossy_entry("bn.running_mean", 5000, 1000));
+  EXPECT_FALSE(is_lossy_entry("bn.running_var", 5000, 1000));
+  EXPECT_TRUE(is_lossy_entry("classifier.weight_v", 5000, 1000));
+}
+
+TEST(PartitionRule, CensusSplitsBytes) {
+  StateDict dict;
+  dict.set("big.weight", Tensor({2000}));        // lossy: 8000 bytes
+  dict.set("small.weight", Tensor({10}));        // lossless: 40
+  dict.set("big.bias", Tensor({2000}));          // lossless: 8000
+  const Partition p = partition_state_dict(dict, 1000);
+  EXPECT_EQ(p.lossy_names, std::vector<std::string>{"big.weight"});
+  EXPECT_EQ(p.lossy_bytes, 8000u);
+  EXPECT_EQ(p.lossless_bytes, 8040u);
+  EXPECT_NEAR(p.lossy_fraction(), 8000.0 / 16040.0, 1e-12);
+}
+
+TEST(PartitionRule, AlexNetIsAlmostAllLossy) {
+  const StateDict dict = model_dict("alexnet", nn::ModelScale::kBench);
+  const Partition p = partition_state_dict(dict, 1000);
+  EXPECT_GT(p.lossy_fraction(), 0.99);  // Table III: 99.98%
+}
+
+TEST(PartitionRule, MobileNetHasLowerLossyFraction) {
+  const Partition alex =
+      partition_state_dict(model_dict("alexnet", nn::ModelScale::kBench),
+                           1000);
+  const Partition mobile = partition_state_dict(
+      model_dict("mobilenet_v2", nn::ModelScale::kBench), 1000);
+  EXPECT_LT(mobile.lossy_fraction(), alex.lossy_fraction());
+  EXPECT_GT(mobile.lossy_fraction(), 0.5);
+}
+
+// ---- round trip ----
+
+TEST(FedSzRoundTrip, PreservesNamesAndShapes) {
+  const StateDict dict = model_dict();
+  const FedSz fedsz{FedSzConfig{}};
+  const Bytes blob = fedsz.compress(dict);
+  const StateDict back = fedsz.decompress({blob.data(), blob.size()});
+  ASSERT_EQ(back.size(), dict.size());
+  for (const auto& [name, tensor] : dict) {
+    ASSERT_TRUE(back.contains(name)) << name;
+    EXPECT_TRUE(back.get(name).same_shape(tensor)) << name;
+  }
+}
+
+TEST(FedSzRoundTrip, LosslessPartitionIsBitExact) {
+  const StateDict dict = model_dict();
+  FedSzConfig config;
+  const FedSz fedsz{config};
+  const Bytes blob = fedsz.compress(dict);
+  const StateDict back = fedsz.decompress({blob.data(), blob.size()});
+  for (const auto& [name, tensor] : dict) {
+    if (!is_lossy_entry(name, tensor.numel(), config.lossy_threshold))
+      EXPECT_TRUE(back.get(name).equals(tensor)) << name;
+  }
+}
+
+TEST(FedSzRoundTrip, LossyPartitionWithinBound) {
+  const StateDict dict = model_dict("alexnet", nn::ModelScale::kBench);
+  FedSzConfig config;
+  config.bound = lossy::ErrorBound::relative(1e-3);
+  const FedSz fedsz{config};
+  const Bytes blob = fedsz.compress(dict);
+  const StateDict back = fedsz.decompress({blob.data(), blob.size()});
+  for (const auto& [name, tensor] : dict) {
+    if (!is_lossy_entry(name, tensor.numel(), config.lossy_threshold))
+      continue;
+    const double eps = config.bound.absolute_for(tensor.span());
+    const double err =
+        stats::max_abs_error(tensor.span(), back.get(name).span());
+    EXPECT_LE(err, eps * (1 + 1e-5)) << name;
+  }
+}
+
+TEST(FedSzRoundTrip, WorksWithEveryLossyCodec) {
+  const StateDict dict = model_dict();
+  for (const lossy::LossyCodec* codec : lossy::all_lossy_codecs()) {
+    FedSzConfig config;
+    config.lossy_id = codec->id();
+    const FedSz fedsz{config};
+    const Bytes blob = fedsz.compress(dict);
+    const StateDict back = fedsz.decompress({blob.data(), blob.size()});
+    EXPECT_EQ(back.size(), dict.size()) << codec->name();
+  }
+}
+
+TEST(FedSzRoundTrip, WorksWithEveryLosslessCodec) {
+  const StateDict dict = model_dict();
+  for (const lossless::LosslessCodec* codec :
+       lossless::all_lossless_codecs()) {
+    FedSzConfig config;
+    config.lossless_id = codec->id();
+    const FedSz fedsz{config};
+    const Bytes blob = fedsz.compress(dict);
+    const StateDict back = fedsz.decompress({blob.data(), blob.size()});
+    EXPECT_EQ(back.size(), dict.size()) << codec->name();
+  }
+}
+
+TEST(FedSzRoundTrip, EmptyStateDict) {
+  const FedSz fedsz{FedSzConfig{}};
+  const Bytes blob = fedsz.compress(StateDict{});
+  EXPECT_TRUE(fedsz.decompress({blob.data(), blob.size()}).empty());
+}
+
+TEST(FedSzRoundTrip, ThresholdZeroRoutesEveryWeightLossy) {
+  StateDict dict;
+  dict.set("tiny.weight", Tensor::from_data({4}, {1, 2, 3, 4}));
+  FedSzConfig config;
+  config.lossy_threshold = 0;
+  CompressionStats stats;
+  const FedSz fedsz{config};
+  fedsz.compress(dict, &stats);
+  EXPECT_EQ(stats.lossy_original_bytes, 16u);
+  EXPECT_EQ(stats.lossless_original_bytes, 0u);
+}
+
+// ---- stats accounting ----
+
+TEST(FedSzStats, BytesAddUpAndRatioComputed) {
+  const StateDict dict = model_dict("alexnet", nn::ModelScale::kBench);
+  CompressionStats stats;
+  const FedSz fedsz{FedSzConfig{}};
+  const Bytes blob = fedsz.compress(dict, &stats);
+  EXPECT_EQ(stats.original_bytes, dict.total_bytes());
+  EXPECT_EQ(stats.lossy_original_bytes + stats.lossless_original_bytes,
+            stats.original_bytes);
+  EXPECT_EQ(stats.compressed_bytes, blob.size());
+  // Payloads plus headers: compressed bytes exceed the sum of payloads but
+  // only by framing overhead.
+  EXPECT_GE(stats.compressed_bytes,
+            stats.lossy_compressed_bytes + stats.lossless_compressed_bytes);
+  EXPECT_LT(stats.compressed_bytes, stats.lossy_compressed_bytes +
+                                        stats.lossless_compressed_bytes +
+                                        4096);
+  EXPECT_GT(stats.ratio(), 3.0);
+  EXPECT_GE(stats.compress_seconds, 0.0);
+}
+
+TEST(FedSzStats, TighterBoundLowersRatio) {
+  const StateDict dict = model_dict("alexnet", nn::ModelScale::kBench);
+  auto ratio_at = [&](double rel) {
+    FedSzConfig config;
+    config.bound = lossy::ErrorBound::relative(rel);
+    CompressionStats stats;
+    FedSz(config).compress(dict, &stats);
+    return stats.ratio();
+  };
+  EXPECT_GT(ratio_at(1e-1), ratio_at(1e-2));
+  EXPECT_GT(ratio_at(1e-2), ratio_at(1e-4));
+}
+
+// ---- wire format robustness ----
+
+TEST(FedSzWireFormat, BadMagicThrows) {
+  const FedSz fedsz{FedSzConfig{}};
+  Bytes blob = fedsz.compress(model_dict());
+  blob[0] = 'X';
+  EXPECT_THROW(fedsz.decompress({blob.data(), blob.size()}), CorruptStream);
+}
+
+TEST(FedSzWireFormat, BadVersionThrows) {
+  const FedSz fedsz{FedSzConfig{}};
+  Bytes blob = fedsz.compress(model_dict());
+  blob[4] = 0xEE;
+  EXPECT_THROW(fedsz.decompress({blob.data(), blob.size()}), CorruptStream);
+}
+
+TEST(FedSzWireFormat, TruncationThrows) {
+  const FedSz fedsz{FedSzConfig{}};
+  Bytes blob = fedsz.compress(model_dict());
+  for (const double frac : {0.1, 0.5, 0.9}) {
+    Bytes cut(blob.begin(),
+              blob.begin() + static_cast<std::ptrdiff_t>(blob.size() * frac));
+    EXPECT_THROW(fedsz.decompress({cut.data(), cut.size()}), CorruptStream);
+  }
+}
+
+TEST(FedSzWireFormat, TrailingGarbageThrows) {
+  const FedSz fedsz{FedSzConfig{}};
+  Bytes blob = fedsz.compress(model_dict());
+  blob.push_back(0xAB);
+  EXPECT_THROW(fedsz.decompress({blob.data(), blob.size()}), CorruptStream);
+}
+
+TEST(FedSzWireFormat, UnknownCodecIdThrows) {
+  const FedSz fedsz{FedSzConfig{}};
+  Bytes blob = fedsz.compress(model_dict());
+  blob[6] = 0x7F;  // lossy codec id byte
+  EXPECT_THROW(fedsz.decompress({blob.data(), blob.size()}), InvalidArgument);
+}
+
+TEST(FedSzConfigTest, InvalidBoundRejectedAtConstruction) {
+  FedSzConfig config;
+  config.bound = lossy::ErrorBound::relative(-1.0);
+  EXPECT_THROW(FedSz{config}, InvalidArgument);
+}
+
+// ---- update codecs ----
+
+TEST(UpdateCodecs, IdentityRoundTripIsExact) {
+  const StateDict dict = model_dict();
+  const auto codec = make_identity_codec();
+  const auto encoded = codec->encode(dict);
+  EXPECT_EQ(encoded.stats.ratio(), 1.0);
+  double seconds = -1.0;
+  const StateDict back =
+      codec->decode({encoded.payload.data(), encoded.payload.size()},
+                    &seconds);
+  EXPECT_TRUE(back.equals(dict));
+  EXPECT_GE(seconds, 0.0);
+  EXPECT_EQ(codec->name(), "uncompressed");
+}
+
+TEST(UpdateCodecs, FedSzCodecCompressesAndNames) {
+  const StateDict dict = model_dict("alexnet", nn::ModelScale::kBench);
+  const auto codec = make_fedsz_codec();
+  EXPECT_EQ(codec->name(), "fedsz-sz2");
+  const auto encoded = codec->encode(dict);
+  EXPECT_GT(encoded.stats.ratio(), 3.0);
+  const StateDict back =
+      codec->decode({encoded.payload.data(), encoded.payload.size()});
+  EXPECT_EQ(back.size(), dict.size());
+}
+
+}  // namespace
+}  // namespace fedsz::core

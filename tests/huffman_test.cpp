@@ -1,0 +1,154 @@
+// Tests for the canonical Huffman coder shared by SZ2/SZ3 and the
+// deflate/zstd-like lossless codecs.
+#include <gtest/gtest.h>
+
+#include "compress/lossless/huffman.hpp"
+#include "util/rng.hpp"
+
+namespace fedsz::lossless {
+namespace {
+
+std::vector<std::uint32_t> roundtrip(std::span<const std::uint32_t> symbols) {
+  const Bytes encoded = huffman_encode(symbols);
+  return huffman_decode({encoded.data(), encoded.size()});
+}
+
+TEST(Huffman, EmptyInput) {
+  const std::vector<std::uint32_t> symbols;
+  EXPECT_EQ(roundtrip(symbols), symbols);
+}
+
+TEST(Huffman, SingleSymbolRepeated) {
+  const std::vector<std::uint32_t> symbols(1000, 42);
+  EXPECT_EQ(roundtrip(symbols), symbols);
+  // One distinct symbol should cost ~1 bit each.
+  const Bytes encoded = huffman_encode(symbols);
+  EXPECT_LT(encoded.size(), 1000u / 8 + 32);
+}
+
+TEST(Huffman, TwoSymbols) {
+  std::vector<std::uint32_t> symbols;
+  for (int i = 0; i < 100; ++i) symbols.push_back(i % 2 ? 7 : 9);
+  EXPECT_EQ(roundtrip(symbols), symbols);
+}
+
+TEST(Huffman, SkewedDistributionCompresses) {
+  Rng rng(3);
+  std::vector<std::uint32_t> symbols(20000);
+  for (auto& s : symbols)
+    s = rng.uniform() < 0.95 ? 0 : static_cast<std::uint32_t>(
+                                       rng.uniform_index(200));
+  EXPECT_EQ(roundtrip(symbols), symbols);
+  const Bytes encoded = huffman_encode(symbols);
+  // ~0.95*log2(1/0.95) + ... entropy well under 1 bit/symbol; allow slack.
+  EXPECT_LT(encoded.size(), symbols.size() / 2);
+}
+
+TEST(Huffman, UniformDistributionRoundTrips) {
+  Rng rng(5);
+  std::vector<std::uint32_t> symbols(5000);
+  for (auto& s : symbols)
+    s = static_cast<std::uint32_t>(rng.uniform_index(256));
+  EXPECT_EQ(roundtrip(symbols), symbols);
+}
+
+TEST(Huffman, LargeSparseAlphabet) {
+  Rng rng(7);
+  std::vector<std::uint32_t> symbols(5000);
+  for (auto& s : symbols)
+    s = 30000 + static_cast<std::uint32_t>(rng.uniform_index(5000));
+  EXPECT_EQ(roundtrip(symbols), symbols);
+}
+
+TEST(Huffman, QuantizationCodeShapedData) {
+  // Codes clustered around a radius midpoint, like SZ quantization output.
+  Rng rng(9);
+  std::vector<std::uint32_t> symbols(50000);
+  for (auto& s : symbols)
+    s = static_cast<std::uint32_t>(32768.0 + rng.laplace(0.0, 3.0));
+  EXPECT_EQ(roundtrip(symbols), symbols);
+  const Bytes encoded = huffman_encode(symbols);
+  EXPECT_LT(encoded.size(), symbols.size());  // well under 8 bits each
+}
+
+TEST(Huffman, ExtremeSkewTriggersLengthLimit) {
+  // Exponentially decaying frequencies force the unlimited Huffman tree past
+  // 16 levels; the length-limit repair must keep the code decodable.
+  std::vector<std::uint32_t> symbols;
+  std::size_t count = 1;
+  for (std::uint32_t s = 0; s < 24; ++s) {
+    for (std::size_t i = 0; i < count; ++i) symbols.push_back(s);
+    count *= 2;
+    if (count > 500000) count = 500000;
+  }
+  EXPECT_EQ(roundtrip(symbols), symbols);
+}
+
+TEST(Huffman, CodebookCodeLengthsAreOrderedByFrequency) {
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> freqs{
+      {0, 1000}, {1, 100}, {2, 10}, {3, 1}};
+  const HuffmanCodebook book = HuffmanCodebook::from_frequencies(freqs);
+  EXPECT_LE(book.code_length(0), book.code_length(1));
+  EXPECT_LE(book.code_length(1), book.code_length(2));
+  EXPECT_LE(book.code_length(2), book.code_length(3));
+  EXPECT_EQ(book.code_length(99), 0u);  // not in book
+}
+
+TEST(Huffman, CodebookEncodeUnknownSymbolThrows) {
+  const HuffmanCodebook book = HuffmanCodebook::from_frequencies({{1, 5},
+                                                                  {2, 5}});
+  BitWriter bits;
+  EXPECT_THROW(book.encode(bits, 3), InvalidArgument);
+}
+
+TEST(Huffman, TableRoundTripViaByteWriter) {
+  Rng rng(11);
+  std::vector<std::uint32_t> symbols(2000);
+  for (auto& s : symbols) s = static_cast<std::uint32_t>(rng.uniform_index(50));
+  const HuffmanCodebook book = HuffmanCodebook::from_symbols(symbols);
+  ByteWriter w;
+  book.write_table(w);
+  const Bytes table = w.finish();
+  ByteReader r({table.data(), table.size()});
+  const HuffmanCodebook back = HuffmanCodebook::read_table(r);
+  EXPECT_EQ(back.distinct_symbols(), book.distinct_symbols());
+  // Codes must agree: encode with one, decode with the other.
+  BitWriter bits;
+  for (const auto s : symbols) book.encode(bits, s);
+  const Bytes payload = bits.finish();
+  BitReader br({payload.data(), payload.size()});
+  for (const auto s : symbols) EXPECT_EQ(back.decode(br), s);
+}
+
+TEST(Huffman, DecodeCorruptStreamThrows) {
+  // A codebook with lengths >1 cannot decode a stream of pure 1-bits longer
+  // than any code if 0b111... is not assigned.
+  const HuffmanCodebook book = HuffmanCodebook::from_frequencies(
+      {{0, 8}, {1, 4}, {2, 2}, {3, 1}, {4, 1}});
+  const Bytes all_ones(4, 0xFF);
+  BitReader r({all_ones.data(), all_ones.size()});
+  // Either decodes valid symbols or throws; drain and accept both, but a
+  // truncated stream must eventually throw.
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 100; ++i) (void)book.decode(r);
+      },
+      CorruptStream);
+}
+
+TEST(Huffman, TooManyDistinctSymbolsThrows) {
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> freqs;
+  freqs.reserve(65537);
+  for (std::uint32_t s = 0; s < 65537; ++s) freqs.emplace_back(s, 1);
+  EXPECT_THROW(HuffmanCodebook::from_frequencies(freqs), InvalidArgument);
+}
+
+TEST(Huffman, DeterministicEncoding) {
+  Rng rng(13);
+  std::vector<std::uint32_t> symbols(3000);
+  for (auto& s : symbols) s = static_cast<std::uint32_t>(rng.uniform_index(99));
+  EXPECT_EQ(huffman_encode(symbols), huffman_encode(symbols));
+}
+
+}  // namespace
+}  // namespace fedsz::lossless

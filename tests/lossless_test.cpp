@@ -1,0 +1,233 @@
+// Parameterized conformance tests over the whole lossless codec suite:
+// every codec must round-trip every data pattern exactly, behave on empty
+// and incompressible input, and stay within stored-raw overhead bounds.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "compress/lossless/lossless.hpp"
+#include "util/rng.hpp"
+
+namespace fedsz::lossless {
+namespace {
+
+// ---- data pattern generators ----
+
+Bytes pattern_empty(Rng&) { return {}; }
+
+Bytes pattern_single_byte(Rng&) { return {0x42}; }
+
+Bytes pattern_zeros(Rng&) { return Bytes(10000, 0); }
+
+Bytes pattern_constant(Rng&) { return Bytes(8192, 0xA5); }
+
+Bytes pattern_random(Rng& rng) {
+  Bytes data(30000);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.uniform_index(256));
+  return data;
+}
+
+Bytes pattern_text(Rng& rng) {
+  const char* words[] = {"client", "server", "gradient", "round", "epoch",
+                         "model",  "update", "the",      "and"};
+  Bytes data;
+  while (data.size() < 30000) {
+    const char* w = words[rng.uniform_index(9)];
+    data.insert(data.end(), w, w + std::strlen(w));
+    data.push_back(' ');
+  }
+  return data;
+}
+
+Bytes pattern_float_weights(Rng& rng) {
+  std::vector<float> values(8000);
+  for (auto& v : values) v = static_cast<float>(rng.laplace(0.0, 0.05));
+  Bytes data(values.size() * sizeof(float));
+  std::memcpy(data.data(), values.data(), data.size());
+  return data;
+}
+
+Bytes pattern_ramp(Rng&) {
+  Bytes data(20000);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<std::uint8_t>(i / 100);
+  return data;
+}
+
+Bytes pattern_repeating_block(Rng& rng) {
+  Bytes block(97);
+  for (auto& b : block) b = static_cast<std::uint8_t>(rng.uniform_index(256));
+  Bytes data;
+  for (int i = 0; i < 300; ++i)
+    data.insert(data.end(), block.begin(), block.end());
+  return data;
+}
+
+struct PatternCase {
+  const char* name;
+  Bytes (*make)(Rng&);
+  bool expect_compressible;
+};
+
+const PatternCase kPatterns[] = {
+    {"empty", pattern_empty, false},
+    {"single_byte", pattern_single_byte, false},
+    {"zeros", pattern_zeros, true},
+    {"constant", pattern_constant, true},
+    {"random", pattern_random, false},
+    {"text", pattern_text, true},
+    {"float_weights", pattern_float_weights, false},
+    {"ramp", pattern_ramp, true},
+    {"repeating_block", pattern_repeating_block, true},
+};
+
+struct Case {
+  LosslessId codec;
+  const PatternCase* pattern;
+};
+
+std::vector<Case> all_cases() {
+  std::vector<Case> cases;
+  for (const LosslessCodec* codec : all_lossless_codecs())
+    for (const PatternCase& p : kPatterns) cases.push_back({codec->id(), &p});
+  return cases;
+}
+
+class LosslessRoundTrip : public ::testing::TestWithParam<Case> {};
+
+TEST_P(LosslessRoundTrip, ExactReconstruction) {
+  const auto& [id, pattern] = GetParam();
+  const LosslessCodec& codec = lossless_codec(id);
+  Rng rng(1001);
+  const Bytes data = pattern->make(rng);
+  const Bytes compressed = codec.compress({data.data(), data.size()});
+  const Bytes back = codec.decompress({compressed.data(), compressed.size()});
+  EXPECT_EQ(back, data);
+}
+
+TEST_P(LosslessRoundTrip, BoundedExpansion) {
+  const auto& [id, pattern] = GetParam();
+  const LosslessCodec& codec = lossless_codec(id);
+  Rng rng(1002);
+  const Bytes data = pattern->make(rng);
+  const Bytes compressed = codec.compress({data.data(), data.size()});
+  // Stored-raw fallback caps expansion at a small constant header.
+  EXPECT_LE(compressed.size(), data.size() + 16);
+}
+
+TEST_P(LosslessRoundTrip, CompressibleDataShrinks) {
+  const auto& [id, pattern] = GetParam();
+  if (!pattern->expect_compressible) GTEST_SKIP();
+  const LosslessCodec& codec = lossless_codec(id);
+  Rng rng(1003);
+  const Bytes data = pattern->make(rng);
+  const Bytes compressed = codec.compress({data.data(), data.size()});
+  // blosc-lz (fast LZ, no entropy stage) compresses text least; 2/3 is a
+  // floor every codec clears, the entropy-coded ones by a wide margin.
+  EXPECT_LT(compressed.size(), data.size() * 2 / 3)
+      << codec.name() << " on " << pattern->name;
+}
+
+TEST_P(LosslessRoundTrip, DeterministicOutput) {
+  const auto& [id, pattern] = GetParam();
+  const LosslessCodec& codec = lossless_codec(id);
+  Rng rng_a(1004), rng_b(1004);
+  const Bytes a = pattern->make(rng_a);
+  const Bytes b = pattern->make(rng_b);
+  EXPECT_EQ(codec.compress({a.data(), a.size()}),
+            codec.compress({b.data(), b.size()}));
+}
+
+std::string case_name(const ::testing::TestParamInfo<Case>& info) {
+  std::string name = lossless_codec(info.param.codec).name() + "_" +
+                     info.param.pattern->name;
+  for (auto& c : name)
+    if (c == '-') c = '_';
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCodecsAllPatterns, LosslessRoundTrip,
+                         ::testing::ValuesIn(all_cases()), case_name);
+
+// ---- registry & codec-specific behaviour ----
+
+TEST(LosslessRegistry, AllFiveCodecsPresent) {
+  const auto codecs = all_lossless_codecs();
+  ASSERT_EQ(codecs.size(), 5u);
+  std::vector<std::string> names;
+  for (const auto* c : codecs) names.push_back(c->name());
+  EXPECT_EQ(names[0], "blosc-lz");
+  EXPECT_EQ(names[1], "zlib");
+  EXPECT_EQ(names[2], "zstd");
+  EXPECT_EQ(names[3], "gzip");
+  EXPECT_EQ(names[4], "xz");
+}
+
+TEST(LosslessRegistry, LookupByNameAndId) {
+  EXPECT_EQ(lossless_codec("zstd").id(), LosslessId::kZstd);
+  EXPECT_EQ(lossless_codec(LosslessId::kXz).name(), "xz");
+  EXPECT_THROW(lossless_codec("lz999"), InvalidArgument);
+  EXPECT_THROW(lossless_codec(static_cast<LosslessId>(99)), InvalidArgument);
+}
+
+TEST(Lossless, XzBeatsBloscOnText) {
+  Rng rng(2001);
+  const Bytes data = pattern_text(rng);
+  const Bytes xz = lossless_codec(LosslessId::kXz).compress({data.data(),
+                                                             data.size()});
+  const Bytes blosc = lossless_codec(LosslessId::kBloscLz)
+                          .compress({data.data(), data.size()});
+  EXPECT_LT(xz.size(), blosc.size());
+}
+
+TEST(Lossless, ShuffleMakesBloscCompetitiveOnFloats) {
+  // The Table II surprise: blosc-lz (shuffle + fast LZ) reaches xz-class
+  // ratios on float metadata while deflate-family codecs lag.
+  Rng rng(2002);
+  std::vector<float> values(16384);
+  for (auto& v : values) v = static_cast<float>(rng.normal(0.0, 0.02));
+  ByteSpan raw = as_bytes({values.data(), values.size()});
+  const std::size_t blosc =
+      lossless_codec(LosslessId::kBloscLz).compress(raw).size();
+  const std::size_t zlib =
+      lossless_codec(LosslessId::kZlib).compress(raw).size();
+  EXPECT_LT(blosc, raw.size());      // compresses at all
+  EXPECT_LT(blosc, zlib + zlib / 4); // and is at least zlib-class
+}
+
+TEST(Lossless, DecompressGarbageThrowsOrFailsSafely) {
+  Rng rng(2003);
+  Bytes garbage(100);
+  for (auto& b : garbage) b = static_cast<std::uint8_t>(rng.uniform_index(256));
+  for (const LosslessCodec* codec : all_lossless_codecs()) {
+    try {
+      const Bytes out = codec->decompress({garbage.data(), garbage.size()});
+      // Some random buffers happen to parse; that's acceptable as long as no
+      // crash/UB occurs. Nothing to assert in that case.
+      (void)out;
+    } catch (const CorruptStream&) {
+    } catch (const InvalidArgument&) {
+    }
+  }
+}
+
+TEST(Lossless, DecompressEmptyBufferThrows) {
+  for (const LosslessCodec* codec : all_lossless_codecs())
+    EXPECT_THROW(codec->decompress({}), CorruptStream) << codec->name();
+}
+
+TEST(Lossless, LargeInputRoundTrips) {
+  Rng rng(2004);
+  Bytes data(2 * 1024 * 1024);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<std::uint8_t>((i / 512 + rng.uniform_index(3)) % 256);
+  for (const LosslessCodec* codec : all_lossless_codecs()) {
+    const Bytes compressed = codec->compress({data.data(), data.size()});
+    EXPECT_EQ(codec->decompress({compressed.data(), compressed.size()}), data)
+        << codec->name();
+    EXPECT_LT(compressed.size(), data.size()) << codec->name();
+  }
+}
+
+}  // namespace
+}  // namespace fedsz::lossless

@@ -1,0 +1,298 @@
+// Parameterized conformance and property tests over the EBLC suite: the
+// error-bound guarantee (the paper's core correctness property), compression
+// ratio monotonicity in the bound, edge cases, and input validation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "compress/lossy/lossy.hpp"
+#include "data/scientific.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace fedsz::lossy {
+namespace {
+
+// ---- input distributions ----
+
+std::vector<float> dist_laplace_weights(Rng& rng, std::size_t n) {
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.laplace(0.0, 0.05));
+  return v;
+}
+
+std::vector<float> dist_uniform(Rng& rng, std::size_t n) {
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return v;
+}
+
+std::vector<float> dist_smooth(Rng& rng, std::size_t n) {
+  return data::smooth_field(n, rng.next_u64());
+}
+
+std::vector<float> dist_constant(Rng&, std::size_t n) {
+  return std::vector<float>(n, 0.75f);
+}
+
+std::vector<float> dist_spiky_mixture(Rng& rng, std::size_t n) {
+  std::vector<float> v(n);
+  for (auto& x : v)
+    x = rng.uniform() < 0.01 ? static_cast<float>(rng.uniform(-2.0, 2.0))
+                             : static_cast<float>(rng.normal(0.0, 0.01));
+  return v;
+}
+
+struct Distribution {
+  const char* name;
+  std::vector<float> (*make)(Rng&, std::size_t);
+};
+
+const Distribution kDistributions[] = {
+    {"laplace_weights", dist_laplace_weights},
+    {"uniform", dist_uniform},
+    {"smooth_field", dist_smooth},
+    {"constant", dist_constant},
+    {"spiky_mixture", dist_spiky_mixture},
+};
+
+struct Case {
+  LossyId codec;
+  const Distribution* dist;
+  double rel_bound;
+};
+
+std::vector<Case> all_cases() {
+  std::vector<Case> cases;
+  for (const LossyCodec* codec : all_lossy_codecs())
+    for (const Distribution& d : kDistributions)
+      for (const double bound : {1e-1, 1e-2, 1e-3, 1e-4})
+        cases.push_back({codec->id(), &d, bound});
+  return cases;
+}
+
+std::string case_name(const ::testing::TestParamInfo<Case>& info) {
+  const int exponent =
+      static_cast<int>(std::lround(-std::log10(info.param.rel_bound)));
+  return lossy_codec(info.param.codec).name() + "_" + info.param.dist->name +
+         "_1em" + std::to_string(exponent);
+}
+
+class LossyProperty : public ::testing::TestWithParam<Case> {};
+
+TEST_P(LossyProperty, RoundTripSizeAndErrorBound) {
+  const auto& [id, dist, rel] = GetParam();
+  const LossyCodec& codec = lossy_codec(id);
+  Rng rng(42);
+  const auto data = dist->make(rng, 20000);
+  const ErrorBound bound = ErrorBound::relative(rel);
+  const Bytes compressed = codec.compress({data.data(), data.size()}, bound);
+  const auto back = codec.decompress({compressed.data(), compressed.size()});
+  ASSERT_EQ(back.size(), data.size());
+
+  const double eps = bound.absolute_for({data.data(), data.size()});
+  const double max_err = stats::max_abs_error({data.data(), data.size()},
+                                              {back.data(), back.size()});
+  if (codec.strictly_bounded()) {
+    // Tiny slack for float32 rounding of the double-precision guarantee.
+    EXPECT_LE(max_err, eps * (1.0 + 1e-5) + 1e-12)
+        << codec.name() << " violated its bound";
+  } else {
+    // ZFP fixed-precision: calibrated, allow a small constant factor.
+    EXPECT_LE(max_err, 8.0 * eps + 1e-12) << codec.name();
+  }
+}
+
+TEST_P(LossyProperty, DecompressIsDeterministic) {
+  const auto& [id, dist, rel] = GetParam();
+  const LossyCodec& codec = lossy_codec(id);
+  Rng rng(43);
+  const auto data = dist->make(rng, 5000);
+  const ErrorBound bound = ErrorBound::relative(rel);
+  const Bytes c1 = codec.compress({data.data(), data.size()}, bound);
+  const Bytes c2 = codec.compress({data.data(), data.size()}, bound);
+  EXPECT_EQ(c1, c2);
+  EXPECT_EQ(codec.decompress({c1.data(), c1.size()}),
+            codec.decompress({c2.data(), c2.size()}));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCodecs, LossyProperty,
+                         ::testing::ValuesIn(all_cases()), case_name);
+
+// ---- per-codec edge cases, parameterized over codec only ----
+
+class LossyCodecTest : public ::testing::TestWithParam<LossyId> {
+ protected:
+  const LossyCodec& codec() const { return lossy_codec(GetParam()); }
+};
+
+TEST_P(LossyCodecTest, EmptyInput) {
+  const Bytes compressed = codec().compress({}, ErrorBound::relative(1e-2));
+  EXPECT_TRUE(codec().decompress({compressed.data(),
+                                  compressed.size()}).empty());
+}
+
+TEST_P(LossyCodecTest, SingleElement) {
+  const std::vector<float> data{3.14159f};
+  const Bytes compressed =
+      codec().compress({data.data(), data.size()}, ErrorBound::absolute(0.01));
+  const auto back = codec().decompress({compressed.data(), compressed.size()});
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_NEAR(back[0], data[0], 0.011);
+}
+
+TEST_P(LossyCodecTest, TwoElements) {
+  const std::vector<float> data{-1.0f, 1.0f};
+  const Bytes compressed =
+      codec().compress({data.data(), data.size()}, ErrorBound::relative(1e-3));
+  const auto back = codec().decompress({compressed.data(), compressed.size()});
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_NEAR(back[0], -1.0f, 0.02);
+  EXPECT_NEAR(back[1], 1.0f, 0.02);
+}
+
+TEST_P(LossyCodecTest, NonBlockAlignedLengths) {
+  Rng rng(7);
+  for (const std::size_t n : {1u, 3u, 4u, 5u, 127u, 128u, 129u, 255u, 257u,
+                              1000u}) {
+    std::vector<float> data(n);
+    for (auto& v : data) v = static_cast<float>(rng.normal(0.0, 1.0));
+    const Bytes compressed = codec().compress({data.data(), data.size()},
+                                              ErrorBound::relative(1e-2));
+    const auto back =
+        codec().decompress({compressed.data(), compressed.size()});
+    ASSERT_EQ(back.size(), n) << codec().name() << " n=" << n;
+  }
+}
+
+TEST_P(LossyCodecTest, ConstantArrayReconstructsExactlyEnough) {
+  const std::vector<float> data(1000, -2.5f);
+  const Bytes compressed =
+      codec().compress({data.data(), data.size()}, ErrorBound::relative(1e-2));
+  const auto back = codec().decompress({compressed.data(), compressed.size()});
+  for (const float v : back) EXPECT_NEAR(v, -2.5f, 1e-4);
+  // Constant data is highly compressible for every codec design (ZFP still
+  // spends a fixed per-block exponent + significance budget).
+  EXPECT_LT(compressed.size(), data.size() * sizeof(float) / 4);
+}
+
+TEST_P(LossyCodecTest, RejectsNonFiniteInput) {
+  std::vector<float> data(100, 1.0f);
+  data[50] = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_THROW(codec().compress({data.data(), data.size()},
+                                ErrorBound::relative(1e-2)),
+               InvalidArgument);
+  data[50] = std::numeric_limits<float>::infinity();
+  EXPECT_THROW(codec().compress({data.data(), data.size()},
+                                ErrorBound::relative(1e-2)),
+               InvalidArgument);
+}
+
+TEST_P(LossyCodecTest, RejectsInvalidBound) {
+  const std::vector<float> data(10, 1.0f);
+  EXPECT_THROW(codec().compress({data.data(), data.size()},
+                                ErrorBound::relative(0.0)),
+               InvalidArgument);
+}
+
+TEST_P(LossyCodecTest, RatioDecreasesAsBoundTightens) {
+  Rng rng(11);
+  const auto data = dist_laplace_weights(rng, 50000);
+  double previous_size = 0.0;
+  for (const double rel : {1e-1, 1e-2, 1e-3, 1e-4}) {
+    const Bytes compressed = codec().compress({data.data(), data.size()},
+                                              ErrorBound::relative(rel));
+    EXPECT_GE(static_cast<double>(compressed.size()) * 1.02,
+              previous_size)
+        << codec().name() << " at rel=" << rel;
+    previous_size = static_cast<double>(compressed.size());
+  }
+}
+
+TEST_P(LossyCodecTest, AbsoluteBoundRespected) {
+  Rng rng(13);
+  const auto data = dist_uniform(rng, 10000);
+  const double eps = 0.005;
+  const Bytes compressed =
+      codec().compress({data.data(), data.size()}, ErrorBound::absolute(eps));
+  const auto back = codec().decompress({compressed.data(), compressed.size()});
+  const double max_err = stats::max_abs_error({data.data(), data.size()},
+                                              {back.data(), back.size()});
+  const double slack = codec().strictly_bounded() ? 1.0 + 1e-5 : 8.0;
+  EXPECT_LE(max_err, eps * slack);
+}
+
+TEST_P(LossyCodecTest, SmoothDataCompressesBetterThanSpiky) {
+  Rng rng(17);
+  const auto smooth = dist_smooth(rng, 40000);
+  const auto spiky = dist_uniform(rng, 40000);
+  const ErrorBound bound = ErrorBound::relative(1e-3);
+  const auto cs = codec().compress({smooth.data(), smooth.size()}, bound);
+  const auto cp = codec().compress({spiky.data(), spiky.size()}, bound);
+  EXPECT_LT(cs.size(), cp.size()) << codec().name();
+}
+
+TEST_P(LossyCodecTest, DecompressTruncatedThrows) {
+  Rng rng(19);
+  const auto data = dist_laplace_weights(rng, 5000);
+  Bytes compressed = codec().compress({data.data(), data.size()},
+                                      ErrorBound::relative(1e-2));
+  compressed.resize(compressed.size() / 2);
+  EXPECT_THROW(codec().decompress({compressed.data(), compressed.size()}),
+               CorruptStream);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCodecs, LossyCodecTest,
+    ::testing::Values(LossyId::kSz2, LossyId::kSz3, LossyId::kSzx,
+                      LossyId::kZfp),
+    [](const ::testing::TestParamInfo<LossyId>& info) {
+      return lossy_codec(info.param).name();
+    });
+
+// ---- cross-codec expectations from Table I ----
+
+TEST(LossyComparison, PredictionCodecsBeatZfpOnSpikyWeights) {
+  Rng rng(23);
+  const auto data = dist_laplace_weights(rng, 100000);
+  const ErrorBound bound = ErrorBound::relative(1e-2);
+  const auto sz2 =
+      lossy_codec(LossyId::kSz2).compress({data.data(), data.size()}, bound);
+  const auto zfp =
+      lossy_codec(LossyId::kZfp).compress({data.data(), data.size()}, bound);
+  EXPECT_LT(sz2.size(), zfp.size());
+}
+
+TEST(LossyComparison, Sz2AndSz3RatiosAreClose) {
+  Rng rng(29);
+  const auto data = dist_laplace_weights(rng, 100000);
+  const ErrorBound bound = ErrorBound::relative(1e-2);
+  const double sz2 = static_cast<double>(
+      lossy_codec(LossyId::kSz2)
+          .compress({data.data(), data.size()}, bound)
+          .size());
+  const double sz3 = static_cast<double>(
+      lossy_codec(LossyId::kSz3)
+          .compress({data.data(), data.size()}, bound)
+          .size());
+  EXPECT_LT(std::fabs(sz2 - sz3) / sz2, 0.35);
+}
+
+TEST(LossyComparison, StrictBoundednessFlags) {
+  EXPECT_TRUE(lossy_codec(LossyId::kSz2).strictly_bounded());
+  EXPECT_TRUE(lossy_codec(LossyId::kSz3).strictly_bounded());
+  EXPECT_TRUE(lossy_codec(LossyId::kSzx).strictly_bounded());
+  EXPECT_FALSE(lossy_codec(LossyId::kZfp).strictly_bounded());
+}
+
+TEST(LossyRegistry, LookupByNameAndId) {
+  EXPECT_EQ(lossy_codec("sz2").id(), LossyId::kSz2);
+  EXPECT_EQ(lossy_codec(LossyId::kSz3).name(), "sz3");
+  EXPECT_THROW(lossy_codec("sz9"), InvalidArgument);
+  EXPECT_THROW(lossy_codec(static_cast<LossyId>(0)), InvalidArgument);
+  EXPECT_EQ(all_lossy_codecs().size(), 4u);
+}
+
+}  // namespace
+}  // namespace fedsz::lossy

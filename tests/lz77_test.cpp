@@ -1,0 +1,170 @@
+// Tests for the shared LZ77 match finder and the byte-shuffle transform.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "compress/lossless/lz77.hpp"
+#include "util/rng.hpp"
+
+namespace fedsz::lossless {
+namespace {
+
+Bytes ascii(const std::string& s) {
+  return Bytes(s.begin(), s.end());
+}
+
+Bytes roundtrip(ByteSpan data, const LzParams& params) {
+  const auto seqs = lz77_parse(data, params);
+  return lz77_reconstruct(data, seqs, data.size());
+}
+
+TEST(Lz77, EmptyInputProducesNoSequences) {
+  EXPECT_TRUE(lz77_parse({}, LzParams{}).empty());
+}
+
+TEST(Lz77, AllLiteralInputRoundTrips) {
+  const Bytes data = ascii("abcdefgh");
+  const auto seqs = lz77_parse({data.data(), data.size()}, LzParams{});
+  ASSERT_EQ(seqs.size(), 1u);
+  EXPECT_EQ(seqs[0].match_len, 0u);
+  EXPECT_EQ(seqs[0].literal_len, data.size());
+  EXPECT_EQ(roundtrip({data.data(), data.size()}, LzParams{}), data);
+}
+
+TEST(Lz77, RepeatedPatternFindsMatches) {
+  Bytes data;
+  for (int i = 0; i < 50; ++i) {
+    const Bytes chunk = ascii("pattern!");
+    data.insert(data.end(), chunk.begin(), chunk.end());
+  }
+  const auto seqs = lz77_parse({data.data(), data.size()}, LzParams{});
+  EXPECT_LT(seqs.size(), 6u);  // nearly everything collapses to matches
+  EXPECT_EQ(roundtrip({data.data(), data.size()}, LzParams{}), data);
+}
+
+TEST(Lz77, OverlappingMatchRunLengthEncoding) {
+  const Bytes data(500, 0x55);  // RLE degenerates to offset-1 matches
+  const auto seqs = lz77_parse({data.data(), data.size()}, LzParams{});
+  ASSERT_GE(seqs.size(), 1u);
+  EXPECT_EQ(seqs[0].match_offset, 1u);
+  EXPECT_EQ(roundtrip({data.data(), data.size()}, LzParams{}), data);
+}
+
+TEST(Lz77, RandomDataRoundTrips) {
+  Rng rng(3);
+  Bytes data(20000);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.uniform_index(256));
+  EXPECT_EQ(roundtrip({data.data(), data.size()}, LzParams{}), data);
+}
+
+TEST(Lz77, TextLikeDataRoundTripsWithLazyMatching) {
+  Rng rng(5);
+  Bytes data;
+  const char* words[] = {"federated", "learning", "compression", "error",
+                         "bounded", "lossy", "the", "of"};
+  for (int i = 0; i < 2000; ++i) {
+    const char* word = words[rng.uniform_index(8)];
+    data.insert(data.end(), word, word + std::strlen(word));
+    data.push_back(' ');
+  }
+  LzParams lazy;
+  lazy.lazy = true;
+  lazy.max_chain = 64;
+  EXPECT_EQ(roundtrip({data.data(), data.size()}, lazy), data);
+  // Lazy matching should not produce more sequences than greedy.
+  LzParams greedy = lazy;
+  greedy.lazy = false;
+  EXPECT_LE(lz77_parse({data.data(), data.size()}, lazy).size(),
+            lz77_parse({data.data(), data.size()}, greedy).size() + 50);
+}
+
+TEST(Lz77, MinMatchThreeSupported) {
+  LzParams params;
+  params.min_match = 3;
+  Bytes data = ascii("abcXabcYabcZ");
+  const auto seqs = lz77_parse({data.data(), data.size()}, params);
+  EXPECT_EQ(roundtrip({data.data(), data.size()}, params), data);
+  bool found_match = false;
+  for (const auto& s : seqs)
+    if (s.match_len >= 3) found_match = true;
+  EXPECT_TRUE(found_match);
+}
+
+TEST(Lz77, MinMatchBelowThreeThrows) {
+  LzParams params;
+  params.min_match = 2;
+  const Bytes data = ascii("xx");
+  EXPECT_THROW(lz77_parse({data.data(), data.size()}, params),
+               InvalidArgument);
+}
+
+TEST(Lz77, WindowLimitRespected) {
+  LzParams params;
+  params.window_log = 8;  // 256-byte window
+  Rng rng(7);
+  Bytes data(4096);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.uniform_index(4));
+  const auto seqs = lz77_parse({data.data(), data.size()}, params);
+  for (const auto& s : seqs)
+    EXPECT_LE(s.match_offset, (1u << 8) + 0u);
+  EXPECT_EQ(roundtrip({data.data(), data.size()}, params), data);
+}
+
+TEST(Lz77, MaxMatchCapRespected) {
+  LzParams params;
+  params.max_match = 64;
+  const Bytes data(1000, 0xAA);
+  const auto seqs = lz77_parse({data.data(), data.size()}, params);
+  for (const auto& s : seqs) EXPECT_LE(s.match_len, 64u);
+  EXPECT_EQ(roundtrip({data.data(), data.size()}, params), data);
+}
+
+TEST(Lz77, ReconstructValidatesBounds) {
+  const Bytes data = ascii("abc");
+  std::vector<LzSequence> bad{{0, 3, 5, 10}};  // offset 10 > output size
+  EXPECT_THROW(lz77_reconstruct({data.data(), data.size()}, bad, 8),
+               CorruptStream);
+}
+
+TEST(Shuffle, RoundTrip) {
+  Rng rng(9);
+  Bytes data(4000);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.uniform_index(256));
+  const Bytes shuffled = shuffle_bytes({data.data(), data.size()}, 4);
+  EXPECT_NE(shuffled, data);
+  EXPECT_EQ(unshuffle_bytes({shuffled.data(), shuffled.size()}, 4), data);
+}
+
+TEST(Shuffle, GroupsBytesByPosition) {
+  const Bytes data{0x01, 0x02, 0x03, 0x04, 0x11, 0x12, 0x13, 0x14};
+  const Bytes shuffled = shuffle_bytes({data.data(), data.size()}, 4);
+  const Bytes expected{0x01, 0x11, 0x02, 0x12, 0x03, 0x13, 0x04, 0x14};
+  EXPECT_EQ(shuffled, expected);
+}
+
+TEST(Shuffle, RejectsNonDivisibleSize) {
+  const Bytes data(7, 0);
+  EXPECT_THROW(shuffle_bytes({data.data(), data.size()}, 4), InvalidArgument);
+  EXPECT_THROW(unshuffle_bytes({data.data(), data.size()}, 4),
+               InvalidArgument);
+}
+
+TEST(Shuffle, ImprovesFloatCompressibility) {
+  // Similar floats share exponent/high-mantissa bytes; shuffling groups them.
+  Rng rng(11);
+  std::vector<float> values(4096);
+  for (auto& v : values) v = 1.0f + static_cast<float>(rng.uniform()) * 0.01f;
+  ByteSpan raw = as_bytes({values.data(), values.size()});
+  const Bytes shuffled = shuffle_bytes(raw, 4);
+  // Count zero-deltas as a cheap LZ-ability proxy.
+  auto repeats = [](ByteSpan d) {
+    std::size_t count = 0;
+    for (std::size_t i = 1; i < d.size(); ++i)
+      if (d[i] == d[i - 1]) ++count;
+    return count;
+  };
+  EXPECT_GT(repeats({shuffled.data(), shuffled.size()}), repeats(raw) * 2);
+}
+
+}  // namespace
+}  // namespace fedsz::lossless

@@ -1,0 +1,80 @@
+// Tests for the bandwidth model and the Eqn (1) compression decision rule.
+#include <gtest/gtest.h>
+
+#include "net/bandwidth.hpp"
+#include "util/common.hpp"
+
+namespace fedsz::net {
+namespace {
+
+TEST(SimulatedNetworkTest, TransferTimeMatchesBandwidth) {
+  const SimulatedNetwork net({10.0, 0.0});  // 10 Mbps
+  // 10 Mbps = 1.25e6 bytes/s; 1.25 MB should take 1 second.
+  EXPECT_NEAR(net.transfer_seconds(1250000), 1.0, 1e-9);
+  EXPECT_NEAR(net.transfer_seconds(0), 0.0, 1e-12);
+}
+
+TEST(SimulatedNetworkTest, LatencyAdds) {
+  const SimulatedNetwork net({10.0, 0.05});
+  EXPECT_NEAR(net.transfer_seconds(0), 0.05, 1e-12);
+  EXPECT_NEAR(net.transfer_seconds(1250000), 1.05, 1e-9);
+}
+
+TEST(SimulatedNetworkTest, PaperExampleTenGbUpdateAtTenMbps) {
+  // Section I: a 10 GB update at 10 Mbps takes ~133 minutes (the paper
+  // rounds to "approximately 150 minutes").
+  const SimulatedNetwork net({10.0, 0.0});
+  const double seconds = net.transfer_seconds(10ull * 1000 * 1000 * 1000);
+  EXPECT_NEAR(seconds / 60.0, 133.3, 1.0);
+}
+
+TEST(SimulatedNetworkTest, InvalidProfilesThrow) {
+  EXPECT_THROW(SimulatedNetwork({0.0, 0.0}), InvalidArgument);
+  EXPECT_THROW(SimulatedNetwork({-5.0, 0.0}), InvalidArgument);
+  EXPECT_THROW(SimulatedNetwork({10.0, -1.0}), InvalidArgument);
+}
+
+TEST(CompressionDecisionTest, WorthwhileOnSlowLink) {
+  const SimulatedNetwork slow({10.0, 0.0});
+  // 10 MB update, 5x compression, 1s codec overhead total.
+  const CompressionDecision d =
+      evaluate_compression(10000000, 2000000, 0.7, 0.3, slow);
+  EXPECT_TRUE(d.worthwhile);
+  EXPECT_NEAR(d.uncompressed_seconds, 8.0, 1e-9);
+  EXPECT_NEAR(d.compressed_seconds, 1.0 + 1.6, 1e-9);
+  EXPECT_GT(d.speedup(), 3.0);
+}
+
+TEST(CompressionDecisionTest, NotWorthwhileOnFastLink) {
+  const SimulatedNetwork fast({10000.0, 0.0});  // 10 Gbps
+  const CompressionDecision d =
+      evaluate_compression(10000000, 2000000, 0.7, 0.3, fast);
+  EXPECT_FALSE(d.worthwhile);
+}
+
+TEST(CompressionDecisionTest, CrossoverBandwidthExists) {
+  // Somewhere between 10 Mbps and 10 Gbps the decision flips — the Figure 8
+  // crossover phenomenon.
+  bool was_worthwhile = true;
+  bool flipped = false;
+  for (double mbps = 1.0; mbps <= 10000.0; mbps *= 2.0) {
+    const SimulatedNetwork net({mbps, 0.0});
+    const CompressionDecision d =
+        evaluate_compression(10000000, 2000000, 0.7, 0.3, net);
+    if (was_worthwhile && !d.worthwhile) flipped = true;
+    EXPECT_FALSE(!was_worthwhile && d.worthwhile)
+        << "decision should be monotone in bandwidth";
+    was_worthwhile = d.worthwhile;
+  }
+  EXPECT_TRUE(flipped);
+}
+
+TEST(CompressionDecisionTest, ZeroOverheadAlwaysWorthwhileWhenSmaller) {
+  const SimulatedNetwork net({100.0, 0.0});
+  const CompressionDecision d =
+      evaluate_compression(1000, 999, 0.0, 0.0, net);
+  EXPECT_TRUE(d.worthwhile);
+}
+
+}  // namespace
+}  // namespace fedsz::net

@@ -1,0 +1,228 @@
+// Model-zoo tests: construction across architectures/scales, PyTorch-style
+// state-dict naming (which FedSZ's partition rule depends on), forward
+// shapes, and state-dict load/save semantics.
+#include <gtest/gtest.h>
+
+#include "nn/metrics.hpp"
+#include "nn/models.hpp"
+#include "util/rng.hpp"
+
+namespace fedsz::nn {
+namespace {
+
+Tensor random_images(std::int64_t n, std::int64_t c, std::int64_t s,
+                     std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor t({n, c, s, s});
+  for (std::size_t i = 0; i < t.numel(); ++i)
+    t[i] = static_cast<float>(rng.normal(0.0, 1.0));
+  return t;
+}
+
+class ModelZoo : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ModelZoo, BuildsAndRunsForward) {
+  ModelConfig cfg;
+  cfg.arch = GetParam();
+  cfg.scale = ModelScale::kTiny;
+  BuiltModel built = build_model(cfg);
+  const Tensor logits =
+      built.model.forward(random_images(2, 3, 32, 1), false);
+  EXPECT_EQ(logits.shape(), (Shape{2, 10}));
+  EXPECT_GT(built.flops, 0.0);
+  EXPECT_GT(built.model.parameter_count(), 1000u);
+}
+
+TEST_P(ModelZoo, StateDictNamesFollowConventions) {
+  ModelConfig cfg;
+  cfg.arch = GetParam();
+  cfg.scale = ModelScale::kTiny;
+  BuiltModel built = build_model(cfg);
+  StateDict dict = built.model.state_dict();
+  std::size_t weight_entries = 0;
+  for (const auto& [name, tensor] : dict) {
+    if (name.find("weight") != std::string::npos) ++weight_entries;
+    // No empty or duplicate-dot names.
+    EXPECT_FALSE(name.empty());
+    EXPECT_EQ(name.find(".."), std::string::npos) << name;
+  }
+  EXPECT_GT(weight_entries, 2u);
+}
+
+TEST_P(ModelZoo, ScalesAreOrderedBySize) {
+  ModelConfig cfg;
+  cfg.arch = GetParam();
+  cfg.scale = ModelScale::kTiny;
+  const std::size_t tiny = build_model(cfg).model.parameter_count();
+  cfg.scale = ModelScale::kBench;
+  const std::size_t bench = build_model(cfg).model.parameter_count();
+  EXPECT_GT(bench, tiny);
+}
+
+TEST_P(ModelZoo, DeterministicInitializationFromSeed) {
+  ModelConfig cfg;
+  cfg.arch = GetParam();
+  cfg.scale = ModelScale::kTiny;
+  cfg.seed = 77;
+  BuiltModel a = build_model(cfg);
+  BuiltModel b = build_model(cfg);
+  EXPECT_TRUE(a.model.state_dict().equals(b.model.state_dict()));
+  cfg.seed = 78;
+  BuiltModel c = build_model(cfg);
+  EXPECT_FALSE(a.model.state_dict().equals(c.model.state_dict()));
+}
+
+TEST_P(ModelZoo, LoadStateDictRestoresOutputs) {
+  ModelConfig cfg;
+  cfg.arch = GetParam();
+  cfg.scale = ModelScale::kTiny;
+  BuiltModel a = build_model(cfg);
+  cfg.seed = 1234;
+  BuiltModel b = build_model(cfg);
+  const Tensor input = random_images(2, 3, 32, 5);
+  const Tensor out_a = a.model.forward(input, false);
+  b.model.load_state_dict(a.model.state_dict());
+  const Tensor out_b = b.model.forward(input, false);
+  ASSERT_EQ(out_a.numel(), out_b.numel());
+  for (std::size_t i = 0; i < out_a.numel(); ++i)
+    EXPECT_FLOAT_EQ(out_a[i], out_b[i]);
+}
+
+TEST_P(ModelZoo, EvalForwardIsDeterministic) {
+  ModelConfig cfg;
+  cfg.arch = GetParam();
+  cfg.scale = ModelScale::kTiny;
+  BuiltModel built = build_model(cfg);
+  const Tensor input = random_images(2, 3, 32, 9);
+  const Tensor a = built.model.forward(input, false);
+  const Tensor b = built.model.forward(input, false);
+  EXPECT_TRUE(a.equals(b));
+}
+
+TEST_P(ModelZoo, CustomInputGeometryAndClasses) {
+  ModelConfig cfg;
+  cfg.arch = GetParam();
+  cfg.scale = ModelScale::kTiny;
+  cfg.in_channels = 1;
+  cfg.image_size = 28;
+  cfg.num_classes = 7;
+  BuiltModel built = build_model(cfg);
+  const Tensor logits =
+      built.model.forward(random_images(3, 1, 28, 11), false);
+  EXPECT_EQ(logits.shape(), (Shape{3, 7}));
+}
+
+INSTANTIATE_TEST_SUITE_P(Architectures, ModelZoo,
+                         ::testing::Values("alexnet", "mobilenet_v2",
+                                           "resnet"));
+
+TEST(ModelZooGlobal, UnknownArchitectureThrows) {
+  ModelConfig cfg;
+  cfg.arch = "vgg";
+  EXPECT_THROW(build_model(cfg), InvalidArgument);
+}
+
+TEST(ModelZooGlobal, TooSmallImageThrows) {
+  ModelConfig cfg;
+  cfg.image_size = 4;
+  EXPECT_THROW(build_model(cfg), InvalidArgument);
+}
+
+TEST(ModelZooGlobal, DisplayNames) {
+  EXPECT_EQ(model_display_name("alexnet"), "AlexNet");
+  EXPECT_EQ(model_display_name("mobilenet_v2"), "MobileNet-V2");
+  EXPECT_EQ(model_display_name("resnet"), "ResNet50");
+  EXPECT_THROW(model_display_name("vgg"), InvalidArgument);
+  EXPECT_EQ(model_architectures().size(), 3u);
+}
+
+TEST(ModelZooGlobal, MobileNetHasManySmallBatchNormTensors) {
+  // The Table III structure: MobileNetV2's state dict is rich in small
+  // non-lossy tensors (BN weight/bias/running stats), AlexNet's is not.
+  ModelConfig cfg;
+  cfg.scale = ModelScale::kBench;
+  cfg.arch = "mobilenet_v2";
+  StateDict mobile = build_model(cfg).model.state_dict();
+  cfg.arch = "alexnet";
+  StateDict alex = build_model(cfg).model.state_dict();
+  auto count_running = [](const StateDict& d) {
+    std::size_t n = 0;
+    for (const auto& [name, t] : d)
+      if (name.find("running_") != std::string::npos) ++n;
+    return n;
+  };
+  EXPECT_GT(count_running(mobile), 10u);
+  EXPECT_EQ(count_running(alex), 0u);
+}
+
+TEST(ModelZooGlobal, AlexNetIsFcDominated) {
+  ModelConfig cfg;
+  cfg.arch = "alexnet";
+  cfg.scale = ModelScale::kBench;
+  BuiltModel built = build_model(cfg);
+  StateDict dict = built.model.state_dict();
+  std::size_t largest = 0;
+  for (const auto& [name, t] : dict) largest = std::max(largest, t.numel());
+  // The biggest tensor (an FC weight) dominates total parameters.
+  EXPECT_GT(static_cast<double>(largest) /
+                static_cast<double>(built.model.parameter_count()),
+            0.4);
+}
+
+TEST(ModelZooGlobal, PaperScaleMobileNetMatchesPublishedSize) {
+  ModelConfig cfg;
+  cfg.arch = "mobilenet_v2";
+  cfg.scale = ModelScale::kPaper;
+  cfg.num_classes = 1000;  // the published 3.5M count includes the ImageNet head
+  BuiltModel built = build_model(cfg);
+  // Table III: 3.5e6 parameters. Accept the analogue within ~15%.
+  EXPECT_NEAR(static_cast<double>(built.model.parameter_count()), 3.5e6,
+              0.55e6);
+}
+
+TEST(ModelZooGlobal, ZeroGradClearsAccumulatedGradients) {
+  ModelConfig cfg;
+  cfg.arch = "alexnet";
+  cfg.scale = ModelScale::kTiny;
+  BuiltModel built = build_model(cfg);
+  const Tensor input = random_images(2, 3, 32, 13);
+  built.model.forward(input, true);
+  Tensor grad({2, 10});
+  grad.fill(0.1f);
+  built.model.backward(grad);
+  bool any_nonzero = false;
+  for (const ParamRef& p : built.model.parameters())
+    for (std::size_t i = 0; i < p.grad->numel(); ++i)
+      if ((*p.grad)[i] != 0.0f) any_nonzero = true;
+  EXPECT_TRUE(any_nonzero);
+  built.model.zero_grad();
+  for (const ParamRef& p : built.model.parameters())
+    for (std::size_t i = 0; i < p.grad->numel(); ++i)
+      ASSERT_EQ((*p.grad)[i], 0.0f);
+}
+
+TEST(ModelZooGlobal, LoadStateDictValidatesStructure) {
+  ModelConfig cfg;
+  cfg.arch = "alexnet";
+  cfg.scale = ModelScale::kTiny;
+  BuiltModel built = build_model(cfg);
+  StateDict dict = built.model.state_dict();
+  dict.set("extra.weight", Tensor({3}));
+  EXPECT_THROW(built.model.load_state_dict(dict), InvalidArgument);
+  StateDict missing;
+  EXPECT_THROW(built.model.load_state_dict(missing), InvalidArgument);
+}
+
+TEST(Metrics, Top1AccuracyCountsArgmaxMatches) {
+  Tensor logits = Tensor::from_data({3, 3},
+                                    {5, 1, 1,   // argmax 0
+                                     0, 2, 9,   // argmax 2
+                                     1, 8, 3}); // argmax 1
+  EXPECT_DOUBLE_EQ(top1_accuracy(logits, std::vector<int>{0, 2, 1}), 1.0);
+  EXPECT_NEAR(top1_accuracy(logits, std::vector<int>{0, 2, 0}), 2.0 / 3.0,
+              1e-9);
+  EXPECT_DOUBLE_EQ(top1_accuracy(logits, std::vector<int>{1, 0, 2}), 0.0);
+}
+
+}  // namespace
+}  // namespace fedsz::nn

@@ -1,0 +1,115 @@
+// Training-dynamics tests: SGD semantics and the end-to-end property that
+// every architecture can fit data (the paper's accuracy experiments are
+// meaningless without it).
+#include <gtest/gtest.h>
+
+#include "data/dataloader.hpp"
+#include "data/synthetic.hpp"
+#include "nn/loss.hpp"
+#include "nn/metrics.hpp"
+#include "nn/models.hpp"
+#include "nn/optimizer.hpp"
+
+namespace fedsz::nn {
+namespace {
+
+TEST(Sgd, VanillaStepIsGradientDescent) {
+  Tensor w = Tensor::from_data({2}, {1.0f, -2.0f});
+  Tensor g = Tensor::from_data({2}, {0.5f, 0.5f});
+  std::vector<ParamRef> params{{"w", &w, &g}};
+  Sgd sgd(params, {0.1f, 0.0f, 0.0f});
+  sgd.step();
+  EXPECT_FLOAT_EQ(w[0], 0.95f);
+  EXPECT_FLOAT_EQ(w[1], -2.05f);
+}
+
+TEST(Sgd, MomentumAccumulatesVelocity) {
+  Tensor w = Tensor::from_data({1}, {0.0f});
+  Tensor g = Tensor::from_data({1}, {1.0f});
+  std::vector<ParamRef> params{{"w", &w, &g}};
+  Sgd sgd(params, {0.1f, 0.9f, 0.0f});
+  sgd.step();  // v=1, w=-0.1
+  EXPECT_FLOAT_EQ(w[0], -0.1f);
+  sgd.step();  // v=1.9, w=-0.29
+  EXPECT_FLOAT_EQ(w[0], -0.29f);
+}
+
+TEST(Sgd, WeightDecayShrinksWeights) {
+  Tensor w = Tensor::from_data({1}, {10.0f});
+  Tensor g = Tensor::from_data({1}, {0.0f});
+  std::vector<ParamRef> params{{"w", &w, &g}};
+  Sgd sgd(params, {0.1f, 0.0f, 0.5f});
+  sgd.step();
+  EXPECT_FLOAT_EQ(w[0], 10.0f - 0.1f * 0.5f * 10.0f);
+}
+
+TEST(Sgd, LearningRateIsAdjustable) {
+  Tensor w = Tensor::from_data({1}, {1.0f});
+  Tensor g = Tensor::from_data({1}, {1.0f});
+  std::vector<ParamRef> params{{"w", &w, &g}};
+  Sgd sgd(params, {0.1f, 0.0f, 0.0f});
+  sgd.set_learning_rate(1.0f);
+  sgd.step();
+  EXPECT_FLOAT_EQ(w[0], 0.0f);
+}
+
+class ArchitectureLearns : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ArchitectureLearns, OverfitsASmallBatch) {
+  ModelConfig cfg;
+  cfg.arch = GetParam();
+  cfg.scale = ModelScale::kTiny;
+  BuiltModel built = build_model(cfg);
+  auto [train, test] = data::make_dataset("cifar10");
+  data::DataLoader loader(data::take(train, 32), 32, false, 3);
+  data::Batch batch;
+  ASSERT_TRUE(loader.next(batch));
+  Sgd opt(built.model.parameters(), {0.03f, 0.9f, 0.0f});
+  double first_loss = 0.0, last_loss = 0.0;
+  for (int step = 0; step < 60; ++step) {
+    built.model.zero_grad();
+    const Tensor logits = built.model.forward(batch.images, true);
+    const LossResult loss = softmax_cross_entropy(
+        logits, {batch.labels.data(), batch.labels.size()});
+    built.model.backward(loss.grad_logits);
+    opt.step();
+    if (step == 0) first_loss = loss.loss;
+    last_loss = loss.loss;
+  }
+  EXPECT_LT(last_loss, first_loss * 0.6)
+      << cfg.arch << " failed to fit 32 samples";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllArchitectures, ArchitectureLearns,
+                         ::testing::Values("alexnet", "mobilenet_v2",
+                                           "resnet"));
+
+TEST(Training, GeneralizesAboveChanceOnSyntheticTask) {
+  ModelConfig cfg;
+  cfg.arch = "mobilenet_v2";
+  cfg.scale = ModelScale::kTiny;
+  BuiltModel built = build_model(cfg);
+  auto [train, test] = data::make_dataset("cifar10");
+  data::DataLoader loader(data::take(train, 512), 32, true, 5);
+  Sgd opt(built.model.parameters(), {0.05f, 0.9f, 0.0f});
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    loader.reset();
+    data::Batch batch;
+    while (loader.next(batch)) {
+      built.model.zero_grad();
+      const Tensor logits = built.model.forward(batch.images, true);
+      const LossResult loss = softmax_cross_entropy(
+          logits, {batch.labels.data(), batch.labels.size()});
+      built.model.backward(loss.grad_logits);
+      opt.step();
+    }
+  }
+  const data::Batch eval = data::full_batch(*data::take(test, 200));
+  const Tensor logits = built.model.forward(eval.images, false);
+  const double acc =
+      top1_accuracy(logits, {eval.labels.data(), eval.labels.size()});
+  EXPECT_GT(acc, 0.35) << "expected well above 10% chance";
+}
+
+}  // namespace
+}  // namespace fedsz::nn

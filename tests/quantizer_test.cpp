@@ -1,0 +1,107 @@
+// Tests for the error-bounded linear quantizer and ErrorBound semantics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "compress/lossy/error_bound.hpp"
+#include "compress/lossy/quantizer.hpp"
+#include "util/rng.hpp"
+
+namespace fedsz::lossy {
+namespace {
+
+TEST(Quantizer, ZeroResidualMapsToCenter) {
+  const LinearQuantizer q(0.01);
+  const std::uint32_t code = q.quantize(0.0);
+  EXPECT_EQ(code, q.radius());
+  EXPECT_EQ(q.reconstruct(code), 0.0);
+}
+
+TEST(Quantizer, ReconstructionWithinEps) {
+  const double eps = 0.01;
+  const LinearQuantizer q(eps);
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double r = rng.uniform(-1.0, 1.0);
+    const std::uint32_t code = q.quantize(r);
+    ASSERT_NE(code, LinearQuantizer::kUnpredictable);
+    EXPECT_LE(std::fabs(q.reconstruct(code) - r), eps * (1 + 1e-12));
+  }
+}
+
+TEST(Quantizer, OutOfRangeResidualIsUnpredictable) {
+  const LinearQuantizer q(1e-9);
+  EXPECT_EQ(q.quantize(1.0), LinearQuantizer::kUnpredictable);
+  EXPECT_EQ(q.quantize(-1.0), LinearQuantizer::kUnpredictable);
+}
+
+TEST(Quantizer, BoundaryResidualsStayInCodeRange) {
+  const double eps = 0.5;
+  const LinearQuantizer q(eps, 16);
+  for (double r = -20.0; r <= 20.0; r += 0.25) {
+    const std::uint32_t code = q.quantize(r);
+    if (code != LinearQuantizer::kUnpredictable) {
+      EXPECT_GE(code, 1u);
+      EXPECT_LT(code, 32u);
+      EXPECT_LE(std::fabs(q.reconstruct(code) - r), eps * (1 + 1e-12));
+    }
+  }
+}
+
+TEST(Quantizer, DegenerateEpsTreatsAllAsUnpredictable) {
+  const LinearQuantizer q(0.0);  // clamped internally
+  EXPECT_EQ(q.quantize(0.5), LinearQuantizer::kUnpredictable);
+  EXPECT_NE(q.quantize(0.0), LinearQuantizer::kUnpredictable);
+}
+
+TEST(Quantizer, InvalidCodesThrow) {
+  const LinearQuantizer q(0.1, 8);
+  EXPECT_THROW(q.reconstruct(0), InvalidArgument);
+  EXPECT_THROW(q.reconstruct(16), InvalidArgument);
+  EXPECT_THROW(LinearQuantizer(0.1, 1), InvalidArgument);
+}
+
+TEST(Quantizer, NegativePositiveSymmetry) {
+  const LinearQuantizer q(0.05);
+  const auto pos = q.quantize(0.123);
+  const auto neg = q.quantize(-0.123);
+  EXPECT_EQ(static_cast<std::int64_t>(pos) - q.radius(),
+            -(static_cast<std::int64_t>(neg) - q.radius()));
+}
+
+TEST(ErrorBoundTest, AbsoluteModePassesThrough) {
+  const std::vector<float> data{0.0f, 10.0f};
+  EXPECT_DOUBLE_EQ(
+      ErrorBound::absolute(0.5).absolute_for({data.data(), data.size()}), 0.5);
+}
+
+TEST(ErrorBoundTest, RelativeModeScalesByRange) {
+  const std::vector<float> data{-1.0f, 3.0f};  // range 4
+  EXPECT_DOUBLE_EQ(
+      ErrorBound::relative(0.01).absolute_for({data.data(), data.size()}),
+      0.04);
+}
+
+TEST(ErrorBoundTest, ConstantDataGivesZeroRelativeEps) {
+  const std::vector<float> data(10, 2.0f);
+  EXPECT_DOUBLE_EQ(
+      ErrorBound::relative(0.01).absolute_for({data.data(), data.size()}),
+      0.0);
+}
+
+TEST(ErrorBoundTest, InvalidValuesThrow) {
+  const std::vector<float> data{0.0f, 1.0f};
+  EXPECT_THROW(
+      ErrorBound::relative(0.0).absolute_for({data.data(), data.size()}),
+      InvalidArgument);
+  EXPECT_THROW(
+      ErrorBound::absolute(-1.0).absolute_for({data.data(), data.size()}),
+      InvalidArgument);
+  EXPECT_THROW(ErrorBound::relative(
+                   std::numeric_limits<double>::infinity())
+                   .validate(),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace fedsz::lossy

@@ -1,0 +1,134 @@
+// Tests for the LZMA-style adaptive binary range coder.
+#include <gtest/gtest.h>
+
+#include "compress/lossless/range_coder.hpp"
+#include "util/rng.hpp"
+
+namespace fedsz::lossless {
+namespace {
+
+TEST(RangeCoder, SingleBitRoundTrip) {
+  for (const unsigned bit : {0u, 1u}) {
+    RangeEncoder enc;
+    BitProb prob;
+    enc.encode_bit(prob, bit);
+    const Bytes data = enc.finish();
+    RangeDecoder dec({data.data(), data.size()});
+    BitProb prob2;
+    EXPECT_EQ(dec.decode_bit(prob2), bit);
+  }
+}
+
+TEST(RangeCoder, RandomBitsRoundTrip) {
+  Rng rng(1);
+  std::vector<unsigned> bits(20000);
+  for (auto& b : bits) b = static_cast<unsigned>(rng.uniform_index(2));
+  RangeEncoder enc;
+  BitProb prob;
+  for (const unsigned b : bits) enc.encode_bit(prob, b);
+  const Bytes data = enc.finish();
+  RangeDecoder dec({data.data(), data.size()});
+  BitProb prob2;
+  for (const unsigned b : bits) EXPECT_EQ(dec.decode_bit(prob2), b);
+}
+
+TEST(RangeCoder, SkewedBitsCompressBelowOneBitEach) {
+  Rng rng(3);
+  std::vector<unsigned> bits(50000);
+  for (auto& b : bits) b = rng.uniform() < 0.02 ? 1u : 0u;
+  RangeEncoder enc;
+  BitProb prob;
+  for (const unsigned b : bits) enc.encode_bit(prob, b);
+  const Bytes data = enc.finish();
+  // Entropy ~0.14 bits/symbol; adaptive coder should get well under 1/2.
+  EXPECT_LT(data.size(), bits.size() / 16);
+  RangeDecoder dec({data.data(), data.size()});
+  BitProb prob2;
+  for (const unsigned b : bits) ASSERT_EQ(dec.decode_bit(prob2), b);
+}
+
+TEST(RangeCoder, DirectBitsRoundTrip) {
+  Rng rng(5);
+  std::vector<std::pair<std::uint32_t, unsigned>> values;
+  RangeEncoder enc;
+  for (int i = 0; i < 5000; ++i) {
+    const unsigned count = 1 + static_cast<unsigned>(rng.uniform_index(24));
+    const std::uint32_t v =
+        static_cast<std::uint32_t>(rng.next_u64()) & ((1u << count) - 1);
+    values.emplace_back(v, count);
+    enc.encode_direct(v, count);
+  }
+  const Bytes data = enc.finish();
+  RangeDecoder dec({data.data(), data.size()});
+  for (const auto& [v, count] : values) EXPECT_EQ(dec.decode_direct(count), v);
+}
+
+TEST(RangeCoder, BitTreeRoundTrip) {
+  Rng rng(7);
+  std::vector<BitProb> enc_probs(256), dec_probs(256);
+  std::vector<std::uint32_t> values(10000);
+  for (auto& v : values) v = static_cast<std::uint32_t>(rng.uniform_index(256));
+  RangeEncoder enc;
+  for (const auto v : values) enc.encode_tree(enc_probs, 8, v);
+  const Bytes data = enc.finish();
+  RangeDecoder dec({data.data(), data.size()});
+  for (const auto v : values) EXPECT_EQ(dec.decode_tree(dec_probs, 8), v);
+}
+
+TEST(RangeCoder, BitTreeAdaptsToSkewedSymbols) {
+  std::vector<BitProb> enc_probs(16);
+  RangeEncoder enc;
+  for (int i = 0; i < 20000; ++i) enc.encode_tree(enc_probs, 4, 5);
+  const Bytes data = enc.finish();
+  EXPECT_LT(data.size(), 20000u / 8);  // far below 4 bits/symbol
+  std::vector<BitProb> dec_probs(16);
+  RangeDecoder dec({data.data(), data.size()});
+  for (int i = 0; i < 20000; ++i) ASSERT_EQ(dec.decode_tree(dec_probs, 4), 5u);
+}
+
+TEST(RangeCoder, MixedOperationsRoundTrip) {
+  Rng rng(9);
+  RangeEncoder enc;
+  BitProb flag;
+  std::vector<BitProb> enc_tree(64);
+  std::vector<std::pair<int, std::uint32_t>> script;
+  for (int i = 0; i < 3000; ++i) {
+    const int op = static_cast<int>(rng.uniform_index(3));
+    if (op == 0) {
+      const unsigned b = static_cast<unsigned>(rng.uniform_index(2));
+      enc.encode_bit(flag, b);
+      script.emplace_back(0, b);
+    } else if (op == 1) {
+      const std::uint32_t v =
+          static_cast<std::uint32_t>(rng.uniform_index(1 << 12));
+      enc.encode_direct(v, 12);
+      script.emplace_back(1, v);
+    } else {
+      const std::uint32_t v =
+          static_cast<std::uint32_t>(rng.uniform_index(64));
+      enc.encode_tree(enc_tree, 6, v);
+      script.emplace_back(2, v);
+    }
+  }
+  const Bytes data = enc.finish();
+  RangeDecoder dec({data.data(), data.size()});
+  BitProb flag2;
+  std::vector<BitProb> dec_tree(64);
+  for (const auto& [op, v] : script) {
+    if (op == 0)
+      EXPECT_EQ(dec.decode_bit(flag2), v);
+    else if (op == 1)
+      EXPECT_EQ(dec.decode_direct(12), v);
+    else
+      EXPECT_EQ(dec.decode_tree(dec_tree, 6), v);
+  }
+}
+
+TEST(RangeCoder, EmptyStreamFinishes) {
+  RangeEncoder enc;
+  const Bytes data = enc.finish();
+  EXPECT_EQ(data.size(), 5u);  // flush writes exactly 5 bytes
+}
+
+}  // namespace
+}  // namespace fedsz::lossless

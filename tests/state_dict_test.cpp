@@ -1,0 +1,138 @@
+// Tests for StateDict — the torch state_dict analogue FedSZ operates on.
+#include <gtest/gtest.h>
+
+#include "tensor/state_dict.hpp"
+
+namespace fedsz {
+namespace {
+
+StateDict sample_dict() {
+  StateDict dict;
+  dict.set("conv.weight", Tensor::from_data({2, 2}, {1, 2, 3, 4}));
+  dict.set("conv.bias", Tensor::from_data({2}, {0.5f, -0.5f}));
+  dict.set("bn.running_mean", Tensor::from_data({2}, {0.1f, 0.2f}));
+  return dict;
+}
+
+TEST(StateDict, PreservesInsertionOrder) {
+  const StateDict dict = sample_dict();
+  ASSERT_EQ(dict.size(), 3u);
+  EXPECT_EQ(dict.entries()[0].first, "conv.weight");
+  EXPECT_EQ(dict.entries()[1].first, "conv.bias");
+  EXPECT_EQ(dict.entries()[2].first, "bn.running_mean");
+}
+
+TEST(StateDict, SetOverwritesExistingKeepingPosition) {
+  StateDict dict = sample_dict();
+  dict.set("conv.bias", Tensor::from_data({2}, {9, 9}));
+  EXPECT_EQ(dict.size(), 3u);
+  EXPECT_EQ(dict.entries()[1].first, "conv.bias");
+  EXPECT_EQ(dict.get("conv.bias")[0], 9.0f);
+}
+
+TEST(StateDict, GetMissingThrows) {
+  const StateDict dict = sample_dict();
+  EXPECT_THROW(dict.get("nope"), InvalidArgument);
+  EXPECT_FALSE(dict.contains("nope"));
+  EXPECT_TRUE(dict.contains("conv.weight"));
+}
+
+TEST(StateDict, TotalCounts) {
+  const StateDict dict = sample_dict();
+  EXPECT_EQ(dict.total_parameters(), 8u);
+  EXPECT_EQ(dict.total_bytes(), 32u);
+}
+
+TEST(StateDict, EqualsChecksNamesShapesValues) {
+  const StateDict a = sample_dict();
+  StateDict b = sample_dict();
+  EXPECT_TRUE(a.equals(b));
+  b.get_mutable("conv.weight")[0] = 42.0f;
+  EXPECT_FALSE(a.equals(b));
+}
+
+TEST(StateDict, EqualsDetectsOrderDifference) {
+  StateDict a, b;
+  a.set("x", Tensor::from_data({1}, {1}));
+  a.set("y", Tensor::from_data({1}, {2}));
+  b.set("y", Tensor::from_data({1}, {2}));
+  b.set("x", Tensor::from_data({1}, {1}));
+  EXPECT_FALSE(a.equals(b));
+}
+
+TEST(StateDict, AddScaledIsFedAvgStep) {
+  StateDict acc = sample_dict().zeros_like();
+  acc.add_scaled(sample_dict(), 0.25f);
+  acc.add_scaled(sample_dict(), 0.75f);
+  EXPECT_TRUE(acc.equals(sample_dict()));
+}
+
+TEST(StateDict, AddScaledValidatesStructure) {
+  StateDict a = sample_dict();
+  StateDict b;
+  b.set("other", Tensor({1}));
+  EXPECT_THROW(a.add_scaled(b, 1.0f), InvalidArgument);
+}
+
+TEST(StateDict, ScaleMultipliesEverything) {
+  StateDict dict = sample_dict();
+  dict.scale(2.0f);
+  EXPECT_EQ(dict.get("conv.weight")[3], 8.0f);
+  EXPECT_EQ(dict.get("bn.running_mean")[0], 0.2f);
+}
+
+TEST(StateDict, ZerosLikeKeepsStructure) {
+  const StateDict dict = sample_dict();
+  const StateDict zeros = dict.zeros_like();
+  EXPECT_EQ(zeros.size(), dict.size());
+  EXPECT_TRUE(zeros.get("conv.weight").same_shape(dict.get("conv.weight")));
+  EXPECT_EQ(zeros.get("conv.weight")[0], 0.0f);
+}
+
+TEST(StateDict, SerializeRoundTripIsExact) {
+  const StateDict dict = sample_dict();
+  const Bytes bytes = dict.serialize();
+  const StateDict back = StateDict::deserialize({bytes.data(), bytes.size()});
+  EXPECT_TRUE(dict.equals(back));
+}
+
+TEST(StateDict, SerializeEmptyDict) {
+  const StateDict dict;
+  const Bytes bytes = dict.serialize();
+  const StateDict back = StateDict::deserialize({bytes.data(), bytes.size()});
+  EXPECT_TRUE(back.empty());
+}
+
+TEST(StateDict, SerializePreservesScalarTensors) {
+  StateDict dict;
+  Tensor scalar;
+  scalar[0] = 7.0f;
+  dict.set("num_batches_tracked", scalar);
+  const Bytes bytes = dict.serialize();
+  const StateDict back = StateDict::deserialize({bytes.data(), bytes.size()});
+  EXPECT_EQ(back.get("num_batches_tracked").rank(), 0u);
+  EXPECT_EQ(back.get("num_batches_tracked")[0], 7.0f);
+}
+
+TEST(StateDict, DeserializeRejectsTruncated) {
+  const Bytes bytes = sample_dict().serialize();
+  ByteSpan truncated{bytes.data(), bytes.size() - 3};
+  EXPECT_THROW(StateDict::deserialize(truncated), CorruptStream);
+}
+
+TEST(StateDict, DeserializeRejectsTrailingGarbage) {
+  Bytes bytes = sample_dict().serialize();
+  bytes.push_back(0xFF);
+  EXPECT_THROW(StateDict::deserialize({bytes.data(), bytes.size()}),
+               CorruptStream);
+}
+
+TEST(StateDict, SerializedSizeIsPredictable) {
+  StateDict dict;
+  dict.set("w", Tensor({100}));
+  // 4 (count) + (1+1 name) + 1 (rank) + 1 (dim varint) + 400 payload
+  EXPECT_EQ(dict.serialize().size(), 4u + 2u + 1u + 1u + 400u);
+}
+
+}  // namespace
+}  // namespace fedsz

@@ -1,0 +1,216 @@
+// Tests for the statistics utilities behind Figures 2, 3 and 10.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace fedsz::stats {
+namespace {
+
+std::vector<double> laplace_samples(std::size_t n, double mu, double b,
+                                    std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out(n);
+  for (auto& v : out) v = rng.laplace(mu, b);
+  return out;
+}
+
+std::vector<double> normal_samples(std::size_t n, double mu, double sigma,
+                                   std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out(n);
+  for (auto& v : out) v = rng.normal(mu, sigma);
+  return out;
+}
+
+TEST(Summary, BasicStatistics) {
+  const std::vector<float> values{1.0f, 2.0f, 3.0f, 4.0f};
+  const Summary s = summarize(FloatSpan{values.data(), values.size()});
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_NEAR(s.stddev, std::sqrt(1.25), 1e-9);
+  EXPECT_DOUBLE_EQ(s.range(), 3.0);
+}
+
+TEST(Summary, EmptyInput) {
+  const Summary s = summarize(FloatSpan{});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.range(), 0.0);
+}
+
+TEST(Summary, ConstantInputHasZeroStddev) {
+  const std::vector<float> values(100, 5.0f);
+  const Summary s = summarize(FloatSpan{values.data(), values.size()});
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.range(), 0.0);
+}
+
+TEST(HistogramTest, CountsSumToTotal) {
+  const auto values = normal_samples(10000, 0.0, 1.0, 3);
+  const Histogram h = histogram(values, 50);
+  std::size_t total = 0;
+  for (const auto c : h.counts) total += c;
+  EXPECT_EQ(total, h.total);
+  EXPECT_EQ(h.total, values.size());
+}
+
+TEST(HistogramTest, ValuesOutsideRangeIgnored) {
+  const std::vector<double> values{-10.0, 0.5, 0.6, 10.0};
+  const Histogram h = histogram(values, 4, 0.0, 1.0);
+  EXPECT_EQ(h.total, 2u);
+}
+
+TEST(HistogramTest, MaxValueLandsInLastBin) {
+  const std::vector<double> values{1.0};
+  const Histogram h = histogram(values, 10, 0.0, 1.0);
+  EXPECT_EQ(h.counts.back(), 1u);
+}
+
+TEST(HistogramTest, DensityIntegratesToOne) {
+  const auto values = normal_samples(20000, 0.0, 1.0, 5);
+  const Histogram h = histogram(values, 40, -4.0, 4.0);
+  double integral = 0.0;
+  for (std::size_t i = 0; i < h.counts.size(); ++i)
+    integral += h.density(i) * h.bin_width();
+  EXPECT_NEAR(integral, 1.0, 0.01);  // a few samples fall outside +-4
+}
+
+TEST(HistogramTest, InvalidArgumentsThrow) {
+  const std::vector<double> values{1.0};
+  EXPECT_THROW(histogram(values, 0, 0.0, 1.0), InvalidArgument);
+  EXPECT_THROW(histogram(values, 4, 1.0, 1.0), InvalidArgument);
+}
+
+TEST(LaplaceFitTest, RecoversParameters) {
+  const auto values = laplace_samples(50000, 0.3, 0.08, 7);
+  const LaplaceFit fit = fit_laplace(values);
+  EXPECT_NEAR(fit.mu, 0.3, 0.01);
+  EXPECT_NEAR(fit.b, 0.08, 0.005);
+}
+
+TEST(LaplaceFitTest, CdfProperties) {
+  const LaplaceFit fit{0.0, 1.0};
+  EXPECT_NEAR(fit.cdf(0.0), 0.5, 1e-12);
+  EXPECT_LT(fit.cdf(-5.0), 0.01);
+  EXPECT_GT(fit.cdf(5.0), 0.99);
+  EXPECT_LT(fit.cdf(-1.0), fit.cdf(1.0));
+}
+
+TEST(NormalFitTest, RecoversParameters) {
+  const auto values = normal_samples(50000, -1.0, 2.0, 9);
+  const NormalFit fit = fit_normal(values);
+  EXPECT_NEAR(fit.mu, -1.0, 0.05);
+  EXPECT_NEAR(fit.sigma, 2.0, 0.05);
+}
+
+TEST(NormalFitTest, CdfAtMeanIsHalf) {
+  const NormalFit fit{2.0, 0.5};
+  EXPECT_NEAR(fit.cdf(2.0), 0.5, 1e-9);
+}
+
+TEST(KsStatistic, LaplaceDataPrefersLaplaceFit) {
+  const auto values = laplace_samples(20000, 0.0, 1.0, 11);
+  const LaplaceFit lap = fit_laplace(values);
+  const NormalFit norm = fit_normal(values);
+  const double ks_lap =
+      ks_statistic(values, [&](double x) { return lap.cdf(x); });
+  const double ks_norm =
+      ks_statistic(values, [&](double x) { return norm.cdf(x); });
+  EXPECT_LT(ks_lap, ks_norm);
+  EXPECT_LT(ks_lap, 0.02);
+}
+
+TEST(KsStatistic, NormalDataPrefersNormalFit) {
+  const auto values = normal_samples(20000, 0.0, 1.0, 13);
+  const LaplaceFit lap = fit_laplace(values);
+  const NormalFit norm = fit_normal(values);
+  const double ks_lap =
+      ks_statistic(values, [&](double x) { return lap.cdf(x); });
+  const double ks_norm =
+      ks_statistic(values, [&](double x) { return norm.cdf(x); });
+  EXPECT_LT(ks_norm, ks_lap);
+  EXPECT_LT(ks_norm, 0.02);
+}
+
+TEST(KsStatistic, PerfectFitIsNearZero) {
+  // ECDF of uniform samples against the uniform CDF.
+  Rng rng(15);
+  std::vector<double> values(50000);
+  for (auto& v : values) v = rng.uniform();
+  const double ks = ks_statistic(values, [](double x) {
+    return std::clamp(x, 0.0, 1.0);
+  });
+  EXPECT_LT(ks, 0.01);
+}
+
+TEST(Roughness, SpikySignalScoresHigherThanSmooth) {
+  Rng rng(17);
+  std::vector<float> spiky(2000), smooth(2000);
+  for (std::size_t i = 0; i < spiky.size(); ++i) {
+    spiky[i] = static_cast<float>(rng.laplace(0.0, 0.1));
+    smooth[i] = std::sin(static_cast<float>(i) * 0.01f);
+  }
+  const double r_spiky = roughness({spiky.data(), spiky.size()});
+  const double r_smooth = roughness({smooth.data(), smooth.size()});
+  EXPECT_GT(r_spiky, 10.0 * r_smooth);
+}
+
+TEST(Roughness, ConstantSignalIsZero) {
+  const std::vector<float> values(100, 3.0f);
+  EXPECT_EQ(roughness({values.data(), values.size()}), 0.0);
+}
+
+TEST(MaxAbsError, DetectsWorstDeviation) {
+  const std::vector<float> a{1.0f, 2.0f, 3.0f};
+  const std::vector<float> b{1.0f, 2.5f, 2.9f};
+  EXPECT_NEAR(max_abs_error({a.data(), a.size()}, {b.data(), b.size()}), 0.5,
+              1e-7);
+}
+
+TEST(MaxAbsError, SizeMismatchThrows) {
+  const std::vector<float> a{1.0f}, b{1.0f, 2.0f};
+  EXPECT_THROW(max_abs_error({a.data(), a.size()}, {b.data(), b.size()}),
+               InvalidArgument);
+}
+
+TEST(Psnr, ExactReconstructionIsSentinel) {
+  const std::vector<float> a{1.0f, 2.0f, 3.0f};
+  EXPECT_EQ(psnr({a.data(), a.size()}, {a.data(), a.size()}), 999.0);
+}
+
+TEST(Psnr, IncreasesWithFidelity) {
+  Rng rng(19);
+  std::vector<float> original(1000), noisy_small(1000), noisy_large(1000);
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    original[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+    noisy_small[i] = original[i] + static_cast<float>(rng.normal(0.0, 0.001));
+    noisy_large[i] = original[i] + static_cast<float>(rng.normal(0.0, 0.1));
+  }
+  EXPECT_GT(psnr({original.data(), original.size()},
+                 {noisy_small.data(), noisy_small.size()}),
+            psnr({original.data(), original.size()},
+                 {noisy_large.data(), noisy_large.size()}));
+}
+
+TEST(Correlation, PerfectPositiveAndNegative) {
+  const std::vector<float> a{1.0f, 2.0f, 3.0f, 4.0f};
+  std::vector<float> b{2.0f, 4.0f, 6.0f, 8.0f};
+  EXPECT_NEAR(correlation({a.data(), a.size()}, {b.data(), b.size()}), 1.0,
+              1e-6);
+  for (auto& v : b) v = -v;
+  EXPECT_NEAR(correlation({a.data(), a.size()}, {b.data(), b.size()}), -1.0,
+              1e-6);
+}
+
+TEST(Correlation, ConstantInputGivesZero) {
+  const std::vector<float> a{1.0f, 1.0f, 1.0f};
+  const std::vector<float> b{1.0f, 2.0f, 3.0f};
+  EXPECT_EQ(correlation({a.data(), a.size()}, {b.data(), b.size()}), 0.0);
+}
+
+}  // namespace
+}  // namespace fedsz::stats
