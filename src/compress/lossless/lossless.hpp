@@ -40,9 +40,15 @@ class LosslessCodec {
   virtual Bytes decompress(ByteSpan data) const = 0;
 };
 
-/// Registry access. Codecs are stateless singletons owned by the registry.
+/// Registry access. Codecs are stateless singletons owned by the registry;
+/// lookups and codec calls are thread-safe, so the chunked FedSZ pipeline
+/// shares one instance across all pool workers.
 const LosslessCodec& lossless_codec(LosslessId id);
 const LosslessCodec& lossless_codec(const std::string& name);
 std::vector<const LosslessCodec*> all_lossless_codecs();
+
+/// True when `raw` is a registered LosslessId value (stream validation and
+/// randomized-test id sampling).
+bool is_lossless_id(std::uint8_t raw);
 
 }  // namespace fedsz::lossless

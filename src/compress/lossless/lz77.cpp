@@ -16,10 +16,17 @@ inline std::uint32_t load32(const std::uint8_t* p) {
   return v;
 }
 
+inline std::uint32_t load24(const std::uint8_t* p) {
+  // Same value as load32(p) & 0x00FFFFFF on little-endian, without reading
+  // the 4th byte: min_match == 3 callers only guarantee 3 readable bytes.
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16);
+}
+
 inline std::uint32_t hash_at(const std::uint8_t* p, unsigned min_match) {
   // Hash 3 bytes when min_match == 3, else 4; multiplicative (Knuth) hash.
-  const std::uint32_t v =
-      min_match >= 4 ? load32(p) : (load32(p) & 0x00FFFFFFu);
+  const std::uint32_t v = min_match >= 4 ? load32(p) : load24(p);
   return (v * 2654435761u) >> (32 - kHashBits);
 }
 

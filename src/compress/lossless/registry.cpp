@@ -37,4 +37,16 @@ std::vector<const LosslessCodec*> all_lossless_codecs() {
           &xz_codec_instance()};
 }
 
+bool is_lossless_id(std::uint8_t raw) {
+  switch (static_cast<LosslessId>(raw)) {
+    case LosslessId::kBloscLz:
+    case LosslessId::kZlib:
+    case LosslessId::kZstd:
+    case LosslessId::kGzip:
+    case LosslessId::kXz:
+      return true;
+  }
+  return false;
+}
+
 }  // namespace fedsz::lossless

@@ -48,9 +48,17 @@ class LossyCodec {
   virtual std::vector<float> decompress(ByteSpan data) const = 0;
 };
 
+// Registry access. Codec instances are stateless immutable singletons:
+// lookups and compress()/decompress() calls are safe from any number of
+// threads concurrently, which is what lets the chunked FedSZ pipeline share
+// one codec across all pool workers.
 const LossyCodec& lossy_codec(LossyId id);
 const LossyCodec& lossy_codec(const std::string& name);
 std::vector<const LossyCodec*> all_lossy_codecs();
+
+/// True when `raw` is a registered LossyId value (stream validation and
+/// randomized-test id sampling).
+bool is_lossy_id(std::uint8_t raw);
 
 /// Shared input validation: throws InvalidArgument on non-finite values.
 void require_finite(FloatSpan data, const std::string& codec_name);

@@ -34,6 +34,17 @@ std::vector<const LossyCodec*> all_lossy_codecs() {
           &zfp_codec_instance()};
 }
 
+bool is_lossy_id(std::uint8_t raw) {
+  switch (static_cast<LossyId>(raw)) {
+    case LossyId::kSz2:
+    case LossyId::kSz3:
+    case LossyId::kSzx:
+    case LossyId::kZfp:
+      return true;
+  }
+  return false;
+}
+
 void require_finite(FloatSpan data, const std::string& codec_name) {
   for (const float v : data)
     if (!std::isfinite(v))

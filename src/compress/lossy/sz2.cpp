@@ -175,9 +175,13 @@ class Sz2Codec final : public LossyCodec {
                                                  huffman.size()});
     if (codes.size() != n) throw CorruptStream("sz2: code count mismatch");
     const auto n_verbatim = static_cast<std::size_t>(r.get_varint());
+    // Guard the multiply below: a corrupt count can wrap n_verbatim * 4 to
+    // a small value and request an absurd allocation.
+    if (n_verbatim > r.remaining() / sizeof(float))
+      throw CorruptStream("sz2: verbatim count exceeds stream");
     ByteSpan raw = r.get_bytes(n_verbatim * sizeof(float));
     std::vector<float> verbatim(n_verbatim);
-    std::memcpy(verbatim.data(), raw.data(), raw.size());
+    if (n_verbatim > 0) std::memcpy(verbatim.data(), raw.data(), raw.size());
 
     std::size_t v = 0;
     float last_reconstructed = 0.0f;

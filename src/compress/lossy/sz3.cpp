@@ -116,9 +116,13 @@ class Sz3Codec final : public LossyCodec {
                                                  huffman.size()});
     if (codes.size() != n) throw CorruptStream("sz3: code count mismatch");
     const auto n_verbatim = static_cast<std::size_t>(r.get_varint());
+    // Guard the multiply below: a corrupt count can wrap n_verbatim * 4 to
+    // a small value and request an absurd allocation.
+    if (n_verbatim > r.remaining() / sizeof(float))
+      throw CorruptStream("sz3: verbatim count exceeds stream");
     ByteSpan raw = r.get_bytes(n_verbatim * sizeof(float));
     std::vector<float> verbatim(n_verbatim);
-    std::memcpy(verbatim.data(), raw.data(), raw.size());
+    if (n_verbatim > 0) std::memcpy(verbatim.data(), raw.data(), raw.size());
 
     std::vector<float> recon(n, 0.0f);
     std::size_t next_code = 0, next_verbatim = 0;

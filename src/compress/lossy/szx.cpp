@@ -94,7 +94,9 @@ class SzxCodec final : public LossyCodec {
     const double eps = r.get_f64();
     const double step = 2.0 * eps;
     std::vector<float> out;
-    out.reserve(n);
+    // Advisory only — clamp so a corrupt element count cannot force a huge
+    // up-front allocation; the block loop grows the vector as data arrives.
+    out.reserve(std::min(n, r.remaining()));
     const std::size_t n_blocks = (n + kBlockSize - 1) / kBlockSize;
     for (std::size_t b = 0; b < n_blocks; ++b) {
       const std::size_t len = std::min(kBlockSize, n - out.size());

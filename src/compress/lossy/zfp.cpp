@@ -26,25 +26,38 @@ constexpr std::uint32_t kNegabinaryMask = 0xAAAAAAAAu;
 constexpr int kFixedPointBits = 30;
 constexpr std::uint8_t kEmptyBlockExponent = 0;  // biased-exponent sentinel
 
+// Modular add/sub: the lifting transform works in Z/2^32 by design (extreme
+// fixed-point coefficients wrap), so spell the wraparound out in unsigned
+// arithmetic instead of overflowing signed ints.
+inline std::int32_t wrap_add(std::int32_t a, std::int32_t b) {
+  return static_cast<std::int32_t>(static_cast<std::uint32_t>(a) +
+                                   static_cast<std::uint32_t>(b));
+}
+
+inline std::int32_t wrap_sub(std::int32_t a, std::int32_t b) {
+  return static_cast<std::int32_t>(static_cast<std::uint32_t>(a) -
+                                   static_cast<std::uint32_t>(b));
+}
+
 // ZFP's 1-D forward/inverse lifting transform (nearly-orthogonal; the integer
 // shifts make it approximately invertible, exact in the retained planes).
 void forward_lift(std::int32_t* p) {
   std::int32_t x = p[0], y = p[1], z = p[2], w = p[3];
-  x += w; x >>= 1; w -= x;
-  z += y; z >>= 1; y -= z;
-  x += z; x >>= 1; z -= x;
-  w += y; w >>= 1; y -= w;
-  w += y >> 1; y -= w >> 1;
+  x = wrap_add(x, w); x >>= 1; w = wrap_sub(w, x);
+  z = wrap_add(z, y); z >>= 1; y = wrap_sub(y, z);
+  x = wrap_add(x, z); x >>= 1; z = wrap_sub(z, x);
+  w = wrap_add(w, y); w >>= 1; y = wrap_sub(y, w);
+  w = wrap_add(w, y >> 1); y = wrap_sub(y, w >> 1);
   p[0] = x; p[1] = y; p[2] = z; p[3] = w;
 }
 
 void inverse_lift(std::int32_t* p) {
   std::int32_t x = p[0], y = p[1], z = p[2], w = p[3];
-  y += w >> 1; w -= y >> 1;
-  y += w; w <<= 1; w -= y;
-  z += x; x <<= 1; x -= z;
-  y += z; z <<= 1; z -= y;
-  w += x; x <<= 1; x -= w;
+  y = wrap_add(y, w >> 1); w = wrap_sub(w, y >> 1);
+  y = wrap_add(y, w); w = wrap_add(w, w); w = wrap_sub(w, y);
+  z = wrap_add(z, x); x = wrap_add(x, x); x = wrap_sub(x, z);
+  y = wrap_add(y, z); z = wrap_add(z, z); z = wrap_sub(z, y);
+  w = wrap_add(w, x); x = wrap_add(x, x); x = wrap_sub(x, w);
   p[0] = x; p[1] = y; p[2] = z; p[3] = w;
 }
 
@@ -156,7 +169,9 @@ class ZfpCodec final : public LossyCodec {
     if (n == 0) return out;
     if (precision < 1 || precision > 32)
       throw CorruptStream("zfp: invalid precision");
-    out.reserve(n);
+    // Advisory only — clamp so a corrupt element count cannot force a huge
+    // up-front allocation; the block loop grows the vector as data arrives.
+    out.reserve(std::min(n, r.remaining()));
 
     ByteSpan payload = r.get_bytes(r.remaining());
     BitReader br(payload);

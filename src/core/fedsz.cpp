@@ -1,6 +1,10 @@
 #include "core/fedsz.hpp"
 
+#include <algorithm>
 #include <cstring>
+#include <limits>
+#include <new>
+#include <stdexcept>
 
 #include "util/bytebuffer.hpp"
 #include "util/timer.hpp"
@@ -9,7 +13,22 @@ namespace fedsz::core {
 
 namespace {
 constexpr char kMagic[4] = {'F', 'S', 'Z', '1'};
-constexpr std::uint16_t kVersion = 1;
+/// v1: one opaque blob per lossy tensor, serial-only layout.
+constexpr std::uint16_t kVersionLegacy = 1;
+/// v2: chunked container — per-tensor resolved bound, chunk count and
+/// per-chunk size table, enabling parallel decode at any offset.
+constexpr std::uint16_t kVersion = 2;
+/// A relative bound over a constant tensor resolves to epsilon 0; clamp to a
+/// tiny positive tolerance so the per-chunk absolute bound stays valid (any
+/// exact reconstruction satisfies it either way).
+constexpr double kMinEpsilon = 1e-300;
+/// Decompression-bomb guard: elements a declared tensor may claim per byte
+/// of its declared chunk payloads. The most compressible legitimate input
+/// (a constant tensor under SZ2, the best of the four codecs) measures
+/// ~618 elements/byte at every size, so 2^13 gives ~13x headroom while
+/// capping what a malicious header can make the decoder allocate at 32 KiB
+/// per stream byte.
+constexpr std::uint64_t kMaxElementsPerPayloadByte = 1u << 13;
 }  // namespace
 
 bool is_lossy_entry(const std::string& name, std::size_t numel,
@@ -33,9 +52,35 @@ Partition partition_state_dict(const StateDict& dict, std::size_t threshold) {
 
 FedSz::FedSz(FedSzConfig config) : config_(config) {
   config_.bound.validate();
-  // Resolve the codecs eagerly so a bad id fails at construction.
+  if (config_.chunk_elements == 0)
+    throw InvalidArgument("FedSz: chunk_elements must be >= 1");
+  config_.chunk_elements =
+      std::min(config_.chunk_elements, FedSzConfig::kMaxChunkElements);
+  // Resolve the codecs eagerly so a bad id fails at construction (and the
+  // registry singletons exist before any worker thread touches them).
   (void)lossy::lossy_codec(config_.lossy_id);
   (void)lossless::lossless_codec(config_.lossless_id);
+}
+
+std::size_t FedSz::resolved_parallelism() const {
+  if (config_.parallelism == 0) return ThreadPool::hardware_threads();
+  return config_.parallelism;
+}
+
+ThreadPool& FedSz::pool(std::size_t workers) const {
+  std::lock_guard lock(pool_mutex_);
+  if (!pool_) pool_ = std::make_unique<ThreadPool>(workers);
+  return *pool_;
+}
+
+void FedSz::run_tasks(std::vector<std::function<void()>>& tasks) const {
+  const std::size_t workers = resolved_parallelism();
+  if (workers <= 1 || tasks.size() <= 1) {
+    for (auto& task : tasks) task();
+    return;
+  }
+  pool(workers).parallel_for(tasks.size(),
+                             [&tasks](std::size_t i) { tasks[i](); });
 }
 
 Bytes FedSz::compress(const StateDict& dict, CompressionStats* stats) const {
@@ -52,17 +97,62 @@ Bytes FedSz::compress(const StateDict& dict, CompressionStats* stats) const {
   struct LossyEntry {
     const std::string* name;
     const Tensor* tensor;
+    double eps = 0.0;         // bound resolved over the whole tensor
+    std::size_t chunks = 0;
   };
   std::vector<LossyEntry> lossy_entries;
   for (const auto& [name, tensor] : dict) {
     if (is_lossy_entry(name, tensor.numel(), config_.lossy_threshold)) {
-      lossy_entries.push_back({&name, &tensor});
+      lossy_entries.push_back({&name, &tensor, 0.0, 0});
       local.lossy_original_bytes += tensor.numel() * sizeof(float);
     } else {
       lossless_partition.set(name, tensor);
       local.lossless_original_bytes += tensor.numel() * sizeof(float);
     }
   }
+
+  // Resolve the (possibly relative) bound per tensor BEFORE chunking, so a
+  // chunk sees the same absolute tolerance it would in an unchunked stream.
+  std::size_t total_chunks = 0;
+  for (LossyEntry& entry : lossy_entries) {
+    entry.eps =
+        std::max(config_.bound.absolute_for(entry.tensor->span()),
+                 kMinEpsilon);
+    entry.chunks = chunk_count(entry.tensor->numel());
+    total_chunks += entry.chunks;
+  }
+  local.lossy_chunks = total_chunks;
+
+  // One task per lossy chunk plus one for the lossless partition, all on the
+  // same queue: metadata compression overlaps the lossy work instead of
+  // trailing it. Chunks are compressed out of order but written in order, so
+  // the bitstream is identical at every parallelism setting.
+  std::vector<std::vector<Bytes>> chunk_payloads(lossy_entries.size());
+  Bytes lossless_payload;
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(total_chunks + 1);
+  tasks.push_back([&lossless_partition, &lossless_codec, &lossless_payload] {
+    const Bytes serialized = lossless_partition.serialize();
+    lossless_payload =
+        lossless_codec.compress({serialized.data(), serialized.size()});
+  });
+  for (std::size_t i = 0; i < lossy_entries.size(); ++i) {
+    const LossyEntry& entry = lossy_entries[i];
+    chunk_payloads[i].resize(entry.chunks);
+    const FloatSpan values = entry.tensor->span();
+    for (std::size_t c = 0; c < entry.chunks; ++c) {
+      const std::size_t begin = c * config_.chunk_elements;
+      const std::size_t len =
+          std::min(config_.chunk_elements, values.size() - begin);
+      const FloatSpan chunk = values.subspan(begin, len);
+      Bytes* slot = &chunk_payloads[i][c];
+      const double eps = entry.eps;
+      tasks.push_back([&lossy_codec, chunk, eps, slot] {
+        *slot = lossy_codec.compress(chunk, lossy::ErrorBound::absolute(eps));
+      });
+    }
+  }
+  run_tasks(tasks);
 
   ByteWriter w;
   w.put_bytes({reinterpret_cast<const std::uint8_t*>(kMagic), 4});
@@ -71,28 +161,27 @@ Bytes FedSz::compress(const StateDict& dict, CompressionStats* stats) const {
   w.put_u8(static_cast<std::uint8_t>(config_.lossless_id));
   w.put_u8(static_cast<std::uint8_t>(config_.bound.mode));
   w.put_f64(config_.bound.value);
+  w.put_varint(config_.chunk_elements);
   w.put_u32(static_cast<std::uint32_t>(lossy_entries.size()));
 
-  // Lossy partition: each tensor flattened and compressed independently
-  // (Algorithm 1 lines 3-5).
-  for (const LossyEntry& entry : lossy_entries) {
+  for (std::size_t i = 0; i < lossy_entries.size(); ++i) {
+    const LossyEntry& entry = lossy_entries[i];
     w.put_string(*entry.name);
     const Shape& shape = entry.tensor->shape();
     w.put_u8(static_cast<std::uint8_t>(shape.size()));
     for (const std::int64_t d : shape)
       w.put_varint(static_cast<std::uint64_t>(d));
-    const Bytes payload =
-        lossy_codec.compress(entry.tensor->span(), config_.bound);
-    local.lossy_compressed_bytes += payload.size();
-    w.put_blob({payload.data(), payload.size()});
+    w.put_f64(entry.eps);
+    w.put_varint(entry.chunks);
+    for (const Bytes& payload : chunk_payloads[i]) {
+      w.put_varint(payload.size());
+      local.lossy_compressed_bytes += payload.size();
+    }
+    for (const Bytes& payload : chunk_payloads[i])
+      w.put_bytes({payload.data(), payload.size()});
   }
-
-  // Lossless partition: serialize ("pickle") then compress as one block.
-  const Bytes serialized = lossless_partition.serialize();
-  const Bytes lossless_payload =
-      lossless_codec.compress({serialized.data(), serialized.size()});
-  local.lossless_compressed_bytes = lossless_payload.size();
   w.put_blob({lossless_payload.data(), lossless_payload.size()});
+  local.lossless_compressed_bytes = lossless_payload.size();
 
   Bytes out = w.finish();
   local.compressed_bytes = out.size();
@@ -101,42 +190,36 @@ Bytes FedSz::compress(const StateDict& dict, CompressionStats* stats) const {
   return out;
 }
 
-StateDict FedSz::decompress(ByteSpan stream, double* seconds) const {
-  Timer timer;
-  ByteReader r(stream);
-  ByteSpan magic = r.get_bytes(4);
-  if (std::memcmp(magic.data(), kMagic, 4) != 0)
-    throw CorruptStream("FedSz: bad magic");
-  const std::uint16_t version = r.get_u16();
-  if (version != kVersion)
-    throw CorruptStream("FedSz: unsupported version " +
-                        std::to_string(version));
-  const auto lossy_id = static_cast<lossy::LossyId>(r.get_u8());
-  const auto lossless_id = static_cast<lossless::LosslessId>(r.get_u8());
-  (void)r.get_u8();   // bound mode (informational)
-  (void)r.get_f64();  // bound value (informational)
-  const lossy::LossyCodec& lossy_codec = lossy::lossy_codec(lossy_id);
-  const lossless::LosslessCodec& lossless_codec =
-      lossless::lossless_codec(lossless_id);
+namespace {
 
+struct DecodedEntry {
+  std::string name;
+  Tensor tensor;
+};
+
+/// Reads one lossy-entry header (name + validated shape).
+std::string read_entry_header(ByteReader& r, Shape* shape,
+                              std::size_t* numel) {
+  std::string name = r.get_string();
+  *numel = read_stream_shape(r, shape, name);
+  return name;
+}
+
+/// Legacy v1 container: one opaque blob per lossy tensor, decoded serially.
+/// Kept so bitstreams written before the chunked container still decode.
+StateDict decompress_v1(ByteReader& r, const lossy::LossyCodec& lossy_codec,
+                        const lossless::LosslessCodec& lossless_codec) {
   const std::uint32_t n_lossy = r.get_u32();
-  struct DecodedEntry {
-    std::string name;
-    Tensor tensor;
-  };
   std::vector<DecodedEntry> lossy_entries;
-  lossy_entries.reserve(n_lossy);
+  lossy_entries.reserve(std::min<std::size_t>(n_lossy, r.remaining()));
   for (std::uint32_t i = 0; i < n_lossy; ++i) {
-    std::string name = r.get_string();
-    const std::uint8_t rank = r.get_u8();
     Shape shape;
-    shape.reserve(rank);
-    for (std::uint8_t d = 0; d < rank; ++d)
-      shape.push_back(static_cast<std::int64_t>(r.get_varint()));
+    std::size_t numel = 0;
+    std::string name = read_entry_header(r, &shape, &numel);
     const Bytes payload = r.get_blob();
     std::vector<float> values =
         lossy_codec.decompress({payload.data(), payload.size()});
-    if (values.size() != shape_numel(shape))
+    if (values.size() != numel)
       throw CorruptStream("FedSz: decompressed size mismatch for " + name);
     lossy_entries.push_back(
         {std::move(name), Tensor::from_data(std::move(shape),
@@ -148,6 +231,143 @@ StateDict FedSz::decompress(ByteSpan stream, double* seconds) const {
       {lossless_payload.data(), lossless_payload.size()});
   const StateDict lossless_partition =
       StateDict::deserialize({serialized.data(), serialized.size()});
+
+  StateDict out;
+  for (DecodedEntry& entry : lossy_entries)
+    out.set(entry.name, std::move(entry.tensor));
+  for (const auto& [name, tensor] : lossless_partition) out.set(name, tensor);
+  return out;
+}
+
+}  // namespace
+
+StateDict FedSz::decompress(ByteSpan stream, double* seconds) const {
+  Timer timer;
+  ByteReader r(stream);
+  ByteSpan magic = r.get_bytes(4);
+  if (std::memcmp(magic.data(), kMagic, 4) != 0)
+    throw CorruptStream("FedSz: bad magic");
+  const std::uint16_t version = r.get_u16();
+  if (version != kVersion && version != kVersionLegacy)
+    throw CorruptStream("FedSz: unsupported version " +
+                        std::to_string(version));
+  const std::uint8_t raw_lossy_id = r.get_u8();
+  const std::uint8_t raw_lossless_id = r.get_u8();
+  // Codec-id bytes are stream data: an unknown value is corruption, not an
+  // API-misuse InvalidArgument from the registry lookup.
+  if (!lossy::is_lossy_id(raw_lossy_id) ||
+      !lossless::is_lossless_id(raw_lossless_id))
+    throw CorruptStream("FedSz: unknown codec id in stream");
+  const auto lossy_id = static_cast<lossy::LossyId>(raw_lossy_id);
+  const auto lossless_id = static_cast<lossless::LosslessId>(raw_lossless_id);
+  (void)r.get_u8();   // bound mode (informational)
+  (void)r.get_f64();  // bound value (informational)
+  const lossy::LossyCodec& lossy_codec = lossy::lossy_codec(lossy_id);
+  const lossless::LosslessCodec& lossless_codec =
+      lossless::lossless_codec(lossless_id);
+
+  if (version == kVersionLegacy) {
+    StateDict out = decompress_v1(r, lossy_codec, lossless_codec);
+    if (seconds) *seconds = timer.seconds();
+    return out;
+  }
+
+  const std::uint64_t chunk_elements = r.get_varint();
+  if (chunk_elements == 0 ||
+      chunk_elements > FedSzConfig::kMaxChunkElements)
+    throw CorruptStream("FedSz: chunk size out of range");
+
+  // Pass 1 (serial): walk the container, validate the chunk tables, and
+  // pre-allocate every output tensor. Each chunk task then gets a disjoint
+  // destination range, so pass 2 can decode all chunks concurrently.
+  const std::uint32_t n_lossy = r.get_u32();
+  std::vector<DecodedEntry> lossy_entries;
+  lossy_entries.reserve(std::min<std::size_t>(n_lossy, r.remaining()));
+  struct ChunkTask {
+    ByteSpan payload;
+    float* dest;
+    std::size_t expected;
+  };
+  std::vector<ChunkTask> chunks;
+  for (std::uint32_t i = 0; i < n_lossy; ++i) {
+    Shape shape;
+    std::size_t numel = 0;
+    std::string name = read_entry_header(r, &shape, &numel);
+    (void)r.get_f64();  // resolved absolute epsilon (informational)
+    const std::uint64_t n_chunks = r.get_varint();
+    const std::uint64_t expected_chunks =
+        ceil_div(numel, static_cast<std::size_t>(chunk_elements));
+    if (n_chunks != expected_chunks)
+      throw CorruptStream("FedSz: chunk count mismatch for " + name);
+    // Walk the whole chunk table and payload region BEFORE allocating the
+    // output tensor: every size varint is >= 1 byte and get_bytes() throws
+    // on truncation, so a malformed header cannot trigger a large
+    // allocation backed by no stream bytes.
+    if (n_chunks > r.remaining())
+      throw CorruptStream("FedSz: chunk table larger than stream for " +
+                          name);
+    std::vector<ByteSpan> payloads(n_chunks);
+    {
+      std::vector<std::uint64_t> sizes(n_chunks);
+      std::uint64_t payload_bytes = 0;
+      for (std::uint64_t c = 0; c < n_chunks; ++c) {
+        sizes[c] = r.get_varint();
+        if (sizes[c] > r.remaining())
+          throw CorruptStream("FedSz: chunk size exceeds stream for " + name);
+        payload_bytes += sizes[c];
+      }
+      // Even the most compressible legitimate tensor needs payload bytes in
+      // proportion to its element count; a header claiming far more is a
+      // decompression bomb, rejected before the output tensor is allocated.
+      if (numel / kMaxElementsPerPayloadByte >
+          static_cast<std::size_t>(payload_bytes))
+        throw CorruptStream("FedSz: implausible tensor size for " + name);
+      for (std::uint64_t c = 0; c < n_chunks; ++c)
+        payloads[c] = r.get_bytes(sizes[c]);
+    }
+    // The payload bytes exist; materialize the output tensor. The declared
+    // shape is still attacker-controlled, so a failed allocation is stream
+    // corruption, not a caller error.
+    try {
+      lossy_entries.push_back({std::move(name), Tensor(std::move(shape))});
+    } catch (const std::bad_alloc&) {
+      throw CorruptStream("FedSz: declared tensor too large to materialize");
+    } catch (const std::length_error&) {
+      throw CorruptStream("FedSz: declared tensor too large to materialize");
+    }
+    float* dest = lossy_entries.back().tensor.data();
+    for (std::uint64_t c = 0; c < n_chunks; ++c) {
+      const std::size_t begin = c * chunk_elements;
+      const std::size_t len =
+          std::min<std::size_t>(chunk_elements, numel - begin);
+      chunks.push_back({payloads[c], dest + begin, len});
+    }
+  }
+  const ByteSpan lossless_payload_span = [&r] {
+    const std::uint64_t size = r.get_varint();
+    return r.get_bytes(size);
+  }();
+  if (!r.done()) throw CorruptStream("FedSz: trailing bytes");
+
+  // Pass 2: decode chunks and the lossless partition concurrently.
+  StateDict lossless_partition;
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(chunks.size() + 1);
+  tasks.push_back([&lossless_codec, lossless_payload_span,
+                   &lossless_partition] {
+    const Bytes serialized = lossless_codec.decompress(lossless_payload_span);
+    lossless_partition =
+        StateDict::deserialize({serialized.data(), serialized.size()});
+  });
+  for (const ChunkTask& chunk : chunks) {
+    tasks.push_back([&lossy_codec, chunk] {
+      const std::vector<float> values = lossy_codec.decompress(chunk.payload);
+      if (values.size() != chunk.expected)
+        throw CorruptStream("FedSz: decompressed chunk size mismatch");
+      std::memcpy(chunk.dest, values.data(), values.size() * sizeof(float));
+    });
+  }
+  run_tasks(tasks);
 
   // Reassemble. Entry order is lossy entries first, then lossless; FedAvg
   // aggregation matches by name, so order differences from the original are

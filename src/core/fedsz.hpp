@@ -9,12 +9,25 @@
 //         lossless codec (blosc-lz by default),
 //   (iii) emitting a single self-describing bitstream for the server, which
 //         decompresses and reshapes entries back into a StateDict.
+//
+// Compression time dominates the codec trade-off (Table I), so the hot path
+// is a parallel chunked pipeline: each lossy tensor is split into fixed-size
+// chunks that are compressed independently — concurrently on a
+// util::ThreadPool when `parallelism` > 1 — and the lossless partition is
+// compressed in parallel with the lossy work. The container records chunk
+// counts, per-chunk sizes and the resolved error bound, so decompression is
+// parallel too. Chunk boundaries and output bytes are independent of the
+// thread count: any `parallelism` produces the identical bitstream.
 #pragma once
+
+#include <memory>
+#include <mutex>
 
 #include "compress/lossless/lossless.hpp"
 #include "compress/lossy/lossy.hpp"
 #include "tensor/state_dict.hpp"
 #include "util/common.hpp"
+#include "util/thread_pool.hpp"
 
 namespace fedsz::core {
 
@@ -25,11 +38,32 @@ struct FedSzConfig {
   /// Algorithm 1's `threshold`: minimum flattened element count for the
   /// lossy path.
   std::size_t lossy_threshold = 1000;
+  /// Hard ceiling on chunk_elements (1 GiB of float32 per chunk). Values
+  /// above it are clamped at construction, and streams declaring more are
+  /// rejected as corrupt — it bounds what a malicious header can make the
+  /// decoder allocate.
+  static constexpr std::size_t kMaxChunkElements = std::size_t{1} << 28;
+  /// Elements per lossy chunk. Tensors larger than this are split into
+  /// independent chunks ((de)compressed concurrently). A relative bound is
+  /// always resolved over the WHOLE tensor before chunking, so chunking
+  /// never changes error-bound semantics. Must be >= 1; clamped to
+  /// kMaxChunkElements.
+  std::size_t chunk_elements = 64 * 1024;
+  /// Worker threads for the chunk pipeline: 1 = serial in the caller's
+  /// thread (default), 0 = one per hardware thread, N = pool of N workers.
+  /// The emitted bitstream is byte-identical for every setting.
+  std::size_t parallelism = 1;
 };
 
 /// Algorithm 1, line 4: the partition predicate.
 bool is_lossy_entry(const std::string& name, std::size_t numel,
                     std::size_t threshold);
+
+/// Overflow-safe ceiling division (`n + d - 1` can wrap); shared by the
+/// chunk writer and the container decoder so the two can never disagree.
+inline std::size_t ceil_div(std::size_t n, std::size_t d) {
+  return n / d + (n % d != 0 ? 1 : 0);
+}
 
 /// Partition census (drives Table III's "% lossy data" column and the
 /// partition-rule tests).
@@ -55,6 +89,9 @@ struct CompressionStats {
   std::size_t lossy_compressed_bytes = 0;
   std::size_t lossless_original_bytes = 0;
   std::size_t lossless_compressed_bytes = 0;
+  /// Total lossy chunks in the container (0 when the lossy partition is
+  /// empty; equals the lossy tensor count when nothing exceeds chunk size).
+  std::size_t lossy_chunks = 0;
   double compress_seconds = 0.0;
 
   double ratio() const {
@@ -72,14 +109,31 @@ class FedSz {
   Bytes compress(const StateDict& dict,
                  CompressionStats* stats = nullptr) const;
 
-  /// Decompress a FedSZ bitstream. Optional wall-clock out-param. Throws
-  /// CorruptStream on malformed input.
+  /// Decompress a FedSZ bitstream (current chunked container or the legacy
+  /// v1 single-blob-per-tensor format). Optional wall-clock out-param.
+  /// Throws CorruptStream on malformed input.
   StateDict decompress(ByteSpan stream, double* seconds = nullptr) const;
 
   const FedSzConfig& config() const { return config_; }
 
+  /// Chunks the pipeline will emit for a tensor of `numel` elements.
+  std::size_t chunk_count(std::size_t numel) const {
+    return ceil_div(numel, config_.chunk_elements);
+  }
+
  private:
+  /// Run independent pipeline tasks: inline when `parallelism` is 1 (or
+  /// there is nothing to overlap), otherwise on the lazily-created pool.
+  void run_tasks(std::vector<std::function<void()>>& tasks) const;
+  std::size_t resolved_parallelism() const;
+  ThreadPool& pool(std::size_t workers) const;
+
   FedSzConfig config_;
+  // The pool is an execution resource, not part of the codec's value; it is
+  // created on first parallel use and shared by concurrent compress() /
+  // decompress() calls (ThreadPool::submit is thread-safe).
+  mutable std::mutex pool_mutex_;
+  mutable std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace fedsz::core

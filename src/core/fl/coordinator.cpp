@@ -64,21 +64,25 @@ FlRunResult FlCoordinator::run() {
       out.payload = std::move(encoded.payload);
     });
 
-    // Server receives (simulated transfer), decodes, aggregates.
-    std::vector<std::pair<StateDict, std::size_t>> updates;
-    updates.reserve(outputs.size());
-    for (PerClient& out : outputs) {
+    // Server receives (simulated transfer) and decodes all client payloads
+    // concurrently on the same pool, then accounts and aggregates serially.
+    std::vector<std::pair<StateDict, std::size_t>> updates(outputs.size());
+    std::vector<double> decode_seconds(outputs.size(), 0.0);
+    pool.parallel_for(outputs.size(), [&](std::size_t i) {
+      const PerClient& out = outputs[i];
+      updates[i].first = codec_->decode(
+          {out.payload.data(), out.payload.size()}, &decode_seconds[i]);
+      updates[i].second = out.samples;
+    });
+    for (std::size_t i = 0; i < outputs.size(); ++i) {
+      const PerClient& out = outputs[i];
       record.train_seconds += out.train_seconds;
       record.compress_seconds += out.compress_seconds;
       record.mean_loss += out.loss;
       record.bytes_sent += out.payload.size();
       record.raw_bytes += out.raw_bytes;
       record.comm_seconds += network.transfer_seconds(out.payload.size());
-      double decode_seconds = 0.0;
-      StateDict update = codec_->decode(
-          {out.payload.data(), out.payload.size()}, &decode_seconds);
-      record.decompress_seconds += decode_seconds;
-      updates.emplace_back(std::move(update), out.samples);
+      record.decompress_seconds += decode_seconds[i];
     }
     const double inv_clients = 1.0 / static_cast<double>(clients_.size());
     record.train_seconds *= inv_clients;

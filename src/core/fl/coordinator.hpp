@@ -1,10 +1,12 @@
 // FL coordinator: the APPFL/FedAvg driver. Partitions a training set across
-// clients, runs communication rounds (clients train in parallel on a thread
-// pool — the analogue of the paper's MPI-rank-per-client simulation),
-// compresses every client update through the configured UpdateCodec, models
-// the transfer over a SimulatedNetwork, aggregates on the server, and
-// records per-round accuracy plus a full timing/byte breakdown (the raw
-// material for Figures 4-9).
+// clients, runs communication rounds (clients train AND compress their
+// updates concurrently on a thread pool — the analogue of the paper's
+// MPI-rank-per-client simulation), models the transfer over a
+// SimulatedNetwork, decodes all received payloads concurrently on the same
+// pool, aggregates on the server, and records per-round accuracy plus a
+// full timing/byte breakdown (the raw material for Figures 4-9). A parallel
+// FedSzCodec (FedSzConfig::parallelism) additionally fans each client's
+// chunk pipeline out, nesting chunk-level under client-level concurrency.
 #pragma once
 
 #include "core/fl/client.hpp"

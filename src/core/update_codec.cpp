@@ -48,4 +48,10 @@ UpdateCodecPtr make_fedsz_codec(FedSzConfig config) {
   return std::make_shared<FedSzCodec>(config);
 }
 
+UpdateCodecPtr make_parallel_fedsz_codec(std::size_t parallelism,
+                                         FedSzConfig config) {
+  config.parallelism = parallelism;
+  return std::make_shared<FedSzCodec>(config);
+}
+
 }  // namespace fedsz::core

@@ -35,7 +35,10 @@ class IdentityCodec final : public UpdateCodec {
   StateDict decode(ByteSpan payload, double* decode_seconds) const override;
 };
 
-/// FedSZ compression with a given configuration.
+/// FedSZ compression with a given configuration. The chunked pipeline's
+/// `parallelism` knob flows straight through FedSzConfig: a parallel codec
+/// overlaps per-chunk lossy work and the lossless partition on a thread
+/// pool, while emitting the same bytes as the serial setting.
 class FedSzCodec final : public UpdateCodec {
  public:
   explicit FedSzCodec(FedSzConfig config) : fedsz_(config) {}
@@ -51,5 +54,10 @@ class FedSzCodec final : public UpdateCodec {
 
 UpdateCodecPtr make_identity_codec();
 UpdateCodecPtr make_fedsz_codec(FedSzConfig config = {});
+/// FedSZ with the chunk pipeline fanned out over `parallelism` workers
+/// (0 = one per hardware thread). Output is byte-identical to the serial
+/// codec; only wall-clock changes.
+UpdateCodecPtr make_parallel_fedsz_codec(std::size_t parallelism,
+                                         FedSzConfig config = {});
 
 }  // namespace fedsz::core

@@ -90,18 +90,38 @@ Bytes StateDict::serialize() const {
   return w.finish();
 }
 
+std::size_t read_stream_shape(ByteReader& r, Shape* shape,
+                              const std::string& name) {
+  const std::uint8_t rank = r.get_u8();
+  shape->clear();
+  shape->reserve(rank);
+  std::size_t numel = 1;
+  for (std::uint8_t d = 0; d < rank; ++d) {
+    const std::uint64_t dim = r.get_varint();
+    if (dim == 0 ||
+        dim > static_cast<std::uint64_t>(
+                  std::numeric_limits<std::int64_t>::max()) ||
+        numel > std::numeric_limits<std::size_t>::max() / dim)
+      throw CorruptStream("invalid tensor shape in stream for " + name);
+    numel *= static_cast<std::size_t>(dim);
+    shape->push_back(static_cast<std::int64_t>(dim));
+  }
+  return numel;
+}
+
 StateDict StateDict::deserialize(ByteSpan bytes) {
   ByteReader r(bytes);
   const std::uint32_t count = r.get_u32();
   StateDict out;
   for (std::uint32_t i = 0; i < count; ++i) {
     const std::string name = r.get_string();
-    const std::uint8_t rank = r.get_u8();
     Shape shape;
-    shape.reserve(rank);
-    for (std::uint8_t d = 0; d < rank; ++d)
-      shape.push_back(static_cast<std::int64_t>(r.get_varint()));
-    const std::size_t numel = shape_numel(shape);
+    const std::size_t numel = read_stream_shape(r, &shape, name);
+    // Every element is stored raw here, so the remaining bytes bound the
+    // element count directly — a corrupt header can neither wrap
+    // `numel * sizeof(float)` below nor force a huge allocation.
+    if (numel > r.remaining() / sizeof(float))
+      throw CorruptStream("StateDict: tensor larger than stream for " + name);
     ByteSpan raw = r.get_bytes(numel * sizeof(float));
     std::vector<float> data(numel);
     std::memcpy(data.data(), raw.data(), raw.size());

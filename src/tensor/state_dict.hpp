@@ -15,6 +15,17 @@
 
 namespace fedsz {
 
+class ByteReader;
+
+/// Reads a serialized tensor shape (u8 rank, then one dim varint each) and
+/// returns its element count. Dims are stream data: zero dims, dims above
+/// int64 range, and element-count products that wrap size_t all throw
+/// CorruptStream (never a Tensor argument error), so downstream allocation
+/// arithmetic cannot overflow. Shared by the StateDict and FedSZ-container
+/// stream parsers.
+std::size_t read_stream_shape(ByteReader& r, Shape* shape,
+                              const std::string& name);
+
 class StateDict {
  public:
   using Entry = std::pair<std::string, Tensor>;

@@ -1,6 +1,9 @@
 // Fixed-size thread pool used to run FL clients concurrently — the analogue
 // of the paper's MPI-rank-per-client simulation on the Swing cluster
-// (Figure 9 weak/strong scaling).
+// (Figure 9 weak/strong scaling) — and to drive the chunked FedSZ
+// compression pipeline (core::FedSz fans per-chunk codec work out over a
+// pool). submit()/parallel_for() are safe to call from multiple threads at
+// once; each caller waits only on its own futures.
 #pragma once
 
 #include <condition_variable>
@@ -24,6 +27,10 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   std::size_t size() const { return workers_.size(); }
+
+  /// Hardware thread count, never 0 (std::thread::hardware_concurrency may
+  /// report 0 when it cannot be determined).
+  static std::size_t hardware_threads();
 
   /// Enqueue a task; the future resolves with its result (or exception).
   template <typename F>

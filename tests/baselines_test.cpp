@@ -59,9 +59,11 @@ TEST(TopK, SubThresholdTensorsAreExact) {
   const auto encoded = codec->encode(dict);
   const StateDict back =
       codec->decode({encoded.payload.data(), encoded.payload.size()});
-  for (const auto& [name, tensor] : dict)
-    if (!is_lossy_entry(name, tensor.numel(), 1000))
+  for (const auto& [name, tensor] : dict) {
+    if (!is_lossy_entry(name, tensor.numel(), 1000)) {
       EXPECT_TRUE(back.get(name).equals(tensor)) << name;
+    }
+  }
 }
 
 TEST(TopK, SmallerKeepFractionShrinksPayload) {
@@ -143,9 +145,11 @@ TEST(Qsgd, SubThresholdTensorsAreExact) {
   const auto encoded = codec->encode(dict);
   const StateDict back =
       codec->decode({encoded.payload.data(), encoded.payload.size()});
-  for (const auto& [name, tensor] : dict)
-    if (!is_lossy_entry(name, tensor.numel(), 1000))
+  for (const auto& [name, tensor] : dict) {
+    if (!is_lossy_entry(name, tensor.numel(), 1000)) {
       EXPECT_TRUE(back.get(name).equals(tensor)) << name;
+    }
+  }
 }
 
 // ---- composition (the Section III-C "last step" claim) ----

@@ -92,7 +92,9 @@ TEST(DpAnalysis, Sz2ErrorsOnWeightsLookLaplacianAtLargeBounds) {
     const ErrorDistribution dist =
         analyze_errors({weights.data(), weights.size()},
                        {back.data(), back.size()});
-    if (rel == 0.5) EXPECT_LT(dist.ks_laplace, dist.ks_normal);
+    if (rel == 0.5) {
+      EXPECT_LT(dist.ks_laplace, dist.ks_normal);
+    }
     EXPECT_GT(dist.laplace.b, 0.0) << "rel=" << rel;
     EXPECT_NEAR(dist.laplace.mu, 0.0, 0.01) << "rel=" << rel;
   }

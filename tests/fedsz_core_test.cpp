@@ -81,8 +81,9 @@ TEST(FedSzRoundTrip, LosslessPartitionIsBitExact) {
   const Bytes blob = fedsz.compress(dict);
   const StateDict back = fedsz.decompress({blob.data(), blob.size()});
   for (const auto& [name, tensor] : dict) {
-    if (!is_lossy_entry(name, tensor.numel(), config.lossy_threshold))
+    if (!is_lossy_entry(name, tensor.numel(), config.lossy_threshold)) {
       EXPECT_TRUE(back.get(name).equals(tensor)) << name;
+    }
   }
 }
 
@@ -215,10 +216,12 @@ TEST(FedSzWireFormat, TrailingGarbageThrows) {
 }
 
 TEST(FedSzWireFormat, UnknownCodecIdThrows) {
+  // An unknown codec id byte is stream corruption (the decode contract is
+  // CorruptStream for every malformed-input failure).
   const FedSz fedsz{FedSzConfig{}};
   Bytes blob = fedsz.compress(model_dict());
   blob[6] = 0x7F;  // lossy codec id byte
-  EXPECT_THROW(fedsz.decompress({blob.data(), blob.size()}), InvalidArgument);
+  EXPECT_THROW(fedsz.decompress({blob.data(), blob.size()}), CorruptStream);
 }
 
 TEST(FedSzConfigTest, InvalidBoundRejectedAtConstruction) {

@@ -115,12 +115,13 @@ TEST(RangeCoder, MixedOperationsRoundTrip) {
   BitProb flag2;
   std::vector<BitProb> dec_tree(64);
   for (const auto& [op, v] : script) {
-    if (op == 0)
+    if (op == 0) {
       EXPECT_EQ(dec.decode_bit(flag2), v);
-    else if (op == 1)
+    } else if (op == 1) {
       EXPECT_EQ(dec.decode_direct(12), v);
-    else
+    } else {
       EXPECT_EQ(dec.decode_tree(dec_tree, 6), v);
+    }
   }
 }
 

@@ -1,0 +1,137 @@
+// Property-based round-trip test for the FedSZ pipeline, in the style of
+// small-model PBT (generate many tiny random inputs, assert a strong
+// invariant on each): randomized StateDicts — random entry names, shapes,
+// codec ids, bounds, chunk sizes, thresholds and parallelism — must satisfy
+//
+//   decompress(compress(dict)) preserves names and shapes,
+//   every lossless-partition entry round-trips byte-identically,
+//   every lossy-partition entry stays within the resolved error bound
+//   (for codecs that guarantee a pointwise bound), and
+//   the emitted bitstream does not depend on the parallelism setting.
+//
+// Failures print the iteration index; the generator is seeded, so a failing
+// case replays deterministically.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "core/fedsz.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace fedsz::core {
+namespace {
+
+Shape random_shape(Rng& rng) {
+  const std::size_t rank = 1 + rng.uniform_index(3);
+  Shape shape;
+  for (std::size_t d = 0; d < rank; ++d)
+    shape.push_back(1 + static_cast<std::int64_t>(rng.uniform_index(16)));
+  return shape;
+}
+
+Tensor random_tensor(Rng& rng) {
+  Shape shape = random_shape(rng);
+  std::vector<float> values(shape_numel(shape));
+  const double scale = std::pow(10.0, rng.uniform(-2.0, 2.0));
+  if (rng.uniform() < 0.1) {
+    // Occasional constant tensor: REL bound resolves to epsilon 0.
+    const float v = static_cast<float>(scale * rng.normal());
+    for (float& x : values) x = v;
+  } else {
+    for (float& x : values) x = static_cast<float>(scale * rng.normal());
+  }
+  return Tensor::from_data(std::move(shape), std::move(values));
+}
+
+std::string random_name(Rng& rng, std::size_t index) {
+  static const char* kSuffixes[] = {".weight",       ".bias",
+                                    ".weight_v",     ".running_mean",
+                                    ".scale",        ".weight_scale"};
+  return "layer" + std::to_string(index) +
+         kSuffixes[rng.uniform_index(std::size(kSuffixes))];
+}
+
+FedSzConfig random_config(Rng& rng) {
+  FedSzConfig config;
+  const auto lossy_codecs = lossy::all_lossy_codecs();
+  const auto lossless_codecs = lossless::all_lossless_codecs();
+  config.lossy_id = lossy_codecs[rng.uniform_index(lossy_codecs.size())]->id();
+  config.lossless_id =
+      lossless_codecs[rng.uniform_index(lossless_codecs.size())]->id();
+  EXPECT_TRUE(
+      lossy::is_lossy_id(static_cast<std::uint8_t>(config.lossy_id)));
+  EXPECT_TRUE(lossless::is_lossless_id(
+      static_cast<std::uint8_t>(config.lossless_id)));
+  const double exponent = rng.uniform(-4.0, -1.0);
+  config.bound = rng.uniform() < 0.5
+                     ? lossy::ErrorBound::relative(std::pow(10.0, exponent))
+                     : lossy::ErrorBound::absolute(std::pow(10.0, exponent));
+  // Tiny chunks on tiny tensors: every chunk-edge case (single element,
+  // exact-fit, ragged tail) appears within a few dozen iterations.
+  config.chunk_elements = 1 + rng.uniform_index(900);
+  static const std::size_t kThresholds[] = {0, 10, 1000};
+  config.lossy_threshold = kThresholds[rng.uniform_index(3)];
+  static const std::size_t kParallelism[] = {1, 2, 4};
+  config.parallelism = kParallelism[rng.uniform_index(3)];
+  return config;
+}
+
+TEST(RoundTripProperty, RandomStateDictsSatisfyTheFedSzContract) {
+  Rng rng(20260731);
+  const int iterations = 60;
+  for (int iter = 0; iter < iterations; ++iter) {
+    SCOPED_TRACE("iteration " + std::to_string(iter));
+    const FedSzConfig config = random_config(rng);
+    const bool strictly_bounded =
+        lossy::lossy_codec(config.lossy_id).strictly_bounded();
+
+    StateDict dict;
+    const std::size_t entries = 1 + rng.uniform_index(6);
+    for (std::size_t i = 0; i < entries; ++i)
+      dict.set(random_name(rng, i), random_tensor(rng));
+
+    const FedSz fedsz{config};
+    CompressionStats stats;
+    const Bytes blob = fedsz.compress(dict, &stats);
+    const StateDict back = fedsz.decompress({blob.data(), blob.size()});
+
+    ASSERT_EQ(back.size(), dict.size());
+    std::size_t expected_chunks = 0;
+    for (const auto& [name, tensor] : dict) {
+      ASSERT_TRUE(back.contains(name)) << name;
+      const Tensor& decoded = back.get(name);
+      ASSERT_TRUE(decoded.same_shape(tensor)) << name;
+      if (is_lossy_entry(name, tensor.numel(), config.lossy_threshold)) {
+        expected_chunks += fedsz.chunk_count(tensor.numel());
+        if (strictly_bounded) {
+          const double eps = config.bound.absolute_for(tensor.span());
+          const double err =
+              stats::max_abs_error(tensor.span(), decoded.span());
+          EXPECT_LE(err, eps * (1 + 1e-5) + 1e-12) << name;
+        }
+      } else {
+        // Lossless partition: byte-identical reconstruction.
+        EXPECT_TRUE(decoded.equals(tensor)) << name;
+      }
+    }
+    EXPECT_EQ(stats.lossy_chunks, expected_chunks);
+    EXPECT_EQ(stats.compressed_bytes, blob.size());
+    EXPECT_EQ(stats.lossy_original_bytes + stats.lossless_original_bytes,
+              stats.original_bytes);
+
+    // The container must not depend on the worker count: re-encode with a
+    // different parallelism setting and demand identical bytes.
+    if (iter % 4 == 0) {
+      FedSzConfig other = config;
+      other.parallelism = config.parallelism == 1 ? 4 : 1;
+      EXPECT_EQ(FedSz{other}.compress(dict), blob);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fedsz::core

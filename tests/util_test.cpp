@@ -271,7 +271,7 @@ TEST(Rng, ForkProducesIndependentStreams) {
 TEST(Timer, MeasuresElapsedTime) {
   Timer t;
   volatile double sink = 0.0;
-  for (int i = 0; i < 2000000; ++i) sink += i;
+  for (int i = 0; i < 2000000; ++i) sink = sink + i;
   EXPECT_GT(t.seconds(), 0.0);
 }
 
