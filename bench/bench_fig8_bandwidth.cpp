@@ -2,6 +2,8 @@
 // bandwidths 1..1000 Mbps for SZ2 / SZ3 / ZFP / original — the Eqn (1)
 // trade-off curve, including the crossover bandwidth beyond which
 // compression stops paying.
+//
+//   bench_fig8_bandwidth [--json PATH] [--smoke]
 #include <cstdio>
 
 #include "common.hpp"
@@ -9,8 +11,9 @@
 #include "net/bandwidth.hpp"
 #include "util/timer.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fedsz;
+  const benchx::BenchOptions options = benchx::parse_bench_options(argc, argv);
   const StateDict trained = benchx::trained_state_dict("alexnet", "cifar10");
   const std::size_t raw_bytes = trained.serialize().size();
   std::printf(
@@ -43,10 +46,14 @@ int main() {
   for (const Candidate& c : candidates) headers.push_back(c.label + " (s)");
   headers.push_back("best");
   benchx::Table table(std::move(headers));
+  benchx::JsonValue sweep_json = benchx::JsonValue::array();
   std::vector<double> crossover(candidates.size(), -1.0);
-  for (double mbps = 1.0; mbps <= 1024.0; mbps *= 2.0) {
+  const double max_mbps = options.smoke ? 64.0 : 1024.0;
+  for (double mbps = 1.0; mbps <= max_mbps; mbps *= 2.0) {
     const net::SimulatedNetwork network({mbps, 0.0});
     std::vector<std::string> row{benchx::fmt(mbps, 0)};
+    benchx::JsonValue row_json = benchx::JsonValue::object();
+    row_json.set("bandwidth_mbps", mbps);
     double best_time = 1e300;
     std::size_t best_index = 0;
     const double original_time = network.transfer_seconds(raw_bytes);
@@ -54,6 +61,7 @@ int main() {
       const double total = candidates[i].codec_seconds +
                            network.transfer_seconds(candidates[i].bytes);
       row.push_back(benchx::fmt(total, 3));
+      row_json.set(candidates[i].label, total);
       if (total < best_time) {
         best_time = total;
         best_index = i;
@@ -63,6 +71,8 @@ int main() {
         crossover[i] = mbps;
     }
     row.push_back(candidates[best_index].label);
+    row_json.set("best", candidates[best_index].label);
+    sweep_json.push(std::move(row_json));
     table.add_row(std::move(row));
   }
   table.print();
@@ -79,5 +89,13 @@ int main() {
       "\nShape to check (paper Fig. 8): compression wins below roughly\n"
       "500 Mbps, with SZ2 best at the low end; above the crossover the raw\n"
       "transfer is faster than compress+send+decompress.\n");
+  if (!options.json_path.empty()) {
+    benchx::JsonValue json = benchx::JsonValue::object();
+    json.set("bench", "fig8_bandwidth")
+        .set("raw_bytes", raw_bytes)
+        .set("sweep", std::move(sweep_json));
+    benchx::write_json(options.json_path, json);
+    std::printf("\nwrote %s\n", options.json_path.c_str());
+  }
   return 0;
 }

@@ -1,10 +1,13 @@
 // Shared utilities for the benchmark harness: fixed-width table printing in
-// the paper's row/column layout, codec timing helpers, and a disk cache of
-// briefly-trained models so every bench binary measures compression on
-// trained (spiky, zero-centred) weights without re-paying training time.
+// the paper's row/column layout, a common CLI (--clients/--rounds/
+// --bandwidth/--codec/--json/--smoke) with a machine-readable JSON emitter,
+// codec timing helpers, and a disk cache of briefly-trained models so every
+// bench binary measures compression on trained (spiky, zero-centred)
+// weights without re-paying training time.
 #pragma once
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "compress/lossless/lossless.hpp"
@@ -32,6 +35,62 @@ std::string fmt_bytes(std::size_t bytes);
 /// True when FEDSZ_BENCH_FULL=1: run the paper's full grid instead of the
 /// laptop-scale default subset.
 bool full_grid();
+
+// ---- shared bench CLI ----
+
+/// Flags every bench binary understands. Zero / empty means "use the
+/// bench's default"; --smoke shrinks the grid to a CI-sized run.
+struct BenchOptions {
+  std::size_t clients = 0;     // --clients N
+  int rounds = 0;              // --rounds N
+  double bandwidth_mbps = 0.0; // --bandwidth MBPS
+  std::string codec;           // --codec identity|fedsz|fedsz-parallel
+  std::string json_path;       // --json PATH (write machine-readable output)
+  bool smoke = false;          // --smoke
+};
+
+/// Parse the shared flags. Prints usage and exits(2) on unknown flags or
+/// malformed values; exits(0) on --help.
+BenchOptions parse_bench_options(int argc, char** argv);
+
+/// Minimal ordered JSON value (null/bool/number/string/array/object) so
+/// bench binaries can emit results as workflow artifacts without an
+/// external dependency.
+class JsonValue {
+ public:
+  JsonValue() = default;  // null
+  JsonValue(bool value);
+  JsonValue(double value);
+  JsonValue(int value);
+  JsonValue(std::size_t value);
+  JsonValue(const char* value);
+  JsonValue(std::string value);
+
+  static JsonValue object();
+  static JsonValue array();
+
+  /// Insert into an object (created on demand when null); returns *this.
+  JsonValue& set(const std::string& key, JsonValue value);
+  /// Append to an array (created on demand when null); returns *this.
+  JsonValue& push(JsonValue value);
+
+  std::string dump(int indent = 2) const;
+
+ private:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  void render(std::string& out, int indent, int depth) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Write `value` to `path` (with trailing newline). Throws std::runtime_error
+/// when the file cannot be written.
+void write_json(const std::string& path, const JsonValue& value);
 
 /// Train a bench-scale model for `epochs` passes over `samples` synthetic
 /// samples and return its state dict. Results are cached under

@@ -1,0 +1,93 @@
+// The event-driven federation runtime beyond the paper's setting: 32
+// clients on a two-tier heterogeneous network (a quarter on 1 Gbps
+// datacenter links, the rest on a 10 Mbps edge tier) with heterogeneous
+// device speeds, run under all three participation policies:
+//
+//   sync            full barrier — every round waits for the slowest link
+//   sampled_sync    a quarter of the fleet per round
+//   buffered_async  FedBuff-style: aggregate every 8 arrivals,
+//                   staleness-weighted
+//
+// All runs use FedSZ compression; the interesting column is *virtual* time:
+// how long the simulated federation takes to reach the same number of
+// aggregations when stragglers exist.
+//
+//   ./build/heterogeneous_async [rounds] [clients]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/fl/coordinator.hpp"
+#include "core/fl/scheduler.hpp"
+#include "data/synthetic.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fedsz;
+  const int rounds = argc > 1 ? std::atoi(argv[1]) : 4;
+  const std::size_t clients =
+      argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 32;
+
+  nn::ModelConfig model;
+  model.arch = "mobilenet_v2";
+  model.scale = nn::ModelScale::kTiny;
+  auto [train, test] = data::make_dataset("cifar10");
+
+  auto run_with = [&](core::SchedulerPtr scheduler) {
+    core::FlRunConfig config;
+    config.clients = clients;
+    config.rounds = rounds;
+    config.eval_limit = 128;
+    config.threads = 8;
+    config.client.batch_size = 8;
+    config.evaluate_every_round = false;
+    config.compute_jitter = 0.4;  // devices are not all the same speed
+    net::HeterogeneousNetworkConfig links;
+    links.distribution = net::LinkDistribution::kTwoTier;
+    links.two_tier_fast_fraction = 0.25;
+    links.two_tier_fast_mbps = 1000.0;
+    links.two_tier_slow_mbps = 10.0;
+    config.heterogeneous = links;
+    core::FlCoordinator coordinator(model, data::take(train, clients * 16),
+                                    data::take(test, 128), config,
+                                    core::make_fedsz_codec(),
+                                    std::move(scheduler));
+    return coordinator.run();
+  };
+
+  std::printf(
+      "Two-tier federation: %zu clients (25%% @ 1 Gbps, 75%% @ 10 Mbps),\n"
+      "%d aggregations, FedSZ-compressed updates\n\n",
+      clients, rounds);
+  std::printf("%-20s %14s %12s %14s %10s\n", "scheduler", "virtual time",
+              "bytes", "participants", "accuracy");
+  struct Policy {
+    const char* label;
+    core::SchedulerPtr scheduler;
+  };
+  const Policy policies[] = {
+      {"sync", core::make_sync_scheduler()},
+      {"sampled_sync(0.25)", core::make_sampled_sync_scheduler(0.25)},
+      {"buffered_async(8)", core::make_buffered_async_scheduler({8, 0.5})},
+  };
+  for (const Policy& policy : policies) {
+    const core::FlRunResult result = run_with(policy.scheduler);
+    std::size_t bytes = 0, participants = 0, stale = 0;
+    for (const core::RoundRecord& record : result.rounds) {
+      bytes += record.bytes_sent;
+      participants += record.participants;
+      for (const core::ClientTraceEntry& entry : record.clients)
+        if (entry.dispatch_round < record.round) ++stale;
+    }
+    std::printf("%-20s %13.1fs %12zu %14zu %9.1f%%\n", policy.label,
+                result.total_virtual_seconds, bytes, participants,
+                result.final_accuracy * 100.0);
+    if (stale > 0)
+      std::printf("%-20s   (%zu stale updates folded, "
+                  "staleness-weighted)\n",
+                  "", stale);
+  }
+  std::printf(
+      "\nThe full barrier pays the slow tier's transfer every round;\n"
+      "sampling cuts participants per round, and buffered async keeps\n"
+      "aggregating while stragglers are still uploading.\n");
+  return 0;
+}

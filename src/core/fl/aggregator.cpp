@@ -4,21 +4,75 @@
 
 namespace fedsz::core {
 
+void StreamingMean::begin(const StateDict& reference) {
+  if (active_)
+    throw InvalidArgument("StreamingMean: previous round not finalized");
+  mean_ = reference.zeros_like();
+  total_ = 0.0;
+  count_ = 0;
+  active_ = true;
+}
+
+void StreamingMean::add(const StateDict& update, double weight) {
+  if (!active_) throw InvalidArgument("StreamingMean: add before begin");
+  if (!(weight >= 0.0) || !std::isfinite(weight))
+    throw InvalidArgument("StreamingMean: weight must be finite and >= 0");
+  ++count_;
+  if (weight == 0.0) return;
+  total_ += weight;
+  const float c = static_cast<float>(weight / total_);
+  for (auto& [name, tensor] : mean_.entries_mutable()) {
+    const Tensor& u = update.get(name);
+    if (!u.same_shape(tensor))
+      throw InvalidArgument("StreamingMean: shape mismatch for '" + name +
+                            "'");
+    for (std::size_t k = 0; k < tensor.numel(); ++k)
+      tensor[k] += c * (u[k] - tensor[k]);
+  }
+}
+
+StateDict StreamingMean::finalize() {
+  if (!active_) throw InvalidArgument("StreamingMean: finalize before begin");
+  active_ = false;
+  if (count_ == 0) throw InvalidArgument("StreamingMean: no updates");
+  if (total_ <= 0.0)
+    throw InvalidArgument("StreamingMean: zero total weight");
+  return std::move(mean_);
+}
+
+void Aggregator::begin_round(const StateDict& global) { mean_.begin(global); }
+
+void Aggregator::accumulate(const StateDict& update, double weight) {
+  mean_.add(update, weight);
+}
+
+void Aggregator::finalize(StateDict& global) {
+  const StateDict mean = mean_.finalize();
+  apply_mean(global, mean);
+}
+
+void Aggregator::aggregate(
+    StateDict& global,
+    const std::vector<std::pair<StateDict, std::size_t>>& updates) {
+  begin_round(global);
+  try {
+    for (const auto& [update, samples] : updates)
+      accumulate(update, static_cast<double>(samples));
+    finalize(global);
+  } catch (...) {
+    mean_ = StreamingMean();  // abandon the round so the next one can begin
+    throw;
+  }
+}
+
 StateDict weighted_mean(
     const StateDict& reference,
     const std::vector<std::pair<StateDict, std::size_t>>& updates) {
-  if (updates.empty()) throw InvalidArgument("weighted_mean: no updates");
-  std::size_t total = 0;
-  for (const auto& [update, samples] : updates) total += samples;
-  if (total == 0) throw InvalidArgument("weighted_mean: zero total samples");
-  StateDict mean = reference.zeros_like();
-  for (const auto& [update, samples] : updates) {
-    const float weight = static_cast<float>(
-        static_cast<double>(samples) / static_cast<double>(total));
-    for (auto& [name, tensor] : mean.entries_mutable())
-      tensor.add_scaled(update.get(name), weight);
-  }
-  return mean;
+  StreamingMean mean;
+  mean.begin(reference);
+  for (const auto& [update, samples] : updates)
+    mean.add(update, static_cast<double>(samples));
+  return mean.finalize();
 }
 
 namespace {
@@ -26,10 +80,10 @@ namespace {
 class FedAvg final : public Aggregator {
  public:
   std::string name() const override { return "fedavg"; }
-  void aggregate(StateDict& global,
-                 const std::vector<std::pair<StateDict, std::size_t>>&
-                     updates) override {
-    global = weighted_mean(global, updates);
+
+ protected:
+  void apply_mean(StateDict& global, const StateDict& mean) override {
+    global = mean;
   }
 };
 
@@ -40,10 +94,9 @@ class FedAvgM final : public Aggregator {
       throw InvalidArgument("FedAvgM: beta must be in [0, 1)");
   }
   std::string name() const override { return "fedavgm"; }
-  void aggregate(StateDict& global,
-                 const std::vector<std::pair<StateDict, std::size_t>>&
-                     updates) override {
-    const StateDict mean = weighted_mean(global, updates);
+
+ protected:
+  void apply_mean(StateDict& global, const StateDict& mean) override {
     if (velocity_.empty()) velocity_ = global.zeros_like();
     // v <- beta v + (mean - global); global <- global + v
     for (std::size_t i = 0; i < velocity_.entries().size(); ++i) {
@@ -69,10 +122,9 @@ class FedAdam final : public Aggregator {
       throw InvalidArgument("FedAdam: learning rate must be positive");
   }
   std::string name() const override { return "fedadam"; }
-  void aggregate(StateDict& global,
-                 const std::vector<std::pair<StateDict, std::size_t>>&
-                     updates) override {
-    const StateDict mean = weighted_mean(global, updates);
+
+ protected:
+  void apply_mean(StateDict& global, const StateDict& mean) override {
     if (m_.empty()) {
       m_ = global.zeros_like();
       v_ = global.zeros_like();

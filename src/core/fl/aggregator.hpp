@@ -6,6 +6,12 @@
 //   FedAvg   weighted mean of client states (the paper's configuration)
 //   FedAvgM  server momentum over the aggregate pseudo-gradient
 //   FedAdam  Adam-style adaptive server step (Reddi et al. 2021)
+//
+// Every strategy is built on a *streaming* weighted mean: the event-driven
+// coordinator folds each decoded update into the accumulator the moment it
+// arrives (begin_round / accumulate / finalize), so peak decoded-update
+// memory is O(1) in the client count. The classic batch aggregate() — and
+// the weighted_mean() helper — are thin wrappers over the same path.
 #pragma once
 
 #include <memory>
@@ -15,15 +21,63 @@
 
 namespace fedsz::core {
 
+/// Numerically-stable online weighted mean over state dicts (West 1979):
+/// mean += (w_k / W_k) * (update_k - mean), with W_k the running weight
+/// total. Entries are matched by name; folding an update identical to the
+/// current mean leaves the mean bit-exact.
+class StreamingMean {
+ public:
+  /// Start a round; the accumulator takes `reference`'s structure.
+  void begin(const StateDict& reference);
+
+  /// Fold one update with non-negative `weight` (sample count, optionally
+  /// scaled by a staleness factor). Zero-weight updates are counted but
+  /// contribute nothing.
+  void add(const StateDict& update, double weight);
+
+  /// Return the weighted mean and reset. Throws InvalidArgument when no
+  /// update carried positive weight.
+  StateDict finalize();
+
+  bool active() const { return active_; }
+  std::size_t count() const { return count_; }
+  double total_weight() const { return total_; }
+
+ private:
+  StateDict mean_;
+  double total_ = 0.0;
+  std::size_t count_ = 0;
+  bool active_ = false;
+};
+
 class Aggregator {
  public:
   virtual ~Aggregator() = default;
   virtual std::string name() const = 0;
 
+  // ---- streaming path (fold updates as they arrive) ----
+  /// Open a round; the accumulator mirrors `global`'s structure.
+  void begin_round(const StateDict& global);
+  /// Fold one client update with aggregation weight `weight`.
+  void accumulate(const StateDict& update, double weight);
+  /// Apply the accumulated mean to `global` via the strategy's rule and
+  /// close the round. Throws InvalidArgument when nothing was accumulated.
+  void finalize(StateDict& global);
+
+  std::size_t accumulated() const { return mean_.count(); }
+  bool round_open() const { return mean_.active(); }
+
+  // ---- batch path: a thin wrapper over the streaming path ----
   /// Fold one round of client updates (state, sample count) into `global`.
-  virtual void aggregate(
-      StateDict& global,
-      const std::vector<std::pair<StateDict, std::size_t>>& updates) = 0;
+  void aggregate(StateDict& global,
+                 const std::vector<std::pair<StateDict, std::size_t>>& updates);
+
+ protected:
+  /// Strategy-specific rule folding the round's weighted mean into `global`.
+  virtual void apply_mean(StateDict& global, const StateDict& mean) = 0;
+
+ private:
+  StreamingMean mean_;
 };
 
 using AggregatorPtr = std::shared_ptr<Aggregator>;
@@ -45,7 +99,7 @@ struct FedAdamConfig {
 AggregatorPtr make_fedadam(FedAdamConfig config = {});
 
 /// Helper shared by all strategies: the weighted mean of updates, with the
-/// structure of `reference`.
+/// structure of `reference`. Thin wrapper over StreamingMean.
 StateDict weighted_mean(
     const StateDict& reference,
     const std::vector<std::pair<StateDict, std::size_t>>& updates);

@@ -1,25 +1,66 @@
 #include "core/fl/coordinator.hpp"
 
-#include <mutex>
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <future>
+#include <memory>
 
+#include "net/virtual_clock.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace fedsz::core {
 
+void FlRunConfig::validate() const {
+  if (clients == 0)
+    throw InvalidArgument("FlRunConfig: need at least one client");
+  if (rounds <= 0) throw InvalidArgument("FlRunConfig: rounds must be >= 1");
+  if (threads == 0) throw InvalidArgument("FlRunConfig: threads must be >= 1");
+  if (!(compute_seconds_per_sample >= 0.0) ||
+      !std::isfinite(compute_seconds_per_sample))
+    throw InvalidArgument(
+        "FlRunConfig: compute_seconds_per_sample must be finite and >= 0");
+  if (!(compute_jitter >= 0.0) || compute_jitter >= 1.0)
+    throw InvalidArgument("FlRunConfig: compute_jitter must be in [0, 1)");
+  if (client.local_epochs <= 0)
+    throw InvalidArgument("FlRunConfig: local_epochs must be >= 1");
+  if (client.batch_size == 0)
+    throw InvalidArgument("FlRunConfig: batch_size must be >= 1");
+}
+
+namespace {
+
+FlRunConfig validated(FlRunConfig config) {
+  config.validate();
+  return config;
+}
+
+net::HeterogeneousNetwork build_network(const FlRunConfig& config) {
+  if (config.heterogeneous)
+    return net::HeterogeneousNetwork(*config.heterogeneous, config.clients);
+  return net::HeterogeneousNetwork::homogeneous(config.network,
+                                                config.clients);
+}
+
+}  // namespace
+
 FlCoordinator::FlCoordinator(const nn::ModelConfig& model_config,
                              data::DatasetPtr train, data::DatasetPtr test,
-                             FlRunConfig config, UpdateCodecPtr codec)
+                             FlRunConfig config, UpdateCodecPtr codec,
+                             SchedulerPtr scheduler)
     : model_config_(model_config),
       test_(std::move(test)),
-      config_(std::move(config)),
+      config_(validated(std::move(config))),
       codec_(std::move(codec)),
-      server_(model_config) {
-  if (config_.clients == 0)
-    throw InvalidArgument("FlCoordinator: need at least one client");
+      scheduler_(scheduler ? std::move(scheduler) : make_sync_scheduler()),
+      server_(model_config),
+      network_(build_network(config_)) {
   if (!codec_) throw InvalidArgument("FlCoordinator: null update codec");
   Rng rng(config_.seed);
   const auto shards = data::partition_iid(train->size(), config_.clients, rng);
+  Rng speed_rng(config_.seed ^ 0xC0DEC10Cull);
+  compute_seconds_.reserve(config_.clients);
   for (std::size_t i = 0; i < config_.clients; ++i) {
     ClientConfig client_config = config_.client;
     client_config.seed = config_.seed ^ (0xC11E47ull * (i + 1));
@@ -27,83 +68,192 @@ FlCoordinator::FlCoordinator(const nn::ModelConfig& model_config,
         static_cast<int>(i), model_config_,
         std::make_shared<data::SubsetDataset>(train, shards[i]),
         client_config));
+    // Deterministic virtual training time: proportional to the shard, with
+    // an optional per-client speed spread (heterogeneous devices).
+    const double factor = speed_rng.uniform(1.0 - config_.compute_jitter,
+                                            1.0 + config_.compute_jitter);
+    compute_seconds_.push_back(
+        config_.compute_seconds_per_sample *
+        static_cast<double>(shards[i].size()) *
+        static_cast<double>(config_.client.local_epochs) * factor);
   }
 }
 
 FlRunResult FlCoordinator::run() {
   Timer wall;
   FlRunResult result;
-  const net::SimulatedNetwork network(config_.network);
+  result.scheduler = scheduler_->name();
+
+  // What a dispatched client hands back once its real work (local SGD +
+  // update encoding on the pool) completes.
+  struct WorkerOut {
+    Bytes payload;
+    std::size_t samples = 0;
+    std::size_t raw_bytes = 0;
+    double train_seconds = 0.0;
+    double compress_seconds = 0.0;
+    double mean_loss = 0.0;
+  };
+  // One slot per client; a client has at most one update in flight.
+  struct InFlight {
+    std::future<WorkerOut> future;
+    WorkerOut out;
+    int dispatch_round = 0;
+    double dispatch_seconds = 0.0;
+    double transfer_seconds = 0.0;
+  };
+
+  net::EventQueue queue;
+  std::vector<InFlight> flights(clients_.size());
+  Rng cohort_rng(config_.seed ^ 0x5C4ED11Eull);
+  int completed = 0;        // aggregations finished so far
+  std::size_t folded = 0;   // updates folded since the round opened
+  std::size_t goal = 0;     // arrivals that trigger the next aggregation
+  std::size_t live_decoded = 0;
+  bool stopped = false;
+  RoundRecord record;
   ThreadPool pool(std::max<std::size_t>(1, config_.threads));
 
-  for (int round = 0; round < config_.rounds; ++round) {
-    RoundRecord record;
-    record.round = round;
-    const StateDict& global = server_.global_state();
+  using Snapshot = std::shared_ptr<const StateDict>;
+  std::function<void(std::size_t, int, Snapshot)> dispatch;
+  std::function<void(std::size_t)> on_upload;
+  std::function<void(std::size_t)> on_arrival;
+  std::function<void(bool)> open_round;
 
-    struct PerClient {
-      Bytes payload;
-      std::size_t samples = 0;
-      double train_seconds = 0.0;
-      double compress_seconds = 0.0;
-      double loss = 0.0;
-      std::size_t raw_bytes = 0;
-    };
-    std::vector<PerClient> outputs(clients_.size());
-
-    // Clients train and encode concurrently (one "process" per client).
-    pool.parallel_for(clients_.size(), [&](std::size_t i) {
-      ClientRoundResult client_result = clients_[i]->run_round(global);
-      UpdateCodec::Encoded encoded = codec_->encode(client_result.update);
-      PerClient& out = outputs[i];
-      out.samples = client_result.samples;
-      out.train_seconds = client_result.train_seconds;
-      out.loss = client_result.mean_loss;
-      out.compress_seconds = encoded.stats.compress_seconds;
+  // Hand the client a snapshot of the global (barrier cohorts share one
+  // copy; async policies mutate the global mid-flight, so redispatches take
+  // their own), start its real work on the pool, and mark the moment its
+  // virtual compute finishes.
+  dispatch = [&](std::size_t i, int round, Snapshot snapshot) {
+    InFlight& flight = flights[i];
+    flight.dispatch_round = round;
+    flight.dispatch_seconds = queue.now();
+    FlClient* client = clients_[i].get();
+    const UpdateCodec* codec = codec_.get();
+    flight.future = pool.submit([client, codec, snapshot]() -> WorkerOut {
+      ClientRoundResult round_result = client->run_round(*snapshot);
+      UpdateCodec::Encoded encoded = codec->encode(round_result.update);
+      WorkerOut out;
+      out.samples = round_result.samples;
       out.raw_bytes = encoded.stats.original_bytes;
+      out.train_seconds = round_result.train_seconds;
+      out.compress_seconds = encoded.stats.compress_seconds;
+      out.mean_loss = round_result.mean_loss;
       out.payload = std::move(encoded.payload);
+      return out;
     });
+    queue.schedule_after(compute_seconds_[i], [&, i] { on_upload(i); });
+  };
 
-    // Server receives (simulated transfer) and decodes all client payloads
-    // concurrently on the same pool, then accounts and aggregates serially.
-    std::vector<std::pair<StateDict, std::size_t>> updates(outputs.size());
-    std::vector<double> decode_seconds(outputs.size(), 0.0);
-    pool.parallel_for(outputs.size(), [&](std::size_t i) {
-      const PerClient& out = outputs[i];
-      updates[i].first = codec_->decode(
-          {out.payload.data(), out.payload.size()}, &decode_seconds[i]);
-      updates[i].second = out.samples;
-    });
-    for (std::size_t i = 0; i < outputs.size(); ++i) {
-      const PerClient& out = outputs[i];
-      record.train_seconds += out.train_seconds;
-      record.compress_seconds += out.compress_seconds;
-      record.mean_loss += out.loss;
-      record.bytes_sent += out.payload.size();
-      record.raw_bytes += out.raw_bytes;
-      record.comm_seconds += network.transfer_seconds(out.payload.size());
-      record.decompress_seconds += decode_seconds[i];
+  // Virtual compute done: collect the encoded update (waiting for the real
+  // work if it is still running) and put it on this client's link.
+  on_upload = [&](std::size_t i) {
+    InFlight& flight = flights[i];
+    flight.out = flight.future.get();
+    flight.transfer_seconds =
+        network_.link(i).transfer_seconds(flight.out.payload.size());
+    queue.schedule_after(flight.transfer_seconds, [&, i] { on_arrival(i); });
+  };
+
+  open_round = [&](bool initial) {
+    record = RoundRecord{};
+    record.round = completed;
+    folded = 0;
+    server_.begin_round();
+    if (scheduler_->continuous() && !initial) {
+      // Clients redispatch themselves on arrival; just reset the buffer.
+      goal = scheduler_->aggregation_goal(clients_.size());
+      return;
     }
-    const double inv_clients = 1.0 / static_cast<double>(clients_.size());
-    record.train_seconds *= inv_clients;
-    record.compress_seconds *= inv_clients;
-    record.decompress_seconds *= inv_clients;
-    record.comm_seconds *= inv_clients;
-    record.mean_loss *= inv_clients;
+    const std::vector<std::size_t> cohort =
+        scheduler_->cohort(completed, clients_.size(), cohort_rng);
+    goal = scheduler_->aggregation_goal(cohort.size());
+    const auto snapshot =
+        std::make_shared<const StateDict>(server_.global_state());
+    for (const std::size_t i : cohort) dispatch(i, completed, snapshot);
+  };
 
-    server_.aggregate(updates);
+  // An update reached the server: decode it (serially — at most one decoded
+  // update is ever alive), fold it into the streaming aggregator, score the
+  // Eqn (1) decision against this client's own link, and aggregate once the
+  // scheduler's buffer goal is met.
+  on_arrival = [&](std::size_t i) {
+    InFlight& flight = flights[i];
+    WorkerOut out = std::move(flight.out);
+    flight.out = WorkerOut{};
+    double decode_seconds = 0.0;
+    StateDict update = codec_->decode({out.payload.data(), out.payload.size()},
+                                      &decode_seconds);
+    ++live_decoded;
+    result.peak_decoded_updates =
+        std::max(result.peak_decoded_updates, live_decoded);
+    const double weight =
+        static_cast<double>(out.samples) *
+        scheduler_->staleness_scale(flight.dispatch_round, completed);
+    server_.accumulate(update, weight);
+    update = StateDict();  // folded; free it before anything else arrives
+    --live_decoded;
 
-    if (config_.evaluate_every_round || round + 1 == config_.rounds) {
-      Timer eval_timer;
-      record.accuracy = server_.evaluate(*test_, config_.eval_limit);
-      record.eval_seconds = eval_timer.seconds();
+    ClientTraceEntry trace;
+    trace.client = i;
+    trace.dispatch_round = flight.dispatch_round;
+    trace.dispatch_seconds = flight.dispatch_seconds;
+    trace.arrival_seconds = queue.now();
+    trace.transfer_seconds = flight.transfer_seconds;
+    trace.weight = weight;
+    trace.payload_bytes = out.payload.size();
+    trace.raw_bytes = out.raw_bytes;
+    trace.decision =
+        net::evaluate_compression(out.raw_bytes, out.payload.size(),
+                                  out.compress_seconds, decode_seconds,
+                                  network_.link(i));
+    record.train_seconds += out.train_seconds;
+    record.compress_seconds += out.compress_seconds;
+    record.decompress_seconds += decode_seconds;
+    record.comm_seconds += flight.transfer_seconds;
+    record.mean_loss += out.mean_loss;
+    record.bytes_sent += out.payload.size();
+    record.raw_bytes += out.raw_bytes;
+    record.participants += 1;
+    record.clients.push_back(std::move(trace));
+
+    if (++folded >= goal) {
+      server_.finalize_round();
+      const double inv = 1.0 / static_cast<double>(record.participants);
+      record.train_seconds *= inv;
+      record.compress_seconds *= inv;
+      record.decompress_seconds *= inv;
+      record.comm_seconds *= inv;
+      record.mean_loss *= inv;
+      record.virtual_seconds = queue.now();
+      if (config_.evaluate_every_round || completed + 1 == config_.rounds) {
+        Timer eval_timer;
+        record.accuracy = server_.evaluate(*test_, config_.eval_limit);
+        record.eval_seconds = eval_timer.seconds();
+      }
+      result.rounds.push_back(std::move(record));
+      ++completed;
+      if (completed >= config_.rounds)
+        stopped = true;
+      else
+        open_round(false);
     }
-    result.rounds.push_back(record);
+    if (!stopped && scheduler_->continuous())
+      dispatch(i, completed,
+               std::make_shared<const StateDict>(server_.global_state()));
+  };
+
+  open_round(true);
+  while (!stopped && queue.run_next()) {
   }
+
   result.final_accuracy =
       result.rounds.empty() ? 0.0 : result.rounds.back().accuracy;
+  result.total_virtual_seconds = queue.now();
   result.total_wall_seconds = wall.seconds();
   return result;
+  // ~ThreadPool drains any still-running client tasks (async policies stop
+  // mid-flight once the configured number of aggregations completes).
 }
 
 }  // namespace fedsz::core

@@ -1,19 +1,30 @@
-// FL coordinator: the APPFL/FedAvg driver. Partitions a training set across
-// clients, runs communication rounds (clients train AND compress their
-// updates concurrently on a thread pool — the analogue of the paper's
-// MPI-rank-per-client simulation), models the transfer over a
-// SimulatedNetwork, decodes all received payloads concurrently on the same
-// pool, aggregates on the server, and records per-round accuracy plus a
-// full timing/byte breakdown (the raw material for Figures 4-9). A parallel
-// FedSzCodec (FedSzConfig::parallelism) additionally fans each client's
-// chunk pipeline out, nesting chunk-level under client-level concurrency.
+// FL coordinator: the event-driven federation runtime. Partitions a
+// training set across clients and pumps a virtual-clock event queue instead
+// of iterating rounds: dispatching a client submits its real work (local
+// SGD + update encoding) to a thread pool, while deterministic *virtual*
+// durations — a compute model plus the client's own simulated link — decide
+// when the update "arrives" at the server. Arrivals are decoded one at a
+// time and folded straight into the streaming aggregator, so peak
+// decoded-update memory is O(1) in the client count, and each arrival is
+// scored against Eqn (1) on that client's link (the per-client
+// CompressionDecision trace behind Figures 7-9).
+//
+// Participation is a Scheduler policy: the default SyncScheduler reproduces
+// the classic full-participation FedAvg barrier (and, over a homogeneous
+// network, the exact pre-event-runtime trajectory); SampledSyncScheduler
+// and BufferedAsyncScheduler open the client-sampling and FedBuff-style
+// asynchronous regimes. Event order depends only on seeds and virtual
+// durations — never on host load — so every run is reproducible.
 #pragma once
 
+#include <optional>
+
 #include "core/fl/client.hpp"
+#include "core/fl/scheduler.hpp"
 #include "core/fl/server.hpp"
 #include "core/update_codec.hpp"
 #include "data/partition.hpp"
-#include "net/bandwidth.hpp"
+#include "net/heterogeneous.hpp"
 
 namespace fedsz::core {
 
@@ -22,26 +33,55 @@ struct FlRunConfig {
   int rounds = 10;
   ClientConfig client;
   net::NetworkProfile network{10.0, 0.0};  // the paper's 10 Mbps edge link
+  /// When set, draws one link per client instead of sharing `network`.
+  std::optional<net::HeterogeneousNetworkConfig> heterogeneous;
   std::size_t eval_limit = 512;            // test samples per evaluation
   std::size_t threads = 4;
   std::uint64_t seed = 42;
   bool evaluate_every_round = true;
+  /// Virtual-clock compute model: simulated client training time is
+  /// seconds_per_sample * samples * local_epochs * a per-client speed
+  /// factor drawn from [1 - jitter, 1 + jitter]. Deterministic by seed, so
+  /// event order never depends on host load.
+  double compute_seconds_per_sample = 1e-3;
+  double compute_jitter = 0.0;  // in [0, 1)
+
+  /// Throws InvalidArgument on degenerate settings (zero clients/rounds/
+  /// threads, bad jitter, empty evaluation).
+  void validate() const;
 };
 
-/// Per-round accounting. Client-side quantities are means over clients;
-/// comm_seconds is the mean simulated client->server transfer (compression
-/// and decompression included separately).
+/// One update delivery: who sent it, when (virtual clock), over which link,
+/// and whether compressing for that link was worthwhile (Eqn 1).
+struct ClientTraceEntry {
+  std::size_t client = 0;
+  int dispatch_round = 0;         // server round when the client was sent
+  double dispatch_seconds = 0.0;  // virtual time of dispatch
+  double arrival_seconds = 0.0;   // virtual time the update was folded
+  double transfer_seconds = 0.0;  // over this client's own link
+  double weight = 0.0;            // samples x staleness scale
+  std::size_t payload_bytes = 0;
+  std::size_t raw_bytes = 0;
+  net::CompressionDecision decision;  // Eqn (1) against this client's link
+};
+
+/// Per-round accounting. Client-side quantities are means over the round's
+/// participants; comm_seconds is the mean simulated client->server transfer
+/// (compression and decompression included separately).
 struct RoundRecord {
   int round = 0;
   double accuracy = 0.0;
-  double train_seconds = 0.0;       // mean client local-training time
-  double compress_seconds = 0.0;    // mean client update-encoding time
+  double train_seconds = 0.0;       // mean participant local-training time
+  double compress_seconds = 0.0;    // mean participant update-encoding time
   double decompress_seconds = 0.0;  // mean server decoding time per update
   double comm_seconds = 0.0;        // mean simulated transfer time per update
   double eval_seconds = 0.0;
   double mean_loss = 0.0;
-  std::size_t bytes_sent = 0;       // total compressed bytes, all clients
-  std::size_t raw_bytes = 0;        // total uncompressed bytes, all clients
+  std::size_t bytes_sent = 0;       // total compressed bytes, participants
+  std::size_t raw_bytes = 0;        // total uncompressed bytes, participants
+  std::size_t participants = 0;     // updates folded into this aggregation
+  double virtual_seconds = 0.0;     // virtual clock at aggregation time
+  std::vector<ClientTraceEntry> clients;  // one entry per folded update
   double compression_ratio() const {
     return bytes_sent > 0 ? static_cast<double>(raw_bytes) /
                                 static_cast<double>(bytes_sent)
@@ -53,26 +93,39 @@ struct FlRunResult {
   std::vector<RoundRecord> rounds;
   double final_accuracy = 0.0;
   double total_wall_seconds = 0.0;
+  double total_virtual_seconds = 0.0;  // virtual clock at run end
+  /// Peak number of simultaneously-alive decoded updates on the server —
+  /// 1 under the streaming runtime, independent of the client count.
+  std::size_t peak_decoded_updates = 0;
+  std::string scheduler;
 };
 
 class FlCoordinator {
  public:
+  /// `scheduler` defaults (nullptr) to the synchronous full-participation
+  /// barrier, which over a homogeneous network reproduces the classic
+  /// round-loop trajectory exactly.
   FlCoordinator(const nn::ModelConfig& model_config, data::DatasetPtr train,
                 data::DatasetPtr test, FlRunConfig config,
-                UpdateCodecPtr codec);
+                UpdateCodecPtr codec, SchedulerPtr scheduler = nullptr);
 
-  /// Run the configured number of rounds and return the full trace.
+  /// Pump events until the configured number of aggregations completes and
+  /// return the full trace.
   FlRunResult run();
 
   FlServer& server() { return server_; }
+  const net::HeterogeneousNetwork& network() const { return network_; }
 
  private:
   nn::ModelConfig model_config_;
   data::DatasetPtr test_;
   FlRunConfig config_;
   UpdateCodecPtr codec_;
+  SchedulerPtr scheduler_;
   FlServer server_;
+  net::HeterogeneousNetwork network_;
   std::vector<std::unique_ptr<FlClient>> clients_;
+  std::vector<double> compute_seconds_;  // virtual training time per client
 };
 
 }  // namespace fedsz::core

@@ -1,0 +1,114 @@
+#include "core/fl/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/common.hpp"
+
+namespace fedsz::core {
+
+double Scheduler::staleness_scale(int dispatch_round, int server_round) const {
+  (void)dispatch_round;
+  (void)server_round;
+  return 1.0;
+}
+
+namespace {
+
+std::vector<std::size_t> everyone(std::size_t clients) {
+  std::vector<std::size_t> all(clients);
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  return all;
+}
+
+class SyncScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "sync"; }
+  std::vector<std::size_t> cohort(int, std::size_t clients, Rng&) override {
+    return everyone(clients);
+  }
+  std::size_t aggregation_goal(std::size_t cohort_size) const override {
+    return cohort_size;
+  }
+  bool continuous() const override { return false; }
+};
+
+class SampledSyncScheduler final : public Scheduler {
+ public:
+  explicit SampledSyncScheduler(double fraction) : fraction_(fraction) {
+    if (!(fraction > 0.0) || fraction > 1.0)
+      throw InvalidArgument(
+          "SampledSyncScheduler: fraction must be in (0, 1]");
+  }
+  std::string name() const override { return "sampled_sync"; }
+  std::vector<std::size_t> cohort(int, std::size_t clients,
+                                  Rng& rng) override {
+    const auto take = std::min<std::size_t>(
+        clients, std::max<std::size_t>(
+                     1, static_cast<std::size_t>(std::ceil(
+                            fraction_ * static_cast<double>(clients)))));
+    // Partial Fisher-Yates: the first `take` positions end up a uniform
+    // draw of distinct clients; sorted so dispatch (and thus virtual-clock
+    // tie-breaking) is in client-index order.
+    std::vector<std::size_t> pool = everyone(clients);
+    for (std::size_t i = 0; i < take; ++i)
+      std::swap(pool[i], pool[i + rng.uniform_index(clients - i)]);
+    pool.resize(take);
+    std::sort(pool.begin(), pool.end());
+    return pool;
+  }
+  std::size_t aggregation_goal(std::size_t cohort_size) const override {
+    return cohort_size;
+  }
+  bool continuous() const override { return false; }
+
+ private:
+  double fraction_;
+};
+
+class BufferedAsyncScheduler final : public Scheduler {
+ public:
+  explicit BufferedAsyncScheduler(BufferedAsyncConfig config)
+      : config_(config) {
+    if (config.buffer_size == 0)
+      throw InvalidArgument(
+          "BufferedAsyncScheduler: buffer_size must be >= 1");
+    if (config.staleness_exponent < 0.0)
+      throw InvalidArgument(
+          "BufferedAsyncScheduler: staleness_exponent must be >= 0");
+  }
+  std::string name() const override { return "buffered_async"; }
+  std::vector<std::size_t> cohort(int, std::size_t clients, Rng&) override {
+    return everyone(clients);  // all clients train continuously
+  }
+  std::size_t aggregation_goal(std::size_t cohort_size) const override {
+    // Never demand more in-flight updates than clients exist, or the pump
+    // would starve.
+    return std::min(config_.buffer_size, cohort_size);
+  }
+  bool continuous() const override { return true; }
+  double staleness_scale(int dispatch_round,
+                         int server_round) const override {
+    const double staleness =
+        static_cast<double>(std::max(0, server_round - dispatch_round));
+    return 1.0 / std::pow(1.0 + staleness, config_.staleness_exponent);
+  }
+
+ private:
+  BufferedAsyncConfig config_;
+};
+
+}  // namespace
+
+SchedulerPtr make_sync_scheduler() { return std::make_shared<SyncScheduler>(); }
+
+SchedulerPtr make_sampled_sync_scheduler(double fraction) {
+  return std::make_shared<SampledSyncScheduler>(fraction);
+}
+
+SchedulerPtr make_buffered_async_scheduler(BufferedAsyncConfig config) {
+  return std::make_shared<BufferedAsyncScheduler>(config);
+}
+
+}  // namespace fedsz::core

@@ -1,0 +1,69 @@
+// Participation policies for the event-driven federation runtime. A
+// Scheduler decides which clients are dispatched when a server round opens,
+// how many buffered arrivals trigger an aggregation, and how stale updates
+// are down-weighted:
+//
+//   SyncScheduler          full-participation barrier — every client is
+//                          dispatched each round and the server waits for
+//                          all of them (the paper's APPFL/FedAvg setting).
+//   SampledSyncScheduler   a seeded fraction of clients per round (the
+//                          McMahan et al. client-sampling C < 1 regime),
+//                          barrier over the sampled cohort.
+//   BufferedAsyncScheduler FedBuff-style (Nguyen et al. 2022): every client
+//                          trains continuously, the server aggregates as
+//                          soon as `buffer_size` updates arrive, and stale
+//                          updates are scaled by 1/(1+staleness)^exponent.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace fedsz::core {
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  virtual std::string name() const = 0;
+
+  /// Clients dispatched when server round `round` opens, drawn with `rng`
+  /// (the coordinator's seeded sampling stream). Continuous policies are
+  /// only consulted at round 0 — afterwards clients redispatch themselves
+  /// on arrival.
+  virtual std::vector<std::size_t> cohort(int round, std::size_t clients,
+                                          Rng& rng) = 0;
+
+  /// Buffered arrivals needed to trigger an aggregation, given the size of
+  /// the dispatched cohort (sync barriers return the cohort size).
+  virtual std::size_t aggregation_goal(std::size_t cohort_size) const = 0;
+
+  /// Continuous policies redispatch a client with the freshest global the
+  /// moment its update is folded; barrier policies wait for the next round.
+  virtual bool continuous() const = 0;
+
+  /// Aggregation-weight scale for an update dispatched at server round
+  /// `dispatch_round` and folded while the server is at `server_round`.
+  virtual double staleness_scale(int dispatch_round, int server_round) const;
+};
+
+using SchedulerPtr = std::shared_ptr<Scheduler>;
+
+/// Full-participation synchronous barrier (the pre-event-runtime behavior).
+SchedulerPtr make_sync_scheduler();
+
+/// Sample `ceil(fraction * clients)` distinct clients per round (at least
+/// one). `fraction` must be in (0, 1].
+SchedulerPtr make_sampled_sync_scheduler(double fraction);
+
+struct BufferedAsyncConfig {
+  std::size_t buffer_size = 8;      // K: arrivals per aggregation
+  double staleness_exponent = 0.5;  // weight ~ 1/(1+staleness)^exponent
+};
+
+/// FedBuff-style buffered asynchronous aggregation.
+SchedulerPtr make_buffered_async_scheduler(BufferedAsyncConfig config = {});
+
+}  // namespace fedsz::core

@@ -17,6 +17,17 @@ void FlServer::set_aggregator(AggregatorPtr aggregator) {
   aggregator_ = std::move(aggregator);
 }
 
+void FlServer::begin_round() { aggregator_->begin_round(global_state_); }
+
+void FlServer::accumulate(const StateDict& update, double weight) {
+  aggregator_->accumulate(update, weight);
+}
+
+void FlServer::finalize_round() {
+  aggregator_->finalize(global_state_);
+  model_.load_state_dict(global_state_);
+}
+
 void FlServer::aggregate(
     const std::vector<std::pair<StateDict, std::size_t>>& updates) {
   aggregator_->aggregate(global_state_, updates);

@@ -1,6 +1,9 @@
-// FL server: holds the global model, performs FedAvg aggregation
-// (sample-count weighted mean over client state dicts, McMahan et al. 2017)
-// and evaluates global accuracy on held-out data.
+// FL server: holds the global model, performs aggregation through a
+// pluggable Aggregator (default: FedAvg, McMahan et al. 2017) and evaluates
+// global accuracy on held-out data. The event-driven coordinator uses the
+// streaming begin_round / accumulate / finalize_round path so each decoded
+// update is folded on arrival and freed immediately; the batch aggregate()
+// remains for synchronous callers.
 #pragma once
 
 #include "core/fl/aggregator.hpp"
@@ -17,6 +20,15 @@ class FlServer {
 
   /// Replace the aggregation rule (default: FedAvg, the paper's setting).
   void set_aggregator(AggregatorPtr aggregator);
+
+  // ---- streaming round (updates folded as they arrive) ----
+  void begin_round();
+  /// Fold one decoded update with aggregation weight `weight` (sample
+  /// count, optionally staleness-scaled). The update is not retained.
+  void accumulate(const StateDict& update, double weight);
+  /// Apply the accumulated mean to the global model and close the round.
+  void finalize_round();
+  bool round_open() const { return aggregator_->round_open(); }
 
   /// Fold a round of updates into the global state via the configured
   /// aggregation rule. Updates must share the global state's structure.

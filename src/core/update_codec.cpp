@@ -54,4 +54,15 @@ UpdateCodecPtr make_parallel_fedsz_codec(std::size_t parallelism,
   return std::make_shared<FedSzCodec>(config);
 }
 
+UpdateCodecPtr make_codec_by_name(const std::string& name,
+                                  FedSzConfig config) {
+  if (name == "identity" || name == "uncompressed")
+    return make_identity_codec();
+  if (name == "fedsz") return make_fedsz_codec(config);
+  if (name == "fedsz-parallel") return make_parallel_fedsz_codec(0, config);
+  throw InvalidArgument("make_codec_by_name: unknown codec '" + name +
+                        "' (expected identity, uncompressed, fedsz or "
+                        "fedsz-parallel)");
+}
+
 }  // namespace fedsz::core

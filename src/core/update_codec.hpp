@@ -60,4 +60,10 @@ UpdateCodecPtr make_fedsz_codec(FedSzConfig config = {});
 UpdateCodecPtr make_parallel_fedsz_codec(std::size_t parallelism,
                                          FedSzConfig config = {});
 
+/// CLI-facing registry: "identity"/"uncompressed", "fedsz", or
+/// "fedsz-parallel" (chunk pipeline over all hardware threads). `config`
+/// applies to the FedSZ variants. Throws InvalidArgument on unknown names.
+UpdateCodecPtr make_codec_by_name(const std::string& name,
+                                  FedSzConfig config = {});
+
 }  // namespace fedsz::core

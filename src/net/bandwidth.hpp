@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <limits>
 
 namespace fedsz::net {
 
@@ -34,9 +35,12 @@ struct CompressionDecision {
   double compressed_seconds = 0.0;
   double uncompressed_seconds = 0.0;
   bool worthwhile = false;
+  /// uncompressed / compressed. A zero-cost compressed path is infinitely
+  /// faster, not 0x faster.
   double speedup() const {
-    return compressed_seconds > 0.0 ? uncompressed_seconds / compressed_seconds
-                                    : 0.0;
+    return compressed_seconds > 0.0
+               ? uncompressed_seconds / compressed_seconds
+               : std::numeric_limits<double>::infinity();
   }
 };
 

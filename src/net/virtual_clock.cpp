@@ -1,0 +1,36 @@
+#include "net/virtual_clock.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/common.hpp"
+
+namespace fedsz::net {
+
+void EventQueue::schedule_at(double time, Event event) {
+  if (!std::isfinite(time))
+    throw InvalidArgument("EventQueue: event time must be finite");
+  if (time < now_)
+    throw InvalidArgument("EventQueue: cannot schedule in the past");
+  if (!event) throw InvalidArgument("EventQueue: null event");
+  heap_.push_back({time, next_seq_++, std::move(event)});
+  std::push_heap(heap_.begin(), heap_.end(), later);
+}
+
+void EventQueue::schedule_after(double delay, Event event) {
+  if (!std::isfinite(delay) || delay < 0.0)
+    throw InvalidArgument("EventQueue: delay must be finite and >= 0");
+  schedule_at(now_ + delay, std::move(event));
+}
+
+bool EventQueue::run_next() {
+  if (heap_.empty()) return false;
+  std::pop_heap(heap_.begin(), heap_.end(), later);
+  Item item = std::move(heap_.back());
+  heap_.pop_back();
+  now_ = item.time;
+  item.event();
+  return true;
+}
+
+}  // namespace fedsz::net

@@ -1,0 +1,55 @@
+// Discrete-event virtual clock for the federation runtime. Simulated
+// durations (client compute, link transfers) are expressed as events on a
+// priority queue keyed by virtual time, so *arrival order* — not loop
+// order — sequences the simulation. Ties are broken by insertion sequence,
+// which makes every run deterministic: two clients finishing at the same
+// virtual instant are processed in dispatch order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace fedsz::net {
+
+class EventQueue {
+ public:
+  using Event = std::function<void()>;
+
+  /// Current virtual time in seconds. Starts at 0 and only moves forward.
+  double now() const { return now_; }
+
+  std::size_t pending() const { return heap_.size(); }
+  bool empty() const { return heap_.empty(); }
+
+  /// Schedule `event` at absolute virtual time `time` (>= now, finite).
+  void schedule_at(double time, Event event);
+
+  /// Schedule `event` `delay` seconds after the current virtual time.
+  void schedule_after(double delay, Event event);
+
+  /// Pop the earliest event ((time, insertion seq) order), advance the
+  /// clock to its timestamp and run it. The event may schedule further
+  /// events. Returns false when the queue is empty.
+  bool run_next();
+
+  /// Drop all pending events without running them.
+  void clear() { heap_.clear(); }
+
+ private:
+  struct Item {
+    double time = 0.0;
+    std::uint64_t seq = 0;
+    Event event;
+  };
+  // Min-heap via std::*_heap with a "greater" comparison.
+  static bool later(const Item& a, const Item& b) {
+    return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+  }
+
+  std::vector<Item> heap_;
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace fedsz::net

@@ -83,6 +83,138 @@ TEST(FedAdamAggregator, InvalidLearningRateThrows) {
   EXPECT_THROW(make_fedadam({0.0f, 0.9f, 0.99f, 1e-3f}), InvalidArgument);
 }
 
+// ---- streaming vs. batch equivalence ----
+// The event-driven coordinator folds updates through begin_round /
+// accumulate / finalize as they arrive; these tests pin that the streaming
+// path matches batch aggregate() on the same updates for every strategy,
+// including the stateful ones, across multiple rounds.
+
+StateDict varied_dict(float base) {
+  StateDict dict;
+  Tensor w({8});
+  for (std::size_t i = 0; i < w.numel(); ++i)
+    w[i] = base + 0.37f * static_cast<float>(i) - 1.1f;
+  dict.set("layer.weight", w);
+  Tensor b({3});
+  for (std::size_t i = 0; i < b.numel(); ++i)
+    b[i] = -base + 0.05f * static_cast<float>(i);
+  dict.set("layer.bias", b);
+  return dict;
+}
+
+void expect_dicts_near(const StateDict& a, const StateDict& b,
+                       float tolerance) {
+  ASSERT_EQ(a.size(), b.size());
+  for (const auto& [name, tensor] : a) {
+    const Tensor& other = b.get(name);
+    ASSERT_EQ(tensor.numel(), other.numel());
+    for (std::size_t k = 0; k < tensor.numel(); ++k)
+      EXPECT_NEAR(tensor[k], other[k], tolerance) << name << "[" << k << "]";
+  }
+}
+
+void expect_streaming_matches_batch(const AggregatorPtr& streaming,
+                                    const AggregatorPtr& batch) {
+  StateDict global_streaming = varied_dict(0.0f);
+  StateDict global_batch = varied_dict(0.0f);
+  for (int round = 0; round < 3; ++round) {
+    std::vector<std::pair<StateDict, std::size_t>> updates;
+    for (int u = 0; u < 4; ++u)
+      updates.emplace_back(
+          varied_dict(0.5f * static_cast<float>(round + 1) +
+                      0.25f * static_cast<float>(u)),
+          static_cast<std::size_t>(3 * u + 1));  // uneven weights
+
+    streaming->begin_round(global_streaming);
+    for (const auto& [update, samples] : updates)
+      streaming->accumulate(update, static_cast<double>(samples));
+    streaming->finalize(global_streaming);
+
+    batch->aggregate(global_batch, updates);
+    expect_dicts_near(global_streaming, global_batch, 1e-5f);
+  }
+}
+
+TEST(StreamingAggregation, FedAvgMatchesBatch) {
+  expect_streaming_matches_batch(make_fedavg(), make_fedavg());
+}
+
+TEST(StreamingAggregation, FedAvgMMatchesBatch) {
+  expect_streaming_matches_batch(make_fedavgm(0.7f), make_fedavgm(0.7f));
+}
+
+TEST(StreamingAggregation, FedAdamMatchesBatch) {
+  expect_streaming_matches_batch(make_fedadam({0.3f, 0.9f, 0.99f, 1e-3f}),
+                                 make_fedadam({0.3f, 0.9f, 0.99f, 1e-3f}));
+}
+
+TEST(StreamingAggregation, BatchEqualsWeightedMeanForFedAvg) {
+  std::vector<std::pair<StateDict, std::size_t>> updates{
+      {varied_dict(1.0f), 10}, {varied_dict(2.5f), 30}};
+  StateDict global = varied_dict(0.0f);
+  make_fedavg()->aggregate(global, updates);
+  expect_dicts_near(global, weighted_mean(varied_dict(0.0f), updates), 0.0f);
+}
+
+TEST(StreamingAggregation, MeanOfIdenticalUpdatesIsBitExact) {
+  // West's online update folds (update - mean) = 0 for identical updates,
+  // so the mean stays bit-exact whatever the weights.
+  const StateDict update = varied_dict(1.234f);
+  StreamingMean mean;
+  mean.begin(update.zeros_like());
+  mean.add(update, 3.0);
+  mean.add(update, 17.0);
+  mean.add(update, 1.0);
+  EXPECT_TRUE(mean.finalize().equals(update));
+}
+
+TEST(StreamingAggregation, FractionalWeightsSupported) {
+  // Staleness-scaled weights are fractional; 0.5 vs 1.5 weighs 1:3.
+  StreamingMean mean;
+  mean.begin(scalar_dict(0.0f));
+  mean.add(scalar_dict(0.0f), 0.5);
+  mean.add(scalar_dict(4.0f), 1.5);
+  EXPECT_FLOAT_EQ(mean.finalize().get("w")[0], 3.0f);
+}
+
+TEST(StreamingAggregation, MismatchedUpdateStructureThrows) {
+  StreamingMean mean;
+  mean.begin(scalar_dict(0.0f));
+  // Same name, wrong shape: must throw, never read out of bounds.
+  StateDict short_update;
+  short_update.set("w", Tensor::full({2}, 1.0f));
+  EXPECT_THROW(mean.add(short_update, 1.0), InvalidArgument);
+  // Missing entry entirely.
+  StreamingMean missing;
+  missing.begin(scalar_dict(0.0f));
+  StateDict renamed;
+  renamed.set("other", Tensor::full({4}, 1.0f));
+  EXPECT_THROW(missing.add(renamed, 1.0), InvalidArgument);
+}
+
+TEST(StreamingAggregation, ApiMisuseThrows) {
+  StreamingMean mean;
+  EXPECT_THROW(mean.add(scalar_dict(1.0f), 1.0), InvalidArgument);
+  EXPECT_THROW(mean.finalize(), InvalidArgument);
+  mean.begin(scalar_dict(0.0f));
+  EXPECT_THROW(mean.add(scalar_dict(1.0f), -1.0), InvalidArgument);
+  EXPECT_THROW(mean.begin(scalar_dict(0.0f)), InvalidArgument);
+  // Zero accumulated weight is degenerate, as in the batch path.
+  mean.add(scalar_dict(1.0f), 0.0);
+  EXPECT_THROW(mean.finalize(), InvalidArgument);
+
+  auto aggregator = make_fedavg();
+  StateDict global = scalar_dict(0.0f);
+  EXPECT_THROW(aggregator->finalize(global), InvalidArgument);
+  EXPECT_THROW(aggregator->accumulate(scalar_dict(1.0f), 1.0),
+               InvalidArgument);
+  // A failed batch round must not leave the aggregator stuck open.
+  EXPECT_THROW(aggregator->aggregate(global, {}), InvalidArgument);
+  EXPECT_FALSE(aggregator->round_open());
+  aggregator->aggregate(global, {{scalar_dict(2.0f), 1}});
+  EXPECT_FLOAT_EQ(global.get("w")[0], 2.0f);
+}
+
 TEST(LaplaceNoise, PerturbsOnlyLossyEligibleTensors) {
   StateDict dict;
   dict.set("big.weight", Tensor::full({2048}, 1.0f));

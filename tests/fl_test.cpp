@@ -2,6 +2,9 @@
 // and coordinator runs with identity and FedSZ codecs.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
+
 #include "core/fl/coordinator.hpp"
 #include "data/synthetic.hpp"
 
@@ -180,6 +183,264 @@ TEST(FlCoordinatorTest, InvalidConfigThrows) {
   EXPECT_THROW(FlCoordinator(tiny_model(), data::take(train, 32),
                              data::take(test, 16), config, nullptr),
                InvalidArgument);
+}
+
+TEST(FlRunConfigTest, ValidateRejectsDegenerateSettings) {
+  FlRunConfig config;
+  EXPECT_NO_THROW(config.validate());
+  config.clients = 0;
+  EXPECT_THROW(config.validate(), InvalidArgument);
+  config = {};
+  config.rounds = 0;
+  EXPECT_THROW(config.validate(), InvalidArgument);
+  config = {};
+  config.rounds = -3;
+  EXPECT_THROW(config.validate(), InvalidArgument);
+  config = {};
+  config.threads = 0;
+  EXPECT_THROW(config.validate(), InvalidArgument);
+  config = {};
+  config.compute_seconds_per_sample = -1.0;
+  EXPECT_THROW(config.validate(), InvalidArgument);
+  config = {};
+  config.compute_jitter = 1.0;
+  EXPECT_THROW(config.validate(), InvalidArgument);
+  config = {};
+  config.client.local_epochs = 0;
+  EXPECT_THROW(config.validate(), InvalidArgument);
+  config = {};
+  config.client.batch_size = 0;
+  EXPECT_THROW(config.validate(), InvalidArgument);
+}
+
+// ---- event-driven runtime ----
+
+// The pre-event-runtime coordinator, recreated verbatim: partition IID,
+// every round train all clients in index order, encode/decode each update,
+// batch-aggregate in index order, evaluate. The event-driven SyncScheduler
+// over a homogeneous network must reproduce this trajectory *exactly*.
+std::vector<std::pair<double, std::size_t>> legacy_sync_trace(
+    const nn::ModelConfig& model, data::DatasetPtr train,
+    data::DatasetPtr test, const FlRunConfig& config,
+    const UpdateCodecPtr& codec) {
+  FlServer server(model);
+  Rng rng(config.seed);
+  const auto shards =
+      data::partition_iid(train->size(), config.clients, rng);
+  std::vector<std::unique_ptr<FlClient>> clients;
+  for (std::size_t i = 0; i < config.clients; ++i) {
+    ClientConfig client_config = config.client;
+    client_config.seed = config.seed ^ (0xC11E47ull * (i + 1));
+    clients.push_back(std::make_unique<FlClient>(
+        static_cast<int>(i), model,
+        std::make_shared<data::SubsetDataset>(train, shards[i]),
+        client_config));
+  }
+  std::vector<std::pair<double, std::size_t>> trace;  // (accuracy, bytes)
+  for (int round = 0; round < config.rounds; ++round) {
+    std::vector<std::pair<StateDict, std::size_t>> updates;
+    std::size_t bytes = 0;
+    for (auto& client : clients) {
+      const ClientRoundResult result =
+          client->run_round(server.global_state());
+      const UpdateCodec::Encoded encoded = codec->encode(result.update);
+      bytes += encoded.payload.size();
+      updates.emplace_back(
+          codec->decode({encoded.payload.data(), encoded.payload.size()}),
+          result.samples);
+    }
+    server.aggregate(updates);
+    trace.emplace_back(server.evaluate(*test, config.eval_limit), bytes);
+  }
+  return trace;
+}
+
+TEST(FlCoordinatorTest, SyncSchedulerReproducesLegacyTrajectoryExactly) {
+  auto [train, test] = data::make_dataset("cifar10");
+  FlRunConfig config;
+  config.clients = 3;
+  config.rounds = 3;
+  config.eval_limit = 64;
+  config.threads = 3;
+  config.seed = 123;
+  config.client.batch_size = 16;
+  const auto codec = make_identity_codec();
+
+  FlCoordinator coordinator(tiny_model(), data::take(train, 96),
+                            data::take(test, 64), config, codec,
+                            make_sync_scheduler());
+  const FlRunResult result = coordinator.run();
+
+  const auto reference = legacy_sync_trace(
+      tiny_model(), data::take(train, 96), data::take(test, 64), config,
+      codec);
+  ASSERT_EQ(result.rounds.size(), reference.size());
+  for (std::size_t r = 0; r < reference.size(); ++r) {
+    EXPECT_DOUBLE_EQ(result.rounds[r].accuracy, reference[r].first)
+        << "round " << r;
+    EXPECT_EQ(result.rounds[r].bytes_sent, reference[r].second)
+        << "round " << r;
+    EXPECT_EQ(result.rounds[r].participants, config.clients);
+  }
+  EXPECT_EQ(result.scheduler, "sync");
+}
+
+TEST(FlCoordinatorTest, RecordsPerClientTraceAndDecisions) {
+  auto [train, test] = data::make_dataset("cifar10");
+  FlRunConfig config;
+  config.clients = 4;
+  config.rounds = 1;
+  config.eval_limit = 16;
+  config.threads = 2;
+  config.client.batch_size = 8;
+  net::HeterogeneousNetworkConfig links;
+  links.distribution = net::LinkDistribution::kTwoTier;
+  links.two_tier_fast_fraction = 0.5;
+  links.two_tier_fast_mbps = 1000.0;
+  links.two_tier_slow_mbps = 1.0;
+  config.heterogeneous = links;
+  FlCoordinator coordinator(tiny_model(), data::take(train, 64),
+                            data::take(test, 16), config,
+                            make_identity_codec());
+  const FlRunResult result = coordinator.run();
+  ASSERT_EQ(result.rounds.size(), 1u);
+  const RoundRecord& record = result.rounds[0];
+  ASSERT_EQ(record.clients.size(), 4u);
+  EXPECT_EQ(record.participants, 4u);
+  double slow_transfer = 0.0, fast_transfer = 0.0;
+  for (const ClientTraceEntry& entry : record.clients) {
+    EXPECT_LT(entry.client, 4u);
+    EXPECT_EQ(entry.dispatch_round, 0);
+    EXPECT_GE(entry.arrival_seconds, entry.dispatch_seconds);
+    EXPECT_GT(entry.transfer_seconds, 0.0);
+    EXPECT_GT(entry.payload_bytes, 0u);
+    EXPECT_GT(entry.weight, 0.0);
+    // Eqn (1) was evaluated against this client's own link.
+    EXPECT_GT(entry.decision.uncompressed_seconds, 0.0);
+    slow_transfer = std::max(slow_transfer, entry.transfer_seconds);
+    fast_transfer = fast_transfer == 0.0
+                        ? entry.transfer_seconds
+                        : std::min(fast_transfer, entry.transfer_seconds);
+  }
+  // Identity payloads are equal, so the 1000x bandwidth gap must show up as
+  // a 1000x transfer-time gap between tiers.
+  EXPECT_NEAR(slow_transfer / fast_transfer, 1000.0, 1.0);
+  EXPECT_GT(result.total_virtual_seconds, 0.0);
+}
+
+TEST(FlCoordinatorTest, SampledSyncIsDeterministicAtScale) {
+  auto [train, test] = data::make_dataset("cifar10");
+  auto run_once = [&] {
+    FlRunConfig config;
+    config.clients = 64;
+    config.rounds = 2;
+    config.eval_limit = 32;
+    config.threads = 4;
+    config.seed = 77;
+    config.client.batch_size = 2;
+    config.evaluate_every_round = false;
+    FlCoordinator coordinator(tiny_model(), data::take(train, 128),
+                              data::take(test, 32), config,
+                              make_identity_codec(),
+                              make_sampled_sync_scheduler(0.25));
+    return coordinator.run();
+  };
+  const FlRunResult a = run_once();
+  const FlRunResult b = run_once();
+  ASSERT_EQ(a.rounds.size(), 2u);
+  for (std::size_t r = 0; r < a.rounds.size(); ++r) {
+    EXPECT_EQ(a.rounds[r].participants, 16u);  // ceil(0.25 * 64)
+    EXPECT_EQ(a.rounds[r].bytes_sent, b.rounds[r].bytes_sent);
+    EXPECT_DOUBLE_EQ(a.rounds[r].virtual_seconds,
+                     b.rounds[r].virtual_seconds);
+    ASSERT_EQ(a.rounds[r].clients.size(), b.rounds[r].clients.size());
+    for (std::size_t c = 0; c < a.rounds[r].clients.size(); ++c)
+      EXPECT_EQ(a.rounds[r].clients[c].client,
+                b.rounds[r].clients[c].client);
+  }
+  EXPECT_DOUBLE_EQ(a.final_accuracy, b.final_accuracy);
+  // Streaming aggregation: one decoded update alive at a time.
+  EXPECT_EQ(a.peak_decoded_updates, 1u);
+}
+
+TEST(FlCoordinatorTest, BufferedAsyncIsDeterministicWithBoundedMemory) {
+  auto [train, test] = data::make_dataset("cifar10");
+  auto run_once = [&](std::size_t clients) {
+    FlRunConfig config;
+    config.clients = clients;
+    config.rounds = 3;
+    config.eval_limit = 32;
+    config.threads = 4;
+    config.seed = 5;
+    config.client.batch_size = 2;
+    config.evaluate_every_round = false;
+    config.compute_jitter = 0.5;  // heterogeneous device speeds
+    net::HeterogeneousNetworkConfig links;
+    links.distribution = net::LinkDistribution::kUniformEdge;
+    links.edge_min_mbps = 2.0;
+    links.edge_max_mbps = 20.0;
+    config.heterogeneous = links;
+    FlCoordinator coordinator(
+        tiny_model(), data::take(train, clients * 2), data::take(test, 32),
+        config, make_identity_codec(),
+        make_buffered_async_scheduler({8, 0.5}));
+    return coordinator.run();
+  };
+  const FlRunResult a = run_once(64);
+  const FlRunResult b = run_once(64);
+  ASSERT_EQ(a.rounds.size(), 3u);
+  EXPECT_EQ(a.scheduler, "buffered_async");
+  for (std::size_t r = 0; r < a.rounds.size(); ++r) {
+    EXPECT_EQ(a.rounds[r].participants, 8u);  // buffer_size arrivals each
+    EXPECT_EQ(a.rounds[r].bytes_sent, b.rounds[r].bytes_sent);
+    EXPECT_DOUBLE_EQ(a.rounds[r].virtual_seconds,
+                     b.rounds[r].virtual_seconds);
+    ASSERT_EQ(a.rounds[r].clients.size(), b.rounds[r].clients.size());
+    for (std::size_t c = 0; c < a.rounds[r].clients.size(); ++c) {
+      EXPECT_EQ(a.rounds[r].clients[c].client,
+                b.rounds[r].clients[c].client);
+      EXPECT_DOUBLE_EQ(a.rounds[r].clients[c].weight,
+                       b.rounds[r].clients[c].weight);
+    }
+  }
+  EXPECT_DOUBLE_EQ(a.final_accuracy, b.final_accuracy);
+  // Peak decoded-update memory is O(1): identical at any population size.
+  const FlRunResult smaller = run_once(16);
+  EXPECT_EQ(a.peak_decoded_updates, 1u);
+  EXPECT_EQ(smaller.peak_decoded_updates, a.peak_decoded_updates);
+}
+
+TEST(FlCoordinatorTest, BufferedAsyncAppliesStalenessWeights) {
+  auto [train, test] = data::make_dataset("cifar10");
+  FlRunConfig config;
+  config.clients = 8;
+  config.rounds = 3;
+  config.eval_limit = 16;
+  config.threads = 4;
+  config.client.batch_size = 4;
+  config.evaluate_every_round = false;
+  config.compute_jitter = 0.6;  // spread arrivals across aggregations
+  FlCoordinator coordinator(tiny_model(), data::take(train, 64),
+                            data::take(test, 16), config,
+                            make_identity_codec(),
+                            make_buffered_async_scheduler({4, 1.0}));
+  const FlRunResult result = coordinator.run();
+  ASSERT_EQ(result.rounds.size(), 3u);
+  // Every client holds 64/8 = 8 samples, so a fresh update weighs exactly
+  // 8 and a stale one strictly less (scaled by 1/(1+staleness)).
+  bool saw_stale = false;
+  for (const RoundRecord& record : result.rounds)
+    for (const ClientTraceEntry& entry : record.clients) {
+      if (entry.dispatch_round < record.round) {
+        saw_stale = true;
+        EXPECT_LT(entry.weight, 8.0);
+      } else {
+        EXPECT_DOUBLE_EQ(entry.weight, 8.0);
+      }
+    }
+  // With 8 continuously-training clients and K=4, later aggregations must
+  // fold updates dispatched under an older global.
+  EXPECT_TRUE(saw_stale);
 }
 
 }  // namespace

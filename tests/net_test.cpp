@@ -1,7 +1,12 @@
-// Tests for the bandwidth model and the Eqn (1) compression decision rule.
+// Tests for the bandwidth model, the Eqn (1) compression decision rule,
+// the event-queue virtual clock, and heterogeneous per-client networks.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "net/bandwidth.hpp"
+#include "net/heterogeneous.hpp"
+#include "net/virtual_clock.hpp"
 #include "util/common.hpp"
 
 namespace fedsz::net {
@@ -74,6 +79,193 @@ TEST(CompressionDecisionTest, ZeroOverheadAlwaysWorthwhileWhenSmaller) {
   const CompressionDecision d =
       evaluate_compression(1000, 999, 0.0, 0.0, net);
   EXPECT_TRUE(d.worthwhile);
+  EXPECT_GT(d.speedup(), 1.0);
+}
+
+TEST(CompressionDecisionTest, ZeroCompressedTimeSpeedupIsInfinite) {
+  // A zero-cost compressed path is infinitely faster, not 0x faster.
+  CompressionDecision d;
+  d.uncompressed_seconds = 5.0;
+  d.compressed_seconds = 0.0;
+  EXPECT_TRUE(std::isinf(d.speedup()));
+  EXPECT_GT(d.speedup(), 0.0);
+}
+
+TEST(CompressionDecisionTest, ZeroBytesOnZeroLatencyLink) {
+  // Degenerate but reachable: an empty update over an instantaneous link.
+  // Both paths take zero seconds; nothing is strictly faster.
+  const SimulatedNetwork net({100.0, 0.0});
+  const CompressionDecision d = evaluate_compression(0, 0, 0.0, 0.0, net);
+  EXPECT_EQ(d.uncompressed_seconds, 0.0);
+  EXPECT_EQ(d.compressed_seconds, 0.0);
+  EXPECT_FALSE(d.worthwhile);
+  EXPECT_TRUE(std::isinf(d.speedup()));
+}
+
+TEST(CompressionDecisionTest, LatencyOnlyLinkNeverWorthwhile) {
+  // With latency dominating (zero payloads), compression adds codec time on
+  // top of the same latency, so it can never win.
+  const SimulatedNetwork net({100.0, 0.25});
+  const CompressionDecision d = evaluate_compression(0, 0, 0.1, 0.1, net);
+  EXPECT_NEAR(d.uncompressed_seconds, 0.25, 1e-12);
+  EXPECT_NEAR(d.compressed_seconds, 0.45, 1e-12);
+  EXPECT_FALSE(d.worthwhile);
+  EXPECT_LT(d.speedup(), 1.0);
+}
+
+TEST(EventQueueTest, RunsEventsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule_at(3.0, [&] { order.push_back(3); });
+  queue.schedule_at(1.0, [&] { order.push_back(1); });
+  queue.schedule_at(2.0, [&] { order.push_back(2); });
+  while (queue.run_next()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_NEAR(queue.now(), 3.0, 1e-12);
+}
+
+TEST(EventQueueTest, TiesBreakByInsertionOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i)
+    queue.schedule_at(1.0, [&, i] { order.push_back(i); });
+  while (queue.run_next()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(EventQueueTest, EventsCanScheduleFurtherEvents) {
+  EventQueue queue;
+  std::vector<double> times;
+  queue.schedule_after(1.0, [&] {
+    times.push_back(queue.now());
+    queue.schedule_after(0.5, [&] { times.push_back(queue.now()); });
+  });
+  while (queue.run_next()) {
+  }
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_NEAR(times[0], 1.0, 1e-12);
+  EXPECT_NEAR(times[1], 1.5, 1e-12);
+}
+
+TEST(EventQueueTest, RejectsPastAndInvalidSchedules) {
+  EventQueue queue;
+  queue.schedule_at(2.0, [] {});
+  EXPECT_TRUE(queue.run_next());
+  EXPECT_THROW(queue.schedule_at(1.0, [] {}), InvalidArgument);
+  EXPECT_THROW(queue.schedule_after(-0.1, [] {}), InvalidArgument);
+  EXPECT_THROW(queue.schedule_after(std::nan(""), [] {}), InvalidArgument);
+  EXPECT_THROW(queue.schedule_at(3.0, nullptr), InvalidArgument);
+  EXPECT_FALSE(queue.run_next());
+}
+
+TEST(EventQueueTest, ClearDropsPendingEvents) {
+  EventQueue queue;
+  int fired = 0;
+  queue.schedule_at(1.0, [&] { ++fired; });
+  queue.clear();
+  EXPECT_FALSE(queue.run_next());
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(HeterogeneousNetworkTest, HomogeneousSharesOneProfile) {
+  const auto network =
+      HeterogeneousNetwork::homogeneous({10.0, 0.01}, 5);
+  ASSERT_EQ(network.size(), 5u);
+  for (std::size_t i = 0; i < network.size(); ++i) {
+    EXPECT_DOUBLE_EQ(network.link(i).profile().bandwidth_mbps, 10.0);
+    EXPECT_DOUBLE_EQ(network.link(i).profile().latency_s, 0.01);
+  }
+  EXPECT_DOUBLE_EQ(network.min_bandwidth_mbps(), 10.0);
+  EXPECT_DOUBLE_EQ(network.max_bandwidth_mbps(), 10.0);
+}
+
+TEST(HeterogeneousNetworkTest, UniformEdgeStaysInRangeAndIsSeeded) {
+  HeterogeneousNetworkConfig config;
+  config.distribution = LinkDistribution::kUniformEdge;
+  config.edge_min_mbps = 4.0;
+  config.edge_max_mbps = 20.0;
+  config.seed = 7;
+  const HeterogeneousNetwork a(config, 32);
+  const HeterogeneousNetwork b(config, 32);
+  for (std::size_t i = 0; i < 32; ++i) {
+    const double mbps = a.link(i).profile().bandwidth_mbps;
+    EXPECT_GE(mbps, 4.0);
+    EXPECT_LE(mbps, 20.0);
+    EXPECT_DOUBLE_EQ(mbps, b.link(i).profile().bandwidth_mbps);
+  }
+  config.seed = 8;
+  const HeterogeneousNetwork c(config, 32);
+  bool any_different = false;
+  for (std::size_t i = 0; i < 32; ++i)
+    any_different |= c.link(i).profile().bandwidth_mbps !=
+                     a.link(i).profile().bandwidth_mbps;
+  EXPECT_TRUE(any_different);
+}
+
+TEST(HeterogeneousNetworkTest, LogNormalWanIsPositiveAndSpread) {
+  HeterogeneousNetworkConfig config;
+  config.distribution = LinkDistribution::kLogNormalWan;
+  config.wan_median_mbps = 50.0;
+  config.wan_log_sigma = 1.0;
+  const HeterogeneousNetwork network(config, 64);
+  for (std::size_t i = 0; i < 64; ++i)
+    EXPECT_GT(network.link(i).profile().bandwidth_mbps, 0.0);
+  EXPECT_GT(network.max_bandwidth_mbps(),
+            2.0 * network.min_bandwidth_mbps());
+}
+
+TEST(HeterogeneousNetworkTest, TwoTierHasExactTierSizes) {
+  HeterogeneousNetworkConfig config;
+  config.distribution = LinkDistribution::kTwoTier;
+  config.two_tier_fast_fraction = 0.3;
+  config.two_tier_fast_mbps = 1000.0;
+  config.two_tier_slow_mbps = 10.0;
+  const HeterogeneousNetwork network(config, 10);
+  std::size_t fast = 0;
+  for (std::size_t i = 0; i < 10; ++i) {
+    const double mbps = network.link(i).profile().bandwidth_mbps;
+    EXPECT_TRUE(mbps == 1000.0 || mbps == 10.0);
+    if (mbps == 1000.0) ++fast;
+  }
+  EXPECT_EQ(fast, 3u);  // exactly round(0.3 * 10)
+}
+
+TEST(HeterogeneousNetworkTest, InvalidConfigsThrow) {
+  HeterogeneousNetworkConfig config;
+  config.edge_min_mbps = 0.0;
+  EXPECT_THROW(HeterogeneousNetwork(config, 4), InvalidArgument);
+  config = {};
+  config.edge_max_mbps = config.edge_min_mbps - 1.0;
+  EXPECT_THROW(HeterogeneousNetwork(config, 4), InvalidArgument);
+  config = {};
+  config.distribution = LinkDistribution::kLogNormalWan;
+  config.wan_median_mbps = -1.0;
+  EXPECT_THROW(HeterogeneousNetwork(config, 4), InvalidArgument);
+  config = {};
+  config.distribution = LinkDistribution::kTwoTier;
+  config.two_tier_fast_fraction = 1.5;
+  EXPECT_THROW(HeterogeneousNetwork(config, 4), InvalidArgument);
+  config = {};
+  config.latency_s = -0.1;
+  EXPECT_THROW(HeterogeneousNetwork(config, 4), InvalidArgument);
+  EXPECT_THROW(HeterogeneousNetwork(HeterogeneousNetworkConfig{}, 0),
+               InvalidArgument);
+}
+
+TEST(HeterogeneousNetworkTest, LinkIndexIsRangeChecked) {
+  const auto network = HeterogeneousNetwork::homogeneous({10.0, 0.0}, 2);
+  EXPECT_NO_THROW(network.link(1));
+  EXPECT_THROW(network.link(2), InvalidArgument);
+}
+
+TEST(HeterogeneousNetworkTest, DistributionNamesRoundTrip) {
+  for (const LinkDistribution d :
+       {LinkDistribution::kUniformEdge, LinkDistribution::kLogNormalWan,
+        LinkDistribution::kTwoTier})
+    EXPECT_EQ(link_distribution_from_name(link_distribution_name(d)), d);
+  EXPECT_THROW(link_distribution_from_name("5g"), InvalidArgument);
 }
 
 }  // namespace

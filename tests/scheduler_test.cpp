@@ -1,0 +1,90 @@
+// Tests for the federation runtime's participation policies: sync barrier,
+// seeded client sampling, and FedBuff-style buffered async.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "core/fl/scheduler.hpp"
+#include "util/common.hpp"
+
+namespace fedsz::core {
+namespace {
+
+TEST(SyncSchedulerTest, DispatchesEveryoneAndBarriersOnAll) {
+  auto scheduler = make_sync_scheduler();
+  EXPECT_EQ(scheduler->name(), "sync");
+  EXPECT_FALSE(scheduler->continuous());
+  Rng rng(1);
+  const auto cohort = scheduler->cohort(0, 5, rng);
+  ASSERT_EQ(cohort.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(cohort[i], i);
+  EXPECT_EQ(scheduler->aggregation_goal(5), 5u);
+  EXPECT_DOUBLE_EQ(scheduler->staleness_scale(0, 3), 1.0);
+}
+
+TEST(SampledSyncSchedulerTest, SamplesDistinctSortedFraction) {
+  auto scheduler = make_sampled_sync_scheduler(0.25);
+  EXPECT_EQ(scheduler->name(), "sampled_sync");
+  EXPECT_FALSE(scheduler->continuous());
+  Rng rng(42);
+  const auto cohort = scheduler->cohort(0, 64, rng);
+  ASSERT_EQ(cohort.size(), 16u);  // ceil(0.25 * 64)
+  EXPECT_TRUE(std::is_sorted(cohort.begin(), cohort.end()));
+  const std::set<std::size_t> unique(cohort.begin(), cohort.end());
+  EXPECT_EQ(unique.size(), cohort.size());
+  for (const std::size_t i : cohort) EXPECT_LT(i, 64u);
+  EXPECT_EQ(scheduler->aggregation_goal(cohort.size()), cohort.size());
+}
+
+TEST(SampledSyncSchedulerTest, SamplingIsSeededAndVaries) {
+  auto scheduler = make_sampled_sync_scheduler(0.5);
+  Rng a(7), b(7);
+  EXPECT_EQ(scheduler->cohort(0, 32, a), scheduler->cohort(0, 32, b));
+  // Successive rounds from the same stream draw different cohorts (with
+  // overwhelming probability for 16-of-32).
+  Rng d(7);
+  const auto first = scheduler->cohort(0, 32, d);
+  const auto second = scheduler->cohort(1, 32, d);
+  EXPECT_NE(first, second);
+}
+
+TEST(SampledSyncSchedulerTest, AlwaysAtLeastOneClient) {
+  auto scheduler = make_sampled_sync_scheduler(0.01);
+  Rng rng(3);
+  EXPECT_EQ(scheduler->cohort(0, 4, rng).size(), 1u);
+  // Full fraction keeps everyone.
+  auto full = make_sampled_sync_scheduler(1.0);
+  EXPECT_EQ(full->cohort(0, 4, rng).size(), 4u);
+}
+
+TEST(SampledSyncSchedulerTest, FractionOutsideUnitIntervalThrows) {
+  EXPECT_THROW(make_sampled_sync_scheduler(0.0), InvalidArgument);
+  EXPECT_THROW(make_sampled_sync_scheduler(-0.5), InvalidArgument);
+  EXPECT_THROW(make_sampled_sync_scheduler(1.5), InvalidArgument);
+}
+
+TEST(BufferedAsyncSchedulerTest, BuffersKAndWeighsStaleness) {
+  auto scheduler = make_buffered_async_scheduler({4, 0.5});
+  EXPECT_EQ(scheduler->name(), "buffered_async");
+  EXPECT_TRUE(scheduler->continuous());
+  Rng rng(1);
+  EXPECT_EQ(scheduler->cohort(0, 6, rng).size(), 6u);  // everyone trains
+  EXPECT_EQ(scheduler->aggregation_goal(6), 4u);
+  // Goal never exceeds the population, or the pump would starve.
+  EXPECT_EQ(scheduler->aggregation_goal(2), 2u);
+  // 1/(1+staleness)^0.5: fresh = 1, stale decays monotonically.
+  EXPECT_DOUBLE_EQ(scheduler->staleness_scale(3, 3), 1.0);
+  EXPECT_NEAR(scheduler->staleness_scale(2, 3), 1.0 / std::sqrt(2.0), 1e-12);
+  EXPECT_GT(scheduler->staleness_scale(2, 3),
+            scheduler->staleness_scale(0, 3));
+}
+
+TEST(BufferedAsyncSchedulerTest, InvalidConfigThrows) {
+  EXPECT_THROW(make_buffered_async_scheduler({0, 0.5}), InvalidArgument);
+  EXPECT_THROW(make_buffered_async_scheduler({4, -1.0}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace fedsz::core
