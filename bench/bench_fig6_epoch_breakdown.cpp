@@ -17,7 +17,8 @@ int main() {
     const data::SyntheticSpec spec = data::dataset_spec(dataset);
     std::printf("Dataset: %s\n", dataset.c_str());
     benchx::Table table({"Model", "Client Training (s)", "Validation (s)",
-                         "Compression (s)", "Compression share"});
+                         "Compression (s)", "Compression share",
+                         "Plan (lossy/lossless)"});
     for (const std::string& arch : nn::model_architectures()) {
       nn::ModelConfig model;
       model.arch = arch;
@@ -37,17 +38,22 @@ int main() {
                                       data::take(test, 256), config,
                                       core::make_fedsz_codec());
       const core::FlRunResult result = coordinator.run();
-      // Use the second round (first pays cache warm-up).
+      // Use the second round (first pays cache warm-up). Compression time is
+      // the per-round compress + decompress means the coordinator already
+      // aggregates from CompressionStats — no separate seconds out-params.
       const core::RoundRecord& record = result.rounds.back();
       const double compression =
           record.compress_seconds + record.decompress_seconds;
       const double total =
           record.train_seconds + record.eval_seconds + compression;
+      const core::ClientTraceEntry& first_client = record.clients.front();
       table.add_row({nn::model_display_name(arch),
                      benchx::fmt(record.train_seconds, 3),
                      benchx::fmt(record.eval_seconds, 3),
                      benchx::fmt(compression, 4),
-                     benchx::fmt(compression / total * 100.0, 1) + "%"});
+                     benchx::fmt(compression / total * 100.0, 1) + "%",
+                     std::to_string(first_client.lossy_tensors) + "/" +
+                         std::to_string(first_client.lossless_tensors)});
     }
     table.print();
     std::printf("\n");

@@ -56,11 +56,11 @@ int main(int argc, char** argv) {
       Timer timer;
       const Bytes blob = fedsz.compress(trained, &stats);
       const double compress_seconds = timer.seconds();
-      double decompress_seconds = 0.0;
-      fedsz.decompress({blob.data(), blob.size()}, &decompress_seconds);
+      core::CompressionStats decode_stats;
+      fedsz.decompress({blob.data(), blob.size()}, &decode_stats);
       const net::CompressionDecision decision = net::evaluate_compression(
-          raw_bytes, blob.size(), compress_seconds, decompress_seconds,
-          network);
+          raw_bytes, blob.size(), compress_seconds,
+          decode_stats.decompress_seconds, network);
       table.add_row({benchx::fmt(rel, 5), benchx::fmt(stats.ratio(), 2),
                      benchx::fmt(decision.compressed_seconds, 3),
                      benchx::fmt(decision.uncompressed_seconds, 3),
@@ -91,8 +91,9 @@ int main(int argc, char** argv) {
     Timer timer;
     const Bytes blob = fedsz.compress(trained, &stats);
     const double compress_seconds = timer.seconds();
-    double decompress_seconds = 0.0;
-    fedsz.decompress({blob.data(), blob.size()}, &decompress_seconds);
+    core::CompressionStats decode_stats;
+    fedsz.decompress({blob.data(), blob.size()}, &decode_stats);
+    const double decompress_seconds = decode_stats.decompress_seconds;
 
     const std::size_t clients =
         options.clients > 0 ? options.clients : (options.smoke ? 4 : 8);

@@ -35,10 +35,11 @@ int main(int argc, char** argv) {
     Timer timer;
     const Bytes blob = fedsz.compress(trained);
     const double compress_seconds = timer.seconds();
-    double decompress_seconds = 0.0;
-    fedsz.decompress({blob.data(), blob.size()}, &decompress_seconds);
-    candidates.push_back({lossy::lossy_codec(id).name(), blob.size(),
-                          compress_seconds + decompress_seconds});
+    core::CompressionStats decode_stats;
+    fedsz.decompress({blob.data(), blob.size()}, &decode_stats);
+    candidates.push_back(
+        {lossy::lossy_codec(id).name(), blob.size(),
+         compress_seconds + decode_stats.decompress_seconds});
   }
   candidates.push_back({"original", raw_bytes, 0.0});
 

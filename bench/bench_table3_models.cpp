@@ -12,7 +12,7 @@ void profile(fedsz::nn::ModelScale scale, const char* label) {
   using namespace fedsz;
   std::printf("Scale: %s\n", label);
   benchx::Table table({"Model", "Parameters", "Size", "% Lossy Data",
-                       "FLOPs"});
+                       "Plan (lossy/lossless)", "FLOPs"});
   for (const std::string& arch : nn::model_architectures()) {
     nn::ModelConfig config;
     config.arch = arch;
@@ -27,6 +27,8 @@ void profile(fedsz::nn::ModelScale scale, const char* label) {
     table.add_row({nn::model_display_name(arch), params,
                    benchx::fmt_bytes(dict.total_bytes()),
                    benchx::fmt(partition.lossy_fraction() * 100.0, 2) + "%",
+                   std::to_string(partition.lossy_names.size()) + "/" +
+                       std::to_string(partition.lossless_names.size()),
                    flops});
   }
   table.print();

@@ -77,8 +77,10 @@ namespace {
   std::fprintf(
       code == 0 ? stdout : stderr,
       "usage: %s [--clients N] [--rounds N] [--bandwidth MBPS]\n"
-      "          [--codec identity|fedsz|fedsz-parallel] [--json PATH]\n"
-      "          [--smoke] [--help]\n"
+      "          [--codec SPEC] [--json PATH] [--smoke] [--help]\n"
+      "SPEC is a codec spec string (core/codec_spec.hpp): a family\n"
+      "(identity, fedsz, fedsz-parallel) optionally followed by options,\n"
+      "e.g. fedsz:lossy=sz3,eb=rel:1e-3,lossless=zstd,policy=schedule.\n"
       "Zero/omitted values keep the bench's defaults; --smoke shrinks the\n"
       "grid to a CI-sized run; --json also writes machine-readable output.\n",
       program);

@@ -44,7 +44,7 @@ struct BenchOptions {
   std::size_t clients = 0;     // --clients N
   int rounds = 0;              // --rounds N
   double bandwidth_mbps = 0.0; // --bandwidth MBPS
-  std::string codec;           // --codec identity|fedsz|fedsz-parallel
+  std::string codec;           // --codec SPEC (codec spec string)
   std::string json_path;       // --json PATH (write machine-readable output)
   bool smoke = false;          // --smoke
 };

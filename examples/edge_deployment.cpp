@@ -30,8 +30,9 @@ int main(int argc, char** argv) {
   Timer timer;
   const Bytes blob = fedsz.compress(update);
   const double compress_seconds = timer.seconds();
-  double decompress_seconds = 0.0;
-  fedsz.decompress({blob.data(), blob.size()}, &decompress_seconds);
+  core::CompressionStats decode_stats;
+  fedsz.decompress({blob.data(), blob.size()}, &decode_stats);
+  const double decompress_seconds = decode_stats.decompress_seconds;
 
   std::printf(
       "%s update: %zu bytes raw, %zu compressed (%.2fx)\n"

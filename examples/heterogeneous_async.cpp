@@ -12,9 +12,10 @@
 // how long the simulated federation takes to reach the same number of
 // aggregations when stragglers exist.
 //
-//   ./build/heterogeneous_async [rounds] [clients]
+//   ./build/heterogeneous_async [rounds] [clients] [codec-spec]
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 #include "core/fl/coordinator.hpp"
 #include "core/fl/scheduler.hpp"
@@ -25,6 +26,7 @@ int main(int argc, char** argv) {
   const int rounds = argc > 1 ? std::atoi(argv[1]) : 4;
   const std::size_t clients =
       argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 32;
+  const std::string spec = argc > 3 ? argv[3] : "fedsz";
 
   nn::ModelConfig model;
   model.arch = "mobilenet_v2";
@@ -48,7 +50,7 @@ int main(int argc, char** argv) {
     config.heterogeneous = links;
     core::FlCoordinator coordinator(model, data::take(train, clients * 16),
                                     data::take(test, 128), config,
-                                    core::make_fedsz_codec(),
+                                    core::make_codec_by_name(spec),
                                     std::move(scheduler));
     return coordinator.run();
   };

@@ -50,12 +50,14 @@ int main() {
               stats.original_bytes, stats.compressed_bytes, stats.ratio(),
               stats.compress_seconds);
 
-  // 4. Decompress (server side) and verify.
-  double decompress_seconds = 0.0;
+  // 4. Decompress (server side) and verify. The same CompressionStats type
+  //    reports the decode pass (decompress_seconds, per-path tensor counts).
+  core::CompressionStats decode_stats;
   const StateDict restored =
-      fedsz.decompress({bitstream.data(), bitstream.size()},
-                       &decompress_seconds);
-  std::printf("decompressed in %.3fs\n", decompress_seconds);
+      fedsz.decompress({bitstream.data(), bitstream.size()}, &decode_stats);
+  std::printf("decompressed in %.3fs (%zu lossy / %zu lossless tensors)\n",
+              decode_stats.decompress_seconds, decode_stats.lossy_tensors,
+              decode_stats.lossless_tensors);
 
   double worst_relative_error = 0.0;
   std::size_t exact = 0;

@@ -36,7 +36,8 @@ TopKCodec::TopKCodec(TopKConfig config) : config_(config) {
     throw InvalidArgument("TopKCodec: keep_fraction must be in (0, 1]");
 }
 
-UpdateCodec::Encoded TopKCodec::encode(const StateDict& dict) const {
+UpdateCodec::Encoded TopKCodec::encode(const StateDict& dict,
+                                       const EncodeContext&) const {
   Timer timer;
   ByteWriter w;
   write_magic(w, kTopKMagic);
@@ -91,7 +92,7 @@ UpdateCodec::Encoded TopKCodec::encode(const StateDict& dict) const {
   return encoded;
 }
 
-StateDict TopKCodec::decode(ByteSpan payload, double* decode_seconds) const {
+StateDict TopKCodec::decode(ByteSpan payload, CompressionStats* stats) const {
   Timer timer;
   ByteReader r(payload);
   check_magic(r, kTopKMagic, "topk");
@@ -121,7 +122,12 @@ StateDict TopKCodec::decode(ByteSpan payload, double* decode_seconds) const {
   const StateDict dense_partition =
       StateDict::deserialize({dense.data(), dense.size()});
   for (const auto& [name, tensor] : dense_partition) out.set(name, tensor);
-  if (decode_seconds) *decode_seconds = timer.seconds();
+  if (stats) {
+    *stats = CompressionStats{};
+    stats->compressed_bytes = payload.size();
+    stats->original_bytes = out.total_bytes();
+    stats->decompress_seconds = timer.seconds();
+  }
   return out;
 }
 
@@ -132,7 +138,8 @@ QsgdCodec::QsgdCodec(QsgdConfig config) : config_(config) {
     throw InvalidArgument("QsgdCodec: levels must be in [2, 65535]");
 }
 
-UpdateCodec::Encoded QsgdCodec::encode(const StateDict& dict) const {
+UpdateCodec::Encoded QsgdCodec::encode(const StateDict& dict,
+                                       const EncodeContext&) const {
   Timer timer;
   Rng rng(config_.seed);
   ByteWriter w;
@@ -184,7 +191,7 @@ UpdateCodec::Encoded QsgdCodec::encode(const StateDict& dict) const {
   return encoded;
 }
 
-StateDict QsgdCodec::decode(ByteSpan payload, double* decode_seconds) const {
+StateDict QsgdCodec::decode(ByteSpan payload, CompressionStats* stats) const {
   Timer timer;
   ByteReader r(payload);
   check_magic(r, kQsgdMagic, "qsgd");
@@ -216,7 +223,12 @@ StateDict QsgdCodec::decode(ByteSpan payload, double* decode_seconds) const {
   const StateDict dense_partition =
       StateDict::deserialize({dense.data(), dense.size()});
   for (const auto& [name, tensor] : dense_partition) out.set(name, tensor);
-  if (decode_seconds) *decode_seconds = timer.seconds();
+  if (stats) {
+    *stats = CompressionStats{};
+    stats->compressed_bytes = payload.size();
+    stats->original_bytes = out.total_bytes();
+    stats->decompress_seconds = timer.seconds();
+  }
   return out;
 }
 
@@ -232,12 +244,13 @@ std::string ComposedCodec::name() const {
   return first_->name() + "+" + second_->name();
 }
 
-UpdateCodec::Encoded ComposedCodec::encode(const StateDict& dict) const {
+UpdateCodec::Encoded ComposedCodec::encode(const StateDict& dict,
+                                           const EncodeContext& ctx) const {
   Timer timer;
-  Encoded first_pass = first_->encode(dict);
+  Encoded first_pass = first_->encode(dict, ctx);
   const StateDict intermediate = first_->decode(
       {first_pass.payload.data(), first_pass.payload.size()});
-  Encoded second_pass = second_->encode(intermediate);
+  Encoded second_pass = second_->encode(intermediate, ctx);
   Encoded encoded;
   encoded.payload = std::move(second_pass.payload);
   encoded.stats.original_bytes = first_pass.stats.original_bytes;
@@ -247,8 +260,8 @@ UpdateCodec::Encoded ComposedCodec::encode(const StateDict& dict) const {
 }
 
 StateDict ComposedCodec::decode(ByteSpan payload,
-                                double* decode_seconds) const {
-  return second_->decode(payload, decode_seconds);
+                                CompressionStats* stats) const {
+  return second_->decode(payload, stats);
 }
 
 UpdateCodecPtr make_topk_codec(TopKConfig config) {

@@ -24,10 +24,12 @@ struct TopKConfig {
 
 class TopKCodec final : public UpdateCodec {
  public:
+  using UpdateCodec::encode;
   explicit TopKCodec(TopKConfig config);
   std::string name() const override { return "topk"; }
-  Encoded encode(const StateDict& dict) const override;
-  StateDict decode(ByteSpan payload, double* decode_seconds) const override;
+  Encoded encode(const StateDict& dict,
+                 const EncodeContext& ctx) const override;
+  StateDict decode(ByteSpan payload, CompressionStats* stats) const override;
 
  private:
   TopKConfig config_;
@@ -41,10 +43,12 @@ struct QsgdConfig {
 
 class QsgdCodec final : public UpdateCodec {
  public:
+  using UpdateCodec::encode;
   explicit QsgdCodec(QsgdConfig config);
   std::string name() const override { return "qsgd"; }
-  Encoded encode(const StateDict& dict) const override;
-  StateDict decode(ByteSpan payload, double* decode_seconds) const override;
+  Encoded encode(const StateDict& dict,
+                 const EncodeContext& ctx) const override;
+  StateDict decode(ByteSpan payload, CompressionStats* stats) const override;
 
  private:
   QsgdConfig config_;
@@ -55,10 +59,12 @@ class QsgdCodec final : public UpdateCodec {
 /// original update size.
 class ComposedCodec final : public UpdateCodec {
  public:
+  using UpdateCodec::encode;
   ComposedCodec(UpdateCodecPtr first, UpdateCodecPtr second);
   std::string name() const override;
-  Encoded encode(const StateDict& dict) const override;
-  StateDict decode(ByteSpan payload, double* decode_seconds) const override;
+  Encoded encode(const StateDict& dict,
+                 const EncodeContext& ctx) const override;
+  StateDict decode(ByteSpan payload, CompressionStats* stats) const override;
 
  private:
   UpdateCodecPtr first_;

@@ -1,0 +1,293 @@
+#include "core/codec_spec.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+#include "core/policy.hpp"
+
+namespace fedsz::core {
+
+namespace {
+
+[[noreturn]] void bad_spec(const std::string& what) {
+  throw InvalidArgument("codec spec: " + what);
+}
+
+std::string lossy_options() {
+  std::string out;
+  for (const lossy::LossyCodec* codec : lossy::all_lossy_codecs()) {
+    if (!out.empty()) out += ", ";
+    out += codec->name();
+  }
+  return out;
+}
+
+std::string lossless_options() {
+  std::string out;
+  for (const lossless::LosslessCodec* codec : lossless::all_lossless_codecs()) {
+    if (!out.empty()) out += ", ";
+    out += codec->name();
+  }
+  return out;
+}
+
+std::string policy_options() {
+  std::string out;
+  for (const std::string& name : compression_policy_names()) {
+    if (!out.empty()) out += ", ";
+    out += name;
+  }
+  return out;
+}
+
+double parse_double(const std::string& text, const std::string& key) {
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (text.empty() || end != text.c_str() + text.size() ||
+      !std::isfinite(value))
+    bad_spec("'" + key + "' wants a finite number, got '" + text + "'");
+  return value;
+}
+
+std::size_t parse_count(const std::string& text, const std::string& key,
+                        bool allow_suffix) {
+  if (text.empty()) bad_spec("'" + key + "' wants a non-negative integer");
+  std::string digits = text;
+  std::size_t multiplier = 1;
+  if (allow_suffix) {
+    const char last = digits.back();
+    if (last == 'k' || last == 'K') {
+      multiplier = 1024;
+      digits.pop_back();
+    } else if (last == 'm' || last == 'M') {
+      multiplier = 1024 * 1024;
+      digits.pop_back();
+    }
+  }
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long value = std::strtoull(digits.c_str(), &end, 10);
+  // strtoull silently wraps a leading '-'; only bare digits are valid here.
+  if (digits.empty() || digits.find_first_not_of("0123456789") !=
+                            std::string::npos ||
+      end != digits.c_str() + digits.size())
+    bad_spec("'" + key + "' wants a non-negative integer" +
+             (allow_suffix ? " (optionally suffixed k or m)" : "") +
+             ", got '" + text + "'");
+  // ERANGE saturation and multiplier wrap are both out-of-range, not data.
+  if (errno == ERANGE ||
+      value > std::numeric_limits<std::size_t>::max() / multiplier)
+    bad_spec("'" + key + "' value out of range: '" + text + "'");
+  return static_cast<std::size_t>(value) * multiplier;
+}
+
+/// Shortest decimal rendering that round-trips through strtod, so canonical
+/// spec strings stay both stable and readable.
+std::string format_double(double value) {
+  char buffer[64];
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buffer, sizeof(buffer), "%.*g", precision, value);
+    if (std::strtod(buffer, nullptr) == value) break;
+  }
+  return buffer;
+}
+
+lossy::ErrorBound parse_bound(const std::string& text) {
+  std::string body = text;
+  lossy::BoundMode mode = lossy::BoundMode::kRelative;
+  if (const std::size_t colon = text.find(':'); colon != std::string::npos) {
+    const std::string prefix = text.substr(0, colon);
+    if (prefix == "rel")
+      mode = lossy::BoundMode::kRelative;
+    else if (prefix == "abs")
+      mode = lossy::BoundMode::kAbsolute;
+    else
+      bad_spec("'eb' mode must be rel or abs, got '" + prefix + "'");
+    body = text.substr(colon + 1);
+  }
+  lossy::ErrorBound bound{mode, parse_double(body, "eb")};
+  try {
+    bound.validate();
+  } catch (const InvalidArgument& error) {
+    bad_spec(std::string("'eb': ") + error.what());
+  }
+  return bound;
+}
+
+void apply_key(CodecSpec& spec, const std::string& key,
+               const std::string& value) {
+  if (key == "lossy") {
+    const std::string canonical = value;
+    try {
+      spec.lossy_id = lossy::lossy_codec(canonical).id();
+    } catch (const InvalidArgument&) {
+      bad_spec("unknown lossy codec '" + value + "' (expected " +
+               lossy_options() + ")");
+    }
+  } else if (key == "lossless") {
+    const std::string canonical = value == "blosclz" ? "blosc-lz" : value;
+    try {
+      spec.lossless_id = lossless::lossless_codec(canonical).id();
+    } catch (const InvalidArgument&) {
+      bad_spec("unknown lossless codec '" + value + "' (expected " +
+               lossless_options() + ")");
+    }
+  } else if (key == "eb") {
+    spec.bound = parse_bound(value);
+  } else if (key == "policy") {
+    std::string name = value;
+    if (const std::size_t colon = value.find(':');
+        colon != std::string::npos) {
+      name = value.substr(0, colon);
+      if (name != "schedule")
+        bad_spec("only policy=schedule takes a :FACTOR argument, got '" +
+                 value + "'");
+      spec.schedule_factor =
+          parse_double(value.substr(colon + 1), "policy=schedule");
+      if (!(spec.schedule_factor > 0.0))
+        bad_spec("policy=schedule factor must be positive");
+    }
+    bool known = false;
+    for (const std::string& candidate : compression_policy_names())
+      known = known || candidate == name;
+    if (!known)
+      bad_spec("unknown policy '" + name + "' (expected " + policy_options() +
+               ")");
+    spec.policy = name;
+    spec.policy_explicit = true;
+  } else if (key == "chunk") {
+    spec.chunk_elements = parse_count(value, "chunk", /*allow_suffix=*/true);
+    if (spec.chunk_elements == 0) bad_spec("'chunk' must be >= 1");
+  } else if (key == "threads") {
+    spec.threads = parse_count(value, "threads", /*allow_suffix=*/false);
+  } else if (key == "threshold") {
+    spec.lossy_threshold =
+        parse_count(value, "threshold", /*allow_suffix=*/false);
+  } else {
+    bad_spec("unknown key '" + key +
+             "' (expected lossy, lossless, eb, policy, chunk, threads or "
+             "threshold)");
+  }
+}
+
+}  // namespace
+
+CodecSpec parse_codec_spec(const std::string& spec, CodecSpec defaults) {
+  const std::size_t colon = spec.find(':');
+  const std::string family = spec.substr(0, colon);
+  CodecSpec out = defaults;
+  if (family == "identity" || family == "uncompressed") {
+    if (colon != std::string::npos)
+      bad_spec("'" + family + "' takes no options");
+    out.identity = true;
+    return out;
+  }
+  if (family != "fedsz" && family != "fedsz-parallel")
+    bad_spec("unknown family '" + family +
+             "' (expected fedsz, fedsz-parallel, identity or uncompressed)");
+  out.identity = false;
+  if (family == "fedsz-parallel") out.threads = 0;
+  if (colon == std::string::npos) return out;
+
+  const std::string body = spec.substr(colon + 1);
+  if (body.empty()) bad_spec("empty option list after ':'");
+  std::size_t pos = 0;
+  while (pos <= body.size()) {
+    // A policy/eb value may itself contain ':' + a number; the next comma
+    // still terminates the pair, so splitting on ',' first is unambiguous.
+    const std::size_t comma = body.find(',', pos);
+    const std::string pair = body.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    const std::size_t eq = pair.find('=');
+    if (pair.empty() || eq == std::string::npos || eq == 0)
+      bad_spec("expected key=value, got '" + pair + "'");
+    apply_key(out, pair.substr(0, eq), pair.substr(eq + 1));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+CodecSpec parse_codec_spec(const std::string& spec) {
+  return parse_codec_spec(spec, CodecSpec{});
+}
+
+std::string format_codec_spec(const CodecSpec& spec) {
+  if (spec.identity) return "identity";
+  std::string out = "fedsz:lossy=";
+  out += lossy::lossy_codec(spec.lossy_id).name();
+  out += ",eb=";
+  out += spec.bound.mode == lossy::BoundMode::kAbsolute ? "abs:" : "rel:";
+  out += format_double(spec.bound.value);
+  out += ",lossless=";
+  out += lossless::lossless_codec(spec.lossless_id).name();
+  out += ",policy=" + spec.policy;
+  if (spec.policy == "schedule")
+    out += ":" + format_double(spec.schedule_factor);
+  out += ",chunk=" + std::to_string(spec.chunk_elements);
+  out += ",threads=" + std::to_string(spec.threads);
+  out += ",threshold=" + std::to_string(spec.lossy_threshold);
+  return out;
+}
+
+FedSzConfig codec_spec_config(const CodecSpec& spec) {
+  if (spec.identity)
+    throw InvalidArgument(
+        "codec_spec_config: the identity spec has no FedSzConfig");
+  FedSzConfig config;
+  config.lossy_id = spec.lossy_id;
+  config.lossless_id = spec.lossless_id;
+  config.bound = spec.bound;
+  config.lossy_threshold = spec.lossy_threshold;
+  config.chunk_elements = spec.chunk_elements;
+  config.parallelism = spec.threads;
+  if (spec.policy == "threshold") {
+    config.policy = nullptr;  // FedSz's byte-stable Algorithm-1 default
+    return config;
+  }
+  if (spec.bound.mode != lossy::BoundMode::kRelative)
+    throw InvalidArgument("codec spec: policy=" + spec.policy +
+                          " requires a relative bound (eb=rel:...)");
+  if (spec.policy == "layerwise") {
+    // Cookbook rule set: the classifier head and the stem convolution are
+    // the accuracy-sensitive layers, so they get a 10x tighter bound than
+    // the spec's base bound.
+    LayerwiseBoundConfig layerwise;
+    layerwise.lossy_id = spec.lossy_id;
+    layerwise.rules = {
+        {"classifier", lossy::ErrorBound::relative(spec.bound.value / 10.0)},
+        {"features.0.", lossy::ErrorBound::relative(spec.bound.value / 10.0)},
+    };
+    layerwise.fallback = spec.bound;
+    layerwise.lossy_threshold = spec.lossy_threshold;
+    config.policy = make_layerwise_policy(std::move(layerwise));
+  } else if (spec.policy == "schedule") {
+    BoundScheduleConfig schedule;
+    schedule.lossy_id = spec.lossy_id;
+    schedule.initial = spec.bound.value;
+    schedule.factor = spec.schedule_factor;
+    schedule.floor = spec.bound.value * 1e-2;
+    schedule.ceiling = spec.bound.value * 1e2;
+    schedule.lossy_threshold = spec.lossy_threshold;
+    config.policy = make_bound_schedule_policy(schedule);
+  } else if (spec.policy == "magnitude") {
+    MagnitudeAwareConfig magnitude;
+    magnitude.lossy_id = spec.lossy_id;
+    magnitude.base = spec.bound.value;
+    magnitude.lossy_threshold = spec.lossy_threshold;
+    config.policy = make_magnitude_aware_policy(magnitude);
+  } else {
+    throw InvalidArgument("codec spec: unknown policy '" + spec.policy + "'");
+  }
+  return config;
+}
+
+UpdateCodecPtr make_codec(const CodecSpec& spec) {
+  if (spec.identity) return make_identity_codec();
+  return make_fedsz_codec(codec_spec_config(spec));
+}
+
+}  // namespace fedsz::core

@@ -1,0 +1,74 @@
+// Spec-string codec construction: one grammar that names every update-codec
+// configuration, used by make_codec_by_name, the bench --codec flag and the
+// examples, so there is a single construction path from text to codec.
+//
+//   spec     := family [ ":" kv ("," kv)* ]
+//   family   := "fedsz" | "fedsz-parallel" | "identity" | "uncompressed"
+//   kv       := key "=" value
+//   keys     := lossy=sz2|sz3|szx|zfp
+//               lossless=blosc-lz|zlib|zstd|gzip|xz
+//               eb=[rel:|abs:]FLOAT          (bare FLOAT means rel)
+//               policy=threshold|layerwise|schedule[:FACTOR]|magnitude
+//               chunk=N[k|m]                 (elements per lossy chunk)
+//               threads=N                    (0 = one per hardware thread)
+//               threshold=N                  (Algorithm 1 lossy threshold)
+//
+// Examples:
+//   "fedsz"
+//   "fedsz:eb=rel:1e-3"
+//   "fedsz:lossy=sz3,eb=rel:1e-3,lossless=zstd,policy=schedule,chunk=64k"
+//   "identity"
+//
+// parse_codec_spec() -> CodecSpec (throws InvalidArgument listing the valid
+// options on any unknown family/key/value); format_codec_spec() renders the
+// canonical normalized form ("fedsz-parallel" normalizes to threads=0,
+// "uncompressed" to "identity", chunk suffixes to element counts), so
+// format(parse(s)) is a normal form and format∘parse is idempotent.
+#pragma once
+
+#include <string>
+
+#include "core/update_codec.hpp"
+
+namespace fedsz::core {
+
+struct CodecSpec {
+  /// True for the uncompressed baseline; every other field is ignored.
+  bool identity = false;
+  lossy::LossyId lossy_id = lossy::LossyId::kSz2;
+  lossless::LosslessId lossless_id = lossless::LosslessId::kBloscLz;
+  lossy::ErrorBound bound = lossy::ErrorBound::relative(1e-2);
+  /// One of compression_policy_names().
+  std::string policy = "threshold";
+  /// True when the spec spelled out `policy=` (an explicit policy must not
+  /// be overridden by caller-side defaults in make_codec_by_name).
+  bool policy_explicit = false;
+  /// Per-round multiplier for policy=schedule (the optional :FACTOR arg).
+  double schedule_factor = 0.7;
+  std::size_t chunk_elements = 64 * 1024;
+  /// Chunk-pipeline workers; 0 = one per hardware thread.
+  std::size_t threads = 1;
+  std::size_t lossy_threshold = 1000;
+};
+
+/// Parse `spec` against library defaults. Throws InvalidArgument on
+/// malformed input, naming the valid families/keys/values.
+CodecSpec parse_codec_spec(const std::string& spec);
+
+/// Parse `spec` with explicit defaults for every omitted key (how
+/// make_codec_by_name folds a caller-supplied FedSzConfig in).
+CodecSpec parse_codec_spec(const std::string& spec, CodecSpec defaults);
+
+/// Canonical normalized rendering: "identity", or "fedsz:" followed by
+/// every key in fixed order with canonical value spelling.
+std::string format_codec_spec(const CodecSpec& spec);
+
+/// Lower a (non-identity) spec to the FedSzConfig it describes, including
+/// the constructed CompressionPolicy (null for policy=threshold, which is
+/// FedSz's byte-stable default).
+FedSzConfig codec_spec_config(const CodecSpec& spec);
+
+/// Build the update codec a spec describes.
+UpdateCodecPtr make_codec(const CodecSpec& spec);
+
+}  // namespace fedsz::core

@@ -19,7 +19,8 @@ std::string LaplaceNoiseCodec::name() const {
   return "laplace+" + inner_->name();
 }
 
-UpdateCodec::Encoded LaplaceNoiseCodec::encode(const StateDict& dict) const {
+UpdateCodec::Encoded LaplaceNoiseCodec::encode(const StateDict& dict,
+                                               const EncodeContext& ctx) const {
   // A fresh stream per encode keeps concurrent clients independent while
   // remaining reproducible for a fixed call sequence.
   static std::atomic<std::uint64_t> invocation{0};
@@ -35,12 +36,12 @@ UpdateCodec::Encoded LaplaceNoiseCodec::encode(const StateDict& dict) const {
     for (std::size_t i = 0; i < tensor.numel(); ++i)
       tensor[i] += static_cast<float>(rng.laplace(0.0, b));
   }
-  return inner_->encode(noised);
+  return inner_->encode(noised, ctx);
 }
 
 StateDict LaplaceNoiseCodec::decode(ByteSpan payload,
-                                    double* decode_seconds) const {
-  return inner_->decode(payload, decode_seconds);
+                                    CompressionStats* stats) const {
+  return inner_->decode(payload, stats);
 }
 
 UpdateCodecPtr make_laplace_noise_codec(LaplaceNoiseConfig config,

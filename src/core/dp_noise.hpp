@@ -22,11 +22,13 @@ struct LaplaceNoiseConfig {
 
 class LaplaceNoiseCodec final : public UpdateCodec {
  public:
+  using UpdateCodec::encode;
   LaplaceNoiseCodec(LaplaceNoiseConfig config, UpdateCodecPtr inner);
 
   std::string name() const override;
-  Encoded encode(const StateDict& dict) const override;
-  StateDict decode(ByteSpan payload, double* decode_seconds) const override;
+  Encoded encode(const StateDict& dict,
+                 const EncodeContext& ctx) const override;
+  StateDict decode(ByteSpan payload, CompressionStats* stats) const override;
 
  private:
   LaplaceNoiseConfig config_;

@@ -15,9 +15,16 @@ namespace {
 constexpr char kMagic[4] = {'F', 'S', 'Z', '1'};
 /// v1: one opaque blob per lossy tensor, serial-only layout.
 constexpr std::uint16_t kVersionLegacy = 1;
-/// v2: chunked container — per-tensor resolved bound, chunk count and
-/// per-chunk size table, enabling parallel decode at any offset.
-constexpr std::uint16_t kVersion = 2;
+/// v2: chunked container — ONE codec/bound for the whole stream in the
+/// header, per-tensor resolved bound, chunk count and per-chunk size table,
+/// enabling parallel decode at any offset. Still written whenever every
+/// plan matches the uniform Algorithm-1 default, so the default policy's
+/// bytes are identical to the pre-policy writer.
+constexpr std::uint16_t kVersionUniform = 2;
+/// v3: per-tensor plans — each planned tensor carries its own path tag and,
+/// on the lossy path, its own codec id, policy bound and resolved epsilon.
+/// Raw-path tensors ship untouched float bytes.
+constexpr std::uint16_t kVersionPlanned = 3;
 /// A relative bound over a constant tensor resolves to epsilon 0; clamp to a
 /// tiny positive tolerance so the per-chunk absolute bound stays valid (any
 /// exact reconstruction satisfies it either way).
@@ -50,7 +57,7 @@ Partition partition_state_dict(const StateDict& dict, std::size_t threshold) {
   return partition;
 }
 
-FedSz::FedSz(FedSzConfig config) : config_(config) {
+FedSz::FedSz(FedSzConfig config) : config_(std::move(config)) {
   config_.bound.validate();
   if (config_.chunk_elements == 0)
     throw InvalidArgument("FedSz: chunk_elements must be >= 1");
@@ -60,6 +67,10 @@ FedSz::FedSz(FedSzConfig config) : config_(config) {
   // registry singletons exist before any worker thread touches them).
   (void)lossy::lossy_codec(config_.lossy_id);
   (void)lossless::lossless_codec(config_.lossless_id);
+  policy_ = config_.policy
+                ? config_.policy
+                : make_threshold_policy({config_.lossy_id, config_.bound,
+                                         config_.lossy_threshold});
 }
 
 std::size_t FedSz::resolved_parallelism() const {
@@ -83,41 +94,84 @@ void FedSz::run_tasks(std::vector<std::function<void()>>& tasks) const {
                              [&tasks](std::size_t i) { tasks[i](); });
 }
 
-Bytes FedSz::compress(const StateDict& dict, CompressionStats* stats) const {
+Bytes FedSz::compress(const StateDict& dict, CompressionStats* stats,
+                      const EncodeContext& ctx) const {
   Timer timer;
-  const lossy::LossyCodec& lossy_codec = lossy::lossy_codec(config_.lossy_id);
   const lossless::LosslessCodec& lossless_codec =
       lossless::lossless_codec(config_.lossless_id);
 
   CompressionStats local;
   local.original_bytes = dict.total_bytes();
 
-  // Algorithm 1: route each entry.
-  StateDict lossless_partition;
-  struct LossyEntry {
+  // Plan every entry through the policy. `planned` keeps lossy and raw
+  // entries in dict order; lossless entries collect into one partition.
+  struct PlannedEntry {
     const std::string* name;
     const Tensor* tensor;
+    TensorPlan plan;
+    const lossy::LossyCodec* codec = nullptr;  // lossy path only
     double eps = 0.0;         // bound resolved over the whole tensor
     std::size_t chunks = 0;
   };
-  std::vector<LossyEntry> lossy_entries;
+  StateDict lossless_partition;
+  std::vector<PlannedEntry> planned;
+  // True while every plan is expressible as the uniform v2 container: the
+  // Algorithm-1 partition under this config, one codec, one bound, nothing
+  // raw. Uniform updates keep emitting the exact pre-policy v2 bytes.
+  bool uniform = true;
+  double rel_bound_sum = 0.0;
+  std::size_t rel_bound_count = 0;
   for (const auto& [name, tensor] : dict) {
-    if (is_lossy_entry(name, tensor.numel(), config_.lossy_threshold)) {
-      lossy_entries.push_back({&name, &tensor, 0.0, 0});
-      local.lossy_original_bytes += tensor.numel() * sizeof(float);
-    } else {
-      lossless_partition.set(name, tensor);
-      local.lossless_original_bytes += tensor.numel() * sizeof(float);
+    const TensorPlan plan = policy_->plan(name, tensor, ctx);
+    const std::size_t bytes = tensor.numel() * sizeof(float);
+    const bool default_lossy =
+        is_lossy_entry(name, tensor.numel(), config_.lossy_threshold);
+    switch (plan.path) {
+      case TensorPath::kLossless:
+        uniform = uniform && !default_lossy;
+        lossless_partition.set(name, tensor);
+        local.lossless_original_bytes += bytes;
+        ++local.lossless_tensors;
+        break;
+      case TensorPath::kRaw:
+        uniform = false;
+        planned.push_back({&name, &tensor, plan, nullptr, 0.0, 0});
+        local.raw_original_bytes += bytes;
+        ++local.raw_tensors;
+        break;
+      case TensorPath::kLossy: {
+        plan.bound.validate();
+        uniform = uniform && default_lossy &&
+                  plan.lossy_id == config_.lossy_id &&
+                  plan.bound.mode == config_.bound.mode &&
+                  plan.bound.value == config_.bound.value;
+        planned.push_back(
+            {&name, &tensor, plan, &lossy::lossy_codec(plan.lossy_id), 0.0,
+             0});
+        local.lossy_original_bytes += bytes;
+        ++local.lossy_tensors;
+        if (plan.bound.mode == lossy::BoundMode::kRelative) {
+          rel_bound_sum += plan.bound.value;
+          ++rel_bound_count;
+        }
+        break;
+      }
+      default:
+        throw InvalidArgument("FedSz: policy '" + policy_->name() +
+                              "' returned an unknown TensorPath");
     }
   }
+  if (rel_bound_count > 0)
+    local.mean_bound_value =
+        rel_bound_sum / static_cast<double>(rel_bound_count);
 
-  // Resolve the (possibly relative) bound per tensor BEFORE chunking, so a
+  // Resolve each (possibly relative) bound per tensor BEFORE chunking, so a
   // chunk sees the same absolute tolerance it would in an unchunked stream.
   std::size_t total_chunks = 0;
-  for (LossyEntry& entry : lossy_entries) {
-    entry.eps =
-        std::max(config_.bound.absolute_for(entry.tensor->span()),
-                 kMinEpsilon);
+  for (PlannedEntry& entry : planned) {
+    if (entry.plan.path != TensorPath::kLossy) continue;
+    entry.eps = std::max(entry.plan.bound.absolute_for(entry.tensor->span()),
+                         kMinEpsilon);
     entry.chunks = chunk_count(entry.tensor->numel());
     total_chunks += entry.chunks;
   }
@@ -126,8 +180,9 @@ Bytes FedSz::compress(const StateDict& dict, CompressionStats* stats) const {
   // One task per lossy chunk plus one for the lossless partition, all on the
   // same queue: metadata compression overlaps the lossy work instead of
   // trailing it. Chunks are compressed out of order but written in order, so
-  // the bitstream is identical at every parallelism setting.
-  std::vector<std::vector<Bytes>> chunk_payloads(lossy_entries.size());
+  // the bitstream is identical at every parallelism setting. Raw entries
+  // need no work.
+  std::vector<std::vector<Bytes>> chunk_payloads(planned.size());
   Bytes lossless_payload;
   std::vector<std::function<void()>> tasks;
   tasks.reserve(total_chunks + 1);
@@ -136,8 +191,9 @@ Bytes FedSz::compress(const StateDict& dict, CompressionStats* stats) const {
     lossless_payload =
         lossless_codec.compress({serialized.data(), serialized.size()});
   });
-  for (std::size_t i = 0; i < lossy_entries.size(); ++i) {
-    const LossyEntry& entry = lossy_entries[i];
+  for (std::size_t i = 0; i < planned.size(); ++i) {
+    const PlannedEntry& entry = planned[i];
+    if (entry.plan.path != TensorPath::kLossy) continue;
     chunk_payloads[i].resize(entry.chunks);
     const FloatSpan values = entry.tensor->span();
     for (std::size_t c = 0; c < entry.chunks; ++c) {
@@ -147,38 +203,73 @@ Bytes FedSz::compress(const StateDict& dict, CompressionStats* stats) const {
       const FloatSpan chunk = values.subspan(begin, len);
       Bytes* slot = &chunk_payloads[i][c];
       const double eps = entry.eps;
-      tasks.push_back([&lossy_codec, chunk, eps, slot] {
-        *slot = lossy_codec.compress(chunk, lossy::ErrorBound::absolute(eps));
+      const lossy::LossyCodec* codec = entry.codec;
+      tasks.push_back([codec, chunk, eps, slot] {
+        *slot = codec->compress(chunk, lossy::ErrorBound::absolute(eps));
       });
     }
   }
   run_tasks(tasks);
 
-  ByteWriter w;
-  w.put_bytes({reinterpret_cast<const std::uint8_t*>(kMagic), 4});
-  w.put_u16(kVersion);
-  w.put_u8(static_cast<std::uint8_t>(config_.lossy_id));
-  w.put_u8(static_cast<std::uint8_t>(config_.lossless_id));
-  w.put_u8(static_cast<std::uint8_t>(config_.bound.mode));
-  w.put_f64(config_.bound.value);
-  w.put_varint(config_.chunk_elements);
-  w.put_u32(static_cast<std::uint32_t>(lossy_entries.size()));
-
-  for (std::size_t i = 0; i < lossy_entries.size(); ++i) {
-    const LossyEntry& entry = lossy_entries[i];
-    w.put_string(*entry.name);
+  // Shared per-entry serialization, so the v2 and v3 branches can never
+  // drift apart: the name/shape prefix, and the resolved-eps + chunk-size
+  // table + payload tail (identical in both formats).
+  const auto write_entry_header = [](ByteWriter& writer,
+                                     const PlannedEntry& entry) {
+    writer.put_string(*entry.name);
     const Shape& shape = entry.tensor->shape();
-    w.put_u8(static_cast<std::uint8_t>(shape.size()));
+    writer.put_u8(static_cast<std::uint8_t>(shape.size()));
     for (const std::int64_t d : shape)
-      w.put_varint(static_cast<std::uint64_t>(d));
-    w.put_f64(entry.eps);
-    w.put_varint(entry.chunks);
-    for (const Bytes& payload : chunk_payloads[i]) {
-      w.put_varint(payload.size());
+      writer.put_varint(static_cast<std::uint64_t>(d));
+  };
+  const auto write_chunk_payloads = [&local](ByteWriter& writer,
+                                             const PlannedEntry& entry,
+                                             const std::vector<Bytes>&
+                                                 payloads) {
+    writer.put_f64(entry.eps);
+    writer.put_varint(entry.chunks);
+    for (const Bytes& payload : payloads) {
+      writer.put_varint(payload.size());
       local.lossy_compressed_bytes += payload.size();
     }
-    for (const Bytes& payload : chunk_payloads[i])
-      w.put_bytes({payload.data(), payload.size()});
+    for (const Bytes& payload : payloads)
+      writer.put_bytes({payload.data(), payload.size()});
+  };
+
+  ByteWriter w;
+  w.put_bytes({reinterpret_cast<const std::uint8_t*>(kMagic), 4});
+  if (uniform) {
+    // v2: the pre-policy chunked container, byte-for-byte.
+    w.put_u16(kVersionUniform);
+    w.put_u8(static_cast<std::uint8_t>(config_.lossy_id));
+    w.put_u8(static_cast<std::uint8_t>(config_.lossless_id));
+    w.put_u8(static_cast<std::uint8_t>(config_.bound.mode));
+    w.put_f64(config_.bound.value);
+    w.put_varint(config_.chunk_elements);
+    w.put_u32(static_cast<std::uint32_t>(planned.size()));
+    for (std::size_t i = 0; i < planned.size(); ++i) {
+      write_entry_header(w, planned[i]);
+      write_chunk_payloads(w, planned[i], chunk_payloads[i]);
+    }
+  } else {
+    // v3: per-tensor plans in the header.
+    w.put_u16(kVersionPlanned);
+    w.put_u8(static_cast<std::uint8_t>(config_.lossless_id));
+    w.put_varint(config_.chunk_elements);
+    w.put_u32(static_cast<std::uint32_t>(planned.size()));
+    for (std::size_t i = 0; i < planned.size(); ++i) {
+      const PlannedEntry& entry = planned[i];
+      write_entry_header(w, entry);
+      w.put_u8(static_cast<std::uint8_t>(entry.plan.path));
+      if (entry.plan.path == TensorPath::kRaw) {
+        w.put_bytes(as_bytes(entry.tensor->span()));
+        continue;
+      }
+      w.put_u8(static_cast<std::uint8_t>(entry.plan.lossy_id));
+      w.put_u8(static_cast<std::uint8_t>(entry.plan.bound.mode));
+      w.put_f64(entry.plan.bound.value);
+      write_chunk_payloads(w, entry, chunk_payloads[i]);
+    }
   }
   w.put_blob({lossless_payload.data(), lossless_payload.size()});
   local.lossless_compressed_bytes = lossless_payload.size();
@@ -197,7 +288,7 @@ struct DecodedEntry {
   Tensor tensor;
 };
 
-/// Reads one lossy-entry header (name + validated shape).
+/// Reads one entry header (name + validated shape).
 std::string read_entry_header(ByteReader& r, Shape* shape,
                               std::size_t* numel) {
   std::string name = r.get_string();
@@ -205,10 +296,81 @@ std::string read_entry_header(ByteReader& r, Shape* shape,
   return name;
 }
 
+/// A chunk decode task: payload span -> disjoint destination range.
+struct ChunkTask {
+  const lossy::LossyCodec* codec;
+  ByteSpan payload;
+  float* dest;
+  std::size_t expected;
+};
+
+/// Walk one tensor's chunk table and payload region (validating sizes and
+/// the decompression-bomb bound BEFORE any allocation), materialize the
+/// output tensor, append its decode tasks, and account its bytes in
+/// `local`.
+void read_chunked_tensor(ByteReader& r, const std::string& name, Shape shape,
+                         std::size_t numel, std::uint64_t chunk_elements,
+                         const lossy::LossyCodec& codec,
+                         std::vector<DecodedEntry>* entries,
+                         std::vector<ChunkTask>* chunks,
+                         CompressionStats* local) {
+  const std::uint64_t n_chunks = r.get_varint();
+  const std::uint64_t expected_chunks =
+      ceil_div(numel, static_cast<std::size_t>(chunk_elements));
+  if (n_chunks != expected_chunks)
+    throw CorruptStream("FedSz: chunk count mismatch for " + name);
+  // Walk the whole chunk table and payload region BEFORE allocating the
+  // output tensor: every size varint is >= 1 byte and get_bytes() throws
+  // on truncation, so a malformed header cannot trigger a large
+  // allocation backed by no stream bytes.
+  if (n_chunks > r.remaining())
+    throw CorruptStream("FedSz: chunk table larger than stream for " + name);
+  std::vector<ByteSpan> payloads(n_chunks);
+  {
+    std::vector<std::uint64_t> sizes(n_chunks);
+    std::uint64_t payload_bytes = 0;
+    for (std::uint64_t c = 0; c < n_chunks; ++c) {
+      sizes[c] = r.get_varint();
+      if (sizes[c] > r.remaining())
+        throw CorruptStream("FedSz: chunk size exceeds stream for " + name);
+      payload_bytes += sizes[c];
+    }
+    // Even the most compressible legitimate tensor needs payload bytes in
+    // proportion to its element count; a header claiming far more is a
+    // decompression bomb, rejected before the output tensor is allocated.
+    if (numel / kMaxElementsPerPayloadByte >
+        static_cast<std::size_t>(payload_bytes))
+      throw CorruptStream("FedSz: implausible tensor size for " + name);
+    for (std::uint64_t c = 0; c < n_chunks; ++c)
+      payloads[c] = r.get_bytes(sizes[c]);
+    local->lossy_compressed_bytes +=
+        static_cast<std::size_t>(payload_bytes);
+    local->lossy_original_bytes += numel * sizeof(float);
+  }
+  // The payload bytes exist; materialize the output tensor. The declared
+  // shape is still attacker-controlled, so a failed allocation is stream
+  // corruption, not a caller error.
+  try {
+    entries->push_back({name, Tensor(std::move(shape))});
+  } catch (const std::bad_alloc&) {
+    throw CorruptStream("FedSz: declared tensor too large to materialize");
+  } catch (const std::length_error&) {
+    throw CorruptStream("FedSz: declared tensor too large to materialize");
+  }
+  float* dest = entries->back().tensor.data();
+  for (std::uint64_t c = 0; c < n_chunks; ++c) {
+    const std::size_t begin = c * chunk_elements;
+    const std::size_t len =
+        std::min<std::size_t>(chunk_elements, numel - begin);
+    chunks->push_back({&codec, payloads[c], dest + begin, len});
+  }
+}
+
 /// Legacy v1 container: one opaque blob per lossy tensor, decoded serially.
 /// Kept so bitstreams written before the chunked container still decode.
 StateDict decompress_v1(ByteReader& r, const lossy::LossyCodec& lossy_codec,
-                        const lossless::LosslessCodec& lossless_codec) {
+                        const lossless::LosslessCodec& lossless_codec,
+                        CompressionStats* local) {
   const std::uint32_t n_lossy = r.get_u32();
   std::vector<DecodedEntry> lossy_entries;
   lossy_entries.reserve(std::min<std::size_t>(n_lossy, r.remaining()));
@@ -217,6 +379,8 @@ StateDict decompress_v1(ByteReader& r, const lossy::LossyCodec& lossy_codec,
     std::size_t numel = 0;
     std::string name = read_entry_header(r, &shape, &numel);
     const Bytes payload = r.get_blob();
+    local->lossy_compressed_bytes += payload.size();
+    local->lossy_original_bytes += numel * sizeof(float);
     std::vector<float> values =
         lossy_codec.decompress({payload.data(), payload.size()});
     if (values.size() != numel)
@@ -232,6 +396,10 @@ StateDict decompress_v1(ByteReader& r, const lossy::LossyCodec& lossy_codec,
   const StateDict lossless_partition =
       StateDict::deserialize({serialized.data(), serialized.size()});
 
+  local->lossy_tensors = lossy_entries.size();
+  local->lossless_tensors = lossless_partition.size();
+  local->lossless_compressed_bytes = lossless_payload.size();
+  local->lossless_original_bytes = lossless_partition.total_bytes();
   StateDict out;
   for (DecodedEntry& entry : lossy_entries)
     out.set(entry.name, std::move(entry.tensor));
@@ -241,34 +409,49 @@ StateDict decompress_v1(ByteReader& r, const lossy::LossyCodec& lossy_codec,
 
 }  // namespace
 
-StateDict FedSz::decompress(ByteSpan stream, double* seconds) const {
+StateDict FedSz::decompress(ByteSpan stream, CompressionStats* stats) const {
   Timer timer;
+  CompressionStats local;
+  local.compressed_bytes = stream.size();
   ByteReader r(stream);
   ByteSpan magic = r.get_bytes(4);
   if (std::memcmp(magic.data(), kMagic, 4) != 0)
     throw CorruptStream("FedSz: bad magic");
   const std::uint16_t version = r.get_u16();
-  if (version != kVersion && version != kVersionLegacy)
+  if (version != kVersionPlanned && version != kVersionUniform &&
+      version != kVersionLegacy)
     throw CorruptStream("FedSz: unsupported version " +
                         std::to_string(version));
-  const std::uint8_t raw_lossy_id = r.get_u8();
-  const std::uint8_t raw_lossless_id = r.get_u8();
-  // Codec-id bytes are stream data: an unknown value is corruption, not an
-  // API-misuse InvalidArgument from the registry lookup.
-  if (!lossy::is_lossy_id(raw_lossy_id) ||
-      !lossless::is_lossless_id(raw_lossless_id))
-    throw CorruptStream("FedSz: unknown codec id in stream");
-  const auto lossy_id = static_cast<lossy::LossyId>(raw_lossy_id);
-  const auto lossless_id = static_cast<lossless::LosslessId>(raw_lossless_id);
-  (void)r.get_u8();   // bound mode (informational)
-  (void)r.get_f64();  // bound value (informational)
-  const lossy::LossyCodec& lossy_codec = lossy::lossy_codec(lossy_id);
-  const lossless::LosslessCodec& lossless_codec =
-      lossless::lossless_codec(lossless_id);
+
+  const lossless::LosslessCodec* lossless_codec = nullptr;
+  const lossy::LossyCodec* uniform_lossy = nullptr;
+  if (version == kVersionPlanned) {
+    const std::uint8_t raw_lossless_id = r.get_u8();
+    if (!lossless::is_lossless_id(raw_lossless_id))
+      throw CorruptStream("FedSz: unknown codec id in stream");
+    lossless_codec = &lossless::lossless_codec(
+        static_cast<lossless::LosslessId>(raw_lossless_id));
+  } else {
+    const std::uint8_t raw_lossy_id = r.get_u8();
+    const std::uint8_t raw_lossless_id = r.get_u8();
+    // Codec-id bytes are stream data: an unknown value is corruption, not an
+    // API-misuse InvalidArgument from the registry lookup.
+    if (!lossy::is_lossy_id(raw_lossy_id) ||
+        !lossless::is_lossless_id(raw_lossless_id))
+      throw CorruptStream("FedSz: unknown codec id in stream");
+    uniform_lossy =
+        &lossy::lossy_codec(static_cast<lossy::LossyId>(raw_lossy_id));
+    lossless_codec = &lossless::lossless_codec(
+        static_cast<lossless::LosslessId>(raw_lossless_id));
+    (void)r.get_u8();   // bound mode (informational)
+    (void)r.get_f64();  // bound value (informational)
+  }
 
   if (version == kVersionLegacy) {
-    StateDict out = decompress_v1(r, lossy_codec, lossless_codec);
-    if (seconds) *seconds = timer.seconds();
+    StateDict out = decompress_v1(r, *uniform_lossy, *lossless_codec, &local);
+    local.original_bytes = out.total_bytes();
+    local.decompress_seconds = timer.seconds();
+    if (stats) *stats = local;
     return out;
   }
 
@@ -280,68 +463,52 @@ StateDict FedSz::decompress(ByteSpan stream, double* seconds) const {
   // Pass 1 (serial): walk the container, validate the chunk tables, and
   // pre-allocate every output tensor. Each chunk task then gets a disjoint
   // destination range, so pass 2 can decode all chunks concurrently.
-  const std::uint32_t n_lossy = r.get_u32();
-  std::vector<DecodedEntry> lossy_entries;
-  lossy_entries.reserve(std::min<std::size_t>(n_lossy, r.remaining()));
-  struct ChunkTask {
-    ByteSpan payload;
-    float* dest;
-    std::size_t expected;
-  };
+  const std::uint32_t n_planned = r.get_u32();
+  std::vector<DecodedEntry> planned_entries;
+  planned_entries.reserve(std::min<std::size_t>(n_planned, r.remaining()));
   std::vector<ChunkTask> chunks;
-  for (std::uint32_t i = 0; i < n_lossy; ++i) {
+  for (std::uint32_t i = 0; i < n_planned; ++i) {
     Shape shape;
     std::size_t numel = 0;
     std::string name = read_entry_header(r, &shape, &numel);
+    if (version == kVersionUniform) {
+      (void)r.get_f64();  // resolved absolute epsilon (informational)
+      read_chunked_tensor(r, name, std::move(shape), numel, chunk_elements,
+                          *uniform_lossy, &planned_entries, &chunks, &local);
+      ++local.lossy_tensors;
+      continue;
+    }
+    // v3: per-tensor path tag.
+    const std::uint8_t path = r.get_u8();
+    if (path == static_cast<std::uint8_t>(TensorPath::kRaw)) {
+      // Raw float bytes; the remaining stream bounds the element count, so
+      // a corrupt shape cannot force a large unbacked allocation.
+      if (numel > r.remaining() / sizeof(float))
+        throw CorruptStream("FedSz: raw tensor larger than stream for " +
+                            name);
+      const ByteSpan raw = r.get_bytes(numel * sizeof(float));
+      std::vector<float> values(numel);
+      std::memcpy(values.data(), raw.data(), raw.size());
+      planned_entries.push_back(
+          {std::move(name),
+           Tensor::from_data(std::move(shape), std::move(values))});
+      ++local.raw_tensors;
+      local.raw_original_bytes += numel * sizeof(float);
+      continue;
+    }
+    if (path != static_cast<std::uint8_t>(TensorPath::kLossy))
+      throw CorruptStream("FedSz: unknown tensor path in stream for " + name);
+    const std::uint8_t raw_lossy_id = r.get_u8();
+    if (!lossy::is_lossy_id(raw_lossy_id))
+      throw CorruptStream("FedSz: unknown codec id in stream");
+    (void)r.get_u8();   // policy bound mode (informational)
+    (void)r.get_f64();  // policy bound value (informational)
     (void)r.get_f64();  // resolved absolute epsilon (informational)
-    const std::uint64_t n_chunks = r.get_varint();
-    const std::uint64_t expected_chunks =
-        ceil_div(numel, static_cast<std::size_t>(chunk_elements));
-    if (n_chunks != expected_chunks)
-      throw CorruptStream("FedSz: chunk count mismatch for " + name);
-    // Walk the whole chunk table and payload region BEFORE allocating the
-    // output tensor: every size varint is >= 1 byte and get_bytes() throws
-    // on truncation, so a malformed header cannot trigger a large
-    // allocation backed by no stream bytes.
-    if (n_chunks > r.remaining())
-      throw CorruptStream("FedSz: chunk table larger than stream for " +
-                          name);
-    std::vector<ByteSpan> payloads(n_chunks);
-    {
-      std::vector<std::uint64_t> sizes(n_chunks);
-      std::uint64_t payload_bytes = 0;
-      for (std::uint64_t c = 0; c < n_chunks; ++c) {
-        sizes[c] = r.get_varint();
-        if (sizes[c] > r.remaining())
-          throw CorruptStream("FedSz: chunk size exceeds stream for " + name);
-        payload_bytes += sizes[c];
-      }
-      // Even the most compressible legitimate tensor needs payload bytes in
-      // proportion to its element count; a header claiming far more is a
-      // decompression bomb, rejected before the output tensor is allocated.
-      if (numel / kMaxElementsPerPayloadByte >
-          static_cast<std::size_t>(payload_bytes))
-        throw CorruptStream("FedSz: implausible tensor size for " + name);
-      for (std::uint64_t c = 0; c < n_chunks; ++c)
-        payloads[c] = r.get_bytes(sizes[c]);
-    }
-    // The payload bytes exist; materialize the output tensor. The declared
-    // shape is still attacker-controlled, so a failed allocation is stream
-    // corruption, not a caller error.
-    try {
-      lossy_entries.push_back({std::move(name), Tensor(std::move(shape))});
-    } catch (const std::bad_alloc&) {
-      throw CorruptStream("FedSz: declared tensor too large to materialize");
-    } catch (const std::length_error&) {
-      throw CorruptStream("FedSz: declared tensor too large to materialize");
-    }
-    float* dest = lossy_entries.back().tensor.data();
-    for (std::uint64_t c = 0; c < n_chunks; ++c) {
-      const std::size_t begin = c * chunk_elements;
-      const std::size_t len =
-          std::min<std::size_t>(chunk_elements, numel - begin);
-      chunks.push_back({payloads[c], dest + begin, len});
-    }
+    read_chunked_tensor(r, name, std::move(shape), numel, chunk_elements,
+                        lossy::lossy_codec(
+                            static_cast<lossy::LossyId>(raw_lossy_id)),
+                        &planned_entries, &chunks, &local);
+    ++local.lossy_tensors;
   }
   const ByteSpan lossless_payload_span = [&r] {
     const std::uint64_t size = r.get_varint();
@@ -353,30 +520,37 @@ StateDict FedSz::decompress(ByteSpan stream, double* seconds) const {
   StateDict lossless_partition;
   std::vector<std::function<void()>> tasks;
   tasks.reserve(chunks.size() + 1);
-  tasks.push_back([&lossless_codec, lossless_payload_span,
+  tasks.push_back([lossless_codec, lossless_payload_span,
                    &lossless_partition] {
-    const Bytes serialized = lossless_codec.decompress(lossless_payload_span);
+    const Bytes serialized =
+        lossless_codec->decompress(lossless_payload_span);
     lossless_partition =
         StateDict::deserialize({serialized.data(), serialized.size()});
   });
   for (const ChunkTask& chunk : chunks) {
-    tasks.push_back([&lossy_codec, chunk] {
-      const std::vector<float> values = lossy_codec.decompress(chunk.payload);
+    tasks.push_back([chunk] {
+      const std::vector<float> values =
+          chunk.codec->decompress(chunk.payload);
       if (values.size() != chunk.expected)
         throw CorruptStream("FedSz: decompressed chunk size mismatch");
       std::memcpy(chunk.dest, values.data(), values.size() * sizeof(float));
     });
   }
   run_tasks(tasks);
+  local.lossless_tensors = lossless_partition.size();
+  local.lossless_compressed_bytes = lossless_payload_span.size();
+  local.lossless_original_bytes = lossless_partition.total_bytes();
 
-  // Reassemble. Entry order is lossy entries first, then lossless; FedAvg
+  // Reassemble. Entry order is planned entries first, then lossless; FedAvg
   // aggregation matches by name, so order differences from the original are
   // irrelevant — but we keep a deterministic layout.
   StateDict out;
-  for (DecodedEntry& entry : lossy_entries)
+  for (DecodedEntry& entry : planned_entries)
     out.set(entry.name, std::move(entry.tensor));
   for (const auto& [name, tensor] : lossless_partition) out.set(name, tensor);
-  if (seconds) *seconds = timer.seconds();
+  local.original_bytes = out.total_bytes();
+  local.decompress_seconds = timer.seconds();
+  if (stats) *stats = local;
   return out;
 }
 

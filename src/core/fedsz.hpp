@@ -1,12 +1,15 @@
 // FedSZ — the paper's contribution (Section V, Algorithm 1): compress an FL
 // client's model update (a StateDict) by
-//   (i)   partitioning entries into a lossy partition (tensors whose name
-//         contains "weight" and whose flattened size exceeds a threshold)
-//         and a lossless partition (everything else: biases, BatchNorm
-//         running statistics, small tensors),
-//   (ii)  compressing the lossy partition with an error-bounded lossy codec
-//         (SZ2 by default) and the serialized lossless partition with a fast
-//         lossless codec (blosc-lz by default),
+//   (i)   planning a path for every entry through a CompressionPolicy
+//         (core/policy.hpp). The default ThresholdPolicy is Algorithm 1
+//         verbatim: tensors whose name contains "weight" and whose flattened
+//         size exceeds a threshold go lossy, everything else (biases,
+//         BatchNorm running statistics, small tensors) goes lossless.
+//         Policies may also route entries raw (untouched float bytes) and
+//         may pick a different lossy codec/bound per tensor and per round.
+//   (ii)  compressing each lossy tensor with its planned error-bounded lossy
+//         codec and the serialized lossless partition with a fast lossless
+//         codec (blosc-lz by default),
 //   (iii) emitting a single self-describing bitstream for the server, which
 //         decompresses and reshapes entries back into a StateDict.
 //
@@ -18,6 +21,13 @@
 // counts, per-chunk sizes and the resolved error bound, so decompression is
 // parallel too. Chunk boundaries and output bytes are independent of the
 // thread count: any `parallelism` produces the identical bitstream.
+//
+// Wire formats: when every plan matches the uniform Algorithm-1 default
+// (one codec, one bound, threshold partition, nothing raw) the writer emits
+// the v2 chunked container byte-for-byte as before the policy redesign; any
+// per-tensor divergence upgrades the stream to v3, whose header carries the
+// lossy codec id and resolved bound *per tensor*. The decoder accepts v1,
+// v2 and v3.
 #pragma once
 
 #include <memory>
@@ -25,6 +35,7 @@
 
 #include "compress/lossless/lossless.hpp"
 #include "compress/lossy/lossy.hpp"
+#include "core/policy.hpp"
 #include "tensor/state_dict.hpp"
 #include "util/common.hpp"
 #include "util/thread_pool.hpp"
@@ -38,6 +49,9 @@ struct FedSzConfig {
   /// Algorithm 1's `threshold`: minimum flattened element count for the
   /// lossy path.
   std::size_t lossy_threshold = 1000;
+  /// Per-tensor planner. Null means ThresholdPolicy built from the three
+  /// fields above — the paper's Algorithm 1 and the byte-stable default.
+  CompressionPolicyPtr policy;
   /// Hard ceiling on chunk_elements (1 GiB of float32 per chunk). Values
   /// above it are clamped at construction, and streams declaring more are
   /// rejected as corrupt — it bounds what a malicious header can make the
@@ -81,7 +95,10 @@ struct Partition {
 
 Partition partition_state_dict(const StateDict& dict, std::size_t threshold);
 
-/// Byte accounting and timing for one compress/decompress cycle.
+/// Byte accounting, plan census and timing for one compress or decompress
+/// pass. compress() fills the compress-side fields; decompress() fills
+/// `decompress_seconds` plus the byte/plan fields it can recover from the
+/// stream, so callers no longer thread a separate seconds out-param.
 struct CompressionStats {
   std::size_t original_bytes = 0;
   std::size_t compressed_bytes = 0;
@@ -89,10 +106,22 @@ struct CompressionStats {
   std::size_t lossy_compressed_bytes = 0;
   std::size_t lossless_original_bytes = 0;
   std::size_t lossless_compressed_bytes = 0;
+  /// Raw-path bytes ship uncompressed, so original == on-wire payload.
+  std::size_t raw_original_bytes = 0;
+  /// Per-tensor plan census: how many tensors each path received.
+  std::size_t lossy_tensors = 0;
+  std::size_t lossless_tensors = 0;
+  std::size_t raw_tensors = 0;
   /// Total lossy chunks in the container (0 when the lossy partition is
   /// empty; equals the lossy tensor count when nothing exceeds chunk size).
   std::size_t lossy_chunks = 0;
+  /// Mean policy-requested bound over the lossy-path tensors planned with a
+  /// RELATIVE bound (0 when there are none) — absolute-mode epsilons are not
+  /// commensurable with range fractions, so they are excluded. Surfaces
+  /// per-round schedule/magnitude decisions in traces.
+  double mean_bound_value = 0.0;
   double compress_seconds = 0.0;
+  double decompress_seconds = 0.0;
 
   double ratio() const {
     return compressed_bytes > 0 ? static_cast<double>(original_bytes) /
@@ -105,16 +134,22 @@ class FedSz {
  public:
   explicit FedSz(FedSzConfig config);
 
-  /// Compress a state dict to the FedSZ bitstream. Optional stats out-param.
-  Bytes compress(const StateDict& dict,
-                 CompressionStats* stats = nullptr) const;
+  /// Compress a state dict to the FedSZ bitstream. `ctx` reaches the policy
+  /// so per-round/per-client plans resolve; optional stats out-param.
+  Bytes compress(const StateDict& dict, CompressionStats* stats = nullptr,
+                 const EncodeContext& ctx = {}) const;
 
-  /// Decompress a FedSZ bitstream (current chunked container or the legacy
-  /// v1 single-blob-per-tensor format). Optional wall-clock out-param.
+  /// Decompress a FedSZ bitstream (the per-tensor-plan v3 container, the
+  /// uniform chunked v2, or the legacy v1 single-blob-per-tensor format).
+  /// Optional stats out-param (decompress_seconds, byte/plan census).
   /// Throws CorruptStream on malformed input.
-  StateDict decompress(ByteSpan stream, double* seconds = nullptr) const;
+  StateDict decompress(ByteSpan stream,
+                       CompressionStats* stats = nullptr) const;
 
   const FedSzConfig& config() const { return config_; }
+  /// The active planner (the configured policy, or the default
+  /// ThresholdPolicy synthesized from the config fields).
+  const CompressionPolicy& policy() const { return *policy_; }
 
   /// Chunks the pipeline will emit for a tensor of `numel` elements.
   std::size_t chunk_count(std::size_t numel) const {
@@ -129,6 +164,7 @@ class FedSz {
   ThreadPool& pool(std::size_t workers) const;
 
   FedSzConfig config_;
+  CompressionPolicyPtr policy_;
   // The pool is an execution resource, not part of the codec's value; it is
   // created on first parallel use and shared by concurrent compress() /
   // decompress() calls (ThreadPool::submit is thread-safe).

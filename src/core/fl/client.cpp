@@ -40,6 +40,7 @@ ClientRoundResult FlClient::run_round(const StateDict& global_state) {
   ClientRoundResult result;
   result.update = model_.state_dict();
   result.samples = shard_->size();
+  result.steps = batches;
   result.train_seconds = timer.seconds();
   result.mean_loss = batches > 0 ? loss_sum / static_cast<double>(batches)
                                  : 0.0;

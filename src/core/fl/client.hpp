@@ -20,6 +20,8 @@ struct ClientConfig {
 struct ClientRoundResult {
   StateDict update;
   std::size_t samples = 0;
+  /// Local optimizer steps behind this update (feeds EncodeContext::steps).
+  std::size_t steps = 0;
   double train_seconds = 0.0;
   double mean_loss = 0.0;
 };

@@ -89,9 +89,8 @@ FlRunResult FlCoordinator::run() {
   struct WorkerOut {
     Bytes payload;
     std::size_t samples = 0;
-    std::size_t raw_bytes = 0;
+    CompressionStats stats;  // the encode pass (bytes, plan census, timing)
     double train_seconds = 0.0;
-    double compress_seconds = 0.0;
     double mean_loss = 0.0;
   };
   // One slot per client; a client has at most one update in flight.
@@ -123,25 +122,32 @@ FlRunResult FlCoordinator::run() {
   // Hand the client a snapshot of the global (barrier cohorts share one
   // copy; async policies mutate the global mid-flight, so redispatches take
   // their own), start its real work on the pool, and mark the moment its
-  // virtual compute finishes.
+  // virtual compute finishes. The EncodeContext pins the dispatch round and
+  // client id so round-/client-aware compression policies resolve their
+  // per-update plans.
   dispatch = [&](std::size_t i, int round, Snapshot snapshot) {
     InFlight& flight = flights[i];
     flight.dispatch_round = round;
     flight.dispatch_seconds = queue.now();
     FlClient* client = clients_[i].get();
     const UpdateCodec* codec = codec_.get();
-    flight.future = pool.submit([client, codec, snapshot]() -> WorkerOut {
-      ClientRoundResult round_result = client->run_round(*snapshot);
-      UpdateCodec::Encoded encoded = codec->encode(round_result.update);
-      WorkerOut out;
-      out.samples = round_result.samples;
-      out.raw_bytes = encoded.stats.original_bytes;
-      out.train_seconds = round_result.train_seconds;
-      out.compress_seconds = encoded.stats.compress_seconds;
-      out.mean_loss = round_result.mean_loss;
-      out.payload = std::move(encoded.payload);
-      return out;
-    });
+    flight.future =
+        pool.submit([client, codec, snapshot, i, round]() -> WorkerOut {
+          ClientRoundResult round_result = client->run_round(*snapshot);
+          EncodeContext ctx;
+          ctx.round = round;
+          ctx.client_id = static_cast<int>(i);
+          ctx.steps = round_result.steps;
+          UpdateCodec::Encoded encoded =
+              codec->encode(round_result.update, ctx);
+          WorkerOut out;
+          out.samples = round_result.samples;
+          out.stats = encoded.stats;
+          out.train_seconds = round_result.train_seconds;
+          out.mean_loss = round_result.mean_loss;
+          out.payload = std::move(encoded.payload);
+          return out;
+        });
     queue.schedule_after(compute_seconds_[i], [&, i] { on_upload(i); });
   };
 
@@ -181,9 +187,9 @@ FlRunResult FlCoordinator::run() {
     InFlight& flight = flights[i];
     WorkerOut out = std::move(flight.out);
     flight.out = WorkerOut{};
-    double decode_seconds = 0.0;
+    CompressionStats decode_stats;
     StateDict update = codec_->decode({out.payload.data(), out.payload.size()},
-                                      &decode_seconds);
+                                      &decode_stats);
     ++live_decoded;
     result.peak_decoded_updates =
         std::max(result.peak_decoded_updates, live_decoded);
@@ -202,18 +208,22 @@ FlRunResult FlCoordinator::run() {
     trace.transfer_seconds = flight.transfer_seconds;
     trace.weight = weight;
     trace.payload_bytes = out.payload.size();
-    trace.raw_bytes = out.raw_bytes;
-    trace.decision =
-        net::evaluate_compression(out.raw_bytes, out.payload.size(),
-                                  out.compress_seconds, decode_seconds,
-                                  network_.link(i));
+    trace.raw_bytes = out.stats.original_bytes;
+    trace.bound_value = out.stats.mean_bound_value;
+    trace.lossy_tensors = out.stats.lossy_tensors;
+    trace.lossless_tensors = out.stats.lossless_tensors;
+    trace.raw_tensors = out.stats.raw_tensors;
+    trace.decision = net::evaluate_compression(
+        out.stats.original_bytes, out.payload.size(),
+        out.stats.compress_seconds, decode_stats.decompress_seconds,
+        network_.link(i));
     record.train_seconds += out.train_seconds;
-    record.compress_seconds += out.compress_seconds;
-    record.decompress_seconds += decode_seconds;
+    record.compress_seconds += out.stats.compress_seconds;
+    record.decompress_seconds += decode_stats.decompress_seconds;
     record.comm_seconds += flight.transfer_seconds;
     record.mean_loss += out.mean_loss;
     record.bytes_sent += out.payload.size();
-    record.raw_bytes += out.raw_bytes;
+    record.raw_bytes += out.stats.original_bytes;
     record.participants += 1;
     record.clients.push_back(std::move(trace));
 

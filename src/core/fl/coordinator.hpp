@@ -52,7 +52,8 @@ struct FlRunConfig {
 };
 
 /// One update delivery: who sent it, when (virtual clock), over which link,
-/// and whether compressing for that link was worthwhile (Eqn 1).
+/// what the compression policy decided for it, and whether compressing for
+/// that link was worthwhile (Eqn 1).
 struct ClientTraceEntry {
   std::size_t client = 0;
   int dispatch_round = 0;         // server round when the client was sent
@@ -62,6 +63,13 @@ struct ClientTraceEntry {
   double weight = 0.0;            // samples x staleness scale
   std::size_t payload_bytes = 0;
   std::size_t raw_bytes = 0;
+  /// Policy decisions for this update: mean requested relative bound over
+  /// lossy-path tensors (round-/magnitude-aware policies vary it per
+  /// dispatch) and the per-path tensor tallies.
+  double bound_value = 0.0;
+  std::size_t lossy_tensors = 0;
+  std::size_t lossless_tensors = 0;
+  std::size_t raw_tensors = 0;
   net::CompressionDecision decision;  // Eqn (1) against this client's link
 };
 

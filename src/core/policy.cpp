@@ -1,0 +1,154 @@
+#include "core/policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/fedsz.hpp"
+
+namespace fedsz::core {
+
+namespace {
+
+void validate_threshold_fields(const lossy::ErrorBound& bound,
+                               lossy::LossyId lossy_id, const char* who) {
+  bound.validate();
+  // Resolve eagerly so a bad id fails at policy construction, mirroring
+  // FedSz's own constructor check.
+  (void)lossy::lossy_codec(lossy_id);
+  (void)who;
+}
+
+double tensor_rms(const Tensor& tensor) {
+  const FloatSpan values = tensor.span();
+  if (values.empty()) return 0.0;
+  double sum_sq = 0.0;
+  for (const float v : values)
+    sum_sq += static_cast<double>(v) * static_cast<double>(v);
+  return std::sqrt(sum_sq / static_cast<double>(values.size()));
+}
+
+}  // namespace
+
+// ---- ThresholdPolicy ----
+
+ThresholdPolicy::ThresholdPolicy(ThresholdPolicyConfig config)
+    : config_(config) {
+  validate_threshold_fields(config_.bound, config_.lossy_id,
+                            "ThresholdPolicy");
+}
+
+TensorPlan ThresholdPolicy::plan(const std::string& name, const Tensor& tensor,
+                                 const EncodeContext&) const {
+  if (is_lossy_entry(name, tensor.numel(), config_.lossy_threshold))
+    return TensorPlan::lossy(config_.lossy_id, config_.bound);
+  return TensorPlan::lossless();
+}
+
+// ---- LayerwiseBoundPolicy ----
+
+LayerwiseBoundPolicy::LayerwiseBoundPolicy(LayerwiseBoundConfig config)
+    : config_(std::move(config)) {
+  validate_threshold_fields(config_.fallback, config_.lossy_id,
+                            "LayerwiseBoundPolicy");
+  for (const LayerwiseRule& rule : config_.rules) {
+    if (rule.pattern.empty())
+      throw InvalidArgument("LayerwiseBoundPolicy: empty rule pattern");
+    rule.bound.validate();
+  }
+}
+
+TensorPlan LayerwiseBoundPolicy::plan(const std::string& name,
+                                      const Tensor& tensor,
+                                      const EncodeContext&) const {
+  if (!is_lossy_entry(name, tensor.numel(), config_.lossy_threshold))
+    return TensorPlan::lossless();
+  for (const LayerwiseRule& rule : config_.rules)
+    if (name.find(rule.pattern) != std::string::npos)
+      return TensorPlan::lossy(config_.lossy_id, rule.bound);
+  return TensorPlan::lossy(config_.lossy_id, config_.fallback);
+}
+
+// ---- BoundSchedulePolicy ----
+
+BoundSchedulePolicy::BoundSchedulePolicy(BoundScheduleConfig config)
+    : config_(config) {
+  validate_threshold_fields(lossy::ErrorBound::relative(config_.initial),
+                            config_.lossy_id, "BoundSchedulePolicy");
+  if (!(config_.factor > 0.0) || !std::isfinite(config_.factor))
+    throw InvalidArgument(
+        "BoundSchedulePolicy: factor must be positive and finite");
+  if (!(config_.floor > 0.0) || !(config_.ceiling >= config_.floor))
+    throw InvalidArgument(
+        "BoundSchedulePolicy: need 0 < floor <= ceiling");
+}
+
+double BoundSchedulePolicy::bound_at(int round) const {
+  const double scheduled =
+      config_.initial * std::pow(config_.factor, std::max(0, round));
+  return std::clamp(scheduled, config_.floor, config_.ceiling);
+}
+
+TensorPlan BoundSchedulePolicy::plan(const std::string& name,
+                                     const Tensor& tensor,
+                                     const EncodeContext& ctx) const {
+  if (!is_lossy_entry(name, tensor.numel(), config_.lossy_threshold))
+    return TensorPlan::lossless();
+  return TensorPlan::lossy(config_.lossy_id,
+                           lossy::ErrorBound::relative(bound_at(ctx.round)));
+}
+
+// ---- MagnitudeAwarePolicy ----
+
+MagnitudeAwarePolicy::MagnitudeAwarePolicy(MagnitudeAwareConfig config)
+    : config_(config) {
+  validate_threshold_fields(lossy::ErrorBound::relative(config_.base),
+                            config_.lossy_id, "MagnitudeAwarePolicy");
+  if (!(config_.reference_rms > 0.0) || !std::isfinite(config_.reference_rms))
+    throw InvalidArgument(
+        "MagnitudeAwarePolicy: reference_rms must be positive and finite");
+  if (!(config_.min_scale > 0.0) || !(config_.max_scale >= config_.min_scale))
+    throw InvalidArgument(
+        "MagnitudeAwarePolicy: need 0 < min_scale <= max_scale");
+}
+
+TensorPlan MagnitudeAwarePolicy::plan(const std::string& name,
+                                      const Tensor& tensor,
+                                      const EncodeContext&) const {
+  if (!is_lossy_entry(name, tensor.numel(), config_.lossy_threshold))
+    return TensorPlan::lossless();
+  const double rms = tensor_rms(tensor);
+  if (rms == 0.0) {
+    // An all-zero update (frozen/unchanged layer) compresses to almost
+    // nothing on the lossless path and reconstructs exactly; a lossy pass
+    // would only add codec overhead.
+    return TensorPlan::lossless();
+  }
+  const double scale = std::clamp(rms / config_.reference_rms,
+                                  config_.min_scale, config_.max_scale);
+  return TensorPlan::lossy(
+      config_.lossy_id, lossy::ErrorBound::relative(config_.base * scale));
+}
+
+// ---- factories ----
+
+CompressionPolicyPtr make_threshold_policy(ThresholdPolicyConfig config) {
+  return std::make_shared<ThresholdPolicy>(config);
+}
+
+CompressionPolicyPtr make_layerwise_policy(LayerwiseBoundConfig config) {
+  return std::make_shared<LayerwiseBoundPolicy>(std::move(config));
+}
+
+CompressionPolicyPtr make_bound_schedule_policy(BoundScheduleConfig config) {
+  return std::make_shared<BoundSchedulePolicy>(config);
+}
+
+CompressionPolicyPtr make_magnitude_aware_policy(MagnitudeAwareConfig config) {
+  return std::make_shared<MagnitudeAwarePolicy>(config);
+}
+
+std::vector<std::string> compression_policy_names() {
+  return {"threshold", "layerwise", "schedule", "magnitude"};
+}
+
+}  // namespace fedsz::core

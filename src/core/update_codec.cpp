@@ -1,10 +1,12 @@
 #include "core/update_codec.hpp"
 
+#include "core/codec_spec.hpp"
 #include "util/timer.hpp"
 
 namespace fedsz::core {
 
-UpdateCodec::Encoded IdentityCodec::encode(const StateDict& dict) const {
+UpdateCodec::Encoded IdentityCodec::encode(const StateDict& dict,
+                                           const EncodeContext&) const {
   Timer timer;
   Encoded encoded;
   encoded.payload = dict.serialize();
@@ -14,15 +16,22 @@ UpdateCodec::Encoded IdentityCodec::encode(const StateDict& dict) const {
   encoded.stats.compressed_bytes = encoded.payload.size();
   encoded.stats.lossless_original_bytes = encoded.stats.original_bytes;
   encoded.stats.lossless_compressed_bytes = encoded.payload.size();
+  encoded.stats.lossless_tensors = dict.size();
   encoded.stats.compress_seconds = timer.seconds();
   return encoded;
 }
 
 StateDict IdentityCodec::decode(ByteSpan payload,
-                                double* decode_seconds) const {
+                                CompressionStats* stats) const {
   Timer timer;
   StateDict dict = StateDict::deserialize(payload);
-  if (decode_seconds) *decode_seconds = timer.seconds();
+  if (stats) {
+    *stats = CompressionStats{};
+    stats->compressed_bytes = payload.size();
+    stats->original_bytes = dict.total_bytes();
+    stats->lossless_tensors = dict.size();
+    stats->decompress_seconds = timer.seconds();
+  }
   return dict;
 }
 
@@ -30,14 +39,15 @@ std::string FedSzCodec::name() const {
   return "fedsz-" + lossy::lossy_codec(fedsz_.config().lossy_id).name();
 }
 
-UpdateCodec::Encoded FedSzCodec::encode(const StateDict& dict) const {
+UpdateCodec::Encoded FedSzCodec::encode(const StateDict& dict,
+                                        const EncodeContext& ctx) const {
   Encoded encoded;
-  encoded.payload = fedsz_.compress(dict, &encoded.stats);
+  encoded.payload = fedsz_.compress(dict, &encoded.stats, ctx);
   return encoded;
 }
 
-StateDict FedSzCodec::decode(ByteSpan payload, double* decode_seconds) const {
-  return fedsz_.decompress(payload, decode_seconds);
+StateDict FedSzCodec::decode(ByteSpan payload, CompressionStats* stats) const {
+  return fedsz_.decompress(payload, stats);
 }
 
 UpdateCodecPtr make_identity_codec() {
@@ -45,24 +55,35 @@ UpdateCodecPtr make_identity_codec() {
 }
 
 UpdateCodecPtr make_fedsz_codec(FedSzConfig config) {
-  return std::make_shared<FedSzCodec>(config);
+  return std::make_shared<FedSzCodec>(std::move(config));
 }
 
 UpdateCodecPtr make_parallel_fedsz_codec(std::size_t parallelism,
                                          FedSzConfig config) {
   config.parallelism = parallelism;
-  return std::make_shared<FedSzCodec>(config);
+  return std::make_shared<FedSzCodec>(std::move(config));
 }
 
 UpdateCodecPtr make_codec_by_name(const std::string& name,
                                   FedSzConfig config) {
-  if (name == "identity" || name == "uncompressed")
-    return make_identity_codec();
-  if (name == "fedsz") return make_fedsz_codec(config);
-  if (name == "fedsz-parallel") return make_parallel_fedsz_codec(0, config);
-  throw InvalidArgument("make_codec_by_name: unknown codec '" + name +
-                        "' (expected identity, uncompressed, fedsz or "
-                        "fedsz-parallel)");
+  // Seed the spec defaults from the caller's config so bare families keep
+  // behaving exactly as before the spec grammar existed.
+  CodecSpec defaults;
+  defaults.lossy_id = config.lossy_id;
+  defaults.lossless_id = config.lossless_id;
+  defaults.bound = config.bound;
+  defaults.lossy_threshold = config.lossy_threshold;
+  defaults.chunk_elements = config.chunk_elements;
+  defaults.threads = config.parallelism;
+  const CodecSpec spec = parse_codec_spec(name, defaults);
+  if (spec.identity) return make_identity_codec();
+  // A caller-constructed policy object wins only when the spec did not
+  // spell out `policy=` at all; an explicit `policy=threshold` request
+  // stays the byte-stable Algorithm-1 default.
+  FedSzConfig resolved = codec_spec_config(spec);
+  if (!resolved.policy && !spec.policy_explicit && config.policy)
+    resolved.policy = config.policy;
+  return make_fedsz_codec(std::move(resolved));
 }
 
 }  // namespace fedsz::core

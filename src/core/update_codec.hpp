@@ -1,7 +1,11 @@
 // Pluggable update-compression boundary for the FL stack: the coordinator
 // encodes every client->server update through an UpdateCodec, so the same
 // training loop runs uncompressed (IdentityCodec, the paper's baseline) or
-// with FedSZ under any lossy codec / error bound (FedSzCodec).
+// with FedSZ under any compression policy (FedSzCodec). encode() receives
+// the EncodeContext the coordinator threads through (round, client, local
+// steps), which is what lets round- and client-aware CompressionPolicies
+// resolve per-update plans; decode() reports its timing and plan census via
+// CompressionStats instead of a bare seconds out-param.
 #pragma once
 
 #include <memory>
@@ -19,10 +23,18 @@ class UpdateCodec {
     Bytes payload;
     CompressionStats stats;
   };
-  virtual Encoded encode(const StateDict& dict) const = 0;
-  /// `decode_seconds` (optional) receives the decompression wall time.
+  /// Encode one client update. `ctx` carries the round/client the update
+  /// belongs to; policy-driven codecs use it, others ignore it.
+  virtual Encoded encode(const StateDict& dict,
+                         const EncodeContext& ctx) const = 0;
+  /// Context-free convenience for standalone compression.
+  Encoded encode(const StateDict& dict) const {
+    return encode(dict, EncodeContext{});
+  }
+  /// `stats` (optional) receives decompress_seconds plus the byte/plan
+  /// census the payload reveals.
   virtual StateDict decode(ByteSpan payload,
-                           double* decode_seconds = nullptr) const = 0;
+                           CompressionStats* stats = nullptr) const = 0;
 };
 
 using UpdateCodecPtr = std::shared_ptr<const UpdateCodec>;
@@ -30,22 +42,28 @@ using UpdateCodecPtr = std::shared_ptr<const UpdateCodec>;
 /// Baseline: plain serialization, no compression.
 class IdentityCodec final : public UpdateCodec {
  public:
+  using UpdateCodec::encode;
   std::string name() const override { return "uncompressed"; }
-  Encoded encode(const StateDict& dict) const override;
-  StateDict decode(ByteSpan payload, double* decode_seconds) const override;
+  Encoded encode(const StateDict& dict,
+                 const EncodeContext& ctx) const override;
+  StateDict decode(ByteSpan payload, CompressionStats* stats) const override;
 };
 
 /// FedSZ compression with a given configuration. The chunked pipeline's
 /// `parallelism` knob flows straight through FedSzConfig: a parallel codec
 /// overlaps per-chunk lossy work and the lossless partition on a thread
-/// pool, while emitting the same bytes as the serial setting.
+/// pool, while emitting the same bytes as the serial setting. The config's
+/// CompressionPolicy decides every tensor's path/codec/bound (null policy =
+/// the paper's ThresholdPolicy).
 class FedSzCodec final : public UpdateCodec {
  public:
-  explicit FedSzCodec(FedSzConfig config) : fedsz_(config) {}
+  using UpdateCodec::encode;
+  explicit FedSzCodec(FedSzConfig config) : fedsz_(std::move(config)) {}
 
   std::string name() const override;
-  Encoded encode(const StateDict& dict) const override;
-  StateDict decode(ByteSpan payload, double* decode_seconds) const override;
+  Encoded encode(const StateDict& dict,
+                 const EncodeContext& ctx) const override;
+  StateDict decode(ByteSpan payload, CompressionStats* stats) const override;
   const FedSz& fedsz() const { return fedsz_; }
 
  private:
@@ -60,9 +78,12 @@ UpdateCodecPtr make_fedsz_codec(FedSzConfig config = {});
 UpdateCodecPtr make_parallel_fedsz_codec(std::size_t parallelism,
                                          FedSzConfig config = {});
 
-/// CLI-facing registry: "identity"/"uncompressed", "fedsz", or
-/// "fedsz-parallel" (chunk pipeline over all hardware threads). `config`
-/// applies to the FedSZ variants. Throws InvalidArgument on unknown names.
+/// CLI-facing construction: `name` is a codec spec string (core/
+/// codec_spec.hpp) — a bare family ("identity", "uncompressed", "fedsz",
+/// "fedsz-parallel") or a full spec such as
+/// "fedsz:lossy=sz3,eb=rel:1e-3,lossless=zstd,policy=schedule,chunk=64k".
+/// `config` seeds the defaults for every omitted key. Throws
+/// InvalidArgument (listing the valid options) on malformed specs.
 UpdateCodecPtr make_codec_by_name(const std::string& name,
                                   FedSzConfig config = {});
 

@@ -1,0 +1,267 @@
+// Tests for the codec spec grammar: parse/format normalization (format of a
+// parse is a fixed point), a seeded fuzz round-trip over random CodecSpecs,
+// malformed-spec errors that list the valid options, and the
+// make_codec_by_name construction path built on top of it.
+#include <gtest/gtest.h>
+
+#include "core/codec_spec.hpp"
+#include "core/policy.hpp"
+#include "util/rng.hpp"
+
+namespace fedsz::core {
+namespace {
+
+std::string normalize(const std::string& spec) {
+  return format_codec_spec(parse_codec_spec(spec));
+}
+
+// ---- parsing ----
+
+TEST(CodecSpecParse, BareFamiliesKeepDefaults) {
+  const CodecSpec fedsz = parse_codec_spec("fedsz");
+  EXPECT_FALSE(fedsz.identity);
+  EXPECT_EQ(fedsz.lossy_id, lossy::LossyId::kSz2);
+  EXPECT_EQ(fedsz.lossless_id, lossless::LosslessId::kBloscLz);
+  EXPECT_EQ(fedsz.bound.mode, lossy::BoundMode::kRelative);
+  EXPECT_DOUBLE_EQ(fedsz.bound.value, 1e-2);
+  EXPECT_EQ(fedsz.policy, "threshold");
+  EXPECT_EQ(fedsz.threads, 1u);
+
+  EXPECT_EQ(parse_codec_spec("fedsz-parallel").threads, 0u);
+  EXPECT_TRUE(parse_codec_spec("identity").identity);
+  EXPECT_TRUE(parse_codec_spec("uncompressed").identity);
+}
+
+TEST(CodecSpecParse, FullSpecFromTheGrammarComment) {
+  const CodecSpec spec = parse_codec_spec(
+      "fedsz:lossy=sz3,eb=rel:1e-3,lossless=zstd,policy=schedule,chunk=64k,"
+      "threads=0");
+  EXPECT_EQ(spec.lossy_id, lossy::LossyId::kSz3);
+  EXPECT_EQ(spec.lossless_id, lossless::LosslessId::kZstd);
+  EXPECT_EQ(spec.bound.mode, lossy::BoundMode::kRelative);
+  EXPECT_DOUBLE_EQ(spec.bound.value, 1e-3);
+  EXPECT_EQ(spec.policy, "schedule");
+  EXPECT_EQ(spec.chunk_elements, 64u * 1024u);
+  EXPECT_EQ(spec.threads, 0u);
+}
+
+TEST(CodecSpecParse, BoundModesAndBareValues) {
+  EXPECT_EQ(parse_codec_spec("fedsz:eb=abs:0.5").bound.mode,
+            lossy::BoundMode::kAbsolute);
+  EXPECT_EQ(parse_codec_spec("fedsz:eb=rel:0.5").bound.mode,
+            lossy::BoundMode::kRelative);
+  // A bare float defaults to rel, the paper's convention.
+  const CodecSpec bare = parse_codec_spec("fedsz:eb=1e-4");
+  EXPECT_EQ(bare.bound.mode, lossy::BoundMode::kRelative);
+  EXPECT_DOUBLE_EQ(bare.bound.value, 1e-4);
+}
+
+TEST(CodecSpecParse, ScheduleFactorArgument) {
+  const CodecSpec spec = parse_codec_spec("fedsz:policy=schedule:0.85");
+  EXPECT_EQ(spec.policy, "schedule");
+  EXPECT_DOUBLE_EQ(spec.schedule_factor, 0.85);
+}
+
+TEST(CodecSpecParse, ChunkSuffixes) {
+  EXPECT_EQ(parse_codec_spec("fedsz:chunk=512").chunk_elements, 512u);
+  EXPECT_EQ(parse_codec_spec("fedsz:chunk=16k").chunk_elements, 16u * 1024u);
+  EXPECT_EQ(parse_codec_spec("fedsz:chunk=2m").chunk_elements,
+            2u * 1024u * 1024u);
+}
+
+TEST(CodecSpecParse, ExplicitDefaultsSeedOmittedKeys) {
+  CodecSpec defaults;
+  defaults.lossy_id = lossy::LossyId::kZfp;
+  defaults.bound = lossy::ErrorBound::relative(1e-5);
+  const CodecSpec spec = parse_codec_spec("fedsz:lossless=xz", defaults);
+  EXPECT_EQ(spec.lossy_id, lossy::LossyId::kZfp);       // from defaults
+  EXPECT_DOUBLE_EQ(spec.bound.value, 1e-5);             // from defaults
+  EXPECT_EQ(spec.lossless_id, lossless::LosslessId::kXz);  // overridden
+}
+
+// ---- malformed specs: InvalidArgument naming the valid options ----
+
+TEST(CodecSpecErrors, UnknownFamilyListsFamilies) {
+  try {
+    parse_codec_spec("szip");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("fedsz"), std::string::npos);
+    EXPECT_NE(what.find("identity"), std::string::npos);
+  }
+}
+
+TEST(CodecSpecErrors, UnknownLossyCodecListsCodecs) {
+  try {
+    parse_codec_spec("fedsz:lossy=mgard");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("sz2"), std::string::npos);
+    EXPECT_NE(what.find("zfp"), std::string::npos);
+  }
+}
+
+TEST(CodecSpecErrors, UnknownPolicyListsPolicies) {
+  try {
+    parse_codec_spec("fedsz:policy=oracle");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& error) {
+    const std::string what = error.what();
+    for (const std::string& name : compression_policy_names())
+      EXPECT_NE(what.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(CodecSpecErrors, MalformedSpecsThrow) {
+  for (const char* spec :
+       {"fedsz:", "fedsz:eb=", "fedsz:eb=abs", "fedsz:eb=fast:1e-2",
+        "fedsz:chunk=0", "fedsz:chunk=12q", "fedsz:threads=-1",
+        "fedsz:=1e-2", "fedsz:eb", "fedsz:unknown=1", "identity:eb=1e-2",
+        "fedsz:policy=schedule:0", "fedsz:policy=magnitude:0.5",
+        "fedsz:eb=rel:nan", "fedsz:eb=rel:0", "",
+        // Out-of-range counts: strtoull saturation and k/m multiplier wrap
+        // must be parse errors, not silent truncation.
+        "fedsz:threads=18446744073709551616",
+        "fedsz:chunk=18014398509481985k"}) {
+    EXPECT_THROW(parse_codec_spec(spec), InvalidArgument) << spec;
+  }
+}
+
+TEST(CodecSpecErrors, AbsoluteBoundRejectedForRelativePolicies) {
+  EXPECT_THROW(
+      codec_spec_config(parse_codec_spec("fedsz:eb=abs:0.1,policy=schedule")),
+      InvalidArgument);
+  EXPECT_THROW(
+      codec_spec_config(
+          parse_codec_spec("fedsz:eb=abs:0.1,policy=magnitude")),
+      InvalidArgument);
+}
+
+// ---- normalization and the fuzz round trip ----
+
+TEST(CodecSpecFormat, CanonicalFormIsStable) {
+  EXPECT_EQ(normalize("identity"), "identity");
+  EXPECT_EQ(normalize("uncompressed"), "identity");
+  EXPECT_EQ(normalize("fedsz"),
+            "fedsz:lossy=sz2,eb=rel:0.01,lossless=blosc-lz,policy=threshold,"
+            "chunk=65536,threads=1,threshold=1000");
+  // fedsz-parallel is sugar for threads=0.
+  EXPECT_EQ(normalize("fedsz-parallel"),
+            "fedsz:lossy=sz2,eb=rel:0.01,lossless=blosc-lz,policy=threshold,"
+            "chunk=65536,threads=0,threshold=1000");
+  // Suffixes and mode shorthands normalize away.
+  EXPECT_EQ(normalize("fedsz:chunk=64k,eb=1e-3"),
+            "fedsz:lossy=sz2,eb=rel:0.001,lossless=blosc-lz,policy=threshold,"
+            "chunk=65536,threads=1,threshold=1000");
+}
+
+TEST(CodecSpecFormat, FormatParseFuzzRoundTrip) {
+  // format(parse(format(spec))) == format(spec) over random specs: the
+  // canonical form is a fixed point of parse∘format.
+  Rng rng(20260731);
+  const auto lossy_codecs = lossy::all_lossy_codecs();
+  const auto lossless_codecs = lossless::all_lossless_codecs();
+  const std::vector<std::string> policies = compression_policy_names();
+  for (int iter = 0; iter < 200; ++iter) {
+    SCOPED_TRACE("iteration " + std::to_string(iter));
+    CodecSpec spec;
+    spec.identity = rng.uniform() < 0.1;
+    spec.lossy_id = lossy_codecs[rng.uniform_index(lossy_codecs.size())]->id();
+    spec.lossless_id =
+        lossless_codecs[rng.uniform_index(lossless_codecs.size())]->id();
+    const double exponent = rng.uniform(-6.0, -1.0);
+    spec.bound = lossy::ErrorBound::relative(std::pow(10.0, exponent));
+    spec.policy = policies[rng.uniform_index(policies.size())];
+    if (spec.policy == "threshold" && rng.uniform() < 0.3) {
+      // Only the threshold policy accepts absolute bounds.
+      spec.bound.mode = lossy::BoundMode::kAbsolute;
+    }
+    spec.schedule_factor = rng.uniform(0.1, 1.5);
+    spec.chunk_elements = 1 + rng.uniform_index(1 << 20);
+    spec.threads = rng.uniform_index(9);
+    spec.lossy_threshold = rng.uniform_index(5000);
+
+    const std::string canonical = format_codec_spec(spec);
+    const CodecSpec reparsed = parse_codec_spec(canonical);
+    EXPECT_EQ(format_codec_spec(reparsed), canonical);
+    if (!spec.identity) {
+      EXPECT_EQ(reparsed.lossy_id, spec.lossy_id);
+      EXPECT_EQ(reparsed.lossless_id, spec.lossless_id);
+      EXPECT_EQ(reparsed.bound.mode, spec.bound.mode);
+      EXPECT_DOUBLE_EQ(reparsed.bound.value, spec.bound.value);
+      EXPECT_EQ(reparsed.policy, spec.policy);
+      EXPECT_EQ(reparsed.chunk_elements, spec.chunk_elements);
+      EXPECT_EQ(reparsed.threads, spec.threads);
+      EXPECT_EQ(reparsed.lossy_threshold, spec.lossy_threshold);
+      if (spec.policy == "schedule") {
+        EXPECT_DOUBLE_EQ(reparsed.schedule_factor, spec.schedule_factor);
+      }
+    }
+  }
+}
+
+// ---- construction ----
+
+TEST(MakeCodecByName, LegacyNamesStillResolve) {
+  EXPECT_EQ(make_codec_by_name("identity")->name(), "uncompressed");
+  EXPECT_EQ(make_codec_by_name("uncompressed")->name(), "uncompressed");
+  EXPECT_EQ(make_codec_by_name("fedsz")->name(), "fedsz-sz2");
+  EXPECT_EQ(make_codec_by_name("fedsz-parallel")->name(), "fedsz-sz2");
+}
+
+TEST(MakeCodecByName, SpecStringsConfigureTheCodec) {
+  const auto codec = make_codec_by_name("fedsz:lossy=sz3,eb=rel:1e-3");
+  EXPECT_EQ(codec->name(), "fedsz-sz3");
+  const auto* fedsz = dynamic_cast<const FedSzCodec*>(codec.get());
+  ASSERT_NE(fedsz, nullptr);
+  EXPECT_DOUBLE_EQ(fedsz->fedsz().config().bound.value, 1e-3);
+  EXPECT_EQ(fedsz->fedsz().policy().name(), "threshold");
+
+  const auto scheduled = make_codec_by_name("fedsz:policy=schedule:0.5");
+  const auto* scheduled_fedsz =
+      dynamic_cast<const FedSzCodec*>(scheduled.get());
+  ASSERT_NE(scheduled_fedsz, nullptr);
+  EXPECT_EQ(scheduled_fedsz->fedsz().policy().name(), "schedule");
+}
+
+TEST(MakeCodecByName, CallerConfigSeedsDefaults) {
+  FedSzConfig config;
+  config.bound = lossy::ErrorBound::relative(1e-4);
+  config.parallelism = 3;
+  const auto codec = make_codec_by_name("fedsz:lossless=zstd", config);
+  const auto* fedsz = dynamic_cast<const FedSzCodec*>(codec.get());
+  ASSERT_NE(fedsz, nullptr);
+  EXPECT_DOUBLE_EQ(fedsz->fedsz().config().bound.value, 1e-4);
+  EXPECT_EQ(fedsz->fedsz().config().parallelism, 3u);
+  EXPECT_EQ(fedsz->fedsz().config().lossless_id, lossless::LosslessId::kZstd);
+}
+
+TEST(MakeCodecByName, ExplicitThresholdBeatsCallerPolicy) {
+  // An explicit policy=threshold request must stay the Algorithm-1 default
+  // even when the caller's config carries a policy object; only a spec
+  // that omits `policy=` inherits it.
+  FedSzConfig config;
+  config.policy = make_bound_schedule_policy({});
+  const auto explicit_codec =
+      make_codec_by_name("fedsz:policy=threshold", config);
+  const auto* explicit_fedsz =
+      dynamic_cast<const FedSzCodec*>(explicit_codec.get());
+  ASSERT_NE(explicit_fedsz, nullptr);
+  EXPECT_EQ(explicit_fedsz->fedsz().policy().name(), "threshold");
+
+  const auto inherited_codec = make_codec_by_name("fedsz", config);
+  const auto* inherited_fedsz =
+      dynamic_cast<const FedSzCodec*>(inherited_codec.get());
+  ASSERT_NE(inherited_fedsz, nullptr);
+  EXPECT_EQ(inherited_fedsz->fedsz().policy().name(), "schedule");
+}
+
+TEST(MakeCodecByName, UnknownNameThrowsWithOptions) {
+  EXPECT_THROW(make_codec_by_name("gzip-only"), InvalidArgument);
+  EXPECT_THROW(make_codec_by_name(""), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace fedsz::core

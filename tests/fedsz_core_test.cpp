@@ -237,12 +237,14 @@ TEST(UpdateCodecs, IdentityRoundTripIsExact) {
   const auto codec = make_identity_codec();
   const auto encoded = codec->encode(dict);
   EXPECT_EQ(encoded.stats.ratio(), 1.0);
-  double seconds = -1.0;
+  CompressionStats decode_stats;
+  decode_stats.decompress_seconds = -1.0;
   const StateDict back =
       codec->decode({encoded.payload.data(), encoded.payload.size()},
-                    &seconds);
+                    &decode_stats);
   EXPECT_TRUE(back.equals(dict));
-  EXPECT_GE(seconds, 0.0);
+  EXPECT_GE(decode_stats.decompress_seconds, 0.0);
+  EXPECT_EQ(decode_stats.lossless_tensors, dict.size());
   EXPECT_EQ(codec->name(), "uncompressed");
 }
 

@@ -1,0 +1,215 @@
+// Golden-fixture backward-compatibility: tiny v1 and v2 bitstreams are
+// checked in under tests/data/ together with the StateDicts they must decode
+// to, so a future container change cannot silently drop support for old
+// streams. The v2 fixture doubles as the ThresholdPolicy byte-regression
+// pin: the default-policy writer must still reproduce it bit for bit.
+//
+// Regenerate (only when a deliberate format change requires it):
+//   FEDSZ_REGEN_GOLDEN=1 ./build/golden_fixture_test
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "core/fedsz.hpp"
+#include "util/bytebuffer.hpp"
+
+namespace fedsz::core {
+namespace {
+
+std::filesystem::path data_dir() {
+  return std::filesystem::path(FEDSZ_TEST_DATA_DIR);
+}
+
+Bytes read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    ADD_FAILURE() << "missing golden fixture " << path
+                  << " (regenerate with FEDSZ_REGEN_GOLDEN=1)";
+    return {};
+  }
+  return Bytes((std::istreambuf_iterator<char>(in)),
+               std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::filesystem::path& path, const Bytes& bytes) {
+  std::filesystem::create_directories(path.parent_path());
+  std::ofstream out(path, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+/// The fixture update: closed-form values (no RNG), so the generator and
+/// the verifier can never drift.
+StateDict golden_dict() {
+  StateDict dict;
+  {
+    std::vector<float> values(2500);
+    for (std::size_t i = 0; i < values.size(); ++i)
+      values[i] = std::sin(static_cast<float>(i) * 0.01f);
+    dict.set("features.0.weight", Tensor::from_data({50, 50}, values));
+  }
+  {
+    std::vector<float> values(1500);
+    for (std::size_t i = 0; i < values.size(); ++i)
+      values[i] = 0.1f * std::cos(static_cast<float>(i) * 0.02f);
+    dict.set("classifier.weight", Tensor::from_data({1500}, values));
+  }
+  {
+    std::vector<float> values(16);
+    for (std::size_t i = 0; i < values.size(); ++i)
+      values[i] = 0.25f * static_cast<float>(i);
+    dict.set("features.0.bias", Tensor::from_data({16}, values));
+  }
+  {
+    std::vector<float> values(16);
+    for (std::size_t i = 0; i < values.size(); ++i)
+      values[i] = 1.0f + 0.125f * static_cast<float>(i);
+    dict.set("bn.running_var", Tensor::from_data({16}, values));
+  }
+  return dict;
+}
+
+FedSzConfig golden_config() {
+  FedSzConfig config;
+  config.bound = lossy::ErrorBound::relative(1e-3);
+  config.chunk_elements = 1024;  // the 2500-element tensor spans 3 chunks
+  return config;
+}
+
+/// The original (pre-chunking) v1 writer, reproduced so the fixture can be
+/// regenerated from source if ever needed.
+Bytes make_v1_stream(const StateDict& dict, const FedSzConfig& config) {
+  const lossy::LossyCodec& lossy_codec = lossy::lossy_codec(config.lossy_id);
+  const lossless::LosslessCodec& lossless_codec =
+      lossless::lossless_codec(config.lossless_id);
+  StateDict lossless_partition;
+  ByteWriter w;
+  const char magic[4] = {'F', 'S', 'Z', '1'};
+  w.put_bytes({reinterpret_cast<const std::uint8_t*>(magic), 4});
+  w.put_u16(1);
+  w.put_u8(static_cast<std::uint8_t>(config.lossy_id));
+  w.put_u8(static_cast<std::uint8_t>(config.lossless_id));
+  w.put_u8(static_cast<std::uint8_t>(config.bound.mode));
+  w.put_f64(config.bound.value);
+  std::vector<const StateDict::Entry*> lossy_entries;
+  for (const auto& entry : dict) {
+    if (is_lossy_entry(entry.first, entry.second.numel(),
+                       config.lossy_threshold))
+      lossy_entries.push_back(&entry);
+    else
+      lossless_partition.set(entry.first, entry.second);
+  }
+  w.put_u32(static_cast<std::uint32_t>(lossy_entries.size()));
+  for (const StateDict::Entry* entry : lossy_entries) {
+    w.put_string(entry->first);
+    const Shape& shape = entry->second.shape();
+    w.put_u8(static_cast<std::uint8_t>(shape.size()));
+    for (const std::int64_t d : shape)
+      w.put_varint(static_cast<std::uint64_t>(d));
+    const Bytes payload =
+        lossy_codec.compress(entry->second.span(), config.bound);
+    w.put_blob({payload.data(), payload.size()});
+  }
+  const Bytes serialized = lossless_partition.serialize();
+  const Bytes lossless_payload =
+      lossless_codec.compress({serialized.data(), serialized.size()});
+  w.put_blob({lossless_payload.data(), lossless_payload.size()});
+  return w.finish();
+}
+
+bool regen_requested() {
+  const char* env = std::getenv("FEDSZ_REGEN_GOLDEN");
+  return env != nullptr && env[0] == '1';
+}
+
+void expect_dicts_identical(const StateDict& decoded,
+                            const StateDict& expected) {
+  ASSERT_EQ(decoded.size(), expected.size());
+  for (const auto& [name, tensor] : expected) {
+    ASSERT_TRUE(decoded.contains(name)) << name;
+    EXPECT_TRUE(decoded.get(name).equals(tensor)) << name;
+  }
+}
+
+TEST(GoldenFixtures, RegenerateWhenRequested) {
+  if (!regen_requested()) GTEST_SKIP() << "set FEDSZ_REGEN_GOLDEN=1 to regen";
+  const StateDict dict = golden_dict();
+  const FedSz fedsz{golden_config()};
+  const Bytes v1 = make_v1_stream(dict, golden_config());
+  const Bytes v2 = fedsz.compress(dict);
+  write_file(data_dir() / "golden_v1.fsz", v1);
+  write_file(data_dir() / "golden_v2.fsz", v2);
+  write_file(data_dir() / "golden_v1_expected.sd",
+             fedsz.decompress({v1.data(), v1.size()}).serialize());
+  write_file(data_dir() / "golden_v2_expected.sd",
+             fedsz.decompress({v2.data(), v2.size()}).serialize());
+}
+
+TEST(GoldenFixtures, V1StreamStillDecodesToTheExpectedStateDict) {
+  const Bytes stream = read_file(data_dir() / "golden_v1.fsz");
+  const Bytes expected_bytes = read_file(data_dir() / "golden_v1_expected.sd");
+  ASSERT_FALSE(stream.empty());
+  ASSERT_FALSE(expected_bytes.empty());
+  // Decode with a default-config codec: everything needed lives in the
+  // stream header.
+  CompressionStats stats;
+  const StateDict decoded =
+      FedSz{FedSzConfig{}}.decompress({stream.data(), stream.size()}, &stats);
+  expect_dicts_identical(
+      decoded,
+      StateDict::deserialize({expected_bytes.data(), expected_bytes.size()}));
+  EXPECT_EQ(stats.lossy_tensors, 2u);
+  EXPECT_EQ(stats.lossless_tensors, 2u);
+}
+
+TEST(GoldenFixtures, V2StreamStillDecodesToTheExpectedStateDict) {
+  const Bytes stream = read_file(data_dir() / "golden_v2.fsz");
+  const Bytes expected_bytes = read_file(data_dir() / "golden_v2_expected.sd");
+  ASSERT_FALSE(stream.empty());
+  ASSERT_FALSE(expected_bytes.empty());
+  CompressionStats stats;
+  const StateDict decoded =
+      FedSz{FedSzConfig{}}.decompress({stream.data(), stream.size()}, &stats);
+  expect_dicts_identical(
+      decoded,
+      StateDict::deserialize({expected_bytes.data(), expected_bytes.size()}));
+  EXPECT_EQ(stats.lossy_tensors, 2u);
+  EXPECT_EQ(stats.lossy_chunks, 0u);  // decode does not re-chunk
+}
+
+TEST(GoldenFixtures, DefaultPolicyWriterStillEmitsTheV2FixtureBytes) {
+  // The byte-level regression pin for the redesign's acceptance criterion:
+  // the default ThresholdPolicy must keep producing the exact pre-policy
+  // v2 container for the fixture update.
+  const Bytes fixture = read_file(data_dir() / "golden_v2.fsz");
+  ASSERT_FALSE(fixture.empty());
+  const Bytes fresh = FedSz{golden_config()}.compress(golden_dict());
+  EXPECT_EQ(fresh, fixture);
+}
+
+TEST(GoldenFixtures, CorruptedFixtureHeadersStillThrow) {
+  // Flipping bytes in real (fixture) streams must keep failing loudly —
+  // guards the validation paths against regressions on genuine old data.
+  for (const char* name : {"golden_v1.fsz", "golden_v2.fsz"}) {
+    Bytes stream = read_file(data_dir() / name);
+    ASSERT_FALSE(stream.empty());
+    Bytes bad_version = stream;
+    bad_version[4] = 0x77;
+    EXPECT_THROW(FedSz{FedSzConfig{}}.decompress(
+                     {bad_version.data(), bad_version.size()}),
+                 CorruptStream)
+        << name;
+    Bytes truncated(stream.begin(), stream.begin() + stream.size() / 2);
+    EXPECT_THROW(
+        FedSz{FedSzConfig{}}.decompress({truncated.data(), truncated.size()}),
+        CorruptStream)
+        << name;
+  }
+}
+
+}  // namespace
+}  // namespace fedsz::core

@@ -1,0 +1,477 @@
+// Tests for the CompressionPolicy layer: ThresholdPolicy's regression pin
+// against the pre-policy v2 writer (same partition, same bytes), the
+// layerwise/schedule/magnitude policies' plans, the raw path, the v3
+// per-tensor-plan container (round trip, determinism, corruption handling),
+// and EncodeContext plumbing through a federation run.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "core/fl/coordinator.hpp"
+#include "core/policy.hpp"
+#include "core/update_codec.hpp"
+#include "data/synthetic.hpp"
+#include "util/bytebuffer.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace fedsz::core {
+namespace {
+
+Tensor random_tensor(Shape shape, Rng& rng, float scale = 1.0f) {
+  std::vector<float> values(shape_numel(shape));
+  for (float& v : values) v = scale * static_cast<float>(rng.normal());
+  return Tensor::from_data(std::move(shape), std::move(values));
+}
+
+/// A dict exercising both partitions: two large weights (lossy under the
+/// default rule), a small weight, a bias, and BatchNorm stats.
+StateDict mixed_dict(Rng& rng) {
+  StateDict dict;
+  dict.set("features.0.weight", random_tensor({3000}, rng));
+  dict.set("classifier.weight", random_tensor({2000}, rng, 0.1f));
+  dict.set("small.weight", random_tensor({20}, rng));
+  dict.set("features.0.bias", random_tensor({16}, rng));
+  dict.set("bn.running_mean", random_tensor({16}, rng));
+  return dict;
+}
+
+std::uint16_t stream_version(const Bytes& blob) {
+  EXPECT_GE(blob.size(), 6u);
+  return static_cast<std::uint16_t>(blob[4]) |
+         (static_cast<std::uint16_t>(blob[5]) << 8);
+}
+
+double max_error_vs(const StateDict& a, const StateDict& b,
+                    const std::string& name) {
+  return stats::max_abs_error(a.get(name).span(), b.get(name).span());
+}
+
+// ---- ThresholdPolicy: Algorithm 1 and the byte-stability pin ----
+
+TEST(ThresholdPolicyTest, PlanMatchesAlgorithmOnePartition) {
+  const auto policy = make_threshold_policy({});
+  Rng rng(1);
+  const StateDict dict = mixed_dict(rng);
+  for (const auto& [name, tensor] : dict) {
+    const TensorPlan plan = policy->plan(name, tensor, {});
+    const bool lossy = is_lossy_entry(name, tensor.numel(), 1000);
+    EXPECT_EQ(plan.path == TensorPath::kLossy, lossy) << name;
+  }
+}
+
+/// Reference reimplementation of the pre-policy v2 writer (serial, one
+/// codec, one bound), mirroring make_v1_stream in chunk_container_test: an
+/// independent double-entry pin on the default wire bytes.
+Bytes make_reference_v2_stream(const StateDict& dict,
+                               const FedSzConfig& config) {
+  const lossy::LossyCodec& lossy_codec = lossy::lossy_codec(config.lossy_id);
+  const lossless::LosslessCodec& lossless_codec =
+      lossless::lossless_codec(config.lossless_id);
+  StateDict lossless_partition;
+  ByteWriter w;
+  const char magic[4] = {'F', 'S', 'Z', '1'};
+  w.put_bytes({reinterpret_cast<const std::uint8_t*>(magic), 4});
+  w.put_u16(2);
+  w.put_u8(static_cast<std::uint8_t>(config.lossy_id));
+  w.put_u8(static_cast<std::uint8_t>(config.lossless_id));
+  w.put_u8(static_cast<std::uint8_t>(config.bound.mode));
+  w.put_f64(config.bound.value);
+  w.put_varint(config.chunk_elements);
+  std::vector<const StateDict::Entry*> lossy_entries;
+  for (const auto& entry : dict) {
+    if (is_lossy_entry(entry.first, entry.second.numel(),
+                       config.lossy_threshold))
+      lossy_entries.push_back(&entry);
+    else
+      lossless_partition.set(entry.first, entry.second);
+  }
+  w.put_u32(static_cast<std::uint32_t>(lossy_entries.size()));
+  for (const StateDict::Entry* entry : lossy_entries) {
+    w.put_string(entry->first);
+    const Shape& shape = entry->second.shape();
+    w.put_u8(static_cast<std::uint8_t>(shape.size()));
+    for (const std::int64_t d : shape)
+      w.put_varint(static_cast<std::uint64_t>(d));
+    const double eps =
+        std::max(config.bound.absolute_for(entry->second.span()), 1e-300);
+    w.put_f64(eps);
+    const FloatSpan values = entry->second.span();
+    const std::size_t chunks = ceil_div(values.size(), config.chunk_elements);
+    w.put_varint(chunks);
+    std::vector<Bytes> payloads(chunks);
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t begin = c * config.chunk_elements;
+      const std::size_t len =
+          std::min(config.chunk_elements, values.size() - begin);
+      payloads[c] = lossy_codec.compress(values.subspan(begin, len),
+                                         lossy::ErrorBound::absolute(eps));
+      w.put_varint(payloads[c].size());
+    }
+    for (const Bytes& payload : payloads)
+      w.put_bytes({payload.data(), payload.size()});
+  }
+  const Bytes serialized = lossless_partition.serialize();
+  const Bytes lossless_payload =
+      lossless_codec.compress({serialized.data(), serialized.size()});
+  w.put_blob({lossless_payload.data(), lossless_payload.size()});
+  return w.finish();
+}
+
+TEST(ThresholdPolicyTest, DefaultPolicyPinnedToPrePolicyV2Bytes) {
+  Rng rng(2);
+  const StateDict dict = mixed_dict(rng);
+  FedSzConfig config;
+  config.chunk_elements = 777;  // force multi-chunk tensors
+  const Bytes blob = FedSz{config}.compress(dict);
+  EXPECT_EQ(stream_version(blob), 2u);
+  EXPECT_EQ(blob, make_reference_v2_stream(dict, config));
+}
+
+TEST(ThresholdPolicyTest, ExplicitThresholdPolicyEmitsTheSameBytes) {
+  Rng rng(3);
+  const StateDict dict = mixed_dict(rng);
+  FedSzConfig implicit;
+  FedSzConfig explicit_config;
+  explicit_config.policy = make_threshold_policy(
+      {implicit.lossy_id, implicit.bound, implicit.lossy_threshold});
+  CompressionStats stats;
+  const Bytes a = FedSz{implicit}.compress(dict, &stats);
+  const Bytes b = FedSz{explicit_config}.compress(dict);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(stream_version(a), 2u);
+  EXPECT_EQ(stats.lossy_tensors, 2u);
+  EXPECT_EQ(stats.lossless_tensors, 3u);
+  EXPECT_EQ(stats.raw_tensors, 0u);
+  EXPECT_DOUBLE_EQ(stats.mean_bound_value, implicit.bound.value);
+}
+
+TEST(ThresholdPolicyTest, NonDefaultThresholdInPolicyUpgradesToV3) {
+  // A policy whose partition disagrees with the config's Algorithm-1 default
+  // cannot ride the uniform v2 container.
+  Rng rng(4);
+  const StateDict dict = mixed_dict(rng);
+  FedSzConfig config;
+  config.policy = make_threshold_policy({config.lossy_id, config.bound, 10});
+  CompressionStats stats;
+  const Bytes blob = FedSz{config}.compress(dict, &stats);
+  EXPECT_EQ(stream_version(blob), 3u);
+  EXPECT_EQ(stats.lossy_tensors, 3u);  // small.weight now routes lossy
+  const StateDict back =
+      FedSz{config}.decompress({blob.data(), blob.size()});
+  ASSERT_EQ(back.size(), dict.size());
+  EXPECT_TRUE(back.get("features.0.bias").equals(dict.get("features.0.bias")));
+}
+
+// ---- LayerwiseBoundPolicy ----
+
+TEST(LayerwisePolicyTest, FirstMatchingRuleDecidesTheBound) {
+  LayerwiseBoundConfig config;
+  config.rules = {{"classifier", lossy::ErrorBound::relative(1e-4)},
+                  {"features", lossy::ErrorBound::relative(1e-3)}};
+  config.fallback = lossy::ErrorBound::relative(1e-2);
+  const auto policy = make_layerwise_policy(config);
+  Rng rng(5);
+  const Tensor big = random_tensor({2000}, rng);
+  EXPECT_DOUBLE_EQ(policy->plan("classifier.weight", big, {}).bound.value,
+                   1e-4);
+  EXPECT_DOUBLE_EQ(policy->plan("features.9.weight", big, {}).bound.value,
+                   1e-3);
+  EXPECT_DOUBLE_EQ(policy->plan("head.weight", big, {}).bound.value, 1e-2);
+  EXPECT_EQ(policy->plan("features.bias", big, {}).path,
+            TensorPath::kLossless);
+}
+
+TEST(LayerwisePolicyTest, PerTensorBoundsHoldThroughTheV3Container) {
+  Rng rng(6);
+  const StateDict dict = mixed_dict(rng);
+  FedSzConfig config;
+  LayerwiseBoundConfig layerwise;
+  layerwise.rules = {{"classifier", lossy::ErrorBound::relative(1e-4)}};
+  layerwise.fallback = lossy::ErrorBound::relative(1e-2);
+  config.policy = make_layerwise_policy(layerwise);
+  const FedSz fedsz{config};
+  const Bytes blob = fedsz.compress(dict);
+  EXPECT_EQ(stream_version(blob), 3u);
+  const StateDict back = fedsz.decompress({blob.data(), blob.size()});
+  const double tight_eps = lossy::ErrorBound::relative(1e-4).absolute_for(
+      dict.get("classifier.weight").span());
+  const double loose_eps = lossy::ErrorBound::relative(1e-2).absolute_for(
+      dict.get("features.0.weight").span());
+  EXPECT_LE(max_error_vs(dict, back, "classifier.weight"),
+            tight_eps * (1 + 1e-5));
+  EXPECT_LE(max_error_vs(dict, back, "features.0.weight"),
+            loose_eps * (1 + 1e-5));
+  EXPECT_TRUE(back.get("bn.running_mean").equals(dict.get("bn.running_mean")));
+}
+
+TEST(LayerwisePolicyTest, EmptyPatternRejected) {
+  LayerwiseBoundConfig config;
+  config.rules = {{"", lossy::ErrorBound::relative(1e-3)}};
+  EXPECT_THROW(LayerwiseBoundPolicy{config}, InvalidArgument);
+}
+
+// ---- BoundSchedulePolicy ----
+
+TEST(SchedulePolicyTest, BoundDecaysGeometricallyAndClampsAtFloor) {
+  BoundScheduleConfig config;
+  config.initial = 1e-2;
+  config.factor = 0.5;
+  config.floor = 1e-3;
+  config.ceiling = 1e-1;
+  const BoundSchedulePolicy policy{config};
+  EXPECT_DOUBLE_EQ(policy.bound_at(0), 1e-2);
+  EXPECT_DOUBLE_EQ(policy.bound_at(1), 5e-3);
+  EXPECT_DOUBLE_EQ(policy.bound_at(2), 2.5e-3);
+  EXPECT_DOUBLE_EQ(policy.bound_at(10), 1e-3);  // clamped
+  EXPECT_DOUBLE_EQ(policy.bound_at(-3), 1e-2);  // negative rounds clamp to 0
+}
+
+TEST(SchedulePolicyTest, RoundContextChangesTheEmittedStream) {
+  Rng rng(7);
+  const StateDict dict = mixed_dict(rng);
+  FedSzConfig config;
+  BoundScheduleConfig schedule;
+  schedule.initial = 1e-1;
+  schedule.factor = 0.1;
+  schedule.floor = 1e-5;
+  config.policy = make_bound_schedule_policy(schedule);
+  const FedSz fedsz{config};
+  CompressionStats early, late;
+  EncodeContext ctx;
+  ctx.round = 0;
+  const Bytes blob0 = fedsz.compress(dict, &early, ctx);
+  ctx.round = 3;
+  const Bytes blob3 = fedsz.compress(dict, &late, ctx);
+  EXPECT_DOUBLE_EQ(early.mean_bound_value, 1e-1);
+  EXPECT_DOUBLE_EQ(late.mean_bound_value, 1e-4);
+  // A 1000x tighter bound must cost bytes.
+  EXPECT_GT(blob3.size(), blob0.size());
+  // Both streams still round-trip within their own bound.
+  const StateDict back = fedsz.decompress({blob3.data(), blob3.size()});
+  const double eps = lossy::ErrorBound::relative(1e-4).absolute_for(
+      dict.get("features.0.weight").span());
+  EXPECT_LE(max_error_vs(dict, back, "features.0.weight"),
+            eps * (1 + 1e-5));
+}
+
+TEST(SchedulePolicyTest, DegenerateConfigsRejected) {
+  BoundScheduleConfig bad_factor;
+  bad_factor.factor = 0.0;
+  EXPECT_THROW(BoundSchedulePolicy{bad_factor}, InvalidArgument);
+  BoundScheduleConfig bad_clamp;
+  bad_clamp.floor = 1e-2;
+  bad_clamp.ceiling = 1e-3;
+  EXPECT_THROW(BoundSchedulePolicy{bad_clamp}, InvalidArgument);
+}
+
+// ---- MagnitudeAwarePolicy ----
+
+TEST(MagnitudePolicyTest, SmallUpdatesGetTighterBounds) {
+  MagnitudeAwareConfig config;
+  config.base = 1e-2;
+  config.reference_rms = 1e-1;
+  const auto policy = make_magnitude_aware_policy(config);
+  Rng rng(8);
+  const Tensor quiet = random_tensor({2000}, rng, 1e-3f);
+  const Tensor loud = random_tensor({2000}, rng, 10.0f);
+  const TensorPlan quiet_plan = policy->plan("a.weight", quiet, {});
+  const TensorPlan loud_plan = policy->plan("b.weight", loud, {});
+  ASSERT_EQ(quiet_plan.path, TensorPath::kLossy);
+  ASSERT_EQ(loud_plan.path, TensorPath::kLossy);
+  EXPECT_LT(quiet_plan.bound.value, loud_plan.bound.value);
+  // Clamps: quiet is ~1e-2 of reference -> min_scale (0.1); loud is ~100x
+  // reference -> max_scale (10).
+  EXPECT_DOUBLE_EQ(quiet_plan.bound.value, config.base * config.min_scale);
+  EXPECT_DOUBLE_EQ(loud_plan.bound.value, config.base * config.max_scale);
+}
+
+TEST(MagnitudePolicyTest, AllZeroUpdateRoutesLossless) {
+  // A zero update reconstructs exactly and compresses to almost nothing on
+  // the lossless path; lossy (or raw) would only add overhead.
+  const auto policy = make_magnitude_aware_policy({});
+  const Tensor zero = Tensor::zeros({2000});
+  EXPECT_EQ(policy->plan("z.weight", zero, {}).path, TensorPath::kLossless);
+}
+
+// ---- raw path and the v3 container ----
+
+/// Routes every lossy-eligible tensor raw — exercises the raw path without
+/// depending on a built-in policy's heuristics.
+class RawEverythingPolicy final : public CompressionPolicy {
+ public:
+  std::string name() const override { return "raw-everything"; }
+  TensorPlan plan(const std::string& name, const Tensor& tensor,
+                  const EncodeContext&) const override {
+    if (is_lossy_entry(name, tensor.numel(), 1000)) return TensorPlan::raw();
+    return TensorPlan::lossless();
+  }
+};
+
+TEST(RawPathTest, RawTensorsRoundTripBitExact) {
+  Rng rng(9);
+  const StateDict dict = mixed_dict(rng);
+  FedSzConfig config;
+  config.policy = std::make_shared<RawEverythingPolicy>();
+  const FedSz fedsz{config};
+  CompressionStats stats;
+  const Bytes blob = fedsz.compress(dict, &stats);
+  EXPECT_EQ(stream_version(blob), 3u);
+  EXPECT_EQ(stats.raw_tensors, 2u);
+  EXPECT_EQ(stats.lossy_tensors, 0u);
+  EXPECT_EQ(stats.raw_original_bytes, (3000u + 2000u) * sizeof(float));
+  CompressionStats decode_stats;
+  const StateDict back =
+      fedsz.decompress({blob.data(), blob.size()}, &decode_stats);
+  ASSERT_EQ(back.size(), dict.size());
+  for (const auto& [name, tensor] : dict)
+    EXPECT_TRUE(back.get(name).equals(tensor)) << name;
+  EXPECT_EQ(decode_stats.raw_tensors, 2u);
+  EXPECT_EQ(decode_stats.lossless_tensors, 3u);
+}
+
+TEST(V3Container, ByteIdenticalAcrossParallelism) {
+  Rng rng(10);
+  const StateDict dict = mixed_dict(rng);
+  Bytes serial;
+  for (const std::size_t parallelism :
+       {std::size_t{1}, std::size_t{2}, std::size_t{4}, std::size_t{0}}) {
+    FedSzConfig config;
+    config.chunk_elements = 333;
+    config.parallelism = parallelism;
+    LayerwiseBoundConfig layerwise;
+    layerwise.rules = {{"classifier", lossy::ErrorBound::relative(1e-4)}};
+    config.policy = make_layerwise_policy(layerwise);
+    const Bytes blob = FedSz{config}.compress(dict);
+    EXPECT_EQ(stream_version(blob), 3u);
+    if (parallelism == 1)
+      serial = blob;
+    else
+      EXPECT_EQ(blob, serial) << "parallelism=" << parallelism;
+  }
+}
+
+TEST(V3Container, MixedCodecsInOneStreamRoundTrip) {
+  // A per-tensor policy can put SZ3 and SZx tensors in the same stream.
+  class MixedCodecPolicy final : public CompressionPolicy {
+   public:
+    std::string name() const override { return "mixed"; }
+    TensorPlan plan(const std::string& name, const Tensor& tensor,
+                    const EncodeContext&) const override {
+      if (!is_lossy_entry(name, tensor.numel(), 1000))
+        return TensorPlan::lossless();
+      const lossy::LossyId id = name.find("classifier") != std::string::npos
+                                    ? lossy::LossyId::kSzx
+                                    : lossy::LossyId::kSz3;
+      return TensorPlan::lossy(id, lossy::ErrorBound::relative(1e-3));
+    }
+  };
+  Rng rng(11);
+  const StateDict dict = mixed_dict(rng);
+  FedSzConfig config;
+  config.policy = std::make_shared<MixedCodecPolicy>();
+  const FedSz fedsz{config};
+  const Bytes blob = fedsz.compress(dict);
+  EXPECT_EQ(stream_version(blob), 3u);
+  const StateDict back = fedsz.decompress({blob.data(), blob.size()});
+  ASSERT_EQ(back.size(), dict.size());
+  for (const std::string name : {"features.0.weight", "classifier.weight"}) {
+    const double eps = lossy::ErrorBound::relative(1e-3).absolute_for(
+        dict.get(name).span());
+    EXPECT_LE(max_error_vs(dict, back, name), eps * (1 + 1e-5)) << name;
+  }
+}
+
+TEST(V3Container, UnknownPathByteThrows) {
+  FedSzConfig config;
+  ByteWriter w;
+  const char magic[4] = {'F', 'S', 'Z', '1'};
+  w.put_bytes({reinterpret_cast<const std::uint8_t*>(magic), 4});
+  w.put_u16(3);
+  w.put_u8(static_cast<std::uint8_t>(config.lossless_id));
+  w.put_varint(512);  // chunk_elements
+  w.put_u32(1);
+  w.put_string("t.weight");
+  w.put_u8(1);
+  w.put_varint(1200);
+  w.put_u8(0x7E);  // not a TensorPath
+  const Bytes blob = w.finish();
+  const FedSz fedsz{config};
+  EXPECT_THROW(fedsz.decompress({blob.data(), blob.size()}), CorruptStream);
+}
+
+TEST(V3Container, UnknownPerTensorCodecIdThrows) {
+  FedSzConfig config;
+  ByteWriter w;
+  const char magic[4] = {'F', 'S', 'Z', '1'};
+  w.put_bytes({reinterpret_cast<const std::uint8_t*>(magic), 4});
+  w.put_u16(3);
+  w.put_u8(static_cast<std::uint8_t>(config.lossless_id));
+  w.put_varint(512);
+  w.put_u32(1);
+  w.put_string("t.weight");
+  w.put_u8(1);
+  w.put_varint(1200);
+  w.put_u8(0);     // TensorPath::kLossy
+  w.put_u8(0x7F);  // unknown lossy codec id
+  const Bytes blob = w.finish();
+  const FedSz fedsz{config};
+  EXPECT_THROW(fedsz.decompress({blob.data(), blob.size()}), CorruptStream);
+}
+
+TEST(V3Container, TruncatedRawPayloadThrows) {
+  Rng rng(12);
+  const StateDict dict = mixed_dict(rng);
+  FedSzConfig config;
+  config.policy = std::make_shared<RawEverythingPolicy>();
+  const FedSz fedsz{config};
+  const Bytes blob = fedsz.compress(dict);
+  for (const double frac : {0.2, 0.6, 0.95}) {
+    Bytes cut(blob.begin(),
+              blob.begin() + static_cast<std::ptrdiff_t>(blob.size() * frac));
+    EXPECT_THROW(fedsz.decompress({cut.data(), cut.size()}), CorruptStream);
+  }
+}
+
+// ---- EncodeContext through a federation run ----
+
+TEST(PolicyFlIntegration, SchedulePolicyBoundsShowInPerClientTrace) {
+  auto [train, test] = data::make_dataset("cifar10");
+  nn::ModelConfig model;
+  model.arch = "alexnet";  // FC-dominated: tiny scale still has lossy tensors
+  model.scale = nn::ModelScale::kTiny;
+  FlRunConfig config;
+  config.clients = 4;
+  config.rounds = 3;
+  config.eval_limit = 16;
+  config.threads = 4;
+  config.client.batch_size = 16;
+  config.evaluate_every_round = false;
+  FedSzConfig codec_config;
+  BoundScheduleConfig schedule;
+  schedule.initial = 1e-1;
+  schedule.factor = 0.5;
+  schedule.floor = 1e-4;
+  codec_config.policy = make_bound_schedule_policy(schedule);
+  FlCoordinator coordinator(model, data::take(train, 128),
+                            data::take(test, 32), config,
+                            make_fedsz_codec(codec_config));
+  const FlRunResult result = coordinator.run();
+  ASSERT_EQ(result.rounds.size(), 3u);
+  for (int round = 0; round < 3; ++round) {
+    const RoundRecord& record = result.rounds[round];
+    ASSERT_EQ(record.clients.size(), 4u);
+    const double expected = 1e-1 * std::pow(0.5, round);
+    for (const ClientTraceEntry& entry : record.clients) {
+      EXPECT_EQ(entry.dispatch_round, round);
+      EXPECT_DOUBLE_EQ(entry.bound_value, expected)
+          << "round " << round << " client " << entry.client;
+      EXPECT_GT(entry.lossy_tensors, 0u);
+    }
+  }
+  // The tightening schedule must grow the per-round payload.
+  EXPECT_GT(result.rounds[2].bytes_sent, result.rounds[0].bytes_sent);
+}
+
+}  // namespace
+}  // namespace fedsz::core

@@ -9,16 +9,23 @@
 //   (for codecs that guarantee a pointwise bound), and
 //   the emitted bitstream does not depend on the parallelism setting.
 //
+// A second property covers the v3 per-tensor-plan container: a randomized
+// CompressionPolicy assigns every tensor its own path/codec/bound (mixed
+// codecs and bounds in one stream), and the same invariants must hold plan
+// by plan.
+//
 // Failures print the iteration index; the generator is seeded, so a failing
 // case replays deterministically.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <functional>
 #include <iterator>
 #include <string>
 #include <vector>
 
 #include "core/fedsz.hpp"
+#include "core/policy.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 
@@ -125,6 +132,115 @@ TEST(RoundTripProperty, RandomStateDictsSatisfyTheFedSzContract) {
 
     // The container must not depend on the worker count: re-encode with a
     // different parallelism setting and demand identical bytes.
+    if (iter % 4 == 0) {
+      FedSzConfig other = config;
+      other.parallelism = config.parallelism == 1 ? 4 : 1;
+      EXPECT_EQ(FedSz{other}.compress(dict), blob);
+    }
+  }
+}
+
+/// Deterministic per-tensor randomized planner: the plan is a pure function
+/// of (seed, tensor name), so the test can recompute any tensor's plan when
+/// checking its reconstruction. Mixes all four lossy codecs, absolute and
+/// relative bounds, and the raw path within a single stream.
+class RandomPlanPolicy final : public CompressionPolicy {
+ public:
+  explicit RandomPlanPolicy(std::uint64_t seed) : seed_(seed) {}
+  std::string name() const override { return "random-plan"; }
+
+  TensorPlan plan(const std::string& name, const Tensor&,
+                  const EncodeContext&) const override {
+    Rng rng(seed_ ^ std::hash<std::string>{}(name));
+    const double which = rng.uniform();
+    if (which < 0.2) return TensorPlan::lossless();
+    if (which < 0.35) return TensorPlan::raw();
+    const auto codecs = lossy::all_lossy_codecs();
+    const lossy::LossyId id = codecs[rng.uniform_index(codecs.size())]->id();
+    const double exponent = rng.uniform(-4.0, -1.0);
+    const lossy::ErrorBound bound =
+        rng.uniform() < 0.5
+            ? lossy::ErrorBound::relative(std::pow(10.0, exponent))
+            : lossy::ErrorBound::absolute(std::pow(10.0, exponent));
+    return TensorPlan::lossy(id, bound);
+  }
+
+ private:
+  std::uint64_t seed_;
+};
+
+TEST(RoundTripProperty, RandomPerTensorPlansSatisfyTheV3Contract) {
+  Rng rng(911);
+  const int iterations = 40;
+  for (int iter = 0; iter < iterations; ++iter) {
+    SCOPED_TRACE("iteration " + std::to_string(iter));
+    const auto policy =
+        std::make_shared<RandomPlanPolicy>(0xBEEFull * (iter + 1));
+    FedSzConfig config;
+    config.policy = policy;
+    config.chunk_elements = 1 + rng.uniform_index(700);
+    static const std::size_t kParallelism[] = {1, 2, 4};
+    config.parallelism = kParallelism[rng.uniform_index(3)];
+
+    StateDict dict;
+    const std::size_t entries = 1 + rng.uniform_index(6);
+    for (std::size_t i = 0; i < entries; ++i)
+      dict.set(random_name(rng, i), random_tensor(rng));
+
+    const FedSz fedsz{config};
+    CompressionStats stats;
+    const Bytes blob = fedsz.compress(dict, &stats);
+    CompressionStats decode_stats;
+    const StateDict back =
+        fedsz.decompress({blob.data(), blob.size()}, &decode_stats);
+
+    ASSERT_EQ(back.size(), dict.size());
+    std::size_t lossy_count = 0, lossless_count = 0, raw_count = 0;
+    for (const auto& [name, tensor] : dict) {
+      ASSERT_TRUE(back.contains(name)) << name;
+      const Tensor& decoded = back.get(name);
+      ASSERT_TRUE(decoded.same_shape(tensor)) << name;
+      const TensorPlan plan = policy->plan(name, tensor, {});
+      switch (plan.path) {
+        case TensorPath::kLossy: {
+          ++lossy_count;
+          if (lossy::lossy_codec(plan.lossy_id).strictly_bounded()) {
+            const double eps = plan.bound.absolute_for(tensor.span());
+            const double err =
+                stats::max_abs_error(tensor.span(), decoded.span());
+            EXPECT_LE(err, eps * (1 + 1e-5) + 1e-12) << name;
+          }
+          break;
+        }
+        case TensorPath::kLossless:
+          ++lossless_count;
+          EXPECT_TRUE(decoded.equals(tensor)) << name;
+          break;
+        case TensorPath::kRaw:
+          ++raw_count;
+          EXPECT_TRUE(decoded.equals(tensor)) << name;
+          break;
+      }
+    }
+    EXPECT_EQ(stats.lossy_tensors, lossy_count);
+    EXPECT_EQ(stats.lossless_tensors, lossless_count);
+    EXPECT_EQ(stats.raw_tensors, raw_count);
+    EXPECT_EQ(decode_stats.lossy_tensors, lossy_count);
+    EXPECT_EQ(decode_stats.raw_tensors, raw_count);
+    // The decoder recovers the byte accounting from the stream itself.
+    EXPECT_EQ(decode_stats.lossy_compressed_bytes,
+              stats.lossy_compressed_bytes);
+    EXPECT_EQ(decode_stats.lossless_compressed_bytes,
+              stats.lossless_compressed_bytes);
+    EXPECT_EQ(decode_stats.lossy_original_bytes, stats.lossy_original_bytes);
+    EXPECT_EQ(decode_stats.lossless_original_bytes,
+              stats.lossless_original_bytes);
+    EXPECT_EQ(stats.compressed_bytes, blob.size());
+    EXPECT_EQ(stats.lossy_original_bytes + stats.lossless_original_bytes +
+                  stats.raw_original_bytes,
+              stats.original_bytes);
+
+    // Plan-driven streams are as parallelism-independent as uniform ones.
     if (iter % 4 == 0) {
       FedSzConfig other = config;
       other.parallelism = config.parallelism == 1 ? 4 : 1;
