@@ -20,13 +20,14 @@ void print_series(const char* label, std::span<const float> values) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fedsz;
+  const benchx::BenchOptions options = benchx::parse_bench_options(argc, argv);
   std::printf(
       "Figure 2: FL model parameters vs scientific simulation data\n\n");
   const StateDict trained = benchx::trained_state_dict("alexnet", "cifar10");
   const auto weights = benchx::lossy_partition_values(trained);
-  const auto field = data::smooth_field(weights.size(), 17);
+  const auto field = data::smooth_field(weights.size(), options.seed_or(17));
 
   // Paper-style snippets: five 500-element windows of the weight stream and
   // smooth-field slices.

@@ -17,7 +17,8 @@ namespace {
 using namespace fedsz;
 
 core::FlRunResult run(const std::string& arch, const std::string& dataset,
-                      core::UpdateCodecPtr codec, int rounds) {
+                      core::UpdateCodecPtr codec, int rounds,
+                      const benchx::BenchOptions& options) {
   const data::SyntheticSpec spec = data::dataset_spec(dataset);
   nn::ModelConfig model;
   model.arch = arch;
@@ -27,14 +28,14 @@ core::FlRunResult run(const std::string& arch, const std::string& dataset,
   model.num_classes = spec.classes;
   auto [train, test] = data::make_dataset(dataset);
   core::FlRunConfig config;
-  config.clients = 4;
+  config.clients = options.clients > 0 ? options.clients : 4;
   config.rounds = rounds;
   config.eval_limit = 256;
-  config.threads = 4;
+  config.threads = options.threads_or(4);
   config.client.batch_size = 16;
   // AlexNet (no BatchNorm) diverges at the BN models' rate.
   config.client.sgd.learning_rate = arch == "alexnet" ? 0.02f : 0.05f;
-  config.seed = 42;
+  config.seed = options.seed_or(42);
   const std::size_t train_samples = spec.image_size >= 64 ? 256 : 512;
   core::FlCoordinator coordinator(model, data::take(train, train_samples),
                                   data::take(test, 256), config,
@@ -44,10 +45,12 @@ core::FlRunResult run(const std::string& arch, const std::string& dataset,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fedsz;
-  const bool full = benchx::full_grid();
-  const int rounds = full ? 10 : 6;
+  const benchx::BenchOptions options = benchx::parse_bench_options(argc, argv);
+  const bool full = benchx::full_grid() && !options.smoke;
+  const int rounds =
+      options.rounds > 0 ? options.rounds : (full ? 10 : (options.smoke ? 2 : 6));
   const std::vector<std::string> datasets =
       full ? data::dataset_names() : std::vector<std::string>{"cifar10"};
   std::printf(
@@ -78,7 +81,7 @@ int main() {
       benchx::Table table(std::move(headers));
       for (const Config& config : configs) {
         const core::FlRunResult result =
-            run(arch, dataset, config.codec, rounds);
+            run(arch, dataset, config.codec, rounds, options);
         std::vector<std::string> row{config.label};
         for (const core::RoundRecord& record : result.rounds)
           row.push_back(benchx::fmt(record.accuracy * 100.0, 1));

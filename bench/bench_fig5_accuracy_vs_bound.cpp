@@ -14,6 +14,7 @@
 #include <cstdio>
 
 #include "common.hpp"
+#include "core/codec_spec.hpp"
 #include "core/fl/coordinator.hpp"
 #include "data/synthetic.hpp"
 
@@ -43,17 +44,21 @@ SweepResult run_spec(const std::string& arch, const std::string& dataset,
   config.clients = options.clients > 0 ? options.clients : 4;
   config.rounds = options.rounds > 0 ? options.rounds : (options.smoke ? 2 : 4);
   config.eval_limit = options.smoke ? 96 : 192;
-  config.threads = 4;
+  config.threads = options.threads_or(4);
   config.client.batch_size = 16;
   // AlexNet (no BatchNorm) diverges at the BN models' rate.
   config.client.sgd.learning_rate = arch == "alexnet" ? 0.02f : 0.05f;
-  config.seed = 7;
+  config.seed = options.seed_or(7);
   config.evaluate_every_round = false;
   const std::size_t train_samples =
       options.smoke ? 128 : (data_spec.image_size >= 64 ? 256 : 512);
+  // Parse the spec once so comm-level keys (downlink=/downmode=/ef=) in a
+  // --codec override configure the run instead of being dropped.
+  const core::CodecSpec parsed = core::parse_codec_spec(spec);
+  config.apply_comm_spec(parsed);
   core::FlCoordinator coordinator(model, data::take(train, train_samples),
                                   data::take(test, options.smoke ? 128 : 256),
-                                  config, core::make_codec_by_name(spec));
+                                  config, core::make_codec(parsed));
   const core::FlRunResult result = coordinator.run();
   SweepResult out;
   out.accuracy = result.final_accuracy;

@@ -8,8 +8,9 @@
 #include "core/fl/coordinator.hpp"
 #include "data/synthetic.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fedsz;
+  const benchx::BenchOptions options = benchx::parse_bench_options(argc, argv);
   std::printf(
       "Figure 6: client runtime per epoch breakdown (FedSZ SZ2 @ REL 1e-2,\n"
       "tiny-scale models, 4 clients)\n\n");
@@ -28,10 +29,11 @@ int main() {
       model.num_classes = spec.classes;
       auto [train, test] = data::make_dataset(dataset);
       core::FlRunConfig config;
-      config.clients = 4;
-      config.rounds = 2;
+      config.clients = options.clients > 0 ? options.clients : 4;
+      config.rounds = options.rounds > 0 ? options.rounds : 2;
       config.eval_limit = 256;
-      config.threads = 4;
+      config.threads = options.threads_or(4);
+      config.seed = options.seed_or(config.seed);
       config.client.batch_size = 16;
       const std::size_t train_samples = spec.image_size >= 64 ? 256 : 512;
       core::FlCoordinator coordinator(model, data::take(train, train_samples),

@@ -1,9 +1,10 @@
 // Figure 8: communication time for transmitting the AlexNet update across
 // bandwidths 1..1000 Mbps for SZ2 / SZ3 / ZFP / original — the Eqn (1)
 // trade-off curve, including the crossover bandwidth beyond which
-// compression stops paying.
+// compression stops paying. A second panel prices the BIDIRECTIONAL round
+// trip (broadcast down + update up) for the same bandwidths.
 //
-//   bench_fig8_bandwidth [--json PATH] [--smoke]
+//   bench_fig8_bandwidth [--threads N] [--json PATH] [--smoke]
 #include <cstdio>
 
 #include "common.hpp"
@@ -31,6 +32,7 @@ int main(int argc, char** argv) {
        {lossy::LossyId::kSz2, lossy::LossyId::kSz3, lossy::LossyId::kZfp}) {
     core::FedSzConfig config;
     config.lossy_id = id;
+    config.parallelism = options.threads_or(1);
     const core::FedSz fedsz(config);
     Timer timer;
     const Bytes blob = fedsz.compress(trained);
@@ -48,6 +50,7 @@ int main(int argc, char** argv) {
   headers.push_back("best");
   benchx::Table table(std::move(headers));
   benchx::JsonValue sweep_json = benchx::JsonValue::array();
+  benchx::JsonValue bidi_sweep = benchx::JsonValue::array();
   std::vector<double> crossover(candidates.size(), -1.0);
   const double max_mbps = options.smoke ? 64.0 : 1024.0;
   for (double mbps = 1.0; mbps <= max_mbps; mbps *= 2.0) {
@@ -78,6 +81,36 @@ int main(int argc, char** argv) {
   }
   table.print();
   std::printf("\n");
+
+  // Bidirectional panel: the broadcast rides the same link before the
+  // uplink. Candidate 0 is SZ2; the last candidate is the raw transfer.
+  {
+    const Candidate& sz2 = candidates.front();
+    std::printf(
+        "Bidirectional round trip (broadcast down + update up, SZ2):\n");
+    benchx::Table bidi({"Bandwidth (Mbps)", "FedSZ both (s)",
+                        "raw down + FedSZ up (s)", "raw both (s)"});
+    benchx::JsonValue bidi_json = benchx::JsonValue::array();
+    for (double mbps = 1.0; mbps <= max_mbps; mbps *= 4.0) {
+      const net::SimulatedNetwork network({mbps, 0.0});
+      const double fedsz_leg =
+          sz2.codec_seconds + network.transfer_seconds(sz2.bytes);
+      const double raw_leg = network.transfer_seconds(raw_bytes);
+      bidi.add_row({benchx::fmt(mbps, 0), benchx::fmt(2.0 * fedsz_leg, 3),
+                    benchx::fmt(raw_leg + fedsz_leg, 3),
+                    benchx::fmt(2.0 * raw_leg, 3)});
+      bidi_json.push(benchx::JsonValue::object()
+                         .set("bandwidth_mbps", mbps)
+                         .set("fedsz_both_seconds", 2.0 * fedsz_leg)
+                         .set("raw_down_fedsz_up_seconds",
+                              raw_leg + fedsz_leg)
+                         .set("raw_both_seconds", 2.0 * raw_leg));
+    }
+    bidi.print();
+    std::printf("\n");
+    bidi_sweep = std::move(bidi_json);
+  }
+
   for (std::size_t i = 0; i + 1 < candidates.size(); ++i) {
     if (crossover[i] > 0.0)
       std::printf("%s stops paying off at ~%.0f Mbps\n",
@@ -94,7 +127,8 @@ int main(int argc, char** argv) {
     benchx::JsonValue json = benchx::JsonValue::object();
     json.set("bench", "fig8_bandwidth")
         .set("raw_bytes", raw_bytes)
-        .set("sweep", std::move(sweep_json));
+        .set("sweep", std::move(sweep_json))
+        .set("bidirectional_sweep", std::move(bidi_sweep));
     benchx::write_json(options.json_path, json);
     std::printf("\nwrote %s\n", options.json_path.c_str());
   }

@@ -35,7 +35,7 @@ struct RunTimes {
 
 RunTimes run_federation(std::size_t clients, std::size_t threads, int rounds,
                         double bandwidth_mbps, core::UpdateCodecPtr codec,
-                        std::size_t samples_per_client,
+                        std::size_t samples_per_client, std::uint64_t seed,
                         core::SchedulerPtr scheduler = nullptr,
                         bool two_tier = false) {
   nn::ModelConfig model;
@@ -47,6 +47,7 @@ RunTimes run_federation(std::size_t clients, std::size_t threads, int rounds,
   config.rounds = rounds;
   config.eval_limit = 64;
   config.threads = threads;
+  config.seed = seed;
   config.network.bandwidth_mbps = bandwidth_mbps;
   if (two_tier) {
     net::HeterogeneousNetworkConfig links;
@@ -85,7 +86,11 @@ RunTimes run_federation(std::size_t clients, std::size_t threads, int rounds,
 int main(int argc, char** argv) {
   using namespace fedsz;
   const benchx::BenchOptions options = benchx::parse_bench_options(argc, argv);
-  const std::size_t hw = std::max(2u, std::thread::hardware_concurrency());
+  // --threads caps the worker sweep (and makes runs reproducible across
+  // machines with different core counts).
+  const std::size_t hw = options.threads_or(
+      std::max<std::size_t>(2, std::thread::hardware_concurrency()));
+  const std::uint64_t seed = options.seed_or(42);
   const bool full = benchx::full_grid() && !options.smoke;
   const double mbps =
       options.bandwidth_mbps > 0.0 ? options.bandwidth_mbps : 10.0;
@@ -118,10 +123,10 @@ int main(int argc, char** argv) {
   for (std::size_t workers = 2; workers <= max_workers; workers *= 2) {
     const RunTimes fedsz_times =
         run_federation(workers, std::min(workers, hw), rounds, mbps,
-                       fedsz_codec(), weak_samples);
+                       fedsz_codec(), weak_samples, seed);
     const RunTimes raw_times =
         run_federation(workers, std::min(workers, hw), rounds, mbps,
-                       core::make_identity_codec(), weak_samples);
+                       core::make_identity_codec(), weak_samples, seed);
     weak.add_row({std::to_string(workers),
                   benchx::fmt(fedsz_times.round_seconds, 2),
                   benchx::fmt(raw_times.round_seconds, 2),
@@ -153,10 +158,10 @@ int main(int argc, char** argv) {
        workers *= 2) {
     const RunTimes fedsz_times =
         run_federation(population, std::min(workers, hw), rounds, mbps,
-                       fedsz_codec(), strong_samples);
+                       fedsz_codec(), strong_samples, seed);
     const RunTimes raw_times =
         run_federation(population, std::min(workers, hw), rounds, mbps,
-                       core::make_identity_codec(), strong_samples);
+                       core::make_identity_codec(), strong_samples, seed);
     if (fedsz_base == 0.0) fedsz_base = fedsz_times.round_seconds;
     strong.add_row({std::to_string(workers),
                     benchx::fmt(fedsz_times.round_seconds, 2),
@@ -193,7 +198,7 @@ int main(int argc, char** argv) {
   for (const Policy& policy : policies) {
     const RunTimes times =
         run_federation(population, std::min(max_workers, hw), rounds, mbps,
-                       fedsz_codec(), strong_samples, policy.scheduler,
+                       fedsz_codec(), strong_samples, seed, policy.scheduler,
                        /*two_tier=*/true);
     sched.add_row({policy.label, benchx::fmt(times.virtual_seconds, 2),
                    benchx::fmt_bytes(times.bytes_sent),

@@ -29,8 +29,9 @@ void compare(const char* label, fedsz::ByteSpan payload) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fedsz;
+  const benchx::BenchOptions options = benchx::parse_bench_options(argc, argv);
   std::printf(
       "Table II: Lossless compressor comparison for AlexNet metadata\n\n");
 
@@ -46,7 +47,7 @@ int main() {
   // (b) Pretrained-like metadata: biases/BN-stat floats drawn from the
   // concentrated near-zero distribution real pretrained networks exhibit —
   // the payload regime the paper's 1.16-1.25x ratios come from.
-  Rng rng(2024);
+  Rng rng(options.seed_or(2024));
   std::vector<float> values(32768);
   for (auto& v : values) v = static_cast<float>(rng.normal(0.0, 0.02));
   Bytes pretrained_like(values.size() * sizeof(float));

@@ -7,8 +7,9 @@
 #include "core/fedsz.hpp"
 #include "data/synthetic.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fedsz;
+  const benchx::BenchOptions options = benchx::parse_bench_options(argc, argv);
   std::printf(
       "Table V: FedSZ compression ratios (SZ2 + blosc-lz full pipeline)\n\n");
   const double bounds[] = {1e-1, 1e-2, 1e-3, 1e-4};
@@ -26,6 +27,7 @@ int main() {
       for (const double rel : bounds) {
         core::FedSzConfig config;
         config.bound = lossy::ErrorBound::relative(rel);
+        config.parallelism = options.threads_or(1);
         core::CompressionStats stats;
         core::FedSz(config).compress(trained, &stats);
         row.push_back(benchx::fmt(stats.ratio(), 2) + "x");

@@ -77,7 +77,8 @@ namespace {
   std::fprintf(
       code == 0 ? stdout : stderr,
       "usage: %s [--clients N] [--rounds N] [--bandwidth MBPS]\n"
-      "          [--codec SPEC] [--json PATH] [--smoke] [--help]\n"
+      "          [--codec SPEC] [--seed N] [--threads N] [--json PATH]\n"
+      "          [--smoke] [--help]\n"
       "SPEC is a codec spec string (core/codec_spec.hpp): a family\n"
       "(identity, fedsz, fedsz-parallel) optionally followed by options,\n"
       "e.g. fedsz:lossy=sz3,eb=rel:1e-3,lossless=zstd,policy=schedule.\n"
@@ -132,6 +133,25 @@ BenchOptions parse_bench_options(int argc, char** argv) {
       }
     } else if (flag == "--codec") {
       options.codec = value_of(i);
+    } else if (flag == "--seed") {
+      const char* value = value_of(i);
+      options.seed = std::strtoull(value, &end, 10);
+      // strtoull silently wraps a leading '-'; only bare digits are valid.
+      if (end == value || *end != '\0' || value[0] == '-') {
+        std::fprintf(stderr, "%s: --seed wants a non-negative integer\n",
+                     program);
+        usage_and_exit(program, 2);
+      }
+      options.has_seed = true;
+    } else if (flag == "--threads") {
+      const char* value = value_of(i);
+      options.threads = std::strtoul(value, &end, 10);
+      if (end == value || *end != '\0' || value[0] == '-' ||
+          options.threads == 0) {
+        std::fprintf(stderr, "%s: --threads wants a positive integer\n",
+                     program);
+        usage_and_exit(program, 2);
+      }
     } else if (flag == "--json") {
       options.json_path = value_of(i);
     } else {

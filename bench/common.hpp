@@ -47,6 +47,21 @@ struct BenchOptions {
   std::string codec;           // --codec SPEC (codec spec string)
   std::string json_path;       // --json PATH (write machine-readable output)
   bool smoke = false;          // --smoke
+  /// --seed N: RNG seed for runs/networks/data draws. has_seed
+  /// distinguishes an explicit 0 from "keep the bench's default".
+  std::uint64_t seed = 0;
+  bool has_seed = false;
+  std::size_t threads = 0;     // --threads N (0 = bench default)
+
+  /// The seed to use: the --seed value when given, else `fallback`.
+  std::uint64_t seed_or(std::uint64_t fallback) const {
+    return has_seed ? seed : fallback;
+  }
+  /// The thread count to use: the --threads value when given, else
+  /// `fallback`.
+  std::size_t threads_or(std::size_t fallback) const {
+    return threads > 0 ? threads : fallback;
+  }
 };
 
 /// Parse the shared flags. Prints usage and exits(2) on unknown flags or

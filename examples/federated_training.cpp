@@ -13,13 +13,15 @@
 #include <cstdlib>
 #include <string>
 
+#include "core/codec_spec.hpp"
 #include "core/fl/coordinator.hpp"
 #include "data/synthetic.hpp"
 
 namespace {
 
 fedsz::core::FlRunResult run(fedsz::core::UpdateCodecPtr codec, int rounds,
-                             std::size_t clients) {
+                             std::size_t clients,
+                             const fedsz::core::CodecSpec* comm = nullptr) {
   using namespace fedsz;
   nn::ModelConfig model;
   model.arch = "mobilenet_v2";
@@ -33,6 +35,8 @@ fedsz::core::FlRunResult run(fedsz::core::UpdateCodecPtr codec, int rounds,
   config.network.bandwidth_mbps = 10.0;
   config.client.batch_size = 16;
   config.client.sgd.learning_rate = 0.05f;
+  // Comm-level spec keys (downlink=/downmode=/ef=) configure the run.
+  if (comm) config.apply_comm_spec(*comm);
   core::FlCoordinator coordinator(model,
                                   data::take(train, clients * 128),
                                   data::take(test, 256), config,
@@ -58,8 +62,9 @@ int main(int argc, char** argv) {
 
   const core::FlRunResult raw = run(core::make_identity_codec(), rounds,
                                     clients);
+  const core::CodecSpec parsed = core::parse_codec_spec(spec);
   const core::FlRunResult compressed =
-      run(core::make_codec_by_name(spec), rounds, clients);
+      run(core::make_codec(parsed), rounds, clients, &parsed);
 
   std::printf("%-8s %-22s %-22s\n", "round", "uncompressed acc / comm",
               "compressed acc / comm");

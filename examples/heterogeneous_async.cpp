@@ -17,6 +17,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "core/codec_spec.hpp"
 #include "core/fl/coordinator.hpp"
 #include "core/fl/scheduler.hpp"
 #include "data/synthetic.hpp"
@@ -48,9 +49,12 @@ int main(int argc, char** argv) {
     links.two_tier_fast_mbps = 1000.0;
     links.two_tier_slow_mbps = 10.0;
     config.heterogeneous = links;
+    // Comm-level spec keys (downlink=/downmode=/ef=) configure the run.
+    const core::CodecSpec parsed = core::parse_codec_spec(spec);
+    config.apply_comm_spec(parsed);
     core::FlCoordinator coordinator(model, data::take(train, clients * 16),
                                     data::take(test, 128), config,
-                                    core::make_codec_by_name(spec),
+                                    core::make_codec(parsed),
                                     std::move(scheduler));
     return coordinator.run();
   };

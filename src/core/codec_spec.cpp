@@ -117,6 +117,10 @@ lossy::ErrorBound parse_bound(const std::string& text) {
   return bound;
 }
 
+bool is_comm_key(const std::string& key) {
+  return key == "downlink" || key == "downmode" || key == "ef";
+}
+
 void apply_key(CodecSpec& spec, const std::string& key,
                const std::string& value) {
   if (key == "lossy") {
@@ -166,33 +170,46 @@ void apply_key(CodecSpec& spec, const std::string& key,
   } else if (key == "threshold") {
     spec.lossy_threshold =
         parse_count(value, "threshold", /*allow_suffix=*/false);
+  } else if (key == "downlink") {
+    std::string inner = value;
+    for (char& c : inner)
+      if (c == ';') c = ',';
+    CodecSpec parsed;
+    try {
+      parsed = parse_codec_spec(inner);
+    } catch (const InvalidArgument& error) {
+      bad_spec(std::string("'downlink': ") + error.what());
+    }
+    if (!parsed.downlink.empty() || parsed.error_feedback ||
+        parsed.downlink_delta)
+      bad_spec("'downlink' spec cannot itself carry downlink/downmode/ef");
+    spec.downlink = format_codec_spec(parsed);
+  } else if (key == "downmode") {
+    if (value == "full")
+      spec.downlink_delta = false;
+    else if (value == "delta")
+      spec.downlink_delta = true;
+    else
+      bad_spec("'downmode' must be full or delta, got '" + value + "'");
+  } else if (key == "ef") {
+    if (value == "on")
+      spec.error_feedback = true;
+    else if (value == "off")
+      spec.error_feedback = false;
+    else
+      bad_spec("'ef' must be on or off, got '" + value + "'");
   } else {
     bad_spec("unknown key '" + key +
-             "' (expected lossy, lossless, eb, policy, chunk, threads or "
-             "threshold)");
+             "' (expected lossy, lossless, eb, policy, chunk, threads, "
+             "threshold, downlink, downmode or ef)");
   }
 }
 
-}  // namespace
-
-CodecSpec parse_codec_spec(const std::string& spec, CodecSpec defaults) {
-  const std::size_t colon = spec.find(':');
-  const std::string family = spec.substr(0, colon);
-  CodecSpec out = defaults;
-  if (family == "identity" || family == "uncompressed") {
-    if (colon != std::string::npos)
-      bad_spec("'" + family + "' takes no options");
-    out.identity = true;
-    return out;
-  }
-  if (family != "fedsz" && family != "fedsz-parallel")
-    bad_spec("unknown family '" + family +
-             "' (expected fedsz, fedsz-parallel, identity or uncompressed)");
-  out.identity = false;
-  if (family == "fedsz-parallel") out.threads = 0;
-  if (colon == std::string::npos) return out;
-
-  const std::string body = spec.substr(colon + 1);
+/// Parse the ','-separated kv list after the family. `comm_only` (identity
+/// family) restricts the keys to the comm-level ones — an uncompressed
+/// uplink can still configure the broadcast and error feedback.
+void parse_options(CodecSpec& out, const std::string& body,
+                   const std::string& family, bool comm_only) {
   if (body.empty()) bad_spec("empty option list after ':'");
   std::size_t pos = 0;
   while (pos <= body.size()) {
@@ -204,10 +221,34 @@ CodecSpec parse_codec_spec(const std::string& spec, CodecSpec defaults) {
     const std::size_t eq = pair.find('=');
     if (pair.empty() || eq == std::string::npos || eq == 0)
       bad_spec("expected key=value, got '" + pair + "'");
-    apply_key(out, pair.substr(0, eq), pair.substr(eq + 1));
+    const std::string key = pair.substr(0, eq);
+    if (comm_only && !is_comm_key(key))
+      bad_spec("'" + family + "' takes only downlink, downmode or ef options");
+    apply_key(out, key, pair.substr(eq + 1));
     if (comma == std::string::npos) break;
     pos = comma + 1;
   }
+}
+
+}  // namespace
+
+CodecSpec parse_codec_spec(const std::string& spec, CodecSpec defaults) {
+  const std::size_t colon = spec.find(':');
+  const std::string family = spec.substr(0, colon);
+  CodecSpec out = defaults;
+  if (family == "identity" || family == "uncompressed") {
+    out.identity = true;
+    if (colon != std::string::npos)
+      parse_options(out, spec.substr(colon + 1), family, /*comm_only=*/true);
+    return out;
+  }
+  if (family != "fedsz" && family != "fedsz-parallel")
+    bad_spec("unknown family '" + family +
+             "' (expected fedsz, fedsz-parallel, identity or uncompressed)");
+  out.identity = false;
+  if (family == "fedsz-parallel") out.threads = 0;
+  if (colon == std::string::npos) return out;
+  parse_options(out, spec.substr(colon + 1), family, /*comm_only=*/false);
   return out;
 }
 
@@ -215,8 +256,34 @@ CodecSpec parse_codec_spec(const std::string& spec) {
   return parse_codec_spec(spec, CodecSpec{});
 }
 
+namespace {
+
+/// The ",downlink=...,downmode=...,ef=..." suffix (empty when every comm
+/// field is at its default), shared by the identity and fedsz renderings.
+std::string comm_suffix(const CodecSpec& spec) {
+  std::string out;
+  if (!spec.downlink.empty()) {
+    // The stored downlink spec is already canonical (apply_key normalizes
+    // it); only the separators swap so the composite string still splits
+    // on ',' unambiguously. No re-parse: a formatter must not throw on a
+    // hand-set (possibly bogus) string — parse/validate report that.
+    std::string inner = spec.downlink;
+    for (char& c : inner)
+      if (c == ',') c = ';';
+    out += ",downlink=" + inner;
+  }
+  if (spec.downlink_delta) out += ",downmode=delta";
+  if (spec.error_feedback) out += ",ef=on";
+  return out;
+}
+
+}  // namespace
+
 std::string format_codec_spec(const CodecSpec& spec) {
-  if (spec.identity) return "identity";
+  if (spec.identity) {
+    const std::string comm = comm_suffix(spec);
+    return comm.empty() ? "identity" : "identity:" + comm.substr(1);
+  }
   std::string out = "fedsz:lossy=";
   out += lossy::lossy_codec(spec.lossy_id).name();
   out += ",eb=";
@@ -230,6 +297,7 @@ std::string format_codec_spec(const CodecSpec& spec) {
   out += ",chunk=" + std::to_string(spec.chunk_elements);
   out += ",threads=" + std::to_string(spec.threads);
   out += ",threshold=" + std::to_string(spec.lossy_threshold);
+  out += comm_suffix(spec);
   return out;
 }
 

@@ -12,11 +12,23 @@
 //               chunk=N[k|m]                 (elements per lossy chunk)
 //               threads=N                    (0 = one per hardware thread)
 //               threshold=N                  (Algorithm 1 lossy threshold)
+//               downlink=SPEC                (server->client broadcast codec;
+//                                             inner options separate with ';'
+//                                             since ',' ends the outer pair)
+//               downmode=full|delta          (broadcast whole model or the
+//                                             per-client acknowledged delta)
+//               ef=on|off                    (per-client uplink error
+//                                             feedback)
+//
+// The identity family takes ONLY the three comm keys (an uncompressed
+// uplink can still configure the broadcast and error feedback), e.g.
+// "identity:downlink=fedsz:eb=rel:1e-3,ef=on".
 //
 // Examples:
 //   "fedsz"
 //   "fedsz:eb=rel:1e-3"
 //   "fedsz:lossy=sz3,eb=rel:1e-3,lossless=zstd,policy=schedule,chunk=64k"
+//   "fedsz:eb=rel:1e-2,downlink=fedsz:eb=rel:1e-3;lossless=zstd,ef=on"
 //   "identity"
 //
 // parse_codec_spec() -> CodecSpec (throws InvalidArgument listing the valid
@@ -49,6 +61,16 @@ struct CodecSpec {
   /// Chunk-pipeline workers; 0 = one per hardware thread.
   std::size_t threads = 1;
   std::size_t lossy_threshold = 1000;
+  /// Downlink broadcast codec spec in canonical (comma-separated) form —
+  /// directly parseable by parse_codec_spec/make_codec. Empty means the
+  /// broadcast is free and lossless (the uplink-only comm model). In the
+  /// composite string the inner options are ';'-separated; parse/format
+  /// translate.
+  std::string downlink;
+  /// Broadcast mode when `downlink` is set (downmode=delta).
+  bool downlink_delta = false;
+  /// Per-client uplink error feedback (ef=on).
+  bool error_feedback = false;
 };
 
 /// Parse `spec` against library defaults. Throws InvalidArgument on

@@ -1,0 +1,30 @@
+#include "core/error_feedback.hpp"
+
+#include <cmath>
+
+namespace fedsz::core {
+
+StateDict ErrorFeedbackAccumulator::apply(const StateDict& update) const {
+  if (residual_.empty()) return update;
+  StateDict compensated = update;
+  compensated.add_scaled(residual_.reordered_like(update), 1.0f);
+  return compensated;
+}
+
+void ErrorFeedbackAccumulator::absorb(const StateDict& compensated,
+                                      const StateDict& reconstruction) {
+  residual_ = compensated;
+  residual_.add_scaled(reconstruction.reordered_like(compensated), -1.0f);
+}
+
+double ErrorFeedbackAccumulator::residual_norm() const {
+  double sum = 0.0;
+  for (const auto& [name, tensor] : residual_) {
+    (void)name;
+    for (const float v : tensor.span())
+      sum += static_cast<double>(v) * static_cast<double>(v);
+  }
+  return std::sqrt(sum);
+}
+
+}  // namespace fedsz::core

@@ -1,0 +1,50 @@
+// Per-client error feedback for repeated lossy uplink transmission. A lossy
+// codec biases every round's decoded update by its reconstruction error;
+// over many rounds those errors compound instead of averaging out (the
+// failure mode behind FedSparQ's and Convert-Compress-Correct's error
+// feedback). The fix is the standard accumulator: before encoding, fold the
+// residual carried over from the previous round into the update
+// (`apply`); after encoding, store what the server will NOT see —
+// compensated update minus the encoder's reconstruction — as the next
+// round's residual (`absorb`). The invariant (exact up to float rounding):
+//
+//   sum_t true_update_t  ==  sum_t decoded_update_t  +  final residual
+//
+// so nothing is ever silently dropped — error the codec introduces in round
+// t is re-sent in round t+1. With a lossless codec the reconstruction is
+// exact and the residual stays zero.
+//
+// One accumulator per client; the coordinator guarantees a client has at
+// most one update in flight, so no locking is needed.
+#pragma once
+
+#include "tensor/state_dict.hpp"
+
+namespace fedsz::core {
+
+class ErrorFeedbackAccumulator {
+ public:
+  /// `update` plus the carried residual. Before the first absorb the
+  /// residual is zero and `update` is returned unchanged; afterwards the
+  /// update must keep the residual's structure (matched by name) or
+  /// InvalidArgument is thrown.
+  StateDict apply(const StateDict& update) const;
+
+  /// Store the new residual: `compensated` minus `reconstruction` (what the
+  /// encoder's lossy pass dropped). Entries are matched by name, so the
+  /// reconstruction may order its entries differently (FedSZ's decoder
+  /// re-groups by path). Throws InvalidArgument on a structure mismatch.
+  void absorb(const StateDict& compensated, const StateDict& reconstruction);
+
+  /// L2 norm over every element of the carried residual (0 before the
+  /// first absorb).
+  double residual_norm() const;
+
+  const StateDict& residual() const { return residual_; }
+  bool empty() const { return residual_.empty(); }
+
+ private:
+  StateDict residual_;
+};
+
+}  // namespace fedsz::core

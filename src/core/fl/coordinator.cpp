@@ -6,11 +6,19 @@
 #include <future>
 #include <memory>
 
+#include "core/codec_spec.hpp"
 #include "net/virtual_clock.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace fedsz::core {
+
+void FlRunConfig::apply_comm_spec(const CodecSpec& spec) {
+  downlink_spec = spec.downlink;
+  downlink_mode =
+      spec.downlink_delta ? DownlinkMode::kDelta : DownlinkMode::kFull;
+  error_feedback = spec.error_feedback;
+}
 
 void FlRunConfig::validate() const {
   if (clients == 0)
@@ -27,6 +35,19 @@ void FlRunConfig::validate() const {
     throw InvalidArgument("FlRunConfig: local_epochs must be >= 1");
   if (client.batch_size == 0)
     throw InvalidArgument("FlRunConfig: batch_size must be >= 1");
+  if (!downlink_spec.empty()) {
+    // Malformed specs throw InvalidArgument from the parser itself.
+    const CodecSpec spec = parse_codec_spec(downlink_spec);
+    if (!spec.downlink.empty() || spec.downlink_delta || spec.error_feedback)
+      throw InvalidArgument(
+          "FlRunConfig: downlink_spec cannot itself carry "
+          "downlink/downmode/ef keys");
+  } else if (downlink_mode == DownlinkMode::kDelta) {
+    // Catch the downmode=delta-without-downlink= mistake loudly instead of
+    // silently running with a free lossless broadcast.
+    throw InvalidArgument(
+        "FlRunConfig: downlink_mode=kDelta requires a downlink_spec");
+  }
 }
 
 namespace {
@@ -57,6 +78,12 @@ FlCoordinator::FlCoordinator(const nn::ModelConfig& model_config,
       server_(model_config),
       network_(build_network(config_)) {
   if (!codec_) throw InvalidArgument("FlCoordinator: null update codec");
+  if (!config_.downlink_spec.empty())
+    downlink_ = std::make_unique<DownlinkChannel>(
+        DownlinkConfig{config_.downlink_mode,
+                       make_codec(parse_codec_spec(config_.downlink_spec))},
+        config_.clients);
+  feedback_.resize(config_.clients);
   Rng rng(config_.seed);
   const auto shards = data::partition_iid(train->size(), config_.clients, rng);
   Rng speed_rng(config_.seed ^ 0xC0DEC10Cull);
@@ -84,14 +111,17 @@ FlRunResult FlCoordinator::run() {
   FlRunResult result;
   result.scheduler = scheduler_->name();
 
-  // What a dispatched client hands back once its real work (local SGD +
-  // update encoding on the pool) completes.
+  // What a dispatched client hands back once its real work (broadcast
+  // decode + local SGD + update encoding on the pool) completes.
   struct WorkerOut {
     Bytes payload;
     std::size_t samples = 0;
     CompressionStats stats;  // the encode pass (bytes, plan census, timing)
     double train_seconds = 0.0;
     double mean_loss = 0.0;
+    double downlink_decode_seconds = 0.0;  // per-client broadcast decode
+    double ef_residual_norm = 0.0;         // after this update's encode
+    double ef_decode_seconds = 0.0;  // decoding own payload for the residual
   };
   // One slot per client; a client has at most one update in flight.
   struct InFlight {
@@ -100,6 +130,12 @@ FlRunResult FlCoordinator::run() {
     int dispatch_round = 0;
     double dispatch_seconds = 0.0;
     double transfer_seconds = 0.0;
+    // Downlink leg (zeros when the broadcast is free/lossless).
+    std::size_t downlink_bytes = 0;
+    std::size_t downlink_raw_bytes = 0;
+    double downlink_seconds = 0.0;
+    double downlink_encode_seconds = 0.0;
+    double downlink_decode_seconds = 0.0;  // kFull shared decode
   };
 
   net::EventQueue queue;
@@ -111,44 +147,159 @@ FlRunResult FlCoordinator::run() {
   std::size_t live_decoded = 0;
   bool stopped = false;
   RoundRecord record;
-  ThreadPool pool(std::max<std::size_t>(1, config_.threads));
 
   using Snapshot = std::shared_ptr<const StateDict>;
-  std::function<void(std::size_t, int, Snapshot)> dispatch;
+  using PayloadPtr = std::shared_ptr<const Bytes>;
+
+  // The client's real work, run on the pool: decode the broadcast payload
+  // when one was delivered (per-client path), train on the resulting model,
+  // fold in the error-feedback residual, encode, and — with EF on — absorb
+  // what the encoder dropped (reconstruction read back from the payload)
+  // into the residual carried to the next round. Per-client state
+  // (feedback_[i], downlink session i) is safe without locks because a
+  // client never has two tasks alive at once.
+  // EF against a lossless uplink is provably a zero residual forever; skip
+  // the per-round payload decode and residual passes outright.
+  const bool ef_on = config_.error_feedback && !codec_->lossless();
+  auto client_work = [this, ef_on](std::size_t i, int round, Snapshot model,
+                                   PayloadPtr broadcast) -> WorkerOut {
+    WorkerOut out;
+    StateDict decoded_model;
+    const StateDict* train_on = model.get();
+    if (broadcast) {
+      CompressionStats downlink_stats;
+      const ByteSpan span{broadcast->data(), broadcast->size()};
+      decoded_model = downlink_->mode() == DownlinkMode::kDelta
+                          ? downlink_->receive(i, span, &downlink_stats)
+                          : downlink_->decode_broadcast(span, &downlink_stats);
+      out.downlink_decode_seconds = downlink_stats.decompress_seconds;
+      train_on = &decoded_model;
+    }
+    ClientRoundResult round_result = clients_[i]->run_round(*train_on);
+    EncodeContext ctx;
+    ctx.round = round;
+    ctx.client_id = static_cast<int>(i);
+    ctx.steps = round_result.steps;
+    StateDict update = std::move(round_result.update);
+    if (ef_on) update = feedback_[i].apply(update);
+    UpdateCodec::Encoded encoded = codec_->encode(update, ctx);
+    if (ef_on) {
+      // The server will decode exactly this; what it misses is carried over.
+      CompressionStats ef_stats;
+      const StateDict reconstruction = codec_->decode(
+          {encoded.payload.data(), encoded.payload.size()}, &ef_stats);
+      feedback_[i].absorb(update, reconstruction);
+      out.ef_residual_norm = feedback_[i].residual_norm();
+      out.ef_decode_seconds = ef_stats.decompress_seconds;
+    }
+    out.samples = round_result.samples;
+    out.stats = encoded.stats;
+    out.train_seconds = round_result.train_seconds;
+    out.mean_loss = round_result.mean_loss;
+    out.payload = std::move(encoded.payload);
+    return out;
+  };
+
+  // Declared after client_work (and the flight/record state above) so the
+  // pool destructor can still drain in-flight tasks that reference them.
+  ThreadPool pool(std::max<std::size_t>(1, config_.threads));
+  std::function<void(std::size_t, int, Snapshot, PayloadPtr)> dispatch;
+  std::function<void(std::size_t, int, Snapshot)> send_to;
+  std::function<void(const std::vector<std::size_t>&, int, Snapshot)>
+      broadcast_to;
   std::function<void(std::size_t)> on_upload;
   std::function<void(std::size_t)> on_arrival;
   std::function<void(bool)> open_round;
 
-  // Hand the client a snapshot of the global (barrier cohorts share one
-  // copy; async policies mutate the global mid-flight, so redispatches take
-  // their own), start its real work on the pool, and mark the moment its
-  // virtual compute finishes. The EncodeContext pins the dispatch round and
-  // client id so round-/client-aware compression policies resolve their
-  // per-update plans.
-  dispatch = [&](std::size_t i, int round, Snapshot snapshot) {
+  // Start a client's real work on the pool and its virtual compute timer.
+  // `model` is the state it trains on (the global snapshot, or the shared
+  // kFull broadcast reconstruction); `broadcast` (per-client downlink path)
+  // makes the worker decode its own payload first. The EncodeContext pins
+  // the dispatch round and client id so round-/client-aware compression
+  // policies resolve their per-update plans.
+  dispatch = [&](std::size_t i, int round, Snapshot model,
+                 PayloadPtr broadcast) {
     InFlight& flight = flights[i];
     flight.dispatch_round = round;
     flight.dispatch_seconds = queue.now();
-    FlClient* client = clients_[i].get();
-    const UpdateCodec* codec = codec_.get();
-    flight.future =
-        pool.submit([client, codec, snapshot, i, round]() -> WorkerOut {
-          ClientRoundResult round_result = client->run_round(*snapshot);
-          EncodeContext ctx;
-          ctx.round = round;
-          ctx.client_id = static_cast<int>(i);
-          ctx.steps = round_result.steps;
-          UpdateCodec::Encoded encoded =
-              codec->encode(round_result.update, ctx);
-          WorkerOut out;
-          out.samples = round_result.samples;
-          out.stats = encoded.stats;
-          out.train_seconds = round_result.train_seconds;
-          out.mean_loss = round_result.mean_loss;
-          out.payload = std::move(encoded.payload);
-          return out;
-        });
+    flight.future = pool.submit([&client_work, i, round, model, broadcast] {
+      return client_work(i, round, std::move(model), std::move(broadcast));
+    });
     queue.schedule_after(compute_seconds_[i], [&, i] { on_upload(i); });
+  };
+
+  // Per-client downlink: encode this client's broadcast on the pool (the
+  // whole global, or its session delta in kDelta mode), then charge the
+  // payload against the client's own link before its compute may start.
+  // Used for kDelta cohorts and for continuous-scheduler redispatches,
+  // where each client leaves with a different global.
+  send_to = [&](std::size_t i, int round, Snapshot snapshot) {
+    const bool delta = downlink_->mode() == DownlinkMode::kDelta;
+    auto pending = std::make_shared<std::future<BroadcastPayload>>(
+        pool.submit([this, delta, i, round, snapshot] {
+          return delta ? downlink_->encode_for_client(i, *snapshot, round)
+                       : downlink_->encode_broadcast(*snapshot, round);
+        }));
+    queue.schedule_after(0.0, [&, i, round, pending] {
+      BroadcastPayload broadcast = pending->get();
+      InFlight& flight = flights[i];
+      auto payload = std::make_shared<const Bytes>(
+          std::move(broadcast.payload));
+      flight.downlink_bytes = payload->size();
+      flight.downlink_raw_bytes = broadcast.stats.original_bytes;
+      flight.downlink_encode_seconds = broadcast.stats.compress_seconds;
+      flight.downlink_decode_seconds = 0.0;
+      flight.downlink_seconds =
+          network_.link(i).transfer_seconds(payload->size());
+      queue.schedule_after(flight.downlink_seconds, [&, i, round, payload] {
+        dispatch(i, round, nullptr, payload);
+      });
+    });
+  };
+
+  // kFull cohort broadcast: encode the global ONCE on the pool (overlapped
+  // with the event pump), decode it once — every client reconstructs the
+  // same model — and charge the same payload bytes against each client's
+  // own link. The hot path never serializes per client.
+  broadcast_to = [&](const std::vector<std::size_t>& cohort, int round,
+                     Snapshot snapshot) {
+    struct BroadcastReady {
+      Bytes payload;
+      CompressionStats stats;
+      Snapshot model;  // the shared reconstruction clients train on
+      double decode_seconds = 0.0;
+    };
+    auto pending = std::make_shared<std::future<BroadcastReady>>(
+        pool.submit([this, round, snapshot]() -> BroadcastReady {
+          BroadcastReady ready;
+          BroadcastPayload broadcast =
+              downlink_->encode_broadcast(*snapshot, round);
+          CompressionStats decode_stats;
+          ready.model = std::make_shared<const StateDict>(
+              downlink_->decode_broadcast(
+                  {broadcast.payload.data(), broadcast.payload.size()},
+                  &decode_stats));
+          ready.payload = std::move(broadcast.payload);
+          ready.stats = broadcast.stats;
+          ready.decode_seconds = decode_stats.decompress_seconds;
+          return ready;
+        }));
+    queue.schedule_after(0.0, [&, cohort, round, pending] {
+      const BroadcastReady ready = pending->get();
+      for (const std::size_t i : cohort) {
+        InFlight& flight = flights[i];
+        flight.downlink_bytes = ready.payload.size();
+        flight.downlink_raw_bytes = ready.stats.original_bytes;
+        flight.downlink_encode_seconds = ready.stats.compress_seconds;
+        flight.downlink_decode_seconds = ready.decode_seconds;
+        flight.downlink_seconds =
+            network_.link(i).transfer_seconds(ready.payload.size());
+        queue.schedule_after(flight.downlink_seconds,
+                             [&, i, round, model = ready.model] {
+                               dispatch(i, round, model, nullptr);
+                             });
+      }
+    });
   };
 
   // Virtual compute done: collect the encoded update (waiting for the real
@@ -176,7 +327,15 @@ FlRunResult FlCoordinator::run() {
     goal = scheduler_->aggregation_goal(cohort.size());
     const auto snapshot =
         std::make_shared<const StateDict>(server_.global_state());
-    for (const std::size_t i : cohort) dispatch(i, completed, snapshot);
+    if (!downlink_) {
+      // Free lossless broadcast: clients start on the exact global at once.
+      for (const std::size_t i : cohort) dispatch(i, completed, snapshot,
+                                                  nullptr);
+    } else if (downlink_->mode() == DownlinkMode::kFull) {
+      broadcast_to(cohort, completed, snapshot);
+    } else {
+      for (const std::size_t i : cohort) send_to(i, completed, snapshot);
+    }
   };
 
   // An update reached the server: decode it (serially — at most one decoded
@@ -213,6 +372,9 @@ FlRunResult FlCoordinator::run() {
     trace.lossy_tensors = out.stats.lossy_tensors;
     trace.lossless_tensors = out.stats.lossless_tensors;
     trace.raw_tensors = out.stats.raw_tensors;
+    trace.downlink_bytes = flight.downlink_bytes;
+    trace.downlink_seconds = flight.downlink_seconds;
+    trace.ef_residual_norm = out.ef_residual_norm;
     trace.decision = net::evaluate_compression(
         out.stats.original_bytes, out.payload.size(),
         out.stats.compress_seconds, decode_stats.decompress_seconds,
@@ -224,6 +386,14 @@ FlRunResult FlCoordinator::run() {
     record.mean_loss += out.mean_loss;
     record.bytes_sent += out.payload.size();
     record.raw_bytes += out.stats.original_bytes;
+    record.downlink_bytes += flight.downlink_bytes;
+    record.downlink_raw_bytes += flight.downlink_raw_bytes;
+    record.downlink_seconds += flight.downlink_seconds;
+    record.downlink_encode_seconds += flight.downlink_encode_seconds;
+    record.downlink_decode_seconds +=
+        flight.downlink_decode_seconds + out.downlink_decode_seconds;
+    record.mean_ef_residual_norm += out.ef_residual_norm;
+    record.ef_decode_seconds += out.ef_decode_seconds;
     record.participants += 1;
     record.clients.push_back(std::move(trace));
 
@@ -235,6 +405,11 @@ FlRunResult FlCoordinator::run() {
       record.decompress_seconds *= inv;
       record.comm_seconds *= inv;
       record.mean_loss *= inv;
+      record.downlink_seconds *= inv;
+      record.downlink_encode_seconds *= inv;
+      record.downlink_decode_seconds *= inv;
+      record.mean_ef_residual_norm *= inv;
+      record.ef_decode_seconds *= inv;
       record.virtual_seconds = queue.now();
       if (config_.evaluate_every_round || completed + 1 == config_.rounds) {
         Timer eval_timer;
@@ -248,9 +423,17 @@ FlRunResult FlCoordinator::run() {
       else
         open_round(false);
     }
-    if (!stopped && scheduler_->continuous())
-      dispatch(i, completed,
-               std::make_shared<const StateDict>(server_.global_state()));
+    if (!stopped && scheduler_->continuous()) {
+      const auto snapshot =
+          std::make_shared<const StateDict>(server_.global_state());
+      if (downlink_) {
+        // Continuous policies leave with the freshest global, so every
+        // redispatch is its own (per-client) broadcast.
+        send_to(i, completed, snapshot);
+      } else {
+        dispatch(i, completed, snapshot, nullptr);
+      }
+    }
   };
 
   open_round(true);

@@ -19,7 +19,9 @@
 
 #include <optional>
 
+#include "core/error_feedback.hpp"
 #include "core/fl/client.hpp"
+#include "core/fl/downlink.hpp"
 #include "core/fl/scheduler.hpp"
 #include "core/fl/server.hpp"
 #include "core/update_codec.hpp"
@@ -27,6 +29,8 @@
 #include "net/heterogeneous.hpp"
 
 namespace fedsz::core {
+
+struct CodecSpec;
 
 struct FlRunConfig {
   std::size_t clients = 4;
@@ -46,8 +50,26 @@ struct FlRunConfig {
   double compute_seconds_per_sample = 1e-3;
   double compute_jitter = 0.0;  // in [0, 1)
 
+  /// Codec spec for the server->client global-model broadcast (e.g.
+  /// "fedsz:eb=rel:1e-3" or "identity"). Empty keeps the pre-downlink
+  /// model: the broadcast is lossless and costs nothing on the virtual
+  /// clock. When set, broadcast bytes are charged against each client's
+  /// own link BEFORE its local training starts, and clients train on the
+  /// decoded (possibly lossy) model.
+  std::string downlink_spec;
+  /// kFull encodes the whole global once per round; kDelta encodes each
+  /// client's delta against the model it last acknowledged.
+  DownlinkMode downlink_mode = DownlinkMode::kFull;
+  /// Per-client uplink error feedback: the residual the lossy encoder
+  /// dropped is folded into the next round's update before encoding.
+  bool error_feedback = false;
+
+  /// Fold the comm-level keys of a parsed codec spec (downlink=, downmode=,
+  /// ef=) into this config; the spec's codec-level keys are unaffected.
+  void apply_comm_spec(const CodecSpec& spec);
+
   /// Throws InvalidArgument on degenerate settings (zero clients/rounds/
-  /// threads, bad jitter, empty evaluation).
+  /// threads, bad jitter, empty evaluation, malformed downlink spec).
   void validate() const;
 };
 
@@ -70,6 +92,14 @@ struct ClientTraceEntry {
   std::size_t lossy_tensors = 0;
   std::size_t lossless_tensors = 0;
   std::size_t raw_tensors = 0;
+  /// Downlink leg of this delivery: broadcast bytes charged against this
+  /// client's link and the virtual seconds they took (0 when the broadcast
+  /// is free/lossless).
+  std::size_t downlink_bytes = 0;
+  double downlink_seconds = 0.0;
+  /// L2 norm of this client's carried error-feedback residual after this
+  /// update was encoded (0 with EF off or a lossless codec).
+  double ef_residual_norm = 0.0;
   net::CompressionDecision decision;  // Eqn (1) against this client's link
 };
 
@@ -89,11 +119,27 @@ struct RoundRecord {
   std::size_t raw_bytes = 0;        // total uncompressed bytes, participants
   std::size_t participants = 0;     // updates folded into this aggregation
   double virtual_seconds = 0.0;     // virtual clock at aggregation time
+  // ---- downlink (server->client broadcast) leg, zeros when free ----
+  std::size_t downlink_bytes = 0;      // total broadcast bytes delivered
+  std::size_t downlink_raw_bytes = 0;  // total uncompressed broadcast bytes
+  double downlink_seconds = 0.0;        // mean broadcast transfer / client
+  double downlink_encode_seconds = 0.0; // mean broadcast encode / client
+  double downlink_decode_seconds = 0.0; // mean client-side decode
+  /// Mean per-participant error-feedback residual norm (0 with EF off).
+  double mean_ef_residual_norm = 0.0;
+  /// Mean client-side seconds decoding the own payload for the EF residual
+  /// (the extra codec work EF costs; 0 with EF off or a lossless uplink).
+  double ef_decode_seconds = 0.0;
   std::vector<ClientTraceEntry> clients;  // one entry per folded update
   double compression_ratio() const {
     return bytes_sent > 0 ? static_cast<double>(raw_bytes) /
                                 static_cast<double>(bytes_sent)
                           : 0.0;
+  }
+  double downlink_compression_ratio() const {
+    return downlink_bytes > 0 ? static_cast<double>(downlink_raw_bytes) /
+                                    static_cast<double>(downlink_bytes)
+                              : 0.0;
   }
 };
 
@@ -123,6 +169,8 @@ class FlCoordinator {
 
   FlServer& server() { return server_; }
   const net::HeterogeneousNetwork& network() const { return network_; }
+  /// Null when the broadcast is free (no downlink_spec configured).
+  const DownlinkChannel* downlink() const { return downlink_.get(); }
 
  private:
   nn::ModelConfig model_config_;
@@ -134,6 +182,8 @@ class FlCoordinator {
   net::HeterogeneousNetwork network_;
   std::vector<std::unique_ptr<FlClient>> clients_;
   std::vector<double> compute_seconds_;  // virtual training time per client
+  std::unique_ptr<DownlinkChannel> downlink_;  // null = free broadcast
+  std::vector<ErrorFeedbackAccumulator> feedback_;  // one per client
 };
 
 }  // namespace fedsz::core

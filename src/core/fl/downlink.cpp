@@ -1,0 +1,78 @@
+#include "core/fl/downlink.hpp"
+
+namespace fedsz::core {
+
+std::string downlink_mode_name(DownlinkMode mode) {
+  return mode == DownlinkMode::kDelta ? "delta" : "full";
+}
+
+namespace {
+
+EncodeContext broadcast_context(int round, int client_id) {
+  EncodeContext ctx;
+  ctx.round = round;
+  ctx.client_id = client_id;
+  return ctx;
+}
+
+}  // namespace
+
+DownlinkChannel::DownlinkChannel(DownlinkConfig config, std::size_t clients)
+    : config_(std::move(config)), sessions_(clients) {
+  if (!config_.codec)
+    throw InvalidArgument("DownlinkChannel: null broadcast codec");
+  if (clients == 0)
+    throw InvalidArgument("DownlinkChannel: need at least one client");
+}
+
+BroadcastPayload DownlinkChannel::encode_broadcast(const StateDict& global,
+                                                   int round) const {
+  UpdateCodec::Encoded encoded =
+      config_.codec->encode(global, broadcast_context(round, /*client_id=*/-1));
+  return {std::move(encoded.payload), encoded.stats};
+}
+
+StateDict DownlinkChannel::decode_broadcast(ByteSpan payload,
+                                            CompressionStats* stats) const {
+  return config_.codec->decode(payload, stats);
+}
+
+BroadcastPayload DownlinkChannel::encode_for_client(std::size_t client,
+                                                    const StateDict& global,
+                                                    int round) const {
+  const StateDict& acked = acknowledged(client);
+  if (acked.empty()) {
+    // First contact: nothing acknowledged yet, ship the full model.
+    UpdateCodec::Encoded encoded = config_.codec->encode(
+        global, broadcast_context(round, static_cast<int>(client)));
+    return {std::move(encoded.payload), encoded.stats};
+  }
+  StateDict delta = global;
+  delta.add_scaled(acked.reordered_like(global), -1.0f);
+  UpdateCodec::Encoded encoded = config_.codec->encode(
+      delta, broadcast_context(round, static_cast<int>(client)));
+  return {std::move(encoded.payload), encoded.stats};
+}
+
+StateDict DownlinkChannel::receive(std::size_t client, ByteSpan payload,
+                                   CompressionStats* stats) {
+  StateDict decoded = config_.codec->decode(payload, stats);
+  StateDict& acked = sessions_.at(client);
+  if (!acked.empty()) {
+    // decoded is the delta; the model is acknowledged + delta, laid out in
+    // the session's (stable) entry order.
+    StateDict model = acked;
+    model.add_scaled(decoded.reordered_like(acked), 1.0f);
+    decoded = std::move(model);
+  }
+  // Both ends advance to the reconstruction the client now holds, so the
+  // next delta is encoded against exactly this state.
+  acked = decoded;
+  return decoded;
+}
+
+const StateDict& DownlinkChannel::acknowledged(std::size_t client) const {
+  return sessions_.at(client);
+}
+
+}  // namespace fedsz::core

@@ -1,0 +1,87 @@
+// Downlink (server -> client) broadcast compression. FedSZ's Algorithm 1
+// compresses only the client->server uplink; the global-model broadcast —
+// half of every round's traffic — was free and lossless in the runtime, so
+// the Eqn (1) compress-or-not decision was blind to it. This module routes
+// the broadcast through the same UpdateCodec / policy / v3-container path
+// as the uplink:
+//
+//   DownlinkMode::kFull   the coordinator encodes the global model ONCE per
+//                         round (on the thread pool) and charges the same
+//                         payload against each client's own link — the hot
+//                         path never serializes per client.
+//   DownlinkMode::kDelta  per-client session state: the server tracks the
+//                         last model each client acknowledged (that is, the
+//                         RECONSTRUCTION the client decoded, so both ends
+//                         agree bit for bit) and encodes only the delta
+//                         against it. First contact falls back to a full
+//                         broadcast.
+//
+// Thread-safety contract: per-client calls (encode_for_client / receive)
+// for DIFFERENT clients may run concurrently on the pool; calls for the
+// same client must be sequential, which the coordinator guarantees (a
+// client has at most one broadcast in flight).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/update_codec.hpp"
+
+namespace fedsz::core {
+
+enum class DownlinkMode : std::uint8_t { kFull = 0, kDelta = 1 };
+
+std::string downlink_mode_name(DownlinkMode mode);
+
+struct DownlinkConfig {
+  DownlinkMode mode = DownlinkMode::kFull;
+  /// Codec the broadcast rides (identity models an *accounted* lossless
+  /// broadcast: full bytes charged to every link).
+  UpdateCodecPtr codec;
+};
+
+/// One encoded broadcast: the on-wire payload plus its encode-side stats.
+struct BroadcastPayload {
+  Bytes payload;
+  CompressionStats stats;
+};
+
+class DownlinkChannel {
+ public:
+  /// Throws InvalidArgument on a null codec or zero clients.
+  DownlinkChannel(DownlinkConfig config, std::size_t clients);
+
+  DownlinkMode mode() const { return config_.mode; }
+  const UpdateCodec& codec() const { return *config_.codec; }
+
+  /// Encode `global` once for a whole cohort (kFull). Stateless, so it may
+  /// also serve per-client redispatches under continuous schedulers.
+  BroadcastPayload encode_broadcast(const StateDict& global, int round) const;
+
+  /// Decode a kFull broadcast into the model clients train on. Stateless:
+  /// every client reconstructs the same model, so the coordinator decodes
+  /// once and shares the result across the cohort.
+  StateDict decode_broadcast(ByteSpan payload,
+                             CompressionStats* stats = nullptr) const;
+
+  /// kDelta: encode `global` minus this client's acknowledged model (full
+  /// model on first contact).
+  BroadcastPayload encode_for_client(std::size_t client,
+                                     const StateDict& global, int round) const;
+
+  /// kDelta client side: decode the payload, rebuild the model as
+  /// acknowledged + delta, and advance this client's session to the
+  /// reconstruction (the server-side cache advances identically, so the
+  /// next delta is encoded against exactly what the client holds).
+  StateDict receive(std::size_t client, ByteSpan payload,
+                    CompressionStats* stats = nullptr);
+
+  /// The model this client last acknowledged (empty before first contact).
+  const StateDict& acknowledged(std::size_t client) const;
+
+ private:
+  DownlinkConfig config_;
+  std::vector<StateDict> sessions_;  // kDelta per-client acknowledged model
+};
+
+}  // namespace fedsz::core

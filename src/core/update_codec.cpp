@@ -76,6 +76,15 @@ UpdateCodecPtr make_codec_by_name(const std::string& name,
   defaults.chunk_elements = config.chunk_elements;
   defaults.threads = config.parallelism;
   const CodecSpec spec = parse_codec_spec(name, defaults);
+  // Comm-level keys configure an FL run, not a codec; building only the
+  // uplink codec here would silently drop them. Callers that support them
+  // parse the spec themselves and fold the comm keys into an FlRunConfig
+  // via apply_comm_spec.
+  if (!spec.downlink.empty() || spec.downlink_delta || spec.error_feedback)
+    throw InvalidArgument(
+        "make_codec_by_name: spec carries comm-level keys (downlink/"
+        "downmode/ef) this entry point cannot honor — parse the spec and "
+        "use FlRunConfig::apply_comm_spec, or drop the keys");
   if (spec.identity) return make_identity_codec();
   // A caller-constructed policy object wins only when the spec did not
   // spell out `policy=` at all; an explicit `policy=threshold` request

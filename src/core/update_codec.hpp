@@ -19,6 +19,11 @@ class UpdateCodec {
   virtual ~UpdateCodec() = default;
   virtual std::string name() const = 0;
 
+  /// True when decode(encode(x)) is bit-exact for every update. Error
+  /// feedback is provably a no-op then, so the runtime skips its
+  /// bookkeeping (the per-round payload decode and residual passes).
+  virtual bool lossless() const { return false; }
+
   struct Encoded {
     Bytes payload;
     CompressionStats stats;
@@ -44,6 +49,7 @@ class IdentityCodec final : public UpdateCodec {
  public:
   using UpdateCodec::encode;
   std::string name() const override { return "uncompressed"; }
+  bool lossless() const override { return true; }
   Encoded encode(const StateDict& dict,
                  const EncodeContext& ctx) const override;
   StateDict decode(ByteSpan payload, CompressionStats* stats) const override;

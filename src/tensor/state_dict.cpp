@@ -70,6 +70,17 @@ void StateDict::scale(float factor) {
   for (auto& [name, tensor] : entries_) tensor *= factor;
 }
 
+StateDict StateDict::reordered_like(const StateDict& reference) const {
+  if (entries_.size() != reference.entries_.size())
+    throw InvalidArgument("StateDict::reordered_like: entry count mismatch");
+  StateDict out;
+  for (const auto& [name, tensor] : reference.entries_) {
+    (void)tensor;
+    out.set(name, get(name));  // get() throws on a missing name
+  }
+  return out;
+}
+
 StateDict StateDict::zeros_like() const {
   StateDict out;
   for (const auto& [name, tensor] : entries_)

@@ -60,6 +60,12 @@ class StateDict {
   void add_scaled(const StateDict& other, float scale);
   void scale(float factor);
 
+  /// Copy of this dict with entries reordered to `reference`'s entry order,
+  /// matched by name — the bridge to positional ops like add_scaled when
+  /// this dict came from a decoder that groups entries by path. Throws
+  /// InvalidArgument when the name sets differ.
+  StateDict reordered_like(const StateDict& reference) const;
+
   /// Deep structural copy with all tensors zero-filled (aggregation buffer).
   StateDict zeros_like() const;
 

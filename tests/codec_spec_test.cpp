@@ -62,6 +62,66 @@ TEST(CodecSpecParse, ScheduleFactorArgument) {
   EXPECT_DOUBLE_EQ(spec.schedule_factor, 0.85);
 }
 
+TEST(CodecSpecParse, CommKeysDownlinkDownmodeEf) {
+  const CodecSpec spec = parse_codec_spec(
+      "fedsz:eb=rel:1e-2,downlink=fedsz:eb=rel:1e-3;lossless=zstd,"
+      "downmode=delta,ef=on");
+  EXPECT_DOUBLE_EQ(spec.bound.value, 1e-2);
+  EXPECT_TRUE(spec.downlink_delta);
+  EXPECT_TRUE(spec.error_feedback);
+  // The stored downlink spec is canonical comma form, directly parseable.
+  const CodecSpec inner = parse_codec_spec(spec.downlink);
+  EXPECT_DOUBLE_EQ(inner.bound.value, 1e-3);
+  EXPECT_EQ(inner.lossless_id, lossless::LosslessId::kZstd);
+
+  EXPECT_EQ(parse_codec_spec("fedsz:downlink=identity").downlink, "identity");
+  EXPECT_FALSE(parse_codec_spec("fedsz:ef=off").error_feedback);
+  EXPECT_FALSE(parse_codec_spec("fedsz:downmode=full").downlink_delta);
+  EXPECT_TRUE(parse_codec_spec("fedsz").downlink.empty());
+}
+
+TEST(CodecSpecParse, IdentityTakesCommKeysOnly) {
+  // Raw uplink + compressed broadcast is a legitimate comm config, so the
+  // identity family accepts (exactly) the comm-level keys.
+  const CodecSpec spec = parse_codec_spec(
+      "identity:downlink=fedsz:eb=rel:1e-3,ef=on");
+  EXPECT_TRUE(spec.identity);
+  EXPECT_TRUE(spec.error_feedback);
+  EXPECT_DOUBLE_EQ(parse_codec_spec(spec.downlink).bound.value, 1e-3);
+  // The canonical form round-trips the comm keys.
+  const std::string canonical = format_codec_spec(spec);
+  EXPECT_EQ(canonical.rfind("identity:", 0), 0u);
+  EXPECT_EQ(format_codec_spec(parse_codec_spec(canonical)), canonical);
+  // Codec-level keys stay rejected.
+  EXPECT_THROW(parse_codec_spec("identity:eb=rel:1e-3"), InvalidArgument);
+  EXPECT_THROW(parse_codec_spec("uncompressed:policy=schedule"),
+               InvalidArgument);
+}
+
+TEST(CodecSpecErrors, MalformedCommKeysThrow) {
+  for (const char* spec :
+       {"fedsz:ef=maybe", "fedsz:downmode=sideways", "fedsz:downlink=",
+        "fedsz:downlink=szip",
+        // comm keys cannot nest inside a downlink spec
+        "fedsz:downlink=fedsz:ef=on",
+        "fedsz:downlink=fedsz:downlink=identity"}) {
+    EXPECT_THROW(parse_codec_spec(spec), InvalidArgument) << spec;
+  }
+}
+
+TEST(CodecSpecFormat, CommKeysRoundTripThroughTheCanonicalForm) {
+  const std::string canonical = normalize(
+      "fedsz:downlink=fedsz:eb=rel:1e-3;lossy=sz3,downmode=delta,ef=on");
+  EXPECT_NE(canonical.find(",downlink=fedsz:lossy=sz3;eb=rel:0.001;"),
+            std::string::npos);
+  EXPECT_NE(canonical.find(",downmode=delta"), std::string::npos);
+  EXPECT_NE(canonical.find(",ef=on"), std::string::npos);
+  // The canonical form is a fixed point.
+  EXPECT_EQ(normalize(canonical), canonical);
+  // Off/full/empty comm keys normalize away entirely.
+  EXPECT_EQ(normalize("fedsz:ef=off,downmode=full"), normalize("fedsz"));
+}
+
 TEST(CodecSpecParse, ChunkSuffixes) {
   EXPECT_EQ(parse_codec_spec("fedsz:chunk=512").chunk_elements, 512u);
   EXPECT_EQ(parse_codec_spec("fedsz:chunk=16k").chunk_elements, 16u * 1024u);
@@ -182,10 +242,19 @@ TEST(CodecSpecFormat, FormatParseFuzzRoundTrip) {
     spec.chunk_elements = 1 + rng.uniform_index(1 << 20);
     spec.threads = rng.uniform_index(9);
     spec.lossy_threshold = rng.uniform_index(5000);
+    if (rng.uniform() < 0.3)
+      spec.downlink = format_codec_spec(parse_codec_spec(
+          rng.uniform() < 0.5 ? "identity" : "fedsz:lossy=sz3,eb=rel:1e-3"));
+    spec.downlink_delta = rng.uniform() < 0.25;
+    spec.error_feedback = rng.uniform() < 0.25;
 
     const std::string canonical = format_codec_spec(spec);
     const CodecSpec reparsed = parse_codec_spec(canonical);
     EXPECT_EQ(format_codec_spec(reparsed), canonical);
+    // Comm-level keys round-trip for every family, identity included.
+    EXPECT_EQ(reparsed.downlink, spec.downlink);
+    EXPECT_EQ(reparsed.downlink_delta, spec.downlink_delta);
+    EXPECT_EQ(reparsed.error_feedback, spec.error_feedback);
     if (!spec.identity) {
       EXPECT_EQ(reparsed.lossy_id, spec.lossy_id);
       EXPECT_EQ(reparsed.lossless_id, spec.lossless_id);
@@ -261,6 +330,18 @@ TEST(MakeCodecByName, ExplicitThresholdBeatsCallerPolicy) {
 TEST(MakeCodecByName, UnknownNameThrowsWithOptions) {
   EXPECT_THROW(make_codec_by_name("gzip-only"), InvalidArgument);
   EXPECT_THROW(make_codec_by_name(""), InvalidArgument);
+}
+
+TEST(MakeCodecByName, CommKeysItCannotHonorAreRejected) {
+  // A bare codec entry point would silently drop downlink/downmode/ef;
+  // refuse instead so harnesses either honor them via apply_comm_spec or
+  // fail loudly.
+  for (const char* spec :
+       {"fedsz:ef=on", "fedsz:downlink=identity",
+        "identity:downlink=fedsz:eb=rel:1e-3",
+        "fedsz:eb=rel:1e-2,downmode=delta"}) {
+    EXPECT_THROW(make_codec_by_name(spec), InvalidArgument) << spec;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,144 @@
+// Property tests for ErrorFeedbackAccumulator: over any sequence of lossy
+// round trips, accumulated residual + the decoded stream reconstructs the
+// true update sum (nothing is silently dropped), independent of the codec's
+// thread count.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/codec_spec.hpp"
+#include "core/error_feedback.hpp"
+#include "util/rng.hpp"
+
+namespace fedsz::core {
+namespace {
+
+StateDict random_update(Rng& rng, float scale) {
+  StateDict dict;
+  {
+    std::vector<float> values(2100);
+    for (float& v : values)
+      v = scale * static_cast<float>(rng.uniform(-1.0, 1.0));
+    dict.set("features.0.weight", Tensor::from_data({21, 100}, values));
+  }
+  {
+    std::vector<float> values(350);
+    for (float& v : values)
+      v = scale * static_cast<float>(rng.uniform(-0.1, 0.1));
+    dict.set("classifier.weight", Tensor::from_data({350}, values));
+  }
+  {
+    std::vector<float> values(24);
+    for (float& v : values)
+      v = scale * static_cast<float>(rng.uniform(-0.01, 0.01));
+    dict.set("features.0.bias", Tensor::from_data({24}, values));
+  }
+  return dict;
+}
+
+void run_stream_property(const std::string& spec, std::uint64_t seed) {
+  SCOPED_TRACE(spec);
+  const UpdateCodecPtr codec = make_codec_by_name(spec);
+  Rng rng(seed);
+  ErrorFeedbackAccumulator feedback;
+  EXPECT_TRUE(feedback.empty());
+  EXPECT_DOUBLE_EQ(feedback.residual_norm(), 0.0);
+
+  StateDict true_sum;      // sum of raw updates, as the client produced them
+  StateDict decoded_sum;   // sum of what the server decoded
+  const int kRounds = 7;
+  for (int round = 0; round < kRounds; ++round) {
+    const StateDict update = random_update(rng, 1.0f / (1.0f + round));
+    if (true_sum.empty())
+      true_sum = update;
+    else
+      true_sum.add_scaled(update.reordered_like(true_sum), 1.0f);
+
+    const StateDict compensated = feedback.apply(update);
+    EncodeContext ctx;
+    ctx.round = round;
+    const UpdateCodec::Encoded encoded = codec->encode(compensated, ctx);
+    const StateDict decoded =
+        codec->decode({encoded.payload.data(), encoded.payload.size()});
+    feedback.absorb(compensated, decoded);
+
+    if (decoded_sum.empty())
+      decoded_sum = decoded.reordered_like(update);
+    else
+      decoded_sum.add_scaled(decoded.reordered_like(decoded_sum), 1.0f);
+  }
+
+  // The invariant: sum of true updates == sum of decoded updates + final
+  // residual, elementwise, up to float accumulation noise — the codec's
+  // per-round error never leaks out of the feedback loop.
+  StateDict reconstructed = decoded_sum;
+  reconstructed.add_scaled(
+      feedback.residual().reordered_like(decoded_sum), 1.0f);
+  ASSERT_EQ(reconstructed.size(), true_sum.size());
+  for (const auto& [name, tensor] : true_sum) {
+    const Tensor& other = reconstructed.get(name);
+    for (std::size_t i = 0; i < tensor.numel(); ++i)
+      EXPECT_NEAR(tensor[i], other[i], 2e-4f)
+          << name << "[" << i << "]";
+  }
+}
+
+TEST(ErrorFeedbackProperty, StreamReconstructsTrueSumAtAnyThreadCount) {
+  for (const char* spec :
+       {"fedsz:eb=rel:1e-1,threshold=100",
+        "fedsz:eb=rel:1e-1,threshold=100,threads=4",
+        "fedsz:eb=rel:1e-2,threshold=100,chunk=512,threads=3",
+        "fedsz:eb=abs:0.05,threshold=100", "identity"}) {
+    for (const std::uint64_t seed : {1ull, 77ull, 20260731ull})
+      run_stream_property(spec, seed);
+  }
+}
+
+TEST(ErrorFeedbackProperty, LosslessCodecLeavesZeroResidual) {
+  const UpdateCodecPtr codec = make_codec_by_name("identity");
+  Rng rng(5);
+  ErrorFeedbackAccumulator feedback;
+  for (int round = 0; round < 3; ++round) {
+    const StateDict update = random_update(rng, 1.0f);
+    const StateDict compensated = feedback.apply(update);
+    const UpdateCodec::Encoded encoded = codec->encode(compensated);
+    feedback.absorb(compensated, codec->decode({encoded.payload.data(),
+                                                encoded.payload.size()}));
+    EXPECT_DOUBLE_EQ(feedback.residual_norm(), 0.0) << "round " << round;
+  }
+}
+
+TEST(ErrorFeedbackProperty, ApplyCompensatesThePreviousRoundsLoss) {
+  const UpdateCodecPtr codec =
+      make_codec_by_name("fedsz:eb=rel:1e-1,threshold=100");
+  Rng rng(9);
+  ErrorFeedbackAccumulator feedback;
+  const StateDict update = random_update(rng, 1.0f);
+  // First apply is the identity: no residual carried yet.
+  EXPECT_TRUE(feedback.apply(update).equals(update));
+  const UpdateCodec::Encoded encoded = codec->encode(update);
+  feedback.absorb(update, codec->decode({encoded.payload.data(),
+                                         encoded.payload.size()}));
+  EXPECT_GT(feedback.residual_norm(), 0.0);
+  // Second apply folds exactly that residual in.
+  const StateDict next = random_update(rng, 1.0f);
+  const StateDict compensated = feedback.apply(next);
+  const Tensor& a = compensated.get("features.0.weight");
+  const Tensor& b = next.get("features.0.weight");
+  const Tensor& r = feedback.residual().get("features.0.weight");
+  for (std::size_t i = 0; i < 32; ++i)
+    EXPECT_FLOAT_EQ(a[i], b[i] + r[i]);
+}
+
+TEST(ErrorFeedbackProperty, AbsorbRejectsMismatchedStructures) {
+  ErrorFeedbackAccumulator feedback;
+  Rng rng(2);
+  const StateDict update = random_update(rng, 1.0f);
+  StateDict wrong;
+  wrong.set("other", Tensor::zeros({4}));
+  EXPECT_THROW(feedback.absorb(update, wrong), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace fedsz::core

@@ -1,8 +1,10 @@
-// Golden-fixture backward-compatibility: tiny v1 and v2 bitstreams are
+// Golden-fixture backward-compatibility: tiny v1, v2 and v3 bitstreams are
 // checked in under tests/data/ together with the StateDicts they must decode
 // to, so a future container change cannot silently drop support for old
 // streams. The v2 fixture doubles as the ThresholdPolicy byte-regression
-// pin: the default-policy writer must still reproduce it bit for bit.
+// pin: the default-policy writer must still reproduce it bit for bit. The
+// v3 fixture pins the mixed-plan per-tensor container (per-tensor codecs,
+// bounds and a raw path) the same way, so v3 writer drift is visible.
 //
 // Regenerate (only when a deliberate format change requires it):
 //   FEDSZ_REGEN_GOLDEN=1 ./build/golden_fixture_test
@@ -80,6 +82,34 @@ FedSzConfig golden_config() {
   return config;
 }
 
+/// A fixed mixed-plan policy for the v3 fixture: two lossy tensors with
+/// DIFFERENT codecs and bound modes, one raw tensor, one lossless — every
+/// per-tensor branch of the v3 writer in a single stream. Closed-form, so
+/// the fixture can always be regenerated from source.
+class GoldenMixedPolicy final : public CompressionPolicy {
+ public:
+  std::string name() const override { return "golden-mixed"; }
+  TensorPlan plan(const std::string& name, const Tensor& tensor,
+                  const EncodeContext& ctx) const override {
+    (void)tensor;
+    (void)ctx;
+    if (name == "features.0.weight")
+      return TensorPlan::lossy(lossy::LossyId::kSz2,
+                               lossy::ErrorBound::relative(1e-3));
+    if (name == "classifier.weight")
+      return TensorPlan::lossy(lossy::LossyId::kSz3,
+                               lossy::ErrorBound::absolute(5e-4));
+    if (name == "features.0.bias") return TensorPlan::raw();
+    return TensorPlan::lossless();
+  }
+};
+
+FedSzConfig golden_v3_config() {
+  FedSzConfig config = golden_config();
+  config.policy = std::make_shared<const GoldenMixedPolicy>();
+  return config;
+}
+
 /// The original (pre-chunking) v1 writer, reproduced so the fixture can be
 /// regenerated from source if ever needed.
 Bytes make_v1_stream(const StateDict& dict, const FedSzConfig& config) {
@@ -147,6 +177,11 @@ TEST(GoldenFixtures, RegenerateWhenRequested) {
              fedsz.decompress({v1.data(), v1.size()}).serialize());
   write_file(data_dir() / "golden_v2_expected.sd",
              fedsz.decompress({v2.data(), v2.size()}).serialize());
+  const FedSz mixed{golden_v3_config()};
+  const Bytes v3 = mixed.compress(dict);
+  write_file(data_dir() / "golden_v3.fsz", v3);
+  write_file(data_dir() / "golden_v3_expected.sd",
+             mixed.decompress({v3.data(), v3.size()}).serialize());
 }
 
 TEST(GoldenFixtures, V1StreamStillDecodesToTheExpectedStateDict) {
@@ -181,6 +216,38 @@ TEST(GoldenFixtures, V2StreamStillDecodesToTheExpectedStateDict) {
   EXPECT_EQ(stats.lossy_chunks, 0u);  // decode does not re-chunk
 }
 
+TEST(GoldenFixtures, V3StreamStillDecodesToTheExpectedStateDict) {
+  const Bytes stream = read_file(data_dir() / "golden_v3.fsz");
+  const Bytes expected_bytes = read_file(data_dir() / "golden_v3_expected.sd");
+  ASSERT_FALSE(stream.empty());
+  ASSERT_FALSE(expected_bytes.empty());
+  // Decode with a default-config codec: the per-tensor plans (codec ids,
+  // bounds, paths) all live in the stream header.
+  CompressionStats stats;
+  const StateDict decoded =
+      FedSz{FedSzConfig{}}.decompress({stream.data(), stream.size()}, &stats);
+  expect_dicts_identical(
+      decoded,
+      StateDict::deserialize({expected_bytes.data(), expected_bytes.size()}));
+  EXPECT_EQ(stats.lossy_tensors, 2u);
+  EXPECT_EQ(stats.raw_tensors, 1u);
+  EXPECT_EQ(stats.lossless_tensors, 1u);
+  // The raw path ships untouched float bytes: the fixture's bias survives
+  // bit for bit.
+  const StateDict original = golden_dict();
+  EXPECT_TRUE(
+      decoded.get("features.0.bias").equals(original.get("features.0.bias")));
+}
+
+TEST(GoldenFixtures, MixedPlanWriterStillEmitsTheV3FixtureBytes) {
+  // The v3 byte-regression pin: the per-tensor-plan writer must keep
+  // producing the exact recorded container for the fixture update.
+  const Bytes fixture = read_file(data_dir() / "golden_v3.fsz");
+  ASSERT_FALSE(fixture.empty());
+  const Bytes fresh = FedSz{golden_v3_config()}.compress(golden_dict());
+  EXPECT_EQ(fresh, fixture);
+}
+
 TEST(GoldenFixtures, DefaultPolicyWriterStillEmitsTheV2FixtureBytes) {
   // The byte-level regression pin for the redesign's acceptance criterion:
   // the default ThresholdPolicy must keep producing the exact pre-policy
@@ -194,7 +261,8 @@ TEST(GoldenFixtures, DefaultPolicyWriterStillEmitsTheV2FixtureBytes) {
 TEST(GoldenFixtures, CorruptedFixtureHeadersStillThrow) {
   // Flipping bytes in real (fixture) streams must keep failing loudly —
   // guards the validation paths against regressions on genuine old data.
-  for (const char* name : {"golden_v1.fsz", "golden_v2.fsz"}) {
+  for (const char* name : {"golden_v1.fsz", "golden_v2.fsz",
+                           "golden_v3.fsz"}) {
     Bytes stream = read_file(data_dir() / name);
     ASSERT_FALSE(stream.empty());
     Bytes bad_version = stream;
