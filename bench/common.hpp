@@ -1,9 +1,9 @@
 // Shared utilities for the benchmark harness: fixed-width table printing in
 // the paper's row/column layout, a common CLI (--clients/--rounds/
-// --bandwidth/--codec/--json/--smoke) with a machine-readable JSON emitter,
-// codec timing helpers, and a disk cache of briefly-trained models so every
-// bench binary measures compression on trained (spiky, zero-centred)
-// weights without re-paying training time.
+// --bandwidth/--codec/--json/--out/--smoke) with a machine-readable JSON
+// emitter (util/json.hpp), codec timing helpers, and a disk cache of
+// briefly-trained models so every bench binary measures compression on
+// trained (spiky, zero-centred) weights without re-paying training time.
 #pragma once
 
 #include <string>
@@ -14,6 +14,7 @@
 #include "compress/lossy/lossy.hpp"
 #include "nn/models.hpp"
 #include "tensor/state_dict.hpp"
+#include "util/json.hpp"
 
 namespace fedsz::benchx {
 
@@ -46,6 +47,11 @@ struct BenchOptions {
   double bandwidth_mbps = 0.0; // --bandwidth MBPS
   std::string codec;           // --codec SPEC (codec spec string)
   std::string json_path;       // --json PATH (write machine-readable output)
+  /// --out PATH: the console output (tables and shape notes) goes to this
+  /// file instead of stdout, so CI artifact steps don't shell-redirect.
+  /// Applied inside parse_bench_options (stdout is reopened onto the
+  /// file); exits(2) when the file cannot be opened.
+  std::string out_path;
   bool smoke = false;          // --smoke
   /// --seed N: RNG seed for runs/networks/data draws. has_seed
   /// distinguishes an explicit 0 from "keep the bench's default".
@@ -68,44 +74,11 @@ struct BenchOptions {
 /// malformed values; exits(0) on --help.
 BenchOptions parse_bench_options(int argc, char** argv);
 
-/// Minimal ordered JSON value (null/bool/number/string/array/object) so
-/// bench binaries can emit results as workflow artifacts without an
-/// external dependency.
-class JsonValue {
- public:
-  JsonValue() = default;  // null
-  JsonValue(bool value);
-  JsonValue(double value);
-  JsonValue(int value);
-  JsonValue(std::size_t value);
-  JsonValue(const char* value);
-  JsonValue(std::string value);
-
-  static JsonValue object();
-  static JsonValue array();
-
-  /// Insert into an object (created on demand when null); returns *this.
-  JsonValue& set(const std::string& key, JsonValue value);
-  /// Append to an array (created on demand when null); returns *this.
-  JsonValue& push(JsonValue value);
-
-  std::string dump(int indent = 2) const;
-
- private:
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  void render(std::string& out, int indent, int depth) const;
-
-  Kind kind_ = Kind::kNull;
-  bool bool_ = false;
-  double number_ = 0.0;
-  std::string string_;
-  std::vector<JsonValue> items_;
-  std::vector<std::pair<std::string, JsonValue>> members_;
-};
-
-/// Write `value` to `path` (with trailing newline). Throws std::runtime_error
-/// when the file cannot be written.
-void write_json(const std::string& path, const JsonValue& value);
+/// The JSON emitter now lives in the library (util/json.hpp) where it is
+/// unit-tested; these aliases keep every bench's benchx::JsonValue spelling
+/// working unchanged.
+using util::JsonValue;
+using util::write_json;
 
 /// Train a bench-scale model for `epochs` passes over `samples` synthetic
 /// samples and return its state dict. Results are cached under

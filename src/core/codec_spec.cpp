@@ -118,7 +118,28 @@ lossy::ErrorBound parse_bound(const std::string& text) {
 }
 
 bool is_comm_key(const std::string& key) {
-  return key == "downlink" || key == "downmode" || key == "ef";
+  return key == "downlink" || key == "downmode" || key == "ef" ||
+         key == "topology" || key == "backhaul";
+}
+
+/// Parse a nested codec spec (downlink=/backhaul= value, ';'-separated
+/// inner options) into its canonical comma form. Nested comm keys are
+/// rejected — a broadcast or backhaul codec cannot itself carry a comm
+/// model.
+std::string parse_inner_spec(const std::string& key,
+                             const std::string& value) {
+  std::string inner = value;
+  for (char& c : inner)
+    if (c == ';') c = ',';
+  CodecSpec parsed;
+  try {
+    parsed = parse_codec_spec(inner);
+  } catch (const InvalidArgument& error) {
+    bad_spec("'" + key + "': " + error.what());
+  }
+  if (parsed.has_comm_keys())
+    bad_spec("'" + key + "' spec cannot itself carry comm keys");
+  return format_codec_spec(parsed);
 }
 
 void apply_key(CodecSpec& spec, const std::string& key,
@@ -171,19 +192,22 @@ void apply_key(CodecSpec& spec, const std::string& key,
     spec.lossy_threshold =
         parse_count(value, "threshold", /*allow_suffix=*/false);
   } else if (key == "downlink") {
-    std::string inner = value;
-    for (char& c : inner)
-      if (c == ';') c = ',';
-    CodecSpec parsed;
-    try {
-      parsed = parse_codec_spec(inner);
-    } catch (const InvalidArgument& error) {
-      bad_spec(std::string("'downlink': ") + error.what());
+    spec.downlink = parse_inner_spec("downlink", value);
+  } else if (key == "backhaul") {
+    spec.backhaul = parse_inner_spec("backhaul", value);
+  } else if (key == "topology") {
+    if (value == "flat") {
+      spec.hier_fanout = 0;
+    } else if (value.rfind("hier", 0) == 0) {
+      if (value.size() < 6 || value[4] != ':')
+        bad_spec("'topology=hier' wants a fanout (topology=hier:<N>)");
+      spec.hier_fanout =
+          parse_count(value.substr(5), "topology=hier", /*allow_suffix=*/true);
+      if (spec.hier_fanout == 0)
+        bad_spec("'topology=hier' fanout must be >= 1");
+    } else {
+      bad_spec("'topology' must be flat or hier:<N>, got '" + value + "'");
     }
-    if (!parsed.downlink.empty() || parsed.error_feedback ||
-        parsed.downlink_delta)
-      bad_spec("'downlink' spec cannot itself carry downlink/downmode/ef");
-    spec.downlink = format_codec_spec(parsed);
   } else if (key == "downmode") {
     if (value == "full")
       spec.downlink_delta = false;
@@ -201,7 +225,7 @@ void apply_key(CodecSpec& spec, const std::string& key,
   } else {
     bad_spec("unknown key '" + key +
              "' (expected lossy, lossless, eb, policy, chunk, threads, "
-             "threshold, downlink, downmode or ef)");
+             "threshold, downlink, downmode, ef, topology or backhaul)");
   }
 }
 
@@ -223,7 +247,9 @@ void parse_options(CodecSpec& out, const std::string& body,
       bad_spec("expected key=value, got '" + pair + "'");
     const std::string key = pair.substr(0, eq);
     if (comm_only && !is_comm_key(key))
-      bad_spec("'" + family + "' takes only downlink, downmode or ef options");
+      bad_spec("'" + family +
+               "' takes only downlink, downmode, ef, topology or backhaul "
+               "options");
     apply_key(out, key, pair.substr(eq + 1));
     if (comma == std::string::npos) break;
     pos = comma + 1;
@@ -258,8 +284,9 @@ CodecSpec parse_codec_spec(const std::string& spec) {
 
 namespace {
 
-/// The ",downlink=...,downmode=...,ef=..." suffix (empty when every comm
-/// field is at its default), shared by the identity and fedsz renderings.
+/// The ",downlink=...,downmode=...,ef=...,topology=...,backhaul=..."
+/// suffix (empty when every comm field is at its default), shared by the
+/// identity and fedsz renderings.
 std::string comm_suffix(const CodecSpec& spec) {
   std::string out;
   if (!spec.downlink.empty()) {
@@ -274,6 +301,14 @@ std::string comm_suffix(const CodecSpec& spec) {
   }
   if (spec.downlink_delta) out += ",downmode=delta";
   if (spec.error_feedback) out += ",ef=on";
+  if (spec.hier_fanout > 0)
+    out += ",topology=hier:" + std::to_string(spec.hier_fanout);
+  if (!spec.backhaul.empty()) {
+    std::string inner = spec.backhaul;
+    for (char& c : inner)
+      if (c == ',') c = ';';
+    out += ",backhaul=" + inner;
+  }
   return out;
 }
 

@@ -19,9 +19,15 @@
 //                                             per-client acknowledged delta)
 //               ef=on|off                    (per-client uplink error
 //                                             feedback)
+//               topology=flat|hier:<N>       (aggregation tree: flat star,
+//                                             or N clients per edge
+//                                             aggregator)
+//               backhaul=SPEC                (edge->root partial re-encode
+//                                             codec; inner options
+//                                             ';'-separated like downlink)
 //
-// The identity family takes ONLY the three comm keys (an uncompressed
-// uplink can still configure the broadcast and error feedback), e.g.
+// The identity family takes ONLY the comm keys (an uncompressed uplink
+// can still configure the broadcast, error feedback and topology), e.g.
 // "identity:downlink=fedsz:eb=rel:1e-3,ef=on".
 //
 // Examples:
@@ -71,6 +77,24 @@ struct CodecSpec {
   bool downlink_delta = false;
   /// Per-client uplink error feedback (ef=on).
   bool error_feedback = false;
+  /// Aggregation topology (topology= comm key): 0 = flat star (the
+  /// default), N > 0 = a hierarchical tree with N clients per edge
+  /// aggregator (topology=hier:<N>).
+  std::size_t hier_fanout = 0;
+  /// Edge->root partial re-encode codec spec in canonical form (backhaul=
+  /// comm key; inner options ';'-separated like downlink). Empty means
+  /// partials ship through the identity codec.
+  std::string backhaul;
+
+  /// True when any comm-level key (downlink/downmode/ef/topology/backhaul)
+  /// is set — the keys that configure an FL run rather than a codec. The
+  /// single predicate behind every "this spec cannot carry comm keys"
+  /// rejection (nested downlink/backhaul specs, make_codec_by_name), so a
+  /// future comm key only needs adding here.
+  bool has_comm_keys() const {
+    return !downlink.empty() || downlink_delta || error_feedback ||
+           hier_fanout != 0 || !backhaul.empty();
+  }
 };
 
 /// Parse `spec` against library defaults. Throws InvalidArgument on

@@ -40,6 +40,18 @@ StateDict StreamingMean::finalize() {
   return std::move(mean_);
 }
 
+PartialAggregate StreamingMean::finalize_partial() {
+  if (!active_)
+    throw InvalidArgument("StreamingMean: finalize_partial before begin");
+  active_ = false;
+  if (count_ == 0) throw InvalidArgument("StreamingMean: no updates");
+  PartialAggregate partial;
+  partial.weight = total_;
+  partial.count = count_;
+  partial.mean = std::move(mean_);
+  return partial;
+}
+
 void Aggregator::begin_round(const StateDict& global) { mean_.begin(global); }
 
 void Aggregator::accumulate(const StateDict& update, double weight) {
@@ -49,6 +61,14 @@ void Aggregator::accumulate(const StateDict& update, double weight) {
 void Aggregator::finalize(StateDict& global) {
   const StateDict mean = mean_.finalize();
   apply_mean(global, mean);
+}
+
+PartialAggregate Aggregator::finalize_partial() {
+  return mean_.finalize_partial();
+}
+
+void Aggregator::merge_partial(const StateDict& mean, double weight) {
+  mean_.add(mean, weight);
 }
 
 void Aggregator::aggregate(

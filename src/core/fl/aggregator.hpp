@@ -21,6 +21,18 @@
 
 namespace fedsz::core {
 
+/// A weight-carrying partial mean: what an edge aggregator in a
+/// hierarchical topology ships to its parent. Merging partials — each
+/// folded with its carried `weight` through the same streaming path —
+/// reproduces the weighted mean over every underlying update, and a
+/// single partial merged into a fresh accumulator reproduces it
+/// bit-exactly (the flat-equivalence regression pin relies on this).
+struct PartialAggregate {
+  StateDict mean;         // weighted mean over the folded updates
+  double weight = 0.0;    // total aggregation weight the mean carries
+  std::size_t count = 0;  // updates folded into it
+};
+
 /// Numerically-stable online weighted mean over state dicts (West 1979):
 /// mean += (w_k / W_k) * (update_k - mean), with W_k the running weight
 /// total. Entries are matched by name; folding an update identical to the
@@ -38,6 +50,12 @@ class StreamingMean {
   /// Return the weighted mean and reset. Throws InvalidArgument when no
   /// update carried positive weight.
   StateDict finalize();
+
+  /// Close as an intermediate node: return the mean WITH the weight it
+  /// carries instead of dropping it. Unlike finalize(), an all-zero-weight
+  /// partial is legal (weight 0; it merges as a no-op upstream) — only a
+  /// round with no updates at all throws InvalidArgument.
+  PartialAggregate finalize_partial();
 
   bool active() const { return active_; }
   std::size_t count() const { return count_; }
@@ -63,6 +81,16 @@ class Aggregator {
   /// Apply the accumulated mean to `global` via the strategy's rule and
   /// close the round. Throws InvalidArgument when nothing was accumulated.
   void finalize(StateDict& global);
+
+  // ---- hierarchical (multi-tier) path ----
+  /// Close the round as an EDGE node: return the weight-carrying partial
+  /// mean instead of applying the strategy rule. The strategy rule only
+  /// ever runs at the root, where the global model lives.
+  PartialAggregate finalize_partial();
+  /// Root side: fold one edge's decoded partial `mean` carrying total
+  /// aggregation weight `weight`. Exact: merging every edge's partial
+  /// reproduces the weighted mean over all underlying client updates.
+  void merge_partial(const StateDict& mean, double weight);
 
   std::size_t accumulated() const { return mean_.count(); }
   bool round_open() const { return mean_.active(); }

@@ -18,6 +18,10 @@ void FlRunConfig::apply_comm_spec(const CodecSpec& spec) {
   downlink_mode =
       spec.downlink_delta ? DownlinkMode::kDelta : DownlinkMode::kFull;
   error_feedback = spec.error_feedback;
+  topology.mode = spec.hier_fanout > 0 ? TopologyMode::kHier
+                                       : TopologyMode::kFlat;
+  topology.fanout = spec.hier_fanout;
+  topology.backhaul_spec = spec.backhaul;
 }
 
 void FlRunConfig::validate() const {
@@ -37,17 +41,16 @@ void FlRunConfig::validate() const {
     throw InvalidArgument("FlRunConfig: batch_size must be >= 1");
   if (!downlink_spec.empty()) {
     // Malformed specs throw InvalidArgument from the parser itself.
-    const CodecSpec spec = parse_codec_spec(downlink_spec);
-    if (!spec.downlink.empty() || spec.downlink_delta || spec.error_feedback)
+    if (parse_codec_spec(downlink_spec).has_comm_keys())
       throw InvalidArgument(
-          "FlRunConfig: downlink_spec cannot itself carry "
-          "downlink/downmode/ef keys");
+          "FlRunConfig: downlink_spec cannot itself carry comm keys");
   } else if (downlink_mode == DownlinkMode::kDelta) {
     // Catch the downmode=delta-without-downlink= mistake loudly instead of
     // silently running with a free lossless broadcast.
     throw InvalidArgument(
         "FlRunConfig: downlink_mode=kDelta requires a downlink_spec");
   }
+  topology.validate();
 }
 
 namespace {
@@ -58,10 +61,8 @@ FlRunConfig validated(FlRunConfig config) {
 }
 
 net::HeterogeneousNetwork build_network(const FlRunConfig& config) {
-  if (config.heterogeneous)
-    return net::HeterogeneousNetwork(*config.heterogeneous, config.clients);
-  return net::HeterogeneousNetwork::homogeneous(config.network,
-                                                config.clients);
+  return net::build_links(config.heterogeneous, config.network,
+                          config.clients);
 }
 
 }  // namespace
@@ -78,6 +79,17 @@ FlCoordinator::FlCoordinator(const nn::ModelConfig& model_config,
       server_(model_config),
       network_(build_network(config_)) {
   if (!codec_) throw InvalidArgument("FlCoordinator: null update codec");
+  if (config_.topology.mode == TopologyMode::kHier) {
+    // Continuous policies redispatch on fold; a partial that already left
+    // for the root cannot absorb a late fold, so hierarchy requires a
+    // barrier over each edge cohort.
+    if (scheduler_->continuous())
+      throw InvalidArgument(
+          "FlCoordinator: hierarchical topology requires a barrier "
+          "scheduler (sync or sampled_sync)");
+    tree_ =
+        std::make_unique<AggregationTree>(config_.topology, config_.clients);
+  }
   if (!config_.downlink_spec.empty())
     downlink_ = std::make_unique<DownlinkChannel>(
         DownlinkConfig{config_.downlink_mode,
@@ -141,12 +153,22 @@ FlRunResult FlCoordinator::run() {
   net::EventQueue queue;
   std::vector<InFlight> flights(clients_.size());
   Rng cohort_rng(config_.seed ^ 0x5C4ED11Eull);
-  int completed = 0;        // aggregations finished so far
-  std::size_t folded = 0;   // updates folded since the round opened
-  std::size_t goal = 0;     // arrivals that trigger the next aggregation
-  std::size_t live_decoded = 0;
+  int completed = 0;       // aggregations finished so far
+  std::size_t folded = 0;  // root-side arrivals since the round opened
+                           // (updates when flat, partials when hier)
+  std::size_t goal = 0;    // arrivals that trigger the next aggregation
   bool stopped = false;
   RoundRecord record;
+  // Per-aggregation-point decoded-payload accounting: node 0 = the root,
+  // node 1 + e = edge e. Streaming keeps every live count at <= 1.
+  const std::size_t edge_count = tree_ ? tree_->edge_count() : 0;
+  std::vector<std::size_t> live(1 + edge_count, 0);
+  std::vector<std::size_t> peak(1 + edge_count, 0);
+  // Per-edge round state (hier only): the cohort size that closes the
+  // edge's partial, and the root->edge downlink traffic charged so far.
+  std::vector<std::size_t> edge_goal(edge_count, 0);
+  std::vector<std::size_t> edge_downlink_bytes(edge_count, 0);
+  std::vector<double> edge_downlink_seconds(edge_count, 0.0);
 
   using Snapshot = std::shared_ptr<const StateDict>;
   using PayloadPtr = std::shared_ptr<const Bytes>;
@@ -209,6 +231,8 @@ FlRunResult FlCoordinator::run() {
       broadcast_to;
   std::function<void(std::size_t)> on_upload;
   std::function<void(std::size_t)> on_arrival;
+  std::function<void(std::size_t, double, const EncodedPartial&)> on_partial;
+  std::function<void()> close_round;
   std::function<void(bool)> open_round;
 
   // Start a client's real work on the pool and its virtual compute timer.
@@ -232,7 +256,9 @@ FlRunResult FlCoordinator::run() {
   // whole global, or its session delta in kDelta mode), then charge the
   // payload against the client's own link before its compute may start.
   // Used for kDelta cohorts and for continuous-scheduler redispatches,
-  // where each client leaves with a different global.
+  // where each client leaves with a different global. Under a hierarchical
+  // topology the payload first crosses the owning edge's backhaul
+  // (root->edge), then the client's own link (edge->client).
   send_to = [&](std::size_t i, int round, Snapshot snapshot) {
     const bool delta = downlink_->mode() == DownlinkMode::kDelta;
     auto pending = std::make_shared<std::future<BroadcastPayload>>(
@@ -251,9 +277,24 @@ FlRunResult FlCoordinator::run() {
       flight.downlink_decode_seconds = 0.0;
       flight.downlink_seconds =
           network_.link(i).transfer_seconds(payload->size());
-      queue.schedule_after(flight.downlink_seconds, [&, i, round, payload] {
-        dispatch(i, round, nullptr, payload);
-      });
+      auto client_leg = [&, i, round, payload] {
+        queue.schedule_after(flights[i].downlink_seconds,
+                             [&, i, round, payload] {
+                               dispatch(i, round, nullptr, payload);
+                             });
+      };
+      if (!tree_) {
+        client_leg();
+        return;
+      }
+      const std::size_t e = tree_->edge_of(i);
+      const double hop =
+          tree_->backhaul_link(e).transfer_seconds(payload->size());
+      edge_downlink_bytes[e] += payload->size();
+      edge_downlink_seconds[e] += hop;
+      record.backhaul_downlink_bytes += payload->size();
+      record.backhaul_downlink_seconds += hop;
+      queue.schedule_after(hop, client_leg);
     });
   };
 
@@ -285,19 +326,44 @@ FlRunResult FlCoordinator::run() {
           return ready;
         }));
     queue.schedule_after(0.0, [&, cohort, round, pending] {
-      const BroadcastReady ready = pending->get();
-      for (const std::size_t i : cohort) {
+      auto ready = std::make_shared<const BroadcastReady>(pending->get());
+      // The edge->client (or root->client, flat) leg: charge the payload
+      // against the client's own link, then dispatch on the shared
+      // reconstruction.
+      auto deliver = [&, round, ready](std::size_t i) {
         InFlight& flight = flights[i];
-        flight.downlink_bytes = ready.payload.size();
-        flight.downlink_raw_bytes = ready.stats.original_bytes;
-        flight.downlink_encode_seconds = ready.stats.compress_seconds;
-        flight.downlink_decode_seconds = ready.decode_seconds;
+        flight.downlink_bytes = ready->payload.size();
+        flight.downlink_raw_bytes = ready->stats.original_bytes;
+        flight.downlink_encode_seconds = ready->stats.compress_seconds;
+        flight.downlink_decode_seconds = ready->decode_seconds;
         flight.downlink_seconds =
-            network_.link(i).transfer_seconds(ready.payload.size());
+            network_.link(i).transfer_seconds(ready->payload.size());
         queue.schedule_after(flight.downlink_seconds,
-                             [&, i, round, model = ready.model] {
+                             [&, i, round, model = ready->model] {
                                dispatch(i, round, model, nullptr);
                              });
+      };
+      if (!tree_) {
+        for (const std::size_t i : cohort) deliver(i);
+        return;
+      }
+      // Hierarchical fan-out: ONE copy of the broadcast crosses each
+      // participating edge's backhaul; that edge's clients start their own
+      // downlink legs when it lands.
+      std::vector<std::vector<std::size_t>> by_edge(tree_->edge_count());
+      for (const std::size_t i : cohort)
+        by_edge[tree_->edge_of(i)].push_back(i);
+      for (std::size_t e = 0; e < by_edge.size(); ++e) {
+        if (by_edge[e].empty()) continue;
+        const double hop =
+            tree_->backhaul_link(e).transfer_seconds(ready->payload.size());
+        edge_downlink_bytes[e] += ready->payload.size();
+        edge_downlink_seconds[e] += hop;
+        record.backhaul_downlink_bytes += ready->payload.size();
+        record.backhaul_downlink_seconds += hop;
+        queue.schedule_after(hop, [deliver, group = std::move(by_edge[e])] {
+          for (const std::size_t i : group) deliver(i);
+        });
       }
     });
   };
@@ -312,6 +378,44 @@ FlRunResult FlCoordinator::run() {
     queue.schedule_after(flight.transfer_seconds, [&, i] { on_arrival(i); });
   };
 
+  // Close the current aggregation: finalize, normalize the per-round
+  // means, evaluate, and either stop or open the next round. Shared by the
+  // flat arrival path and the hierarchical partial-merge path.
+  close_round = [&] {
+    server_.finalize_round();
+    const double inv = 1.0 / static_cast<double>(record.participants);
+    record.train_seconds *= inv;
+    record.compress_seconds *= inv;
+    record.decompress_seconds *= inv;
+    record.comm_seconds *= inv;
+    record.mean_loss *= inv;
+    record.downlink_seconds *= inv;
+    record.downlink_encode_seconds *= inv;
+    record.downlink_decode_seconds *= inv;
+    record.mean_ef_residual_norm *= inv;
+    record.ef_decode_seconds *= inv;
+    if (!record.edges.empty()) {
+      const double inv_edges =
+          1.0 / static_cast<double>(record.edges.size());
+      record.backhaul_seconds *= inv_edges;
+      record.backhaul_encode_seconds *= inv_edges;
+      record.backhaul_decode_seconds *= inv_edges;
+      record.backhaul_downlink_seconds *= inv_edges;
+    }
+    record.virtual_seconds = queue.now();
+    if (config_.evaluate_every_round || completed + 1 == config_.rounds) {
+      Timer eval_timer;
+      record.accuracy = server_.evaluate(*test_, config_.eval_limit);
+      record.eval_seconds = eval_timer.seconds();
+    }
+    result.rounds.push_back(std::move(record));
+    ++completed;
+    if (completed >= config_.rounds)
+      stopped = true;
+    else
+      open_round(false);
+  };
+
   open_round = [&](bool initial) {
     record = RoundRecord{};
     record.round = completed;
@@ -322,9 +426,28 @@ FlRunResult FlCoordinator::run() {
       goal = scheduler_->aggregation_goal(clients_.size());
       return;
     }
-    const std::vector<std::size_t> cohort =
-        scheduler_->cohort(completed, clients_.size(), cohort_rng);
-    goal = scheduler_->aggregation_goal(cohort.size());
+    std::vector<std::size_t> cohort;
+    if (tree_) {
+      // Per-cohort sampling: the scheduler draws within each edge's member
+      // set (cohort-relative indices), and the root's goal is one partial
+      // per participating edge.
+      goal = 0;
+      for (std::size_t e = 0; e < edge_count; ++e) {
+        const auto& members = tree_->edge(e).members();
+        const std::vector<std::size_t> draw =
+            scheduler_->cohort(completed, members.size(), cohort_rng);
+        edge_goal[e] = scheduler_->aggregation_goal(draw.size());
+        edge_downlink_bytes[e] = 0;
+        edge_downlink_seconds[e] = 0.0;
+        if (edge_goal[e] == 0) continue;
+        tree_->edge(e).begin_round(server_.global_state());
+        ++goal;
+        for (const std::size_t idx : draw) cohort.push_back(members[idx]);
+      }
+    } else {
+      cohort = scheduler_->cohort(completed, clients_.size(), cohort_rng);
+      goal = scheduler_->aggregation_goal(cohort.size());
+    }
     const auto snapshot =
         std::make_shared<const StateDict>(server_.global_state());
     if (!downlink_) {
@@ -338,29 +461,34 @@ FlRunResult FlCoordinator::run() {
     }
   };
 
-  // An update reached the server: decode it (serially — at most one decoded
-  // update is ever alive), fold it into the streaming aggregator, score the
-  // Eqn (1) decision against this client's own link, and aggregate once the
-  // scheduler's buffer goal is met.
+  // An update reached its aggregation point — the root (flat) or the
+  // owning edge (hier): decode it (serially per node — at most one decoded
+  // update is ever alive there), fold it into that node's streaming
+  // accumulator, score the Eqn (1) decision against this client's own
+  // link, and trigger the node's close-out once its goal is met.
   on_arrival = [&](std::size_t i) {
     InFlight& flight = flights[i];
     WorkerOut out = std::move(flight.out);
     flight.out = WorkerOut{};
     CompressionStats decode_stats;
+    const std::size_t node = tree_ ? 1 + tree_->edge_of(i) : 0;
     StateDict update = codec_->decode({out.payload.data(), out.payload.size()},
                                       &decode_stats);
-    ++live_decoded;
-    result.peak_decoded_updates =
-        std::max(result.peak_decoded_updates, live_decoded);
+    ++live[node];
+    peak[node] = std::max(peak[node], live[node]);
     const double weight =
         static_cast<double>(out.samples) *
         scheduler_->staleness_scale(flight.dispatch_round, completed);
-    server_.accumulate(update, weight);
+    if (tree_)
+      tree_->edge(node - 1).fold(update, weight);
+    else
+      server_.accumulate(update, weight);
     update = StateDict();  // folded; free it before anything else arrives
-    --live_decoded;
+    --live[node];
 
     ClientTraceEntry trace;
     trace.client = i;
+    trace.node = node;
     trace.dispatch_round = flight.dispatch_round;
     trace.dispatch_seconds = flight.dispatch_seconds;
     trace.arrival_seconds = queue.now();
@@ -397,31 +525,20 @@ FlRunResult FlCoordinator::run() {
     record.participants += 1;
     record.clients.push_back(std::move(trace));
 
-    if (++folded >= goal) {
-      server_.finalize_round();
-      const double inv = 1.0 / static_cast<double>(record.participants);
-      record.train_seconds *= inv;
-      record.compress_seconds *= inv;
-      record.decompress_seconds *= inv;
-      record.comm_seconds *= inv;
-      record.mean_loss *= inv;
-      record.downlink_seconds *= inv;
-      record.downlink_encode_seconds *= inv;
-      record.downlink_decode_seconds *= inv;
-      record.mean_ef_residual_norm *= inv;
-      record.ef_decode_seconds *= inv;
-      record.virtual_seconds = queue.now();
-      if (config_.evaluate_every_round || completed + 1 == config_.rounds) {
-        Timer eval_timer;
-        record.accuracy = server_.evaluate(*test_, config_.eval_limit);
-        record.eval_seconds = eval_timer.seconds();
-      }
-      result.rounds.push_back(std::move(record));
-      ++completed;
-      if (completed >= config_.rounds)
-        stopped = true;
-      else
-        open_round(false);
+    if (!tree_) {
+      if (++folded >= goal) close_round();
+    } else if (const std::size_t e = node - 1;
+               tree_->edge(e).folded() >= edge_goal[e]) {
+      // Edge cohort complete: finalize the weight-carrying partial,
+      // re-encode it through the edge's backhaul codec, and put it on the
+      // edge's own backhaul link (the edge-arrival event kind).
+      auto partial = std::make_shared<const EncodedPartial>(
+          tree_->edge(e).finalize_and_encode(completed));
+      const double transfer =
+          tree_->backhaul_link(e).transfer_seconds(partial->payload.size());
+      queue.schedule_after(transfer, [&, e, transfer, partial] {
+        on_partial(e, transfer, *partial);
+      });
     }
     if (!stopped && scheduler_->continuous()) {
       const auto snapshot =
@@ -436,12 +553,50 @@ FlRunResult FlCoordinator::run() {
     }
   };
 
+  // An edge's re-encoded partial crossed its backhaul and reached the
+  // root: decode it (the root, like every node, holds at most one decoded
+  // payload at a time), merge the weight-carrying mean, and aggregate once
+  // every participating edge has reported.
+  on_partial = [&](std::size_t e, double transfer,
+                   const EncodedPartial& partial) {
+    CompressionStats decode_stats;
+    ++live[0];
+    peak[0] = std::max(peak[0], live[0]);
+    StateDict mean = tree_->decode_partial(
+        {partial.payload.data(), partial.payload.size()}, &decode_stats);
+    server_.merge_partial(mean, partial.weight);
+    mean = StateDict();  // merged; free it before anything else arrives
+    --live[0];
+
+    EdgeTraceEntry trace;
+    trace.edge = e;
+    trace.cohort = partial.clients;
+    trace.weight = partial.weight;
+    trace.payload_bytes = partial.payload.size();
+    trace.raw_bytes = partial.stats.original_bytes;
+    trace.encode_seconds = partial.stats.compress_seconds;
+    trace.decode_seconds = decode_stats.decompress_seconds;
+    trace.transfer_seconds = transfer;
+    trace.arrival_seconds = queue.now();
+    trace.downlink_bytes = edge_downlink_bytes[e];
+    trace.downlink_seconds = edge_downlink_seconds[e];
+    record.backhaul_bytes += trace.payload_bytes;
+    record.backhaul_raw_bytes += trace.raw_bytes;
+    record.backhaul_seconds += transfer;
+    record.backhaul_encode_seconds += trace.encode_seconds;
+    record.backhaul_decode_seconds += trace.decode_seconds;
+    record.edges.push_back(trace);
+    if (++folded >= goal) close_round();
+  };
+
   open_round(true);
   while (!stopped && queue.run_next()) {
   }
 
   result.final_accuracy =
       result.rounds.empty() ? 0.0 : result.rounds.back().accuracy;
+  result.peak_decoded_updates = peak[0];
+  result.peak_decoded_per_node = std::move(peak);
   result.total_virtual_seconds = queue.now();
   result.total_wall_seconds = wall.seconds();
   return result;

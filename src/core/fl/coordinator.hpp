@@ -15,6 +15,14 @@
 // and BufferedAsyncScheduler open the client-sampling and FedBuff-style
 // asynchronous regimes. Event order depends only on seeds and virtual
 // durations — never on host load — so every run is reproducible.
+//
+// Topology is orthogonal (core/fl/topology.hpp): under TopologyMode::kHier
+// client arrivals fold at their EDGE aggregator instead of the root; once
+// an edge's cohort goal is met it finalizes a weight-carrying partial mean,
+// re-encodes it through its backhaul codec spec, and a new edge-arrival
+// event delivers it over the edge's own backhaul link; the root merges
+// partials and aggregates when every edge reported. Downlink broadcasts
+// fan out the other way (root->edge->client), charged per hop.
 #pragma once
 
 #include <optional>
@@ -24,6 +32,7 @@
 #include "core/fl/downlink.hpp"
 #include "core/fl/scheduler.hpp"
 #include "core/fl/server.hpp"
+#include "core/fl/topology.hpp"
 #include "core/update_codec.hpp"
 #include "data/partition.hpp"
 #include "net/heterogeneous.hpp"
@@ -64,12 +73,21 @@ struct FlRunConfig {
   /// dropped is folded into the next round's update before encoding.
   bool error_feedback = false;
 
+  /// Aggregation topology: the default flat star, or a hierarchical tree
+  /// (TopologyMode::kHier) sharding clients under edge aggregators that
+  /// re-encode weight-carrying partial means over their own backhaul
+  /// links. Hierarchical runs require a barrier scheduler (sync /
+  /// sampled_sync), applied per edge cohort.
+  TopologyConfig topology;
+
   /// Fold the comm-level keys of a parsed codec spec (downlink=, downmode=,
-  /// ef=) into this config; the spec's codec-level keys are unaffected.
+  /// ef=, topology=, backhaul=) into this config; the spec's codec-level
+  /// keys are unaffected.
   void apply_comm_spec(const CodecSpec& spec);
 
   /// Throws InvalidArgument on degenerate settings (zero clients/rounds/
-  /// threads, bad jitter, empty evaluation, malformed downlink spec).
+  /// threads, bad jitter, empty evaluation, malformed downlink spec,
+  /// degenerate topology).
   void validate() const;
 };
 
@@ -100,7 +118,29 @@ struct ClientTraceEntry {
   /// L2 norm of this client's carried error-feedback residual after this
   /// update was encoded (0 with EF off or a lossless codec).
   double ef_residual_norm = 0.0;
+  /// Aggregation point that folded this update: 0 = the root (flat runs),
+  /// 1 + e = edge e under a hierarchical topology (matching
+  /// FlRunResult::peak_decoded_per_node indexing).
+  std::size_t node = 0;
   net::CompressionDecision decision;  // Eqn (1) against this client's link
+};
+
+/// One edge partial delivery (hierarchical topologies): how many updates
+/// the partial folded and the weight it carries, the backhaul leg of the
+/// re-encoded partial, and the root->edge share of the downlink broadcast
+/// charged to this edge's backhaul link.
+struct EdgeTraceEntry {
+  std::size_t edge = 0;
+  std::size_t cohort = 0;  // updates folded into this partial
+  double weight = 0.0;     // total aggregation weight the partial carries
+  std::size_t payload_bytes = 0;  // encoded partial on the backhaul
+  std::size_t raw_bytes = 0;      // uncompressed partial bytes
+  double encode_seconds = 0.0;    // edge-side re-encode wall time
+  double decode_seconds = 0.0;    // root-side decode wall time
+  double transfer_seconds = 0.0;  // backhaul-link virtual seconds
+  double arrival_seconds = 0.0;   // virtual time the partial merged at root
+  std::size_t downlink_bytes = 0;  // root->edge broadcast bytes this round
+  double downlink_seconds = 0.0;   // virtual seconds of those hops
 };
 
 /// Per-round accounting. Client-side quantities are means over the round's
@@ -130,7 +170,18 @@ struct RoundRecord {
   /// Mean client-side seconds decoding the own payload for the EF residual
   /// (the extra codec work EF costs; 0 with EF off or a lossless uplink).
   double ef_decode_seconds = 0.0;
+  // ---- backhaul (edge->root) tier, zeros/empty on flat runs ----
+  std::size_t backhaul_bytes = 0;      // total encoded partial bytes
+  std::size_t backhaul_raw_bytes = 0;  // total uncompressed partial bytes
+  double backhaul_seconds = 0.0;         // mean backhaul transfer / partial
+  double backhaul_encode_seconds = 0.0;  // mean edge re-encode / partial
+  double backhaul_decode_seconds = 0.0;  // mean root decode / partial
+  /// Total root->edge broadcast bytes (the downlink's first hop; the
+  /// per-client downlink_bytes above count only the edge->client leg).
+  std::size_t backhaul_downlink_bytes = 0;
+  double backhaul_downlink_seconds = 0.0;  // mean root->edge hop / edge
   std::vector<ClientTraceEntry> clients;  // one entry per folded update
+  std::vector<EdgeTraceEntry> edges;      // one entry per merged partial
   double compression_ratio() const {
     return bytes_sent > 0 ? static_cast<double>(raw_bytes) /
                                 static_cast<double>(bytes_sent)
@@ -141,6 +192,11 @@ struct RoundRecord {
                                     static_cast<double>(downlink_bytes)
                               : 0.0;
   }
+  double backhaul_compression_ratio() const {
+    return backhaul_bytes > 0 ? static_cast<double>(backhaul_raw_bytes) /
+                                    static_cast<double>(backhaul_bytes)
+                              : 0.0;
+  }
 };
 
 struct FlRunResult {
@@ -148,9 +204,14 @@ struct FlRunResult {
   double final_accuracy = 0.0;
   double total_wall_seconds = 0.0;
   double total_virtual_seconds = 0.0;  // virtual clock at run end
-  /// Peak number of simultaneously-alive decoded updates on the server —
+  /// Peak number of simultaneously-alive decoded payloads at the ROOT —
   /// 1 under the streaming runtime, independent of the client count.
   std::size_t peak_decoded_updates = 0;
+  /// Peak simultaneously-alive decoded payloads per aggregation point:
+  /// index 0 = the root, 1 + e = edge e (flat runs carry just the root
+  /// entry). Streaming keeps every node at 1 regardless of cohort size —
+  /// the O(fanout) memory claim is per NODE, never per tree.
+  std::vector<std::size_t> peak_decoded_per_node;
   std::string scheduler;
 };
 
@@ -171,6 +232,8 @@ class FlCoordinator {
   const net::HeterogeneousNetwork& network() const { return network_; }
   /// Null when the broadcast is free (no downlink_spec configured).
   const DownlinkChannel* downlink() const { return downlink_.get(); }
+  /// Null on flat runs; the edge tier under TopologyMode::kHier.
+  const AggregationTree* topology() const { return tree_.get(); }
 
  private:
   nn::ModelConfig model_config_;
@@ -183,6 +246,7 @@ class FlCoordinator {
   std::vector<std::unique_ptr<FlClient>> clients_;
   std::vector<double> compute_seconds_;  // virtual training time per client
   std::unique_ptr<DownlinkChannel> downlink_;  // null = free broadcast
+  std::unique_ptr<AggregationTree> tree_;      // null = flat star
   std::vector<ErrorFeedbackAccumulator> feedback_;  // one per client
 };
 

@@ -32,7 +32,9 @@ class Scheduler {
   /// Clients dispatched when server round `round` opens, drawn with `rng`
   /// (the coordinator's seeded sampling stream). Continuous policies are
   /// only consulted at round 0 — afterwards clients redispatch themselves
-  /// on arrival.
+  /// on arrival. Under a hierarchical topology the coordinator consults
+  /// the policy once per EDGE cohort: `clients` is then the edge's member
+  /// count and the returned indices are cohort-relative.
   virtual std::vector<std::size_t> cohort(int round, std::size_t clients,
                                           Rng& rng) = 0;
 

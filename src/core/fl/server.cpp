@@ -23,6 +23,10 @@ void FlServer::accumulate(const StateDict& update, double weight) {
   aggregator_->accumulate(update, weight);
 }
 
+void FlServer::merge_partial(const StateDict& mean, double weight) {
+  aggregator_->merge_partial(mean, weight);
+}
+
 void FlServer::finalize_round() {
   aggregator_->finalize(global_state_);
   model_.load_state_dict(global_state_);

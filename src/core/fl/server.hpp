@@ -26,6 +26,9 @@ class FlServer {
   /// Fold one decoded update with aggregation weight `weight` (sample
   /// count, optionally staleness-scaled). The update is not retained.
   void accumulate(const StateDict& update, double weight);
+  /// Hierarchical root path: fold one edge's decoded partial mean carrying
+  /// total aggregation weight `weight` (Aggregator::merge_partial).
+  void merge_partial(const StateDict& mean, double weight);
   /// Apply the accumulated mean to the global model and close the round.
   void finalize_round();
   bool round_open() const { return aggregator_->round_open(); }

@@ -1,0 +1,151 @@
+#include "core/fl/topology.hpp"
+
+#include <utility>
+
+#include "core/codec_spec.hpp"
+
+namespace fedsz::core {
+
+std::string topology_mode_name(TopologyMode mode) {
+  switch (mode) {
+    case TopologyMode::kFlat:
+      return "flat";
+    case TopologyMode::kHier:
+      return "hier";
+  }
+  throw InvalidArgument("topology_mode_name: unknown mode");
+}
+
+void TopologyConfig::validate() const {
+  if (mode == TopologyMode::kFlat) {
+    // A flat run silently dropping hier-only options is the
+    // downmode=delta-without-downlink mistake all over again; refuse.
+    if (fanout != 0)
+      throw InvalidArgument(
+          "TopologyConfig: fanout requires mode=kHier (topology=hier:<N>)");
+    if (!backhaul_spec.empty())
+      throw InvalidArgument(
+          "TopologyConfig: backhaul_spec requires mode=kHier");
+    return;
+  }
+  if (fanout == 0)
+    throw InvalidArgument("TopologyConfig: kHier needs fanout >= 1");
+  if (!backhaul_spec.empty()) {
+    // Malformed specs throw InvalidArgument from the parser itself.
+    if (parse_codec_spec(backhaul_spec).has_comm_keys())
+      throw InvalidArgument(
+          "TopologyConfig: backhaul_spec cannot itself carry comm keys");
+  }
+}
+
+std::vector<std::vector<std::size_t>> shard_clients(std::size_t clients,
+                                                    std::size_t fanout) {
+  if (clients == 0)
+    throw InvalidArgument("shard_clients: need at least one client");
+  if (fanout == 0) throw InvalidArgument("shard_clients: fanout must be >= 1");
+  std::vector<std::vector<std::size_t>> shards;
+  shards.reserve((clients + fanout - 1) / fanout);
+  for (std::size_t start = 0; start < clients; start += fanout) {
+    std::vector<std::size_t> shard;
+    const std::size_t end = std::min(clients, start + fanout);
+    shard.reserve(end - start);
+    for (std::size_t i = start; i < end; ++i) shard.push_back(i);
+    shards.push_back(std::move(shard));
+  }
+  return shards;
+}
+
+EdgeAggregator::EdgeAggregator(std::size_t id, std::vector<std::size_t> members,
+                               UpdateCodecPtr codec)
+    : id_(id),
+      members_(std::move(members)),
+      codec_(std::move(codec)),
+      aggregator_(make_fedavg()) {
+  if (members_.empty())
+    throw InvalidArgument("EdgeAggregator: empty member set");
+  if (!codec_) throw InvalidArgument("EdgeAggregator: null backhaul codec");
+}
+
+void EdgeAggregator::begin_round(const StateDict& reference) {
+  aggregator_->begin_round(reference);
+}
+
+void EdgeAggregator::fold(const StateDict& update, double weight) {
+  aggregator_->accumulate(update, weight);
+}
+
+EncodedPartial EdgeAggregator::finalize_and_encode(int round) {
+  PartialAggregate partial = aggregator_->finalize_partial();
+  EncodeContext ctx;
+  ctx.round = round;
+  ctx.client_id = -1 - static_cast<int>(id_);
+  UpdateCodec::Encoded encoded = codec_->encode(partial.mean, ctx);
+  EncodedPartial out;
+  out.payload = std::move(encoded.payload);
+  out.stats = encoded.stats;
+  out.weight = partial.weight;
+  out.clients = partial.count;
+  return out;
+}
+
+namespace {
+
+/// Validates the config and draws the per-edge backhaul tier (runs first
+/// in the constructor, so every AggregationTree is born validated).
+net::HeterogeneousNetwork build_backhaul(const TopologyConfig& config,
+                                         std::size_t clients) {
+  config.validate();
+  if (config.mode != TopologyMode::kHier)
+    throw InvalidArgument("AggregationTree: config must be mode=kHier");
+  if (clients == 0)
+    throw InvalidArgument("AggregationTree: need at least one client");
+  const std::size_t edges = (clients + config.fanout - 1) / config.fanout;
+  return net::build_links(config.backhaul_heterogeneous,
+                          config.backhaul_network, edges);
+}
+
+}  // namespace
+
+AggregationTree::AggregationTree(const TopologyConfig& config,
+                                 std::size_t clients)
+    : backhaul_(build_backhaul(config, clients)),
+      codec_(make_codec(parse_codec_spec(
+          config.backhaul_spec.empty() ? "identity" : config.backhaul_spec))) {
+  auto shards = shard_clients(clients, config.fanout);
+  owner_.resize(clients);
+  edges_.reserve(shards.size());
+  for (std::size_t e = 0; e < shards.size(); ++e) {
+    for (const std::size_t client : shards[e]) owner_[client] = e;
+    edges_.emplace_back(e, std::move(shards[e]), codec_);
+  }
+}
+
+EdgeAggregator& AggregationTree::edge(std::size_t index) {
+  if (index >= edges_.size())
+    throw InvalidArgument("AggregationTree: edge index out of range");
+  return edges_[index];
+}
+
+const EdgeAggregator& AggregationTree::edge(std::size_t index) const {
+  if (index >= edges_.size())
+    throw InvalidArgument("AggregationTree: edge index out of range");
+  return edges_[index];
+}
+
+std::size_t AggregationTree::edge_of(std::size_t client) const {
+  if (client >= owner_.size())
+    throw InvalidArgument("AggregationTree: client index out of range");
+  return owner_[client];
+}
+
+const net::SimulatedNetwork& AggregationTree::backhaul_link(
+    std::size_t edge) const {
+  return backhaul_.link(edge);
+}
+
+StateDict AggregationTree::decode_partial(ByteSpan payload,
+                                          CompressionStats* stats) const {
+  return codec_->decode(payload, stats);
+}
+
+}  // namespace fedsz::core

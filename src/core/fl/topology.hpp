@@ -1,0 +1,135 @@
+// Hierarchical federation topology: sharded edge aggregation over the
+// virtual clock. A flat star tops out where one aggregation point
+// saturates; the roadmap's millions-of-users scaling needs aggregation to
+// fan IN through tiers. Clients are sharded into contiguous cohorts under
+// edge aggregators: each edge stream-folds its cohort's decoded updates
+// through the same Aggregator begin_round/accumulate path as the root (so
+// peak decoded-update memory per NODE stays O(1)), finalizes a
+// weight-carrying partial mean (PartialAggregate), re-encodes it through
+// the policy/v3 container with its own codec spec, and ships it over its
+// own backhaul link on the virtual clock. The root merges partials
+// (merge_partial) instead of raw updates, so root-link traffic is
+// O(edges), not O(clients) — the paper's Eqn (1) cost model applied tier
+// by tier, with error-bounded lossy compression paying a second time on
+// the backhaul.
+//
+// Regression contract: kHier with an identity backhaul and fanout ==
+// clients (one edge folding everyone) reproduces the flat SyncScheduler
+// accuracy/byte trajectory exactly — a single partial merged into a fresh
+// accumulator is bit-exact, and identity re-encoding round-trips the
+// partial untouched.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/fl/aggregator.hpp"
+#include "core/update_codec.hpp"
+#include "net/heterogeneous.hpp"
+
+namespace fedsz::core {
+
+enum class TopologyMode : std::uint8_t { kFlat = 0, kHier = 1 };
+
+std::string topology_mode_name(TopologyMode mode);
+
+struct TopologyConfig {
+  TopologyMode mode = TopologyMode::kFlat;
+  /// Clients per edge aggregator (kHier, >= 1). Edges are contiguous
+  /// index shards: ceil(clients / fanout) edges, the last possibly short.
+  std::size_t fanout = 0;
+  /// Codec spec for the edge->root partial re-encode (the
+  /// parse_codec_spec grammar). Empty = "identity": partials ship
+  /// uncompressed but are still charged on the backhaul.
+  std::string backhaul_spec;
+  /// Backhaul link shared by every edge when `backhaul_heterogeneous` is
+  /// unset. Edges aggregate near their clients, so the default models a
+  /// metro uplink an order of magnitude faster than the paper's 10 Mbps
+  /// edge link.
+  net::NetworkProfile backhaul_network{100.0, 0.0};
+  /// When set, draws one backhaul link per edge instead of sharing
+  /// `backhaul_network` (two_tier puts a fraction of edges on datacenter
+  /// fiber and the rest on constrained metro links).
+  std::optional<net::HeterogeneousNetworkConfig> backhaul_heterogeneous;
+
+  /// Throws InvalidArgument on degenerate specs: kHier with fanout 0,
+  /// kFlat carrying hier-only options (fanout/backhaul — a loud error
+  /// beats silently ignoring them), or a malformed/comm-carrying backhaul
+  /// spec.
+  void validate() const;
+};
+
+/// Contiguous index shards: clients [0, fanout) under edge 0, the next
+/// fanout under edge 1, ... Every shard is non-empty and at most `fanout`
+/// long. Throws InvalidArgument when clients or fanout is 0.
+std::vector<std::vector<std::size_t>> shard_clients(std::size_t clients,
+                                                    std::size_t fanout);
+
+/// One finalized, re-encoded partial: the payload that crosses the
+/// backhaul plus its encode stats and the aggregation weight it carries
+/// (the scalar weight rides the container header at negligible cost, so
+/// the simulation charges only the payload bytes).
+struct EncodedPartial {
+  Bytes payload;
+  CompressionStats stats;
+  double weight = 0.0;
+  std::size_t clients = 0;  // updates folded into the partial
+};
+
+/// One edge aggregation point: a fixed member set and a streaming
+/// accumulator round-keyed exactly like the root's.
+class EdgeAggregator {
+ public:
+  EdgeAggregator(std::size_t id, std::vector<std::size_t> members,
+                 UpdateCodecPtr codec);
+
+  std::size_t id() const { return id_; }
+  const std::vector<std::size_t>& members() const { return members_; }
+
+  /// Open a round; the accumulator mirrors `reference`'s structure.
+  void begin_round(const StateDict& reference);
+  bool round_open() const { return aggregator_->round_open(); }
+  /// Fold one decoded client update (the same streaming path as the root).
+  void fold(const StateDict& update, double weight);
+  std::size_t folded() const { return aggregator_->accumulated(); }
+  /// Close the round: finalize the partial mean and re-encode it through
+  /// this edge's backhaul codec. `round` pins the EncodeContext so
+  /// round-aware policies resolve; the context's client_id is the edge's
+  /// ones-complement (-1 - id), keeping edge encodes distinct from any
+  /// client id.
+  EncodedPartial finalize_and_encode(int round);
+
+ private:
+  std::size_t id_;
+  std::vector<std::size_t> members_;
+  UpdateCodecPtr codec_;
+  AggregatorPtr aggregator_;  // streaming mean; the strategy rule never runs
+};
+
+/// The edge tier of a two-level aggregation tree: edge aggregators, the
+/// client->edge ownership map, and one backhaul link per edge.
+class AggregationTree {
+ public:
+  /// Builds ceil(clients / fanout) edges for a kHier config (throws
+  /// InvalidArgument otherwise, or when the config fails validate()).
+  AggregationTree(const TopologyConfig& config, std::size_t clients);
+
+  std::size_t edge_count() const { return edges_.size(); }
+  EdgeAggregator& edge(std::size_t index);
+  const EdgeAggregator& edge(std::size_t index) const;
+  /// The edge that aggregates `client`.
+  std::size_t edge_of(std::size_t client) const;
+  const net::SimulatedNetwork& backhaul_link(std::size_t edge) const;
+  /// Root-side decode of a partial payload (the edges' shared codec).
+  StateDict decode_partial(ByteSpan payload,
+                           CompressionStats* stats = nullptr) const;
+
+ private:
+  net::HeterogeneousNetwork backhaul_;  // one link per edge
+  UpdateCodecPtr codec_;
+  std::vector<EdgeAggregator> edges_;
+  std::vector<std::size_t> owner_;  // client index -> edge index
+};
+
+}  // namespace fedsz::core

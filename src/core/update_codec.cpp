@@ -80,11 +80,12 @@ UpdateCodecPtr make_codec_by_name(const std::string& name,
   // uplink codec here would silently drop them. Callers that support them
   // parse the spec themselves and fold the comm keys into an FlRunConfig
   // via apply_comm_spec.
-  if (!spec.downlink.empty() || spec.downlink_delta || spec.error_feedback)
+  if (spec.has_comm_keys())
     throw InvalidArgument(
         "make_codec_by_name: spec carries comm-level keys (downlink/"
-        "downmode/ef) this entry point cannot honor — parse the spec and "
-        "use FlRunConfig::apply_comm_spec, or drop the keys");
+        "downmode/ef/topology/backhaul) this entry point cannot honor — "
+        "parse the spec and use FlRunConfig::apply_comm_spec, or drop the "
+        "keys");
   if (spec.identity) return make_identity_codec();
   // A caller-constructed policy object wins only when the spec did not
   // spell out `policy=` at all; an explicit `policy=threshold` request

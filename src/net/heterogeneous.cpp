@@ -145,6 +145,13 @@ double HeterogeneousNetwork::max_bandwidth_mbps() const {
   return value;
 }
 
+HeterogeneousNetwork build_links(
+    const std::optional<HeterogeneousNetworkConfig>& config,
+    NetworkProfile fallback, std::size_t nodes) {
+  if (config) return HeterogeneousNetwork(*config, nodes);
+  return HeterogeneousNetwork::homogeneous(fallback, nodes);
+}
+
 double HeterogeneousNetwork::mean_bandwidth_mbps() const {
   double sum = 0.0;
   for (const SimulatedNetwork& link : links_)

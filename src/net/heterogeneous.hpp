@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -65,5 +66,14 @@ class HeterogeneousNetwork {
   HeterogeneousNetwork() = default;
   std::vector<SimulatedNetwork> links_;
 };
+
+/// One link per node: drawn from `config` when set, else `fallback` shared
+/// by every node. The single construction path for every simulated link
+/// tier — the coordinator's client uplinks and the topology's per-edge
+/// backhaul (e.g. two_tier: a fraction of edges on datacenter fiber, the
+/// rest on constrained metro links) both route through it.
+HeterogeneousNetwork build_links(
+    const std::optional<HeterogeneousNetworkConfig>& config,
+    NetworkProfile fallback, std::size_t nodes);
 
 }  // namespace fedsz::net

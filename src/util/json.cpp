@@ -1,0 +1,156 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace fedsz::util {
+
+JsonValue::JsonValue(bool value) : kind_(Kind::kBool), bool_(value) {}
+JsonValue::JsonValue(double value) : kind_(Kind::kNumber), number_(value) {}
+JsonValue::JsonValue(int value)
+    : kind_(Kind::kNumber), number_(static_cast<double>(value)) {}
+JsonValue::JsonValue(std::size_t value)
+    : kind_(Kind::kNumber), number_(static_cast<double>(value)) {}
+JsonValue::JsonValue(const char* value)
+    : kind_(Kind::kString), string_(value) {}
+JsonValue::JsonValue(std::string value)
+    : kind_(Kind::kString), string_(std::move(value)) {}
+
+JsonValue JsonValue::object() {
+  JsonValue value;
+  value.kind_ = Kind::kObject;
+  return value;
+}
+
+JsonValue JsonValue::array() {
+  JsonValue value;
+  value.kind_ = Kind::kArray;
+  return value;
+}
+
+JsonValue& JsonValue::set(const std::string& key, JsonValue value) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kObject;
+  if (kind_ != Kind::kObject)
+    throw std::runtime_error("JsonValue::set on a non-object");
+  members_.emplace_back(key, std::move(value));
+  return *this;
+}
+
+JsonValue& JsonValue::push(JsonValue value) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kArray;
+  if (kind_ != Kind::kArray)
+    throw std::runtime_error("JsonValue::push on a non-array");
+  items_.push_back(std::move(value));
+  return *this;
+}
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& text) {
+  out.push_back('"');
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+void JsonValue::render(std::string& out, int indent, int depth) const {
+  const std::string pad(static_cast<std::size_t>(indent) *
+                            static_cast<std::size_t>(depth + 1),
+                        ' ');
+  const std::string close_pad(
+      static_cast<std::size_t>(indent) * static_cast<std::size_t>(depth),
+      ' ');
+  switch (kind_) {
+    case Kind::kNull:
+      out += "null";
+      break;
+    case Kind::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Kind::kNumber: {
+      char buffer[48];
+      if (!std::isfinite(number_)) {
+        out += "null";  // JSON has no inf/nan (e.g. speedup() at zero cost)
+        break;
+      }
+      if (std::abs(number_) < 1e15 &&
+          number_ == static_cast<double>(static_cast<long long>(number_)))
+        std::snprintf(buffer, sizeof(buffer), "%lld",
+                      static_cast<long long>(number_));
+      else
+        std::snprintf(buffer, sizeof(buffer), "%.12g", number_);
+      out += buffer;
+      break;
+    }
+    case Kind::kString:
+      append_escaped(out, string_);
+      break;
+    case Kind::kArray: {
+      if (items_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += "[\n";
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        out += pad;
+        items_[i].render(out, indent, depth + 1);
+        if (i + 1 < items_.size()) out += ",";
+        out += "\n";
+      }
+      out += close_pad + "]";
+      break;
+    }
+    case Kind::kObject: {
+      if (members_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += "{\n";
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        out += pad;
+        append_escaped(out, members_[i].first);
+        out += ": ";
+        members_[i].second.render(out, indent, depth + 1);
+        if (i + 1 < members_.size()) out += ",";
+        out += "\n";
+      }
+      out += close_pad + "}";
+      break;
+    }
+  }
+}
+
+std::string JsonValue::dump(int indent) const {
+  std::string out;
+  render(out, indent, 0);
+  return out;
+}
+
+void write_json(const std::string& path, const JsonValue& value) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_json: cannot open " + path);
+  out << value.dump() << "\n";
+  if (!out) throw std::runtime_error("write_json: write failed for " + path);
+}
+
+}  // namespace fedsz::util

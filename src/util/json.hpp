@@ -1,0 +1,51 @@
+// Minimal ordered JSON value (null/bool/number/string/array/object) and a
+// file writer, so bench binaries and tools can emit machine-readable
+// results without an external dependency. Insertion order is preserved,
+// strings are escaped per RFC 8259 (quotes, backslashes, and every control
+// character below 0x20 — \n/\r/\t short forms, \u00XX otherwise), and
+// non-finite numbers render as null (JSON has no inf/nan).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fedsz::util {
+
+class JsonValue {
+ public:
+  JsonValue() = default;  // null
+  JsonValue(bool value);
+  JsonValue(double value);
+  JsonValue(int value);
+  JsonValue(std::size_t value);
+  JsonValue(const char* value);
+  JsonValue(std::string value);
+
+  static JsonValue object();
+  static JsonValue array();
+
+  /// Insert into an object (created on demand when null); returns *this.
+  JsonValue& set(const std::string& key, JsonValue value);
+  /// Append to an array (created on demand when null); returns *this.
+  JsonValue& push(JsonValue value);
+
+  std::string dump(int indent = 2) const;
+
+ private:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  void render(std::string& out, int indent, int depth) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Write `value` to `path` (with trailing newline). Throws
+/// std::runtime_error when the file cannot be written.
+void write_json(const std::string& path, const JsonValue& value);
+
+}  // namespace fedsz::util

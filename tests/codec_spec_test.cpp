@@ -98,13 +98,44 @@ TEST(CodecSpecParse, IdentityTakesCommKeysOnly) {
                InvalidArgument);
 }
 
+TEST(CodecSpecParse, TopologyAndBackhaulCommKeys) {
+  const CodecSpec spec = parse_codec_spec(
+      "fedsz:eb=rel:1e-2,topology=hier:32,"
+      "backhaul=fedsz:eb=rel:1e-3;lossless=zstd");
+  EXPECT_EQ(spec.hier_fanout, 32u);
+  // The stored backhaul spec is canonical comma form, directly parseable.
+  const CodecSpec inner = parse_codec_spec(spec.backhaul);
+  EXPECT_DOUBLE_EQ(inner.bound.value, 1e-3);
+  EXPECT_EQ(inner.lossless_id, lossless::LosslessId::kZstd);
+  // flat is the default and an explicit no-op; suffixes scale the fanout.
+  EXPECT_EQ(parse_codec_spec("fedsz").hier_fanout, 0u);
+  EXPECT_EQ(parse_codec_spec("fedsz:topology=flat").hier_fanout, 0u);
+  EXPECT_EQ(parse_codec_spec("fedsz:topology=hier:1k").hier_fanout, 1024u);
+  // The identity family accepts the topology keys too (raw uplink through
+  // a sharded tree is a legitimate comm config).
+  const CodecSpec identity = parse_codec_spec(
+      "identity:topology=hier:8,backhaul=identity");
+  EXPECT_TRUE(identity.identity);
+  EXPECT_EQ(identity.hier_fanout, 8u);
+  EXPECT_EQ(identity.backhaul, "identity");
+  const std::string canonical = format_codec_spec(identity);
+  EXPECT_EQ(format_codec_spec(parse_codec_spec(canonical)), canonical);
+}
+
 TEST(CodecSpecErrors, MalformedCommKeysThrow) {
   for (const char* spec :
        {"fedsz:ef=maybe", "fedsz:downmode=sideways", "fedsz:downlink=",
         "fedsz:downlink=szip",
         // comm keys cannot nest inside a downlink spec
         "fedsz:downlink=fedsz:ef=on",
-        "fedsz:downlink=fedsz:downlink=identity"}) {
+        "fedsz:downlink=fedsz:downlink=identity",
+        // degenerate topologies: missing/zero/non-numeric fanout, unknown
+        // shapes, malformed or comm-carrying backhaul specs
+        "fedsz:topology=hier", "fedsz:topology=hier:", "fedsz:topology=hier:0",
+        "fedsz:topology=hier:two", "fedsz:topology=ring", "fedsz:topology=",
+        "fedsz:backhaul=", "fedsz:backhaul=szip",
+        "fedsz:backhaul=fedsz:ef=on",
+        "fedsz:backhaul=fedsz:topology=hier:4"}) {
     EXPECT_THROW(parse_codec_spec(spec), InvalidArgument) << spec;
   }
 }
@@ -120,6 +151,14 @@ TEST(CodecSpecFormat, CommKeysRoundTripThroughTheCanonicalForm) {
   EXPECT_EQ(normalize(canonical), canonical);
   // Off/full/empty comm keys normalize away entirely.
   EXPECT_EQ(normalize("fedsz:ef=off,downmode=full"), normalize("fedsz"));
+  EXPECT_EQ(normalize("fedsz:topology=flat"), normalize("fedsz"));
+  // Topology keys render after the downlink trio, backhaul ';'-separated.
+  const std::string hier = normalize(
+      "fedsz:topology=hier:16,backhaul=fedsz:eb=rel:1e-3;lossless=zstd");
+  EXPECT_NE(hier.find(",topology=hier:16"), std::string::npos);
+  EXPECT_NE(hier.find(",backhaul=fedsz:lossy=sz2;eb=rel:0.001;"),
+            std::string::npos);
+  EXPECT_EQ(normalize(hier), hier);
 }
 
 TEST(CodecSpecParse, ChunkSuffixes) {
@@ -247,6 +286,12 @@ TEST(CodecSpecFormat, FormatParseFuzzRoundTrip) {
           rng.uniform() < 0.5 ? "identity" : "fedsz:lossy=sz3,eb=rel:1e-3"));
     spec.downlink_delta = rng.uniform() < 0.25;
     spec.error_feedback = rng.uniform() < 0.25;
+    if (rng.uniform() < 0.3) {
+      spec.hier_fanout = 1 + rng.uniform_index(256);
+      if (rng.uniform() < 0.5)
+        spec.backhaul = format_codec_spec(parse_codec_spec(
+            rng.uniform() < 0.5 ? "identity" : "fedsz:eb=rel:1e-3"));
+    }
 
     const std::string canonical = format_codec_spec(spec);
     const CodecSpec reparsed = parse_codec_spec(canonical);
@@ -255,6 +300,8 @@ TEST(CodecSpecFormat, FormatParseFuzzRoundTrip) {
     EXPECT_EQ(reparsed.downlink, spec.downlink);
     EXPECT_EQ(reparsed.downlink_delta, spec.downlink_delta);
     EXPECT_EQ(reparsed.error_feedback, spec.error_feedback);
+    EXPECT_EQ(reparsed.hier_fanout, spec.hier_fanout);
+    EXPECT_EQ(reparsed.backhaul, spec.backhaul);
     if (!spec.identity) {
       EXPECT_EQ(reparsed.lossy_id, spec.lossy_id);
       EXPECT_EQ(reparsed.lossless_id, spec.lossless_id);
@@ -339,7 +386,8 @@ TEST(MakeCodecByName, CommKeysItCannotHonorAreRejected) {
   for (const char* spec :
        {"fedsz:ef=on", "fedsz:downlink=identity",
         "identity:downlink=fedsz:eb=rel:1e-3",
-        "fedsz:eb=rel:1e-2,downmode=delta"}) {
+        "fedsz:eb=rel:1e-2,downmode=delta", "fedsz:topology=hier:8",
+        "identity:backhaul=fedsz:eb=rel:1e-3,topology=hier:4"}) {
     EXPECT_THROW(make_codec_by_name(spec), InvalidArgument) << spec;
   }
 }

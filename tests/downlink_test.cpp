@@ -260,6 +260,73 @@ TEST(FlCoordinatorDownlinkTest, DownlinkRunsAreDeterministic) {
   }
 }
 
+// The sampled-scheduler x delta-downlink interaction was untested: delta
+// sessions advance only for SAMPLED clients, so the per-client acknowledged
+// models diverge across rounds, and none of it may depend on the worker
+// pool. Same seed => byte-identical RoundRecords at any thread count.
+TEST(FlCoordinatorDownlinkTest, SampledDeltaDownlinkIsThreadCountInvariant) {
+  auto [train, test] = data::make_dataset("cifar10");
+  auto run_once = [&](std::size_t threads) {
+    FlRunConfig config;
+    config.clients = 8;
+    config.rounds = 3;
+    config.eval_limit = 32;
+    config.threads = threads;
+    config.seed = 321;
+    config.client.batch_size = 4;
+    config.evaluate_every_round = false;
+    config.apply_comm_spec(parse_codec_spec(
+        "identity:downlink=fedsz:eb=abs:1e-3,downmode=delta"));
+    net::HeterogeneousNetworkConfig links;
+    links.distribution = net::LinkDistribution::kUniformEdge;
+    links.edge_min_mbps = 2.0;
+    links.edge_max_mbps = 20.0;
+    config.heterogeneous = links;
+    FlCoordinator coordinator(tiny_model(), data::take(train, 64),
+                              data::take(test, 32), config,
+                              make_codec_by_name("fedsz:eb=rel:1e-2"),
+                              make_sampled_sync_scheduler(0.5));
+    return coordinator.run();
+  };
+  const FlRunResult a = run_once(1);
+  const FlRunResult b = run_once(4);
+  ASSERT_EQ(a.rounds.size(), 3u);
+  ASSERT_EQ(b.rounds.size(), 3u);
+  EXPECT_DOUBLE_EQ(a.final_accuracy, b.final_accuracy);
+  for (std::size_t r = 0; r < a.rounds.size(); ++r) {
+    const RoundRecord& ra = a.rounds[r];
+    const RoundRecord& rb = b.rounds[r];
+    EXPECT_EQ(ra.participants, 4u);  // ceil(0.5 * 8)
+    EXPECT_EQ(ra.bytes_sent, rb.bytes_sent);
+    EXPECT_EQ(ra.raw_bytes, rb.raw_bytes);
+    EXPECT_EQ(ra.downlink_bytes, rb.downlink_bytes);
+    EXPECT_EQ(ra.downlink_raw_bytes, rb.downlink_raw_bytes);
+    EXPECT_DOUBLE_EQ(ra.virtual_seconds, rb.virtual_seconds);
+    ASSERT_EQ(ra.clients.size(), rb.clients.size());
+    for (std::size_t c = 0; c < ra.clients.size(); ++c) {
+      EXPECT_EQ(ra.clients[c].client, rb.clients[c].client);
+      EXPECT_EQ(ra.clients[c].payload_bytes, rb.clients[c].payload_bytes);
+      EXPECT_EQ(ra.clients[c].downlink_bytes, rb.clients[c].downlink_bytes);
+      EXPECT_DOUBLE_EQ(ra.clients[c].arrival_seconds,
+                       rb.clients[c].arrival_seconds);
+      EXPECT_DOUBLE_EQ(ra.clients[c].weight, rb.clients[c].weight);
+    }
+  }
+  // Delta sessions must actually engage: later rounds re-broadcast only to
+  // resampled clients, and at least one broadcast is a session delta
+  // smaller than the first-contact full model.
+  std::size_t first_contact = 0, later = 0;
+  for (const ClientTraceEntry& entry : a.rounds[0].clients)
+    first_contact = std::max(first_contact, entry.downlink_bytes);
+  for (std::size_t r = 1; r < a.rounds.size(); ++r)
+    for (const ClientTraceEntry& entry : a.rounds[r].clients)
+      later = later == 0 ? entry.downlink_bytes
+                         : std::min(later, entry.downlink_bytes);
+  EXPECT_GT(first_contact, 0u);
+  EXPECT_GT(later, 0u);
+  EXPECT_LT(later, first_contact);
+}
+
 TEST(FlCoordinatorDownlinkTest, IdentityDownlinkChargesFullBytes) {
   const BidirectionalRun down = run_eight_clients(
       "identity", "identity", DownlinkMode::kFull, false);

@@ -1,0 +1,81 @@
+// Tests for the ordered JSON emitter (util/json.hpp): RFC 8259 string
+// escaping (quotes, backslashes, every control character below 0x20 —
+// workflow artifacts must survive arbitrary codec-spec strings and error
+// messages), number rendering, insertion order, and type misuse.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "util/json.hpp"
+
+namespace fedsz::util {
+namespace {
+
+TEST(JsonValueTest, EscapesControlCharactersAndQuotes) {
+  JsonValue value(std::string("a\"b\\c\nd\re\tf"));
+  EXPECT_EQ(value.dump(), "\"a\\\"b\\\\c\\nd\\re\\tf\"");
+  // Control characters without short escapes render as \u00XX.
+  std::string raw;
+  raw.push_back('\x01');
+  raw.push_back('\x1f');
+  raw.push_back('x');
+  EXPECT_EQ(JsonValue(raw).dump(), "\"\\u0001\\u001fx\"");
+  // NUL embedded mid-string survives as an escape.
+  std::string with_nul("a");
+  with_nul.push_back('\0');
+  with_nul.push_back('b');
+  EXPECT_EQ(JsonValue(with_nul).dump(), "\"a\\u0000b\"");
+  // Printable ASCII and bytes >= 0x20 pass through untouched.
+  EXPECT_EQ(JsonValue("fedsz:eb=rel:1e-3").dump(), "\"fedsz:eb=rel:1e-3\"");
+}
+
+TEST(JsonValueTest, ObjectKeysAreEscapedToo) {
+  JsonValue object = JsonValue::object();
+  object.set("bad\nkey", 1);
+  const std::string out = object.dump(0);
+  EXPECT_NE(out.find("\"bad\\nkey\""), std::string::npos);
+  EXPECT_EQ(out.find("bad\nkey"), std::string::npos);  // no raw newline
+}
+
+TEST(JsonValueTest, NumberRendering) {
+  EXPECT_EQ(JsonValue(42).dump(), "42");
+  EXPECT_EQ(JsonValue(std::size_t{7}).dump(), "7");
+  EXPECT_EQ(JsonValue(-3.0).dump(), "-3");  // integral doubles drop the dot
+  EXPECT_EQ(JsonValue(1.5).dump(), "1.5");
+  // JSON has no inf/nan; both render as null.
+  EXPECT_EQ(JsonValue(std::numeric_limits<double>::infinity()).dump(),
+            "null");
+  EXPECT_EQ(JsonValue(std::numeric_limits<double>::quiet_NaN()).dump(),
+            "null");
+}
+
+TEST(JsonValueTest, PreservesInsertionOrderAndNesting) {
+  JsonValue object = JsonValue::object();
+  object.set("z", 1).set("a", JsonValue::array().push(true).push("x"));
+  object.set("empty_obj", JsonValue::object());
+  object.set("empty_arr", JsonValue::array());
+  const std::string out = object.dump(2);
+  EXPECT_LT(out.find("\"z\""), out.find("\"a\""));
+  EXPECT_NE(out.find("\"empty_obj\": {}"), std::string::npos);
+  EXPECT_NE(out.find("\"empty_arr\": []"), std::string::npos);
+  EXPECT_NE(out.find("true"), std::string::npos);
+  // Null default and bool render as JSON literals.
+  EXPECT_EQ(JsonValue().dump(), "null");
+  EXPECT_EQ(JsonValue(false).dump(), "false");
+}
+
+TEST(JsonValueTest, TypeMisuseThrows) {
+  JsonValue array = JsonValue::array();
+  EXPECT_THROW(array.set("k", 1), std::runtime_error);
+  JsonValue object = JsonValue::object();
+  EXPECT_THROW(object.push(1), std::runtime_error);
+  // A null value adopts the first container operation applied to it.
+  JsonValue adopt;
+  adopt.push(1);
+  EXPECT_THROW(adopt.set("k", 1), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace fedsz::util

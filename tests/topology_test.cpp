@@ -1,0 +1,364 @@
+// Tests for the hierarchical federation topology: client sharding,
+// partial-aggregate exactness, the flat-equivalence regression pin
+// (hier + identity backhaul + fanout == clients must reproduce the flat
+// SyncScheduler trajectory exactly), determinism across thread counts,
+// per-tier byte accounting, per-node decoded-update peaks, and the
+// degenerate-config rejections.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/codec_spec.hpp"
+#include "core/fl/coordinator.hpp"
+#include "core/fl/topology.hpp"
+#include "data/synthetic.hpp"
+
+namespace fedsz::core {
+namespace {
+
+nn::ModelConfig tiny_model() {
+  nn::ModelConfig cfg;
+  cfg.arch = "mobilenet_v2";
+  cfg.scale = nn::ModelScale::kTiny;
+  return cfg;
+}
+
+TEST(ShardClientsTest, ContiguousShardsCoverEveryClient) {
+  const auto shards = shard_clients(10, 4);
+  ASSERT_EQ(shards.size(), 3u);  // ceil(10 / 4)
+  EXPECT_EQ(shards[0], (std::vector<std::size_t>{0, 1, 2, 3}));
+  EXPECT_EQ(shards[1], (std::vector<std::size_t>{4, 5, 6, 7}));
+  EXPECT_EQ(shards[2], (std::vector<std::size_t>{8, 9}));  // short tail
+  // fanout >= clients collapses to a single edge.
+  EXPECT_EQ(shard_clients(3, 8).size(), 1u);
+  EXPECT_THROW(shard_clients(0, 4), InvalidArgument);
+  EXPECT_THROW(shard_clients(4, 0), InvalidArgument);
+}
+
+TEST(TopologyConfigTest, ValidateRejectsDegenerateSpecs) {
+  TopologyConfig config;
+  EXPECT_NO_THROW(config.validate());  // flat default
+  config.mode = TopologyMode::kHier;
+  config.fanout = 0;  // hier without a fanout
+  EXPECT_THROW(config.validate(), InvalidArgument);
+  config.fanout = 4;
+  EXPECT_NO_THROW(config.validate());
+  config.backhaul_spec = "fedsz:eb=rel:1e-3";
+  EXPECT_NO_THROW(config.validate());
+  config.backhaul_spec = "not-a-codec";  // malformed backhaul spec
+  EXPECT_THROW(config.validate(), InvalidArgument);
+  config.backhaul_spec = "fedsz:ef=on";  // comm keys cannot nest
+  EXPECT_THROW(config.validate(), InvalidArgument);
+  // Flat runs silently dropping hier-only options would mask mistakes.
+  config = TopologyConfig{};
+  config.fanout = 4;
+  EXPECT_THROW(config.validate(), InvalidArgument);
+  config = TopologyConfig{};
+  config.backhaul_spec = "identity";
+  EXPECT_THROW(config.validate(), InvalidArgument);
+}
+
+TEST(TopologyConfigTest, FlRunConfigValidateAndCommSpecRoundTrip) {
+  FlRunConfig config;
+  config.apply_comm_spec(
+      parse_codec_spec("fedsz:topology=hier:8,backhaul=fedsz:eb=rel:1e-3"));
+  EXPECT_EQ(config.topology.mode, TopologyMode::kHier);
+  EXPECT_EQ(config.topology.fanout, 8u);
+  EXPECT_EQ(parse_codec_spec(config.topology.backhaul_spec).bound.value,
+            1e-3);
+  EXPECT_NO_THROW(config.validate());
+  config.topology.fanout = 0;  // degenerate hier flows through validate()
+  EXPECT_THROW(config.validate(), InvalidArgument);
+}
+
+TEST(AggregationTreeTest, OwnershipAndConstructionGuards) {
+  TopologyConfig config;
+  config.mode = TopologyMode::kHier;
+  config.fanout = 3;
+  const AggregationTree tree(config, 7);
+  EXPECT_EQ(tree.edge_count(), 3u);
+  EXPECT_EQ(tree.edge_of(0), 0u);
+  EXPECT_EQ(tree.edge_of(2), 0u);
+  EXPECT_EQ(tree.edge_of(3), 1u);
+  EXPECT_EQ(tree.edge_of(6), 2u);
+  EXPECT_THROW(tree.edge_of(7), InvalidArgument);
+  EXPECT_EQ(tree.edge(2).members().size(), 1u);
+  EXPECT_THROW(tree.edge(3), InvalidArgument);
+  // Flat configs cannot build a tree, and zero clients cannot shard.
+  EXPECT_THROW(AggregationTree(TopologyConfig{}, 4), InvalidArgument);
+  EXPECT_THROW(AggregationTree(config, 0), InvalidArgument);
+}
+
+TEST(PartialAggregateTest, MergedPartialsReproduceTheFlatWeightedMean) {
+  StateDict reference;
+  reference.set("w", Tensor::from_data({4}, {0.0f, 0.0f, 0.0f, 0.0f}));
+  auto update = [](float v) {
+    StateDict dict;
+    dict.set("w", Tensor::from_data({4}, {v, 2 * v, -v, 0.5f * v}));
+    return dict;
+  };
+  // Flat: one accumulator folds all four updates.
+  StreamingMean flat;
+  flat.begin(reference);
+  flat.add(update(1.0f), 10.0);
+  flat.add(update(2.0f), 30.0);
+  flat.add(update(-3.0f), 20.0);
+  flat.add(update(4.0f), 40.0);
+  const StateDict flat_mean = flat.finalize();
+  // Hier: two edges fold two updates each; the root merges the partials.
+  StreamingMean left, right, root;
+  left.begin(reference);
+  left.add(update(1.0f), 10.0);
+  left.add(update(2.0f), 30.0);
+  right.begin(reference);
+  right.add(update(-3.0f), 20.0);
+  right.add(update(4.0f), 40.0);
+  const PartialAggregate a = left.finalize_partial();
+  const PartialAggregate b = right.finalize_partial();
+  EXPECT_DOUBLE_EQ(a.weight, 40.0);
+  EXPECT_DOUBLE_EQ(b.weight, 60.0);
+  EXPECT_EQ(a.count, 2u);
+  root.begin(reference);
+  root.add(a.mean, a.weight);
+  root.add(b.mean, b.weight);
+  const StateDict merged = root.finalize();
+  for (std::size_t k = 0; k < 4; ++k)
+    EXPECT_NEAR(merged.get("w")[k], flat_mean.get("w")[k], 1e-6f);
+  // A single partial merged into a fresh accumulator is bit-exact — the
+  // foundation of the flat-equivalence pin below.
+  StreamingMean whole, relay;
+  whole.begin(reference);
+  whole.add(update(1.0f), 10.0);
+  whole.add(update(2.0f), 30.0);
+  whole.add(update(-3.0f), 20.0);
+  whole.add(update(4.0f), 40.0);
+  const PartialAggregate all = whole.finalize_partial();
+  relay.begin(reference);
+  relay.add(all.mean, all.weight);
+  EXPECT_TRUE(relay.finalize().equals(flat_mean));
+}
+
+TEST(PartialAggregateTest, AggregatorPartialPathAndZeroWeight) {
+  auto aggregator = make_fedavg();
+  StateDict reference;
+  reference.set("w", Tensor::from_data({2}, {0.0f, 0.0f}));
+  StateDict update;
+  update.set("w", Tensor::from_data({2}, {2.0f, 4.0f}));
+  aggregator->begin_round(reference);
+  EXPECT_THROW(aggregator->finalize_partial(),
+               InvalidArgument);  // nothing folded
+  aggregator->begin_round(reference);
+  aggregator->accumulate(update, 0.0);  // zero weight is a legal partial
+  const PartialAggregate partial = aggregator->finalize_partial();
+  EXPECT_DOUBLE_EQ(partial.weight, 0.0);
+  EXPECT_EQ(partial.count, 1u);
+  // Root side: a zero-weight partial merges as a no-op.
+  auto root = make_fedavg();
+  StateDict global = reference;
+  root->begin_round(global);
+  root->merge_partial(partial.mean, partial.weight);
+  root->merge_partial(update, 8.0);
+  root->finalize(global);
+  EXPECT_FLOAT_EQ(global.get("w")[0], 2.0f);
+  EXPECT_FLOAT_EQ(global.get("w")[1], 4.0f);
+}
+
+// ---- coordinator runs ----
+
+FlRunConfig hier_config(std::size_t clients, int rounds, std::size_t fanout,
+                        const std::string& backhaul,
+                        std::size_t threads = 2) {
+  FlRunConfig config;
+  config.clients = clients;
+  config.rounds = rounds;
+  config.eval_limit = 64;
+  config.threads = threads;
+  config.seed = 123;
+  config.client.batch_size = 16;
+  config.topology.mode = TopologyMode::kHier;
+  config.topology.fanout = fanout;
+  config.topology.backhaul_spec = backhaul;
+  return config;
+}
+
+TEST(TopologyCoordinatorTest, IdentityBackhaulFanoutNReproducesFlatExactly) {
+  auto [train, test] = data::make_dataset("cifar10");
+  const auto codec = make_codec(parse_codec_spec("fedsz:eb=rel:1e-2"));
+
+  FlRunConfig flat;
+  flat.clients = 3;
+  flat.rounds = 3;
+  flat.eval_limit = 64;
+  flat.threads = 3;
+  flat.seed = 123;
+  flat.client.batch_size = 16;
+  FlCoordinator flat_coordinator(tiny_model(), data::take(train, 96),
+                                 data::take(test, 64), flat, codec);
+  const FlRunResult flat_result = flat_coordinator.run();
+
+  // One edge folding everyone, identity backhaul: the partial crosses the
+  // backhaul bit-exactly and merges bit-exactly, so the accuracy/byte
+  // trajectory must match the flat run EXACTLY, round for round.
+  FlRunConfig hier = hier_config(3, 3, /*fanout=*/3, "identity", 3);
+  FlCoordinator hier_coordinator(tiny_model(), data::take(train, 96),
+                                 data::take(test, 64), hier, codec);
+  const FlRunResult hier_result = hier_coordinator.run();
+
+  ASSERT_EQ(hier_result.rounds.size(), flat_result.rounds.size());
+  for (std::size_t r = 0; r < flat_result.rounds.size(); ++r) {
+    EXPECT_DOUBLE_EQ(hier_result.rounds[r].accuracy,
+                     flat_result.rounds[r].accuracy)
+        << "round " << r;
+    EXPECT_EQ(hier_result.rounds[r].bytes_sent,
+              flat_result.rounds[r].bytes_sent)
+        << "round " << r;
+    EXPECT_EQ(hier_result.rounds[r].participants,
+              flat_result.rounds[r].participants);
+    // The hier run's single partial carries the whole cohort.
+    ASSERT_EQ(hier_result.rounds[r].edges.size(), 1u);
+    EXPECT_EQ(hier_result.rounds[r].edges[0].cohort, 3u);
+    EXPECT_GT(hier_result.rounds[r].backhaul_bytes, 0u);
+    // Identity backhaul: the partial ships uncompressed.
+    EXPECT_NEAR(hier_result.rounds[r].backhaul_compression_ratio(), 1.0,
+                1e-9);
+  }
+  EXPECT_DOUBLE_EQ(hier_result.final_accuracy, flat_result.final_accuracy);
+}
+
+TEST(TopologyCoordinatorTest, DeterministicAndByteIdenticalAcrossThreads) {
+  auto [train, test] = data::make_dataset("cifar10");
+  auto run_once = [&](std::size_t threads) {
+    FlRunConfig config =
+        hier_config(8, 2, /*fanout=*/3, "fedsz:eb=rel:1e-2", threads);
+    config.downlink_spec = "fedsz:eb=rel:1e-3";
+    config.evaluate_every_round = false;
+    FlCoordinator coordinator(tiny_model(), data::take(train, 64),
+                              data::take(test, 32), config,
+                              make_fedsz_codec());
+    return coordinator.run();
+  };
+  const FlRunResult a = run_once(1);
+  const FlRunResult b = run_once(4);
+  ASSERT_EQ(a.rounds.size(), b.rounds.size());
+  for (std::size_t r = 0; r < a.rounds.size(); ++r) {
+    const RoundRecord& ra = a.rounds[r];
+    const RoundRecord& rb = b.rounds[r];
+    EXPECT_EQ(ra.bytes_sent, rb.bytes_sent);
+    EXPECT_EQ(ra.backhaul_bytes, rb.backhaul_bytes);
+    EXPECT_EQ(ra.downlink_bytes, rb.downlink_bytes);
+    EXPECT_EQ(ra.backhaul_downlink_bytes, rb.backhaul_downlink_bytes);
+    EXPECT_DOUBLE_EQ(ra.virtual_seconds, rb.virtual_seconds);
+    ASSERT_EQ(ra.clients.size(), rb.clients.size());
+    for (std::size_t c = 0; c < ra.clients.size(); ++c) {
+      EXPECT_EQ(ra.clients[c].client, rb.clients[c].client);
+      EXPECT_EQ(ra.clients[c].node, rb.clients[c].node);
+      EXPECT_EQ(ra.clients[c].payload_bytes, rb.clients[c].payload_bytes);
+    }
+    ASSERT_EQ(ra.edges.size(), rb.edges.size());
+    for (std::size_t e = 0; e < ra.edges.size(); ++e) {
+      EXPECT_EQ(ra.edges[e].edge, rb.edges[e].edge);
+      EXPECT_EQ(ra.edges[e].payload_bytes, rb.edges[e].payload_bytes);
+      EXPECT_DOUBLE_EQ(ra.edges[e].arrival_seconds,
+                       rb.edges[e].arrival_seconds);
+    }
+  }
+  EXPECT_DOUBLE_EQ(a.final_accuracy, b.final_accuracy);
+}
+
+TEST(TopologyCoordinatorTest, PerTierByteAccountingSumsToRecordTotals) {
+  auto [train, test] = data::make_dataset("cifar10");
+  FlRunConfig config = hier_config(6, 2, /*fanout=*/2, "fedsz:eb=rel:1e-2");
+  config.downlink_spec = "fedsz:eb=rel:1e-3";
+  FlCoordinator coordinator(tiny_model(), data::take(train, 48),
+                            data::take(test, 32), config,
+                            make_fedsz_codec());
+  const FlRunResult result = coordinator.run();
+  ASSERT_EQ(result.rounds.size(), 2u);
+  for (const RoundRecord& record : result.rounds) {
+    ASSERT_EQ(record.edges.size(), 3u);  // ceil(6 / 2)
+    std::size_t uplink = 0, downlink = 0, backhaul = 0, backhaul_raw = 0,
+                backhaul_down = 0;
+    for (const ClientTraceEntry& entry : record.clients) {
+      uplink += entry.payload_bytes;
+      downlink += entry.downlink_bytes;
+      EXPECT_GE(entry.node, 1u);  // every update folded at an edge
+      EXPECT_LE(entry.node, 3u);
+    }
+    for (const EdgeTraceEntry& entry : record.edges) {
+      backhaul += entry.payload_bytes;
+      backhaul_raw += entry.raw_bytes;
+      backhaul_down += entry.downlink_bytes;
+      EXPECT_EQ(entry.cohort, 2u);
+      EXPECT_GT(entry.weight, 0.0);
+      EXPECT_GT(entry.transfer_seconds, 0.0);
+      EXPECT_GT(entry.downlink_bytes, 0u);  // root->edge broadcast hop
+      // The partial merges at the root after it left the edge.
+      EXPECT_GE(entry.arrival_seconds, entry.transfer_seconds);
+    }
+    EXPECT_EQ(record.bytes_sent, uplink);
+    EXPECT_EQ(record.downlink_bytes, downlink);
+    EXPECT_EQ(record.backhaul_bytes, backhaul);
+    EXPECT_EQ(record.backhaul_raw_bytes, backhaul_raw);
+    EXPECT_EQ(record.backhaul_downlink_bytes, backhaul_down);
+    EXPECT_GT(record.backhaul_bytes, 0u);
+    // The lossy backhaul actually compresses the partials.
+    EXPECT_GT(record.backhaul_compression_ratio(), 1.0);
+    EXPECT_GT(record.backhaul_seconds, 0.0);
+  }
+}
+
+TEST(TopologyCoordinatorTest, StreamingKeepsEveryNodeAtOneDecodedUpdate) {
+  auto [train, test] = data::make_dataset("cifar10");
+  FlRunConfig config = hier_config(8, 1, /*fanout=*/4, "");
+  config.client.batch_size = 2;
+  config.eval_limit = 16;
+  config.threads = 4;
+  FlCoordinator coordinator(tiny_model(), data::take(train, 16),
+                            data::take(test, 16), config,
+                            make_identity_codec());
+  const FlRunResult result = coordinator.run();
+  ASSERT_EQ(result.peak_decoded_per_node.size(), 3u);  // root + 2 edges
+  for (const std::size_t peak : result.peak_decoded_per_node) {
+    EXPECT_EQ(peak, 1u);
+    EXPECT_LE(peak, config.topology.fanout);
+  }
+  EXPECT_EQ(result.peak_decoded_updates, 1u);
+}
+
+TEST(TopologyCoordinatorTest, SampledSchedulerDrawsPerEdgeCohort) {
+  auto [train, test] = data::make_dataset("cifar10");
+  FlRunConfig config = hier_config(8, 2, /*fanout=*/4, "");
+  config.client.batch_size = 2;
+  config.eval_limit = 16;
+  config.evaluate_every_round = false;
+  FlCoordinator coordinator(tiny_model(), data::take(train, 32),
+                            data::take(test, 16), config,
+                            make_identity_codec(),
+                            make_sampled_sync_scheduler(0.5));
+  const FlRunResult result = coordinator.run();
+  ASSERT_EQ(result.rounds.size(), 2u);
+  for (const RoundRecord& record : result.rounds) {
+    // ceil(0.5 * 4) sampled under EACH edge, not 4 drawn globally.
+    EXPECT_EQ(record.participants, 4u);
+    ASSERT_EQ(record.edges.size(), 2u);
+    for (const EdgeTraceEntry& entry : record.edges)
+      EXPECT_EQ(entry.cohort, 2u);
+    // Sampled members stay inside their edge's contiguous shard.
+    for (const ClientTraceEntry& entry : record.clients)
+      EXPECT_EQ(entry.node, 1u + entry.client / 4);
+  }
+}
+
+TEST(TopologyCoordinatorTest, ContinuousSchedulerIsRejected) {
+  auto [train, test] = data::make_dataset("cifar10");
+  FlRunConfig config = hier_config(4, 1, /*fanout=*/2, "");
+  EXPECT_THROW(FlCoordinator(tiny_model(), data::take(train, 16),
+                             data::take(test, 16), config,
+                             make_identity_codec(),
+                             make_buffered_async_scheduler({2, 0.5})),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace fedsz::core
