@@ -55,7 +55,7 @@ SweepResult run_pair(const std::string& uplink, const std::string& downlink,
   core::FlCoordinator coordinator(
       model, data::take(train, samples),
       data::take(test, options.smoke ? 64 : 192), config,
-      core::make_codec_by_name(uplink));
+      core::make_codec(uplink));
   const core::FlRunResult result = coordinator.run();
   SweepResult out;
   out.accuracy = result.final_accuracy;

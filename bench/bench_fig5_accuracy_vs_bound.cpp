@@ -2,7 +2,7 @@
 // codec specs — the paper's REL error-bound sweep (1e-5..1e-1) plus the
 // policy-driven variants (layerwise, schedule, magnitude) — against the
 // uncompressed baseline. Every codec is constructed from a spec string via
-// make_codec_by_name, so the sweep doubles as an end-to-end exercise of the
+// the codec_spec grammar (parse_codec_spec + make_codec), so the sweep doubles as an end-to-end exercise of the
 // spec grammar. The paper's claim: accuracy holds to within ~0.5% for
 // bounds <= 1e-2, then falls off a cliff at 1e-1.
 //
@@ -112,7 +112,7 @@ int main(int argc, char** argv) {
 
   std::printf(
       "Figure 5: Top-1 accuracy vs update-codec spec (FedAvg, %s clients)\n"
-      "specs are make_codec_by_name strings; policy columns use the 1e-2 "
+      "specs are codec_spec grammar strings; policy columns use the 1e-2 "
       "base bound%s\n\n",
       options.clients > 0 ? std::to_string(options.clients).c_str() : "4",
       full ? "" : " — set FEDSZ_BENCH_FULL=1 for all datasets");

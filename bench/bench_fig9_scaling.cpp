@@ -18,6 +18,7 @@
 #include <thread>
 
 #include "common.hpp"
+#include "core/codec_spec.hpp"
 #include "core/fl/coordinator.hpp"
 #include "core/fl/scheduler.hpp"
 #include "data/synthetic.hpp"
@@ -109,7 +110,7 @@ int main(int argc, char** argv) {
                     : (full ? 128 : std::min<std::size_t>(32, hw * 4));
   auto fedsz_codec = [&] {
     return options.codec.empty() ? core::make_fedsz_codec()
-                                 : core::make_codec_by_name(options.codec);
+                                 : core::make_codec(options.codec);
   };
   benchx::JsonValue json = benchx::JsonValue::object();
   json.set("bench", "fig9_scaling")

@@ -1,26 +1,29 @@
-// Hierarchical-topology bench: sharded edge aggregation vs the flat star,
-// past where the paper's Fig. 9 stops. Clients are sharded under edge
-// aggregators (topology=hier:<fanout>); each edge stream-folds its
-// cohort, re-encodes the weight-carrying partial mean through its own
-// backhaul codec, and ships it over a per-edge backhaul link drawn from
-// the two_tier distribution. The sweep is clients x fanout x backhaul
-// bound; the numbers to watch are root-link ingress bytes (O(edges), not
-// O(clients)) and per-node peak decoded updates (streaming keeps every
-// aggregation point at 1 <= fanout regardless of population).
+// Hierarchical-topology bench: multi-tier sharded aggregation vs the flat
+// star, past where the paper's Fig. 9 stops. Clients are sharded under
+// tier-1 edges (topology=hier:<N>[x<M>...]); every interior node
+// stream-folds its children, re-encodes the weight-carrying partial mean
+// through its tier's backhaul codec, and ships it over a per-node backhaul
+// link drawn from the two_tier distribution. The sweep is clients x tier
+// shape x backhaul bound; the numbers to watch are root-link ingress bytes
+// (O(top-tier nodes), not O(clients) — and a second telescoping step down
+// for depth-2 trees) and per-node peak decoded updates (streaming keeps
+// every aggregation point at 1 <= its fan-in regardless of population).
 //
 //   bench_hierarchy [--clients N] [--rounds N] [--bandwidth MBPS]
 //                   [--codec SPEC] [--seed N] [--threads N] [--json PATH]
 //                   [--out PATH] [--smoke]
 //
-// --smoke runs a single 1024-client fanout-32 round and FAILS (exit 1)
-// if any aggregation point ever held more than `fanout` decoded updates —
-// the CI guard for the O(fanout) memory claim.
+// --smoke runs one 1024-client fanout-32 round plus a depth-2 32x8 round
+// and FAILS (exit 1) if any aggregation point ever held more than its
+// fan-in's worth of decoded updates — the CI guard for the O(fanout)
+// memory claim at every depth.
 #include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "common.hpp"
+#include "core/codec_spec.hpp"
 #include "core/fl/coordinator.hpp"
 #include "data/synthetic.hpp"
 
@@ -32,14 +35,16 @@ struct HierarchyRun {
   double virtual_seconds = 0.0;
   double final_accuracy = 0.0;
   std::size_t uplink_bytes = 0;      // client->edge traffic (all rounds)
-  std::size_t root_bytes = 0;        // edge->root (hier) or uplink (flat)
+  std::size_t root_bytes = 0;        // TOP tier->root (hier) or uplink (flat)
+  std::size_t backhaul_bytes = 0;    // merged partials, every tier
   double backhaul_ratio = 0.0;       // raw/compressed over the partials
-  std::size_t edges = 0;             // aggregation points below the root
+  std::size_t edges = 0;             // partials shipped per round, all tiers
   std::size_t peak_nodes = 0;        // entries in peak_decoded_per_node
   std::size_t max_peak = 0;          // worst node's live decoded payloads
 };
 
-HierarchyRun run_hierarchy(std::size_t clients, std::size_t fanout,
+HierarchyRun run_hierarchy(std::size_t clients,
+                           const std::vector<std::size_t>& tiers,
                            const std::string& backhaul_spec, int rounds,
                            std::size_t samples_per_client,
                            std::size_t threads, double bandwidth_mbps,
@@ -57,9 +62,9 @@ HierarchyRun run_hierarchy(std::size_t clients, std::size_t fanout,
   config.network.bandwidth_mbps = bandwidth_mbps;
   config.client.batch_size = 1;
   config.evaluate_every_round = false;
-  if (fanout > 0) {
+  if (!tiers.empty()) {
     config.topology.mode = core::TopologyMode::kHier;
-    config.topology.fanout = fanout;
+    config.topology.tiers = tiers;
     config.topology.backhaul_spec = backhaul_spec;
     // Per-edge backhaul links from the two_tier distribution: a quarter of
     // the edges sit on datacenter fiber, the rest on metro uplinks.
@@ -86,23 +91,31 @@ HierarchyRun run_hierarchy(std::size_t clients, std::size_t fanout,
   for (const core::RoundRecord& record : result.rounds) {
     out.uplink_bytes += record.bytes_sent;
     out.edges = std::max(out.edges, record.edges.size());
-    if (fanout > 0) {
-      out.root_bytes += record.backhaul_bytes;
+    if (!tiers.empty()) {
+      // Only the TOP tier's partials land on the root link; lower tiers
+      // terminate at interior parents.
+      out.root_bytes += record.backhaul_tier_bytes.back();
+      out.backhaul_bytes += record.backhaul_bytes;
       backhaul_raw += record.backhaul_raw_bytes;
     } else {
       out.root_bytes += record.bytes_sent;  // flat: clients hit the root
+      out.backhaul_bytes += record.bytes_sent;
     }
   }
   out.backhaul_ratio =
-      out.root_bytes > 0 && fanout > 0
+      out.backhaul_bytes > 0 && !tiers.empty()
           ? static_cast<double>(backhaul_raw) /
-                static_cast<double>(out.root_bytes)
+                static_cast<double>(out.backhaul_bytes)
           : 1.0;
   return out;
 }
 
-std::string fanout_label(std::size_t fanout) {
-  return fanout == 0 ? "flat" : "hier:" + std::to_string(fanout);
+std::string tiers_label(const std::vector<std::size_t>& tiers) {
+  if (tiers.empty()) return "flat";
+  std::string label = "hier:";
+  for (std::size_t l = 0; l < tiers.size(); ++l)
+    label += (l ? "x" : "") + std::to_string(tiers[l]);
+  return label;
 }
 
 }  // namespace
@@ -118,7 +131,7 @@ int main(int argc, char** argv) {
   const int rounds = options.rounds > 0 ? options.rounds : 1;
   auto uplink_codec = [&] {
     return options.codec.empty() ? core::make_fedsz_codec()
-                                 : core::make_codec_by_name(options.codec);
+                                 : core::make_codec(options.codec);
   };
   benchx::JsonValue json = benchx::JsonValue::object();
   json.set("bench", "hierarchy")
@@ -137,17 +150,20 @@ int main(int argc, char** argv) {
   benchx::Table table({"Clients", "Topology", "Backhaul", "Edges",
                        "Uplink bytes", "Root ingress", "Max peak/node",
                        "Virtual (s)"});
-  auto record_run = [&](std::size_t clients, std::size_t fanout,
+  auto record_run = [&](std::size_t clients,
+                        const std::vector<std::size_t>& tiers,
                         const std::string& backhaul,
                         std::size_t samples_per_client) {
     const HierarchyRun run =
-        run_hierarchy(clients, fanout, backhaul, rounds, samples_per_client,
+        run_hierarchy(clients, tiers, backhaul, rounds, samples_per_client,
                       threads, mbps, seed, uplink_codec());
     // Streaming keeps every aggregation point at one live decoded payload,
-    // so the O(fanout) bound must hold with room to spare.
-    const std::size_t bound = fanout == 0 ? clients : fanout;
+    // so the worst tier's fan-in bounds every node with room to spare.
+    const std::size_t bound =
+        tiers.empty() ? clients
+                      : *std::max_element(tiers.begin(), tiers.end());
     if (run.max_peak > bound) peak_ok = false;
-    table.add_row({std::to_string(clients), fanout_label(fanout),
+    table.add_row({std::to_string(clients), tiers_label(tiers),
                    backhaul.empty() ? "identity" : backhaul,
                    std::to_string(run.edges),
                    benchx::fmt_bytes(run.uplink_bytes),
@@ -156,11 +172,12 @@ int main(int argc, char** argv) {
                    benchx::fmt(run.virtual_seconds, 2)});
     runs.push(benchx::JsonValue::object()
                   .set("clients", clients)
-                  .set("topology", fanout_label(fanout))
+                  .set("topology", tiers_label(tiers))
                   .set("backhaul", backhaul.empty() ? "identity" : backhaul)
                   .set("edges", run.edges)
                   .set("uplink_bytes", run.uplink_bytes)
                   .set("root_ingress_bytes", run.root_bytes)
+                  .set("backhaul_bytes", run.backhaul_bytes)
                   .set("backhaul_ratio", run.backhaul_ratio)
                   .set("max_peak_decoded_per_node", run.max_peak)
                   .set("peak_nodes", run.peak_nodes)
@@ -170,11 +187,14 @@ int main(int argc, char** argv) {
   };
 
   if (options.smoke) {
-    // The CI guard: one 1024-client fanout-32 round. Root ingress must be
-    // O(edges) and no aggregation point may ever hold more than `fanout`
-    // decoded updates.
+    // The CI guard: one 1024-client fanout-32 round, then the same
+    // population through a depth-2 32x8 tree. Root ingress must telescope
+    // (O(edges), then O(tier-2 nodes)) and no aggregation point may ever
+    // hold more than its fan-in's worth of decoded updates.
     const std::size_t clients = options.clients > 0 ? options.clients : 1024;
-    record_run(clients, 32, "fedsz:eb=rel:1e-3", /*samples_per_client=*/1);
+    record_run(clients, {32}, "fedsz:eb=rel:1e-3", /*samples_per_client=*/1);
+    record_run(clients, {32, 8}, "fedsz:eb=rel:1e-3",
+               /*samples_per_client=*/1);
   } else {
     const std::vector<std::size_t> populations =
         full ? std::vector<std::size_t>{256, 1024}
@@ -184,19 +204,26 @@ int main(int argc, char** argv) {
              : std::vector<std::size_t>{4, 16};
     const std::size_t samples = full ? 4 : 2;
     for (const std::size_t clients : populations) {
-      record_run(clients, 0, "", samples);  // flat reference
+      record_run(clients, {}, "", samples);  // flat reference
       for (const std::size_t fanout : fanouts) {
         if (fanout >= clients) continue;
-        record_run(clients, fanout, "", samples);
+        record_run(clients, {fanout}, "", samples);
       }
     }
-    // Backhaul-bound sweep at a fixed shape: lossy partial re-encoding
-    // shrinks the root link a second time.
     const std::size_t clients = populations.back();
     const std::size_t fanout = fanouts.back();
+    // Depth-2 panel at the largest population: grouping the tier-1 edges
+    // under a second tier telescopes root ingress a second time.
+    const std::vector<std::size_t> depth2 =
+        full ? std::vector<std::size_t>{32, 8}
+             : std::vector<std::size_t>{8, 4};
+    record_run(clients, depth2, "", samples);
+    record_run(clients, depth2, "fedsz:eb=rel:1e-3", samples);
+    // Backhaul-bound sweep at a fixed one-tier shape: lossy partial
+    // re-encoding shrinks the root link a second time.
     for (const char* backhaul :
          {"fedsz:eb=rel:1e-3", "fedsz:eb=rel:1e-2"})
-      record_run(clients, fanout, backhaul, samples);
+      record_run(clients, {fanout}, backhaul, samples);
   }
   table.print();
   json.set("runs", std::move(runs));

@@ -117,9 +117,21 @@ lossy::ErrorBound parse_bound(const std::string& text) {
   return bound;
 }
 
+/// "backhaul<k>" with k >= 1: returns k, or 0 when `key` is not a per-tier
+/// backhaul override.
+std::size_t backhaul_tier_of(const std::string& key) {
+  if (key.size() <= 8 || key.rfind("backhaul", 0) != 0) return 0;
+  const std::string digits = key.substr(8);
+  if (digits.find_first_not_of("0123456789") != std::string::npos) return 0;
+  const std::size_t tier = parse_count(digits, key, /*allow_suffix=*/false);
+  if (tier == 0) bad_spec("'" + key + "': tiers are 1-based (backhaul1=...)");
+  return tier;
+}
+
 bool is_comm_key(const std::string& key) {
   return key == "downlink" || key == "downmode" || key == "ef" ||
-         key == "topology" || key == "backhaul";
+         key == "topology" || key == "backhaul" || key == "edgemode" ||
+         key == "edgeef" || key == "shard" || backhaul_tier_of(key) != 0;
 }
 
 /// Parse a nested codec spec (downlink=/backhaul= value, ';'-separated
@@ -195,19 +207,68 @@ void apply_key(CodecSpec& spec, const std::string& key,
     spec.downlink = parse_inner_spec("downlink", value);
   } else if (key == "backhaul") {
     spec.backhaul = parse_inner_spec("backhaul", value);
+  } else if (const std::size_t tier = backhaul_tier_of(key); tier != 0) {
+    if (spec.tier_backhauls.size() < tier) spec.tier_backhauls.resize(tier);
+    spec.tier_backhauls[tier - 1] = parse_inner_spec(key, value);
   } else if (key == "topology") {
     if (value == "flat") {
-      spec.hier_fanout = 0;
+      spec.hier_tiers.clear();
     } else if (value.rfind("hier", 0) == 0) {
       if (value.size() < 6 || value[4] != ':')
-        bad_spec("'topology=hier' wants a fanout (topology=hier:<N>)");
-      spec.hier_fanout =
-          parse_count(value.substr(5), "topology=hier", /*allow_suffix=*/true);
-      if (spec.hier_fanout == 0)
-        bad_spec("'topology=hier' fanout must be >= 1");
+        bad_spec(
+            "'topology=hier' wants fan-ins (topology=hier:<N>[x<M>...])");
+      // 'x'-separated fan-ins, bottom-up: hier:32x16 = cohorts of 32 under
+      // tier-1 edges, 16 edges per tier-2 node.
+      spec.hier_tiers.clear();
+      const std::string body = value.substr(5);
+      std::size_t pos = 0;
+      while (pos <= body.size()) {
+        const std::size_t sep = body.find('x', pos);
+        const std::string part = body.substr(
+            pos, sep == std::string::npos ? std::string::npos : sep - pos);
+        const std::size_t fan =
+            parse_count(part, "topology=hier", /*allow_suffix=*/true);
+        if (fan == 0) bad_spec("'topology=hier' fan-ins must be >= 1");
+        spec.hier_tiers.push_back(fan);
+        if (sep == std::string::npos) break;
+        pos = sep + 1;
+      }
     } else {
-      bad_spec("'topology' must be flat or hier:<N>, got '" + value + "'");
+      bad_spec("'topology' must be flat or hier:<N>[x<M>...], got '" + value +
+               "'");
     }
+  } else if (key == "edgemode") {
+    if (value == "sync") {
+      spec.edge_buffered = false;
+      spec.edge_buffer = 0;
+    } else if (value.rfind("buffered", 0) == 0) {
+      if (value.size() < 10 || value[8] != ':')
+        bad_spec(
+            "'edgemode=buffered' wants a buffer size "
+            "(edgemode=buffered:<K>)");
+      spec.edge_buffer = parse_count(value.substr(9), "edgemode=buffered",
+                                     /*allow_suffix=*/true);
+      if (spec.edge_buffer == 0)
+        bad_spec("'edgemode=buffered' buffer must be >= 1");
+      spec.edge_buffered = true;
+    } else {
+      bad_spec("'edgemode' must be sync or buffered:<K>, got '" + value +
+               "'");
+    }
+  } else if (key == "edgeef") {
+    if (value == "on")
+      spec.edge_error_feedback = true;
+    else if (value == "off")
+      spec.edge_error_feedback = false;
+    else
+      bad_spec("'edgeef' must be on or off, got '" + value + "'");
+  } else if (key == "shard") {
+    if (value == "contiguous")
+      spec.shard_shuffled = false;
+    else if (value == "shuffled")
+      spec.shard_shuffled = true;
+    else
+      bad_spec("'shard' must be contiguous or shuffled, got '" + value + "'");
   } else if (key == "downmode") {
     if (value == "full")
       spec.downlink_delta = false;
@@ -225,7 +286,8 @@ void apply_key(CodecSpec& spec, const std::string& key,
   } else {
     bad_spec("unknown key '" + key +
              "' (expected lossy, lossless, eb, policy, chunk, threads, "
-             "threshold, downlink, downmode, ef, topology or backhaul)");
+             "threshold, downlink, downmode, ef, topology, backhaul, "
+             "backhaul<k>, edgemode, edgeef or shard)");
   }
 }
 
@@ -248,8 +310,8 @@ void parse_options(CodecSpec& out, const std::string& body,
     const std::string key = pair.substr(0, eq);
     if (comm_only && !is_comm_key(key))
       bad_spec("'" + family +
-               "' takes only downlink, downmode, ef, topology or backhaul "
-               "options");
+               "' takes only downlink, downmode, ef, topology, backhaul, "
+               "backhaul<k>, edgemode, edgeef or shard options");
     apply_key(out, key, pair.substr(eq + 1));
     if (comma == std::string::npos) break;
     pos = comma + 1;
@@ -301,14 +363,30 @@ std::string comm_suffix(const CodecSpec& spec) {
   }
   if (spec.downlink_delta) out += ",downmode=delta";
   if (spec.error_feedback) out += ",ef=on";
-  if (spec.hier_fanout > 0)
-    out += ",topology=hier:" + std::to_string(spec.hier_fanout);
+  if (!spec.hier_tiers.empty()) {
+    out += ",topology=hier:";
+    for (std::size_t l = 0; l < spec.hier_tiers.size(); ++l) {
+      if (l > 0) out += 'x';
+      out += std::to_string(spec.hier_tiers[l]);
+    }
+  }
   if (!spec.backhaul.empty()) {
     std::string inner = spec.backhaul;
     for (char& c : inner)
       if (c == ',') c = ';';
     out += ",backhaul=" + inner;
   }
+  for (std::size_t k = 0; k < spec.tier_backhauls.size(); ++k) {
+    if (spec.tier_backhauls[k].empty()) continue;
+    std::string inner = spec.tier_backhauls[k];
+    for (char& c : inner)
+      if (c == ',') c = ';';
+    out += ",backhaul" + std::to_string(k + 1) + "=" + inner;
+  }
+  if (spec.edge_buffered)
+    out += ",edgemode=buffered:" + std::to_string(spec.edge_buffer);
+  if (spec.edge_error_feedback) out += ",edgeef=on";
+  if (spec.shard_shuffled) out += ",shard=shuffled";
   return out;
 }
 
@@ -391,6 +469,16 @@ FedSzConfig codec_spec_config(const CodecSpec& spec) {
 UpdateCodecPtr make_codec(const CodecSpec& spec) {
   if (spec.identity) return make_identity_codec();
   return make_fedsz_codec(codec_spec_config(spec));
+}
+
+UpdateCodecPtr make_codec(const std::string& spec) {
+  const CodecSpec parsed = parse_codec_spec(spec);
+  if (parsed.has_comm_keys())
+    throw InvalidArgument(
+        "make_codec: '" + spec +
+        "' carries comm keys (downlink/topology/...) a bare codec cannot "
+        "honor; use FlRunConfig::apply_comm_spec for those");
+  return make_codec(parsed);
 }
 
 }  // namespace fedsz::core

@@ -19,12 +19,26 @@
 //                                             per-client acknowledged delta)
 //               ef=on|off                    (per-client uplink error
 //                                             feedback)
-//               topology=flat|hier:<N>       (aggregation tree: flat star,
-//                                             or N clients per edge
-//                                             aggregator)
-//               backhaul=SPEC                (edge->root partial re-encode
-//                                             codec; inner options
+//               topology=flat|hier:<N>[x<M>...]
+//                                            (aggregation tree: flat star,
+//                                             or fan-ins per tier bottom-up
+//                                             — hier:32x16 = cohorts of 32
+//                                             under tier-1 edges, 16 edges
+//                                             per tier-2 node)
+//               backhaul=SPEC                (partial re-encode codec shared
+//                                             by every tier; inner options
 //                                             ';'-separated like downlink)
+//               backhaul<k>=SPEC             (per-tier override, 1-based:
+//                                             backhaul2= recompresses only
+//                                             tier 2's uplink)
+//               edgemode=sync|buffered:<K>   (interior ship discipline:
+//                                             barrier, or FedBuff-style
+//                                             after K folds)
+//               edgeef=on|off                (edge-side error feedback on
+//                                             lossy backhauls)
+//               shard=contiguous|shuffled    (client->edge assignment;
+//                                             shuffled is a seeded
+//                                             permutation)
 //
 // The identity family takes ONLY the comm keys (an uncompressed uplink
 // can still configure the broadcast, error feedback and topology), e.g.
@@ -77,23 +91,38 @@ struct CodecSpec {
   bool downlink_delta = false;
   /// Per-client uplink error feedback (ef=on).
   bool error_feedback = false;
-  /// Aggregation topology (topology= comm key): 0 = flat star (the
-  /// default), N > 0 = a hierarchical tree with N clients per edge
-  /// aggregator (topology=hier:<N>).
-  std::size_t hier_fanout = 0;
-  /// Edge->root partial re-encode codec spec in canonical form (backhaul=
-  /// comm key; inner options ';'-separated like downlink). Empty means
-  /// partials ship through the identity codec.
+  /// Aggregation topology (topology= comm key): empty = flat star (the
+  /// default); otherwise the per-tier fan-ins bottom-up
+  /// (topology=hier:<N>[x<M>...] — hier:8 is the one-tier sugar).
+  std::vector<std::size_t> hier_tiers;
+  /// Default partial re-encode codec spec for every tier, in canonical
+  /// form (backhaul= comm key; inner options ';'-separated like downlink).
+  /// Empty means partials ship through the identity codec.
   std::string backhaul;
+  /// Per-tier overrides (backhaul<k>= comm keys): entry k-1 non-empty
+  /// overrides `backhaul` for tier k. Never longer than the last override
+  /// (no trailing empties), so format∘parse stays idempotent.
+  std::vector<std::string> tier_backhauls;
+  /// Interior ship discipline (edgemode=buffered:<K>): ship a node's
+  /// partial after min(K, expected) folds instead of the full barrier.
+  bool edge_buffered = false;
+  std::size_t edge_buffer = 0;
+  /// Edge-side error feedback on lossy backhauls (edgeef=on).
+  bool edge_error_feedback = false;
+  /// Seeded-shuffle client->edge sharding (shard=shuffled).
+  bool shard_shuffled = false;
 
-  /// True when any comm-level key (downlink/downmode/ef/topology/backhaul)
-  /// is set — the keys that configure an FL run rather than a codec. The
-  /// single predicate behind every "this spec cannot carry comm keys"
-  /// rejection (nested downlink/backhaul specs, make_codec_by_name), so a
-  /// future comm key only needs adding here.
+  /// True when any comm-level key (downlink/downmode/ef/topology/backhaul/
+  /// backhaul<k>/edgemode/edgeef/shard) is set — the keys that configure an
+  /// FL run rather than a codec. The single predicate behind every "this
+  /// spec cannot carry comm keys" rejection (nested downlink/backhaul
+  /// specs, make_codec_by_name), so a future comm key only needs adding
+  /// here.
   bool has_comm_keys() const {
     return !downlink.empty() || downlink_delta || error_feedback ||
-           hier_fanout != 0 || !backhaul.empty();
+           !hier_tiers.empty() || !backhaul.empty() ||
+           !tier_backhauls.empty() || edge_buffered ||
+           edge_error_feedback || shard_shuffled;
   }
 };
 
@@ -116,5 +145,12 @@ FedSzConfig codec_spec_config(const CodecSpec& spec);
 
 /// Build the update codec a spec describes.
 UpdateCodecPtr make_codec(const CodecSpec& spec);
+
+/// Parse `spec` and build the codec it describes in one step — the
+/// preferred construction path for call sites that hold a spec STRING
+/// (benches, tests, tools). Throws InvalidArgument when the spec carries
+/// comm keys: a bare codec cannot honor downlink/topology/... settings,
+/// and dropping them silently would hide a misconfigured run.
+UpdateCodecPtr make_codec(const std::string& spec);
 
 }  // namespace fedsz::core

@@ -15,7 +15,11 @@
 // exact and the residual stays zero.
 //
 // One accumulator per client; the coordinator guarantees a client has at
-// most one update in flight, so no locking is needed.
+// most one update in flight, so no locking is needed. Interior tree nodes
+// reuse the same accumulator for edge-side feedback on lossy backhauls
+// (TopologyConfig::edge_error_feedback): a node folds its carried residual
+// into each round's partial mean before the tier re-encode and absorbs
+// what that encode dropped, serially on the event pump.
 #pragma once
 
 #include "tensor/state_dict.hpp"
@@ -39,6 +43,11 @@ class ErrorFeedbackAccumulator {
   /// L2 norm over every element of the carried residual (0 before the
   /// first absorb).
   double residual_norm() const;
+
+  /// Drop the carried residual (back to the pre-first-absorb state). Used
+  /// when the carrier is reset wholesale — e.g. an interior node whose
+  /// round was aborted by churn should not replay a stale residual.
+  void reset() { residual_ = StateDict(); }
 
   const StateDict& residual() const { return residual_; }
   bool empty() const { return residual_.empty(); }

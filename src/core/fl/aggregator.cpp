@@ -52,6 +52,13 @@ PartialAggregate StreamingMean::finalize_partial() {
   return partial;
 }
 
+void StreamingMean::abort() {
+  mean_ = StateDict();
+  total_ = 0.0;
+  count_ = 0;
+  active_ = false;
+}
+
 void Aggregator::begin_round(const StateDict& global) { mean_.begin(global); }
 
 void Aggregator::accumulate(const StateDict& update, double weight) {
@@ -70,6 +77,8 @@ PartialAggregate Aggregator::finalize_partial() {
 void Aggregator::merge_partial(const StateDict& mean, double weight) {
   mean_.add(mean, weight);
 }
+
+void Aggregator::abort_round() { mean_.abort(); }
 
 void Aggregator::aggregate(
     StateDict& global,

@@ -57,6 +57,13 @@ class StreamingMean {
   /// round with no updates at all throws InvalidArgument.
   PartialAggregate finalize_partial();
 
+  /// Abandon the round without producing a mean: frees the accumulator and
+  /// returns to the pre-begin state. Legal at any time (including with no
+  /// round open). The churn path needs this — an edge whose whole cohort
+  /// dropped, or a round every straggler missed, closes empty instead of
+  /// tripping finalize()'s no-updates guard.
+  void abort();
+
   bool active() const { return active_; }
   std::size_t count() const { return count_; }
   double total_weight() const { return total_; }
@@ -91,6 +98,9 @@ class Aggregator {
   /// aggregation weight `weight`. Exact: merging every edge's partial
   /// reproduces the weighted mean over all underlying client updates.
   void merge_partial(const StateDict& mean, double weight);
+  /// Abandon the open round (no-op when none is open) — the empty-round
+  /// path under failure injection.
+  void abort_round();
 
   std::size_t accumulated() const { return mean_.count(); }
   bool round_open() const { return mean_.active(); }

@@ -5,6 +5,7 @@
 #include <functional>
 #include <future>
 #include <memory>
+#include <utility>
 
 #include "core/codec_spec.hpp"
 #include "net/virtual_clock.hpp"
@@ -13,15 +14,53 @@
 
 namespace fedsz::core {
 
+std::string delivery_status_name(DeliveryStatus status) {
+  switch (status) {
+    case DeliveryStatus::kAggregated:
+      return "aggregated";
+    case DeliveryStatus::kDropped:
+      return "dropped";
+    case DeliveryStatus::kEvicted:
+      return "evicted";
+    case DeliveryStatus::kLate:
+      return "late";
+  }
+  return "unknown";
+}
+
+void FailureSchedule::validate() const {
+  if (!std::isfinite(dropout_rate) || dropout_rate < 0.0 ||
+      dropout_rate > 1.0)
+    throw InvalidArgument(
+        "FailureSchedule: dropout_rate must be a probability in [0, 1]");
+  if (!std::isfinite(edge_failure_rate) || edge_failure_rate < 0.0 ||
+      edge_failure_rate > 1.0)
+    throw InvalidArgument(
+        "FailureSchedule: edge_failure_rate must be a probability in [0, 1]");
+  if (!std::isfinite(straggler_deadline_seconds) ||
+      straggler_deadline_seconds < 0.0)
+    throw InvalidArgument(
+        "FailureSchedule: straggler_deadline_seconds must be finite and >= 0 "
+        "(0 disables the deadline)");
+}
+
 void FlRunConfig::apply_comm_spec(const CodecSpec& spec) {
   downlink_spec = spec.downlink;
   downlink_mode =
       spec.downlink_delta ? DownlinkMode::kDelta : DownlinkMode::kFull;
   error_feedback = spec.error_feedback;
-  topology.mode = spec.hier_fanout > 0 ? TopologyMode::kHier
-                                       : TopologyMode::kFlat;
-  topology.fanout = spec.hier_fanout;
+  topology.mode =
+      spec.hier_tiers.empty() ? TopologyMode::kFlat : TopologyMode::kHier;
+  topology.tiers = spec.hier_tiers;
+  topology.fanout = 0;  // the spec grammar always resolves to tiers
   topology.backhaul_spec = spec.backhaul;
+  topology.tier_backhaul_specs = spec.tier_backhauls;
+  topology.edge_mode =
+      spec.edge_buffered ? EdgeMode::kBuffered : EdgeMode::kSync;
+  topology.edge_buffer = spec.edge_buffer;
+  topology.edge_error_feedback = spec.edge_error_feedback;
+  topology.sharding = spec.shard_shuffled ? ShardStrategy::kShuffled
+                                          : ShardStrategy::kContiguous;
 }
 
 void FlRunConfig::validate() const {
@@ -50,6 +89,11 @@ void FlRunConfig::validate() const {
     throw InvalidArgument(
         "FlRunConfig: downlink_mode=kDelta requires a downlink_spec");
   }
+  failures.validate();
+  if (failures.edge_failure_rate > 0.0 && topology.mode != TopologyMode::kHier)
+    throw InvalidArgument(
+        "FlRunConfig: failures.edge_failure_rate needs an edge tier to "
+        "crash -- set topology=hier:<N>[x<M>...]");
   topology.validate();
 }
 
@@ -79,6 +123,12 @@ FlCoordinator::FlCoordinator(const nn::ModelConfig& model_config,
       server_(model_config),
       network_(build_network(config_)) {
   if (!codec_) throw InvalidArgument("FlCoordinator: null update codec");
+  if (!config_.failures.empty() && scheduler_->continuous())
+    // Continuous policies have no round barrier to drop out of or be
+    // evicted from; their own staleness handling IS the churn model.
+    throw InvalidArgument(
+        "FlCoordinator: failure injection requires a barrier scheduler "
+        "(sync or sampled_sync)");
   if (config_.topology.mode == TopologyMode::kHier) {
     // Continuous policies redispatch on fold; a partial that already left
     // for the root cannot absorb a late fold, so hierarchy requires a
@@ -87,8 +137,11 @@ FlCoordinator::FlCoordinator(const nn::ModelConfig& model_config,
       throw InvalidArgument(
           "FlCoordinator: hierarchical topology requires a barrier "
           "scheduler (sync or sampled_sync)");
-    tree_ =
-        std::make_unique<AggregationTree>(config_.topology, config_.clients);
+    TopologyConfig tree_config = config_.topology;
+    if (tree_config.sharding == ShardStrategy::kShuffled &&
+        tree_config.shard_seed == 0)
+      tree_config.shard_seed = config_.seed ^ 0x5A4DD00Dull;
+    tree_ = std::make_unique<AggregationTree>(tree_config, config_.clients);
   }
   if (!config_.downlink_spec.empty())
     downlink_ = std::make_unique<DownlinkChannel>(
@@ -149,26 +202,80 @@ FlRunResult FlCoordinator::run() {
     double downlink_encode_seconds = 0.0;
     double downlink_decode_seconds = 0.0;  // kFull shared decode
   };
+  // Shared kFull broadcast product: encoded once, decoded once, delivered
+  // down the tree. Hoisted so the recursive fan-out handler can name it.
+  struct BroadcastReady {
+    Bytes payload;
+    CompressionStats stats;
+    std::shared_ptr<const StateDict> model;  // the shared reconstruction
+    double decode_seconds = 0.0;
+  };
 
   net::EventQueue queue;
   std::vector<InFlight> flights(clients_.size());
   Rng cohort_rng(config_.seed ^ 0x5C4ED11Eull);
-  int completed = 0;       // aggregations finished so far
-  std::size_t folded = 0;  // root-side arrivals since the round opened
-                           // (updates when flat, partials when hier)
-  std::size_t goal = 0;    // arrivals that trigger the next aggregation
+  // Churn draws ride their own stream: a failure-free run consumes exactly
+  // the randomness it did before churn existed, keeping trajectory pins.
+  Rng failure_rng(config_.failures.seed
+                      ? config_.failures.seed
+                      : (config_.seed ^ 0xFA17A1E5ull));
+  int completed = 0;  // aggregations finished so far
   bool stopped = false;
   RoundRecord record;
-  // Per-aggregation-point decoded-payload accounting: node 0 = the root,
-  // node 1 + e = edge e. Streaming keeps every live count at <= 1.
+
+  // Per-client lifecycle. Every scheduled client event carries the
+  // generation it was dispatched under; eviction or redispatch bumps it, so
+  // stale upload/arrival events for a superseded dispatch become no-ops.
+  enum class Phase : std::uint8_t { kIdle, kPending, kDone, kDropped,
+                                    kEvicted };
+  std::vector<Phase> phase(clients_.size(), Phase::kIdle);
+  std::vector<std::uint64_t> generation(clients_.size(), 0);
+  std::vector<char> dropped(clients_.size(), 0);  // this round's dropout draws
+  // Tier-1 edge owning each client THIS round (crash re-sharding moves it).
+  std::vector<std::size_t> owner_round(clients_.size(), 0);
+
+  // Root state: arrivals folded/merged since the round opened and the count
+  // that closes it (updates when flat, top-tier partials when hier).
+  std::size_t root_folded = 0;
+  std::size_t root_goal = 0;
+  std::size_t merged_partials = 0;  // partials merged this round, all tiers
+
+  const std::size_t levels = tree_ ? tree_->levels() : 0;
+  const std::size_t interior = tree_ ? tree_->interior_nodes() : 0;
   const std::size_t edge_count = tree_ ? tree_->edge_count() : 0;
-  std::vector<std::size_t> live(1 + edge_count, 0);
-  std::vector<std::size_t> peak(1 + edge_count, 0);
-  // Per-edge round state (hier only): the cohort size that closes the
-  // edge's partial, and the root->edge downlink traffic charged so far.
-  std::vector<std::size_t> edge_goal(edge_count, 0);
-  std::vector<std::size_t> edge_downlink_bytes(edge_count, 0);
-  std::vector<double> edge_downlink_seconds(edge_count, 0.0);
+  const bool buffered =
+      tree_ && config_.topology.edge_mode == EdgeMode::kBuffered;
+  const std::size_t buffer_k = config_.topology.edge_buffer;
+
+  // Per-aggregation-point decoded-payload accounting: node 0 = the root,
+  // 1 + flat_index for interior nodes. Streaming keeps every live count
+  // at <= 1.
+  std::vector<std::size_t> live(1 + interior, 0);
+  std::vector<std::size_t> peak(1 + interior, 0);
+
+  // Per-node round state (hier only). `expected` counts the children still
+  // promised this round — it starts at the cohort/child draw and shrinks
+  // when a child drops, is evicted or withdraws, while `folded` only grows;
+  // folded >= expected is the sync ship condition.
+  struct NodeRound {
+    bool participating = false;  // had >= 1 expected child this round
+    bool open = false;           // still accepting folds
+    std::size_t expected = 0;
+    std::size_t folded = 0;
+  };
+  std::vector<std::vector<NodeRound>> nodes(levels);
+  for (std::size_t l = 0; l < levels; ++l) nodes[l].resize(tree_->level_size(l));
+  // This round's member set per tier-1 edge (after crash re-sharding) and
+  // the drawn cohort, in dispatch order.
+  std::vector<std::vector<std::size_t>> edge_members(edge_count);
+  std::vector<std::vector<std::size_t>> edge_cohort(edge_count);
+  // Participating children of each node above tier 1 (level l-1 indices).
+  std::vector<std::vector<std::vector<std::size_t>>> children_part(levels);
+  for (std::size_t l = 1; l < levels; ++l)
+    children_part[l].resize(tree_->level_size(l));
+  // Broadcast traffic charged to each interior node's link this round.
+  std::vector<std::size_t> node_downlink_bytes(interior, 0);
+  std::vector<double> node_downlink_seconds(interior, 0.0);
 
   using Snapshot = std::shared_ptr<const StateDict>;
   using PayloadPtr = std::shared_ptr<const Bytes>;
@@ -179,7 +286,8 @@ FlRunResult FlCoordinator::run() {
   // what the encoder dropped (reconstruction read back from the payload)
   // into the residual carried to the next round. Per-client state
   // (feedback_[i], downlink session i) is safe without locks because a
-  // client never has two tasks alive at once.
+  // client never has two tasks alive at once (dispatch waits out a stale
+  // evicted task before reusing the slot).
   // EF against a lossless uplink is provably a zero residual forever; skip
   // the per-round payload decode and residual passes outright.
   const bool ef_on = config_.error_feedback && !codec_->lossless();
@@ -227,38 +335,65 @@ FlRunResult FlCoordinator::run() {
   ThreadPool pool(std::max<std::size_t>(1, config_.threads));
   std::function<void(std::size_t, int, Snapshot, PayloadPtr)> dispatch;
   std::function<void(std::size_t, int, Snapshot)> send_to;
+  std::function<void(std::size_t, std::size_t, int,
+                     std::shared_ptr<const std::vector<std::size_t>>,
+                     PayloadPtr)>
+      send_hop;
   std::function<void(const std::vector<std::size_t>&, int, Snapshot)>
       broadcast_to;
-  std::function<void(std::size_t)> on_upload;
-  std::function<void(std::size_t)> on_arrival;
-  std::function<void(std::size_t, double, const EncodedPartial&)> on_partial;
+  std::function<void(std::size_t, int, std::shared_ptr<const BroadcastReady>)>
+      deliver_client;
+  std::function<void(std::size_t, std::size_t, int,
+                     std::shared_ptr<const BroadcastReady>)>
+      deliver_subtree;
+  std::function<void(std::size_t, std::uint64_t)> on_upload;
+  std::function<void(std::size_t, std::uint64_t)> on_arrival;
+  std::function<void(std::size_t, std::uint64_t)> on_drop;
+  std::function<void(std::size_t, std::size_t)> check_node;
+  std::function<void(std::size_t, std::size_t)> ship_node;
+  std::function<void(std::size_t, std::size_t)> withdraw_node;
+  std::function<void(std::size_t, std::size_t)> node_lost_child;
+  std::function<void(std::size_t, std::size_t, int, double,
+                     std::shared_ptr<const EncodedPartial>)>
+      on_partial;
+  std::function<void()> maybe_close_root;
+  std::function<void()> evict_stragglers;
   std::function<void()> close_round;
   std::function<void(bool)> open_round;
 
   // Start a client's real work on the pool and its virtual compute timer.
   // `model` is the state it trains on (the global snapshot, or the shared
   // kFull broadcast reconstruction); `broadcast` (per-client downlink path)
-  // makes the worker decode its own payload first. The EncodeContext pins
-  // the dispatch round and client id so round-/client-aware compression
-  // policies resolve their per-update plans.
+  // makes the worker decode its own payload first. A client drawn as a
+  // dropout this round never reaches the pool: it "trains" for half its
+  // compute budget and vanishes.
   dispatch = [&](std::size_t i, int round, Snapshot model,
                  PayloadPtr broadcast) {
     InFlight& flight = flights[i];
+    // An evicted client's pool task may still be running; finish it before
+    // reusing the per-client state it touches (feedback_, the client).
+    if (flight.future.valid()) flight.future.wait();
     flight.dispatch_round = round;
     flight.dispatch_seconds = queue.now();
+    const std::uint64_t gen = ++generation[i];
+    phase[i] = Phase::kPending;
+    if (dropped[i]) {
+      queue.schedule_after(0.5 * compute_seconds_[i],
+                           [&, i, gen] { on_drop(i, gen); });
+      return;
+    }
     flight.future = pool.submit([&client_work, i, round, model, broadcast] {
       return client_work(i, round, std::move(model), std::move(broadcast));
     });
-    queue.schedule_after(compute_seconds_[i], [&, i] { on_upload(i); });
+    queue.schedule_after(compute_seconds_[i],
+                         [&, i, gen] { on_upload(i, gen); });
   };
 
   // Per-client downlink: encode this client's broadcast on the pool (the
   // whole global, or its session delta in kDelta mode), then charge the
-  // payload against the client's own link before its compute may start.
-  // Used for kDelta cohorts and for continuous-scheduler redispatches,
-  // where each client leaves with a different global. Under a hierarchical
-  // topology the payload first crosses the owning edge's backhaul
-  // (root->edge), then the client's own link (edge->client).
+  // payload against every hop on its path — each ancestor node's own link
+  // top-down under a hierarchical topology — before the client's own link
+  // and compute may start.
   send_to = [&](std::size_t i, int round, Snapshot snapshot) {
     const bool delta = downlink_->mode() == DownlinkMode::kDelta;
     auto pending = std::make_shared<std::future<BroadcastPayload>>(
@@ -277,39 +412,92 @@ FlRunResult FlCoordinator::run() {
       flight.downlink_decode_seconds = 0.0;
       flight.downlink_seconds =
           network_.link(i).transfer_seconds(payload->size());
-      auto client_leg = [&, i, round, payload] {
-        queue.schedule_after(flights[i].downlink_seconds,
-                             [&, i, round, payload] {
-                               dispatch(i, round, nullptr, payload);
-                             });
-      };
       if (!tree_) {
-        client_leg();
+        queue.schedule_after(flight.downlink_seconds, [&, i, round, payload] {
+          dispatch(i, round, nullptr, payload);
+        });
         return;
       }
-      const std::size_t e = tree_->edge_of(i);
-      const double hop =
-          tree_->backhaul_link(e).transfer_seconds(payload->size());
-      edge_downlink_bytes[e] += payload->size();
-      edge_downlink_seconds[e] += hop;
-      record.backhaul_downlink_bytes += payload->size();
-      record.backhaul_downlink_seconds += hop;
-      queue.schedule_after(hop, client_leg);
+      // The client's ancestor chain, bottom-up: path[l] is the node at
+      // level l the payload crosses on its way down.
+      auto path = std::make_shared<std::vector<std::size_t>>();
+      path->push_back(owner_round[i]);
+      for (std::size_t l = 1; l < levels; ++l)
+        path->push_back(tree_->parent_of(l - 1, path->back()));
+      send_hop(0, i, round, path, payload);
+    });
+  };
+
+  // Hop `k` (0 = topmost: root -> top-tier node) of a per-client downlink
+  // path; after the last interior hop comes the client's own link.
+  send_hop = [&](std::size_t k, std::size_t i, int round,
+                 std::shared_ptr<const std::vector<std::size_t>> path,
+                 PayloadPtr payload) {
+    if (k == levels) {
+      queue.schedule_after(flights[i].downlink_seconds, [&, i, round, payload] {
+        dispatch(i, round, nullptr, payload);
+      });
+      return;
+    }
+    const std::size_t l = levels - 1 - k;
+    const std::size_t n = (*path)[l];
+    const std::size_t flat = tree_->flat_index(l, n);
+    const double hop = tree_->uplink(l, n).transfer_seconds(payload->size());
+    node_downlink_bytes[flat] += payload->size();
+    node_downlink_seconds[flat] += hop;
+    record.backhaul_downlink_bytes += payload->size();
+    record.backhaul_downlink_seconds += hop;
+    queue.schedule_after(hop, [&, k, i, round, path, payload] {
+      send_hop(k + 1, i, round, path, payload);
+    });
+  };
+
+  // The last downlink leg: charge the shared broadcast payload against the
+  // client's own link, then dispatch on the shared reconstruction.
+  deliver_client = [&](std::size_t i, int round,
+                       std::shared_ptr<const BroadcastReady> ready) {
+    InFlight& flight = flights[i];
+    flight.downlink_bytes = ready->payload.size();
+    flight.downlink_raw_bytes = ready->stats.original_bytes;
+    flight.downlink_encode_seconds = ready->stats.compress_seconds;
+    flight.downlink_decode_seconds = ready->decode_seconds;
+    flight.downlink_seconds =
+        network_.link(i).transfer_seconds(ready->payload.size());
+    queue.schedule_after(flight.downlink_seconds,
+                         [&, i, round, model = ready->model] {
+                           dispatch(i, round, model, nullptr);
+                         });
+  };
+
+  // Hierarchical kFull fan-out: ONE copy of the broadcast crosses each
+  // participating node's link, recursing level by level; a subtree's
+  // clients start their own downlink legs when it reaches their edge.
+  deliver_subtree = [&](std::size_t l, std::size_t n, int round,
+                        std::shared_ptr<const BroadcastReady> ready) {
+    const std::size_t flat = tree_->flat_index(l, n);
+    const double hop =
+        tree_->uplink(l, n).transfer_seconds(ready->payload.size());
+    node_downlink_bytes[flat] += ready->payload.size();
+    node_downlink_seconds[flat] += hop;
+    record.backhaul_downlink_bytes += ready->payload.size();
+    record.backhaul_downlink_seconds += hop;
+    queue.schedule_after(hop, [&, l, n, round, ready] {
+      if (l == 0) {
+        for (const std::size_t i : edge_cohort[n])
+          deliver_client(i, round, ready);
+      } else {
+        for (const std::size_t c : children_part[l][n])
+          deliver_subtree(l - 1, c, round, ready);
+      }
     });
   };
 
   // kFull cohort broadcast: encode the global ONCE on the pool (overlapped
   // with the event pump), decode it once — every client reconstructs the
-  // same model — and charge the same payload bytes against each client's
-  // own link. The hot path never serializes per client.
+  // same model — and fan the same payload out (flat: straight to each
+  // client; hier: down the participating subtrees).
   broadcast_to = [&](const std::vector<std::size_t>& cohort, int round,
                      Snapshot snapshot) {
-    struct BroadcastReady {
-      Bytes payload;
-      CompressionStats stats;
-      Snapshot model;  // the shared reconstruction clients train on
-      double decode_seconds = 0.0;
-    };
     auto pending = std::make_shared<std::future<BroadcastReady>>(
         pool.submit([this, round, snapshot]() -> BroadcastReady {
           BroadcastReady ready;
@@ -327,76 +515,65 @@ FlRunResult FlCoordinator::run() {
         }));
     queue.schedule_after(0.0, [&, cohort, round, pending] {
       auto ready = std::make_shared<const BroadcastReady>(pending->get());
-      // The edge->client (or root->client, flat) leg: charge the payload
-      // against the client's own link, then dispatch on the shared
-      // reconstruction.
-      auto deliver = [&, round, ready](std::size_t i) {
-        InFlight& flight = flights[i];
-        flight.downlink_bytes = ready->payload.size();
-        flight.downlink_raw_bytes = ready->stats.original_bytes;
-        flight.downlink_encode_seconds = ready->stats.compress_seconds;
-        flight.downlink_decode_seconds = ready->decode_seconds;
-        flight.downlink_seconds =
-            network_.link(i).transfer_seconds(ready->payload.size());
-        queue.schedule_after(flight.downlink_seconds,
-                             [&, i, round, model = ready->model] {
-                               dispatch(i, round, model, nullptr);
-                             });
-      };
       if (!tree_) {
-        for (const std::size_t i : cohort) deliver(i);
+        for (const std::size_t i : cohort) deliver_client(i, round, ready);
         return;
       }
-      // Hierarchical fan-out: ONE copy of the broadcast crosses each
-      // participating edge's backhaul; that edge's clients start their own
-      // downlink legs when it lands.
-      std::vector<std::vector<std::size_t>> by_edge(tree_->edge_count());
-      for (const std::size_t i : cohort)
-        by_edge[tree_->edge_of(i)].push_back(i);
-      for (std::size_t e = 0; e < by_edge.size(); ++e) {
-        if (by_edge[e].empty()) continue;
-        const double hop =
-            tree_->backhaul_link(e).transfer_seconds(ready->payload.size());
-        edge_downlink_bytes[e] += ready->payload.size();
-        edge_downlink_seconds[e] += hop;
-        record.backhaul_downlink_bytes += ready->payload.size();
-        record.backhaul_downlink_seconds += hop;
-        queue.schedule_after(hop, [deliver, group = std::move(by_edge[e])] {
-          for (const std::size_t i : group) deliver(i);
-        });
-      }
+      const std::size_t top = levels - 1;
+      for (std::size_t n = 0; n < nodes[top].size(); ++n)
+        if (nodes[top][n].participating)
+          deliver_subtree(top, n, round, ready);
     });
   };
 
   // Virtual compute done: collect the encoded update (waiting for the real
-  // work if it is still running) and put it on this client's link.
-  on_upload = [&](std::size_t i) {
+  // work if it is still running) and put it on this client's link. A stale
+  // generation or a non-pending phase means this dispatch was superseded
+  // (evicted, or its round closed under it); kIdle specifically means the
+  // round already closed — count it, the record is immutable.
+  on_upload = [&](std::size_t i, std::uint64_t gen) {
+    if (stopped) return;
+    if (gen != generation[i]) return;
+    if (phase[i] == Phase::kIdle) {
+      ++result.late_events;
+      return;
+    }
+    if (phase[i] != Phase::kPending) return;
     InFlight& flight = flights[i];
     flight.out = flight.future.get();
     flight.transfer_seconds =
         network_.link(i).transfer_seconds(flight.out.payload.size());
-    queue.schedule_after(flight.transfer_seconds, [&, i] { on_arrival(i); });
+    queue.schedule_after(flight.transfer_seconds,
+                         [&, i, gen] { on_arrival(i, gen); });
   };
 
-  // Close the current aggregation: finalize, normalize the per-round
-  // means, evaluate, and either stop or open the next round. Shared by the
-  // flat arrival path and the hierarchical partial-merge path.
+  // Close the current aggregation once everything the root still expects
+  // has merged. Guarded so churn paths can call it opportunistically.
+  maybe_close_root = [&] {
+    if (!stopped && root_folded >= root_goal) close_round();
+  };
+
   close_round = [&] {
-    server_.finalize_round();
-    const double inv = 1.0 / static_cast<double>(record.participants);
-    record.train_seconds *= inv;
-    record.compress_seconds *= inv;
-    record.decompress_seconds *= inv;
-    record.comm_seconds *= inv;
-    record.mean_loss *= inv;
-    record.downlink_seconds *= inv;
-    record.downlink_encode_seconds *= inv;
-    record.downlink_decode_seconds *= inv;
-    record.mean_ef_residual_norm *= inv;
-    record.ef_decode_seconds *= inv;
-    if (!record.edges.empty()) {
-      const double inv_edges =
-          1.0 / static_cast<double>(record.edges.size());
+    if (record.participants == 0)
+      // Everything churned away: keep the global untouched this round.
+      server_.abort_round();
+    else
+      server_.finalize_round();
+    if (record.participants > 0) {
+      const double inv = 1.0 / static_cast<double>(record.participants);
+      record.train_seconds *= inv;
+      record.compress_seconds *= inv;
+      record.decompress_seconds *= inv;
+      record.comm_seconds *= inv;
+      record.mean_loss *= inv;
+      record.downlink_seconds *= inv;
+      record.downlink_encode_seconds *= inv;
+      record.downlink_decode_seconds *= inv;
+      record.mean_ef_residual_norm *= inv;
+      record.ef_decode_seconds *= inv;
+    }
+    if (merged_partials > 0) {
+      const double inv_edges = 1.0 / static_cast<double>(merged_partials);
       record.backhaul_seconds *= inv_edges;
       record.backhaul_encode_seconds *= inv_edges;
       record.backhaul_decode_seconds *= inv_edges;
@@ -416,48 +593,77 @@ FlRunResult FlCoordinator::run() {
       open_round(false);
   };
 
-  open_round = [&](bool initial) {
-    record = RoundRecord{};
-    record.round = completed;
-    folded = 0;
-    server_.begin_round();
-    if (scheduler_->continuous() && !initial) {
-      // Clients redispatch themselves on arrival; just reset the buffer.
-      goal = scheduler_->aggregation_goal(clients_.size());
+  // Per-node ship/withdraw machinery (hier only). A node ships when every
+  // still-promised child delivered (or, buffered, after min(K, expected)
+  // folds); a node whose whole expectation churned away withdraws, which
+  // cascades one level up.
+  check_node = [&](std::size_t l, std::size_t n) {
+    NodeRound& s = nodes[l][n];
+    if (!s.participating || !s.open) return;
+    if (s.folded == 0) {
+      if (s.expected == 0) withdraw_node(l, n);
       return;
     }
-    std::vector<std::size_t> cohort;
-    if (tree_) {
-      // Per-cohort sampling: the scheduler draws within each edge's member
-      // set (cohort-relative indices), and the root's goal is one partial
-      // per participating edge.
-      goal = 0;
-      for (std::size_t e = 0; e < edge_count; ++e) {
-        const auto& members = tree_->edge(e).members();
-        const std::vector<std::size_t> draw =
-            scheduler_->cohort(completed, members.size(), cohort_rng);
-        edge_goal[e] = scheduler_->aggregation_goal(draw.size());
-        edge_downlink_bytes[e] = 0;
-        edge_downlink_seconds[e] = 0.0;
-        if (edge_goal[e] == 0) continue;
-        tree_->edge(e).begin_round(server_.global_state());
-        ++goal;
-        for (const std::size_t idx : draw) cohort.push_back(members[idx]);
-      }
+    const std::size_t target =
+        buffered ? std::min(buffer_k, s.expected) : s.expected;
+    if (s.folded >= target) ship_node(l, n);
+  };
+
+  ship_node = [&](std::size_t l, std::size_t n) {
+    nodes[l][n].open = false;
+    auto partial = std::make_shared<const EncodedPartial>(
+        tree_->node(l, n).finalize_and_encode(completed));
+    const double transfer =
+        tree_->uplink(l, n).transfer_seconds(partial->payload.size());
+    queue.schedule_after(transfer,
+                         [&, l, n, round = completed, transfer, partial] {
+                           on_partial(l, n, round, transfer, partial);
+                         });
+  };
+
+  withdraw_node = [&](std::size_t l, std::size_t n) {
+    NodeRound& s = nodes[l][n];
+    s.open = false;
+    s.participating = false;
+    tree_->node(l, n).abort_round();
+    if (l + 1 == levels) {
+      if (root_goal > 0) --root_goal;
+      maybe_close_root();
     } else {
-      cohort = scheduler_->cohort(completed, clients_.size(), cohort_rng);
-      goal = scheduler_->aggregation_goal(cohort.size());
+      node_lost_child(l + 1, tree_->parent_of(l, n));
     }
-    const auto snapshot =
-        std::make_shared<const StateDict>(server_.global_state());
-    if (!downlink_) {
-      // Free lossless broadcast: clients start on the exact global at once.
-      for (const std::size_t i : cohort) dispatch(i, completed, snapshot,
-                                                  nullptr);
-    } else if (downlink_->mode() == DownlinkMode::kFull) {
-      broadcast_to(cohort, completed, snapshot);
+  };
+
+  node_lost_child = [&](std::size_t l, std::size_t n) {
+    NodeRound& s = nodes[l][n];
+    if (s.expected > 0) --s.expected;
+    check_node(l, n);
+  };
+
+  // A client drawn as a dropout vanished mid-round: trace it (weight 0) and
+  // release its aggregation point from waiting on it.
+  on_drop = [&](std::size_t i, std::uint64_t gen) {
+    if (stopped) return;
+    if (gen != generation[i] || phase[i] != Phase::kPending) return;
+    phase[i] = Phase::kDropped;
+    const InFlight& flight = flights[i];
+    ClientTraceEntry trace;
+    trace.client = i;
+    trace.node = tree_ ? 1 + tree_->flat_index(0, owner_round[i]) : 0;
+    trace.dispatch_round = flight.dispatch_round;
+    trace.dispatch_seconds = flight.dispatch_seconds;
+    trace.arrival_seconds = queue.now();  // when the client went silent
+    trace.downlink_bytes = flight.downlink_bytes;
+    trace.downlink_seconds = flight.downlink_seconds;
+    trace.status = DeliveryStatus::kDropped;
+    record.clients.push_back(std::move(trace));
+    if (!tree_) {
+      // Barrier goals equal the cohort size, so one fewer possible arrival
+      // is one fewer to wait for.
+      if (root_goal > 0) --root_goal;
+      maybe_close_root();
     } else {
-      for (const std::size_t i : cohort) send_to(i, completed, snapshot);
+      node_lost_child(0, owner_round[i]);
     }
   };
 
@@ -466,34 +672,28 @@ FlRunResult FlCoordinator::run() {
   // update is ever alive there), fold it into that node's streaming
   // accumulator, score the Eqn (1) decision against this client's own
   // link, and trigger the node's close-out once its goal is met.
-  on_arrival = [&](std::size_t i) {
+  on_arrival = [&](std::size_t i, std::uint64_t gen) {
+    if (stopped) return;
+    if (gen != generation[i]) return;
+    if (phase[i] == Phase::kIdle) {
+      ++result.late_events;
+      return;
+    }
+    if (phase[i] != Phase::kPending) return;
+    phase[i] = Phase::kDone;
     InFlight& flight = flights[i];
     WorkerOut out = std::move(flight.out);
     flight.out = WorkerOut{};
-    CompressionStats decode_stats;
-    const std::size_t node = tree_ ? 1 + tree_->edge_of(i) : 0;
-    StateDict update = codec_->decode({out.payload.data(), out.payload.size()},
-                                      &decode_stats);
-    ++live[node];
-    peak[node] = std::max(peak[node], live[node]);
-    const double weight =
-        static_cast<double>(out.samples) *
-        scheduler_->staleness_scale(flight.dispatch_round, completed);
-    if (tree_)
-      tree_->edge(node - 1).fold(update, weight);
-    else
-      server_.accumulate(update, weight);
-    update = StateDict();  // folded; free it before anything else arrives
-    --live[node];
+    const std::size_t e = tree_ ? owner_round[i] : 0;
+    const std::size_t node_id = tree_ ? 1 + tree_->flat_index(0, e) : 0;
 
     ClientTraceEntry trace;
     trace.client = i;
-    trace.node = node;
+    trace.node = node_id;
     trace.dispatch_round = flight.dispatch_round;
     trace.dispatch_seconds = flight.dispatch_seconds;
     trace.arrival_seconds = queue.now();
     trace.transfer_seconds = flight.transfer_seconds;
-    trace.weight = weight;
     trace.payload_bytes = out.payload.size();
     trace.raw_bytes = out.stats.original_bytes;
     trace.bound_value = out.stats.mean_bound_value;
@@ -503,6 +703,33 @@ FlRunResult FlCoordinator::run() {
     trace.downlink_bytes = flight.downlink_bytes;
     trace.downlink_seconds = flight.downlink_seconds;
     trace.ef_residual_norm = out.ef_residual_norm;
+
+    if (tree_ && !nodes[0][e].open) {
+      // Its buffered edge already shipped: the update landed with nowhere
+      // to fold. Trace it, but keep it out of every round total.
+      trace.status = DeliveryStatus::kLate;
+      record.clients.push_back(std::move(trace));
+      return;
+    }
+
+    CompressionStats decode_stats;
+    StateDict update = codec_->decode({out.payload.data(), out.payload.size()},
+                                      &decode_stats);
+    ++live[node_id];
+    peak[node_id] = std::max(peak[node_id], live[node_id]);
+    const double weight =
+        static_cast<double>(out.samples) *
+        scheduler_->staleness_scale(flight.dispatch_round, completed);
+    if (tree_) {
+      tree_->node(0, e).fold(update, weight);
+    } else {
+      server_.accumulate(update, weight);
+      record.aggregate_weight += weight;
+    }
+    update = StateDict();  // folded; free it before anything else arrives
+    --live[node_id];
+
+    trace.weight = weight;
     trace.decision = net::evaluate_compression(
         out.stats.original_bytes, out.payload.size(),
         out.stats.compress_seconds, decode_stats.decompress_seconds,
@@ -526,19 +753,11 @@ FlRunResult FlCoordinator::run() {
     record.clients.push_back(std::move(trace));
 
     if (!tree_) {
-      if (++folded >= goal) close_round();
-    } else if (const std::size_t e = node - 1;
-               tree_->edge(e).folded() >= edge_goal[e]) {
-      // Edge cohort complete: finalize the weight-carrying partial,
-      // re-encode it through the edge's backhaul codec, and put it on the
-      // edge's own backhaul link (the edge-arrival event kind).
-      auto partial = std::make_shared<const EncodedPartial>(
-          tree_->edge(e).finalize_and_encode(completed));
-      const double transfer =
-          tree_->backhaul_link(e).transfer_seconds(partial->payload.size());
-      queue.schedule_after(transfer, [&, e, transfer, partial] {
-        on_partial(e, transfer, *partial);
-      });
+      ++root_folded;
+      if (root_folded >= root_goal) close_round();
+    } else {
+      ++nodes[0][e].folded;
+      check_node(0, e);
     }
     if (!stopped && scheduler_->continuous()) {
       const auto snapshot =
@@ -553,40 +772,249 @@ FlRunResult FlCoordinator::run() {
     }
   };
 
-  // An edge's re-encoded partial crossed its backhaul and reached the
-  // root: decode it (the root, like every node, holds at most one decoded
-  // payload at a time), merge the weight-carrying mean, and aggregate once
-  // every participating edge has reported.
-  on_partial = [&](std::size_t e, double transfer,
-                   const EncodedPartial& partial) {
-    CompressionStats decode_stats;
-    ++live[0];
-    peak[0] = std::max(peak[0], live[0]);
-    StateDict mean = tree_->decode_partial(
-        {partial.payload.data(), partial.payload.size()}, &decode_stats);
-    server_.merge_partial(mean, partial.weight);
-    mean = StateDict();  // merged; free it before anything else arrives
-    --live[0];
-
+  // A node's re-encoded partial crossed its uplink: merge it one level up —
+  // into its parent's streaming accumulator, or into the server when it
+  // shipped from the top tier. Partials for a closed round or a parent that
+  // already shipped merge nowhere (counted/traced, never totaled).
+  on_partial = [&](std::size_t l, std::size_t n, int round, double transfer,
+                   std::shared_ptr<const EncodedPartial> partial) {
+    if (stopped) return;
+    if (round != completed) {
+      ++result.late_events;
+      return;
+    }
+    const std::size_t flat = tree_->flat_index(l, n);
     EdgeTraceEntry trace;
-    trace.edge = e;
-    trace.cohort = partial.clients;
-    trace.weight = partial.weight;
-    trace.payload_bytes = partial.payload.size();
-    trace.raw_bytes = partial.stats.original_bytes;
-    trace.encode_seconds = partial.stats.compress_seconds;
-    trace.decode_seconds = decode_stats.decompress_seconds;
+    trace.edge = flat;
+    trace.tier = l + 1;
+    trace.cohort = partial->clients;
+    trace.weight = partial->weight;
+    trace.payload_bytes = partial->payload.size();
+    trace.raw_bytes = partial->stats.original_bytes;
+    trace.encode_seconds = partial->stats.compress_seconds;
     trace.transfer_seconds = transfer;
     trace.arrival_seconds = queue.now();
-    trace.downlink_bytes = edge_downlink_bytes[e];
-    trace.downlink_seconds = edge_downlink_seconds[e];
+    trace.downlink_bytes = node_downlink_bytes[flat];
+    trace.downlink_seconds = node_downlink_seconds[flat];
+    trace.ef_residual_norm = partial->ef_residual_norm;
+
+    const bool at_root = l + 1 == levels;
+    std::size_t parent = 0;
+    std::size_t decode_node = 0;  // the root
+    if (!at_root) {
+      parent = tree_->parent_of(l, n);
+      if (!nodes[l + 1][parent].open) {
+        trace.status = DeliveryStatus::kLate;
+        record.edges.push_back(std::move(trace));
+        return;
+      }
+      decode_node = 1 + tree_->flat_index(l + 1, parent);
+    }
+    CompressionStats decode_stats;
+    ++live[decode_node];
+    peak[decode_node] = std::max(peak[decode_node], live[decode_node]);
+    StateDict mean = tree_->decode_partial(
+        l, {partial->payload.data(), partial->payload.size()}, &decode_stats);
+    if (at_root) {
+      server_.merge_partial(mean, partial->weight);
+      record.aggregate_weight += partial->weight;
+    } else {
+      tree_->node(l + 1, parent).fold(mean, partial->weight,
+                                      partial->clients);
+    }
+    mean = StateDict();  // merged; free it before anything else arrives
+    --live[decode_node];
+
+    trace.decode_seconds = decode_stats.decompress_seconds;
     record.backhaul_bytes += trace.payload_bytes;
     record.backhaul_raw_bytes += trace.raw_bytes;
     record.backhaul_seconds += transfer;
     record.backhaul_encode_seconds += trace.encode_seconds;
     record.backhaul_decode_seconds += trace.decode_seconds;
-    record.edges.push_back(trace);
-    if (++folded >= goal) close_round();
+    record.backhaul_tier_bytes[l] += trace.payload_bytes;
+    record.backhaul_tier_raw_bytes[l] += trace.raw_bytes;
+    ++merged_partials;
+    record.edges.push_back(std::move(trace));
+    if (at_root) {
+      ++root_folded;
+      maybe_close_root();
+    } else {
+      ++nodes[l + 1][parent].folded;
+      check_node(l + 1, parent);
+    }
+  };
+
+  // The straggler deadline: every client still in flight is evicted (traced
+  // with the marker), and open tier-1 edges force-ship what they have (or
+  // withdraw empty-handed) — the cascade then resolves the upper tiers.
+  evict_stragglers = [&] {
+    const int round = completed;
+    for (std::size_t i = 0; i < clients_.size(); ++i) {
+      if (phase[i] != Phase::kPending) continue;
+      phase[i] = Phase::kEvicted;
+      const InFlight& flight = flights[i];
+      ClientTraceEntry trace;
+      trace.client = i;
+      trace.node = tree_ ? 1 + tree_->flat_index(0, owner_round[i]) : 0;
+      trace.dispatch_round = flight.dispatch_round;
+      trace.dispatch_seconds = flight.dispatch_seconds;
+      trace.arrival_seconds = queue.now();  // when the server gave up
+      trace.downlink_bytes = flight.downlink_bytes;
+      trace.downlink_seconds = flight.downlink_seconds;
+      trace.status = DeliveryStatus::kEvicted;
+      record.clients.push_back(std::move(trace));
+    }
+    if (!tree_) {
+      root_goal = root_folded;
+      maybe_close_root();
+    } else {
+      // Withdrawal cascades can close (and reopen) the round synchronously;
+      // the round guard stops the sweep the moment that happens.
+      for (std::size_t e = 0; e < edge_count && completed == round; ++e) {
+        NodeRound& s = nodes[0][e];
+        if (!s.participating || !s.open) continue;
+        if (s.folded > 0)
+          ship_node(0, e);
+        else
+          withdraw_node(0, e);
+      }
+    }
+  };
+
+  open_round = [&](bool initial) {
+    record = RoundRecord{};
+    record.round = completed;
+    root_folded = 0;
+    merged_partials = 0;
+    server_.begin_round();
+    if (scheduler_->continuous() && !initial) {
+      // Clients redispatch themselves on arrival; just reset the buffer.
+      root_goal = scheduler_->aggregation_goal(clients_.size());
+      return;
+    }
+    std::fill(phase.begin(), phase.end(), Phase::kIdle);
+    std::fill(dropped.begin(), dropped.end(), 0);
+    std::vector<std::size_t> cohort;
+    if (tree_) {
+      record.backhaul_tier_bytes.assign(levels, 0);
+      record.backhaul_tier_raw_bytes.assign(levels, 0);
+      std::fill(node_downlink_bytes.begin(), node_downlink_bytes.end(), 0);
+      std::fill(node_downlink_seconds.begin(), node_downlink_seconds.end(),
+                0.0);
+      for (std::size_t l = 0; l < levels; ++l)
+        for (std::size_t n = 0; n < nodes[l].size(); ++n) {
+          // A buffered round can close with interior rounds still open;
+          // abort leftovers before reopening.
+          tree_->node(l, n).abort_round();
+          nodes[l][n] = NodeRound{};
+        }
+      // Static shards first; this round's crash draws then re-shard the
+      // victims' clients round-robin across the surviving siblings.
+      for (std::size_t e = 0; e < edge_count; ++e)
+        edge_members[e] = tree_->base_shards()[e];
+      if (config_.failures.edge_failure_rate > 0.0) {
+        std::vector<char> crashed(edge_count, 0);
+        bool any_alive = false;
+        for (std::size_t e = 0; e < edge_count; ++e) {
+          crashed[e] =
+              failure_rng.uniform() < config_.failures.edge_failure_rate;
+          any_alive = any_alive || !crashed[e];
+        }
+        if (!any_alive) crashed[0] = 0;  // at least one edge survives
+        std::vector<std::size_t> displaced;
+        std::vector<std::size_t> alive;
+        for (std::size_t e = 0; e < edge_count; ++e) {
+          if (crashed[e]) {
+            record.crashed_nodes.push_back(tree_->flat_index(0, e));
+            displaced.insert(displaced.end(), edge_members[e].begin(),
+                             edge_members[e].end());
+            edge_members[e].clear();
+          } else {
+            alive.push_back(e);
+          }
+        }
+        if (!displaced.empty()) {
+          // Seeded shuffle so re-homing is deterministic but uncorrelated
+          // with index order, then round-robin over the survivors.
+          for (std::size_t k = displaced.size(); k > 1; --k)
+            std::swap(displaced[k - 1],
+                      displaced[failure_rng.uniform_index(k)]);
+          for (std::size_t k = 0; k < displaced.size(); ++k)
+            edge_members[alive[k % alive.size()]].push_back(displaced[k]);
+        }
+      }
+      for (std::size_t e = 0; e < edge_count; ++e)
+        for (const std::size_t i : edge_members[e]) owner_round[i] = e;
+      // Per-cohort sampling: the scheduler draws within each edge's member
+      // set (cohort-relative indices) in edge order — the same stream and
+      // order as the single-tier runtime when nothing crashed.
+      root_goal = 0;
+      for (std::size_t e = 0; e < edge_count; ++e) {
+        edge_cohort[e].clear();
+        if (edge_members[e].empty()) continue;
+        const std::vector<std::size_t> draw =
+            scheduler_->cohort(completed, edge_members[e].size(), cohort_rng);
+        if (draw.empty()) continue;
+        NodeRound& s = nodes[0][e];
+        s.participating = s.open = true;
+        s.expected = draw.size();
+        tree_->node(0, e).begin_round(server_.global_state());
+        for (const std::size_t idx : draw)
+          edge_cohort[e].push_back(edge_members[e][idx]);
+      }
+      // Upper tiers participate when anything below them does; their
+      // expectation is the participating child count.
+      for (std::size_t l = 1; l < levels; ++l) {
+        for (auto& part : children_part[l]) part.clear();
+        for (std::size_t c = 0; c < nodes[l - 1].size(); ++c)
+          if (nodes[l - 1][c].participating)
+            children_part[l][tree_->parent_of(l - 1, c)].push_back(c);
+        for (std::size_t n = 0; n < nodes[l].size(); ++n) {
+          if (children_part[l][n].empty()) continue;
+          NodeRound& s = nodes[l][n];
+          s.participating = s.open = true;
+          s.expected = children_part[l][n].size();
+          tree_->node(l, n).begin_round(server_.global_state());
+        }
+      }
+      for (std::size_t n = 0; n < nodes[levels - 1].size(); ++n)
+        if (nodes[levels - 1][n].participating) ++root_goal;
+      for (std::size_t e = 0; e < edge_count; ++e)
+        cohort.insert(cohort.end(), edge_cohort[e].begin(),
+                      edge_cohort[e].end());
+    } else {
+      cohort = scheduler_->cohort(completed, clients_.size(), cohort_rng);
+      root_goal = scheduler_->aggregation_goal(cohort.size());
+    }
+    if (config_.failures.dropout_rate > 0.0)
+      for (const std::size_t i : cohort)
+        dropped[i] =
+            failure_rng.uniform() < config_.failures.dropout_rate;
+    if (config_.failures.straggler_deadline_seconds > 0.0)
+      queue.schedule_after(config_.failures.straggler_deadline_seconds,
+                           [&, round = completed] {
+                             if (!stopped && round == completed)
+                               evict_stragglers();
+                           });
+    if (cohort.empty()) {
+      // Every draw came back empty: nothing will ever arrive, so close on
+      // a zero-delay event (the pump still has to see the round).
+      queue.schedule_after(0.0, [&, round = completed] {
+        if (!stopped && round == completed) close_round();
+      });
+      return;
+    }
+    const auto snapshot =
+        std::make_shared<const StateDict>(server_.global_state());
+    if (!downlink_) {
+      // Free lossless broadcast: clients start on the exact global at once.
+      for (const std::size_t i : cohort)
+        dispatch(i, completed, snapshot, nullptr);
+    } else if (downlink_->mode() == DownlinkMode::kFull) {
+      broadcast_to(cohort, completed, snapshot);
+    } else {
+      for (const std::size_t i : cohort) send_to(i, completed, snapshot);
+    }
   };
 
   open_round(true);

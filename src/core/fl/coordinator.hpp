@@ -41,6 +41,36 @@ namespace fedsz::core {
 
 struct CodecSpec;
 
+/// Seeded churn injection, applied as coordinator pump events. Every draw
+/// comes from its own RNG stream (seeded here, or derived from the run
+/// seed), so a failure-free run consumes exactly the randomness it did
+/// before this struct existed — the PR-5 trajectory pins stay byte-exact.
+struct FailureSchedule {
+  /// Per-dispatch probability a client fails mid-round: it trains for half
+  /// its compute budget, then vanishes without uploading. Its weight never
+  /// reaches the aggregate; the trace records the dropout.
+  double dropout_rate = 0.0;
+  /// Per-round probability a tier-1 edge crashes before the round opens.
+  /// Its cohort is re-sharded (seeded shuffle, round-robin) across the
+  /// surviving sibling edges; at least one edge always survives.
+  double edge_failure_rate = 0.0;
+  /// Virtual-time budget per round: clients still in flight this many
+  /// seconds after the round opened are evicted (traced with an eviction
+  /// marker) and open interior nodes force-ship what they have. 0 = no
+  /// deadline.
+  double straggler_deadline_seconds = 0.0;
+  /// RNG stream for the draws above; 0 derives one from the run seed.
+  std::uint64_t seed = 0;
+
+  bool empty() const {
+    return dropout_rate == 0.0 && edge_failure_rate == 0.0 &&
+           straggler_deadline_seconds == 0.0;
+  }
+  /// Throws InvalidArgument on rates outside [0, 1] or a negative/non-
+  /// finite deadline.
+  void validate() const;
+};
+
 struct FlRunConfig {
   std::size_t clients = 4;
   int rounds = 10;
@@ -80,9 +110,14 @@ struct FlRunConfig {
   /// sampled_sync), applied per edge cohort.
   TopologyConfig topology;
 
+  /// Seeded churn: client dropout, edge crashes with re-sharding, and
+  /// straggler eviction. Empty (the default) injects nothing. Requires a
+  /// barrier scheduler; edge_failure_rate further requires kHier.
+  FailureSchedule failures;
+
   /// Fold the comm-level keys of a parsed codec spec (downlink=, downmode=,
-  /// ef=, topology=, backhaul=) into this config; the spec's codec-level
-  /// keys are unaffected.
+  /// ef=, topology=, backhaul=, backhaul<k>=, edgemode=, edgeef=, shard=)
+  /// into this config; the spec's codec-level keys are unaffected.
   void apply_comm_spec(const CodecSpec& spec);
 
   /// Throws InvalidArgument on degenerate settings (zero clients/rounds/
@@ -90,6 +125,16 @@ struct FlRunConfig {
   /// degenerate topology).
   void validate() const;
 };
+
+/// What happened to one dispatched update (or shipped partial).
+enum class DeliveryStatus : std::uint8_t {
+  kAggregated = 0,  // decoded and folded into its aggregation point
+  kDropped = 1,     // client failed mid-round; nothing uploaded
+  kEvicted = 2,     // still in flight at the straggler deadline
+  kLate = 3,        // arrived after its (buffered) parent already shipped
+};
+
+std::string delivery_status_name(DeliveryStatus status);
 
 /// One update delivery: who sent it, when (virtual clock), over which link,
 /// what the compression policy decided for it, and whether compressing for
@@ -119,28 +164,40 @@ struct ClientTraceEntry {
   /// update was encoded (0 with EF off or a lossless codec).
   double ef_residual_norm = 0.0;
   /// Aggregation point that folded this update: 0 = the root (flat runs),
-  /// 1 + e = edge e under a hierarchical topology (matching
-  /// FlRunResult::peak_decoded_per_node indexing).
+  /// 1 + AggregationTree::flat_index(0, e) for tier-1 edge e under a
+  /// hierarchical topology (matching FlRunResult::peak_decoded_per_node
+  /// indexing).
   std::size_t node = 0;
+  /// Churn outcome: only kAggregated entries contributed to the round's
+  /// aggregate (and to the per-round byte/second totals); dropped, evicted
+  /// and late entries carry weight 0.
+  DeliveryStatus status = DeliveryStatus::kAggregated;
   net::CompressionDecision decision;  // Eqn (1) against this client's link
 };
 
-/// One edge partial delivery (hierarchical topologies): how many updates
-/// the partial folded and the weight it carries, the backhaul leg of the
-/// re-encoded partial, and the root->edge share of the downlink broadcast
-/// charged to this edge's backhaul link.
+/// One interior partial delivery (hierarchical topologies): how many leaf
+/// updates the partial folded and the weight it carries, the uplink leg of
+/// the re-encoded partial, and the downstream share of the downlink
+/// broadcast charged to the shipping node's link.
 struct EdgeTraceEntry {
-  std::size_t edge = 0;
-  std::size_t cohort = 0;  // updates folded into this partial
+  std::size_t edge = 0;    // shipping node's tree-wide flat interior index
+  std::size_t tier = 0;    // shipping node's 1-based tier
+  std::size_t cohort = 0;  // leaf updates folded into this partial
   double weight = 0.0;     // total aggregation weight the partial carries
-  std::size_t payload_bytes = 0;  // encoded partial on the backhaul
+  std::size_t payload_bytes = 0;  // encoded partial on this node's uplink
   std::size_t raw_bytes = 0;      // uncompressed partial bytes
-  double encode_seconds = 0.0;    // edge-side re-encode wall time
-  double decode_seconds = 0.0;    // root-side decode wall time
-  double transfer_seconds = 0.0;  // backhaul-link virtual seconds
-  double arrival_seconds = 0.0;   // virtual time the partial merged at root
-  std::size_t downlink_bytes = 0;  // root->edge broadcast bytes this round
+  double encode_seconds = 0.0;    // node-side re-encode wall time
+  double decode_seconds = 0.0;    // parent-side decode wall time
+  double transfer_seconds = 0.0;  // uplink virtual seconds
+  double arrival_seconds = 0.0;   // virtual time the partial merged upstream
+  std::size_t downlink_bytes = 0;  // broadcast bytes over this node's link
   double downlink_seconds = 0.0;   // virtual seconds of those hops
+  /// Edge-side EF residual norm after this partial's encode (0 unless
+  /// edgeef=on rides a lossy tier codec).
+  double ef_residual_norm = 0.0;
+  /// kAggregated, or kLate for a partial that reached a buffered parent
+  /// after it had already shipped (its weight never merged upstream).
+  DeliveryStatus status = DeliveryStatus::kAggregated;
 };
 
 /// Per-round accounting. Client-side quantities are means over the round's
@@ -170,18 +227,31 @@ struct RoundRecord {
   /// Mean client-side seconds decoding the own payload for the EF residual
   /// (the extra codec work EF costs; 0 with EF off or a lossless uplink).
   double ef_decode_seconds = 0.0;
-  // ---- backhaul (edge->root) tier, zeros/empty on flat runs ----
-  std::size_t backhaul_bytes = 0;      // total encoded partial bytes
+  // ---- backhaul (interior uplink) tiers, zeros/empty on flat runs ----
+  std::size_t backhaul_bytes = 0;      // total MERGED partial bytes, all tiers
   std::size_t backhaul_raw_bytes = 0;  // total uncompressed partial bytes
-  double backhaul_seconds = 0.0;         // mean backhaul transfer / partial
-  double backhaul_encode_seconds = 0.0;  // mean edge re-encode / partial
-  double backhaul_decode_seconds = 0.0;  // mean root decode / partial
+  double backhaul_seconds = 0.0;         // mean uplink transfer / partial
+  double backhaul_encode_seconds = 0.0;  // mean node re-encode / partial
+  double backhaul_decode_seconds = 0.0;  // mean parent decode / partial
+  /// Per-tier split of backhaul_bytes / backhaul_raw_bytes: entry t counts
+  /// the merged partials shipped BY tier t+1 nodes. Sums to the totals —
+  /// the byte-accounting invariant the property harness pins.
+  std::vector<std::size_t> backhaul_tier_bytes;
+  std::vector<std::size_t> backhaul_tier_raw_bytes;
   /// Total root->edge broadcast bytes (the downlink's first hop; the
   /// per-client downlink_bytes above count only the edge->client leg).
   std::size_t backhaul_downlink_bytes = 0;
   double backhaul_downlink_seconds = 0.0;  // mean root->edge hop / edge
-  std::vector<ClientTraceEntry> clients;  // one entry per folded update
-  std::vector<EdgeTraceEntry> edges;      // one entry per merged partial
+  /// Total aggregation weight the root actually merged this round — the
+  /// conserved quantity: equal to the summed weights of this round's
+  /// kAggregated client entries minus what buffered parents shipped
+  /// without (late partials' folded weight).
+  double aggregate_weight = 0.0;
+  /// Tier-1 edges that crashed before this round opened (tree-wide flat
+  /// indices); their cohorts were re-sharded to the surviving siblings.
+  std::vector<std::size_t> crashed_nodes;
+  std::vector<ClientTraceEntry> clients;  // one entry per dispatched update
+  std::vector<EdgeTraceEntry> edges;      // one entry per shipped partial
   double compression_ratio() const {
     return bytes_sent > 0 ? static_cast<double>(raw_bytes) /
                                 static_cast<double>(bytes_sent)
@@ -208,10 +278,16 @@ struct FlRunResult {
   /// 1 under the streaming runtime, independent of the client count.
   std::size_t peak_decoded_updates = 0;
   /// Peak simultaneously-alive decoded payloads per aggregation point:
-  /// index 0 = the root, 1 + e = edge e (flat runs carry just the root
-  /// entry). Streaming keeps every node at 1 regardless of cohort size —
-  /// the O(fanout) memory claim is per NODE, never per tree.
+  /// index 0 = the root, 1 + AggregationTree::flat_index(level, i) for
+  /// interior nodes (flat runs carry just the root entry). Streaming keeps
+  /// every node at 1 regardless of cohort size — the O(fanout) memory
+  /// claim is per NODE, never per tree.
   std::vector<std::size_t> peak_decoded_per_node;
+  /// Events (client arrivals or partials) that landed after their round
+  /// had already closed — possible only when buffered interior nodes ship
+  /// early. Counted instead of traced: the round's record is immutable
+  /// once closed.
+  std::size_t late_events = 0;
   std::string scheduler;
 };
 

@@ -34,7 +34,9 @@ class Scheduler {
   /// only consulted at round 0 — afterwards clients redispatch themselves
   /// on arrival. Under a hierarchical topology the coordinator consults
   /// the policy once per EDGE cohort: `clients` is then the edge's member
-  /// count and the returned indices are cohort-relative.
+  /// count — after any crash re-sharding moved clients between siblings —
+  /// and the returned indices are cohort-relative (positions within that
+  /// round's member list, not global client ids).
   virtual std::vector<std::size_t> cohort(int round, std::size_t clients,
                                           Rng& rng) = 0;
 

@@ -31,6 +31,9 @@ class FlServer {
   void merge_partial(const StateDict& mean, double weight);
   /// Apply the accumulated mean to the global model and close the round.
   void finalize_round();
+  /// Abandon the open round, leaving the global model untouched — how the
+  /// coordinator closes a round that lost every participant to churn.
+  void abort_round() { aggregator_->abort_round(); }
   bool round_open() const { return aggregator_->round_open(); }
 
   /// Fold a round of updates into the global state via the configured

@@ -1,10 +1,21 @@
 #include "core/fl/topology.hpp"
 
+#include <numeric>
 #include <utility>
 
 #include "core/codec_spec.hpp"
+#include "util/rng.hpp"
 
 namespace fedsz::core {
+
+namespace {
+
+/// Standalone trees (tests, tools) get a fixed shuffle seed when the
+/// config leaves shard_seed at 0; the coordinator derives one from the run
+/// seed instead, so runs stay deterministic per seed.
+constexpr std::uint64_t kDefaultShardSeed = 0x5AFEC0DEull;
+
+}  // namespace
 
 std::string topology_mode_name(TopologyMode mode) {
   switch (mode) {
@@ -16,62 +27,161 @@ std::string topology_mode_name(TopologyMode mode) {
   throw InvalidArgument("topology_mode_name: unknown mode");
 }
 
+std::string edge_mode_name(EdgeMode mode) {
+  switch (mode) {
+    case EdgeMode::kSync:
+      return "sync";
+    case EdgeMode::kBuffered:
+      return "buffered";
+  }
+  throw InvalidArgument("edge_mode_name: unknown mode");
+}
+
+std::string shard_strategy_name(ShardStrategy strategy) {
+  switch (strategy) {
+    case ShardStrategy::kContiguous:
+      return "contiguous";
+    case ShardStrategy::kShuffled:
+      return "shuffled";
+  }
+  throw InvalidArgument("shard_strategy_name: unknown strategy");
+}
+
+std::vector<std::size_t> TopologyConfig::resolved_tiers() const {
+  if (!tiers.empty()) return tiers;
+  if (fanout != 0) return {fanout};
+  return {};
+}
+
 void TopologyConfig::validate() const {
   if (mode == TopologyMode::kFlat) {
     // A flat run silently dropping hier-only options is the
-    // downmode=delta-without-downlink mistake all over again; refuse.
-    if (fanout != 0)
+    // downmode=delta-without-downlink mistake all over again; refuse each
+    // one loudly, naming the escape hatch.
+    if (!tiers.empty() || fanout != 0)
       throw InvalidArgument(
-          "TopologyConfig: fanout requires mode=kHier (topology=hier:<N>)");
-    if (!backhaul_spec.empty())
+          "TopologyConfig: tiers/fanout require mode=kHier "
+          "(topology=hier:<N>[x<M>...])");
+    if (!backhaul_spec.empty() || !tier_backhaul_specs.empty())
       throw InvalidArgument(
-          "TopologyConfig: backhaul_spec requires mode=kHier");
+          "TopologyConfig: backhaul specs require mode=kHier");
+    if (edge_mode != EdgeMode::kSync || edge_buffer != 0)
+      throw InvalidArgument(
+          "TopologyConfig: edge_mode/edge_buffer require mode=kHier "
+          "(edgemode=sync|buffered:<K>)");
+    if (edge_error_feedback)
+      throw InvalidArgument(
+          "TopologyConfig: edge_error_feedback requires mode=kHier "
+          "(edgeef=on)");
+    if (sharding != ShardStrategy::kContiguous)
+      throw InvalidArgument(
+          "TopologyConfig: sharding requires mode=kHier "
+          "(shard=contiguous|shuffled)");
     return;
   }
-  if (fanout == 0)
-    throw InvalidArgument("TopologyConfig: kHier needs fanout >= 1");
+  if (!tiers.empty() && fanout != 0)
+    throw InvalidArgument(
+        "TopologyConfig: set tiers OR the deprecated fanout, not both "
+        "(fanout=N is sugar for tiers={N})");
+  const std::vector<std::size_t> resolved = resolved_tiers();
+  if (resolved.empty())
+    throw InvalidArgument(
+        "TopologyConfig: kHier needs at least one tier "
+        "(topology=hier:<N>[x<M>...], every fan-in >= 1)");
+  for (const std::size_t fan : resolved)
+    if (fan == 0)
+      throw InvalidArgument(
+          "TopologyConfig: every tier fan-in must be >= 1 "
+          "(topology=hier:<N>[x<M>...])");
+  if (tier_backhaul_specs.size() > resolved.size())
+    throw InvalidArgument(
+        "TopologyConfig: more per-tier backhaul overrides (" +
+        std::to_string(tier_backhaul_specs.size()) + ") than tiers (" +
+        std::to_string(resolved.size()) + "); backhaul<k> wants 1 <= k <= " +
+        std::to_string(resolved.size()));
   if (!backhaul_spec.empty()) {
     // Malformed specs throw InvalidArgument from the parser itself.
     if (parse_codec_spec(backhaul_spec).has_comm_keys())
       throw InvalidArgument(
           "TopologyConfig: backhaul_spec cannot itself carry comm keys");
   }
+  for (std::size_t k = 0; k < tier_backhaul_specs.size(); ++k) {
+    if (tier_backhaul_specs[k].empty()) continue;
+    if (parse_codec_spec(tier_backhaul_specs[k]).has_comm_keys())
+      throw InvalidArgument("TopologyConfig: backhaul" + std::to_string(k + 1) +
+                            " spec cannot itself carry comm keys");
+  }
+  if (edge_mode == EdgeMode::kBuffered && edge_buffer == 0)
+    throw InvalidArgument(
+        "TopologyConfig: kBuffered needs edge_buffer >= 1 "
+        "(edgemode=buffered:<K>)");
+  if (edge_mode == EdgeMode::kSync && edge_buffer != 0)
+    throw InvalidArgument(
+        "TopologyConfig: edge_buffer requires edge_mode=kBuffered "
+        "(edgemode=buffered:<K>)");
 }
 
 std::vector<std::vector<std::size_t>> shard_clients(std::size_t clients,
                                                     std::size_t fanout) {
+  return shard_clients(clients, fanout, ShardStrategy::kContiguous, 0);
+}
+
+std::vector<std::vector<std::size_t>> shard_clients(std::size_t clients,
+                                                    std::size_t fanout,
+                                                    ShardStrategy strategy,
+                                                    std::uint64_t seed) {
   if (clients == 0)
     throw InvalidArgument("shard_clients: need at least one client");
   if (fanout == 0) throw InvalidArgument("shard_clients: fanout must be >= 1");
+  std::vector<std::size_t> order(clients);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  if (strategy == ShardStrategy::kShuffled && clients > 1) {
+    // Seeded Fisher-Yates: deterministic per seed, so a shuffled topology
+    // is as reproducible as a contiguous one.
+    Rng rng(seed);
+    for (std::size_t i = clients - 1; i > 0; --i)
+      std::swap(order[i], order[rng.uniform_index(i + 1)]);
+  }
   std::vector<std::vector<std::size_t>> shards;
   shards.reserve((clients + fanout - 1) / fanout);
   for (std::size_t start = 0; start < clients; start += fanout) {
-    std::vector<std::size_t> shard;
     const std::size_t end = std::min(clients, start + fanout);
-    shard.reserve(end - start);
-    for (std::size_t i = start; i < end; ++i) shard.push_back(i);
-    shards.push_back(std::move(shard));
+    shards.emplace_back(order.begin() + static_cast<std::ptrdiff_t>(start),
+                        order.begin() + static_cast<std::ptrdiff_t>(end));
   }
   return shards;
 }
 
-EdgeAggregator::EdgeAggregator(std::size_t id, std::vector<std::size_t> members,
-                               UpdateCodecPtr codec)
+EdgeAggregator::EdgeAggregator(std::size_t id, std::size_t tier,
+                               std::vector<std::size_t> members,
+                               UpdateCodecPtr codec, bool error_feedback)
     : id_(id),
+      tier_(tier),
       members_(std::move(members)),
       codec_(std::move(codec)),
       aggregator_(make_fedavg()) {
+  if (tier_ == 0) throw InvalidArgument("EdgeAggregator: tiers are 1-based");
   if (members_.empty())
     throw InvalidArgument("EdgeAggregator: empty member set");
   if (!codec_) throw InvalidArgument("EdgeAggregator: null backhaul codec");
+  // EF against a lossless tier codec is provably a zero residual forever.
+  ef_on_ = error_feedback && !codec_->lossless();
 }
 
 void EdgeAggregator::begin_round(const StateDict& reference) {
   aggregator_->begin_round(reference);
+  leaves_ = 0;
 }
 
-void EdgeAggregator::fold(const StateDict& update, double weight) {
+void EdgeAggregator::fold(const StateDict& update, double weight,
+                          std::size_t leaves) {
   aggregator_->accumulate(update, weight);
+  leaves_ += leaves;
+}
+
+void EdgeAggregator::abort_round() {
+  aggregator_->abort_round();
+  leaves_ = 0;
 }
 
 EncodedPartial EdgeAggregator::finalize_and_encode(int round) {
@@ -79,57 +189,149 @@ EncodedPartial EdgeAggregator::finalize_and_encode(int round) {
   EncodeContext ctx;
   ctx.round = round;
   ctx.client_id = -1 - static_cast<int>(id_);
-  UpdateCodec::Encoded encoded = codec_->encode(partial.mean, ctx);
+  StateDict to_encode = std::move(partial.mean);
+  if (ef_on_) to_encode = feedback_.apply(to_encode);
+  UpdateCodec::Encoded encoded = codec_->encode(to_encode, ctx);
   EncodedPartial out;
+  if (ef_on_) {
+    // The parent will decode exactly this payload; what the lossy tier
+    // codec dropped is carried into this node's next partial.
+    const StateDict reconstruction = codec_->decode(
+        {encoded.payload.data(), encoded.payload.size()});
+    feedback_.absorb(to_encode, reconstruction);
+    out.ef_residual_norm = feedback_.residual_norm();
+  }
   out.payload = std::move(encoded.payload);
   out.stats = encoded.stats;
   out.weight = partial.weight;
-  out.clients = partial.count;
+  out.clients = leaves_;  // telescoped leaf count, not this node's fold count
   return out;
 }
 
 namespace {
 
-/// Validates the config and draws the per-edge backhaul tier (runs first
-/// in the constructor, so every AggregationTree is born validated).
-net::HeterogeneousNetwork build_backhaul(const TopologyConfig& config,
-                                         std::size_t clients) {
-  config.validate();
-  if (config.mode != TopologyMode::kHier)
-    throw InvalidArgument("AggregationTree: config must be mode=kHier");
-  if (clients == 0)
-    throw InvalidArgument("AggregationTree: need at least one client");
-  const std::size_t edges = (clients + config.fanout - 1) / config.fanout;
-  return net::build_links(config.backhaul_heterogeneous,
-                          config.backhaul_network, edges);
+/// Per-tier codec spec after override resolution: backhaul<k> when set,
+/// else the shared default, else identity.
+std::string tier_spec(const TopologyConfig& config, std::size_t level) {
+  if (level < config.tier_backhaul_specs.size() &&
+      !config.tier_backhaul_specs[level].empty())
+    return config.tier_backhaul_specs[level];
+  return config.backhaul_spec.empty() ? "identity" : config.backhaul_spec;
+}
+
+/// One uplink per node at `level`. Level 0 uses the heterogeneous config
+/// as-is (the one-level regression pin); higher levels re-seed the draw so
+/// tiers get independent link assignments.
+net::HeterogeneousNetwork tier_links(const TopologyConfig& config,
+                                     std::size_t level, std::size_t nodes) {
+  std::optional<net::HeterogeneousNetworkConfig> het =
+      config.backhaul_heterogeneous;
+  if (het && level > 0) het->seed ^= 0x9E3779B97F4A7C15ull * level;
+  return net::build_links(het, config.backhaul_network, nodes);
 }
 
 }  // namespace
 
 AggregationTree::AggregationTree(const TopologyConfig& config,
-                                 std::size_t clients)
-    : backhaul_(build_backhaul(config, clients)),
-      codec_(make_codec(parse_codec_spec(
-          config.backhaul_spec.empty() ? "identity" : config.backhaul_spec))) {
-  auto shards = shard_clients(clients, config.fanout);
+                                 std::size_t clients) {
+  config.validate();
+  if (config.mode != TopologyMode::kHier)
+    throw InvalidArgument("AggregationTree: config must be mode=kHier");
+  if (clients == 0)
+    throw InvalidArgument("AggregationTree: need at least one client");
+  const std::vector<std::size_t> tiers = config.resolved_tiers();
+  const std::uint64_t shard_seed =
+      config.shard_seed != 0 ? config.shard_seed : kDefaultShardSeed;
+  base_shards_ =
+      shard_clients(clients, tiers[0], config.sharding, shard_seed);
   owner_.resize(clients);
-  edges_.reserve(shards.size());
-  for (std::size_t e = 0; e < shards.size(); ++e) {
-    for (const std::size_t client : shards[e]) owner_[client] = e;
-    edges_.emplace_back(e, std::move(shards[e]), codec_);
+  for (std::size_t e = 0; e < base_shards_.size(); ++e)
+    for (const std::size_t client : base_shards_[e]) owner_[client] = e;
+
+  levels_.reserve(tiers.size());
+  std::size_t below = clients;  // children available to the next level
+  for (std::size_t l = 0; l < tiers.size(); ++l) {
+    const std::size_t count = (below + tiers[l] - 1) / tiers[l];
+    Level level{make_codec(parse_codec_spec(tier_spec(config, l))),
+                tier_links(config, l, count),
+                {},
+                total_nodes_,
+                tiers[l]};
+    level.nodes.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      std::vector<std::size_t> members;
+      if (l == 0) {
+        members = base_shards_[i];
+      } else {
+        const std::size_t start = i * tiers[l];
+        const std::size_t end = std::min(below, start + tiers[l]);
+        members.resize(end - start);
+        std::iota(members.begin(), members.end(), start);
+      }
+      level.nodes.emplace_back(total_nodes_ + i, l + 1, std::move(members),
+                               level.codec, config.edge_error_feedback);
+    }
+    total_nodes_ += count;
+    below = count;
+    levels_.push_back(std::move(level));
   }
 }
 
-EdgeAggregator& AggregationTree::edge(std::size_t index) {
-  if (index >= edges_.size())
-    throw InvalidArgument("AggregationTree: edge index out of range");
-  return edges_[index];
+std::size_t AggregationTree::level_size(std::size_t level) const {
+  if (level >= levels_.size())
+    throw InvalidArgument("AggregationTree: level out of range");
+  return levels_[level].nodes.size();
 }
 
-const EdgeAggregator& AggregationTree::edge(std::size_t index) const {
-  if (index >= edges_.size())
-    throw InvalidArgument("AggregationTree: edge index out of range");
-  return edges_[index];
+std::size_t AggregationTree::flat_index(std::size_t level,
+                                        std::size_t i) const {
+  if (level >= levels_.size() || i >= levels_[level].nodes.size())
+    throw InvalidArgument("AggregationTree: node index out of range");
+  return levels_[level].flat_offset + i;
+}
+
+EdgeAggregator& AggregationTree::node(std::size_t level, std::size_t i) {
+  if (level >= levels_.size() || i >= levels_[level].nodes.size())
+    throw InvalidArgument("AggregationTree: node index out of range");
+  return levels_[level].nodes[i];
+}
+
+const EdgeAggregator& AggregationTree::node(std::size_t level,
+                                            std::size_t i) const {
+  if (level >= levels_.size() || i >= levels_[level].nodes.size())
+    throw InvalidArgument("AggregationTree: node index out of range");
+  return levels_[level].nodes[i];
+}
+
+std::size_t AggregationTree::parent_of(std::size_t level,
+                                       std::size_t i) const {
+  if (level + 1 >= levels_.size())
+    throw InvalidArgument(
+        "AggregationTree: top-level nodes ship straight to the root");
+  if (i >= levels_[level].nodes.size())
+    throw InvalidArgument("AggregationTree: node index out of range");
+  // Interior grouping is contiguous regardless of leaf shard strategy.
+  return i / levels_[level + 1].fan;
+}
+
+const net::SimulatedNetwork& AggregationTree::uplink(std::size_t level,
+                                                     std::size_t i) const {
+  if (level >= levels_.size() || i >= levels_[level].nodes.size())
+    throw InvalidArgument("AggregationTree: node index out of range");
+  return levels_[level].links.link(i);
+}
+
+const UpdateCodec& AggregationTree::tier_codec(std::size_t level) const {
+  if (level >= levels_.size())
+    throw InvalidArgument("AggregationTree: level out of range");
+  return *levels_[level].codec;
+}
+
+StateDict AggregationTree::decode_partial(std::size_t level, ByteSpan payload,
+                                          CompressionStats* stats) const {
+  if (level >= levels_.size())
+    throw InvalidArgument("AggregationTree: level out of range");
+  return levels_[level].codec->decode(payload, stats);
 }
 
 std::size_t AggregationTree::edge_of(std::size_t client) const {
@@ -138,14 +340,9 @@ std::size_t AggregationTree::edge_of(std::size_t client) const {
   return owner_[client];
 }
 
-const net::SimulatedNetwork& AggregationTree::backhaul_link(
-    std::size_t edge) const {
-  return backhaul_.link(edge);
-}
-
 StateDict AggregationTree::decode_partial(ByteSpan payload,
                                           CompressionStats* stats) const {
-  return codec_->decode(payload, stats);
+  return levels_.back().codec->decode(payload, stats);
 }
 
 }  // namespace fedsz::core

@@ -102,24 +102,59 @@ TEST(CodecSpecParse, TopologyAndBackhaulCommKeys) {
   const CodecSpec spec = parse_codec_spec(
       "fedsz:eb=rel:1e-2,topology=hier:32,"
       "backhaul=fedsz:eb=rel:1e-3;lossless=zstd");
-  EXPECT_EQ(spec.hier_fanout, 32u);
+  ASSERT_EQ(spec.hier_tiers.size(), 1u);
+  EXPECT_EQ(spec.hier_tiers[0], 32u);
   // The stored backhaul spec is canonical comma form, directly parseable.
   const CodecSpec inner = parse_codec_spec(spec.backhaul);
   EXPECT_DOUBLE_EQ(inner.bound.value, 1e-3);
   EXPECT_EQ(inner.lossless_id, lossless::LosslessId::kZstd);
-  // flat is the default and an explicit no-op; suffixes scale the fanout.
-  EXPECT_EQ(parse_codec_spec("fedsz").hier_fanout, 0u);
-  EXPECT_EQ(parse_codec_spec("fedsz:topology=flat").hier_fanout, 0u);
-  EXPECT_EQ(parse_codec_spec("fedsz:topology=hier:1k").hier_fanout, 1024u);
+  // flat is the default and an explicit no-op; suffixes scale the fan-ins.
+  EXPECT_TRUE(parse_codec_spec("fedsz").hier_tiers.empty());
+  EXPECT_TRUE(parse_codec_spec("fedsz:topology=flat").hier_tiers.empty());
+  EXPECT_EQ(parse_codec_spec("fedsz:topology=hier:1k").hier_tiers,
+            std::vector<std::size_t>{1024});
   // The identity family accepts the topology keys too (raw uplink through
   // a sharded tree is a legitimate comm config).
   const CodecSpec identity = parse_codec_spec(
       "identity:topology=hier:8,backhaul=identity");
   EXPECT_TRUE(identity.identity);
-  EXPECT_EQ(identity.hier_fanout, 8u);
+  EXPECT_EQ(identity.hier_tiers, std::vector<std::size_t>{8});
   EXPECT_EQ(identity.backhaul, "identity");
   const std::string canonical = format_codec_spec(identity);
   EXPECT_EQ(format_codec_spec(parse_codec_spec(canonical)), canonical);
+}
+
+TEST(CodecSpecParse, MultiTierTopologyAndPerTierOverrides) {
+  const CodecSpec spec = parse_codec_spec(
+      "fedsz:topology=hier:32x16x4,backhaul=identity,"
+      "backhaul2=fedsz:eb=rel:1e-3;lossless=zstd,"
+      "edgemode=buffered:3,edgeef=on,shard=shuffled");
+  EXPECT_EQ(spec.hier_tiers, (std::vector<std::size_t>{32, 16, 4}));
+  EXPECT_EQ(spec.backhaul, "identity");
+  // backhaul2= lands at entry 1 (1-based tiers) with no trailing empties.
+  ASSERT_EQ(spec.tier_backhauls.size(), 2u);
+  EXPECT_TRUE(spec.tier_backhauls[0].empty());
+  EXPECT_DOUBLE_EQ(parse_codec_spec(spec.tier_backhauls[1]).bound.value,
+                   1e-3);
+  EXPECT_TRUE(spec.edge_buffered);
+  EXPECT_EQ(spec.edge_buffer, 3u);
+  EXPECT_TRUE(spec.edge_error_feedback);
+  EXPECT_TRUE(spec.shard_shuffled);
+  // Every new key round-trips through the canonical form.
+  const std::string canonical = format_codec_spec(spec);
+  EXPECT_NE(canonical.find(",topology=hier:32x16x4"), std::string::npos);
+  EXPECT_NE(canonical.find(",backhaul2=fedsz:"), std::string::npos);
+  EXPECT_NE(canonical.find(",edgemode=buffered:3"), std::string::npos);
+  EXPECT_NE(canonical.find(",edgeef=on"), std::string::npos);
+  EXPECT_NE(canonical.find(",shard=shuffled"), std::string::npos);
+  EXPECT_EQ(format_codec_spec(parse_codec_spec(canonical)), canonical);
+  // The off-spellings are explicit no-ops.
+  const CodecSpec off = parse_codec_spec(
+      "fedsz:edgemode=sync,edgeef=off,shard=contiguous");
+  EXPECT_FALSE(off.edge_buffered);
+  EXPECT_EQ(off.edge_buffer, 0u);
+  EXPECT_FALSE(off.edge_error_feedback);
+  EXPECT_FALSE(off.shard_shuffled);
 }
 
 TEST(CodecSpecErrors, MalformedCommKeysThrow) {
@@ -133,9 +168,20 @@ TEST(CodecSpecErrors, MalformedCommKeysThrow) {
         // shapes, malformed or comm-carrying backhaul specs
         "fedsz:topology=hier", "fedsz:topology=hier:", "fedsz:topology=hier:0",
         "fedsz:topology=hier:two", "fedsz:topology=ring", "fedsz:topology=",
+        // multi-tier vectors: dangling/zero/non-numeric fan-ins
+        "fedsz:topology=hier:4x", "fedsz:topology=hier:4x0",
+        "fedsz:topology=hier:x4", "fedsz:topology=hier:4xtwo",
         "fedsz:backhaul=", "fedsz:backhaul=szip",
         "fedsz:backhaul=fedsz:ef=on",
-        "fedsz:backhaul=fedsz:topology=hier:4"}) {
+        "fedsz:backhaul=fedsz:topology=hier:4",
+        // per-tier overrides: 1-based, numeric, comm-free
+        "fedsz:backhaul0=identity", "fedsz:backhaul1=",
+        "fedsz:backhaul2=fedsz:ef=on",
+        // edge mode / edge EF / sharding
+        "fedsz:edgemode=", "fedsz:edgemode=buffered",
+        "fedsz:edgemode=buffered:", "fedsz:edgemode=buffered:0",
+        "fedsz:edgemode=lazy", "fedsz:edgeef=maybe",
+        "fedsz:shard=random"}) {
     EXPECT_THROW(parse_codec_spec(spec), InvalidArgument) << spec;
   }
 }
@@ -287,10 +333,26 @@ TEST(CodecSpecFormat, FormatParseFuzzRoundTrip) {
     spec.downlink_delta = rng.uniform() < 0.25;
     spec.error_feedback = rng.uniform() < 0.25;
     if (rng.uniform() < 0.3) {
-      spec.hier_fanout = 1 + rng.uniform_index(256);
+      const std::size_t depth = 1 + rng.uniform_index(3);
+      for (std::size_t t = 0; t < depth; ++t)
+        spec.hier_tiers.push_back(1 + rng.uniform_index(256));
       if (rng.uniform() < 0.5)
         spec.backhaul = format_codec_spec(parse_codec_spec(
             rng.uniform() < 0.5 ? "identity" : "fedsz:eb=rel:1e-3"));
+      if (rng.uniform() < 0.4) {
+        // Per-tier overrides: pick one tier, no trailing empties (the
+        // canonical-form invariant the generator must respect).
+        const std::size_t tier = 1 + rng.uniform_index(depth);
+        spec.tier_backhauls.resize(tier);
+        spec.tier_backhauls[tier - 1] =
+            format_codec_spec(parse_codec_spec("fedsz:eb=rel:1e-4"));
+      }
+      if (rng.uniform() < 0.3) {
+        spec.edge_buffered = true;
+        spec.edge_buffer = 1 + rng.uniform_index(8);
+      }
+      spec.edge_error_feedback = rng.uniform() < 0.25;
+      spec.shard_shuffled = rng.uniform() < 0.25;
     }
 
     const std::string canonical = format_codec_spec(spec);
@@ -300,8 +362,13 @@ TEST(CodecSpecFormat, FormatParseFuzzRoundTrip) {
     EXPECT_EQ(reparsed.downlink, spec.downlink);
     EXPECT_EQ(reparsed.downlink_delta, spec.downlink_delta);
     EXPECT_EQ(reparsed.error_feedback, spec.error_feedback);
-    EXPECT_EQ(reparsed.hier_fanout, spec.hier_fanout);
+    EXPECT_EQ(reparsed.hier_tiers, spec.hier_tiers);
     EXPECT_EQ(reparsed.backhaul, spec.backhaul);
+    EXPECT_EQ(reparsed.tier_backhauls, spec.tier_backhauls);
+    EXPECT_EQ(reparsed.edge_buffered, spec.edge_buffered);
+    EXPECT_EQ(reparsed.edge_buffer, spec.edge_buffer);
+    EXPECT_EQ(reparsed.edge_error_feedback, spec.edge_error_feedback);
+    EXPECT_EQ(reparsed.shard_shuffled, spec.shard_shuffled);
     if (!spec.identity) {
       EXPECT_EQ(reparsed.lossy_id, spec.lossy_id);
       EXPECT_EQ(reparsed.lossless_id, spec.lossless_id);
@@ -319,6 +386,24 @@ TEST(CodecSpecFormat, FormatParseFuzzRoundTrip) {
 }
 
 // ---- construction ----
+
+TEST(MakeCodecFromSpecString, BuildsTheCodecASpecDescribes) {
+  // The preferred string entry point: parse + make_codec in one step.
+  EXPECT_EQ(make_codec("identity")->name(), "uncompressed");
+  EXPECT_EQ(make_codec("fedsz:lossy=sz3,eb=rel:1e-3")->name(), "fedsz-sz3");
+}
+
+TEST(MakeCodecFromSpecString, CommKeysAreRejected) {
+  // A bare codec cannot honor comm-level keys; dropping them silently would
+  // hide a misconfigured run.
+  for (const char* spec :
+       {"fedsz:ef=on", "fedsz:downlink=identity", "fedsz:topology=hier:8",
+        "identity:topology=hier:4x2,backhaul=identity",
+        "fedsz:edgemode=buffered:2", "fedsz:edgeef=on",
+        "fedsz:shard=shuffled"}) {
+    EXPECT_THROW(make_codec(std::string(spec)), InvalidArgument) << spec;
+  }
+}
 
 TEST(MakeCodecByName, LegacyNamesStillResolve) {
   EXPECT_EQ(make_codec_by_name("identity")->name(), "uncompressed");

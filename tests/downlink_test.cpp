@@ -52,7 +52,7 @@ double max_abs_error(const StateDict& a, const StateDict& b) {
 
 TEST(DownlinkChannelTest, FullBroadcastRoundTripsWithinBound) {
   DownlinkConfig config;
-  config.codec = make_codec_by_name("fedsz:eb=abs:1e-3,threshold=100");
+  config.codec = make_codec("fedsz:eb=abs:1e-3,threshold=100");
   DownlinkChannel channel(config, 4);
   const StateDict global = synthetic_global();
   const BroadcastPayload broadcast = channel.encode_broadcast(global, 0);
@@ -69,7 +69,7 @@ TEST(DownlinkChannelTest, FullBroadcastRoundTripsWithinBound) {
 TEST(DownlinkChannelTest, DeltaSessionsTrackTheGlobalAcrossRounds) {
   DownlinkConfig config;
   config.mode = DownlinkMode::kDelta;
-  config.codec = make_codec_by_name("fedsz:eb=abs:1e-3,threshold=100");
+  config.codec = make_codec("fedsz:eb=abs:1e-3,threshold=100");
   DownlinkChannel channel(config, 2);
   EXPECT_TRUE(channel.acknowledged(0).empty());
 
@@ -161,7 +161,7 @@ BidirectionalRun run_eight_clients(const std::string& uplink_spec,
   config.heterogeneous = links;
   FlCoordinator coordinator(tiny_model(), data::take(train, 128),
                             data::take(test, 32), config,
-                            make_codec_by_name(uplink_spec));
+                            make_codec(uplink_spec));
   return {coordinator.run(), config};
 }
 
@@ -284,7 +284,7 @@ TEST(FlCoordinatorDownlinkTest, SampledDeltaDownlinkIsThreadCountInvariant) {
     config.heterogeneous = links;
     FlCoordinator coordinator(tiny_model(), data::take(train, 64),
                               data::take(test, 32), config,
-                              make_codec_by_name("fedsz:eb=rel:1e-2"),
+                              make_codec("fedsz:eb=rel:1e-2"),
                               make_sampled_sync_scheduler(0.5));
     return coordinator.run();
   };
@@ -373,7 +373,7 @@ TEST(FlCoordinatorDownlinkTest, ErrorFeedbackRecoversAccuracyAtRel1e1) {
     config.error_feedback = ef;
     FlCoordinator coordinator(tiny_model(), data::take(train, 256),
                               data::take(test, 192), config,
-                              make_codec_by_name("fedsz:eb=rel:1e-1"));
+                              make_codec("fedsz:eb=rel:1e-1"));
     return coordinator.run().final_accuracy;
   };
   const double with_ef = run_at(true);

@@ -39,7 +39,7 @@ StateDict random_update(Rng& rng, float scale) {
 
 void run_stream_property(const std::string& spec, std::uint64_t seed) {
   SCOPED_TRACE(spec);
-  const UpdateCodecPtr codec = make_codec_by_name(spec);
+  const UpdateCodecPtr codec = make_codec(spec);
   Rng rng(seed);
   ErrorFeedbackAccumulator feedback;
   EXPECT_TRUE(feedback.empty());
@@ -96,7 +96,7 @@ TEST(ErrorFeedbackProperty, StreamReconstructsTrueSumAtAnyThreadCount) {
 }
 
 TEST(ErrorFeedbackProperty, LosslessCodecLeavesZeroResidual) {
-  const UpdateCodecPtr codec = make_codec_by_name("identity");
+  const UpdateCodecPtr codec = make_codec("identity");
   Rng rng(5);
   ErrorFeedbackAccumulator feedback;
   for (int round = 0; round < 3; ++round) {
@@ -111,7 +111,7 @@ TEST(ErrorFeedbackProperty, LosslessCodecLeavesZeroResidual) {
 
 TEST(ErrorFeedbackProperty, ApplyCompensatesThePreviousRoundsLoss) {
   const UpdateCodecPtr codec =
-      make_codec_by_name("fedsz:eb=rel:1e-1,threshold=100");
+      make_codec("fedsz:eb=rel:1e-1,threshold=100");
   Rng rng(9);
   ErrorFeedbackAccumulator feedback;
   const StateDict update = random_update(rng, 1.0f);
