@@ -1,27 +1,42 @@
-// Google-benchmark micro-benchmarks for the codec suites: per-codec
-// compress/decompress throughput on weight-shaped float payloads and
-// metadata-shaped byte payloads. Complements the table benches with
-// statistically robust per-operation timings.
-#include <benchmark/benchmark.h>
-
+// Per-codec micro-benchmarks on the shared bench CLI: compress and
+// decompress throughput (MB/s), compression ratio and steady-state
+// allocations-per-encode for every lossy codec (at two relative bounds) and
+// every lossless codec. Encode runs through compress_into with a reused
+// output buffer after one warm-up pass, so the allocation column reports
+// exactly what the arena-backed hot path costs per call once the
+// thread-local scratch exists. The --json schema (runs keyed by `name` with
+// *_mb_s / ratio / allocs_per_encode fields) is shared with
+// bench_parallel_pipeline; bench/compare_baselines.py gates CI on both
+// against the committed files under bench/baselines/.
+#include <cstdio>
 #include <cstring>
 
 #include "common.hpp"
 #include "util/rng.hpp"
+#include "util/timer.hpp"
 
 namespace {
 
 using namespace fedsz;
 
-std::vector<float> weight_payload(std::size_t n) {
-  Rng rng(404);
+struct MicroResult {
+  std::string name;
+  std::string kind;  // "lossy" | "lossless"
+  double compress_mb_s = 0.0;
+  double decompress_mb_s = 0.0;
+  double ratio = 0.0;
+  double allocs_per_encode = 0.0;
+};
+
+std::vector<float> weight_payload(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
   std::vector<float> values(n);
   for (auto& v : values) v = static_cast<float>(rng.laplace(0.0, 0.05));
   return values;
 }
 
-Bytes metadata_payload(std::size_t n_floats) {
-  Rng rng(405);
+Bytes metadata_payload(std::size_t n_floats, std::uint64_t seed) {
+  Rng rng(seed);
   std::vector<float> values(n_floats);
   for (auto& v : values) v = static_cast<float>(rng.normal(0.0, 0.02));
   Bytes bytes(values.size() * sizeof(float));
@@ -29,94 +44,121 @@ Bytes metadata_payload(std::size_t n_floats) {
   return bytes;
 }
 
-void BM_LossyCompress(benchmark::State& state, lossy::LossyId id,
-                      double rel) {
-  const auto values = weight_payload(1 << 18);
-  const lossy::LossyCodec& codec = lossy::lossy_codec(id);
-  const lossy::ErrorBound bound = lossy::ErrorBound::relative(rel);
-  std::size_t compressed_size = 0;
-  for (auto _ : state) {
-    Bytes blob = codec.compress({values.data(), values.size()}, bound);
-    compressed_size = blob.size();
-    benchmark::DoNotOptimize(blob);
+/// Best-of-`reps` encode/decode timing plus the mean allocation count per
+/// encode across the timed passes (steady state: one warm-up pass first).
+template <typename EncodeFn, typename DecodeFn>
+MicroResult measure(std::string name, std::string kind, std::size_t raw_bytes,
+                    int reps, EncodeFn&& encode, DecodeFn&& decode) {
+  MicroResult result;
+  result.name = std::move(name);
+  result.kind = std::move(kind);
+
+  Bytes blob;
+  encode(blob);  // warm-up: builds thread-local arenas, sizes `blob`
+  double best_encode = 1e30;
+  const std::uint64_t allocs_before = benchx::allocation_count();
+  for (int rep = 0; rep < reps; ++rep) {
+    Timer timer;
+    encode(blob);
+    best_encode = std::min(best_encode, timer.seconds());
   }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(values.size() * 4));
-  state.counters["ratio"] =
-      static_cast<double>(values.size() * 4) /
-      static_cast<double>(compressed_size);
+  result.allocs_per_encode =
+      static_cast<double>(benchx::allocation_count() - allocs_before) /
+      static_cast<double>(reps);
+  result.compress_mb_s =
+      static_cast<double>(raw_bytes) / 1e6 / best_encode;
+  result.ratio =
+      static_cast<double>(raw_bytes) / static_cast<double>(blob.size());
+
+  double best_decode = 1e30;
+  for (int rep = 0; rep < reps; ++rep) {
+    Timer timer;
+    decode(blob);
+    best_decode = std::min(best_decode, timer.seconds());
+  }
+  result.decompress_mb_s =
+      static_cast<double>(raw_bytes) / 1e6 / best_decode;
+  return result;
 }
 
-void BM_LossyDecompress(benchmark::State& state, lossy::LossyId id,
-                        double rel) {
-  const auto values = weight_payload(1 << 18);
-  const lossy::LossyCodec& codec = lossy::lossy_codec(id);
-  const Bytes blob = codec.compress({values.data(), values.size()},
-                                    lossy::ErrorBound::relative(rel));
-  for (auto _ : state) {
-    auto out = codec.decompress({blob.data(), blob.size()});
-    benchmark::DoNotOptimize(out);
-  }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(values.size() * 4));
-}
-
-void BM_LosslessCompress(benchmark::State& state, lossless::LosslessId id) {
-  const Bytes payload = metadata_payload(1 << 16);
-  const lossless::LosslessCodec& codec = lossless::lossless_codec(id);
-  std::size_t compressed_size = 0;
-  for (auto _ : state) {
-    Bytes blob = codec.compress({payload.data(), payload.size()});
-    compressed_size = blob.size();
-    benchmark::DoNotOptimize(blob);
-  }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(payload.size()));
-  state.counters["ratio"] = static_cast<double>(payload.size()) /
-                            static_cast<double>(compressed_size);
-}
-
-void BM_LosslessDecompress(benchmark::State& state,
-                           lossless::LosslessId id) {
-  const Bytes payload = metadata_payload(1 << 16);
-  const lossless::LosslessCodec& codec = lossless::lossless_codec(id);
-  const Bytes blob = codec.compress({payload.data(), payload.size()});
-  for (auto _ : state) {
-    auto out = codec.decompress({blob.data(), blob.size()});
-    benchmark::DoNotOptimize(out);
-  }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(payload.size()));
-}
-
-void register_benchmarks() {
-  for (const lossy::LossyCodec* codec : lossy::all_lossy_codecs()) {
-    for (const double rel : {1e-2, 1e-4}) {
-      const std::string suffix =
-          codec->name() + "/rel=" + benchx::fmt(rel, 4);
-      benchmark::RegisterBenchmark(("BM_LossyCompress/" + suffix).c_str(),
-                                   BM_LossyCompress, codec->id(), rel);
-      benchmark::RegisterBenchmark(("BM_LossyDecompress/" + suffix).c_str(),
-                                   BM_LossyDecompress, codec->id(), rel);
-    }
-  }
-  for (const lossless::LosslessCodec* codec :
-       lossless::all_lossless_codecs()) {
-    benchmark::RegisterBenchmark(
-        ("BM_LosslessCompress/" + codec->name()).c_str(), BM_LosslessCompress,
-        codec->id());
-    benchmark::RegisterBenchmark(
-        ("BM_LosslessDecompress/" + codec->name()).c_str(),
-        BM_LosslessDecompress, codec->id());
-  }
+std::string bound_label(double rel) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", rel);
+  return buf;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  register_benchmarks();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
+  const benchx::BenchOptions options = benchx::parse_bench_options(argc, argv);
+  const int reps = options.smoke ? 3 : 7;
+  const std::uint64_t seed = options.seed_or(404);
+  (void)options.threads_or(1);  // codec micro-bench is single-threaded
+
+  std::printf(
+      "Per-codec micro-benchmarks: compress/decompress MB/s, ratio and\n"
+      "steady-state allocations per encode (weight-shaped lossy payload,\n"
+      "metadata-shaped lossless payload; best of %d timed passes).\n\n",
+      reps);
+
+  const auto values = weight_payload(1 << 18, seed);
+  const Bytes metadata = metadata_payload(1 << 16, seed + 1);
+  std::vector<MicroResult> results;
+
+  for (const lossy::LossyCodec* codec : lossy::all_lossy_codecs()) {
+    for (const double rel : {1e-2, 1e-4}) {
+      const lossy::ErrorBound bound = lossy::ErrorBound::relative(rel);
+      results.push_back(measure(
+          codec->name() + "/rel=" + bound_label(rel), "lossy",
+          values.size() * sizeof(float), reps,
+          [&](Bytes& blob) {
+            codec->compress_into({values.data(), values.size()}, bound, blob);
+          },
+          [&](const Bytes& blob) {
+            (void)codec->decompress({blob.data(), blob.size()});
+          }));
+    }
+  }
+  for (const lossless::LosslessCodec* codec :
+       lossless::all_lossless_codecs()) {
+    results.push_back(measure(
+        codec->name(), "lossless", metadata.size(), reps,
+        [&](Bytes& blob) {
+          codec->compress_into({metadata.data(), metadata.size()}, blob);
+        },
+        [&](const Bytes& blob) {
+          (void)codec->decompress({blob.data(), blob.size()});
+        }));
+  }
+
+  benchx::Table table({"codec", "compress MB/s", "decompress MB/s", "ratio",
+                       "allocs/encode"});
+  for (const MicroResult& r : results)
+    table.add_row({r.name, benchx::fmt(r.compress_mb_s, 1),
+                   benchx::fmt(r.decompress_mb_s, 1), benchx::fmt(r.ratio, 2),
+                   benchx::fmt(r.allocs_per_encode, 1)});
+  table.print();
+
+  if (!options.json_path.empty()) {
+    benchx::JsonValue json = benchx::JsonValue::object();
+    json.set("bench", "micro_codecs")
+        .set("smoke", options.smoke)
+        .set("seed", static_cast<std::size_t>(seed))
+        .set("reps", reps);
+    benchx::JsonValue runs = benchx::JsonValue::array();
+    for (const MicroResult& r : results) {
+      benchx::JsonValue run = benchx::JsonValue::object();
+      run.set("name", r.name)
+          .set("kind", r.kind)
+          .set("compress_mb_s", r.compress_mb_s)
+          .set("decompress_mb_s", r.decompress_mb_s)
+          .set("ratio", r.ratio)
+          .set("allocs_per_encode", r.allocs_per_encode);
+      runs.push(std::move(run));
+    }
+    json.set("runs", std::move(runs));
+    benchx::write_json(options.json_path, json);
+    std::printf("\nwrote %s\n", options.json_path.c_str());
+  }
   return 0;
 }

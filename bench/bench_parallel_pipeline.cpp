@@ -2,14 +2,20 @@
 // decompress on Table-III-sized models. The chunk pipeline splits every
 // lossy tensor into fixed-size chunks and fans codec work out over a thread
 // pool, overlapping the lossless partition with the lossy chunks; this bench
-// reports the wall-clock speedup of that fan-out and verifies that every
-// thread count emits the identical bitstream.
+// reports the wall-clock speedup of that fan-out, the steady-state heap
+// allocations per compress call (the leased-workspace + per-thread arena
+// design targets a constant, thread-count-independent number), and verifies
+// that every thread count emits the identical bitstream.
 //
 // On a machine with >= 4 hardware threads the 4-thread compress path is
 // expected to run >= 2x faster than the serial path (compression dominates
 // the codec cost profile — Table I — so this is the knob that shortens FL
 // rounds). The printed "hw threads" line gives the context for interpreting
 // the numbers on smaller machines.
+//
+// --json emits the shared bench schema (runs keyed by `name` with *_mb_s
+// and allocs_per_encode fields) consumed by bench/compare_baselines.py
+// against bench/baselines/BENCH_parallel_pipeline.json.
 #include <cstdio>
 
 #include "common.hpp"
@@ -24,6 +30,7 @@ using namespace fedsz;
 struct PipelineTiming {
   double compress_seconds = 0.0;
   double decompress_seconds = 0.0;
+  double allocs_per_encode = 0.0;
   std::size_t chunks = 0;
   Bytes bitstream;
 };
@@ -34,35 +41,59 @@ PipelineTiming measure(const StateDict& dict, std::size_t parallelism,
   config.parallelism = parallelism;
   const core::FedSz fedsz{config};
   PipelineTiming timing;
+  (void)fedsz.compress(dict);  // warm-up: pool threads, workspace, arenas
   double best_compress = 1e30, best_decompress = 1e30;
+  const std::uint64_t allocs_before = benchx::allocation_count();
   for (int rep = 0; rep < repetitions; ++rep) {
     core::CompressionStats stats;
     Timer timer;
     Bytes blob = fedsz.compress(dict, &stats);
     best_compress = std::min(best_compress, timer.seconds());
     timing.chunks = stats.lossy_chunks;
-    timer.reset();
-    (void)fedsz.decompress({blob.data(), blob.size()});
-    best_decompress = std::min(best_decompress, timer.seconds());
     timing.bitstream = std::move(blob);
+  }
+  timing.allocs_per_encode =
+      static_cast<double>(benchx::allocation_count() - allocs_before) /
+      static_cast<double>(repetitions);
+  for (int rep = 0; rep < repetitions; ++rep) {
+    Timer timer;
+    (void)fedsz.decompress(
+        {timing.bitstream.data(), timing.bitstream.size()});
+    best_decompress = std::min(best_decompress, timer.seconds());
   }
   timing.compress_seconds = best_compress;
   timing.decompress_seconds = best_decompress;
   return timing;
 }
 
-void bench_model(const std::string& arch) {
+void bench_model(const std::string& arch, int repetitions,
+                 benchx::JsonValue* runs) {
   const StateDict dict = benchx::trained_state_dict(arch, "cifar10");
   const double mb = static_cast<double>(dict.total_bytes()) / 1e6;
   std::printf("\n%s: %zu tensors, %.2f MB\n", arch.c_str(), dict.size(), mb);
 
-  const int repetitions = benchx::full_grid() ? 5 : 3;
   const PipelineTiming serial = measure(dict, 1, repetitions);
   benchx::Table table({"threads", "compress (s)", "MB/s", "speedup",
-                       "decompress (s)", "speedup", "identical bytes"});
+                       "decompress (s)", "speedup", "allocs/encode",
+                       "identical bytes"});
+  const auto emit_run = [&](std::size_t threads, const PipelineTiming& t,
+                            bool identical) {
+    if (runs == nullptr) return;
+    benchx::JsonValue run = benchx::JsonValue::object();
+    run.set("name", arch + "/threads=" + std::to_string(threads))
+        .set("arch", arch)
+        .set("threads", threads)
+        .set("compress_mb_s", mb / t.compress_seconds)
+        .set("decompress_mb_s", mb / t.decompress_seconds)
+        .set("allocs_per_encode", t.allocs_per_encode)
+        .set("identical_bytes", identical);
+    runs->push(std::move(run));
+  };
   table.add_row({"1 (serial)", benchx::fmt(serial.compress_seconds),
                  benchx::fmt(mb / serial.compress_seconds, 1), "1.000",
-                 benchx::fmt(serial.decompress_seconds), "1.000", "yes"});
+                 benchx::fmt(serial.decompress_seconds), "1.000",
+                 benchx::fmt(serial.allocs_per_encode, 1), "yes"});
+  emit_run(1, serial, true);
   for (const std::size_t threads : {std::size_t{2}, std::size_t{4},
                                     std::size_t{8}}) {
     const PipelineTiming parallel = measure(dict, threads, repetitions);
@@ -74,7 +105,9 @@ void bench_model(const std::string& arch) {
          benchx::fmt(parallel.decompress_seconds),
          benchx::fmt(serial.decompress_seconds /
                      parallel.decompress_seconds),
+         benchx::fmt(parallel.allocs_per_encode, 1),
          identical ? "yes" : "NO"});
+    emit_run(threads, parallel, identical);
     if (!identical) {
       std::printf("ERROR: %zu-thread bitstream differs from serial!\n",
                   threads);
@@ -87,7 +120,8 @@ void bench_model(const std::string& arch) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const benchx::BenchOptions options = benchx::parse_bench_options(argc, argv);
   std::printf(
       "Parallel chunked FedSZ pipeline: serial vs N-thread compress path\n"
       "on Table-III model analogues (bench scale). Expectation on >=4 hw\n"
@@ -95,7 +129,19 @@ int main() {
       "at every thread count.\n");
   std::printf("hw threads on this machine: %zu\n",
               ThreadPool::hardware_threads());
+  const int repetitions = options.smoke ? 2 : (benchx::full_grid() ? 5 : 3);
+  benchx::JsonValue runs = benchx::JsonValue::array();
   for (const std::string& arch : nn::model_architectures())
-    bench_model(arch);
+    bench_model(arch, repetitions,
+                options.json_path.empty() ? nullptr : &runs);
+  if (!options.json_path.empty()) {
+    benchx::JsonValue json = benchx::JsonValue::object();
+    json.set("bench", "parallel_pipeline")
+        .set("smoke", options.smoke)
+        .set("reps", repetitions)
+        .set("runs", std::move(runs));
+    benchx::write_json(options.json_path, json);
+    std::printf("\nwrote %s\n", options.json_path.c_str());
+  }
   return 0;
 }

@@ -123,4 +123,10 @@ CodecTiming measure_lossy(const lossy::LossyCodec& codec,
 CodecTiming measure_lossless(const lossless::LosslessCodec& codec,
                              ByteSpan data, int repetitions = 3);
 
+/// Global operator-new calls so far in this process. Defined in
+/// alloc_hook.cpp next to a counting replacement of the global allocator:
+/// referencing this function links the hook into the binary, so deltas of
+/// this counter around an encode measure its heap allocations exactly.
+std::uint64_t allocation_count();
+
 }  // namespace fedsz::benchx

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over the bench --json outputs.
+
+Usage:
+    python3 bench/compare_baselines.py BASELINE.json CURRENT.json \
+        [--tolerance 0.25]
+
+Both files use the shared bench schema: a top-level "runs" array whose
+entries carry a unique "name" plus numeric metrics. Runs are matched by
+name; every metric ending in "_mb_s" (throughput — higher is better) must
+not drop more than --tolerance (default 25%) below the baseline, a slack
+chosen to sit above CI-runner noise while still catching real regressions
+like an accidentally de-vectorized hot loop. Other fields (ratio,
+allocs_per_encode, identical_bytes) are reported informationally but do
+not gate, except identical_bytes which must stay true when present.
+
+Exit status: 0 when every gated metric passes, 1 on any regression,
+2 on malformed input or runs present in the baseline but missing from the
+current output (a silently dropped benchmark should fail CI too).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_runs(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    runs = doc.get("runs")
+    if not isinstance(runs, list):
+        raise ValueError(f"{path}: no 'runs' array")
+    by_name = {}
+    for run in runs:
+        name = run.get("name")
+        if not isinstance(name, str):
+            raise ValueError(f"{path}: run without a 'name'")
+        if name in by_name:
+            raise ValueError(f"{path}: duplicate run name {name!r}")
+        by_name[name] = run
+    return by_name
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional throughput drop (default 0.25 = 25%%)",
+    )
+    args = parser.parse_args()
+
+    try:
+        baseline = load_runs(args.baseline)
+        current = load_runs(args.current)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    failures = []
+    missing = sorted(set(baseline) - set(current))
+    if missing:
+        for name in missing:
+            print(f"MISSING  {name}: in baseline but not in current output")
+        return 2
+
+    for name in sorted(baseline):
+        base_run, cur_run = baseline[name], current[name]
+        for key in sorted(base_run):
+            base_val = base_run[key]
+            if key.endswith("_mb_s") and isinstance(base_val, (int, float)):
+                cur_val = cur_run.get(key)
+                if not isinstance(cur_val, (int, float)):
+                    failures.append(f"{name}.{key}: missing in current output")
+                    continue
+                floor = base_val * (1.0 - args.tolerance)
+                status = "ok" if cur_val >= floor else "REGRESSION"
+                print(
+                    f"{status:>10}  {name}.{key}: "
+                    f"{base_val:.1f} -> {cur_val:.1f} MB/s "
+                    f"(floor {floor:.1f})"
+                )
+                if cur_val < floor:
+                    failures.append(
+                        f"{name}.{key}: {cur_val:.1f} < floor {floor:.1f} "
+                        f"(baseline {base_val:.1f})"
+                    )
+            elif key == "identical_bytes" and base_val is True:
+                if cur_run.get(key) is not True:
+                    failures.append(f"{name}.identical_bytes: no longer true")
+
+    if failures:
+        print(f"\n{len(failures)} perf gate failure(s):")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(f"\nall {len(baseline)} runs within {args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

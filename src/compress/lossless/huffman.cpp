@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <queue>
+#include <unordered_map>
 
 namespace fedsz::lossless {
 
@@ -92,6 +93,15 @@ std::vector<unsigned> huffman_lengths(
   return lengths;
 }
 
+/// Reverse the low `len` bits of `code`. The historical encoder emitted
+/// code bits MSB-first into the LSB-first stream; writing the reversed
+/// code with one buffered BitWriter::write produces identical bytes.
+std::uint32_t bit_reverse(std::uint32_t code, unsigned len) {
+  std::uint32_t rev = 0;
+  for (unsigned b = 0; b < len; ++b) rev = (rev << 1) | ((code >> b) & 1u);
+  return rev;
+}
+
 }  // namespace
 
 HuffmanCodebook HuffmanCodebook::from_frequencies(
@@ -110,13 +120,26 @@ HuffmanCodebook HuffmanCodebook::from_frequencies(
 
 HuffmanCodebook HuffmanCodebook::from_symbols(
     std::span<const std::uint32_t> symbols) {
-  std::unordered_map<std::uint32_t, std::uint64_t> counts;
-  counts.reserve(1024);
-  for (const std::uint32_t s : symbols) ++counts[s];
-  std::vector<std::pair<std::uint32_t, std::uint64_t>> freqs(counts.begin(),
-                                                             counts.end());
-  // Deterministic table construction regardless of hash iteration order.
-  std::sort(freqs.begin(), freqs.end());
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> freqs;
+  std::uint32_t max_symbol = 0;
+  for (const std::uint32_t s : symbols) max_symbol = std::max(max_symbol, s);
+  if (!symbols.empty() && max_symbol < kDenseSymbolLimit) {
+    // Dense counting: one pass over a symbol-indexed array, then emit in
+    // ascending symbol order — the same (symbol-sorted) frequency vector
+    // the map + sort path produces, without the per-symbol hashing.
+    static thread_local std::vector<std::uint64_t> counts;
+    counts.assign(static_cast<std::size_t>(max_symbol) + 1, 0);
+    for (const std::uint32_t s : symbols) ++counts[s];
+    for (std::uint32_t s = 0; s <= max_symbol; ++s)
+      if (counts[s] != 0) freqs.emplace_back(s, counts[s]);
+  } else {
+    std::unordered_map<std::uint32_t, std::uint64_t> counts;
+    counts.reserve(1024);
+    for (const std::uint32_t s : symbols) ++counts[s];
+    freqs.assign(counts.begin(), counts.end());
+    // Deterministic table construction regardless of hash iteration order.
+    std::sort(freqs.begin(), freqs.end());
+  }
   return from_frequencies(freqs);
 }
 
@@ -151,15 +174,62 @@ void HuffmanCodebook::build_canonical(
   }
   if (kraft > (std::uint64_t{1} << kMaxCodeLength))
     throw CorruptStream("HuffmanCodebook: oversubscribed code lengths");
-  // Encoder map.
-  enc_.clear();
-  enc_.reserve(symbols_.size() * 2);
+  // Encoder tables: packed (bit-reversed code << 5 | length) per symbol.
+  std::uint32_t max_symbol = 0;
+  for (const std::uint32_t s : symbols_) max_symbol = std::max(max_symbol, s);
+  const bool dense = !symbols_.empty() && max_symbol < kDenseSymbolLimit;
+  enc_dense_.clear();
+  enc_sparse_.clear();
+  if (dense) enc_dense_.assign(static_cast<std::size_t>(max_symbol) + 1, 0);
   std::size_t i = 0;
   for (unsigned len = 1; len <= kMaxCodeLength; ++len) {
     for (std::uint32_t k = 0; k < count_[len]; ++k, ++i) {
-      enc_[symbols_[i]] = {first_code_[len] + k, len};
+      const std::uint32_t packed =
+          (bit_reverse(first_code_[len] + k, len) << 5) | len;
+      if (dense) {
+        enc_dense_[symbols_[i]] = packed;
+      } else {
+        enc_sparse_.emplace_back(symbols_[i], packed);
+      }
     }
   }
+  if (!dense) std::sort(enc_sparse_.begin(), enc_sparse_.end());
+  build_decode_table();
+}
+
+void HuffmanCodebook::build_decode_table() {
+  unsigned max_len = 0;
+  for (unsigned len = 1; len <= kMaxCodeLength; ++len)
+    if (count_[len] != 0) max_len = len;
+  root_bits_ = 0;
+  dec_table_.clear();
+  if (max_len == 0) return;
+  root_bits_ = std::min(max_len, kDecodeRootBits);
+  dec_table_.assign(std::size_t{1} << root_bits_, DecEntry{0, 0});
+  // A code of length L <= root_bits_ owns every table index whose low L
+  // bits equal its bit-reversed value (the next L stream bits). Indices
+  // left at len 0 route to the canonical walk: either a longer code's
+  // prefix or an invalid pattern.
+  std::size_t i = 0;
+  for (unsigned len = 1; len <= kMaxCodeLength; ++len) {
+    for (std::uint32_t k = 0; k < count_[len]; ++k, ++i) {
+      if (len > root_bits_) continue;
+      const std::uint32_t rev = bit_reverse(first_code_[len] + k, len);
+      for (std::size_t idx = rev; idx < dec_table_.size();
+           idx += std::size_t{1} << len) {
+        dec_table_[idx] = DecEntry{symbols_[i], static_cast<std::uint8_t>(len)};
+      }
+    }
+  }
+}
+
+std::uint32_t HuffmanCodebook::find_entry(std::uint32_t symbol) const {
+  if (!enc_dense_.empty())
+    return symbol < enc_dense_.size() ? enc_dense_[symbol] : 0;
+  const auto it = std::lower_bound(
+      enc_sparse_.begin(), enc_sparse_.end(), symbol,
+      [](const auto& entry, std::uint32_t s) { return entry.first < s; });
+  return it != enc_sparse_.end() && it->first == symbol ? it->second : 0;
 }
 
 void HuffmanCodebook::write_table(ByteWriter& out) const {
@@ -189,14 +259,39 @@ HuffmanCodebook HuffmanCodebook::read_table(ByteReader& in) {
 }
 
 void HuffmanCodebook::encode(BitWriter& out, std::uint32_t symbol) const {
-  const auto it = enc_.find(symbol);
-  if (it == enc_.end())
+  const std::uint32_t entry = find_entry(symbol);
+  if (entry == 0)
     throw InvalidArgument("HuffmanCodebook: symbol not in codebook");
-  const auto [code, length] = it->second;
-  for (unsigned b = length; b-- > 0;) out.write_bit((code >> b) & 1u);
+  out.write(entry >> 5, entry & 31u);
+}
+
+void HuffmanCodebook::encode_all(std::span<const std::uint32_t> symbols,
+                                 BitWriter& out) const {
+  if (enc_dense_.empty()) {
+    for (const std::uint32_t s : symbols) encode(out, s);
+    return;
+  }
+  const std::uint32_t* table = enc_dense_.data();
+  const auto limit = static_cast<std::uint32_t>(enc_dense_.size());
+  for (const std::uint32_t s : symbols) {
+    const std::uint32_t entry = s < limit ? table[s] : 0;
+    if (entry == 0)
+      throw InvalidArgument("HuffmanCodebook: symbol not in codebook");
+    out.write(entry >> 5, entry & 31u);
+  }
 }
 
 std::uint32_t HuffmanCodebook::decode(BitReader& in) const {
+  if (root_bits_ != 0) {
+    const DecEntry e = dec_table_[in.peek(root_bits_)];
+    if (e.len != 0 && e.len <= in.bits_left()) {
+      in.skip(e.len);
+      return e.symbol;
+    }
+  }
+  // Long codes, corrupt prefixes, or the zero-padded tail of the buffer:
+  // the canonical bit-by-bit length walk (the historical decoder, with its
+  // exact CorruptStream semantics).
   std::uint32_t code = 0;
   for (unsigned len = 1; len <= kMaxCodeLength; ++len) {
     code = (code << 1) | static_cast<std::uint32_t>(in.read_bit());
@@ -209,32 +304,43 @@ std::uint32_t HuffmanCodebook::decode(BitReader& in) const {
 }
 
 unsigned HuffmanCodebook::code_length(std::uint32_t symbol) const {
-  const auto it = enc_.find(symbol);
-  return it == enc_.end() ? 0 : it->second.second;
+  return find_entry(symbol) & 31u;
+}
+
+void huffman_encode(std::span<const std::uint32_t> symbols, ByteWriter& out,
+                    BitWriter& bits) {
+  out.put_varint(symbols.size());
+  if (symbols.empty()) return;
+  const HuffmanCodebook book = HuffmanCodebook::from_symbols(symbols);
+  book.write_table(out);
+  bits.reset();
+  book.encode_all(symbols, bits);
+  out.put_blob(bits.finish_view());
+  bits.reset();
 }
 
 Bytes huffman_encode(std::span<const std::uint32_t> symbols) {
   ByteWriter out;
-  out.put_varint(symbols.size());
-  if (symbols.empty()) return out.finish();
-  const HuffmanCodebook book = HuffmanCodebook::from_symbols(symbols);
-  book.write_table(out);
   BitWriter bits;
-  for (const std::uint32_t s : symbols) book.encode(bits, s);
-  out.put_blob(bits.finish());
+  huffman_encode(symbols, out, bits);
   return out.finish();
 }
 
-std::vector<std::uint32_t> huffman_decode(ByteSpan data) {
+void huffman_decode(ByteSpan data, std::vector<std::uint32_t>& out) {
+  out.clear();
   ByteReader in(data);
   const std::uint64_t count = in.get_varint();
-  std::vector<std::uint32_t> symbols;
-  if (count == 0) return symbols;
+  if (count == 0) return;
   const HuffmanCodebook book = HuffmanCodebook::read_table(in);
-  const Bytes payload = in.get_blob();
-  BitReader bits({payload.data(), payload.size()});
-  symbols.reserve(static_cast<std::size_t>(count));
-  for (std::uint64_t i = 0; i < count; ++i) symbols.push_back(book.decode(bits));
+  const ByteSpan payload = in.get_blob_view();
+  BitReader bits(payload);
+  out.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) out.push_back(book.decode(bits));
+}
+
+std::vector<std::uint32_t> huffman_decode(ByteSpan data) {
+  std::vector<std::uint32_t> symbols;
+  huffman_decode(data, symbols);
   return symbols;
 }
 

@@ -7,11 +7,17 @@
 //
 // Codes are canonical (assigned by (length, symbol) order) and limited to
 // kMaxCodeLength bits so the decoder can walk lengths with bounded state.
+//
+// Hot-path layout: the encoder keeps a dense symbol-indexed table of packed
+// (bit-reversed code, length) entries, so emitting a symbol is one table
+// load plus one buffered BitWriter::write — not a hash lookup and a
+// bit-at-a-time loop. The decoder fronts the canonical walk with a
+// root-indexed table over the next kDecodeRootBits stream bits. Both
+// produce streams byte-identical to the historical bitwise coder.
 #pragma once
 
 #include <array>
 #include <cstdint>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -24,6 +30,11 @@ namespace fedsz::lossless {
 class HuffmanCodebook {
  public:
   static constexpr unsigned kMaxCodeLength = 16;
+  /// Codes no longer than this decode with a single table lookup; longer
+  /// ones fall back to the canonical length walk.
+  static constexpr unsigned kDecodeRootBits = 11;
+  /// Symbols below this get dense (symbol-indexed) encoder tables.
+  static constexpr std::uint32_t kDenseSymbolLimit = 1u << 16;
 
   /// Build from (symbol, count) pairs; counts must be > 0 and symbols
   /// distinct. At most 65536 distinct symbols (the 16-bit length limit is
@@ -39,6 +50,9 @@ class HuffmanCodebook {
   static HuffmanCodebook read_table(ByteReader& in);
 
   void encode(BitWriter& out, std::uint32_t symbol) const;
+  /// Encode a whole block — the dense-table inner loop the codecs use.
+  void encode_all(std::span<const std::uint32_t> symbols,
+                  BitWriter& out) const;
   std::uint32_t decode(BitReader& in) const;
 
   std::size_t distinct_symbols() const { return symbols_.size(); }
@@ -48,18 +62,39 @@ class HuffmanCodebook {
  private:
   void build_canonical(
       std::vector<std::pair<std::uint32_t, unsigned>> symbol_lengths);
+  void build_decode_table();
+  /// Packed (bit_reverse(code, len) << 5 | len) for `symbol`, 0 if absent.
+  std::uint32_t find_entry(std::uint32_t symbol) const;
 
-  // Encoder side: symbol -> (canonical code, length).
-  std::unordered_map<std::uint32_t, std::pair<std::uint32_t, unsigned>> enc_;
+  // Encoder side: packed entries, dense by symbol value when small enough,
+  // otherwise sorted (symbol, packed) pairs searched by binary search.
+  std::vector<std::uint32_t> enc_dense_;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> enc_sparse_;
   // Decoder side: canonical layout.
   std::vector<std::uint32_t> symbols_;  // sorted by (length, symbol)
   std::array<std::uint32_t, kMaxCodeLength + 1> count_{};       // per length
   std::array<std::uint32_t, kMaxCodeLength + 1> first_code_{};  // per length
   std::array<std::uint32_t, kMaxCodeLength + 1> first_index_{};
+  // Root decode table: next kDecodeRootBits stream bits -> (symbol, len);
+  // len 0 marks "no short code here" (long code or corrupt prefix).
+  struct DecEntry {
+    std::uint32_t symbol;
+    std::uint8_t len;
+  };
+  std::vector<DecEntry> dec_table_;
+  unsigned root_bits_ = 0;
 };
 
 /// Self-contained one-shot encode: table header + symbol count + bitstream.
 Bytes huffman_encode(std::span<const std::uint32_t> symbols);
 std::vector<std::uint32_t> huffman_decode(ByteSpan data);
+
+/// Arena variants: append the identical encoding to `out` using `bits` as
+/// reusable bit-packing scratch / fill a caller-owned symbol buffer. These
+/// let steady-state encode/decode run without fresh allocations once the
+/// buffers have grown to their working size.
+void huffman_encode(std::span<const std::uint32_t> symbols, ByteWriter& out,
+                    BitWriter& bits);
+void huffman_decode(ByteSpan data, std::vector<std::uint32_t>& out);
 
 }  // namespace fedsz::lossless

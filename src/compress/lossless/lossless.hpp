@@ -37,6 +37,10 @@ class LosslessCodec {
   virtual LosslessId id() const = 0;
   virtual std::string name() const = 0;
   virtual Bytes compress(ByteSpan data) const = 0;
+  /// Arena-backed variant: bytes identical to compress(), written into
+  /// `out` (contents replaced, capacity reused). The default copies
+  /// through compress(); hot codecs override it to reuse scratch.
+  virtual void compress_into(ByteSpan data, Bytes& out) const;
   virtual Bytes decompress(ByteSpan data) const = 0;
 };
 

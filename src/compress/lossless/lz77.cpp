@@ -40,11 +40,17 @@ inline std::uint32_t match_length(const std::uint8_t* a, const std::uint8_t* b,
 
 class MatchFinder {
  public:
+  // The hash tables are thread-local and reused across parses: head_ is
+  // re-filled with kNoPos (every chain starts empty, so stale prev_ entries
+  // are unreachable — a chain only contains positions inserted this parse,
+  // and insert() writes prev_[pos] before linking pos into its chain),
+  // while prev_ only ever grows. This removes the dominant per-parse
+  // allocation without changing any parse decision.
   MatchFinder(ByteSpan data, const LzParams& params)
-      : data_(data),
-        params_(params),
-        head_(std::size_t{1} << kHashBits, kNoPos),
-        prev_(data.size(), kNoPos) {}
+      : data_(data), params_(params), head_(t_head()), prev_(t_prev()) {
+    head_.assign(std::size_t{1} << kHashBits, kNoPos);
+    if (prev_.size() < data.size()) prev_.resize(data.size());
+  }
 
   struct Match {
     std::uint32_t len = 0;
@@ -55,16 +61,25 @@ class MatchFinder {
   Match find(std::uint32_t pos) const {
     Match best;
     if (pos + params_.min_match > data_.size()) return best;
+    const std::uint8_t* base = data_.data();
     const std::uint32_t window = std::uint32_t{1} << params_.window_log;
     const std::uint32_t limit = static_cast<std::uint32_t>(
         std::min<std::size_t>(data_.size() - pos, params_.max_match));
-    std::uint32_t candidate = head_[hash_at(data_.data() + pos,
-                                            params_.min_match)];
+    std::uint32_t candidate = head_[hash_at(base + pos, params_.min_match)];
     unsigned chain = params_.max_chain;
     while (candidate != kNoPos && chain-- > 0) {
       if (pos - candidate > window) break;  // chain is ordered by position
-      const std::uint32_t len =
-          match_length(data_.data() + candidate, data_.data() + pos, limit);
+      // zlib-style quick reject: a candidate can only beat the current best
+      // if it also matches at offset best.len (best.len < limit here — a
+      // limit-length match breaks out below — so the loads are in bounds).
+      // A rejected candidate's match length is <= best.len, which the full
+      // comparison would have discarded anyway: the parse is unchanged.
+      if (best.len != 0 && base[candidate + best.len] != base[pos + best.len]) {
+        candidate = prev_[candidate];
+        continue;
+      }
+      const std::uint32_t len = match_length(base + candidate, base + pos,
+                                             limit);
       if (len >= params_.min_match && len > best.len) {
         best.len = len;
         best.offset = pos - candidate;
@@ -84,19 +99,35 @@ class MatchFinder {
   }
 
  private:
+  static std::vector<std::uint32_t>& t_head() {
+    static thread_local std::vector<std::uint32_t> head;
+    return head;
+  }
+  static std::vector<std::uint32_t>& t_prev() {
+    static thread_local std::vector<std::uint32_t> prev;
+    return prev;
+  }
+
   ByteSpan data_;
   const LzParams& params_;
-  std::vector<std::uint32_t> head_;
-  std::vector<std::uint32_t> prev_;
+  std::vector<std::uint32_t>& head_;
+  std::vector<std::uint32_t>& prev_;
 };
 
 }  // namespace
 
 std::vector<LzSequence> lz77_parse(ByteSpan data, const LzParams& params) {
+  std::vector<LzSequence> sequences;
+  lz77_parse(data, params, sequences);
+  return sequences;
+}
+
+void lz77_parse(ByteSpan data, const LzParams& params,
+                std::vector<LzSequence>& sequences) {
   if (params.min_match < 3)
     throw InvalidArgument("lz77_parse: min_match must be >= 3");
-  std::vector<LzSequence> sequences;
-  if (data.empty()) return sequences;
+  sequences.clear();
+  if (data.empty()) return;
 
   MatchFinder finder(data, params);
   const std::uint32_t size = static_cast<std::uint32_t>(data.size());
@@ -133,7 +164,6 @@ std::vector<LzSequence> lz77_parse(ByteSpan data, const LzParams& params) {
   if (literal_start < size || sequences.empty()) {
     sequences.push_back(LzSequence{literal_start, size - literal_start, 0, 0});
   }
-  return sequences;
 }
 
 Bytes lz77_reconstruct(ByteSpan source_literals,

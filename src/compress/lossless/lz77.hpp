@@ -33,6 +33,11 @@ struct LzParams {
 /// Greedy (optionally lazy) LZ77 parse of `data`.
 std::vector<LzSequence> lz77_parse(ByteSpan data, const LzParams& params);
 
+/// Arena variant: fill a caller-owned (reused) sequence buffer instead of
+/// allocating a fresh vector per parse.
+void lz77_parse(ByteSpan data, const LzParams& params,
+                std::vector<LzSequence>& sequences);
+
 /// Rebuild the original buffer from a parse (used by tests and as the shared
 /// back end of codec decoders that materialize sequences).
 Bytes lz77_reconstruct(ByteSpan source_literals,

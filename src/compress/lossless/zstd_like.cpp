@@ -42,6 +42,23 @@ std::uint32_t decode_value(std::uint32_t code, BitReader& bits) {
   return (1u << k) + static_cast<std::uint32_t>(bits.read(k));
 }
 
+// Per-thread working buffers, reset (not freed) between compress calls —
+// steady-state encode reuses the same heap blocks across chunks and rounds.
+struct ZstdScratch {
+  std::vector<LzSequence> seqs;
+  std::vector<std::uint32_t> literal_syms, ll_codes, ml_codes, of_codes;
+  BitWriter extras;
+  BitWriter huff_bits;    // bit-packing scratch shared by the four streams
+  ByteWriter huff_block;  // one entropy-coded stream, before length-prefixing
+  ByteWriter body;
+  ByteWriter framed;      // full frame for the compress_into path
+};
+
+ZstdScratch& t_scratch() {
+  static thread_local ZstdScratch scratch;
+  return scratch;
+}
+
 class ZstdLikeCodec final : public LosslessCodec {
  public:
   LosslessId id() const override { return LosslessId::kZstd; }
@@ -49,26 +66,51 @@ class ZstdLikeCodec final : public LosslessCodec {
 
   Bytes compress(ByteSpan data) const override {
     ByteWriter w;
+    encode_frame(data, w);
+    return w.finish();
+  }
+
+  void compress_into(ByteSpan data, Bytes& out) const override {
+    ByteWriter& w = t_scratch().framed;
+    w.reset();
+    encode_frame(data, w);
+    const ByteSpan frame = w.view();
+    out.assign(frame.begin(), frame.end());
+  }
+
+ private:
+  void encode_frame(ByteSpan data, ByteWriter& w) const {
     w.put_varint(data.size());
     if (data.empty()) {
       w.put_u8(kModeRaw);
-      return w.finish();
+      return;
     }
     LzParams params;
     params.window_log = 20;  // 1 MiB window
     params.min_match = kMinMatch;
     params.max_chain = 64;
     params.lazy = true;
-    const auto seqs = lz77_parse(data, params);
+    ZstdScratch& s = t_scratch();
+    lz77_parse(data, params, s.seqs);
 
     // Split into streams.
-    std::vector<std::uint32_t> literal_syms;
-    std::vector<std::uint32_t> ll_codes, ml_codes, of_codes;
-    BitWriter extras;
+    std::vector<std::uint32_t>& literal_syms = s.literal_syms;
+    std::vector<std::uint32_t>& ll_codes = s.ll_codes;
+    std::vector<std::uint32_t>& ml_codes = s.ml_codes;
+    std::vector<std::uint32_t>& of_codes = s.of_codes;
+    literal_syms.clear();
+    ll_codes.clear();
+    ml_codes.clear();
+    of_codes.clear();
+    BitWriter& extras = s.extras;
+    extras.reset();
     std::uint64_t trailing_literals = 0;
-    for (const LzSequence& seq : seqs) {
+    for (const LzSequence& seq : s.seqs) {
+      const std::size_t base = literal_syms.size();
+      literal_syms.resize(base + seq.literal_len);
+      const std::uint8_t* lit = data.data() + seq.literal_start;
       for (std::uint32_t i = 0; i < seq.literal_len; ++i)
-        literal_syms.push_back(data[seq.literal_start + i]);
+        literal_syms[base + i] = lit[i];
       if (seq.match_len == 0) {
         trailing_literals = seq.literal_len;
         continue;
@@ -84,29 +126,28 @@ class ZstdLikeCodec final : public LosslessCodec {
       extras.write(of.extra, of.extra_bits);
     }
 
-    ByteWriter body;
+    ByteWriter& body = s.body;
+    body.reset();
     body.put_varint(trailing_literals);
-    Bytes lit_block = huffman_encode(literal_syms);
-    body.put_blob({lit_block.data(), lit_block.size()});
-    Bytes ll_block = huffman_encode(ll_codes);
-    body.put_blob({ll_block.data(), ll_block.size()});
-    Bytes ml_block = huffman_encode(ml_codes);
-    body.put_blob({ml_block.data(), ml_block.size()});
-    Bytes of_block = huffman_encode(of_codes);
-    body.put_blob({of_block.data(), of_block.size()});
-    body.put_blob(extras.finish());
+    for (const auto* stream : {&literal_syms, &ll_codes, &ml_codes,
+                               &of_codes}) {
+      s.huff_block.reset();
+      huffman_encode(*stream, s.huff_block, s.huff_bits);
+      body.put_blob(s.huff_block.view());
+    }
+    body.put_blob(extras.finish_view());
 
-    const Bytes body_bytes = body.finish();
+    const ByteSpan body_bytes = body.view();
     if (body_bytes.size() >= data.size()) {
       w.put_u8(kModeRaw);
       w.put_bytes(data);
     } else {
       w.put_u8(kModeCompressed);
-      w.put_bytes({body_bytes.data(), body_bytes.size()});
+      w.put_bytes(body_bytes);
     }
-    return w.finish();
   }
 
+ public:
   Bytes decompress(ByteSpan data) const override {
     ByteReader r(data);
     const auto raw_size = static_cast<std::size_t>(r.get_varint());
@@ -118,20 +159,20 @@ class ZstdLikeCodec final : public LosslessCodec {
     if (mode != kModeCompressed)
       throw CorruptStream("zstd-like: unknown mode byte");
     const std::uint64_t trailing_literals = r.get_varint();
-    const Bytes lit_block = r.get_blob();
-    const Bytes ll_block = r.get_blob();
-    const Bytes ml_block = r.get_blob();
-    const Bytes of_block = r.get_blob();
-    const Bytes extras_bytes = r.get_blob();
+    const ByteSpan lit_block = r.get_blob_view();
+    const ByteSpan ll_block = r.get_blob_view();
+    const ByteSpan ml_block = r.get_blob_view();
+    const ByteSpan of_block = r.get_blob_view();
+    const ByteSpan extras_bytes = r.get_blob_view();
 
-    const auto literals = huffman_decode({lit_block.data(), lit_block.size()});
-    const auto ll_codes = huffman_decode({ll_block.data(), ll_block.size()});
-    const auto ml_codes = huffman_decode({ml_block.data(), ml_block.size()});
-    const auto of_codes = huffman_decode({of_block.data(), of_block.size()});
+    const auto literals = huffman_decode(lit_block);
+    const auto ll_codes = huffman_decode(ll_block);
+    const auto ml_codes = huffman_decode(ml_block);
+    const auto of_codes = huffman_decode(of_block);
     if (ll_codes.size() != ml_codes.size() ||
         ll_codes.size() != of_codes.size())
       throw CorruptStream("zstd-like: sequence stream length mismatch");
-    BitReader extras({extras_bytes.data(), extras_bytes.size()});
+    BitReader extras(extras_bytes);
 
     Bytes out;
     out.reserve(raw_size);

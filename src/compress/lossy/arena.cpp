@@ -1,0 +1,18 @@
+#include "compress/lossy/arena.hpp"
+
+namespace fedsz::lossy {
+
+EncodeArena& EncodeArena::local() {
+  static thread_local EncodeArena arena;
+  return arena;
+}
+
+std::size_t EncodeArena::capacity_bytes() const {
+  return codes.capacity() * sizeof(std::uint32_t) +
+         verbatim.capacity() * sizeof(float) +
+         recon.capacity() * sizeof(float) + tags.capacity() +
+         coeffs.capacity() * sizeof(float) + body.capacity() +
+         entropy.capacity() + bits.capacity();
+}
+
+}  // namespace fedsz::lossy

@@ -44,6 +44,12 @@ class LossyCodec {
 
   /// Compress. Input must be finite (NaN/Inf rejected with InvalidArgument).
   virtual Bytes compress(FloatSpan data, const ErrorBound& bound) const = 0;
+  /// Arena-backed variant: produces bytes identical to compress() into
+  /// `out` (contents replaced, capacity reused), drawing working buffers
+  /// from the calling thread's EncodeArena. The hot codecs (SZ2/SZ3/SZx)
+  /// override this allocation-free; the default copies through compress().
+  virtual void compress_into(FloatSpan data, const ErrorBound& bound,
+                             Bytes& out) const;
   /// Decompress a buffer produced by the same codec.
   virtual std::vector<float> decompress(ByteSpan data) const = 0;
 };

@@ -1,7 +1,5 @@
 #include "compress/lossy/quantizer.hpp"
 
-#include <cmath>
-
 namespace fedsz::lossy {
 
 LinearQuantizer::LinearQuantizer(double eps, std::uint32_t radius)
@@ -11,26 +9,8 @@ LinearQuantizer::LinearQuantizer(double eps, std::uint32_t radius)
   // a denormal-safe floor so every residual becomes "unpredictable" (exact).
   if (!(eps_ > 0.0)) eps_ = 1e-300;
   inv_step_ = 1.0 / (2.0 * eps_);
-}
-
-std::uint32_t LinearQuantizer::quantize(double residual) const {
-  const double scaled = residual * inv_step_;
-  // Reject residuals whose bin index cannot be represented.
-  if (!(std::fabs(scaled) < static_cast<double>(radius_) - 1.0))
-    return kUnpredictable;
-  const auto bin = static_cast<std::int64_t>(std::llround(scaled));
-  const std::int64_t code = bin + static_cast<std::int64_t>(radius_);
-  if (code < 1 || code >= 2 * static_cast<std::int64_t>(radius_))
-    return kUnpredictable;
-  return static_cast<std::uint32_t>(code);
-}
-
-double LinearQuantizer::reconstruct(std::uint32_t code) const {
-  if (code == kUnpredictable || code >= 2 * radius_)
-    throw InvalidArgument("LinearQuantizer: invalid code");
-  const auto bin =
-      static_cast<std::int64_t>(code) - static_cast<std::int64_t>(radius_);
-  return static_cast<double>(bin) * 2.0 * eps_;
+  step_ = 2.0 * eps_;
+  max_scaled_ = static_cast<double>(radius_) - 1.0;
 }
 
 }  // namespace fedsz::lossy

@@ -4,8 +4,14 @@
 // biased by `radius` into unsigned codes; code 0 is reserved for
 // "unpredictable" values that fall outside the code range and are stored
 // verbatim (and hence reconstructed exactly).
+//
+// quantize()/reconstruct() are header-inline: they sit in the innermost
+// predict->quantize->reconstruct loops of every lossy codec, and inlining
+// them removes a call per element and lets the surrounding pass vectorize.
 #pragma once
 
+#include <cassert>
+#include <cmath>
 #include <cstdint>
 
 #include "util/common.hpp"
@@ -22,17 +28,41 @@ class LinearQuantizer {
 
   /// Quantize a residual. Returns a code in [1, 2*radius - 1], or
   /// kUnpredictable if the residual does not fit.
-  std::uint32_t quantize(double residual) const;
+  std::uint32_t quantize(double residual) const {
+    const double scaled = residual * inv_step_;
+    // Reject residuals whose bin index cannot be represented. The negated
+    // comparison also routes NaNs to the verbatim path. When it passes,
+    // |llround(scaled)| <= radius - 1, so the biased code always lands in
+    // [1, 2*radius - 1] — no second range check is needed.
+    if (!(std::fabs(scaled) < max_scaled_)) return kUnpredictable;
+    const auto bin = static_cast<std::int64_t>(std::llround(scaled));
+    return static_cast<std::uint32_t>(bin +
+                                      static_cast<std::int64_t>(radius_));
+  }
 
-  /// Reconstruct the residual midpoint for a valid (non-zero) code.
-  double reconstruct(std::uint32_t code) const;
+  /// Reconstruct the residual midpoint for a valid (non-zero) code. Code
+  /// validity is the caller's contract: the decode paths validate every
+  /// entropy-decoded code against the radius before this runs (throwing
+  /// CorruptStream), so the hot loop carries only a debug assert.
+  double reconstruct(std::uint32_t code) const {
+    assert(code != kUnpredictable && code < 2 * radius_ &&
+           "LinearQuantizer: invalid code");
+    const auto bin =
+        static_cast<std::int64_t>(code) - static_cast<std::int64_t>(radius_);
+    // step_ == 2*eps exactly (the *2 is exact in binary FP), so this single
+    // multiply rounds the same exact product bin*2*eps as the historical
+    // (bin * 2.0) * eps_ expression — bit-identical output.
+    return static_cast<double>(bin) * step_;
+  }
 
   double eps() const { return eps_; }
   std::uint32_t radius() const { return radius_; }
 
  private:
   double eps_;
-  double inv_step_;  // 1 / (2 * eps)
+  double inv_step_;    // 1 / (2 * eps)
+  double step_;        // 2 * eps (exact)
+  double max_scaled_;  // radius - 1, the representable |bin| bound
   std::uint32_t radius_;
 };
 

@@ -5,11 +5,18 @@
 // entropy-coded with canonical Huffman, and the whole body is passed through
 // the LZ back end — the SZ2 pipeline of Section II-A. Out-of-range residuals
 // are stored verbatim (exact), preserving the hard error bound.
+//
+// Encode runs as contiguous passes — predictor selection over every block,
+// then a predict->quantize->reconstruct sweep with per-predictor inner
+// loops — and draws all working buffers from the thread's EncodeArena, so
+// steady-state encode allocates nothing and the inner loops carry no
+// per-element branching on the predictor kind.
 #include <cmath>
 #include <cstring>
 
 #include "compress/lossless/huffman.hpp"
 #include "compress/lossless/lossless.hpp"
+#include "compress/lossy/arena.hpp"
 #include "compress/lossy/lossy.hpp"
 #include "compress/lossy/quantizer.hpp"
 #include "util/bytebuffer.hpp"
@@ -28,20 +35,22 @@ struct Regression {
   float intercept = 0.0f;
 };
 
-/// Least-squares fit of x[i] ~ intercept + slope * i over a block.
+/// Least-squares fit of x[i] ~ intercept + slope * i over a block. The
+/// index sums are closed-form: for n <= kBlockSize they are exact integers
+/// in double, identical to accumulating them in the data loop, so only the
+/// two data-dependent sums remain per-element work.
 Regression fit_regression(FloatSpan block) {
   const std::size_t n = block.size();
   if (n == 1) return {0.0f, block[0]};
-  double sum_x = 0.0, sum_i = 0.0, sum_ix = 0.0, sum_ii = 0.0;
+  double sum_x = 0.0, sum_ix = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
     const double xi = block[i];
-    const double di = static_cast<double>(i);
     sum_x += xi;
-    sum_i += di;
-    sum_ix += di * xi;
-    sum_ii += di * di;
+    sum_ix += static_cast<double>(i) * xi;
   }
   const double dn = static_cast<double>(n);
+  const double sum_i = static_cast<double>(n * (n - 1) / 2);
+  const double sum_ii = static_cast<double>((n - 1) * n * (2 * n - 1) / 6);
   const double denom = dn * sum_ii - sum_i * sum_i;
   double slope = denom != 0.0 ? (dn * sum_ix - sum_i * sum_x) / denom : 0.0;
   double intercept = (sum_x - slope * sum_i) / dn;
@@ -78,73 +87,108 @@ class Sz2Codec final : public LossyCodec {
   bool strictly_bounded() const override { return true; }
 
   Bytes compress(FloatSpan data, const ErrorBound& bound) const override {
+    Bytes out;
+    compress_into(data, bound, out);
+    return out;
+  }
+
+  void compress_into(FloatSpan data, const ErrorBound& bound,
+                     Bytes& out) const override {
     require_finite(data, name());
     const double eps = bound.absolute_for(data);
+    EncodeArena& arena = EncodeArena::local();
+    const lossless::LosslessCodec& backend =
+        lossless::lossless_codec(lossless::LosslessId::kZstd);
 
-    ByteWriter body;
+    ByteWriter& body = arena.body;
+    body.reset();
     body.put_varint(data.size());
     body.put_f64(eps);
     if (data.empty()) {
-      return lossless::lossless_codec(lossless::LosslessId::kZstd)
-          .compress({body.finish()});
+      backend.compress_into(body.view(), out);
+      return;
     }
 
     const LinearQuantizer quantizer(eps);
     const std::size_t n_blocks = (data.size() + kBlockSize - 1) / kBlockSize;
 
-    std::vector<std::uint8_t> predictor_tags(n_blocks);
-    std::vector<Regression> regressions(n_blocks);
-    std::vector<std::uint32_t> codes;
-    codes.reserve(data.size());
-    std::vector<float> verbatim;
+    arena.tags.resize(n_blocks);
+    arena.coeffs.resize(2 * n_blocks);  // (slope, intercept) per block
+    arena.codes.resize(data.size());
+    arena.verbatim.clear();
 
-    float last_reconstructed = 0.0f;
+    // Pass 1: predictor selection per block. Costs depend only on the
+    // original data, so this pass is independent of reconstruction state.
     for (std::size_t b = 0; b < n_blocks; ++b) {
       const std::size_t begin = b * kBlockSize;
       const std::size_t len = std::min(kBlockSize, data.size() - begin);
       FloatSpan block = data.subspan(begin, len);
-
       const Regression reg = fit_regression(block);
       const bool use_regression =
           regression_cost(block, reg) <
           lorenzo_cost(block, b == 0 ? 0.0f : data[begin - 1]);
-      predictor_tags[b] = use_regression ? kPredictorRegression
-                                         : kPredictorLorenzo;
-      regressions[b] = reg;
+      arena.tags[b] = use_regression ? kPredictorRegression
+                                     : kPredictorLorenzo;
+      arena.coeffs[2 * b] = reg.slope;
+      arena.coeffs[2 * b + 1] = reg.intercept;
+    }
 
-      for (std::size_t i = 0; i < len; ++i) {
-        const double pred =
-            use_regression
-                ? static_cast<double>(reg.intercept) +
-                      static_cast<double>(reg.slope) * static_cast<double>(i)
-                : static_cast<double>(last_reconstructed);
-        const double residual = static_cast<double>(block[i]) - pred;
-        const std::uint32_t code = quantizer.quantize(residual);
-        codes.push_back(code);
-        if (code == LinearQuantizer::kUnpredictable) {
-          verbatim.push_back(block[i]);
-          last_reconstructed = block[i];
-        } else {
-          last_reconstructed =
-              static_cast<float>(pred + quantizer.reconstruct(code));
+    // Pass 2: predict -> quantize -> reconstruct, one contiguous sweep with
+    // the predictor branch hoisted to block level.
+    std::uint32_t* codes = arena.codes.data();
+    float last_reconstructed = 0.0f;
+    for (std::size_t b = 0; b < n_blocks; ++b) {
+      const std::size_t begin = b * kBlockSize;
+      const std::size_t len = std::min(kBlockSize, data.size() - begin);
+      const float* block = data.data() + begin;
+      std::uint32_t* block_codes = codes + begin;
+      if (arena.tags[b] == kPredictorRegression) {
+        const auto slope = static_cast<double>(arena.coeffs[2 * b]);
+        const auto intercept = static_cast<double>(arena.coeffs[2 * b + 1]);
+        for (std::size_t i = 0; i < len; ++i) {
+          const double pred = intercept + slope * static_cast<double>(i);
+          const double residual = static_cast<double>(block[i]) - pred;
+          const std::uint32_t code = quantizer.quantize(residual);
+          block_codes[i] = code;
+          if (code == LinearQuantizer::kUnpredictable) {
+            arena.verbatim.push_back(block[i]);
+            last_reconstructed = block[i];
+          } else {
+            last_reconstructed =
+                static_cast<float>(pred + quantizer.reconstruct(code));
+          }
+        }
+      } else {
+        for (std::size_t i = 0; i < len; ++i) {
+          const double pred = static_cast<double>(last_reconstructed);
+          const double residual = static_cast<double>(block[i]) - pred;
+          const std::uint32_t code = quantizer.quantize(residual);
+          block_codes[i] = code;
+          if (code == LinearQuantizer::kUnpredictable) {
+            arena.verbatim.push_back(block[i]);
+            last_reconstructed = block[i];
+          } else {
+            last_reconstructed =
+                static_cast<float>(pred + quantizer.reconstruct(code));
+          }
         }
       }
     }
 
     for (std::size_t b = 0; b < n_blocks; ++b) {
-      body.put_u8(predictor_tags[b]);
-      if (predictor_tags[b] == kPredictorRegression) {
-        body.put_f32(regressions[b].slope);
-        body.put_f32(regressions[b].intercept);
+      body.put_u8(arena.tags[b]);
+      if (arena.tags[b] == kPredictorRegression) {
+        body.put_f32(arena.coeffs[2 * b]);
+        body.put_f32(arena.coeffs[2 * b + 1]);
       }
     }
-    const Bytes huffman = lossless::huffman_encode(codes);
-    body.put_blob({huffman.data(), huffman.size()});
-    body.put_varint(verbatim.size());
-    body.put_bytes(as_bytes({verbatim.data(), verbatim.size()}));
+    arena.entropy.reset();
+    lossless::huffman_encode(arena.codes, arena.entropy, arena.bits);
+    body.put_blob(arena.entropy.view());
+    body.put_varint(arena.verbatim.size());
+    body.put_bytes(as_bytes({arena.verbatim.data(), arena.verbatim.size()}));
 
-    return lossless::lossless_codec(lossless::LosslessId::kZstd)
-        .compress({body.finish()});
+    backend.compress_into(body.view(), out);
   }
 
   std::vector<float> decompress(ByteSpan stream) const override {
@@ -155,58 +199,81 @@ class Sz2Codec final : public LossyCodec {
     const double eps = r.get_f64();
     std::vector<float> out;
     if (n == 0) return out;
-    out.reserve(n);
 
     const LinearQuantizer quantizer(eps);
+    EncodeArena& arena = EncodeArena::local();
     const std::size_t n_blocks = (n + kBlockSize - 1) / kBlockSize;
-    std::vector<std::uint8_t> predictor_tags(n_blocks);
-    std::vector<Regression> regressions(n_blocks);
+    arena.tags.resize(n_blocks);
+    arena.coeffs.resize(2 * n_blocks);
     for (std::size_t b = 0; b < n_blocks; ++b) {
-      predictor_tags[b] = r.get_u8();
-      if (predictor_tags[b] == kPredictorRegression) {
-        regressions[b].slope = r.get_f32();
-        regressions[b].intercept = r.get_f32();
-      } else if (predictor_tags[b] != kPredictorLorenzo) {
+      arena.tags[b] = r.get_u8();
+      if (arena.tags[b] == kPredictorRegression) {
+        arena.coeffs[2 * b] = r.get_f32();
+        arena.coeffs[2 * b + 1] = r.get_f32();
+      } else if (arena.tags[b] != kPredictorLorenzo) {
         throw CorruptStream("sz2: unknown predictor tag");
       }
     }
-    const Bytes huffman = r.get_blob();
-    const auto codes = lossless::huffman_decode({huffman.data(),
-                                                 huffman.size()});
-    if (codes.size() != n) throw CorruptStream("sz2: code count mismatch");
+    const ByteSpan huffman = r.get_blob_view();
+    lossless::huffman_decode(huffman, arena.codes);
+    if (arena.codes.size() != n)
+      throw CorruptStream("sz2: code count mismatch");
+    // Validate every entropy-decoded code up front (reconstruct() itself no
+    // longer range-checks in the hot loop).
+    const std::uint32_t code_limit = 2 * quantizer.radius();
+    for (const std::uint32_t code : arena.codes)
+      if (code >= code_limit)
+        throw CorruptStream("sz2: quantizer code out of range");
     const auto n_verbatim = static_cast<std::size_t>(r.get_varint());
     // Guard the multiply below: a corrupt count can wrap n_verbatim * 4 to
     // a small value and request an absurd allocation.
     if (n_verbatim > r.remaining() / sizeof(float))
       throw CorruptStream("sz2: verbatim count exceeds stream");
     ByteSpan raw = r.get_bytes(n_verbatim * sizeof(float));
-    std::vector<float> verbatim(n_verbatim);
-    if (n_verbatim > 0) std::memcpy(verbatim.data(), raw.data(), raw.size());
+    arena.verbatim.resize(n_verbatim);
+    if (n_verbatim > 0)
+      std::memcpy(arena.verbatim.data(), raw.data(), raw.size());
 
+    out.resize(n);
+    const std::uint32_t* codes = arena.codes.data();
+    float* values = out.data();
     std::size_t v = 0;
     float last_reconstructed = 0.0f;
     for (std::size_t b = 0; b < n_blocks; ++b) {
       const std::size_t begin = b * kBlockSize;
       const std::size_t len = std::min(kBlockSize, n - begin);
-      const bool use_regression = predictor_tags[b] == kPredictorRegression;
-      for (std::size_t i = 0; i < len; ++i) {
-        const std::uint32_t code = codes[begin + i];
-        float value;
-        if (code == LinearQuantizer::kUnpredictable) {
-          if (v >= verbatim.size())
-            throw CorruptStream("sz2: verbatim stream exhausted");
-          value = verbatim[v++];
-        } else {
-          const double pred =
-              use_regression
-                  ? static_cast<double>(regressions[b].intercept) +
-                        static_cast<double>(regressions[b].slope) *
-                            static_cast<double>(i)
-                  : static_cast<double>(last_reconstructed);
-          value = static_cast<float>(pred + quantizer.reconstruct(code));
+      if (arena.tags[b] == kPredictorRegression) {
+        const auto slope = static_cast<double>(arena.coeffs[2 * b]);
+        const auto intercept = static_cast<double>(arena.coeffs[2 * b + 1]);
+        for (std::size_t i = 0; i < len; ++i) {
+          const std::uint32_t code = codes[begin + i];
+          float value;
+          if (code == LinearQuantizer::kUnpredictable) {
+            if (v >= arena.verbatim.size())
+              throw CorruptStream("sz2: verbatim stream exhausted");
+            value = arena.verbatim[v++];
+          } else {
+            const double pred = intercept + slope * static_cast<double>(i);
+            value = static_cast<float>(pred + quantizer.reconstruct(code));
+          }
+          values[begin + i] = value;
+          last_reconstructed = value;
         }
-        out.push_back(value);
-        last_reconstructed = value;
+      } else {
+        for (std::size_t i = 0; i < len; ++i) {
+          const std::uint32_t code = codes[begin + i];
+          float value;
+          if (code == LinearQuantizer::kUnpredictable) {
+            if (v >= arena.verbatim.size())
+              throw CorruptStream("sz2: verbatim stream exhausted");
+            value = arena.verbatim[v++];
+          } else {
+            const double pred = static_cast<double>(last_reconstructed);
+            value = static_cast<float>(pred + quantizer.reconstruct(code));
+          }
+          values[begin + i] = value;
+          last_reconstructed = value;
+        }
       }
     }
     return out;

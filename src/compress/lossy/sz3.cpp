@@ -6,50 +6,25 @@
 // coefficients are stored — SZ3's key advantage over SZ2 at high error
 // bounds — at the cost of a more expensive traversal. Residuals share the
 // SZ2 quantizer/Huffman/LZ back end.
+//
+// The traversal is laid out as explicit per-level loops: within one stride
+// the first point is never cubic (no far-left neighbor), every interior
+// point while i + 3*stride < n is always cubic, and at most two tail points
+// fall back to linear/previous — so the boundary checks run per level, not
+// per element, and the cubic inner loop is branchless on geometry.
 #include <bit>
 #include <cmath>
 #include <cstring>
 
 #include "compress/lossless/huffman.hpp"
 #include "compress/lossless/lossless.hpp"
+#include "compress/lossy/arena.hpp"
 #include "compress/lossy/lossy.hpp"
 #include "compress/lossy/quantizer.hpp"
 
 namespace fedsz::lossy {
 
 namespace {
-
-/// Visit indices level by level: stride = 2^k halving to 1, points at odd
-/// multiples of the stride. Every index in [1, n) is visited exactly once and
-/// its neighbors at +-stride (multiples of 2*stride) are always visited
-/// earlier, so interpolation uses reconstructed data only.
-template <typename Fn>
-void for_each_interpolation_point(std::size_t n, Fn&& fn) {
-  if (n < 2) return;
-  std::size_t stride = std::bit_floor(n - 1);
-  for (; stride >= 1; stride /= 2) {
-    for (std::size_t i = stride; i < n; i += 2 * stride) fn(i, stride);
-    if (stride == 1) break;
-  }
-}
-
-/// Predict reconstructed[i] from already-decoded grid points.
-double interpolate(const std::vector<float>& recon, std::size_t i,
-                   std::size_t stride, std::size_t n) {
-  const bool has_right = i + stride < n;
-  const bool has_far_left = i >= 3 * stride;
-  const bool has_far_right = i + 3 * stride < n;
-  if (has_right && has_far_left && has_far_right) {
-    // Cubic spline through the four surrounding coarse points.
-    return (-static_cast<double>(recon[i - 3 * stride]) +
-            9.0 * recon[i - stride] + 9.0 * recon[i + stride] -
-            static_cast<double>(recon[i + 3 * stride])) /
-           16.0;
-  }
-  if (has_right)
-    return 0.5 * (static_cast<double>(recon[i - stride]) + recon[i + stride]);
-  return recon[i - stride];
-}
 
 class Sz3Codec final : public LossyCodec {
  public:
@@ -58,31 +33,44 @@ class Sz3Codec final : public LossyCodec {
   bool strictly_bounded() const override { return true; }
 
   Bytes compress(FloatSpan data, const ErrorBound& bound) const override {
+    Bytes out;
+    compress_into(data, bound, out);
+    return out;
+  }
+
+  void compress_into(FloatSpan data, const ErrorBound& bound,
+                     Bytes& out) const override {
     require_finite(data, name());
     const double eps = bound.absolute_for(data);
+    EncodeArena& arena = EncodeArena::local();
+    const lossless::LosslessCodec& backend =
+        lossless::lossless_codec(lossless::LosslessId::kZstd);
 
-    ByteWriter body;
+    ByteWriter& body = arena.body;
+    body.reset();
     body.put_varint(data.size());
     body.put_f64(eps);
     if (data.empty()) {
-      return lossless::lossless_codec(lossless::LosslessId::kZstd)
-          .compress({body.finish()});
+      backend.compress_into(body.view(), out);
+      return;
     }
 
     const LinearQuantizer quantizer(eps);
     const std::size_t n = data.size();
     // Codes are emitted in traversal order (seed, then level order).
-    std::vector<std::uint32_t> codes;
-    codes.reserve(n);
-    std::vector<float> verbatim;
-    std::vector<float> recon(n, 0.0f);
+    arena.codes.resize(n);
+    arena.verbatim.clear();
+    arena.recon.resize(n);
+    std::uint32_t* codes = arena.codes.data();
+    float* recon = arena.recon.data();
+    std::size_t pos = 0;
 
-    auto encode_point = [&](std::size_t i, double pred) {
+    const auto encode_point = [&](std::size_t i, double pred) {
       const double residual = static_cast<double>(data[i]) - pred;
       const std::uint32_t code = quantizer.quantize(residual);
-      codes.push_back(code);
+      codes[pos++] = code;
       if (code == LinearQuantizer::kUnpredictable) {
-        verbatim.push_back(data[i]);
+        arena.verbatim.push_back(data[i]);
         recon[i] = data[i];
       } else {
         recon[i] = static_cast<float>(pred + quantizer.reconstruct(code));
@@ -90,16 +78,45 @@ class Sz3Codec final : public LossyCodec {
     };
 
     encode_point(0, 0.0);
-    for_each_interpolation_point(n, [&](std::size_t i, std::size_t stride) {
-      encode_point(i, interpolate(recon, i, stride, n));
-    });
+    if (n >= 2) {
+      for (std::size_t stride = std::bit_floor(n - 1); stride >= 1;
+           stride /= 2) {
+        // First point of the level (i = stride < 3*stride): never cubic.
+        std::size_t i = stride;
+        if (i + stride < n) {
+          encode_point(i, 0.5 * (static_cast<double>(recon[i - stride]) +
+                                 recon[i + stride]));
+        } else {
+          encode_point(i, recon[i - stride]);
+        }
+        // Interior points: all four neighbors exist, always cubic.
+        for (i += 2 * stride; i + 3 * stride < n; i += 2 * stride) {
+          const double pred = (-static_cast<double>(recon[i - 3 * stride]) +
+                               9.0 * recon[i - stride] +
+                               9.0 * recon[i + stride] -
+                               static_cast<double>(recon[i + 3 * stride])) /
+                              16.0;
+          encode_point(i, pred);
+        }
+        // At most two tail points: linear when the right neighbor exists.
+        for (; i < n; i += 2 * stride) {
+          if (i + stride < n) {
+            encode_point(i, 0.5 * (static_cast<double>(recon[i - stride]) +
+                                   recon[i + stride]));
+          } else {
+            encode_point(i, recon[i - stride]);
+          }
+        }
+        if (stride == 1) break;
+      }
+    }
 
-    const Bytes huffman = lossless::huffman_encode(codes);
-    body.put_blob({huffman.data(), huffman.size()});
-    body.put_varint(verbatim.size());
-    body.put_bytes(as_bytes({verbatim.data(), verbatim.size()}));
-    return lossless::lossless_codec(lossless::LosslessId::kZstd)
-        .compress({body.finish()});
+    arena.entropy.reset();
+    lossless::huffman_encode(arena.codes, arena.entropy, arena.bits);
+    body.put_blob(arena.entropy.view());
+    body.put_varint(arena.verbatim.size());
+    body.put_bytes(as_bytes({arena.verbatim.data(), arena.verbatim.size()}));
+    backend.compress_into(body.view(), out);
   }
 
   std::vector<float> decompress(ByteSpan stream) const override {
@@ -111,37 +128,73 @@ class Sz3Codec final : public LossyCodec {
     if (n == 0) return {};
 
     const LinearQuantizer quantizer(eps);
-    const Bytes huffman = r.get_blob();
-    const auto codes = lossless::huffman_decode({huffman.data(),
-                                                 huffman.size()});
-    if (codes.size() != n) throw CorruptStream("sz3: code count mismatch");
+    EncodeArena& arena = EncodeArena::local();
+    const ByteSpan huffman = r.get_blob_view();
+    lossless::huffman_decode(huffman, arena.codes);
+    if (arena.codes.size() != n) throw CorruptStream("sz3: code count mismatch");
+    // Validate every entropy-decoded code up front (reconstruct() itself no
+    // longer range-checks in the hot loop).
+    const std::uint32_t code_limit = 2 * quantizer.radius();
+    for (const std::uint32_t code : arena.codes)
+      if (code >= code_limit)
+        throw CorruptStream("sz3: quantizer code out of range");
     const auto n_verbatim = static_cast<std::size_t>(r.get_varint());
     // Guard the multiply below: a corrupt count can wrap n_verbatim * 4 to
     // a small value and request an absurd allocation.
     if (n_verbatim > r.remaining() / sizeof(float))
       throw CorruptStream("sz3: verbatim count exceeds stream");
     ByteSpan raw = r.get_bytes(n_verbatim * sizeof(float));
-    std::vector<float> verbatim(n_verbatim);
-    if (n_verbatim > 0) std::memcpy(verbatim.data(), raw.data(), raw.size());
+    arena.verbatim.resize(n_verbatim);
+    if (n_verbatim > 0)
+      std::memcpy(arena.verbatim.data(), raw.data(), raw.size());
 
-    std::vector<float> recon(n, 0.0f);
+    std::vector<float> out(n, 0.0f);
+    float* recon = out.data();
+    const std::uint32_t* codes = arena.codes.data();
     std::size_t next_code = 0, next_verbatim = 0;
-    auto decode_point = [&](std::size_t i, double pred) {
+    const auto decode_point = [&](std::size_t i, double pred) {
       const std::uint32_t code = codes[next_code++];
       if (code == LinearQuantizer::kUnpredictable) {
-        if (next_verbatim >= verbatim.size())
+        if (next_verbatim >= arena.verbatim.size())
           throw CorruptStream("sz3: verbatim stream exhausted");
-        recon[i] = verbatim[next_verbatim++];
+        recon[i] = arena.verbatim[next_verbatim];
+        ++next_verbatim;
       } else {
         recon[i] = static_cast<float>(pred + quantizer.reconstruct(code));
       }
     };
 
     decode_point(0, 0.0);
-    for_each_interpolation_point(n, [&](std::size_t i, std::size_t stride) {
-      decode_point(i, interpolate(recon, i, stride, n));
-    });
-    return recon;
+    if (n >= 2) {
+      for (std::size_t stride = std::bit_floor(n - 1); stride >= 1;
+           stride /= 2) {
+        std::size_t i = stride;
+        if (i + stride < n) {
+          decode_point(i, 0.5 * (static_cast<double>(recon[i - stride]) +
+                                 recon[i + stride]));
+        } else {
+          decode_point(i, recon[i - stride]);
+        }
+        for (i += 2 * stride; i + 3 * stride < n; i += 2 * stride) {
+          const double pred = (-static_cast<double>(recon[i - 3 * stride]) +
+                               9.0 * recon[i - stride] +
+                               9.0 * recon[i + stride] -
+                               static_cast<double>(recon[i + 3 * stride])) /
+                              16.0;
+          decode_point(i, pred);
+        }
+        for (; i < n; i += 2 * stride) {
+          if (i + stride < n) {
+            decode_point(i, 0.5 * (static_cast<double>(recon[i - stride]) +
+                                   recon[i + stride]));
+          } else {
+            decode_point(i, recon[i - stride]);
+          }
+        }
+        if (stride == 1) break;
+      }
+    }
+    return out;
   }
 };
 

@@ -14,6 +14,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "compress/lossy/arena.hpp"
 #include "compress/lossy/lossy.hpp"
 #include "util/bitstream.hpp"
 #include "util/bytebuffer.hpp"
@@ -34,13 +35,26 @@ class SzxCodec final : public LossyCodec {
   bool strictly_bounded() const override { return true; }
 
   Bytes compress(FloatSpan data, const ErrorBound& bound) const override {
+    Bytes out;
+    compress_into(data, bound, out);
+    return out;
+  }
+
+  void compress_into(FloatSpan data, const ErrorBound& bound,
+                     Bytes& out) const override {
     require_finite(data, name());
     const double eps = bound.absolute_for(data);
+    EncodeArena& arena = EncodeArena::local();
 
-    ByteWriter out;
-    out.put_varint(data.size());
-    out.put_f64(eps);
-    if (data.empty()) return out.finish();
+    ByteWriter& w = arena.body;
+    w.reset();
+    w.put_varint(data.size());
+    w.put_f64(eps);
+    if (data.empty()) {
+      const ByteSpan frame = w.view();
+      out.assign(frame.begin(), frame.end());
+      return;
+    }
 
     const double step = eps > 0.0 ? 2.0 * eps : 0.0;
     const std::size_t n_blocks = (data.size() + kBlockSize - 1) / kBlockSize;
@@ -56,13 +70,13 @@ class SzxCodec final : public LossyCodec {
       const double range = static_cast<double>(hi) - lo;
       const float mid = static_cast<float>(0.5 * (static_cast<double>(hi) + lo));
       if (range <= step && std::fabs(static_cast<double>(mid) - lo) <= eps) {
-        out.put_u8(kBlockConstant);
-        out.put_f32(mid);
+        w.put_u8(kBlockConstant);
+        w.put_f32(mid);
         continue;
       }
       if (step <= 0.0) {  // degenerate bound: store exactly
-        out.put_u8(kBlockVerbatim);
-        out.put_bytes(as_bytes(block));
+        w.put_u8(kBlockVerbatim);
+        w.put_bytes(as_bytes(block));
         continue;
       }
       // Fixed-point codes relative to the block minimum.
@@ -70,22 +84,25 @@ class SzxCodec final : public LossyCodec {
           std::llround(range / step) + 1);
       const unsigned bits = std::bit_width(max_code);
       if (bits >= 32) {  // bound far below float resolution: store exactly
-        out.put_u8(kBlockVerbatim);
-        out.put_bytes(as_bytes(block));
+        w.put_u8(kBlockVerbatim);
+        w.put_bytes(as_bytes(block));
         continue;
       }
-      out.put_u8(kBlockPacked);
-      out.put_u8(static_cast<std::uint8_t>(bits));
-      out.put_f32(lo);
-      BitWriter bw;
+      w.put_u8(kBlockPacked);
+      w.put_u8(static_cast<std::uint8_t>(bits));
+      w.put_f32(lo);
+      BitWriter& bw = arena.bits;
+      bw.reset();
       for (const float v : block) {
         const auto code = static_cast<std::uint64_t>(
             std::llround((static_cast<double>(v) - lo) / step));
         bw.write(code, bits);
       }
-      out.put_blob(bw.finish());
+      w.put_blob(bw.finish_view());
+      bw.reset();
     }
-    return out.finish();
+    const ByteSpan frame = w.view();
+    out.assign(frame.begin(), frame.end());
   }
 
   std::vector<float> decompress(ByteSpan stream) const override {
@@ -112,12 +129,15 @@ class SzxCodec final : public LossyCodec {
       } else if (tag == kBlockPacked) {
         const unsigned bits = r.get_u8();
         const float lo = r.get_f32();
-        const Bytes packed = r.get_blob();
-        BitReader br({packed.data(), packed.size()});
+        const ByteSpan packed = r.get_blob_view();
+        BitReader br(packed);
+        const std::size_t start = out.size();
+        out.resize(start + len);
+        float* values = out.data() + start;
         for (std::size_t i = 0; i < len; ++i) {
           const std::uint64_t code = br.read(bits);
-          out.push_back(static_cast<float>(lo + static_cast<double>(code) *
-                                                    step));
+          values[i] =
+              static_cast<float>(lo + static_cast<double>(code) * step);
         }
       } else {
         throw CorruptStream("szx: unknown block tag");

@@ -7,14 +7,14 @@ namespace fedsz::core {
 StateDict ErrorFeedbackAccumulator::apply(const StateDict& update) const {
   if (residual_.empty()) return update;
   StateDict compensated = update;
-  compensated.add_scaled(residual_.reordered_like(update), 1.0f);
+  compensated.add_scaled_matched(residual_, 1.0f);
   return compensated;
 }
 
 void ErrorFeedbackAccumulator::absorb(const StateDict& compensated,
                                       const StateDict& reconstruction) {
   residual_ = compensated;
-  residual_.add_scaled(reconstruction.reordered_like(compensated), -1.0f);
+  residual_.add_scaled_matched(reconstruction, -1.0f);
 }
 
 double ErrorFeedbackAccumulator::residual_norm() const {

@@ -57,6 +57,54 @@ Partition partition_state_dict(const StateDict& dict, std::size_t threshold) {
   return partition;
 }
 
+/// Everything one compress() call needs beyond the output buffer. Leased
+/// from the FedSz instance and returned afterwards, so in steady state every
+/// round reuses the same heap blocks: payload slots keep their capacity and
+/// are refilled through compress_into, the task list is a flat struct array
+/// (no per-chunk std::function), and the metadata partition serializes into
+/// a reusable writer instead of a deep-copied StateDict.
+struct FedSz::EncodeWorkspace {
+  struct ChunkJob {
+    const lossy::LossyCodec* codec;
+    FloatSpan chunk;
+    double eps;
+    Bytes* slot;
+  };
+  std::vector<std::vector<Bytes>> chunk_payloads;  // per planned entry
+  std::vector<ChunkJob> jobs;
+  ByteWriter metadata;  // serialized lossless partition
+  ByteWriter frame;     // assembled container
+  Bytes lossless_payload;
+};
+
+void FedSz::WorkspaceReturner::operator()(
+    EncodeWorkspace* workspace) const noexcept {
+  owner->return_workspace(workspace);
+}
+
+FedSz::WorkspaceLease FedSz::lease_workspace() const {
+  {
+    std::lock_guard lock(workspace_mutex_);
+    if (!workspaces_.empty()) {
+      EncodeWorkspace* workspace = workspaces_.back().release();
+      workspaces_.pop_back();
+      return WorkspaceLease(workspace, WorkspaceReturner{this});
+    }
+  }
+  return WorkspaceLease(new EncodeWorkspace, WorkspaceReturner{this});
+}
+
+void FedSz::return_workspace(EncodeWorkspace* workspace) const noexcept {
+  try {
+    std::lock_guard lock(workspace_mutex_);
+    workspaces_.emplace_back(workspace);
+  } catch (...) {
+    delete workspace;  // failed to pool it; drop rather than leak
+  }
+}
+
+FedSz::~FedSz() = default;
+
 FedSz::FedSz(FedSzConfig config) : config_(std::move(config)) {
   config_.bound.validate();
   if (config_.chunk_elements == 0)
@@ -84,14 +132,14 @@ ThreadPool& FedSz::pool(std::size_t workers) const {
   return *pool_;
 }
 
-void FedSz::run_tasks(std::vector<std::function<void()>>& tasks) const {
+void FedSz::run_indexed(std::size_t count,
+                        const std::function<void(std::size_t)>& fn) const {
   const std::size_t workers = resolved_parallelism();
-  if (workers <= 1 || tasks.size() <= 1) {
-    for (auto& task : tasks) task();
+  if (workers <= 1 || count <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
     return;
   }
-  pool(workers).parallel_for(tasks.size(),
-                             [&tasks](std::size_t i) { tasks[i](); });
+  pool(workers).parallel_for(count, fn);
 }
 
 Bytes FedSz::compress(const StateDict& dict, CompressionStats* stats,
@@ -113,7 +161,7 @@ Bytes FedSz::compress(const StateDict& dict, CompressionStats* stats,
     double eps = 0.0;         // bound resolved over the whole tensor
     std::size_t chunks = 0;
   };
-  StateDict lossless_partition;
+  std::vector<const StateDict::Entry*> lossless_entries;
   std::vector<PlannedEntry> planned;
   // True while every plan is expressible as the uniform v2 container: the
   // Algorithm-1 partition under this config, one codec, one bound, nothing
@@ -121,7 +169,9 @@ Bytes FedSz::compress(const StateDict& dict, CompressionStats* stats,
   bool uniform = true;
   double rel_bound_sum = 0.0;
   std::size_t rel_bound_count = 0;
-  for (const auto& [name, tensor] : dict) {
+  for (const StateDict::Entry& dict_entry : dict.entries()) {
+    const std::string& name = dict_entry.first;
+    const Tensor& tensor = dict_entry.second;
     const TensorPlan plan = policy_->plan(name, tensor, ctx);
     const std::size_t bytes = tensor.numel() * sizeof(float);
     const bool default_lossy =
@@ -129,7 +179,7 @@ Bytes FedSz::compress(const StateDict& dict, CompressionStats* stats,
     switch (plan.path) {
       case TensorPath::kLossless:
         uniform = uniform && !default_lossy;
-        lossless_partition.set(name, tensor);
+        lossless_entries.push_back(&dict_entry);
         local.lossless_original_bytes += bytes;
         ++local.lossless_tensors;
         break;
@@ -177,39 +227,60 @@ Bytes FedSz::compress(const StateDict& dict, CompressionStats* stats,
   }
   local.lossy_chunks = total_chunks;
 
-  // One task per lossy chunk plus one for the lossless partition, all on the
+  // One job per lossy chunk plus one for the lossless partition, all on the
   // same queue: metadata compression overlaps the lossy work instead of
   // trailing it. Chunks are compressed out of order but written in order, so
   // the bitstream is identical at every parallelism setting. Raw entries
-  // need no work.
-  std::vector<std::vector<Bytes>> chunk_payloads(planned.size());
-  Bytes lossless_payload;
-  std::vector<std::function<void()>> tasks;
-  tasks.reserve(total_chunks + 1);
-  tasks.push_back([&lossless_partition, &lossless_codec, &lossless_payload] {
-    const Bytes serialized = lossless_partition.serialize();
-    lossless_payload =
-        lossless_codec.compress({serialized.data(), serialized.size()});
-  });
+  // need no work. All working storage comes from a leased workspace, so in
+  // steady state the chunk loop performs no allocation: payload slots keep
+  // their capacity and codecs refill them through compress_into.
+  WorkspaceLease workspace = lease_workspace();
+  EncodeWorkspace& ws = *workspace;
+  ws.chunk_payloads.resize(planned.size());
+  ws.jobs.clear();
   for (std::size_t i = 0; i < planned.size(); ++i) {
     const PlannedEntry& entry = planned[i];
-    if (entry.plan.path != TensorPath::kLossy) continue;
-    chunk_payloads[i].resize(entry.chunks);
+    if (entry.plan.path != TensorPath::kLossy) {
+      ws.chunk_payloads[i].clear();
+      continue;
+    }
+    ws.chunk_payloads[i].resize(entry.chunks);
     const FloatSpan values = entry.tensor->span();
     for (std::size_t c = 0; c < entry.chunks; ++c) {
       const std::size_t begin = c * config_.chunk_elements;
       const std::size_t len =
           std::min(config_.chunk_elements, values.size() - begin);
-      const FloatSpan chunk = values.subspan(begin, len);
-      Bytes* slot = &chunk_payloads[i][c];
-      const double eps = entry.eps;
-      const lossy::LossyCodec* codec = entry.codec;
-      tasks.push_back([codec, chunk, eps, slot] {
-        *slot = codec->compress(chunk, lossy::ErrorBound::absolute(eps));
-      });
+      ws.jobs.push_back({entry.codec, values.subspan(begin, len), entry.eps,
+                         &ws.chunk_payloads[i][c]});
     }
   }
-  run_tasks(tasks);
+
+  // Serialize the lossless partition straight from the borrowed entries —
+  // byte-for-byte StateDict::serialize() format, without deep-copying the
+  // tensors into a scratch dict.
+  ByteWriter& metadata = ws.metadata;
+  metadata.reset();
+  metadata.put_u32(static_cast<std::uint32_t>(lossless_entries.size()));
+  for (const StateDict::Entry* entry : lossless_entries) {
+    metadata.put_string(entry->first);
+    const Tensor& tensor = entry->second;
+    metadata.put_u8(static_cast<std::uint8_t>(tensor.rank()));
+    for (const std::int64_t d : tensor.shape())
+      metadata.put_varint(static_cast<std::uint64_t>(d));
+    metadata.put_bytes(as_bytes(tensor.span()));
+  }
+
+  run_indexed(ws.jobs.size() + 1, [&ws, &lossless_codec,
+                                   &metadata](std::size_t t) {
+    if (t == 0) {
+      lossless_codec.compress_into(metadata.view(), ws.lossless_payload);
+      return;
+    }
+    const EncodeWorkspace::ChunkJob& job = ws.jobs[t - 1];
+    job.codec->compress_into(job.chunk, lossy::ErrorBound::absolute(job.eps),
+                             *job.slot);
+  });
+  const Bytes& lossless_payload = ws.lossless_payload;
 
   // Shared per-entry serialization, so the v2 and v3 branches can never
   // drift apart: the name/shape prefix, and the resolved-eps + chunk-size
@@ -236,7 +307,8 @@ Bytes FedSz::compress(const StateDict& dict, CompressionStats* stats,
       writer.put_bytes({payload.data(), payload.size()});
   };
 
-  ByteWriter w;
+  ByteWriter& w = ws.frame;
+  w.reset();
   w.put_bytes({reinterpret_cast<const std::uint8_t*>(kMagic), 4});
   if (uniform) {
     // v2: the pre-policy chunked container, byte-for-byte.
@@ -249,7 +321,7 @@ Bytes FedSz::compress(const StateDict& dict, CompressionStats* stats,
     w.put_u32(static_cast<std::uint32_t>(planned.size()));
     for (std::size_t i = 0; i < planned.size(); ++i) {
       write_entry_header(w, planned[i]);
-      write_chunk_payloads(w, planned[i], chunk_payloads[i]);
+      write_chunk_payloads(w, planned[i], ws.chunk_payloads[i]);
     }
   } else {
     // v3: per-tensor plans in the header.
@@ -268,13 +340,14 @@ Bytes FedSz::compress(const StateDict& dict, CompressionStats* stats,
       w.put_u8(static_cast<std::uint8_t>(entry.plan.lossy_id));
       w.put_u8(static_cast<std::uint8_t>(entry.plan.bound.mode));
       w.put_f64(entry.plan.bound.value);
-      write_chunk_payloads(w, entry, chunk_payloads[i]);
+      write_chunk_payloads(w, entry, ws.chunk_payloads[i]);
     }
   }
   w.put_blob({lossless_payload.data(), lossless_payload.size()});
   local.lossless_compressed_bytes = lossless_payload.size();
 
-  Bytes out = w.finish();
+  const ByteSpan frame = w.view();
+  Bytes out(frame.begin(), frame.end());
   local.compressed_bytes = out.size();
   local.compress_seconds = timer.seconds();
   if (stats) *stats = local;
@@ -516,27 +589,25 @@ StateDict FedSz::decompress(ByteSpan stream, CompressionStats* stats) const {
   }();
   if (!r.done()) throw CorruptStream("FedSz: trailing bytes");
 
-  // Pass 2: decode chunks and the lossless partition concurrently.
+  // Pass 2: decode chunks and the lossless partition concurrently. The task
+  // list is the flat ChunkTask array — no per-chunk closure allocation.
   StateDict lossless_partition;
-  std::vector<std::function<void()>> tasks;
-  tasks.reserve(chunks.size() + 1);
-  tasks.push_back([lossless_codec, lossless_payload_span,
-                   &lossless_partition] {
-    const Bytes serialized =
-        lossless_codec->decompress(lossless_payload_span);
-    lossless_partition =
-        StateDict::deserialize({serialized.data(), serialized.size()});
+  run_indexed(chunks.size() + 1, [lossless_codec, lossless_payload_span,
+                                  &lossless_partition,
+                                  &chunks](std::size_t t) {
+    if (t == 0) {
+      const Bytes serialized =
+          lossless_codec->decompress(lossless_payload_span);
+      lossless_partition =
+          StateDict::deserialize({serialized.data(), serialized.size()});
+      return;
+    }
+    const ChunkTask& chunk = chunks[t - 1];
+    const std::vector<float> values = chunk.codec->decompress(chunk.payload);
+    if (values.size() != chunk.expected)
+      throw CorruptStream("FedSz: decompressed chunk size mismatch");
+    std::memcpy(chunk.dest, values.data(), values.size() * sizeof(float));
   });
-  for (const ChunkTask& chunk : chunks) {
-    tasks.push_back([chunk] {
-      const std::vector<float> values =
-          chunk.codec->decompress(chunk.payload);
-      if (values.size() != chunk.expected)
-        throw CorruptStream("FedSz: decompressed chunk size mismatch");
-      std::memcpy(chunk.dest, values.data(), values.size() * sizeof(float));
-    });
-  }
-  run_tasks(tasks);
   local.lossless_tensors = lossless_partition.size();
   local.lossless_compressed_bytes = lossless_payload_span.size();
   local.lossless_original_bytes = lossless_partition.total_bytes();

@@ -133,6 +133,7 @@ struct CompressionStats {
 class FedSz {
  public:
   explicit FedSz(FedSzConfig config);
+  ~FedSz();
 
   /// Compress a state dict to the FedSZ bitstream. `ctx` reaches the policy
   /// so per-round/per-client plans resolve; optional stats out-param.
@@ -157,9 +158,24 @@ class FedSz {
   }
 
  private:
-  /// Run independent pipeline tasks: inline when `parallelism` is 1 (or
-  /// there is nothing to overlap), otherwise on the lazily-created pool.
-  void run_tasks(std::vector<std::function<void()>>& tasks) const;
+  /// Per-compress working set (chunk payload slots, task list, metadata
+  /// scratch), leased from a pool so steady-state rounds reuse the same
+  /// heap blocks. Defined in fedsz.cpp.
+  struct EncodeWorkspace;
+  struct WorkspaceReturner {
+    const FedSz* owner;
+    void operator()(EncodeWorkspace* workspace) const noexcept;
+  };
+  using WorkspaceLease = std::unique_ptr<EncodeWorkspace, WorkspaceReturner>;
+  /// Borrow a workspace (fresh one on first use / under concurrency); the
+  /// lease returns it to the pool when it goes out of scope.
+  WorkspaceLease lease_workspace() const;
+  void return_workspace(EncodeWorkspace* workspace) const noexcept;
+
+  /// Run fn(0..count) inline when `parallelism` is 1 (or there is nothing
+  /// to overlap), otherwise on the lazily-created pool.
+  void run_indexed(std::size_t count,
+                   const std::function<void(std::size_t)>& fn) const;
   std::size_t resolved_parallelism() const;
   ThreadPool& pool(std::size_t workers) const;
 
@@ -170,6 +186,8 @@ class FedSz {
   // decompress() calls (ThreadPool::submit is thread-safe).
   mutable std::mutex pool_mutex_;
   mutable std::unique_ptr<ThreadPool> pool_;
+  mutable std::mutex workspace_mutex_;
+  mutable std::vector<std::unique_ptr<EncodeWorkspace>> workspaces_;
 };
 
 }  // namespace fedsz::core

@@ -21,14 +21,10 @@ void StreamingMean::add(const StateDict& update, double weight) {
   if (weight == 0.0) return;
   total_ += weight;
   const float c = static_cast<float>(weight / total_);
-  for (auto& [name, tensor] : mean_.entries_mutable()) {
-    const Tensor& u = update.get(name);
-    if (!u.same_shape(tensor))
-      throw InvalidArgument("StreamingMean: shape mismatch for '" + name +
-                            "'");
-    for (std::size_t k = 0; k < tensor.numel(); ++k)
-      tensor[k] += c * (u[k] - tensor[k]);
-  }
+  // Entries pair positionally when the update shares the accumulator's
+  // layout (one string compare each; the common case), falling back to a
+  // name lookup — then fold through the contiguous Tensor kernel.
+  mean_.fold_scaled(update, c);
 }
 
 StateDict StreamingMean::finalize() {

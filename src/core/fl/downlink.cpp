@@ -48,7 +48,7 @@ BroadcastPayload DownlinkChannel::encode_for_client(std::size_t client,
     return {std::move(encoded.payload), encoded.stats};
   }
   StateDict delta = global;
-  delta.add_scaled(acked.reordered_like(global), -1.0f);
+  delta.add_scaled_matched(acked, -1.0f);
   UpdateCodec::Encoded encoded = config_.codec->encode(
       delta, broadcast_context(round, static_cast<int>(client)));
   return {std::move(encoded.payload), encoded.stats};
@@ -62,7 +62,7 @@ StateDict DownlinkChannel::receive(std::size_t client, ByteSpan payload,
     // decoded is the delta; the model is acknowledged + delta, laid out in
     // the session's (stable) entry order.
     StateDict model = acked;
-    model.add_scaled(decoded.reordered_like(acked), 1.0f);
+    model.add_scaled_matched(decoded, 1.0f);
     decoded = std::move(model);
   }
   // Both ends advance to the reconstruction the client now holds, so the

@@ -66,6 +66,26 @@ void StateDict::add_scaled(const StateDict& other, float scale) {
   }
 }
 
+const Tensor& StateDict::matched_entry(const StateDict& other,
+                                       std::size_t i) const {
+  const Entry& mine = entries_[i];
+  if (i < other.entries_.size() && other.entries_[i].first == mine.first)
+    return other.entries_[i].second;
+  return other.get(mine.first);  // throws on a missing name
+}
+
+void StateDict::add_scaled_matched(const StateDict& other, float scale) {
+  if (entries_.size() != other.entries_.size())
+    throw InvalidArgument("StateDict::add_scaled_matched: entry count mismatch");
+  for (std::size_t i = 0; i < entries_.size(); ++i)
+    entries_[i].second.add_scaled(matched_entry(other, i), scale);
+}
+
+void StateDict::fold_scaled(const StateDict& other, float c) {
+  for (std::size_t i = 0; i < entries_.size(); ++i)
+    entries_[i].second.fold_scaled(matched_entry(other, i), c);
+}
+
 void StateDict::scale(float factor) {
   for (auto& [name, tensor] : entries_) tensor *= factor;
 }

@@ -58,6 +58,17 @@ class StateDict {
 
   /// this += scale * other, elementwise per entry; structures must match.
   void add_scaled(const StateDict& other, float scale);
+  /// this += scale * other with entries matched by NAME: a positional
+  /// fast path (one string compare per entry when the layouts already
+  /// agree) falling back to a name lookup — the allocation-free
+  /// replacement for add_scaled(other.reordered_like(*this), scale).
+  /// Entries of `other` absent from this dict throw InvalidArgument.
+  void add_scaled_matched(const StateDict& other, float scale);
+  /// this[k] += c * (other[k] - this[k]) per entry — the West online-mean
+  /// fold behind StreamingMean/merge_partial. Entries are matched by name
+  /// with the same positional fast path as add_scaled_matched; `other` may
+  /// carry extra entries (ignored), missing or misshapen ones throw.
+  void fold_scaled(const StateDict& other, float c);
   void scale(float factor);
 
   /// Copy of this dict with entries reordered to `reference`'s entry order,
@@ -77,6 +88,9 @@ class StateDict {
 
  private:
   std::size_t index_of(const std::string& name) const;  // npos if missing
+  /// Entry of `other` pairing with this dict's entry i: positional when the
+  /// names already line up, else by lookup (throws on a missing name).
+  const Tensor& matched_entry(const StateDict& other, std::size_t i) const;
   std::vector<Entry> entries_;
 };
 

@@ -96,6 +96,15 @@ void Tensor::add_scaled(const Tensor& other, float scale) {
     data_[i] += scale * other.data_[i];
 }
 
+void Tensor::fold_scaled(const Tensor& other, float c) {
+  if (!same_shape(other))
+    throw InvalidArgument("Tensor::fold_scaled: shape mismatch");
+  float* dst = data_.data();
+  const float* src = other.data_.data();
+  const std::size_t n = data_.size();
+  for (std::size_t i = 0; i < n; ++i) dst[i] += c * (src[i] - dst[i]);
+}
+
 bool Tensor::equals(const Tensor& other) const {
   return shape_ == other.shape_ && data_ == other.data_;
 }

@@ -2,35 +2,51 @@
 
 namespace fedsz {
 
-void BitWriter::write(std::uint64_t bits, unsigned count) {
-  if (count > 64) throw InvalidArgument("BitWriter::write: count > 64");
-  if (count < 64) bits &= (std::uint64_t{1} << count) - 1;
-  while (count > 0) {
-    if (used_ == 8) {
-      out_.push_back(0);
-      used_ = 0;
-    }
-    const unsigned space = 8 - used_;
-    const unsigned take = count < space ? count : space;
-    out_.back() |= static_cast<std::uint8_t>((bits & ((1u << take) - 1))
-                                             << used_);
-    bits >>= take;
-    used_ += take;
-    count -= take;
+void BitWriter::spill(std::uint64_t bits, unsigned count) {
+  // Precondition (from write()): acc_bits_ < 64 and acc_bits_ + count >= 64.
+  const unsigned take = 64 - acc_bits_;
+  acc_ |= bits << acc_bits_;
+  const std::size_t base = out_.size();
+  out_.resize(base + 8);
+  std::uint64_t word = acc_;
+  for (int i = 0; i < 8; ++i) {  // little-endian spill == LSB-first stream
+    out_[base + i] = static_cast<std::uint8_t>(word);
+    word >>= 8;
   }
+  acc_ = take >= count ? 0 : bits >> take;
+  acc_bits_ = acc_bits_ + count - 64;
+}
+
+void BitWriter::flush_partial() {
+  while (acc_bits_ > 0) {
+    out_.push_back(static_cast<std::uint8_t>(acc_));
+    acc_ >>= 8;
+    acc_bits_ = acc_bits_ > 8 ? acc_bits_ - 8 : 0;
+  }
+  acc_ = 0;
 }
 
 Bytes BitWriter::finish() {
+  flush_partial();
   Bytes result = std::move(out_);
   out_.clear();
-  used_ = 8;
   return result;
+}
+
+ByteSpan BitWriter::finish_view() {
+  flush_partial();
+  return {out_.data(), out_.size()};
 }
 
 std::uint64_t BitReader::read(unsigned count) {
   if (count > 64) throw InvalidArgument("BitReader::read: count > 64");
   if (pos_ + count > data_.size() * 8)
     throw CorruptStream("BitReader: read past end of stream");
+  if (count <= 57) {  // single peek covers the whole request
+    const std::uint64_t result = peek(count);
+    pos_ += count;
+    return result;
+  }
   std::uint64_t result = 0;
   unsigned got = 0;
   while (got < count) {
@@ -47,3 +63,4 @@ std::uint64_t BitReader::read(unsigned count) {
 }
 
 }  // namespace fedsz
+

@@ -119,6 +119,12 @@ Bytes ByteReader::get_blob() {
   return Bytes(view.begin(), view.end());
 }
 
+ByteSpan ByteReader::get_blob_view() {
+  const auto len = get_varint();
+  if (len > remaining()) throw CorruptStream("ByteReader: blob too long");
+  return get_bytes(static_cast<std::size_t>(len));
+}
+
 std::string ByteReader::get_string() {
   const auto len = get_varint();
   if (len > remaining()) throw CorruptStream("ByteReader: string too long");

@@ -32,6 +32,17 @@ class ByteWriter {
   std::size_t size() const { return out_.size(); }
   Bytes finish() { return std::move(out_); }
 
+  /// View of the bytes written so far (invalidated by further writes).
+  ByteSpan view() const { return {out_.data(), out_.size()}; }
+
+  /// Drop the contents but keep the capacity — the arena-reuse primitive:
+  /// a reset writer re-encodes into the same heap block.
+  void reset() { out_.clear(); }
+
+  void reserve(std::size_t capacity) { out_.reserve(capacity); }
+
+  std::size_t capacity() const { return out_.capacity(); }
+
  private:
   Bytes out_;
 };
@@ -50,6 +61,8 @@ class ByteReader {
   /// View of the next `count` bytes; advances the cursor.
   ByteSpan get_bytes(std::size_t count);
   Bytes get_blob();
+  /// Zero-copy variant of get_blob(): a view into the underlying buffer.
+  ByteSpan get_blob_view();
   std::string get_string();
 
   std::size_t remaining() const { return data_.size() - pos_; }

@@ -1,5 +1,7 @@
 #include "util/thread_pool.hpp"
 
+#include <atomic>
+
 namespace fedsz {
 
 std::size_t ThreadPool::hardware_threads() {
@@ -39,10 +41,24 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  // One claim-loop task per worker instead of one submit per index: queue
+  // traffic and heap-allocated task wrappers are O(workers), not O(count),
+  // and indices are load-balanced through the shared atomic cursor. The
+  // caller blocks on the futures below, so the by-reference captures stay
+  // valid for the tasks' lifetime. A throwing fn(i) ends that worker's
+  // claim loop (later indices may be skipped), matching the serial
+  // fallback's first-error-wins contract.
+  std::atomic<std::size_t> next{0};
+  const std::size_t n_tasks = std::min(count, workers_.size());
   std::vector<std::future<void>> futures;
-  futures.reserve(count);
-  for (std::size_t i = 0; i < count; ++i)
-    futures.push_back(submit([&fn, i] { fn(i); }));
+  futures.reserve(n_tasks);
+  for (std::size_t t = 0; t < n_tasks; ++t)
+    futures.push_back(submit([&next, &fn, count] {
+      for (std::size_t i = next.fetch_add(1); i < count;
+           i = next.fetch_add(1))
+        fn(i);
+    }));
   std::exception_ptr first_error;
   for (auto& f : futures) {
     try {

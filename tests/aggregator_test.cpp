@@ -168,6 +168,40 @@ TEST(StreamingAggregation, MeanOfIdenticalUpdatesIsBitExact) {
   EXPECT_TRUE(mean.finalize().equals(update));
 }
 
+TEST(StreamingAggregation, ShuffledUpdateOrderMatchesPositionalBitExactly) {
+  // StreamingMean::add takes the positional fast path when an update's
+  // entries line up with the accumulator's order, and falls back to
+  // name-keyed lookup otherwise. Both orders must fold the same tensors
+  // with the same arithmetic, so the results are bit-identical.
+  const StateDict a = varied_dict(1.0f);
+  StateDict a_shuffled;  // same entries, reversed insertion order
+  a_shuffled.set("layer.bias", a.get("layer.bias"));
+  a_shuffled.set("layer.weight", a.get("layer.weight"));
+
+  StreamingMean positional, shuffled;
+  positional.begin(a.zeros_like());
+  shuffled.begin(a.zeros_like());
+  positional.add(a, 2.0);
+  shuffled.add(a_shuffled, 2.0);
+  positional.add(varied_dict(-0.5f), 5.0);
+  shuffled.add(varied_dict(-0.5f), 5.0);
+  EXPECT_TRUE(positional.finalize().equals(shuffled.finalize()));
+}
+
+TEST(StreamingAggregation, UpdatesWithExtraEntriesAreTolerated) {
+  // The accumulator iterates its own structure, so an update carrying
+  // additional tensors (e.g. optimizer state a client forgot to strip)
+  // contributes only the matching entries.
+  StateDict update = scalar_dict(4.0f);
+  update.set("optimizer.step", Tensor::full({1}, 9.0f));
+  StreamingMean mean;
+  mean.begin(scalar_dict(0.0f));
+  mean.add(update, 1.0);
+  const StateDict result = mean.finalize();
+  EXPECT_EQ(result.size(), 1u);
+  EXPECT_FLOAT_EQ(result.get("w")[0], 4.0f);
+}
+
 TEST(StreamingAggregation, FractionalWeightsSupported) {
   // Staleness-scaled weights are fractional; 0.5 vs 1.5 weighs 1:3.
   StreamingMean mean;

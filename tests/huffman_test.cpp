@@ -150,5 +150,57 @@ TEST(Huffman, DeterministicEncoding) {
   EXPECT_EQ(huffman_encode(symbols), huffman_encode(symbols));
 }
 
+TEST(Huffman, CallerBufferEncodeMatchesOneShotEncode) {
+  Rng rng(47);
+  ByteWriter out;
+  BitWriter bits;
+  // Dirty, reused buffers across wildly different payload sizes: the
+  // appended bytes must always equal the self-contained one-shot encoding.
+  for (const std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                              std::size_t{4096}, std::size_t{33},
+                              std::size_t{20000}, std::size_t{2}}) {
+    std::vector<std::uint32_t> symbols(n);
+    for (auto& s : symbols)
+      s = static_cast<std::uint32_t>(rng.uniform_index(300));
+    const Bytes reference = huffman_encode(symbols);
+    out.reset();
+    huffman_encode(symbols, out, bits);
+    const ByteSpan view = out.view();
+    EXPECT_EQ(Bytes(view.begin(), view.end()), reference) << "n=" << n;
+  }
+}
+
+TEST(Huffman, CallerBufferDecodeMatchesOneShotDecode) {
+  Rng rng(48);
+  std::vector<std::uint32_t> decoded;
+  decoded.assign(999, 0xDEADBEEF);  // stale content must be discarded
+  for (const std::size_t n :
+       {std::size_t{0}, std::size_t{512}, std::size_t{3}, std::size_t{9000}}) {
+    std::vector<std::uint32_t> symbols(n);
+    for (auto& s : symbols)
+      s = static_cast<std::uint32_t>(rng.uniform_index(64));
+    const Bytes encoded = huffman_encode(symbols);
+    huffman_decode({encoded.data(), encoded.size()}, decoded);
+    EXPECT_EQ(decoded, symbols) << "n=" << n;
+  }
+}
+
+TEST(Huffman, CallerBufferEncodeAppendsAfterExistingBytes) {
+  // The overload appends to whatever `out` already holds (the sz2/sz3
+  // arena writes a codec header first), so a prefix must survive intact.
+  std::vector<std::uint32_t> symbols{5, 5, 5, 9, 9, 2};
+  ByteWriter out;
+  out.put_u8(0xAB);
+  out.put_u8(0xCD);
+  BitWriter bits;
+  huffman_encode(symbols, out, bits);
+  const ByteSpan view = out.view();
+  ASSERT_GE(view.size(), 2u);
+  EXPECT_EQ(view[0], 0xAB);
+  EXPECT_EQ(view[1], 0xCD);
+  const Bytes reference = huffman_encode(symbols);
+  EXPECT_EQ(Bytes(view.begin() + 2, view.end()), reference);
+}
+
 }  // namespace
 }  // namespace fedsz::lossless

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "compress/lossy/quantizer.hpp"
 #include "core/fedsz.hpp"
 #include "core/policy.hpp"
 #include "util/rng.hpp"
@@ -245,6 +246,134 @@ TEST(RoundTripProperty, RandomPerTensorPlansSatisfyTheV3Contract) {
       FedSzConfig other = config;
       other.parallelism = config.parallelism == 1 ? 4 : 1;
       EXPECT_EQ(FedSz{other}.compress(dict), blob);
+    }
+  }
+}
+
+// Scalar reference for the branchless inline LinearQuantizer: the
+// historical out-of-line implementation, double op for double op (scale by
+// the precomputed reciprocal, reject on the pre-round magnitude test,
+// reconstruct as bin * 2eps). The vectorization-friendly rewrite must agree
+// bit-for-bit on every residual, since its codes and midpoints feed streams
+// pinned by the golden fixtures.
+struct ScalarQuantizerReference {
+  double eps;
+  std::uint32_t radius;
+
+  std::uint32_t quantize(double residual) const {
+    const double clamped_eps = eps > 0.0 ? eps : 1e-300;
+    const double scaled = residual * (1.0 / (2.0 * clamped_eps));
+    if (!(std::fabs(scaled) < static_cast<double>(radius) - 1.0))
+      return lossy::LinearQuantizer::kUnpredictable;
+    const auto bin = static_cast<std::int64_t>(std::llround(scaled));
+    const std::int64_t code = bin + static_cast<std::int64_t>(radius);
+    if (code < 1 || code >= 2 * static_cast<std::int64_t>(radius))
+      return lossy::LinearQuantizer::kUnpredictable;
+    return static_cast<std::uint32_t>(code);
+  }
+
+  double reconstruct(std::uint32_t code) const {
+    const double clamped_eps = eps > 0.0 ? eps : 1e-300;
+    const auto bin =
+        static_cast<std::int64_t>(code) - static_cast<std::int64_t>(radius);
+    return static_cast<double>(bin) * 2.0 * clamped_eps;
+  }
+};
+
+TEST(RoundTripProperty, QuantizerMatchesScalarReferenceBitExactly) {
+  Rng rng(0x5CA1A);
+  static const std::uint32_t kRadii[] = {2, 5, 256,
+                                         lossy::LinearQuantizer::kDefaultRadius};
+  for (int iter = 0; iter < 200; ++iter) {
+    SCOPED_TRACE("iteration " + std::to_string(iter));
+    const double eps =
+        rng.uniform() < 0.05 ? 0.0 : std::pow(10.0, rng.uniform(-8.0, 1.0));
+    const std::uint32_t radius = kRadii[rng.uniform_index(std::size(kRadii))];
+    const lossy::LinearQuantizer quantizer(eps, radius);
+    const ScalarQuantizerReference reference{eps, radius};
+    for (int k = 0; k < 64; ++k) {
+      // Residual magnitudes spanning well inside to well outside the code
+      // range, plus exact zero and sign flips.
+      double residual =
+          std::pow(10.0, rng.uniform(-10.0, 6.0)) * (k % 2 ? -1.0 : 1.0);
+      if (k == 0) residual = 0.0;
+      const std::uint32_t code = quantizer.quantize(residual);
+      ASSERT_EQ(code, reference.quantize(residual))
+          << "eps=" << eps << " radius=" << radius << " r=" << residual;
+      if (code != lossy::LinearQuantizer::kUnpredictable) {
+        ASSERT_EQ(quantizer.reconstruct(code), reference.reconstruct(code))
+            << "eps=" << eps << " radius=" << radius << " code=" << code;
+      }
+    }
+  }
+}
+
+TEST(RoundTripProperty, DirtyArenaReuseIsByteIdenticalAcrossSizes) {
+  // Every codec encode on this thread shares one EncodeArena whose buffers
+  // only ever grow. Interleaving encodes of wildly different sizes leaves
+  // stale bytes and oversized capacities behind; re-encoding any input must
+  // still produce the bytes a pristine encode produced, both through the
+  // one-shot compress() and through compress_into() with a dirty `out`.
+  Rng rng(0xD127A);
+  const auto codecs = lossy::all_lossy_codecs();
+  struct Recorded {
+    const lossy::LossyCodec* codec;
+    std::vector<float> values;
+    lossy::ErrorBound bound;
+    Bytes pristine;
+  };
+  std::vector<Recorded> recorded;
+  for (int iter = 0; iter < 24; ++iter) {
+    SCOPED_TRACE("iteration " + std::to_string(iter));
+    std::vector<float> values(1 + rng.uniform_index(6000));
+    const double scale = std::pow(10.0, rng.uniform(-2.0, 2.0));
+    for (float& x : values) x = static_cast<float>(scale * rng.normal());
+    const double exponent = rng.uniform(-4.0, -1.0);
+    const lossy::ErrorBound bound =
+        rng.uniform() < 0.5
+            ? lossy::ErrorBound::relative(std::pow(10.0, exponent))
+            : lossy::ErrorBound::absolute(std::pow(10.0, exponent));
+    const lossy::LossyCodec* codec = codecs[rng.uniform_index(codecs.size())];
+    recorded.push_back({codec, std::move(values), bound, Bytes{}});
+    Recorded& r = recorded.back();
+    r.pristine = r.codec->compress({r.values.data(), r.values.size()}, bound);
+  }
+  // Re-encode everything in reverse order: by now the arena has been dirtied
+  // by every later (often larger) input.
+  Bytes reused;  // deliberately never cleared between codecs
+  for (auto it = recorded.rbegin(); it != recorded.rend(); ++it) {
+    const FloatSpan span{it->values.data(), it->values.size()};
+    EXPECT_EQ(it->codec->compress(span, it->bound), it->pristine);
+    it->codec->compress_into(span, it->bound, reused);
+    EXPECT_EQ(reused, it->pristine);
+  }
+}
+
+TEST(RoundTripProperty, ReusedWorkspaceEmitsIdenticalBytesAcrossThreadCounts) {
+  // The FedSz encode workspace (chunk payload slots, metadata/frame
+  // writers) is leased and re-used across compress() calls. Dirty it with
+  // differently-shaped dicts between encodes and demand the same bytes as a
+  // fresh instance, at every parallelism setting.
+  Rng rng(0xF1EE7);
+  for (int iter = 0; iter < 8; ++iter) {
+    SCOPED_TRACE("iteration " + std::to_string(iter));
+    FedSzConfig config = random_config(rng);
+    StateDict dict, other;
+    const std::size_t entries = 1 + rng.uniform_index(5);
+    for (std::size_t i = 0; i < entries; ++i)
+      dict.set(random_name(rng, i), random_tensor(rng));
+    for (std::size_t i = 0; i < entries + 2; ++i)
+      other.set(random_name(rng, i), random_tensor(rng));
+
+    config.parallelism = 1;
+    const Bytes reference = FedSz{config}.compress(dict);
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                      std::size_t{4}}) {
+      config.parallelism = threads;
+      const FedSz fedsz{config};
+      EXPECT_EQ(fedsz.compress(dict), reference) << threads;
+      (void)fedsz.compress(other);  // dirty the leased workspace
+      EXPECT_EQ(fedsz.compress(dict), reference) << threads;
     }
   }
 }
