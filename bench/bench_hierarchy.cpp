@@ -11,7 +11,10 @@
 //
 //   bench_hierarchy [--clients N] [--rounds N] [--bandwidth MBPS]
 //                   [--codec SPEC] [--seed N] [--threads N] [--json PATH]
-//                   [--out PATH] [--smoke]
+//                   [--trace PATH] [--out PATH] [--smoke]
+//
+// --trace writes the LAST grid entry's full campaign trace (every round,
+// client delivery, and shipped partial) as JSON via core/fl/trace.hpp.
 //
 // --smoke runs one 1024-client fanout-32 round plus a depth-2 32x8 round
 // and FAILS (exit 1) if any aggregation point ever held more than its
@@ -25,6 +28,7 @@
 #include "common.hpp"
 #include "core/codec_spec.hpp"
 #include "core/fl/coordinator.hpp"
+#include "core/fl/trace.hpp"
 #include "data/synthetic.hpp"
 
 namespace {
@@ -48,7 +52,8 @@ HierarchyRun run_hierarchy(std::size_t clients,
                            const std::string& backhaul_spec, int rounds,
                            std::size_t samples_per_client,
                            std::size_t threads, double bandwidth_mbps,
-                           std::uint64_t seed, core::UpdateCodecPtr codec) {
+                           std::uint64_t seed, core::UpdateCodecPtr codec,
+                           core::FlRunResult* full_result = nullptr) {
   nn::ModelConfig model;
   model.arch = "mobilenet_v2";
   model.scale = nn::ModelScale::kTiny;
@@ -79,7 +84,7 @@ HierarchyRun run_hierarchy(std::size_t clients,
   core::FlCoordinator coordinator(
       model, data::take(train, clients * samples_per_client),
       data::take(test, 32), config, std::move(codec));
-  const core::FlRunResult result = coordinator.run();
+  core::FlRunResult result = coordinator.run();
 
   HierarchyRun out;
   out.virtual_seconds = result.total_virtual_seconds;
@@ -107,6 +112,7 @@ HierarchyRun run_hierarchy(std::size_t clients,
           ? static_cast<double>(backhaul_raw) /
                 static_cast<double>(out.backhaul_bytes)
           : 1.0;
+  if (full_result) *full_result = std::move(result);
   return out;
 }
 
@@ -150,13 +156,15 @@ int main(int argc, char** argv) {
   benchx::Table table({"Clients", "Topology", "Backhaul", "Edges",
                        "Uplink bytes", "Root ingress", "Max peak/node",
                        "Virtual (s)"});
+  core::FlRunResult traced;  // the last grid entry's full result (--trace)
   auto record_run = [&](std::size_t clients,
                         const std::vector<std::size_t>& tiers,
                         const std::string& backhaul,
                         std::size_t samples_per_client) {
-    const HierarchyRun run =
-        run_hierarchy(clients, tiers, backhaul, rounds, samples_per_client,
-                      threads, mbps, seed, uplink_codec());
+    const HierarchyRun run = run_hierarchy(
+        clients, tiers, backhaul, rounds, samples_per_client, threads, mbps,
+        seed, uplink_codec(),
+        options.trace_path.empty() ? nullptr : &traced);
     // Streaming keeps every aggregation point at one live decoded payload,
     // so the worst tier's fan-in bounds every node with room to spare.
     const std::size_t bound =
@@ -170,7 +178,12 @@ int main(int argc, char** argv) {
                    benchx::fmt_bytes(run.root_bytes),
                    std::to_string(run.max_peak),
                    benchx::fmt(run.virtual_seconds, 2)});
+    // Unique per grid entry — compare_baselines.py matches runs by name.
+    const std::string run_name = std::to_string(clients) + "c/" +
+                                 tiers_label(tiers) + "/" +
+                                 (backhaul.empty() ? "identity" : backhaul);
     runs.push(benchx::JsonValue::object()
+                  .set("name", run_name)
                   .set("clients", clients)
                   .set("topology", tiers_label(tiers))
                   .set("backhaul", backhaul.empty() ? "identity" : backhaul)
@@ -239,6 +252,10 @@ int main(int argc, char** argv) {
   if (!options.json_path.empty()) {
     benchx::write_json(options.json_path, json);
     std::printf("\nwrote %s\n", options.json_path.c_str());
+  }
+  if (!options.trace_path.empty()) {
+    core::write_trace(options.trace_path, traced);
+    std::printf("\nwrote %s\n", options.trace_path.c_str());
   }
   if (!peak_ok) {
     std::fprintf(stderr,

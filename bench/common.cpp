@@ -78,13 +78,15 @@ namespace {
       code == 0 ? stdout : stderr,
       "usage: %s [--clients N] [--rounds N] [--bandwidth MBPS]\n"
       "          [--codec SPEC] [--seed N] [--threads N] [--json PATH]\n"
-      "          [--out PATH] [--smoke] [--help]\n"
+      "          [--trace PATH] [--out PATH] [--smoke] [--help]\n"
       "SPEC is a codec spec string (core/codec_spec.hpp): a family\n"
       "(identity, fedsz, fedsz-parallel) optionally followed by options,\n"
       "e.g. fedsz:lossy=sz3,eb=rel:1e-3,lossless=zstd,policy=schedule.\n"
       "Zero/omitted values keep the bench's defaults; --smoke shrinks the\n"
       "grid to a CI-sized run; --json also writes machine-readable output;\n"
-      "--out sends the console output to a file instead of stdout.\n",
+      "--trace writes the last campaign's full per-round trace as JSON\n"
+      "(campaign benches only); --out sends the console output to a file\n"
+      "instead of stdout.\n",
       program);
   std::exit(code);
 }
@@ -155,6 +157,8 @@ BenchOptions parse_bench_options(int argc, char** argv) {
       }
     } else if (flag == "--json") {
       options.json_path = value_of(i);
+    } else if (flag == "--trace") {
+      options.trace_path = value_of(i);
     } else if (flag == "--out") {
       options.out_path = value_of(i);
     } else {

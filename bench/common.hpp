@@ -47,6 +47,10 @@ struct BenchOptions {
   double bandwidth_mbps = 0.0; // --bandwidth MBPS
   std::string codec;           // --codec SPEC (codec spec string)
   std::string json_path;       // --json PATH (write machine-readable output)
+  /// --trace PATH: benches that run full federated campaigns write the
+  /// last run's complete trace (core/fl/trace.hpp JSON: every round,
+  /// client delivery, and shipped partial) to this file.
+  std::string trace_path;
   /// --out PATH: the console output (tables and shape notes) goes to this
   /// file instead of stdout, so CI artifact steps don't shell-redirect.
   /// Applied inside parse_bench_options (stdout is reopened onto the

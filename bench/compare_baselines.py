@@ -10,9 +10,16 @@ entries carry a unique "name" plus numeric metrics. Runs are matched by
 name; every metric ending in "_mb_s" (throughput — higher is better) must
 not drop more than --tolerance (default 25%) below the baseline, a slack
 chosen to sit above CI-runner noise while still catching real regressions
-like an accidentally de-vectorized hot loop. Other fields (ratio,
-allocs_per_encode, identical_bytes) are reported informationally but do
-not gate, except identical_bytes which must stay true when present.
+like an accidentally de-vectorized hot loop.
+
+Deterministic (virtual-clock) benches like bench_hierarchy gate harder:
+integer metrics ending in "_bytes" must match the baseline exactly — a
+byte-count drift means the compression trajectory moved, which should
+only happen on purpose (regenerate the baseline in the same PR) — and
+"max_peak_decoded_per_node" must not exceed the baseline (the streaming
+O(fan-in) memory bound). Other fields (ratio, allocs_per_encode) are
+reported informationally but do not gate, except identical_bytes which
+must stay true when present.
 
 Exit status: 0 when every gated metric passes, 1 on any regression,
 2 on malformed input or runs present in the baseline but missing from the
@@ -91,6 +98,35 @@ def main():
             elif key == "identical_bytes" and base_val is True:
                 if cur_run.get(key) is not True:
                     failures.append(f"{name}.identical_bytes: no longer true")
+            elif (
+                key.endswith("_bytes")
+                and isinstance(base_val, int)
+                and not isinstance(base_val, bool)
+            ):
+                cur_val = cur_run.get(key)
+                status = "ok" if cur_val == base_val else "DRIFT"
+                print(f"{status:>10}  {name}.{key}: {base_val} -> {cur_val}")
+                if cur_val != base_val:
+                    failures.append(
+                        f"{name}.{key}: {cur_val} != baseline {base_val} "
+                        "(deterministic byte count moved; regenerate the "
+                        "baseline if this is intentional)"
+                    )
+            elif key == "max_peak_decoded_per_node" and isinstance(
+                base_val, (int, float)
+            ):
+                cur_val = cur_run.get(key)
+                status = (
+                    "ok"
+                    if isinstance(cur_val, (int, float)) and cur_val <= base_val
+                    else "REGRESSION"
+                )
+                print(f"{status:>10}  {name}.{key}: {base_val} -> {cur_val}")
+                if status != "ok":
+                    failures.append(
+                        f"{name}.{key}: {cur_val} exceeds baseline "
+                        f"{base_val} (streaming memory bound regressed)"
+                    )
 
     if failures:
         print(f"\n{len(failures)} perf gate failure(s):")

@@ -6,15 +6,19 @@
 // simulated 10 Mbps transfer time.
 //
 //   ./build/examples/federated_training [rounds] [clients] [codec-spec]
+//                                       [trace.json]
 //
 // Try a policy-driven codec, e.g.:
 //   ./build/federated_training 6 4 "fedsz:policy=schedule:0.5,eb=rel:1e-1"
+// A fourth argument writes the compressed run's full per-round trace
+// (every client delivery, JSON) to that path.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
 #include "core/codec_spec.hpp"
 #include "core/fl/coordinator.hpp"
+#include "core/fl/trace.hpp"
 #include "data/synthetic.hpp"
 
 namespace {
@@ -90,5 +94,9 @@ int main(int argc, char** argv) {
       static_cast<double>(raw_bytes) / static_cast<double>(fedsz_bytes),
       raw_comm / fedsz_comm, compressed.final_accuracy * 100.0,
       raw.final_accuracy * 100.0);
+  if (argc > 4) {
+    core::write_trace(argv[4], compressed);
+    std::printf("\nwrote full trace to %s\n", argv[4]);
+  }
   return 0;
 }

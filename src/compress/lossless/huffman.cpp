@@ -8,52 +8,59 @@ namespace fedsz::lossless {
 
 namespace {
 
-// Internal node for the frequency heap.
-struct Node {
-  std::uint64_t weight;
-  int left = -1;   // node indices, -1 for leaves
-  int right = -1;
-  std::uint32_t symbol = 0;  // valid for leaves
-};
-
 /// Optimal (unlimited) Huffman code lengths via the classic two-queue/heap
 /// construction, then repaired to honor the length limit by a Kraft-sum
 /// adjustment (the zlib-style approach: demote overlong codes, then re-pay
-/// the Kraft budget greedily).
-std::vector<unsigned> huffman_lengths(
+/// the Kraft budget greedily). Writes into ws.lengths; every working vector
+/// (nodes, heap, DFS stack, repair order) comes from the workspace. The
+/// heap mirrors std::priority_queue's push/pop sequence exactly — one
+/// push_heap per insert, pop_heap+pop_back per extract — so tie-breaks
+/// among equal weights (and therefore tree shapes and emitted bytes) are
+/// unchanged from the historical construction.
+void huffman_lengths(
     const std::vector<std::pair<std::uint32_t, std::uint64_t>>& freqs,
-    unsigned max_len) {
+    unsigned max_len, HuffmanWorkspace& ws) {
+  using TreeNode = HuffmanWorkspace::TreeNode;
   const std::size_t n = freqs.size();
-  std::vector<unsigned> lengths(n, 0);
-  if (n == 0) return lengths;
+  std::vector<unsigned>& lengths = ws.lengths;
+  lengths.assign(n, 0);
+  if (n == 0) return;
   if (n == 1) {
     lengths[0] = 1;
-    return lengths;
+    return;
   }
 
-  std::vector<Node> nodes;
+  std::vector<TreeNode>& nodes = ws.nodes;
+  auto& heap = ws.heap;
+  const auto greater = std::greater<>{};
+  nodes.clear();
   nodes.reserve(2 * n);
-  using HeapItem = std::pair<std::uint64_t, int>;  // (weight, node index)
-  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+  heap.clear();
   for (std::size_t i = 0; i < n; ++i) {
-    nodes.push_back(Node{freqs[i].second, -1, -1, freqs[i].first});
-    heap.emplace(freqs[i].second, static_cast<int>(i));
+    nodes.push_back(TreeNode{freqs[i].second, -1, -1, freqs[i].first});
+    heap.emplace_back(freqs[i].second, static_cast<int>(i));
+    std::push_heap(heap.begin(), heap.end(), greater);
   }
   while (heap.size() > 1) {
-    const auto [wa, a] = heap.top();
-    heap.pop();
-    const auto [wb, b] = heap.top();
-    heap.pop();
-    nodes.push_back(Node{wa + wb, a, b, 0});
-    heap.emplace(wa + wb, static_cast<int>(nodes.size() - 1));
+    std::pop_heap(heap.begin(), heap.end(), greater);
+    const auto [wa, a] = heap.back();
+    heap.pop_back();
+    std::pop_heap(heap.begin(), heap.end(), greater);
+    const auto [wb, b] = heap.back();
+    heap.pop_back();
+    nodes.push_back(TreeNode{wa + wb, a, b, 0});
+    heap.emplace_back(wa + wb, static_cast<int>(nodes.size() - 1));
+    std::push_heap(heap.begin(), heap.end(), greater);
   }
 
   // Depth-first traversal to assign depths to leaves.
-  std::vector<std::pair<int, unsigned>> stack{{heap.top().second, 0}};
+  auto& stack = ws.stack;
+  stack.clear();
+  stack.emplace_back(heap.front().second, 0u);
   while (!stack.empty()) {
     const auto [idx, depth] = stack.back();
     stack.pop_back();
-    const Node& node = nodes[idx];
+    const TreeNode& node = nodes[idx];
     if (node.left < 0) {
       lengths[static_cast<std::size_t>(idx)] = std::max(1u, depth);
     } else {
@@ -73,7 +80,8 @@ std::vector<unsigned> huffman_lengths(
   if (kraft > budget) {
     // Demote (lengthen) the cheapest-to-demote codes until feasible.
     // Lengthening a code of length L < max_len frees 2^(max_len-L-1) units.
-    std::vector<std::size_t> order(n);
+    std::vector<std::size_t>& order = ws.order;
+    order.resize(n);
     for (std::size_t i = 0; i < n; ++i) order[i] = i;
     // Prefer lengthening already-long codes (smallest Kraft release, but they
     // belong to the rarest symbols, minimizing cost increase).
@@ -90,7 +98,6 @@ std::vector<unsigned> huffman_lengths(
       }
     }
   }
-  return lengths;
 }
 
 /// Reverse the low `len` bits of `code`. The historical encoder emitted
@@ -104,30 +111,32 @@ std::uint32_t bit_reverse(std::uint32_t code, unsigned len) {
 
 }  // namespace
 
-HuffmanCodebook HuffmanCodebook::from_frequencies(
-    const std::vector<std::pair<std::uint32_t, std::uint64_t>>& freqs) {
+void HuffmanCodebook::rebuild_from_frequencies(
+    const std::vector<std::pair<std::uint32_t, std::uint64_t>>& freqs,
+    HuffmanWorkspace& ws) {
   if (freqs.size() > 65536)
     throw InvalidArgument("HuffmanCodebook: more than 65536 distinct symbols");
-  const std::vector<unsigned> lengths = huffman_lengths(freqs, kMaxCodeLength);
-  std::vector<std::pair<std::uint32_t, unsigned>> symbol_lengths;
+  huffman_lengths(freqs, kMaxCodeLength, ws);
+  std::vector<std::pair<std::uint32_t, unsigned>>& symbol_lengths =
+      ws.symbol_lengths;
+  symbol_lengths.clear();
   symbol_lengths.reserve(freqs.size());
   for (std::size_t i = 0; i < freqs.size(); ++i)
-    symbol_lengths.emplace_back(freqs[i].first, lengths[i]);
-  HuffmanCodebook book;
-  book.build_canonical(std::move(symbol_lengths));
-  return book;
+    symbol_lengths.emplace_back(freqs[i].first, ws.lengths[i]);
+  build_canonical_inplace(symbol_lengths);
 }
 
-HuffmanCodebook HuffmanCodebook::from_symbols(
-    std::span<const std::uint32_t> symbols) {
-  std::vector<std::pair<std::uint32_t, std::uint64_t>> freqs;
+void HuffmanCodebook::rebuild_from_symbols(
+    std::span<const std::uint32_t> symbols, HuffmanWorkspace& ws) {
+  std::vector<std::pair<std::uint32_t, std::uint64_t>>& freqs = ws.freqs;
+  freqs.clear();
   std::uint32_t max_symbol = 0;
   for (const std::uint32_t s : symbols) max_symbol = std::max(max_symbol, s);
   if (!symbols.empty() && max_symbol < kDenseSymbolLimit) {
     // Dense counting: one pass over a symbol-indexed array, then emit in
     // ascending symbol order — the same (symbol-sorted) frequency vector
     // the map + sort path produces, without the per-symbol hashing.
-    static thread_local std::vector<std::uint64_t> counts;
+    std::vector<std::uint64_t>& counts = ws.counts;
     counts.assign(static_cast<std::size_t>(max_symbol) + 1, 0);
     for (const std::uint32_t s : symbols) ++counts[s];
     for (std::uint32_t s = 0; s <= max_symbol; ++s)
@@ -140,11 +149,32 @@ HuffmanCodebook HuffmanCodebook::from_symbols(
     // Deterministic table construction regardless of hash iteration order.
     std::sort(freqs.begin(), freqs.end());
   }
-  return from_frequencies(freqs);
+  rebuild_from_frequencies(freqs, ws);
+}
+
+HuffmanCodebook HuffmanCodebook::from_frequencies(
+    const std::vector<std::pair<std::uint32_t, std::uint64_t>>& freqs) {
+  HuffmanWorkspace ws;
+  HuffmanCodebook book;
+  book.rebuild_from_frequencies(freqs, ws);
+  return book;
+}
+
+HuffmanCodebook HuffmanCodebook::from_symbols(
+    std::span<const std::uint32_t> symbols) {
+  HuffmanWorkspace ws;
+  HuffmanCodebook book;
+  book.rebuild_from_symbols(symbols, ws);
+  return book;
 }
 
 void HuffmanCodebook::build_canonical(
     std::vector<std::pair<std::uint32_t, unsigned>> symbol_lengths) {
+  build_canonical_inplace(symbol_lengths);
+}
+
+void HuffmanCodebook::build_canonical_inplace(
+    std::vector<std::pair<std::uint32_t, unsigned>>& symbol_lengths) {
   std::sort(symbol_lengths.begin(), symbol_lengths.end(),
             [](const auto& a, const auto& b) {
               if (a.second != b.second) return a.second < b.second;
@@ -307,16 +337,36 @@ unsigned HuffmanCodebook::code_length(std::uint32_t symbol) const {
   return find_entry(symbol) & 31u;
 }
 
+std::size_t HuffmanWorkspace::capacity_bytes() const {
+  return freqs.capacity() * sizeof(freqs[0]) +
+         counts.capacity() * sizeof(counts[0]) +
+         lengths.capacity() * sizeof(lengths[0]) +
+         nodes.capacity() * sizeof(nodes[0]) +
+         heap.capacity() * sizeof(heap[0]) +
+         stack.capacity() * sizeof(stack[0]) +
+         order.capacity() * sizeof(order[0]) +
+         symbol_lengths.capacity() * sizeof(symbol_lengths[0]);
+}
+
 void huffman_encode(std::span<const std::uint32_t> symbols, ByteWriter& out,
-                    BitWriter& bits) {
+                    BitWriter& bits, HuffmanWorkspace& ws) {
   out.put_varint(symbols.size());
   if (symbols.empty()) return;
-  const HuffmanCodebook book = HuffmanCodebook::from_symbols(symbols);
-  book.write_table(out);
+  ws.book.rebuild_from_symbols(symbols, ws);
+  ws.book.write_table(out);
   bits.reset();
-  book.encode_all(symbols, bits);
+  ws.book.encode_all(symbols, bits);
   out.put_blob(bits.finish_view());
   bits.reset();
+}
+
+void huffman_encode(std::span<const std::uint32_t> symbols, ByteWriter& out,
+                    BitWriter& bits) {
+  // Callers without an arena still get pooled construction: the workspace
+  // (codebook tables included) is thread-local, so steady-state encodes
+  // reuse grown capacity exactly like the 4-arg overload.
+  static thread_local HuffmanWorkspace ws;
+  huffman_encode(symbols, out, bits, ws);
 }
 
 Bytes huffman_encode(std::span<const std::uint32_t> symbols) {

@@ -27,6 +27,8 @@
 
 namespace fedsz::lossless {
 
+struct HuffmanWorkspace;
+
 class HuffmanCodebook {
  public:
   static constexpr unsigned kMaxCodeLength = 16;
@@ -45,6 +47,17 @@ class HuffmanCodebook {
   /// Count symbols then build.
   static HuffmanCodebook from_symbols(std::span<const std::uint32_t> symbols);
 
+  /// In-place rebuilds drawing every construction buffer (frequency
+  /// counts, tree nodes, heap, length repair, canonical assignment) from
+  /// `ws`, and reusing THIS book's table capacity. Byte-identical codes to
+  /// the from_* factories; zero steady-state allocations once the
+  /// workspace has grown to the working-set size.
+  void rebuild_from_frequencies(
+      const std::vector<std::pair<std::uint32_t, std::uint64_t>>& freqs,
+      HuffmanWorkspace& ws);
+  void rebuild_from_symbols(std::span<const std::uint32_t> symbols,
+                            HuffmanWorkspace& ws);
+
   /// Serialize the (symbol, code length) table.
   void write_table(ByteWriter& out) const;
   static HuffmanCodebook read_table(ByteReader& in);
@@ -62,6 +75,10 @@ class HuffmanCodebook {
  private:
   void build_canonical(
       std::vector<std::pair<std::uint32_t, unsigned>> symbol_lengths);
+  /// The canonical build proper: sorts `symbol_lengths` in place and
+  /// rebuilds every table reusing its capacity.
+  void build_canonical_inplace(
+      std::vector<std::pair<std::uint32_t, unsigned>>& symbol_lengths);
   void build_decode_table();
   /// Packed (bit_reverse(code, len) << 5 | len) for `symbol`, 0 if absent.
   std::uint32_t find_entry(std::uint32_t symbol) const;
@@ -89,12 +106,40 @@ class HuffmanCodebook {
 Bytes huffman_encode(std::span<const std::uint32_t> symbols);
 std::vector<std::uint32_t> huffman_decode(ByteSpan data);
 
+/// Reusable codebook-construction scratch: the tree nodes, min-heap,
+/// frequency/length vectors, and a persistent codebook whose tables are
+/// rebuilt in place. One per encode arena (a codebook build otherwise
+/// costs ~10 allocations per chunk, and the chunked pipeline builds one
+/// per chunk per round).
+struct HuffmanWorkspace {
+  struct TreeNode {
+    std::uint64_t weight = 0;
+    int left = -1;  // node indices, -1 for leaves
+    int right = -1;
+    std::uint32_t symbol = 0;  // valid for leaves
+  };
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> freqs;
+  std::vector<std::uint64_t> counts;  // dense symbol-indexed counting
+  std::vector<unsigned> lengths;
+  std::vector<TreeNode> nodes;
+  std::vector<std::pair<std::uint64_t, int>> heap;  // (weight, node index)
+  std::vector<std::pair<int, unsigned>> stack;      // DFS depth assignment
+  std::vector<std::size_t> order;                   // length-limit repair
+  std::vector<std::pair<std::uint32_t, unsigned>> symbol_lengths;
+  HuffmanCodebook book;
+
+  std::size_t capacity_bytes() const;
+};
+
 /// Arena variants: append the identical encoding to `out` using `bits` as
 /// reusable bit-packing scratch / fill a caller-owned symbol buffer. These
 /// let steady-state encode/decode run without fresh allocations once the
 /// buffers have grown to their working size.
 void huffman_encode(std::span<const std::uint32_t> symbols, ByteWriter& out,
                     BitWriter& bits);
+/// Fully pooled variant: additionally draws the codebook build from `ws`.
+void huffman_encode(std::span<const std::uint32_t> symbols, ByteWriter& out,
+                    BitWriter& bits, HuffmanWorkspace& ws);
 void huffman_decode(ByteSpan data, std::vector<std::uint32_t>& out);
 
 }  // namespace fedsz::lossless

@@ -12,7 +12,7 @@ std::size_t EncodeArena::capacity_bytes() const {
          verbatim.capacity() * sizeof(float) +
          recon.capacity() * sizeof(float) + tags.capacity() +
          coeffs.capacity() * sizeof(float) + body.capacity() +
-         entropy.capacity() + bits.capacity();
+         entropy.capacity() + bits.capacity() + huff.capacity_bytes();
 }
 
 }  // namespace fedsz::lossy

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "compress/lossless/huffman.hpp"
 #include "util/bitstream.hpp"
 #include "util/bytebuffer.hpp"
 #include "util/common.hpp"
@@ -26,6 +27,7 @@ struct EncodeArena {
   ByteWriter body;                   // codec body before the LZ back end
   ByteWriter entropy;                // one entropy-coded sub-stream
   BitWriter bits;                    // bit-packing scratch
+  lossless::HuffmanWorkspace huff;   // codebook-construction scratch
 
   /// The calling thread's arena. Thread-pool-local by construction: each
   /// pool worker owns one for the lifetime of the thread, so concurrent

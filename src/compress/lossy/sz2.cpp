@@ -183,7 +183,8 @@ class Sz2Codec final : public LossyCodec {
       }
     }
     arena.entropy.reset();
-    lossless::huffman_encode(arena.codes, arena.entropy, arena.bits);
+    lossless::huffman_encode(arena.codes, arena.entropy, arena.bits,
+                             arena.huff);
     body.put_blob(arena.entropy.view());
     body.put_varint(arena.verbatim.size());
     body.put_bytes(as_bytes({arena.verbatim.data(), arena.verbatim.size()}));

@@ -131,7 +131,8 @@ std::size_t backhaul_tier_of(const std::string& key) {
 bool is_comm_key(const std::string& key) {
   return key == "downlink" || key == "downmode" || key == "ef" ||
          key == "topology" || key == "backhaul" || key == "edgemode" ||
-         key == "edgeef" || key == "shard" || backhaul_tier_of(key) != 0;
+         key == "edgeef" || key == "shard" || key == "transport" ||
+         key == "checkpoint" || backhaul_tier_of(key) != 0;
 }
 
 /// Parse a nested codec spec (downlink=/backhaul= value, ';'-separated
@@ -269,6 +270,32 @@ void apply_key(CodecSpec& spec, const std::string& key,
       spec.shard_shuffled = true;
     else
       bad_spec("'shard' must be contiguous or shuffled, got '" + value + "'");
+  } else if (key == "transport") {
+    if (value == "inproc") {
+      spec.transport.clear();
+    } else if (value.rfind("tcp", 0) == 0) {
+      if (value.size() < 5 || value[3] != ':')
+        bad_spec("'transport=tcp' wants a port (transport=tcp:<port>)");
+      const std::size_t port =
+          parse_count(value.substr(4), "transport=tcp", /*allow_suffix=*/false);
+      if (port > 65535) bad_spec("'transport=tcp' port must be <= 65535");
+      spec.transport = "tcp:" + std::to_string(port);
+    } else {
+      bad_spec("'transport' must be inproc or tcp:<port>, got '" + value +
+               "'");
+    }
+  } else if (key == "checkpoint") {
+    // <path>:<K> splits on the LAST colon so paths with drive-style or
+    // scheme-style colons still parse; the path itself cannot contain ','
+    // or ';' (the spec grammar's separators).
+    const std::size_t colon = value.rfind(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 >= value.size())
+      bad_spec("'checkpoint' wants <path>:<K>, got '" + value + "'");
+    spec.checkpoint_path = value.substr(0, colon);
+    spec.checkpoint_every =
+        parse_count(value.substr(colon + 1), "checkpoint", /*allow_suffix=*/false);
+    if (spec.checkpoint_every == 0)
+      bad_spec("'checkpoint' interval must be >= 1");
   } else if (key == "downmode") {
     if (value == "full")
       spec.downlink_delta = false;
@@ -287,7 +314,8 @@ void apply_key(CodecSpec& spec, const std::string& key,
     bad_spec("unknown key '" + key +
              "' (expected lossy, lossless, eb, policy, chunk, threads, "
              "threshold, downlink, downmode, ef, topology, backhaul, "
-             "backhaul<k>, edgemode, edgeef or shard)");
+             "backhaul<k>, edgemode, edgeef, shard, transport or "
+             "checkpoint)");
   }
 }
 
@@ -311,7 +339,8 @@ void parse_options(CodecSpec& out, const std::string& body,
     if (comm_only && !is_comm_key(key))
       bad_spec("'" + family +
                "' takes only downlink, downmode, ef, topology, backhaul, "
-               "backhaul<k>, edgemode, edgeef or shard options");
+               "backhaul<k>, edgemode, edgeef, shard, transport or "
+               "checkpoint options");
     apply_key(out, key, pair.substr(eq + 1));
     if (comma == std::string::npos) break;
     pos = comma + 1;
@@ -387,6 +416,10 @@ std::string comm_suffix(const CodecSpec& spec) {
     out += ",edgemode=buffered:" + std::to_string(spec.edge_buffer);
   if (spec.edge_error_feedback) out += ",edgeef=on";
   if (spec.shard_shuffled) out += ",shard=shuffled";
+  if (!spec.transport.empty()) out += ",transport=" + spec.transport;
+  if (!spec.checkpoint_path.empty())
+    out += ",checkpoint=" + spec.checkpoint_path + ":" +
+           std::to_string(spec.checkpoint_every);
   return out;
 }
 

@@ -39,6 +39,15 @@
 //               shard=contiguous|shuffled    (client->edge assignment;
 //                                             shuffled is a seeded
 //                                             permutation)
+//               transport=inproc|tcp:<port>  (how hier edges run: simulated
+//                                             in-process, or each edge
+//                                             cohort as its own process
+//                                             over TCP; tcp:0 picks a free
+//                                             port)
+//               checkpoint=<path>:<K>        (atomically checkpoint the
+//                                             coordinator to <path> every K
+//                                             rounds; the path may not
+//                                             contain ',' or ';')
 //
 // The identity family takes ONLY the comm keys (an uncompressed uplink
 // can still configure the broadcast, error feedback and topology), e.g.
@@ -111,9 +120,20 @@ struct CodecSpec {
   bool edge_error_feedback = false;
   /// Seeded-shuffle client->edge sharding (shard=shuffled).
   bool shard_shuffled = false;
+  /// Wire transport for hierarchical edges (transport= comm key), stored
+  /// canonically: empty = in-process simulation (the default; an explicit
+  /// transport=inproc normalizes to empty), or "tcp:<port>" — each edge
+  /// cohort runs as its own process speaking the versioned frame protocol
+  /// to the root (port 0 = pick a free port).
+  std::string transport;
+  /// Checkpoint/resume (checkpoint=<path>:<K> comm key): empty path = no
+  /// checkpointing; otherwise the coordinator atomically rewrites `path`
+  /// every `checkpoint_every` completed rounds.
+  std::string checkpoint_path;
+  std::size_t checkpoint_every = 0;
 
   /// True when any comm-level key (downlink/downmode/ef/topology/backhaul/
-  /// backhaul<k>/edgemode/edgeef/shard) is set — the keys that configure an
+  /// backhaul<k>/edgemode/edgeef/shard/transport/checkpoint) is set — the keys that configure an
   /// FL run rather than a codec. The single predicate behind every "this
   /// spec cannot carry comm keys" rejection (nested downlink/backhaul
   /// specs, make_codec_by_name), so a future comm key only needs adding
@@ -122,7 +142,8 @@ struct CodecSpec {
     return !downlink.empty() || downlink_delta || error_feedback ||
            !hier_tiers.empty() || !backhaul.empty() ||
            !tier_backhauls.empty() || edge_buffered ||
-           edge_error_feedback || shard_shuffled;
+           edge_error_feedback || shard_shuffled || !transport.empty() ||
+           !checkpoint_path.empty();
   }
 };
 

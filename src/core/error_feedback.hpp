@@ -52,6 +52,10 @@ class ErrorFeedbackAccumulator {
   const StateDict& residual() const { return residual_; }
   bool empty() const { return residual_.empty(); }
 
+  /// Install a residual restored from a checkpoint (empty = pre-first-absorb
+  /// state). Structure is validated lazily by the next apply/absorb.
+  void restore_residual(StateDict residual) { residual_ = std::move(residual); }
+
  private:
   StateDict residual_;
 };

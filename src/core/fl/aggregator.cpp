@@ -76,6 +76,13 @@ void Aggregator::merge_partial(const StateDict& mean, double weight) {
 
 void Aggregator::abort_round() { mean_.abort(); }
 
+void Aggregator::save_state(ByteWriter& out) const { out.put_varint(0); }
+
+void Aggregator::load_state(ByteReader& in) {
+  if (in.get_varint() != 0)
+    throw CorruptStream("Aggregator: unexpected state for a stateless rule");
+}
+
 void Aggregator::aggregate(
     StateDict& global,
     const std::vector<std::pair<StateDict, std::size_t>>& updates) {
@@ -120,6 +127,16 @@ class FedAvgM final : public Aggregator {
   }
   std::string name() const override { return "fedavgm"; }
 
+  void save_state(ByteWriter& out) const override {
+    out.put_varint(1);
+    out.put_blob(velocity_.serialize());
+  }
+  void load_state(ByteReader& in) override {
+    if (in.get_varint() != 1)
+      throw CorruptStream("FedAvgM: bad checkpoint section count");
+    velocity_ = StateDict::deserialize(in.get_blob_view());
+  }
+
  protected:
   void apply_mean(StateDict& global, const StateDict& mean) override {
     if (velocity_.empty()) velocity_ = global.zeros_like();
@@ -147,6 +164,18 @@ class FedAdam final : public Aggregator {
       throw InvalidArgument("FedAdam: learning rate must be positive");
   }
   std::string name() const override { return "fedadam"; }
+
+  void save_state(ByteWriter& out) const override {
+    out.put_varint(2);
+    out.put_blob(m_.serialize());
+    out.put_blob(v_.serialize());
+  }
+  void load_state(ByteReader& in) override {
+    if (in.get_varint() != 2)
+      throw CorruptStream("FedAdam: bad checkpoint section count");
+    m_ = StateDict::deserialize(in.get_blob_view());
+    v_ = StateDict::deserialize(in.get_blob_view());
+  }
 
  protected:
   void apply_mean(StateDict& global, const StateDict& mean) override {

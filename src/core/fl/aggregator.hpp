@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "tensor/state_dict.hpp"
+#include "util/bytebuffer.hpp"
 
 namespace fedsz::core {
 
@@ -104,6 +105,16 @@ class Aggregator {
 
   std::size_t accumulated() const { return mean_.count(); }
   bool round_open() const { return mean_.active(); }
+
+  // ---- checkpoint path ----
+  /// Serialize the strategy's mutable cross-round state (server momentum,
+  /// Adam moments). FedAvg carries none and writes an empty section; the
+  /// construction-time config (betas, learning rate) is NOT saved — the
+  /// resuming run rebuilds the aggregator from its own config and restores
+  /// only what training mutated. Must not be called mid-round.
+  virtual void save_state(ByteWriter& out) const;
+  /// Inverse of save_state. Throws CorruptStream on a malformed section.
+  virtual void load_state(ByteReader& in);
 
   // ---- batch path: a thin wrapper over the streaming path ----
   /// Fold one round of client updates (state, sample count) into `global`.

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "core/codec_spec.hpp"
+#include "core/fl/checkpoint.hpp"
 #include "net/virtual_clock.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
@@ -61,6 +62,9 @@ void FlRunConfig::apply_comm_spec(const CodecSpec& spec) {
   topology.edge_error_feedback = spec.edge_error_feedback;
   topology.sharding = spec.shard_shuffled ? ShardStrategy::kShuffled
                                           : ShardStrategy::kContiguous;
+  transport = spec.transport;
+  checkpoint_path = spec.checkpoint_path;
+  checkpoint_every = spec.checkpoint_every;
 }
 
 void FlRunConfig::validate() const {
@@ -95,6 +99,23 @@ void FlRunConfig::validate() const {
         "FlRunConfig: failures.edge_failure_rate needs an edge tier to "
         "crash -- set topology=hier:<N>[x<M>...]");
   topology.validate();
+  if (!transport.empty()) {
+    if (transport.rfind("tcp:", 0) != 0)
+      throw InvalidArgument(
+          "FlRunConfig: transport must be empty (inproc) or tcp:<port>");
+    if (topology.mode != TopologyMode::kHier)
+      throw InvalidArgument(
+          "FlRunConfig: transport=tcp needs edge cohorts to distribute -- "
+          "set topology=hier:<N>");
+  }
+  if (checkpoint_path.empty()) {
+    if (checkpoint_every != 0 || resume)
+      throw InvalidArgument(
+          "FlRunConfig: checkpoint_every/resume need a checkpoint_path");
+  } else if (checkpoint_every == 0) {
+    throw InvalidArgument(
+        "FlRunConfig: checkpoint_path needs checkpoint_every >= 1");
+  }
 }
 
 namespace {
@@ -129,6 +150,25 @@ FlCoordinator::FlCoordinator(const nn::ModelConfig& model_config,
     throw InvalidArgument(
         "FlCoordinator: failure injection requires a barrier scheduler "
         "(sync or sampled_sync)");
+  if (!config_.checkpoint_path.empty()) {
+    // A checkpoint captures state BETWEEN rounds, when the event queue is
+    // provably empty. Regimes that keep events alive across a round close
+    // (continuous redispatch, pending straggler deadlines, buffered
+    // interior nodes with late deliveries in flight) would need the queue
+    // itself serialized — closures and all — so they are rejected loudly.
+    if (scheduler_->continuous())
+      throw InvalidArgument(
+          "FlCoordinator: checkpointing requires a barrier scheduler "
+          "(sync or sampled_sync)");
+    if (config_.failures.straggler_deadline_seconds > 0.0)
+      throw InvalidArgument(
+          "FlCoordinator: checkpointing is incompatible with a straggler "
+          "deadline (its eviction event outlives the round close)");
+    if (config_.topology.edge_mode == EdgeMode::kBuffered)
+      throw InvalidArgument(
+          "FlCoordinator: checkpointing requires edgemode=sync (buffered "
+          "rounds can close with deliveries still in flight)");
+  }
   if (config_.topology.mode == TopologyMode::kHier) {
     // Continuous policies redispatch on fold; a partial that already left
     // for the root cannot absorb a late fold, so hierarchy requires a
@@ -361,6 +401,40 @@ FlRunResult FlCoordinator::run() {
   std::function<void()> close_round;
   std::function<void(bool)> open_round;
 
+  // Snapshot everything that evolves across rounds. Only called between
+  // rounds (from close_round, before the next open), where the barrier
+  // restrictions enforced in the constructor guarantee an empty queue —
+  // the virtual clock pair (now, next_seq) then fully determines resumed
+  // event ordering.
+  auto save_checkpoint = [&] {
+    if (queue.pending() != 0)
+      throw InvalidArgument(
+          "FlCoordinator: internal error -- pending events at checkpoint");
+    CheckpointState state;
+    state.completed_rounds = static_cast<std::uint64_t>(completed);
+    state.virtual_now = queue.now();
+    state.clock_next_seq = queue.next_seq();
+    state.config_fingerprint = run_fingerprint(config_, model_config_);
+    state.global_state = server_.global_state();
+    state.aggregator_name = server_.aggregator().name();
+    ByteWriter aggregator_out;
+    server_.aggregator().save_state(aggregator_out);
+    state.aggregator_state = aggregator_out.finish();
+    state.cohort_rng = cohort_rng.state();
+    state.failure_rng = failure_rng.state();
+    state.client_residuals.reserve(feedback_.size());
+    for (const ErrorFeedbackAccumulator& fb : feedback_)
+      state.client_residuals.push_back(fb.residual());
+    if (downlink_ && downlink_->mode() == DownlinkMode::kDelta)
+      state.downlink_sessions = downlink_->sessions();
+    if (tree_ && config_.topology.edge_error_feedback)
+      for (std::size_t l = 0; l < levels; ++l)
+        for (std::size_t n = 0; n < tree_->level_size(l); ++n)
+          state.edge_residuals.push_back(
+              tree_->node(l, n).feedback().residual());
+    write_checkpoint(config_.checkpoint_path, state);
+  };
+
   // Start a client's real work on the pool and its virtual compute timer.
   // `model` is the state it trains on (the global snapshot, or the shared
   // kFull broadcast reconstruction); `broadcast` (per-client downlink path)
@@ -587,6 +661,9 @@ FlRunResult FlCoordinator::run() {
     }
     result.rounds.push_back(std::move(record));
     ++completed;
+    if (!config_.checkpoint_path.empty() &&
+        static_cast<std::size_t>(completed) % config_.checkpoint_every == 0)
+      save_checkpoint();
     if (completed >= config_.rounds)
       stopped = true;
     else
@@ -1016,6 +1093,58 @@ FlRunResult FlCoordinator::run() {
       for (const std::size_t i : cohort) send_to(i, completed, snapshot);
     }
   };
+
+  // Resume: restore everything a checkpoint captured before the first
+  // round opens. The remaining rounds then replay the exact event sequence
+  // of an uninterrupted run — same RNG streams mid-sequence, same clock,
+  // same tie-break counter — so the finished trajectory is bit-identical.
+  if (config_.resume && !config_.checkpoint_path.empty()) {
+    if (std::optional<CheckpointState> loaded =
+            read_checkpoint(config_.checkpoint_path)) {
+      CheckpointState& ck = *loaded;
+      if (ck.config_fingerprint != run_fingerprint(config_, model_config_))
+        throw InvalidArgument(
+            "FlCoordinator: checkpoint at '" + config_.checkpoint_path +
+            "' was written by a differently-configured run");
+      if (ck.aggregator_name != server_.aggregator().name())
+        throw InvalidArgument("FlCoordinator: checkpoint aggregator '" +
+                              ck.aggregator_name + "' does not match '" +
+                              server_.aggregator().name() + "'");
+      if (ck.client_residuals.size() != feedback_.size())
+        throw CorruptStream(
+            "checkpoint: client residual count does not match the run");
+      server_.restore_global_state(std::move(ck.global_state));
+      ByteReader aggregator_in(
+          {ck.aggregator_state.data(), ck.aggregator_state.size()});
+      server_.aggregator().load_state(aggregator_in);
+      cohort_rng.restore(ck.cohort_rng);
+      failure_rng.restore(ck.failure_rng);
+      for (std::size_t i = 0; i < feedback_.size(); ++i)
+        feedback_[i].restore_residual(std::move(ck.client_residuals[i]));
+      if (downlink_ && downlink_->mode() == DownlinkMode::kDelta)
+        downlink_->restore_sessions(std::move(ck.downlink_sessions));
+      if (tree_ && config_.topology.edge_error_feedback) {
+        if (ck.edge_residuals.size() != interior)
+          throw CorruptStream(
+              "checkpoint: edge residual count does not match the tree");
+        std::size_t flat = 0;
+        for (std::size_t l = 0; l < levels; ++l)
+          for (std::size_t n = 0; n < tree_->level_size(l); ++n)
+            tree_->node(l, n).feedback().restore_residual(
+                std::move(ck.edge_residuals[flat++]));
+      }
+      completed = static_cast<int>(ck.completed_rounds);
+      queue.restore_clock(ck.virtual_now, ck.clock_next_seq);
+      if (completed >= config_.rounds) {
+        // The checkpointed campaign already finished; nothing to replay.
+        result.total_wall_seconds = wall.seconds();
+        result.total_virtual_seconds = queue.now();
+        result.peak_decoded_per_node = std::move(peak);
+        return result;
+      }
+    }
+    // No checkpoint on disk yet (killed before the first save): run fresh.
+  }
 
   open_round(true);
   while (!stopped && queue.run_next()) {

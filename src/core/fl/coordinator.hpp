@@ -115,9 +115,26 @@ struct FlRunConfig {
   /// barrier scheduler; edge_failure_rate further requires kHier.
   FailureSchedule failures;
 
+  /// Wire transport for hierarchical edges (transport= comm key), in the
+  /// spec's canonical spelling: empty = in-process simulation; "tcp:<port>"
+  /// = each edge cohort is its own process over TCP (port 0 picks a free
+  /// one). Consumed by the federation driver (core/fl/federation.hpp), not
+  /// by FlCoordinator::run() itself.
+  std::string transport;
+
+  /// Checkpoint/resume (checkpoint=<path>:<K> comm key): with a non-empty
+  /// path the coordinator atomically rewrites `checkpoint_path` every
+  /// `checkpoint_every` completed rounds, and — when `resume` is set — first
+  /// restores the state found there, so the finished run is bit-identical
+  /// to one that never stopped.
+  std::string checkpoint_path;
+  std::size_t checkpoint_every = 0;
+  bool resume = false;
+
   /// Fold the comm-level keys of a parsed codec spec (downlink=, downmode=,
-  /// ef=, topology=, backhaul=, backhaul<k>=, edgemode=, edgeef=, shard=)
-  /// into this config; the spec's codec-level keys are unaffected.
+  /// ef=, topology=, backhaul=, backhaul<k>=, edgemode=, edgeef=, shard=,
+  /// transport=, checkpoint=) into this config; the spec's codec-level keys
+  /// are unaffected.
   void apply_comm_spec(const CodecSpec& spec);
 
   /// Throws InvalidArgument on degenerate settings (zero clients/rounds/

@@ -75,4 +75,12 @@ const StateDict& DownlinkChannel::acknowledged(std::size_t client) const {
   return sessions_.at(client);
 }
 
+void DownlinkChannel::restore_sessions(std::vector<StateDict> sessions) {
+  if (sessions.size() != sessions_.size())
+    throw InvalidArgument(
+        "DownlinkChannel: restored session count does not match the client "
+        "count");
+  sessions_ = std::move(sessions);
+}
+
 }  // namespace fedsz::core

@@ -79,6 +79,12 @@ class DownlinkChannel {
   /// The model this client last acknowledged (empty before first contact).
   const StateDict& acknowledged(std::size_t client) const;
 
+  /// All per-client acknowledged models, in client order (checkpoint save).
+  const std::vector<StateDict>& sessions() const { return sessions_; }
+  /// Install checkpointed sessions; must match the construction-time client
+  /// count or InvalidArgument is thrown.
+  void restore_sessions(std::vector<StateDict> sessions);
+
  private:
   DownlinkConfig config_;
   std::vector<StateDict> sessions_;  // kDelta per-client acknowledged model

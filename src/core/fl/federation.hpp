@@ -1,0 +1,144 @@
+// Cross-process federation: the distributed twin of the in-process
+// hierarchical coordinator. A FederatedRoot owns the server side of a
+// single-tier `topology=hier:<N>` campaign — the global model, the cohort
+// RNG, the aggregation strategy, evaluation — while each tier-1 edge
+// cohort runs inside its own WORKER (a thread over a loopback stream in
+// tests, a separate `fedsz_edge_worker` process over TCP in production)
+// speaking the versioned frame protocol from net/wire.hpp:
+//
+//   root -> worker   HELLO      run manifest (everything the worker needs
+//                               to rebuild its deterministic slice)
+//   worker -> root   ACK        fingerprint echo + assigned edge index
+//   root -> worker   ROUND_OPEN round index, virtual open time, cohort
+//   root -> worker   BROADCAST  the serialized global model (bit-exact)
+//   worker -> root   PARTIAL    one re-encoded partial mean + per-client
+//                               virtual-time trace, ordering keys included
+//   worker -> root   HEARTBEAT  liveness beacon (wall-clock cadence)
+//   root -> worker   BYE        campaign over
+//
+// Determinism contract: the virtual clock never crosses the wire as a
+// dependency — workers REPLICATE the event-runtime schedule analytically
+// (upload = t_open + compute_i, arrival = upload + link_i(bytes)) and the
+// root re-sorts everything it merges by the exact (time, tie-break) order
+// the in-process event queue would have used. A TCP run with W workers is
+// therefore BIT-IDENTICAL, round for round, to FlCoordinator::run() on the
+// same config (the federation equality tests pin accuracy, bytes, virtual
+// seconds, and aggregate weight).
+//
+// Churn: a worker that disconnects or misses heartbeats past the timeout
+// is declared crashed; its outstanding cohort is traced as dropped and its
+// members re-shard round-robin across the surviving workers for later
+// rounds — the wire analogue of the in-process edge-failure machinery
+// (workers train whatever cohort the root assigns, so re-homing needs no
+// data movement).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/fl/coordinator.hpp"
+#include "net/transport.hpp"
+
+namespace fedsz::core {
+
+struct CodecSpec;
+
+/// How both sides construct the training data: by name through
+/// data::make_dataset, so the manifest ships a recipe, never samples.
+struct DatasetSpec {
+  std::string name = "cifar10";
+  std::uint64_t seed = 7;
+  /// Nonzero: train on only the first `take` samples (data::take), the
+  /// idiom every example/test uses to keep synthetic runs fast.
+  std::size_t take = 0;
+};
+
+struct FederationOptions {
+  /// Worker-side HEARTBEAT cadence (wall seconds).
+  double heartbeat_interval_seconds = 0.25;
+  /// Root-side silence budget while awaiting a worker's partial; past it
+  /// the worker is declared crashed and its members re-shard.
+  double heartbeat_timeout_seconds = 60.0;
+};
+
+/// Everything an edge worker needs to rebuild its deterministic slice of
+/// the run: the canonical codec spec (comm keys included), the dataset
+/// recipe, the model/client/network/compute configuration, the topology
+/// knobs that live outside the spec grammar, and this worker's edge
+/// assignment. `fingerprint` is run_fingerprint(config, model) — the ACK
+/// echoes it so a mismatched worker build fails the handshake loudly.
+struct RunManifest {
+  std::string codec_spec;
+  DatasetSpec dataset;
+  nn::ModelConfig model;
+  std::size_t clients = 0;
+  int rounds = 0;
+  std::uint64_t seed = 0;
+  ClientConfig client;
+  net::NetworkProfile network;
+  std::optional<net::HeterogeneousNetworkConfig> heterogeneous;
+  double compute_seconds_per_sample = 0.0;
+  double compute_jitter = 0.0;
+  net::NetworkProfile backhaul_network;
+  std::optional<net::HeterogeneousNetworkConfig> backhaul_heterogeneous;
+  /// Resolved shard-shuffle seed (the coordinator's seed derivation
+  /// applied root-side, so both sides build the same tree).
+  std::uint64_t shard_seed = 0;
+  std::uint32_t edge = 0;   // this worker's tier-1 edge index
+  std::uint32_t edges = 0;  // total edge count
+  /// Worker HEARTBEAT cadence (from the root's FederationOptions).
+  double heartbeat_interval_seconds = 0.25;
+  std::uint32_t fingerprint = 0;
+};
+
+Bytes serialize_manifest(const RunManifest& manifest);
+/// Throws CorruptStream on truncation or malformed fields.
+RunManifest parse_manifest(ByteSpan bytes);
+
+/// The server process of a distributed campaign. Restrictions (enforced in
+/// the constructor) keep the replicated schedule exact: single-tier
+/// hierarchy, barrier scheduler, sync edges, free lossless broadcast (no
+/// downlink spec), no injected failure schedule (wire churn IS the failure
+/// model here), no checkpointing (the root holds no client state to lose —
+/// checkpoint in-process runs instead).
+class FederatedRoot {
+ public:
+  /// `spec` is the FULL parsed codec spec (codec + comm keys); `config`
+  /// must already agree with it (apply_comm_spec). With
+  /// config.transport == "tcp:<port>" the constructor binds the listener
+  /// immediately so port() is valid before any worker spawns.
+  FederatedRoot(const nn::ModelConfig& model_config, DatasetSpec train,
+                data::DatasetPtr test, FlRunConfig config,
+                const CodecSpec& spec, SchedulerPtr scheduler = nullptr,
+                FederationOptions options = {});
+  ~FederatedRoot();
+
+  /// Bound TCP port (only after constructing with a tcp transport).
+  std::uint16_t port() const;
+  std::size_t edge_count() const { return edge_count_; }
+  /// The manifest worker `edge` would receive (test introspection).
+  RunManifest manifest(std::uint32_t edge) const;
+
+  /// TCP mode: accept edge_count() worker connections (assignment follows
+  /// accept order), then drive the campaign to completion.
+  FlRunResult run();
+  /// Drive the campaign over caller-supplied connected streams, one per
+  /// edge — the loopback-transport path (workers as in-process threads).
+  FlRunResult run_with_streams(std::vector<net::StreamPtr> streams);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  std::size_t edge_count_ = 0;
+};
+
+/// The entire worker side: handshake, per-round replication of the edge
+/// schedule (train cohort, encode, fold in event order, re-encode the
+/// partial), heartbeats, clean BYE/EOF exit. Blocks until the campaign
+/// ends or the stream dies; throws TransportError/CorruptStream on a
+/// broken or malformed peer.
+void run_edge_worker(net::StreamPtr stream);
+
+}  // namespace fedsz::core

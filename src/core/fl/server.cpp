@@ -17,6 +17,13 @@ void FlServer::set_aggregator(AggregatorPtr aggregator) {
   aggregator_ = std::move(aggregator);
 }
 
+void FlServer::restore_global_state(StateDict state) {
+  if (aggregator_->round_open())
+    throw InvalidArgument("FlServer: restore_global_state mid-round");
+  model_.load_state_dict(state);  // validates structure before we commit
+  global_state_ = std::move(state);
+}
+
 void FlServer::begin_round() { aggregator_->begin_round(global_state_); }
 
 void FlServer::accumulate(const StateDict& update, double weight) {

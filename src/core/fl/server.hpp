@@ -21,6 +21,15 @@ class FlServer {
   /// Replace the aggregation rule (default: FedAvg, the paper's setting).
   void set_aggregator(AggregatorPtr aggregator);
 
+  /// The active aggregation rule (checkpoint save/load goes through it).
+  Aggregator& aggregator() { return *aggregator_; }
+  const Aggregator& aggregator() const { return *aggregator_; }
+
+  /// Overwrite the global model from a checkpoint. The restored state must
+  /// match the configured model's structure (load_state_dict validates);
+  /// only legal between rounds.
+  void restore_global_state(StateDict state);
+
   // ---- streaming round (updates folded as they arrive) ----
   void begin_round();
   /// Fold one decoded update with aggregation weight `weight` (sample

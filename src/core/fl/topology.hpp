@@ -181,6 +181,11 @@ class EdgeAggregator {
   /// client id.
   EncodedPartial finalize_and_encode(int round);
 
+  /// The node's carried EF accumulator (checkpoint save/restore; inert
+  /// unless edge EF rides a lossy tier codec).
+  const ErrorFeedbackAccumulator& feedback() const { return feedback_; }
+  ErrorFeedbackAccumulator& feedback() { return feedback_; }
+
  private:
   std::size_t id_;
   std::size_t tier_;

@@ -1,0 +1,124 @@
+#include "core/fl/trace.hpp"
+
+namespace fedsz::core {
+
+namespace {
+
+util::JsonValue client_json(const ClientTraceEntry& t) {
+  util::JsonValue v = util::JsonValue::object();
+  v.set("client", t.client);
+  v.set("dispatch_round", t.dispatch_round);
+  v.set("dispatch_seconds", t.dispatch_seconds);
+  v.set("arrival_seconds", t.arrival_seconds);
+  v.set("transfer_seconds", t.transfer_seconds);
+  v.set("weight", t.weight);
+  v.set("payload_bytes", t.payload_bytes);
+  v.set("raw_bytes", t.raw_bytes);
+  v.set("bound_value", t.bound_value);
+  v.set("lossy_tensors", t.lossy_tensors);
+  v.set("lossless_tensors", t.lossless_tensors);
+  v.set("raw_tensors", t.raw_tensors);
+  v.set("downlink_bytes", t.downlink_bytes);
+  v.set("downlink_seconds", t.downlink_seconds);
+  v.set("ef_residual_norm", t.ef_residual_norm);
+  v.set("node", t.node);
+  v.set("status", delivery_status_name(t.status));
+  util::JsonValue decision = util::JsonValue::object();
+  decision.set("compressed_seconds", t.decision.compressed_seconds);
+  decision.set("uncompressed_seconds", t.decision.uncompressed_seconds);
+  decision.set("worthwhile", t.decision.worthwhile);
+  v.set("decision", std::move(decision));
+  return v;
+}
+
+util::JsonValue edge_json(const EdgeTraceEntry& t) {
+  util::JsonValue v = util::JsonValue::object();
+  v.set("edge", t.edge);
+  v.set("tier", t.tier);
+  v.set("cohort", t.cohort);
+  v.set("weight", t.weight);
+  v.set("payload_bytes", t.payload_bytes);
+  v.set("raw_bytes", t.raw_bytes);
+  v.set("encode_seconds", t.encode_seconds);
+  v.set("decode_seconds", t.decode_seconds);
+  v.set("transfer_seconds", t.transfer_seconds);
+  v.set("arrival_seconds", t.arrival_seconds);
+  v.set("downlink_bytes", t.downlink_bytes);
+  v.set("downlink_seconds", t.downlink_seconds);
+  v.set("ef_residual_norm", t.ef_residual_norm);
+  v.set("status", delivery_status_name(t.status));
+  return v;
+}
+
+util::JsonValue round_json(const RoundRecord& r) {
+  util::JsonValue v = util::JsonValue::object();
+  v.set("round", r.round);
+  v.set("accuracy", r.accuracy);
+  v.set("train_seconds", r.train_seconds);
+  v.set("compress_seconds", r.compress_seconds);
+  v.set("decompress_seconds", r.decompress_seconds);
+  v.set("comm_seconds", r.comm_seconds);
+  v.set("eval_seconds", r.eval_seconds);
+  v.set("mean_loss", r.mean_loss);
+  v.set("bytes_sent", r.bytes_sent);
+  v.set("raw_bytes", r.raw_bytes);
+  v.set("compression_ratio", r.compression_ratio());
+  v.set("participants", r.participants);
+  v.set("virtual_seconds", r.virtual_seconds);
+  v.set("downlink_bytes", r.downlink_bytes);
+  v.set("downlink_raw_bytes", r.downlink_raw_bytes);
+  v.set("downlink_seconds", r.downlink_seconds);
+  v.set("downlink_encode_seconds", r.downlink_encode_seconds);
+  v.set("downlink_decode_seconds", r.downlink_decode_seconds);
+  v.set("mean_ef_residual_norm", r.mean_ef_residual_norm);
+  v.set("ef_decode_seconds", r.ef_decode_seconds);
+  v.set("backhaul_bytes", r.backhaul_bytes);
+  v.set("backhaul_raw_bytes", r.backhaul_raw_bytes);
+  v.set("backhaul_seconds", r.backhaul_seconds);
+  v.set("backhaul_encode_seconds", r.backhaul_encode_seconds);
+  v.set("backhaul_decode_seconds", r.backhaul_decode_seconds);
+  util::JsonValue tier_bytes = util::JsonValue::array();
+  for (const std::size_t b : r.backhaul_tier_bytes) tier_bytes.push(b);
+  v.set("backhaul_tier_bytes", std::move(tier_bytes));
+  util::JsonValue tier_raw = util::JsonValue::array();
+  for (const std::size_t b : r.backhaul_tier_raw_bytes) tier_raw.push(b);
+  v.set("backhaul_tier_raw_bytes", std::move(tier_raw));
+  v.set("backhaul_downlink_bytes", r.backhaul_downlink_bytes);
+  v.set("backhaul_downlink_seconds", r.backhaul_downlink_seconds);
+  v.set("aggregate_weight", r.aggregate_weight);
+  util::JsonValue crashed = util::JsonValue::array();
+  for (const std::size_t node : r.crashed_nodes) crashed.push(node);
+  v.set("crashed_nodes", std::move(crashed));
+  util::JsonValue clients = util::JsonValue::array();
+  for (const ClientTraceEntry& t : r.clients) clients.push(client_json(t));
+  v.set("clients", std::move(clients));
+  util::JsonValue edges = util::JsonValue::array();
+  for (const EdgeTraceEntry& t : r.edges) edges.push(edge_json(t));
+  v.set("edges", std::move(edges));
+  return v;
+}
+
+}  // namespace
+
+util::JsonValue trace_json(const FlRunResult& result) {
+  util::JsonValue v = util::JsonValue::object();
+  v.set("scheduler", result.scheduler);
+  v.set("final_accuracy", result.final_accuracy);
+  v.set("total_wall_seconds", result.total_wall_seconds);
+  v.set("total_virtual_seconds", result.total_virtual_seconds);
+  v.set("peak_decoded_updates", result.peak_decoded_updates);
+  util::JsonValue peaks = util::JsonValue::array();
+  for (const std::size_t p : result.peak_decoded_per_node) peaks.push(p);
+  v.set("peak_decoded_per_node", std::move(peaks));
+  v.set("late_events", result.late_events);
+  util::JsonValue rounds = util::JsonValue::array();
+  for (const RoundRecord& r : result.rounds) rounds.push(round_json(r));
+  v.set("rounds", std::move(rounds));
+  return v;
+}
+
+void write_trace(const std::string& path, const FlRunResult& result) {
+  util::write_json(path, trace_json(result));
+}
+
+}  // namespace fedsz::core

@@ -1,0 +1,22 @@
+// Full-run trace export: FlRunResult -> JSON. Every per-round record,
+// per-client delivery, and per-partial edge entry the coordinator (or the
+// distributed federation driver) produced, serialized with util/json so
+// notebooks and the bench tooling can consume a run without scraping
+// stdout. The layout is stable: top-level run summary, then one object per
+// round carrying its `clients` and `edges` trace arrays.
+#pragma once
+
+#include <string>
+
+#include "core/fl/coordinator.hpp"
+#include "util/json.hpp"
+
+namespace fedsz::core {
+
+/// The whole result as an ordered JSON document.
+util::JsonValue trace_json(const FlRunResult& result);
+
+/// trace_json + util::write_json. Throws std::runtime_error on I/O errors.
+void write_trace(const std::string& path, const FlRunResult& result);
+
+}  // namespace fedsz::core

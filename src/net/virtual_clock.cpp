@@ -23,6 +23,15 @@ void EventQueue::schedule_after(double delay, Event event) {
   schedule_at(now_ + delay, std::move(event));
 }
 
+void EventQueue::restore_clock(double now, std::uint64_t next_seq) {
+  if (!heap_.empty())
+    throw InvalidArgument("EventQueue: restore_clock with pending events");
+  if (!std::isfinite(now) || now < 0.0)
+    throw InvalidArgument("EventQueue: restored time must be finite and >= 0");
+  now_ = now;
+  next_seq_ = next_seq;
+}
+
 bool EventQueue::run_next() {
   if (heap_.empty()) return false;
   std::pop_heap(heap_.begin(), heap_.end(), later);

@@ -36,6 +36,15 @@ class EventQueue {
   /// Drop all pending events without running them.
   void clear() { heap_.clear(); }
 
+  /// Insertion sequence of the next scheduled event (part of the tie-break
+  /// key, so it belongs in a checkpoint alongside now()).
+  std::uint64_t next_seq() const { return next_seq_; }
+
+  /// Jump the clock to a checkpointed (time, sequence) pair. Only legal on
+  /// an empty queue — pending events were scheduled against the old clock
+  /// and would fire at nonsensical times.
+  void restore_clock(double now, std::uint64_t next_seq);
+
  private:
   struct Item {
     double time = 0.0;

@@ -1,0 +1,44 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over byte spans.
+// Guards the wire-protocol frames and the checkpoint container the same way
+// the bitstream containers guard their sections: a flipped bit anywhere in a
+// payload fails loudly as CorruptStream instead of decoding garbage.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/common.hpp"
+
+namespace fedsz::util {
+
+namespace detail {
+
+inline const std::array<std::uint32_t, 256>& crc32_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace detail
+
+/// Running update: fold `data` into a previous crc32() result to checksum a
+/// logically-concatenated stream without materializing it.
+inline std::uint32_t crc32_update(std::uint32_t crc, ByteSpan data) {
+  const auto& table = detail::crc32_table();
+  crc = ~crc;
+  for (const std::uint8_t byte : data)
+    crc = table[(crc ^ byte) & 0xFFu] ^ (crc >> 8);
+  return ~crc;
+}
+
+inline std::uint32_t crc32(ByteSpan data) { return crc32_update(0, data); }
+
+}  // namespace fedsz::util

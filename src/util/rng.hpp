@@ -90,6 +90,29 @@ class Rng {
     return Rng(next_u64() ^ (0x9E3779B97F4A7C15ull * (stream_id + 1)));
   }
 
+  /// Full generator state, including the Box-Muller cache — restoring it
+  /// resumes the stream mid-sequence bit-exactly (the checkpoint/resume
+  /// path depends on this; a reseed would replay draws already consumed).
+  struct State {
+    std::uint64_t words[4] = {0, 0, 0, 0};
+    double cached = 0.0;
+    bool has_cached = false;
+  };
+
+  State state() const {
+    State s;
+    for (int i = 0; i < 4; ++i) s.words[i] = state_[i];
+    s.cached = cached_;
+    s.has_cached = has_cached_;
+    return s;
+  }
+
+  void restore(const State& s) {
+    for (int i = 0; i < 4; ++i) state_[i] = s.words[i];
+    cached_ = s.cached;
+    has_cached_ = s.has_cached;
+  }
+
  private:
   static std::uint64_t splitmix64(std::uint64_t& x) {
     x += 0x9E3779B97F4A7C15ull;
