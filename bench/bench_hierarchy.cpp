@@ -233,9 +233,11 @@ int main(int argc, char** argv) {
     record_run(clients, depth2, "", samples);
     record_run(clients, depth2, "fedsz:eb=rel:1e-3", samples);
     // Backhaul-bound sweep at a fixed one-tier shape: lossy partial
-    // re-encoding shrinks the root link a second time.
+    // re-encoding shrinks the root link a second time, and the sparse
+    // backhaul races the SZ bounds on the same tree.
     for (const char* backhaul :
-         {"fedsz:eb=rel:1e-3", "fedsz:eb=rel:1e-2"})
+         {"fedsz:eb=rel:1e-3", "fedsz:eb=rel:1e-2",
+          "sparse:eb=rel:1e-2,sparsity=0.9,bits=8"})
       record_run(clients, {fanout}, backhaul, samples);
   }
   table.print();

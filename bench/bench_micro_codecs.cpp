@@ -12,6 +12,7 @@
 #include <cstring>
 
 #include "common.hpp"
+#include "compress/sparse/sparse_codec.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
@@ -21,7 +22,7 @@ using namespace fedsz;
 
 struct MicroResult {
   std::string name;
-  std::string kind;  // "lossy" | "lossless"
+  std::string kind;  // "lossy" | "lossless" | "sparse"
   double compress_mb_s = 0.0;
   double decompress_mb_s = 0.0;
   double ratio = 0.0;
@@ -129,6 +130,36 @@ int main(int argc, char** argv) {
         [&](const Bytes& blob) {
           (void)codec->decompress({blob.data(), blob.size()});
         }));
+  }
+  // Sparse-quantization rows: adaptive thresholding at a relative bound, and
+  // the explicit top-10% / 8-bit configuration. Survivors route through the
+  // zstd-like backend, same as the container default.
+  {
+    const lossless::LosslessCodec& backend =
+        lossless::lossless_codec(lossless::LosslessId::kZstd);
+    const FloatSpan span{values.data(), values.size()};
+    struct SparseRow {
+      const char* name;
+      sparse::SparseParams params;
+    };
+    const SparseRow rows[] = {
+        {"sparse/rel=0.01", {}},
+        {"sparse/rel=0.01,s=0.9,b=8", {0.9, 8}},
+    };
+    for (const SparseRow& row : rows) {
+      const double eps =
+          lossy::ErrorBound::relative(1e-2).absolute_for(span);
+      results.push_back(measure(
+          row.name, "sparse", values.size() * sizeof(float), reps,
+          [&](Bytes& blob) {
+            sparse::sparse_codec().compress_into(span, eps, row.params,
+                                                 backend, blob);
+          },
+          [&](const Bytes& blob) {
+            (void)sparse::sparse_codec().decompress(
+                {blob.data(), blob.size()});
+          }));
+    }
   }
 
   benchx::Table table({"codec", "compress MB/s", "decompress MB/s", "ratio",

@@ -73,6 +73,10 @@ def main():
         for name in missing:
             print(f"MISSING  {name}: in baseline but not in current output")
         return 2
+    # New runs don't gate (there is nothing to compare against), but print
+    # them so a PR adding rows remembers to regenerate the baseline file.
+    for name in sorted(set(current) - set(baseline)):
+        print(f"{'NEW':>10}  {name}: not in baseline — regenerate to gate it")
 
     for name in sorted(baseline):
         base_run, cur_run = baseline[name], current[name]

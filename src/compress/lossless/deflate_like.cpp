@@ -75,6 +75,25 @@ constexpr std::uint32_t kLengthCodeBase = 257;
 constexpr std::uint8_t kModeRaw = 0;
 constexpr std::uint8_t kModeCompressed = 1;
 
+// Per-thread working buffers, reset (not freed) between compress calls —
+// same pattern as ZstdScratch so the chunked pipeline's steady state stays
+// allocation-free. Both registry entries (zlib, gzip) share one scratch per
+// thread; the codebooks are rebuilt in place per call.
+struct DeflateScratch {
+  std::vector<LzSequence> seqs;
+  std::vector<std::uint32_t> litlen_syms, dist_syms;
+  HuffmanCodebook litlen_book, dist_book;
+  HuffmanWorkspace hws;
+  BitWriter bits;
+  ByteWriter body;
+  ByteWriter framed;  // full frame for the compress_into path
+};
+
+DeflateScratch& t_scratch() {
+  static thread_local DeflateScratch scratch;
+  return scratch;
+}
+
 class DeflateLikeCodec final : public LosslessCodec {
  public:
   DeflateLikeCodec(LosslessId id, std::string name, unsigned max_chain)
@@ -85,10 +104,24 @@ class DeflateLikeCodec final : public LosslessCodec {
 
   Bytes compress(ByteSpan data) const override {
     ByteWriter w;
+    encode_frame(data, w);
+    return w.finish();
+  }
+
+  void compress_into(ByteSpan data, Bytes& out) const override {
+    ByteWriter& w = t_scratch().framed;
+    w.reset();
+    encode_frame(data, w);
+    const ByteSpan frame = w.view();
+    out.assign(frame.begin(), frame.end());
+  }
+
+ private:
+  void encode_frame(ByteSpan data, ByteWriter& w) const {
     w.put_varint(data.size());
     if (data.empty()) {
       w.put_u8(kModeRaw);
-      return w.finish();
+      return;
     }
     LzParams params;
     params.window_log = 15;  // 32 KiB, the deflate window
@@ -96,13 +129,15 @@ class DeflateLikeCodec final : public LosslessCodec {
     params.max_match = 258;
     params.max_chain = max_chain_;
     params.lazy = true;
-    const auto seqs = lz77_parse(data, params);
+    DeflateScratch& s = t_scratch();
+    lz77_parse(data, params, s.seqs);
 
     // Gather symbol statistics for the two alphabets.
-    std::vector<std::uint32_t> litlen_syms;
-    std::vector<std::uint32_t> dist_syms;
-    litlen_syms.reserve(data.size() / 2);
-    for (const LzSequence& seq : seqs) {
+    std::vector<std::uint32_t>& litlen_syms = s.litlen_syms;
+    std::vector<std::uint32_t>& dist_syms = s.dist_syms;
+    litlen_syms.clear();
+    dist_syms.clear();
+    for (const LzSequence& seq : s.seqs) {
       for (std::uint32_t i = 0; i < seq.literal_len; ++i)
         litlen_syms.push_back(data[seq.literal_start + i]);
       if (seq.match_len > 0) {
@@ -116,42 +151,44 @@ class DeflateLikeCodec final : public LosslessCodec {
     }
     litlen_syms.push_back(kEndOfBlock);
 
-    const HuffmanCodebook litlen_book =
-        HuffmanCodebook::from_symbols(litlen_syms);
-    const HuffmanCodebook dist_book = HuffmanCodebook::from_symbols(dist_syms);
+    s.litlen_book.rebuild_from_symbols(litlen_syms, s.hws);
+    s.dist_book.rebuild_from_symbols(dist_syms, s.hws);
 
-    ByteWriter body;
-    litlen_book.write_table(body);
-    dist_book.write_table(body);
-    BitWriter bits;
-    for (const LzSequence& seq : seqs) {
+    ByteWriter& body = s.body;
+    body.reset();
+    s.litlen_book.write_table(body);
+    s.dist_book.write_table(body);
+    BitWriter& bits = s.bits;
+    bits.reset();
+    for (const LzSequence& seq : s.seqs) {
       for (std::uint32_t i = 0; i < seq.literal_len; ++i)
-        litlen_book.encode(bits, data[seq.literal_start + i]);
+        s.litlen_book.encode(bits, data[seq.literal_start + i]);
       if (seq.match_len > 0) {
         const std::size_t lb = bucket_for(length_buckets(), seq.match_len);
-        litlen_book.encode(bits,
-                           kLengthCodeBase + static_cast<std::uint32_t>(lb));
+        s.litlen_book.encode(bits,
+                             kLengthCodeBase + static_cast<std::uint32_t>(lb));
         bits.write(seq.match_len - length_buckets()[lb].base,
                    length_buckets()[lb].extra_bits);
         const std::size_t db = bucket_for(distance_buckets(), seq.match_offset);
-        dist_book.encode(bits, static_cast<std::uint32_t>(db));
+        s.dist_book.encode(bits, static_cast<std::uint32_t>(db));
         bits.write(seq.match_offset - distance_buckets()[db].base,
                    distance_buckets()[db].extra_bits);
       }
     }
-    litlen_book.encode(bits, kEndOfBlock);
-    body.put_blob(bits.finish());
+    s.litlen_book.encode(bits, kEndOfBlock);
+    body.put_blob(bits.finish_view());
 
-    const Bytes body_bytes = body.finish();
+    const ByteSpan body_bytes = body.view();
     if (body_bytes.size() >= data.size()) {
       w.put_u8(kModeRaw);
       w.put_bytes(data);
     } else {
       w.put_u8(kModeCompressed);
-      w.put_bytes({body_bytes.data(), body_bytes.size()});
+      w.put_bytes(body_bytes);
     }
-    return w.finish();
   }
+
+ public:
 
   Bytes decompress(ByteSpan data) const override {
     ByteReader r(data);

@@ -281,6 +281,10 @@ HuffmanCodebook HuffmanCodebook::read_table(ByteReader& in) {
   for (std::uint64_t i = 0; i < n; ++i) {
     const auto symbol = static_cast<std::uint32_t>(in.get_varint());
     const unsigned length = in.get_u8();
+    // Stream-originated, so reject here as corruption; build_canonical's
+    // InvalidArgument is reserved for caller bugs.
+    if (length == 0 || length > kMaxCodeLength)
+      throw CorruptStream("HuffmanCodebook: invalid code length in stream");
     symbol_lengths.emplace_back(symbol, length);
   }
   HuffmanCodebook book;

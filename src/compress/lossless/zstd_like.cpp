@@ -50,6 +50,7 @@ struct ZstdScratch {
   BitWriter extras;
   BitWriter huff_bits;    // bit-packing scratch shared by the four streams
   ByteWriter huff_block;  // one entropy-coded stream, before length-prefixing
+  HuffmanWorkspace huff;  // pooled codebook-construction scratch
   ByteWriter body;
   ByteWriter framed;      // full frame for the compress_into path
 };
@@ -132,7 +133,7 @@ class ZstdLikeCodec final : public LosslessCodec {
     for (const auto* stream : {&literal_syms, &ll_codes, &ml_codes,
                                &of_codes}) {
       s.huff_block.reset();
-      huffman_encode(*stream, s.huff_block, s.huff_bits);
+      huffman_encode(*stream, s.huff_block, s.huff_bits, s.huff);
       body.put_blob(s.huff_block.view());
     }
     body.put_blob(extras.finish_view());

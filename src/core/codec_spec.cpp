@@ -132,7 +132,7 @@ bool is_comm_key(const std::string& key) {
   return key == "downlink" || key == "downmode" || key == "ef" ||
          key == "topology" || key == "backhaul" || key == "edgemode" ||
          key == "edgeef" || key == "shard" || key == "transport" ||
-         key == "checkpoint" || backhaul_tier_of(key) != 0;
+         key == "checkpoint" || key == "data" || backhaul_tier_of(key) != 0;
 }
 
 /// Parse a nested codec spec (downlink=/backhaul= value, ';'-separated
@@ -158,12 +158,38 @@ std::string parse_inner_spec(const std::string& key,
 void apply_key(CodecSpec& spec, const std::string& key,
                const std::string& value) {
   if (key == "lossy") {
+    if (spec.sparse)
+      bad_spec(
+          "the sparse family replaces the lossy codec; 'lossy=' does not "
+          "apply");
     const std::string canonical = value;
     try {
       spec.lossy_id = lossy::lossy_codec(canonical).id();
     } catch (const InvalidArgument&) {
       bad_spec("unknown lossy codec '" + value + "' (expected " +
                lossy_options() + ")");
+    }
+  } else if (key == "sparsity") {
+    if (!spec.sparse)
+      bad_spec("'sparsity' applies only to the sparse family");
+    if (value == "adaptive") {
+      spec.sparsity = 0.0;
+    } else {
+      const double fraction = parse_double(value, "sparsity");
+      if (!(fraction > 0.0 && fraction < 1.0))
+        bad_spec("'sparsity' must be a fraction in (0, 1) or adaptive");
+      spec.sparsity = fraction;
+    }
+  } else if (key == "bits") {
+    if (!spec.sparse) bad_spec("'bits' applies only to the sparse family");
+    if (value == "adaptive") {
+      spec.sparse_bits = 0;
+    } else {
+      const std::size_t bits = parse_count(value, "bits",
+                                           /*allow_suffix=*/false);
+      if (bits < 1 || bits > 31)
+        bad_spec("'bits' must be 1..31 or adaptive");
+      spec.sparse_bits = static_cast<unsigned>(bits);
     }
   } else if (key == "lossless") {
     const std::string canonical = value == "blosclz" ? "blosc-lz" : value;
@@ -180,13 +206,21 @@ void apply_key(CodecSpec& spec, const std::string& key,
     if (const std::size_t colon = value.find(':');
         colon != std::string::npos) {
       name = value.substr(0, colon);
-      if (name != "schedule")
-        bad_spec("only policy=schedule takes a :FACTOR argument, got '" +
-                 value + "'");
-      spec.schedule_factor =
-          parse_double(value.substr(colon + 1), "policy=schedule");
-      if (!(spec.schedule_factor > 0.0))
-        bad_spec("policy=schedule factor must be positive");
+      if (name == "schedule") {
+        spec.schedule_factor =
+            parse_double(value.substr(colon + 1), "policy=schedule");
+        if (!(spec.schedule_factor > 0.0))
+          bad_spec("policy=schedule factor must be positive");
+      } else if (name == "gradaware") {
+        spec.gradaware_beta =
+            parse_double(value.substr(colon + 1), "policy=gradaware");
+        if (!(spec.gradaware_beta > 0.0 && spec.gradaware_beta < 1.0))
+          bad_spec("policy=gradaware beta must be in (0, 1)");
+      } else {
+        bad_spec(
+            "only policy=schedule (:FACTOR) and policy=gradaware (:BETA) "
+            "take a ':' argument, got '" + value + "'");
+      }
     }
     bool known = false;
     for (const std::string& candidate : compression_policy_names())
@@ -296,6 +330,20 @@ void apply_key(CodecSpec& spec, const std::string& key,
         parse_count(value.substr(colon + 1), "checkpoint", /*allow_suffix=*/false);
     if (spec.checkpoint_every == 0)
       bad_spec("'checkpoint' interval must be >= 1");
+  } else if (key == "data") {
+    if (value == "iid") {
+      spec.dirichlet_alpha = 0.0;
+    } else if (value.rfind("dirichlet", 0) == 0) {
+      if (value.size() < 11 || value[9] != ':')
+        bad_spec(
+            "'data=dirichlet' wants a concentration (data=dirichlet:<alpha>)");
+      spec.dirichlet_alpha = parse_double(value.substr(10), "data=dirichlet");
+      if (!(spec.dirichlet_alpha > 0.0))
+        bad_spec("'data=dirichlet' alpha must be positive");
+    } else {
+      bad_spec("'data' must be iid or dirichlet:<alpha>, got '" + value +
+               "'");
+    }
   } else if (key == "downmode") {
     if (value == "full")
       spec.downlink_delta = false;
@@ -312,10 +360,10 @@ void apply_key(CodecSpec& spec, const std::string& key,
       bad_spec("'ef' must be on or off, got '" + value + "'");
   } else {
     bad_spec("unknown key '" + key +
-             "' (expected lossy, lossless, eb, policy, chunk, threads, "
-             "threshold, downlink, downmode, ef, topology, backhaul, "
-             "backhaul<k>, edgemode, edgeef, shard, transport or "
-             "checkpoint)");
+             "' (expected lossy, lossless, eb, policy, sparsity, bits, "
+             "chunk, threads, threshold, downlink, downmode, ef, topology, "
+             "backhaul, backhaul<k>, edgemode, edgeef, shard, transport, "
+             "checkpoint or data)");
   }
 }
 
@@ -339,8 +387,8 @@ void parse_options(CodecSpec& out, const std::string& body,
     if (comm_only && !is_comm_key(key))
       bad_spec("'" + family +
                "' takes only downlink, downmode, ef, topology, backhaul, "
-               "backhaul<k>, edgemode, edgeef, shard, transport or "
-               "checkpoint options");
+               "backhaul<k>, edgemode, edgeef, shard, transport, "
+               "checkpoint or data options");
     apply_key(out, key, pair.substr(eq + 1));
     if (comma == std::string::npos) break;
     pos = comma + 1;
@@ -355,14 +403,17 @@ CodecSpec parse_codec_spec(const std::string& spec, CodecSpec defaults) {
   CodecSpec out = defaults;
   if (family == "identity" || family == "uncompressed") {
     out.identity = true;
+    out.sparse = false;
     if (colon != std::string::npos)
       parse_options(out, spec.substr(colon + 1), family, /*comm_only=*/true);
     return out;
   }
-  if (family != "fedsz" && family != "fedsz-parallel")
+  if (family != "fedsz" && family != "fedsz-parallel" && family != "sparse")
     bad_spec("unknown family '" + family +
-             "' (expected fedsz, fedsz-parallel, identity or uncompressed)");
+             "' (expected fedsz, fedsz-parallel, sparse, identity or "
+             "uncompressed)");
   out.identity = false;
+  out.sparse = family == "sparse";
   if (family == "fedsz-parallel") out.threads = 0;
   if (colon == std::string::npos) return out;
   parse_options(out, spec.substr(colon + 1), family, /*comm_only=*/false);
@@ -420,6 +471,8 @@ std::string comm_suffix(const CodecSpec& spec) {
   if (!spec.checkpoint_path.empty())
     out += ",checkpoint=" + spec.checkpoint_path + ":" +
            std::to_string(spec.checkpoint_every);
+  if (spec.dirichlet_alpha > 0.0)
+    out += ",data=dirichlet:" + format_double(spec.dirichlet_alpha);
   return out;
 }
 
@@ -430,9 +483,14 @@ std::string format_codec_spec(const CodecSpec& spec) {
     const std::string comm = comm_suffix(spec);
     return comm.empty() ? "identity" : "identity:" + comm.substr(1);
   }
-  std::string out = "fedsz:lossy=";
-  out += lossy::lossy_codec(spec.lossy_id).name();
-  out += ",eb=";
+  std::string out;
+  if (spec.sparse) {
+    out = "sparse:eb=";
+  } else {
+    out = "fedsz:lossy=";
+    out += lossy::lossy_codec(spec.lossy_id).name();
+    out += ",eb=";
+  }
   out += spec.bound.mode == lossy::BoundMode::kAbsolute ? "abs:" : "rel:";
   out += format_double(spec.bound.value);
   out += ",lossless=";
@@ -440,6 +498,13 @@ std::string format_codec_spec(const CodecSpec& spec) {
   out += ",policy=" + spec.policy;
   if (spec.policy == "schedule")
     out += ":" + format_double(spec.schedule_factor);
+  if (spec.policy == "gradaware")
+    out += ":" + format_double(spec.gradaware_beta);
+  if (spec.sparse) {
+    if (spec.sparsity > 0.0) out += ",sparsity=" + format_double(spec.sparsity);
+    if (spec.sparse_bits > 0)
+      out += ",bits=" + std::to_string(spec.sparse_bits);
+  }
   out += ",chunk=" + std::to_string(spec.chunk_elements);
   out += ",threads=" + std::to_string(spec.threads);
   out += ",threshold=" + std::to_string(spec.lossy_threshold);
@@ -451,6 +516,10 @@ FedSzConfig codec_spec_config(const CodecSpec& spec) {
   if (spec.identity)
     throw InvalidArgument(
         "codec_spec_config: the identity spec has no FedSzConfig");
+  if (!spec.sparse && (spec.sparsity > 0.0 || spec.sparse_bits > 0))
+    throw InvalidArgument(
+        "codec spec: sparsity/bits are set but the family is not sparse; "
+        "only the sparse family can honor them");
   FedSzConfig config;
   config.lossy_id = spec.lossy_id;
   config.lossless_id = spec.lossless_id;
@@ -458,10 +527,23 @@ FedSzConfig codec_spec_config(const CodecSpec& spec) {
   config.lossy_threshold = spec.lossy_threshold;
   config.chunk_elements = spec.chunk_elements;
   config.parallelism = spec.threads;
-  if (spec.policy == "threshold") {
-    config.policy = nullptr;  // FedSz's byte-stable Algorithm-1 default
+  // Build the base policy the spec names, then (for the sparse family)
+  // wrap it in the overlay that reroutes its lossy plans onto the sparse
+  // path. A null base means policy=threshold — FedSz's byte-stable
+  // Algorithm-1 default.
+  const auto finish = [&spec, &config](CompressionPolicyPtr base) {
+    if (!spec.sparse) {
+      config.policy = std::move(base);
+      return config;
+    }
+    if (base == nullptr)
+      base = make_threshold_policy(
+          {spec.lossy_id, spec.bound, spec.lossy_threshold});
+    config.policy = make_sparse_overlay_policy(std::move(base), spec.sparsity,
+                                               spec.sparse_bits);
     return config;
-  }
+  };
+  if (spec.policy == "threshold") return finish(nullptr);
   if (spec.bound.mode != lossy::BoundMode::kRelative)
     throw InvalidArgument("codec spec: policy=" + spec.policy +
                           " requires a relative bound (eb=rel:...)");
@@ -493,10 +575,17 @@ FedSzConfig codec_spec_config(const CodecSpec& spec) {
     magnitude.base = spec.bound.value;
     magnitude.lossy_threshold = spec.lossy_threshold;
     config.policy = make_magnitude_aware_policy(magnitude);
+  } else if (spec.policy == "gradaware") {
+    GradientAwareConfig gradaware;
+    gradaware.lossy_id = spec.lossy_id;
+    gradaware.base = spec.bound.value;
+    gradaware.beta = spec.gradaware_beta;
+    gradaware.lossy_threshold = spec.lossy_threshold;
+    config.policy = make_gradient_aware_policy(gradaware);
   } else {
     throw InvalidArgument("codec spec: unknown policy '" + spec.policy + "'");
   }
-  return config;
+  return finish(std::move(config.policy));
 }
 
 UpdateCodecPtr make_codec(const CodecSpec& spec) {

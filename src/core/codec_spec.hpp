@@ -3,12 +3,22 @@
 // examples, so there is a single construction path from text to codec.
 //
 //   spec     := family [ ":" kv ("," kv)* ]
-//   family   := "fedsz" | "fedsz-parallel" | "identity" | "uncompressed"
+//   family   := "fedsz" | "fedsz-parallel" | "sparse" | "identity"
+//               | "uncompressed"
 //   kv       := key "=" value
-//   keys     := lossy=sz2|sz3|szx|zfp
+//   keys     := lossy=sz2|sz3|szx|zfp        (fedsz families only)
 //               lossless=blosc-lz|zlib|zstd|gzip|xz
 //               eb=[rel:|abs:]FLOAT          (bare FLOAT means rel)
 //               policy=threshold|layerwise|schedule[:FACTOR]|magnitude
+//                      |gradaware[:BETA]     (BETA = sensitivity-EMA
+//                                             smoothing in (0,1))
+//               sparsity=adaptive|FRACTION   (sparse family only: fraction
+//                                             of elements dropped, (0,1);
+//                                             adaptive = mean+stddev
+//                                             magnitude threshold)
+//               bits=adaptive|N              (sparse family only: survivor
+//                                             quantization width cap 1..31;
+//                                             never loosens the bound)
 //               chunk=N[k|m]                 (elements per lossy chunk)
 //               threads=N                    (0 = one per hardware thread)
 //               threshold=N                  (Algorithm 1 lossy threshold)
@@ -48,6 +58,15 @@
 //                                             coordinator to <path> every K
 //                                             rounds; the path may not
 //                                             contain ',' or ';')
+//               data=iid|dirichlet:<alpha>   (client data sharding: IID
+//                                             deal, or Dirichlet label skew
+//                                             with concentration alpha)
+//
+// The sparse family reroutes every would-be-lossy tensor through the
+// sparse-quantization codec (threshold + adaptive-width quantization) at
+// the spec's bound; it takes every key EXCEPT lossy= and composes with any
+// policy= (the policy picks the bound, sparse picks the representation),
+// e.g. "sparse:eb=rel:1e-2,sparsity=0.9,bits=8,policy=gradaware:0.5,ef=on".
 //
 // The identity family takes ONLY the comm keys (an uncompressed uplink
 // can still configure the broadcast, error feedback and topology), e.g.
@@ -76,6 +95,14 @@ namespace fedsz::core {
 struct CodecSpec {
   /// True for the uncompressed baseline; every other field is ignored.
   bool identity = false;
+  /// True for the sparse family: would-be-lossy tensors ride the sparse
+  /// path (lossy_id is ignored; sparsity/sparse_bits apply).
+  bool sparse = false;
+  /// Sparse keep-mask knob (sparsity= key): fraction of elements dropped in
+  /// (0, 1), or 0 for the adaptive mean+stddev magnitude threshold.
+  double sparsity = 0.0;
+  /// Survivor quantization width cap (bits= key), 1..31; 0 = adaptive.
+  unsigned sparse_bits = 0;
   lossy::LossyId lossy_id = lossy::LossyId::kSz2;
   lossless::LosslessId lossless_id = lossless::LosslessId::kBloscLz;
   lossy::ErrorBound bound = lossy::ErrorBound::relative(1e-2);
@@ -86,6 +113,9 @@ struct CodecSpec {
   bool policy_explicit = false;
   /// Per-round multiplier for policy=schedule (the optional :FACTOR arg).
   double schedule_factor = 0.7;
+  /// Sensitivity-EMA smoothing for policy=gradaware (the optional :BETA
+  /// arg), in (0, 1).
+  double gradaware_beta = 0.5;
   std::size_t chunk_elements = 64 * 1024;
   /// Chunk-pipeline workers; 0 = one per hardware thread.
   std::size_t threads = 1;
@@ -131,9 +161,13 @@ struct CodecSpec {
   /// every `checkpoint_every` completed rounds.
   std::string checkpoint_path;
   std::size_t checkpoint_every = 0;
+  /// Client data sharding (data= comm key): 0 = IID deal (the default),
+  /// > 0 = Dirichlet label skew with this concentration alpha.
+  double dirichlet_alpha = 0.0;
 
   /// True when any comm-level key (downlink/downmode/ef/topology/backhaul/
-  /// backhaul<k>/edgemode/edgeef/shard/transport/checkpoint) is set — the keys that configure an
+  /// backhaul<k>/edgemode/edgeef/shard/transport/checkpoint/data) is set —
+  /// the keys that configure an
   /// FL run rather than a codec. The single predicate behind every "this
   /// spec cannot carry comm keys" rejection (nested downlink/backhaul
   /// specs, make_codec_by_name), so a future comm key only needs adding
@@ -143,7 +177,7 @@ struct CodecSpec {
            !hier_tiers.empty() || !backhaul.empty() ||
            !tier_backhauls.empty() || edge_buffered ||
            edge_error_feedback || shard_shuffled || !transport.empty() ||
-           !checkpoint_path.empty();
+           !checkpoint_path.empty() || dirichlet_alpha > 0.0;
   }
 };
 

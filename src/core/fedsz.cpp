@@ -6,6 +6,7 @@
 #include <new>
 #include <stdexcept>
 
+#include "compress/sparse/sparse_codec.hpp"
 #include "util/bytebuffer.hpp"
 #include "util/timer.hpp"
 
@@ -65,10 +66,16 @@ Partition partition_state_dict(const StateDict& dict, std::size_t threshold) {
 /// a reusable writer instead of a deep-copied StateDict.
 struct FedSz::EncodeWorkspace {
   struct ChunkJob {
+    /// Lossy chunk when non-null; a whole-tensor sparse job when null
+    /// (sparse masks/statistics are per-tensor, so the sparse path never
+    /// chunks — one job per tensor keeps byte-identity trivial).
     const lossy::LossyCodec* codec;
     FloatSpan chunk;
     double eps;
     Bytes* slot;
+    double sparsity = 0.0;    // sparse jobs only
+    unsigned sparse_bits = 0; // sparse jobs only
+    std::size_t kept = 0;     // filled by sparse jobs for the stats tally
   };
   std::vector<std::vector<Bytes>> chunk_payloads;  // per planned entry
   std::vector<ChunkJob> jobs;
@@ -206,6 +213,20 @@ Bytes FedSz::compress(const StateDict& dict, CompressionStats* stats,
         }
         break;
       }
+      case TensorPath::kSparse: {
+        plan.bound.validate();
+        sparse::SparseParams{plan.sparsity, plan.sparse_bits}.validate();
+        uniform = false;
+        planned.push_back({&name, &tensor, plan, nullptr, 0.0, 0});
+        local.sparse_original_bytes += bytes;
+        local.sparse_total_elements += tensor.numel();
+        ++local.sparse_tensors;
+        if (plan.bound.mode == lossy::BoundMode::kRelative) {
+          rel_bound_sum += plan.bound.value;
+          ++rel_bound_count;
+        }
+        break;
+      }
       default:
         throw InvalidArgument("FedSz: policy '" + policy_->name() +
                               "' returned an unknown TensorPath");
@@ -219,9 +240,10 @@ Bytes FedSz::compress(const StateDict& dict, CompressionStats* stats,
   // chunk sees the same absolute tolerance it would in an unchunked stream.
   std::size_t total_chunks = 0;
   for (PlannedEntry& entry : planned) {
-    if (entry.plan.path != TensorPath::kLossy) continue;
+    if (entry.plan.path == TensorPath::kRaw) continue;
     entry.eps = std::max(entry.plan.bound.absolute_for(entry.tensor->span()),
                          kMinEpsilon);
+    if (entry.plan.path != TensorPath::kLossy) continue;
     entry.chunks = chunk_count(entry.tensor->numel());
     total_chunks += entry.chunks;
   }
@@ -240,6 +262,15 @@ Bytes FedSz::compress(const StateDict& dict, CompressionStats* stats,
   ws.jobs.clear();
   for (std::size_t i = 0; i < planned.size(); ++i) {
     const PlannedEntry& entry = planned[i];
+    if (entry.plan.path == TensorPath::kSparse) {
+      // One whole-tensor job: the keep-mask derives from per-tensor
+      // magnitude statistics, so the sparse path never chunks.
+      ws.chunk_payloads[i].resize(1);
+      ws.jobs.push_back({nullptr, entry.tensor->span(), entry.eps,
+                         &ws.chunk_payloads[i][0], entry.plan.sparsity,
+                         entry.plan.sparse_bits, 0});
+      continue;
+    }
     if (entry.plan.path != TensorPath::kLossy) {
       ws.chunk_payloads[i].clear();
       continue;
@@ -276,11 +307,21 @@ Bytes FedSz::compress(const StateDict& dict, CompressionStats* stats,
       lossless_codec.compress_into(metadata.view(), ws.lossless_payload);
       return;
     }
-    const EncodeWorkspace::ChunkJob& job = ws.jobs[t - 1];
+    EncodeWorkspace::ChunkJob& job = ws.jobs[t - 1];
+    if (job.codec == nullptr) {
+      job.kept = sparse::sparse_codec()
+                     .compress_into(job.chunk, job.eps,
+                                    {job.sparsity, job.sparse_bits},
+                                    lossless_codec, *job.slot)
+                     .kept;
+      return;
+    }
     job.codec->compress_into(job.chunk, lossy::ErrorBound::absolute(job.eps),
                              *job.slot);
   });
   const Bytes& lossless_payload = ws.lossless_payload;
+  for (const EncodeWorkspace::ChunkJob& job : ws.jobs)
+    if (job.codec == nullptr) local.sparse_kept_elements += job.kept;
 
   // Shared per-entry serialization, so the v2 and v3 branches can never
   // drift apart: the name/shape prefix, and the resolved-eps + chunk-size
@@ -337,6 +378,18 @@ Bytes FedSz::compress(const StateDict& dict, CompressionStats* stats,
         w.put_bytes(as_bytes(entry.tensor->span()));
         continue;
       }
+      if (entry.plan.path == TensorPath::kSparse) {
+        // Policy bound + resolved epsilon (informational, mirrors the lossy
+        // layout), then one self-contained sparse payload.
+        w.put_u8(static_cast<std::uint8_t>(entry.plan.bound.mode));
+        w.put_f64(entry.plan.bound.value);
+        w.put_f64(entry.eps);
+        const Bytes& payload = ws.chunk_payloads[i][0];
+        w.put_varint(payload.size());
+        w.put_bytes({payload.data(), payload.size()});
+        local.sparse_compressed_bytes += payload.size();
+        continue;
+      }
       w.put_u8(static_cast<std::uint8_t>(entry.plan.lossy_id));
       w.put_u8(static_cast<std::uint8_t>(entry.plan.bound.mode));
       w.put_f64(entry.plan.bound.value);
@@ -372,6 +425,13 @@ std::string read_entry_header(ByteReader& r, Shape* shape,
 /// A chunk decode task: payload span -> disjoint destination range.
 struct ChunkTask {
   const lossy::LossyCodec* codec;
+  ByteSpan payload;
+  float* dest;
+  std::size_t expected;
+};
+
+/// A sparse decode task: one self-contained payload -> a whole tensor.
+struct SparseTask {
   ByteSpan payload;
   float* dest;
   std::size_t expected;
@@ -540,6 +600,7 @@ StateDict FedSz::decompress(ByteSpan stream, CompressionStats* stats) const {
   std::vector<DecodedEntry> planned_entries;
   planned_entries.reserve(std::min<std::size_t>(n_planned, r.remaining()));
   std::vector<ChunkTask> chunks;
+  std::vector<SparseTask> sparse_tasks;
   for (std::uint32_t i = 0; i < n_planned; ++i) {
     Shape shape;
     std::size_t numel = 0;
@@ -569,6 +630,46 @@ StateDict FedSz::decompress(ByteSpan stream, CompressionStats* stats) const {
       local.raw_original_bytes += numel * sizeof(float);
       continue;
     }
+    if (path == static_cast<std::uint8_t>(TensorPath::kSparse)) {
+      (void)r.get_u8();   // policy bound mode (informational)
+      (void)r.get_f64();  // policy bound value (informational)
+      (void)r.get_f64();  // resolved absolute epsilon (informational)
+      const std::uint64_t payload_size = r.get_varint();
+      if (payload_size > r.remaining())
+        throw CorruptStream("FedSz: sparse payload exceeds stream for " +
+                            name);
+      // Same decompression-bomb rule as the chunked path: the sparse
+      // encoder keeps every payload above this floor (bitmap fallback).
+      if (numel / sparse::kMaxElementsPerPayloadByte >
+          static_cast<std::size_t>(payload_size))
+        throw CorruptStream("FedSz: implausible tensor size for " + name);
+      const ByteSpan payload = r.get_bytes(payload_size);
+      {
+        // Peek the payload's own header so a container/payload element-count
+        // mismatch fails serially (and the kept tally lands in the stats).
+        ByteReader peek(payload);
+        if (peek.get_varint() != numel)
+          throw CorruptStream(
+              "FedSz: sparse payload element count mismatch for " + name);
+        (void)peek.get_f64();  // eps
+        local.sparse_kept_elements +=
+            static_cast<std::size_t>(peek.get_varint());
+      }
+      try {
+        planned_entries.push_back({std::move(name), Tensor(std::move(shape))});
+      } catch (const std::bad_alloc&) {
+        throw CorruptStream("FedSz: declared tensor too large to materialize");
+      } catch (const std::length_error&) {
+        throw CorruptStream("FedSz: declared tensor too large to materialize");
+      }
+      sparse_tasks.push_back(
+          {payload, planned_entries.back().tensor.data(), numel});
+      ++local.sparse_tensors;
+      local.sparse_compressed_bytes += payload_size;
+      local.sparse_original_bytes += numel * sizeof(float);
+      local.sparse_total_elements += numel;
+      continue;
+    }
     if (path != static_cast<std::uint8_t>(TensorPath::kLossy))
       throw CorruptStream("FedSz: unknown tensor path in stream for " + name);
     const std::uint8_t raw_lossy_id = r.get_u8();
@@ -592,14 +693,23 @@ StateDict FedSz::decompress(ByteSpan stream, CompressionStats* stats) const {
   // Pass 2: decode chunks and the lossless partition concurrently. The task
   // list is the flat ChunkTask array — no per-chunk closure allocation.
   StateDict lossless_partition;
-  run_indexed(chunks.size() + 1, [lossless_codec, lossless_payload_span,
-                                  &lossless_partition,
-                                  &chunks](std::size_t t) {
+  run_indexed(chunks.size() + sparse_tasks.size() + 1,
+              [lossless_codec, lossless_payload_span, &lossless_partition,
+               &chunks, &sparse_tasks](std::size_t t) {
     if (t == 0) {
       const Bytes serialized =
           lossless_codec->decompress(lossless_payload_span);
       lossless_partition =
           StateDict::deserialize({serialized.data(), serialized.size()});
+      return;
+    }
+    if (t > chunks.size()) {
+      const SparseTask& task = sparse_tasks[t - 1 - chunks.size()];
+      const std::vector<float> values =
+          sparse::sparse_codec().decompress(task.payload);
+      if (values.size() != task.expected)
+        throw CorruptStream("FedSz: decompressed sparse size mismatch");
+      std::memcpy(task.dest, values.data(), values.size() * sizeof(float));
       return;
     }
     const ChunkTask& chunk = chunks[t - 1];

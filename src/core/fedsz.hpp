@@ -108,10 +108,18 @@ struct CompressionStats {
   std::size_t lossless_compressed_bytes = 0;
   /// Raw-path bytes ship uncompressed, so original == on-wire payload.
   std::size_t raw_original_bytes = 0;
+  /// Sparse-path accounting: byte totals plus kept/total element tallies
+  /// (the survivors the keep-mask selected vs. everything the sparse path
+  /// saw), from which the effective bit-rate derives.
+  std::size_t sparse_original_bytes = 0;
+  std::size_t sparse_compressed_bytes = 0;
+  std::size_t sparse_kept_elements = 0;
+  std::size_t sparse_total_elements = 0;
   /// Per-tensor plan census: how many tensors each path received.
   std::size_t lossy_tensors = 0;
   std::size_t lossless_tensors = 0;
   std::size_t raw_tensors = 0;
+  std::size_t sparse_tensors = 0;
   /// Total lossy chunks in the container (0 when the lossy partition is
   /// empty; equals the lossy tensor count when nothing exceeds chunk size).
   std::size_t lossy_chunks = 0;
@@ -127,6 +135,15 @@ struct CompressionStats {
     return compressed_bytes > 0 ? static_cast<double>(original_bytes) /
                                       static_cast<double>(compressed_bytes)
                                 : 0.0;
+  }
+  /// Effective on-wire bits per element over everything routed through the
+  /// sparse path (mask + quantized survivors + headers; 32 would mean no
+  /// gain over raw f32). 0 when the sparse partition is empty.
+  double sparse_bits_per_element() const {
+    return sparse_total_elements > 0
+               ? 8.0 * static_cast<double>(sparse_compressed_bytes) /
+                     static_cast<double>(sparse_total_elements)
+               : 0.0;
   }
 };
 

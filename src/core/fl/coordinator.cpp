@@ -65,6 +65,7 @@ void FlRunConfig::apply_comm_spec(const CodecSpec& spec) {
   transport = spec.transport;
   checkpoint_path = spec.checkpoint_path;
   checkpoint_every = spec.checkpoint_every;
+  dirichlet_alpha = spec.dirichlet_alpha;
 }
 
 void FlRunConfig::validate() const {
@@ -93,6 +94,9 @@ void FlRunConfig::validate() const {
     throw InvalidArgument(
         "FlRunConfig: downlink_mode=kDelta requires a downlink_spec");
   }
+  if (!(dirichlet_alpha >= 0.0) || !std::isfinite(dirichlet_alpha))
+    throw InvalidArgument(
+        "FlRunConfig: dirichlet_alpha must be finite and >= 0 (0 = IID)");
   failures.validate();
   if (failures.edge_failure_rate > 0.0 && topology.mode != TopologyMode::kHier)
     throw InvalidArgument(
@@ -190,7 +194,16 @@ FlCoordinator::FlCoordinator(const nn::ModelConfig& model_config,
         config_.clients);
   feedback_.resize(config_.clients);
   Rng rng(config_.seed);
-  const auto shards = data::partition_iid(train->size(), config_.clients, rng);
+  auto shards =
+      config_.dirichlet_alpha > 0.0
+          ? data::partition_dirichlet(data::dataset_labels(*train),
+                                      config_.clients,
+                                      config_.dirichlet_alpha, rng)
+          : data::partition_iid(train->size(), config_.clients, rng);
+  // A heavily skewed Dirichlet draw can leave a client with no samples;
+  // an empty shard cannot train, so deterministically move one sample over
+  // from the largest shard (conservation holds, skew barely changes).
+  if (config_.dirichlet_alpha > 0.0) data::ensure_nonempty_shards(shards);
   Rng speed_rng(config_.seed ^ 0xC0DEC10Cull);
   compute_seconds_.reserve(config_.clients);
   for (std::size_t i = 0; i < config_.clients; ++i) {
@@ -279,6 +292,11 @@ FlRunResult FlCoordinator::run() {
   std::size_t root_folded = 0;
   std::size_t root_goal = 0;
   std::size_t merged_partials = 0;  // partials merged this round, all tiers
+  // Shipped partials whose arrival event has not executed yet. Whatever is
+  // still in flight when the run stops never merges anywhere — fold those
+  // into late_events at exit so weight that left an edge is always either
+  // merged, traced kLate, or counted late.
+  std::size_t partials_in_flight = 0;
 
   const std::size_t levels = tree_ ? tree_->levels() : 0;
   const std::size_t interior = tree_ ? tree_->interior_nodes() : 0;
@@ -690,6 +708,7 @@ FlRunResult FlCoordinator::run() {
     nodes[l][n].open = false;
     auto partial = std::make_shared<const EncodedPartial>(
         tree_->node(l, n).finalize_and_encode(completed));
+    ++partials_in_flight;
     const double transfer =
         tree_->uplink(l, n).transfer_seconds(partial->payload.size());
     queue.schedule_after(transfer,
@@ -777,6 +796,7 @@ FlRunResult FlCoordinator::run() {
     trace.lossy_tensors = out.stats.lossy_tensors;
     trace.lossless_tensors = out.stats.lossless_tensors;
     trace.raw_tensors = out.stats.raw_tensors;
+    trace.sparse_tensors = out.stats.sparse_tensors;
     trace.downlink_bytes = flight.downlink_bytes;
     trace.downlink_seconds = flight.downlink_seconds;
     trace.ef_residual_norm = out.ef_residual_norm;
@@ -855,6 +875,7 @@ FlRunResult FlCoordinator::run() {
   // already shipped merge nowhere (counted/traced, never totaled).
   on_partial = [&](std::size_t l, std::size_t n, int round, double transfer,
                    std::shared_ptr<const EncodedPartial> partial) {
+    --partials_in_flight;
     if (stopped) return;
     if (round != completed) {
       ++result.late_events;
@@ -1149,6 +1170,10 @@ FlRunResult FlCoordinator::run() {
   open_round(true);
   while (!stopped && queue.run_next()) {
   }
+  // A buffered ancestor can ship early enough that the run's final close
+  // leaves weighted partials mid-transfer; their arrival events never run,
+  // so account for them here.
+  result.late_events += partials_in_flight;
 
   result.final_accuracy =
       result.rounds.empty() ? 0.0 : result.rounds.back().accuracy;

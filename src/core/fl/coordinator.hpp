@@ -131,6 +131,12 @@ struct FlRunConfig {
   std::size_t checkpoint_every = 0;
   bool resume = false;
 
+  /// Client data sharding (data= comm key): 0 = IID deal (the default and
+  /// the byte-stable pre-existing trajectory), > 0 = Dirichlet label-skew
+  /// partition with this concentration alpha (lower = more skew), seeded
+  /// from `seed` so the shards are deterministic.
+  double dirichlet_alpha = 0.0;
+
   /// Fold the comm-level keys of a parsed codec spec (downlink=, downmode=,
   /// ef=, topology=, backhaul=, backhaul<k>=, edgemode=, edgeef=, shard=,
   /// transport=, checkpoint=) into this config; the spec's codec-level keys
@@ -172,6 +178,7 @@ struct ClientTraceEntry {
   std::size_t lossy_tensors = 0;
   std::size_t lossless_tensors = 0;
   std::size_t raw_tensors = 0;
+  std::size_t sparse_tensors = 0;
   /// Downlink leg of this delivery: broadcast bytes charged against this
   /// client's link and the virtual seconds they took (0 when the broadcast
   /// is free/lossless).

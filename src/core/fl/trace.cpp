@@ -18,6 +18,7 @@ util::JsonValue client_json(const ClientTraceEntry& t) {
   v.set("lossy_tensors", t.lossy_tensors);
   v.set("lossless_tensors", t.lossless_tensors);
   v.set("raw_tensors", t.raw_tensors);
+  v.set("sparse_tensors", t.sparse_tensors);
   v.set("downlink_bytes", t.downlink_bytes);
   v.set("downlink_seconds", t.downlink_seconds);
   v.set("ef_residual_norm", t.ef_residual_norm);

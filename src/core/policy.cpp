@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "compress/sparse/sparse_codec.hpp"
 #include "core/fedsz.hpp"
 
 namespace fedsz::core {
@@ -129,6 +130,81 @@ TensorPlan MagnitudeAwarePolicy::plan(const std::string& name,
       config_.lossy_id, lossy::ErrorBound::relative(config_.base * scale));
 }
 
+// ---- GradientAwareBoundPolicy ----
+
+GradientAwareBoundPolicy::GradientAwareBoundPolicy(GradientAwareConfig config)
+    : config_(config) {
+  validate_threshold_fields(lossy::ErrorBound::relative(config_.base),
+                            config_.lossy_id, "GradientAwareBoundPolicy");
+  if (!(config_.beta > 0.0) || !(config_.beta < 1.0))
+    throw InvalidArgument(
+        "GradientAwareBoundPolicy: beta must be in (0, 1)");
+  if (!(config_.reference_sensitivity > 0.0) ||
+      !std::isfinite(config_.reference_sensitivity))
+    throw InvalidArgument(
+        "GradientAwareBoundPolicy: reference_sensitivity must be positive "
+        "and finite");
+  if (!(config_.min_scale > 0.0) || !(config_.max_scale >= config_.min_scale))
+    throw InvalidArgument(
+        "GradientAwareBoundPolicy: need 0 < min_scale <= max_scale");
+}
+
+TensorPlan GradientAwareBoundPolicy::plan(const std::string& name,
+                                          const Tensor& tensor,
+                                          const EncodeContext& ctx) const {
+  if (!is_lossy_entry(name, tensor.numel(), config_.lossy_threshold))
+    return TensorPlan::lossless();
+  const double rms = tensor_rms(tensor);
+  if (rms == 0.0) return TensorPlan::lossless();
+  const std::string key = std::to_string(ctx.client_id) + '|' + name;
+  double sensitivity = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Accumulator& acc = sensitivity_[key];
+    if (!acc.seeded) {
+      acc.seeded = true;
+      acc.round = ctx.round;
+      acc.before = rms;
+    } else if (ctx.round != acc.round) {
+      acc.round = ctx.round;
+      acc.before = acc.current;
+    }
+    // Recomputing from `before` keeps same-round re-encodes idempotent.
+    acc.current = config_.beta * acc.before + (1.0 - config_.beta) * rms;
+    sensitivity = acc.current;
+  }
+  const double scale =
+      std::clamp(config_.reference_sensitivity / sensitivity,
+                 config_.min_scale, config_.max_scale);
+  return TensorPlan::lossy(
+      config_.lossy_id, lossy::ErrorBound::relative(config_.base * scale));
+}
+
+double GradientAwareBoundPolicy::sensitivity(int client_id,
+                                             const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = sensitivity_.find(std::to_string(client_id) + '|' + name);
+  return it == sensitivity_.end() ? 0.0 : it->second.current;
+}
+
+// ---- SparseOverlayPolicy ----
+
+SparseOverlayPolicy::SparseOverlayPolicy(CompressionPolicyPtr inner,
+                                         double sparsity, unsigned bits)
+    : inner_(std::move(inner)), sparsity_(sparsity), bits_(bits) {
+  if (inner_ == nullptr)
+    throw InvalidArgument("SparseOverlayPolicy: null inner policy");
+  sparse::SparseParams{sparsity_, bits_}.validate();
+}
+
+TensorPlan SparseOverlayPolicy::plan(const std::string& name,
+                                     const Tensor& tensor,
+                                     const EncodeContext& ctx) const {
+  const TensorPlan inner = inner_->plan(name, tensor, ctx);
+  if (inner.path != TensorPath::kLossy) return inner;
+  return TensorPlan::sparse(inner.bound, sparsity_, bits_);
+}
+
 // ---- factories ----
 
 CompressionPolicyPtr make_threshold_policy(ThresholdPolicyConfig config) {
@@ -147,8 +223,19 @@ CompressionPolicyPtr make_magnitude_aware_policy(MagnitudeAwareConfig config) {
   return std::make_shared<MagnitudeAwarePolicy>(config);
 }
 
+CompressionPolicyPtr make_gradient_aware_policy(GradientAwareConfig config) {
+  return std::make_shared<GradientAwareBoundPolicy>(config);
+}
+
+CompressionPolicyPtr make_sparse_overlay_policy(CompressionPolicyPtr inner,
+                                                double sparsity,
+                                                unsigned bits) {
+  return std::make_shared<SparseOverlayPolicy>(std::move(inner), sparsity,
+                                               bits);
+}
+
 std::vector<std::string> compression_policy_names() {
-  return {"threshold", "layerwise", "schedule", "magnitude"};
+  return {"threshold", "layerwise", "schedule", "magnitude", "gradaware"};
 }
 
 }  // namespace fedsz::core

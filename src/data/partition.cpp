@@ -60,6 +60,34 @@ std::vector<std::vector<std::size_t>> partition_dirichlet(
   return shards;
 }
 
+std::vector<std::vector<std::size_t>> partition_dirichlet(
+    const std::vector<int>& labels, std::size_t clients, double alpha,
+    std::uint64_t seed) {
+  Rng rng(seed);
+  return partition_dirichlet(labels, clients, alpha, rng);
+}
+
+std::vector<int> dataset_labels(const Dataset& dataset) {
+  std::vector<int> labels;
+  labels.reserve(dataset.size());
+  for (std::size_t i = 0; i < dataset.size(); ++i)
+    labels.push_back(dataset.get(i).label);
+  return labels;
+}
+
+void ensure_nonempty_shards(std::vector<std::vector<std::size_t>>& shards) {
+  for (std::size_t k = 0; k < shards.size(); ++k) {
+    if (!shards[k].empty()) continue;
+    std::size_t donor = shards.size();
+    for (std::size_t d = 0; d < shards.size(); ++d)
+      if (donor == shards.size() || shards[d].size() > shards[donor].size())
+        donor = d;
+    if (donor == shards.size() || shards[donor].size() < 2) continue;
+    shards[k].push_back(shards[donor].back());
+    shards[donor].pop_back();
+  }
+}
+
 std::vector<DatasetPtr> shard_dataset(
     DatasetPtr base, const std::vector<std::vector<std::size_t>>& shards) {
   std::vector<DatasetPtr> out;

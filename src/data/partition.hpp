@@ -22,6 +22,21 @@ std::vector<std::vector<std::size_t>> partition_dirichlet(
     const std::vector<int>& labels, std::size_t clients, double alpha,
     Rng& rng);
 
+/// Seeded entry point: same partition, deterministic in (labels, clients,
+/// alpha, seed) — what the coordinator's data=dirichlet:<alpha> comm key
+/// and the codec-race benches call.
+std::vector<std::vector<std::size_t>> partition_dirichlet(
+    const std::vector<int>& labels, std::size_t clients, double alpha,
+    std::uint64_t seed);
+
+/// Gather every sample's label (partition_dirichlet input) in index order.
+std::vector<int> dataset_labels(const Dataset& dataset);
+
+/// Deterministically move one sample from the largest shard into each empty
+/// one (skewed Dirichlet draws can starve a client; an empty shard cannot
+/// train). Total sample count and shard disjointness are preserved.
+void ensure_nonempty_shards(std::vector<std::vector<std::size_t>>& shards);
+
 /// Materialize shards as SubsetDataset views.
 std::vector<DatasetPtr> shard_dataset(
     DatasetPtr base, const std::vector<std::vector<std::size_t>>& shards);

@@ -62,6 +62,115 @@ TEST(CodecSpecParse, ScheduleFactorArgument) {
   EXPECT_DOUBLE_EQ(spec.schedule_factor, 0.85);
 }
 
+TEST(CodecSpecParse, SparseFamilyAndItsKeys) {
+  const CodecSpec spec = parse_codec_spec(
+      "sparse:eb=rel:1e-2,sparsity=0.9,bits=8,policy=gradaware:0.7,"
+      "lossless=zstd");
+  EXPECT_TRUE(spec.sparse);
+  EXPECT_FALSE(spec.identity);
+  EXPECT_DOUBLE_EQ(spec.sparsity, 0.9);
+  EXPECT_EQ(spec.sparse_bits, 8u);
+  EXPECT_EQ(spec.policy, "gradaware");
+  EXPECT_DOUBLE_EQ(spec.gradaware_beta, 0.7);
+  EXPECT_EQ(spec.lossless_id, lossless::LosslessId::kZstd);
+
+  // Bare family: adaptive threshold, adaptive width, threshold policy.
+  const CodecSpec bare = parse_codec_spec("sparse");
+  EXPECT_TRUE(bare.sparse);
+  EXPECT_DOUBLE_EQ(bare.sparsity, 0.0);
+  EXPECT_EQ(bare.sparse_bits, 0u);
+  EXPECT_EQ(bare.policy, "threshold");
+
+  // The adaptive spellings are explicit no-ops.
+  const CodecSpec adaptive =
+      parse_codec_spec("sparse:sparsity=adaptive,bits=adaptive");
+  EXPECT_DOUBLE_EQ(adaptive.sparsity, 0.0);
+  EXPECT_EQ(adaptive.sparse_bits, 0u);
+
+  // Canonical form: sparse family renders without lossy=, keys round-trip.
+  const std::string canonical = format_codec_spec(spec);
+  EXPECT_EQ(canonical.rfind("sparse:eb=", 0), 0u);
+  EXPECT_EQ(canonical.find("lossy="), std::string::npos);
+  EXPECT_NE(canonical.find(",sparsity=0.9"), std::string::npos);
+  EXPECT_NE(canonical.find(",bits=8"), std::string::npos);
+  EXPECT_NE(canonical.find(",policy=gradaware:0.7"), std::string::npos);
+  EXPECT_EQ(normalize(canonical), canonical);
+}
+
+TEST(CodecSpecParse, GradAwareBetaArgument) {
+  // Default beta when the ':' argument is omitted; both families take it.
+  EXPECT_DOUBLE_EQ(parse_codec_spec("fedsz:policy=gradaware").gradaware_beta,
+                   0.5);
+  EXPECT_DOUBLE_EQ(
+      parse_codec_spec("fedsz:policy=gradaware:0.25").gradaware_beta, 0.25);
+  EXPECT_EQ(parse_codec_spec("sparse:policy=gradaware").policy, "gradaware");
+}
+
+TEST(CodecSpecParse, DataKeyIsCommLevel) {
+  EXPECT_DOUBLE_EQ(
+      parse_codec_spec("fedsz:data=dirichlet:0.3").dirichlet_alpha, 0.3);
+  EXPECT_DOUBLE_EQ(parse_codec_spec("fedsz:data=iid").dirichlet_alpha, 0.0);
+  // identity accepts comm keys, data= included.
+  const CodecSpec identity = parse_codec_spec("identity:data=dirichlet:0.5");
+  EXPECT_TRUE(identity.identity);
+  EXPECT_DOUBLE_EQ(identity.dirichlet_alpha, 0.5);
+  const std::string canonical = format_codec_spec(identity);
+  EXPECT_NE(canonical.find("data=dirichlet:0.5"), std::string::npos);
+  EXPECT_EQ(normalize(canonical), canonical);
+  // data=iid normalizes away (it is the default).
+  EXPECT_EQ(normalize("fedsz:data=iid"), normalize("fedsz"));
+  // A bare codec cannot honor a sharding directive.
+  EXPECT_THROW(make_codec("fedsz:data=dirichlet:0.5"), InvalidArgument);
+}
+
+TEST(CodecSpecErrors, MalformedSparseAndDataKeysThrow) {
+  for (const char* spec :
+       {// sparse keys demand the sparse family
+        "fedsz:sparsity=0.9", "fedsz:bits=8", "identity:sparsity=0.9",
+        // the sparse family replaces the lossy codec
+        "sparse:lossy=sz3",
+        // sparsity: fraction strictly inside (0, 1) or adaptive
+        "sparse:sparsity=0", "sparse:sparsity=1", "sparse:sparsity=1.5",
+        "sparse:sparsity=-0.5", "sparse:sparsity=", "sparse:sparsity=most",
+        // bits: 1..31 or adaptive, no size suffixes
+        "sparse:bits=0", "sparse:bits=32", "sparse:bits=8k", "sparse:bits=",
+        // gradaware beta strictly inside (0, 1)
+        "fedsz:policy=gradaware:0", "fedsz:policy=gradaware:1",
+        "fedsz:policy=gradaware:-0.5", "sparse:policy=gradaware:nan",
+        // data: iid or dirichlet:<alpha> with alpha > 0
+        "fedsz:data=", "fedsz:data=dirichlet", "fedsz:data=dirichlet:",
+        "fedsz:data=dirichlet:0", "fedsz:data=dirichlet:-1",
+        "fedsz:data=skewed"}) {
+    EXPECT_THROW(parse_codec_spec(spec), InvalidArgument) << spec;
+  }
+}
+
+TEST(CodecSpecErrors, ConfigRejectsSparseKnobsOnNonSparseSpecs) {
+  // A hand-built spec (not via the parser) with sparse knobs but a fedsz
+  // family cannot honor them; codec_spec_config must refuse rather than
+  // silently drop the sparsification.
+  CodecSpec spec;
+  spec.sparsity = 0.9;
+  EXPECT_THROW(codec_spec_config(spec), InvalidArgument);
+  CodecSpec bits_only;
+  bits_only.sparse_bits = 8;
+  EXPECT_THROW(codec_spec_config(bits_only), InvalidArgument);
+}
+
+TEST(MakeCodecByName, SparseFamilyWrapsThePolicyInTheOverlay) {
+  const auto codec = make_codec_by_name("sparse:eb=rel:1e-2,sparsity=0.9");
+  const auto* fedsz = dynamic_cast<const FedSzCodec*>(codec.get());
+  ASSERT_NE(fedsz, nullptr);
+  EXPECT_EQ(fedsz->fedsz().policy().name(), "sparse+threshold");
+
+  const auto gradaware =
+      make_codec_by_name("sparse:eb=rel:1e-2,policy=gradaware:0.5");
+  const auto* gradaware_fedsz =
+      dynamic_cast<const FedSzCodec*>(gradaware.get());
+  ASSERT_NE(gradaware_fedsz, nullptr);
+  EXPECT_EQ(gradaware_fedsz->fedsz().policy().name(), "sparse+gradaware");
+}
+
 TEST(CodecSpecParse, CommKeysDownlinkDownmodeEf) {
   const CodecSpec spec = parse_codec_spec(
       "fedsz:eb=rel:1e-2,downlink=fedsz:eb=rel:1e-3;lossless=zstd,"
@@ -313,7 +422,16 @@ TEST(CodecSpecFormat, FormatParseFuzzRoundTrip) {
     SCOPED_TRACE("iteration " + std::to_string(iter));
     CodecSpec spec;
     spec.identity = rng.uniform() < 0.1;
-    spec.lossy_id = lossy_codecs[rng.uniform_index(lossy_codecs.size())]->id();
+    spec.sparse = !spec.identity && rng.uniform() < 0.25;
+    if (spec.sparse) {
+      // The sparse family renders no lossy=; its knobs ride instead.
+      if (rng.uniform() < 0.5) spec.sparsity = rng.uniform(0.05, 0.95);
+      if (rng.uniform() < 0.5)
+        spec.sparse_bits = 1 + static_cast<unsigned>(rng.uniform_index(31));
+    } else {
+      spec.lossy_id =
+          lossy_codecs[rng.uniform_index(lossy_codecs.size())]->id();
+    }
     spec.lossless_id =
         lossless_codecs[rng.uniform_index(lossless_codecs.size())]->id();
     const double exponent = rng.uniform(-6.0, -1.0);
@@ -324,6 +442,8 @@ TEST(CodecSpecFormat, FormatParseFuzzRoundTrip) {
       spec.bound.mode = lossy::BoundMode::kAbsolute;
     }
     spec.schedule_factor = rng.uniform(0.1, 1.5);
+    spec.gradaware_beta = rng.uniform(0.05, 0.95);
+    if (rng.uniform() < 0.2) spec.dirichlet_alpha = rng.uniform(0.1, 5.0);
     spec.chunk_elements = 1 + rng.uniform_index(1 << 20);
     spec.threads = rng.uniform_index(9);
     spec.lossy_threshold = rng.uniform_index(5000);
@@ -369,8 +489,15 @@ TEST(CodecSpecFormat, FormatParseFuzzRoundTrip) {
     EXPECT_EQ(reparsed.edge_buffer, spec.edge_buffer);
     EXPECT_EQ(reparsed.edge_error_feedback, spec.edge_error_feedback);
     EXPECT_EQ(reparsed.shard_shuffled, spec.shard_shuffled);
+    EXPECT_DOUBLE_EQ(reparsed.dirichlet_alpha, spec.dirichlet_alpha);
     if (!spec.identity) {
-      EXPECT_EQ(reparsed.lossy_id, spec.lossy_id);
+      EXPECT_EQ(reparsed.sparse, spec.sparse);
+      if (spec.sparse) {
+        EXPECT_DOUBLE_EQ(reparsed.sparsity, spec.sparsity);
+        EXPECT_EQ(reparsed.sparse_bits, spec.sparse_bits);
+      } else {
+        EXPECT_EQ(reparsed.lossy_id, spec.lossy_id);
+      }
       EXPECT_EQ(reparsed.lossless_id, spec.lossless_id);
       EXPECT_EQ(reparsed.bound.mode, spec.bound.mode);
       EXPECT_DOUBLE_EQ(reparsed.bound.value, spec.bound.value);
@@ -380,6 +507,9 @@ TEST(CodecSpecFormat, FormatParseFuzzRoundTrip) {
       EXPECT_EQ(reparsed.lossy_threshold, spec.lossy_threshold);
       if (spec.policy == "schedule") {
         EXPECT_DOUBLE_EQ(reparsed.schedule_factor, spec.schedule_factor);
+      }
+      if (spec.policy == "gradaware") {
+        EXPECT_DOUBLE_EQ(reparsed.gradaware_beta, spec.gradaware_beta);
       }
     }
   }

@@ -169,6 +169,56 @@ TEST(PartitionDirichlet, InvalidArgsThrow) {
   EXPECT_THROW(partition_dirichlet(labels, 2, 0.0, rng), InvalidArgument);
 }
 
+TEST(PartitionDirichlet, SeededOverloadIsDeterministicAndConserving) {
+  std::vector<int> labels(900);
+  for (std::size_t i = 0; i < labels.size(); ++i)
+    labels[i] = static_cast<int>(i % 9);
+  const auto a = partition_dirichlet(labels, 5, 0.3, std::uint64_t{42});
+  const auto b = partition_dirichlet(labels, 5, 0.3, std::uint64_t{42});
+  EXPECT_EQ(a, b);  // same seed, byte-identical shards
+  const auto c = partition_dirichlet(labels, 5, 0.3, std::uint64_t{43});
+  EXPECT_NE(a, c);  // different seed, different draw
+  // Size conservation: every sample lands in exactly one shard.
+  std::set<std::size_t> seen;
+  std::size_t total = 0;
+  for (const auto& shard : a) {
+    total += shard.size();
+    for (const auto idx : shard) EXPECT_TRUE(seen.insert(idx).second);
+  }
+  EXPECT_EQ(total, labels.size());
+  EXPECT_EQ(seen.size(), labels.size());
+}
+
+TEST(PartitionDirichlet, DatasetLabelsMatchSampleOrder) {
+  auto base = std::make_shared<SyntheticImageDataset>(cifar10_spec(), 0);
+  const auto subset = take(base, 64);
+  const auto labels = dataset_labels(*subset);
+  ASSERT_EQ(labels.size(), 64u);
+  for (std::size_t i = 0; i < labels.size(); ++i)
+    EXPECT_EQ(labels[i], subset->get(i).label);
+}
+
+TEST(PartitionDirichlet, EnsureNonemptyShardsRepairsStarvedClients) {
+  // Hand-built starvation: one fat shard, two empty ones. The repair moves
+  // one sample into each empty shard without losing or duplicating any.
+  std::vector<std::vector<std::size_t>> shards(3);
+  shards[0] = {0, 1, 2, 3, 4, 5};
+  ensure_nonempty_shards(shards);
+  std::set<std::size_t> seen;
+  std::size_t total = 0;
+  for (const auto& shard : shards) {
+    EXPECT_FALSE(shard.empty());
+    total += shard.size();
+    for (const auto idx : shard) EXPECT_TRUE(seen.insert(idx).second);
+  }
+  EXPECT_EQ(total, 6u);
+  // Degenerate input (too few samples to go around) must not throw or spin.
+  std::vector<std::vector<std::size_t>> starved(3);
+  starved[0] = {0};
+  ensure_nonempty_shards(starved);
+  EXPECT_EQ(starved[0].size(), 1u);
+}
+
 TEST(ShardDataset, ProducesViews) {
   auto base = std::make_shared<SyntheticImageDataset>(cifar10_spec(), 0);
   Rng rng(7);

@@ -110,6 +110,32 @@ FedSzConfig golden_v3_config() {
   return config;
 }
 
+/// The v4 fixture policy: an SZ tensor and a sparse tensor in ONE stream
+/// (the kSparse path tag rides the same v3 container), plus the raw and
+/// lossless branches. Closed-form like its siblings.
+class GoldenSparseMixedPolicy final : public CompressionPolicy {
+ public:
+  std::string name() const override { return "golden-sparse-mixed"; }
+  TensorPlan plan(const std::string& name, const Tensor& tensor,
+                  const EncodeContext& ctx) const override {
+    (void)tensor;
+    (void)ctx;
+    if (name == "features.0.weight")
+      return TensorPlan::lossy(lossy::LossyId::kSz2,
+                               lossy::ErrorBound::relative(1e-3));
+    if (name == "classifier.weight")
+      return TensorPlan::sparse(lossy::ErrorBound::relative(1e-3), 0.8, 6);
+    if (name == "features.0.bias") return TensorPlan::raw();
+    return TensorPlan::lossless();
+  }
+};
+
+FedSzConfig golden_v4_config() {
+  FedSzConfig config = golden_config();
+  config.policy = std::make_shared<const GoldenSparseMixedPolicy>();
+  return config;
+}
+
 /// The original (pre-chunking) v1 writer, reproduced so the fixture can be
 /// regenerated from source if ever needed.
 Bytes make_v1_stream(const StateDict& dict, const FedSzConfig& config) {
@@ -182,6 +208,11 @@ TEST(GoldenFixtures, RegenerateWhenRequested) {
   write_file(data_dir() / "golden_v3.fsz", v3);
   write_file(data_dir() / "golden_v3_expected.sd",
              mixed.decompress({v3.data(), v3.size()}).serialize());
+  const FedSz sparse_mixed{golden_v4_config()};
+  const Bytes v4 = sparse_mixed.compress(dict);
+  write_file(data_dir() / "golden_v4.fsz", v4);
+  write_file(data_dir() / "golden_v4_expected.sd",
+             sparse_mixed.decompress({v4.data(), v4.size()}).serialize());
 }
 
 TEST(GoldenFixtures, V1StreamStillDecodesToTheExpectedStateDict) {
@@ -239,6 +270,57 @@ TEST(GoldenFixtures, V3StreamStillDecodesToTheExpectedStateDict) {
       decoded.get("features.0.bias").equals(original.get("features.0.bias")));
 }
 
+TEST(GoldenFixtures, V4StreamStillDecodesToTheExpectedStateDict) {
+  const Bytes stream = read_file(data_dir() / "golden_v4.fsz");
+  const Bytes expected_bytes = read_file(data_dir() / "golden_v4_expected.sd");
+  ASSERT_FALSE(stream.empty());
+  ASSERT_FALSE(expected_bytes.empty());
+  // Decode with a default-config codec: the kSparse path tag and its params
+  // live in the per-tensor plan table, like every other path.
+  CompressionStats stats;
+  const StateDict decoded =
+      FedSz{FedSzConfig{}}.decompress({stream.data(), stream.size()}, &stats);
+  expect_dicts_identical(
+      decoded,
+      StateDict::deserialize({expected_bytes.data(), expected_bytes.size()}));
+  EXPECT_EQ(stats.lossy_tensors, 1u);
+  EXPECT_EQ(stats.sparse_tensors, 1u);
+  EXPECT_EQ(stats.raw_tensors, 1u);
+  EXPECT_EQ(stats.lossless_tensors, 1u);
+  // classifier.weight rode the sparse path at sparsity 0.8: 300 of its 1500
+  // coefficients survive, and the counters in old streams must keep saying so.
+  EXPECT_EQ(stats.sparse_total_elements, 1500u);
+  EXPECT_EQ(stats.sparse_kept_elements, 300u);
+}
+
+TEST(GoldenFixtures, SparseMixedWriterStillEmitsTheV4FixtureBytes) {
+  // The sparse-path byte-regression pin: the kSparse plan writer must keep
+  // producing the exact recorded SZ+sparse container for the fixture update.
+  const Bytes fixture = read_file(data_dir() / "golden_v4.fsz");
+  ASSERT_FALSE(fixture.empty());
+  const Bytes fresh = FedSz{golden_v4_config()}.compress(golden_dict());
+  EXPECT_EQ(fresh, fixture);
+}
+
+TEST(GoldenFixtures, SingleByteCorruptionOfTheV4StreamNeverCrashes) {
+  // Exhaustive single-byte clobber of the real mixed SZ+sparse fixture:
+  // every mutation must either decode cleanly (payload bits a lossy stream
+  // tolerates) or raise CorruptStream — never crash, never throw anything
+  // untyped.
+  const Bytes stream = read_file(data_dir() / "golden_v4.fsz");
+  ASSERT_FALSE(stream.empty());
+  const FedSz codec{FedSzConfig{}};
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    Bytes mutated = stream;
+    mutated[i] = static_cast<std::uint8_t>(mutated[i] ^ 0xFF);
+    try {
+      (void)codec.decompress({mutated.data(), mutated.size()});
+    } catch (const CorruptStream&) {
+      // expected for most positions
+    }
+  }
+}
+
 TEST(GoldenFixtures, MixedPlanWriterStillEmitsTheV3FixtureBytes) {
   // The v3 byte-regression pin: the per-tensor-plan writer must keep
   // producing the exact recorded container for the fixture update.
@@ -261,8 +343,8 @@ TEST(GoldenFixtures, DefaultPolicyWriterStillEmitsTheV2FixtureBytes) {
 TEST(GoldenFixtures, CorruptedFixtureHeadersStillThrow) {
   // Flipping bytes in real (fixture) streams must keep failing loudly —
   // guards the validation paths against regressions on genuine old data.
-  for (const char* name : {"golden_v1.fsz", "golden_v2.fsz",
-                           "golden_v3.fsz"}) {
+  for (const char* name : {"golden_v1.fsz", "golden_v2.fsz", "golden_v3.fsz",
+                           "golden_v4.fsz"}) {
     Bytes stream = read_file(data_dir() / name);
     ASSERT_FALSE(stream.empty());
     Bytes bad_version = stream;

@@ -433,6 +433,151 @@ TEST(V3Container, TruncatedRawPayloadThrows) {
   }
 }
 
+// ---- gradient-aware bounds ----
+
+Tensor constant_tensor(std::size_t n, float value) {
+  return Tensor::from_data({static_cast<std::int64_t>(n)},
+                           std::vector<float>(n, value));
+}
+
+TEST(GradAwarePolicyTest, HighSensitivityTightensTheBound) {
+  GradientAwareConfig config;
+  config.base = 1e-2;
+  config.reference_sensitivity = 0.1;
+  const auto policy = make_gradient_aware_policy(config);
+  EncodeContext ctx;
+  ctx.client_id = 0;
+  // A constant tensor's rms is |value|: rms 1.0 is 10x the reference (scale
+  // 0.1, tighter), rms 0.01 is 0.1x (scale 10, looser).
+  const TensorPlan hot =
+      policy->plan("hot.weight", constant_tensor(2048, 1.0f), ctx);
+  const TensorPlan cold =
+      policy->plan("cold.weight", constant_tensor(2048, 0.01f), ctx);
+  ASSERT_EQ(hot.path, TensorPath::kLossy);
+  ASSERT_EQ(cold.path, TensorPath::kLossy);
+  EXPECT_DOUBLE_EQ(hot.bound.value, 1e-3);   // base * 0.1
+  EXPECT_DOUBLE_EQ(cold.bound.value, 1e-1);  // base * 10
+  EXPECT_LT(hot.bound.value, cold.bound.value);
+}
+
+TEST(GradAwarePolicyTest, ScaleClampsAtTheConfiguredRails) {
+  GradientAwareConfig config;
+  config.base = 1e-2;
+  config.reference_sensitivity = 0.1;
+  config.min_scale = 0.5;
+  config.max_scale = 2.0;
+  const auto policy = make_gradient_aware_policy(config);
+  EncodeContext ctx;
+  const TensorPlan loud =
+      policy->plan("loud.weight", constant_tensor(2048, 100.0f), ctx);
+  const TensorPlan quiet =
+      policy->plan("quiet.weight", constant_tensor(2048, 1e-6f), ctx);
+  EXPECT_DOUBLE_EQ(loud.bound.value, 1e-2 * 0.5);
+  EXPECT_DOUBLE_EQ(quiet.bound.value, 1e-2 * 2.0);
+}
+
+TEST(GradAwarePolicyTest, SameRoundReplansAreIdempotent) {
+  // Re-encoding an update (workspace retry, thread race) must not advance
+  // the EMA: the plan for (client, round, tensor) is a fixed point.
+  const auto policy = make_gradient_aware_policy({});
+  const auto* gradaware =
+      dynamic_cast<const GradientAwareBoundPolicy*>(policy.get());
+  ASSERT_NE(gradaware, nullptr);
+  EncodeContext ctx;
+  ctx.client_id = 3;
+  ctx.round = 0;
+  const Tensor tensor = constant_tensor(2048, 0.5f);
+  const TensorPlan first = policy->plan("layer.weight", tensor, ctx);
+  const double sensitivity_once = gradaware->sensitivity(3, "layer.weight");
+  const TensorPlan second = policy->plan("layer.weight", tensor, ctx);
+  EXPECT_DOUBLE_EQ(first.bound.value, second.bound.value);
+  EXPECT_DOUBLE_EQ(gradaware->sensitivity(3, "layer.weight"),
+                   sensitivity_once);
+}
+
+TEST(GradAwarePolicyTest, SensitivityIsAnEmaAcrossRounds) {
+  GradientAwareConfig config;
+  config.beta = 0.5;
+  const auto policy = make_gradient_aware_policy(config);
+  const auto* gradaware =
+      dynamic_cast<const GradientAwareBoundPolicy*>(policy.get());
+  ASSERT_NE(gradaware, nullptr);
+  EncodeContext ctx;
+  ctx.client_id = 1;
+  ctx.round = 0;
+  (void)policy->plan("layer.weight", constant_tensor(2048, 1.0f), ctx);
+  EXPECT_DOUBLE_EQ(gradaware->sensitivity(1, "layer.weight"), 1.0);
+  ctx.round = 1;
+  (void)policy->plan("layer.weight", constant_tensor(2048, 0.5f), ctx);
+  // beta * 1.0 + (1 - beta) * 0.5 = 0.75
+  EXPECT_DOUBLE_EQ(gradaware->sensitivity(1, "layer.weight"), 0.75);
+  // Per-client state: another client's EMA is untouched.
+  EXPECT_DOUBLE_EQ(gradaware->sensitivity(2, "layer.weight"), 0.0);
+}
+
+TEST(GradAwarePolicyTest, SmallAndZeroTensorsRouteLossless) {
+  const auto policy = make_gradient_aware_policy({});
+  EncodeContext ctx;
+  EXPECT_EQ(policy->plan("tiny.weight", constant_tensor(4, 1.0f), ctx).path,
+            TensorPath::kLossless);
+  EXPECT_EQ(policy->plan("zero.weight", constant_tensor(2048, 0.0f), ctx).path,
+            TensorPath::kLossless);
+  EXPECT_EQ(policy->plan("big.bias", constant_tensor(2048, 1.0f), ctx).path,
+            TensorPath::kLossless);
+}
+
+TEST(GradAwarePolicyTest, DegenerateConfigsRejected) {
+  GradientAwareConfig bad_beta;
+  bad_beta.beta = 1.0;
+  EXPECT_THROW(make_gradient_aware_policy(bad_beta), InvalidArgument);
+  GradientAwareConfig bad_reference;
+  bad_reference.reference_sensitivity = 0.0;
+  EXPECT_THROW(make_gradient_aware_policy(bad_reference), InvalidArgument);
+  GradientAwareConfig bad_rails;
+  bad_rails.min_scale = 2.0;
+  bad_rails.max_scale = 1.0;
+  EXPECT_THROW(make_gradient_aware_policy(bad_rails), InvalidArgument);
+}
+
+// ---- sparse overlay ----
+
+TEST(SparseOverlayTest, ReroutesLossyPlansOntoTheSparsePath) {
+  const auto policy =
+      make_sparse_overlay_policy(make_threshold_policy({}), 0.9, 8);
+  EXPECT_EQ(policy->name(), "sparse+threshold");
+  EncodeContext ctx;
+  const TensorPlan big =
+      policy->plan("layer.weight", constant_tensor(2048, 1.0f), ctx);
+  EXPECT_EQ(big.path, TensorPath::kSparse);
+  EXPECT_DOUBLE_EQ(big.sparsity, 0.9);
+  EXPECT_EQ(big.sparse_bits, 8u);
+  // Non-lossy inner plans pass through untouched.
+  EXPECT_EQ(policy->plan("small.bias", constant_tensor(4, 1.0f), ctx).path,
+            TensorPath::kLossless);
+}
+
+TEST(SparseOverlayTest, InheritsTheInnerPolicysBound) {
+  GradientAwareConfig config;
+  config.base = 1e-2;
+  config.reference_sensitivity = 0.1;
+  const auto policy =
+      make_sparse_overlay_policy(make_gradient_aware_policy(config), 0.5, 0);
+  EXPECT_EQ(policy->name(), "sparse+gradaware");
+  EncodeContext ctx;
+  const TensorPlan plan =
+      policy->plan("hot.weight", constant_tensor(2048, 1.0f), ctx);
+  ASSERT_EQ(plan.path, TensorPath::kSparse);
+  EXPECT_DOUBLE_EQ(plan.bound.value, 1e-3);  // gradaware's tightened bound
+}
+
+TEST(SparseOverlayTest, InvalidCompositionsRejected) {
+  EXPECT_THROW(make_sparse_overlay_policy(nullptr, 0.5, 8), InvalidArgument);
+  EXPECT_THROW(make_sparse_overlay_policy(make_threshold_policy({}), 1.5, 8),
+               InvalidArgument);
+  EXPECT_THROW(make_sparse_overlay_policy(make_threshold_policy({}), 0.5, 40),
+               InvalidArgument);
+}
+
 // ---- EncodeContext through a federation run ----
 
 TEST(PolicyFlIntegration, SchedulePolicyBoundsShowInPerClientTrace) {

@@ -156,6 +156,22 @@ class RandomPlanPolicy final : public CompressionPolicy {
     const double which = rng.uniform();
     if (which < 0.2) return TensorPlan::lossless();
     if (which < 0.35) return TensorPlan::raw();
+    if (which < 0.55) {
+      // Sparse path: random threshold mode and bit-width cap, both bound
+      // flavors, mixed into the same v3 stream as the lossy codecs.
+      const double sparsity =
+          rng.uniform() < 0.4 ? 0.0 : rng.uniform(0.5, 0.99);
+      const unsigned bits =
+          rng.uniform() < 0.4 ? 0u
+                              : 1u + static_cast<unsigned>(
+                                         rng.uniform_index(16));
+      const double sparse_exp = rng.uniform(-4.0, -1.0);
+      const lossy::ErrorBound sparse_bound =
+          rng.uniform() < 0.5
+              ? lossy::ErrorBound::relative(std::pow(10.0, sparse_exp))
+              : lossy::ErrorBound::absolute(std::pow(10.0, sparse_exp));
+      return TensorPlan::sparse(sparse_bound, sparsity, bits);
+    }
     const auto codecs = lossy::all_lossy_codecs();
     const lossy::LossyId id = codecs[rng.uniform_index(codecs.size())]->id();
     const double exponent = rng.uniform(-4.0, -1.0);
@@ -197,6 +213,7 @@ TEST(RoundTripProperty, RandomPerTensorPlansSatisfyTheV3Contract) {
 
     ASSERT_EQ(back.size(), dict.size());
     std::size_t lossy_count = 0, lossless_count = 0, raw_count = 0;
+    std::size_t sparse_count = 0;
     for (const auto& [name, tensor] : dict) {
       ASSERT_TRUE(back.contains(name)) << name;
       const Tensor& decoded = back.get(name);
@@ -221,13 +238,33 @@ TEST(RoundTripProperty, RandomPerTensorPlansSatisfyTheV3Contract) {
           ++raw_count;
           EXPECT_TRUE(decoded.equals(tensor)) << name;
           break;
+        case TensorPath::kSparse: {
+          ++sparse_count;
+          // Every element either dropped (exactly zero) or a survivor
+          // within the resolved bound.
+          const double eps = std::max(plan.bound.absolute_for(tensor.span()),
+                                      1e-300);
+          const double tol = eps * (1 + 1e-5) + 1e-6;
+          const FloatSpan orig = tensor.span();
+          const FloatSpan dec = decoded.span();
+          for (std::size_t i = 0; i < orig.size(); ++i) {
+            if (dec[i] == 0.0f) continue;
+            EXPECT_LE(std::fabs(static_cast<double>(dec[i]) -
+                                static_cast<double>(orig[i])),
+                      tol)
+                << name << "[" << i << "]";
+          }
+          break;
+        }
       }
     }
     EXPECT_EQ(stats.lossy_tensors, lossy_count);
     EXPECT_EQ(stats.lossless_tensors, lossless_count);
     EXPECT_EQ(stats.raw_tensors, raw_count);
+    EXPECT_EQ(stats.sparse_tensors, sparse_count);
     EXPECT_EQ(decode_stats.lossy_tensors, lossy_count);
     EXPECT_EQ(decode_stats.raw_tensors, raw_count);
+    EXPECT_EQ(decode_stats.sparse_tensors, sparse_count);
     // The decoder recovers the byte accounting from the stream itself.
     EXPECT_EQ(decode_stats.lossy_compressed_bytes,
               stats.lossy_compressed_bytes);
@@ -236,9 +273,13 @@ TEST(RoundTripProperty, RandomPerTensorPlansSatisfyTheV3Contract) {
     EXPECT_EQ(decode_stats.lossy_original_bytes, stats.lossy_original_bytes);
     EXPECT_EQ(decode_stats.lossless_original_bytes,
               stats.lossless_original_bytes);
+    EXPECT_EQ(decode_stats.sparse_original_bytes, stats.sparse_original_bytes);
+    EXPECT_EQ(decode_stats.sparse_kept_elements, stats.sparse_kept_elements);
+    EXPECT_EQ(decode_stats.sparse_total_elements,
+              stats.sparse_total_elements);
     EXPECT_EQ(stats.compressed_bytes, blob.size());
     EXPECT_EQ(stats.lossy_original_bytes + stats.lossless_original_bytes +
-                  stats.raw_original_bytes,
+                  stats.raw_original_bytes + stats.sparse_original_bytes,
               stats.original_bytes);
 
     // Plan-driven streams are as parallelism-independent as uniform ones.

@@ -1,0 +1,370 @@
+// Unit tests for the adaptive sparse-quantization codec: the bound-on-
+// survivors guarantee across thresholding modes and bit-width caps, the
+// zeros-for-dropped contract, both mask encodings, the verbatim fallback,
+// parameter validation, and a corrupt-stream battery (targeted field
+// mutations plus a single-byte fuzz sweep) over the self-contained payload.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "compress/sparse/sparse_codec.hpp"
+#include "util/bytebuffer.hpp"
+#include "util/rng.hpp"
+
+namespace fedsz::sparse {
+namespace {
+
+const lossless::LosslessCodec& backend() {
+  return lossless::lossless_codec(lossless::LosslessId::kZstd);
+}
+
+std::vector<float> laplace_weights(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.laplace(0.0, 0.05));
+  return v;
+}
+
+/// Every survivor within eps (plus a float-rounding hair), every dropped
+/// element exactly zero, and the kept tally consistent with the decode.
+void check_contract(const std::vector<float>& original,
+                    const std::vector<float>& decoded, double eps,
+                    std::size_t kept) {
+  ASSERT_EQ(decoded.size(), original.size());
+  // eps exactly, plus the float rounding of the reconstructed value (a
+  // half-step tie can land exactly on eps in double, then round up when
+  // narrowed to float).
+  const double tol = eps * (1.0 + 1e-6) + 1e-6;
+  std::size_t nonzero = 0;
+  for (std::size_t i = 0; i < decoded.size(); ++i) {
+    if (decoded[i] == 0.0f) continue;
+    ++nonzero;
+    EXPECT_LE(std::fabs(static_cast<double>(decoded[i]) -
+                        static_cast<double>(original[i])),
+              tol)
+        << "survivor " << i;
+  }
+  // Survivors that happen to quantize to 0.0f are indistinguishable from
+  // dropped elements in the decode, so nonzero <= kept.
+  EXPECT_LE(nonzero, kept);
+}
+
+TEST(SparseCodec, AdaptiveThresholdRoundtrip) {
+  const auto values = laplace_weights(4096, 11);
+  const double eps = 1e-3;
+  Bytes blob;
+  const SparseEncodeInfo info = sparse_codec().compress_into(
+      {values.data(), values.size()}, eps, {}, backend(), blob);
+  EXPECT_GT(info.kept, 0u);
+  EXPECT_LT(info.kept, values.size());
+  const auto decoded = sparse_codec().decompress({blob.data(), blob.size()});
+  check_contract(values, decoded, eps, info.kept);
+  // Every dropped element must be exactly zero.
+  for (std::size_t i = 0; i < decoded.size(); ++i) {
+    if (decoded[i] != 0.0f) {
+      EXPECT_NE(values[i], 0.0f);
+    }
+  }
+}
+
+TEST(SparseCodec, ExplicitSparsityKeepsTopK) {
+  const auto values = laplace_weights(1000, 23);
+  const double eps = 1e-3;
+  Bytes blob;
+  const SparseEncodeInfo info = sparse_codec().compress_into(
+      {values.data(), values.size()}, eps, {0.9, 0}, backend(), blob);
+  EXPECT_EQ(info.kept, 100u);  // (1 - 0.9) * 1000
+  const auto decoded = sparse_codec().decompress({blob.data(), blob.size()});
+  check_contract(values, decoded, eps, info.kept);
+  // The survivors are the top-k by magnitude: min surviving magnitude >=
+  // max dropped magnitude.
+  float min_kept = std::numeric_limits<float>::max();
+  float max_dropped = 0.0f;
+  for (std::size_t i = 0; i < decoded.size(); ++i) {
+    const float mag = std::fabs(values[i]);
+    if (decoded[i] != 0.0f)
+      min_kept = std::min(min_kept, mag);
+    else
+      max_dropped = std::max(max_dropped, mag);
+  }
+  EXPECT_GE(min_kept + static_cast<float>(eps), max_dropped);
+}
+
+TEST(SparseCodec, BitsCapNeverLoosensBound) {
+  const auto values = laplace_weights(2048, 31);
+  const double eps = 1e-2;
+  for (const unsigned bits : {1u, 2u, 4u, 8u, 16u}) {
+    Bytes blob;
+    const SparseEncodeInfo info = sparse_codec().compress_into(
+        {values.data(), values.size()}, eps, {0.5, bits}, backend(), blob);
+    const auto decoded = sparse_codec().decompress({blob.data(), blob.size()});
+    check_contract(values, decoded, eps, info.kept);
+  }
+}
+
+TEST(SparseCodec, ExplicitBitsRefinePrecisionNotLoosenIt) {
+  // bits= is a precision floor: it can force a finer step than the bound
+  // needs (bigger payload, tighter error) but never a coarser one. At a
+  // loose bound the adaptive width is narrow, so bits=16 must cost more.
+  const auto values = laplace_weights(1 << 14, 37);
+  Bytes wide, adaptive;
+  sparse_codec().compress_into({values.data(), values.size()}, 1e-2,
+                               {0.5, 16}, backend(), wide);
+  sparse_codec().compress_into({values.data(), values.size()}, 1e-2, {0.5, 0},
+                               backend(), adaptive);
+  EXPECT_GT(wide.size(), adaptive.size());
+  check_contract(values,
+                 sparse_codec().decompress({wide.data(), wide.size()}), 1e-2,
+                 values.size());
+}
+
+TEST(SparseCodec, AdaptiveOnConstantTensorKeepsNothing) {
+  // tau = mean + stddev = |c| + 0; no magnitude is strictly greater.
+  const std::vector<float> values(256, 0.75f);
+  Bytes blob;
+  const SparseEncodeInfo info = sparse_codec().compress_into(
+      {values.data(), values.size()}, 1e-3, {}, backend(), blob);
+  EXPECT_EQ(info.kept, 0u);
+  const auto decoded = sparse_codec().decompress({blob.data(), blob.size()});
+  for (const float v : decoded) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(SparseCodec, ExplicitSparsityOnConstantTensorIsExact) {
+  // All survivors equal -> range 0 -> every code 0 -> shared-value tag.
+  const std::vector<float> values(256, -1.25f);
+  Bytes blob;
+  const SparseEncodeInfo info = sparse_codec().compress_into(
+      {values.data(), values.size()}, 1e-3, {0.75, 0}, backend(), blob);
+  EXPECT_EQ(info.kept, 64u);
+  const auto decoded = sparse_codec().decompress({blob.data(), blob.size()});
+  std::size_t survivors = 0;
+  for (const float v : decoded) {
+    if (v == 0.0f) continue;
+    ++survivors;
+    EXPECT_EQ(v, -1.25f);
+  }
+  EXPECT_EQ(survivors, 64u);
+}
+
+TEST(SparseCodec, VerbatimFallbackIsExact) {
+  // eps so tight the code space would exceed 2^31: survivors stored as
+  // verbatim f32, decode is bit-exact.
+  const auto values = laplace_weights(512, 41);
+  Bytes blob;
+  const SparseEncodeInfo info = sparse_codec().compress_into(
+      {values.data(), values.size()}, 1e-13, {0.5, 0}, backend(), blob);
+  const auto decoded = sparse_codec().decompress({blob.data(), blob.size()});
+  std::size_t survivors = 0;
+  for (std::size_t i = 0; i < decoded.size(); ++i) {
+    if (decoded[i] == 0.0f) continue;
+    ++survivors;
+    EXPECT_EQ(decoded[i], values[i]);
+  }
+  EXPECT_LE(survivors, info.kept);
+}
+
+TEST(SparseCodec, EmptyTensorRoundtrip) {
+  Bytes blob;
+  const SparseEncodeInfo info =
+      sparse_codec().compress_into({}, 1e-3, {}, backend(), blob);
+  EXPECT_EQ(info.kept, 0u);
+  EXPECT_TRUE(sparse_codec().decompress({blob.data(), blob.size()}).empty());
+}
+
+TEST(SparseCodec, MaskEncodingTracksSurvivorDensity) {
+  // Very sparse large tensor -> delta-varint indices beat the bitmap;
+  // dense survivors -> bitmap. The mask tag is the byte right after the
+  // numel varint (3 bytes for 1 << 16), eps f64 and kept varint.
+  const auto values = laplace_weights(1 << 16, 43);
+  Bytes sparse_blob, dense_blob;
+  sparse_codec().compress_into({values.data(), values.size()}, 1e-3,
+                               {0.999, 0}, backend(), sparse_blob);
+  sparse_codec().compress_into({values.data(), values.size()}, 1e-3,
+                               {0.25, 0}, backend(), dense_blob);
+  auto mask_tag = [](const Bytes& blob) {
+    ByteReader r({blob.data(), blob.size()});
+    (void)r.get_varint();
+    (void)r.get_f64();
+    (void)r.get_varint();
+    return r.get_u8();
+  };
+  EXPECT_EQ(mask_tag(sparse_blob), 1);  // delta-varint indices
+  EXPECT_EQ(mask_tag(dense_blob), 0);   // bitmap
+  check_contract(values,
+                 sparse_codec().decompress(
+                     {sparse_blob.data(), sparse_blob.size()}),
+                 1e-3, values.size());
+  check_contract(values,
+                 sparse_codec().decompress(
+                     {dense_blob.data(), dense_blob.size()}),
+                 1e-3, values.size());
+}
+
+TEST(SparseCodec, SurvivorsRouteThroughDeclaredBackend) {
+  const auto values = laplace_weights(4096, 47);
+  for (const lossless::LosslessCodec* codec :
+       lossless::all_lossless_codecs()) {
+    Bytes blob;
+    const SparseEncodeInfo info = sparse_codec().compress_into(
+        {values.data(), values.size()}, 1e-3, {0.9, 8}, *codec, blob);
+    const auto decoded = sparse_codec().decompress({blob.data(), blob.size()});
+    check_contract(values, decoded, 1e-3, info.kept);
+  }
+}
+
+TEST(SparseCodec, ParamValidation) {
+  EXPECT_THROW((SparseParams{-0.1, 0}.validate()), InvalidArgument);
+  EXPECT_THROW((SparseParams{1.0, 0}.validate()), InvalidArgument);
+  EXPECT_THROW((SparseParams{std::nan(""), 0}.validate()), InvalidArgument);
+  EXPECT_THROW((SparseParams{0.5, 32}.validate()), InvalidArgument);
+  EXPECT_NO_THROW((SparseParams{0.5, 31}.validate()));
+  EXPECT_NO_THROW(SparseParams{}.validate());
+}
+
+TEST(SparseCodec, EncodeInputValidation) {
+  std::vector<float> values = {1.0f, 2.0f, 3.0f};
+  Bytes blob;
+  EXPECT_THROW(sparse_codec().compress_into({values.data(), values.size()},
+                                            0.0, {}, backend(), blob),
+               InvalidArgument);
+  EXPECT_THROW(sparse_codec().compress_into({values.data(), values.size()},
+                                            -1.0, {}, backend(), blob),
+               InvalidArgument);
+  values[1] = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_THROW(sparse_codec().compress_into({values.data(), values.size()},
+                                            1e-3, {}, backend(), blob),
+               InvalidArgument);
+}
+
+// ---- corrupt streams ----
+//
+// Fixed 4-element tensor with sparsity 0.5: kept = 2 (indices 1 and 2),
+// single-byte varints throughout, so the frame layout is byte-addressable:
+//   [0] numel  [1..8] eps  [9] kept  [10] mask_tag  [11] bits
+//   [12..15] lo  [16..23] step  [24] bitmap  [25] lossless id  [26..] blob
+Bytes corrupt_fixture() {
+  const std::vector<float> values = {1.0f, -2.0f, 3.0f, 0.5f};
+  Bytes blob;
+  sparse_codec().compress_into({values.data(), values.size()}, 0.25,
+                               {0.5, 0}, backend(), blob);
+  return blob;
+}
+
+TEST(SparseCodecCorrupt, FixtureLayoutIsAsDocumented) {
+  const Bytes blob = corrupt_fixture();
+  ASSERT_GT(blob.size(), 26u);
+  EXPECT_EQ(blob[0], 4);   // numel
+  EXPECT_EQ(blob[9], 2);   // kept
+  EXPECT_EQ(blob[10], 0);  // bitmap mask
+  EXPECT_EQ(blob[24], 0b110);
+}
+
+TEST(SparseCodecCorrupt, TargetedFieldMutationsAreRejected) {
+  const Bytes valid = corrupt_fixture();
+  ASSERT_NO_THROW(sparse_codec().decompress({valid.data(), valid.size()}));
+
+  auto expect_reject = [&](Bytes blob, const char* what) {
+    EXPECT_THROW((void)sparse_codec().decompress({blob.data(), blob.size()}),
+                 CorruptStream)
+        << what;
+  };
+
+  {
+    Bytes blob = valid;
+    const double bad_eps = -1.0;
+    std::memcpy(blob.data() + 1, &bad_eps, sizeof(bad_eps));
+    expect_reject(std::move(blob), "negative eps");
+  }
+  {
+    Bytes blob = valid;
+    blob[9] = 5;  // kept > numel
+    expect_reject(std::move(blob), "kept > numel");
+  }
+  {
+    Bytes blob = valid;
+    blob[10] = 2;
+    expect_reject(std::move(blob), "unknown mask tag");
+  }
+  {
+    Bytes blob = valid;
+    blob[11] = 33;
+    expect_reject(std::move(blob), "bit width > 32");
+  }
+  {
+    Bytes blob = valid;
+    blob[24] = 0b0001;  // popcount 1, declared kept 2
+    expect_reject(std::move(blob), "mask population mismatch");
+  }
+  {
+    Bytes blob = valid;
+    blob[25] = 0xEE;
+    expect_reject(std::move(blob), "unknown lossless id");
+  }
+  {
+    Bytes blob = valid;
+    blob.push_back(0);
+    expect_reject(std::move(blob), "trailing bytes");
+  }
+  {
+    Bytes blob = valid;
+    blob.resize(blob.size() / 2);
+    expect_reject(std::move(blob), "truncated payload");
+  }
+}
+
+TEST(SparseCodecCorrupt, ImplausibleElementCountIsRejectedBeforeAllocating) {
+  // Declares 2^40 elements in a handful of bytes: the bomb guard must fire
+  // before the zero-fill allocation.
+  ByteWriter w;
+  w.put_varint(std::uint64_t{1} << 40);
+  w.put_f64(0.5);
+  w.put_varint(0);  // kept
+  w.put_u8(0);      // bitmap
+  w.put_u8(0);      // bits
+  const Bytes blob = w.finish();
+  EXPECT_THROW((void)sparse_codec().decompress({blob.data(), blob.size()}),
+               CorruptStream);
+}
+
+TEST(SparseCodecCorrupt, NonIncreasingIndexIsRejected) {
+  // Handcraft an index-mask frame with a zero delta after the first index.
+  ByteWriter w;
+  w.put_varint(8);    // numel
+  w.put_f64(0.5);     // eps
+  w.put_varint(2);    // kept
+  w.put_u8(1);        // index mask
+  w.put_u8(0);        // bits: shared value
+  w.put_f32(1.0f);    // lo
+  w.put_f64(1.0);     // step
+  w.put_varint(3);    // first index
+  w.put_varint(0);    // zero delta -> non-increasing
+  w.put_u8(static_cast<std::uint8_t>(lossless::LosslessId::kZstd));
+  w.put_varint(0);    // packed_len
+  const Bytes empty_stream = backend().compress({});
+  w.put_blob({empty_stream.data(), empty_stream.size()});
+  const Bytes blob = w.finish();
+  EXPECT_THROW((void)sparse_codec().decompress({blob.data(), blob.size()}),
+               CorruptStream);
+}
+
+TEST(SparseCodecCorrupt, SingleByteFuzzNeverCrashes) {
+  // Every single-byte overwrite must either decode cleanly or throw
+  // CorruptStream — never crash, hang, or over-allocate.
+  const Bytes valid = corrupt_fixture();
+  for (std::size_t pos = 0; pos < valid.size(); ++pos) {
+    for (const std::uint8_t byte : {0x00, 0x01, 0x7F, 0x80, 0xFF}) {
+      Bytes blob = valid;
+      if (blob[pos] == byte) continue;
+      blob[pos] = byte;
+      try {
+        (void)sparse_codec().decompress({blob.data(), blob.size()});
+      } catch (const CorruptStream&) {
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fedsz::sparse

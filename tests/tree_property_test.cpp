@@ -27,6 +27,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <iterator>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -78,8 +79,10 @@ DrawnCase draw_case(Rng& rng) {
     const std::size_t depth = 1 + rng.uniform_index(3);
     for (std::size_t l = 0; l < depth; ++l)
       config.topology.tiers.push_back(1 + rng.uniform_index(4));
-    const char* backhauls[] = {"", "identity", "fedsz:eb=rel:1e-2"};
-    config.topology.backhaul_spec = backhauls[rng.uniform_index(3)];
+    const char* backhauls[] = {"", "identity", "fedsz:eb=rel:1e-2",
+                               "sparse:eb=rel:1e-2,sparsity=0.9,bits=8"};
+    config.topology.backhaul_spec =
+        backhauls[rng.uniform_index(std::size(backhauls))];
     if (rng.uniform() < 0.3) {
       // Override one random tier's codec.
       config.topology.tier_backhaul_specs.assign(
@@ -117,9 +120,14 @@ DrawnCase draw_case(Rng& rng) {
       config.failures.straggler_deadline_seconds = rng.uniform(0.01, 2.0);
   }
 
-  const char* uplinks[] = {"identity", "fedsz:eb=rel:1e-2"};
-  out.uplink_spec = uplinks[rng.uniform_index(2)];
+  const char* uplinks[] = {"identity", "fedsz:eb=rel:1e-2",
+                           "sparse:eb=rel:1e-2",
+                           "sparse:eb=rel:1e-2,policy=gradaware:0.5"};
+  out.uplink_spec = uplinks[rng.uniform_index(std::size(uplinks))];
   if (rng.uniform() < 0.3) config.downlink_spec = "fedsz:eb=rel:1e-2";
+  // Label-skewed sharding rides the same draw: the invariants must hold on
+  // Dirichlet partitions exactly as on IID ones.
+  if (rng.uniform() < 0.25) config.dirichlet_alpha = rng.uniform(0.2, 2.0);
 
   std::ostringstream desc;
   desc << "clients=" << config.clients << " rounds=" << config.rounds
@@ -136,6 +144,8 @@ DrawnCase draw_case(Rng& rng) {
     desc << " flat";
   }
   if (out.scheduler) desc << " scheduler=" << out.scheduler->name();
+  if (config.dirichlet_alpha > 0.0)
+    desc << " dirichlet=" << config.dirichlet_alpha;
   desc << " dropout=" << config.failures.dropout_rate
        << " edge_fail=" << config.failures.edge_failure_rate
        << " deadline=" << config.failures.straggler_deadline_seconds;
@@ -202,14 +212,31 @@ void check_invariants(const DrawnCase& drawn, const FlRunResult& result) {
     }
     // 2. Weight conservation: root weight == aggregated client weight
     //    minus what buffered parents shipped without (late partials).
+    //    Exact conservation is only a guarantee of the synchronous edge
+    //    mode. A buffered interior node ships after K folds, so the
+    //    round can close with the rest of the subtree's weight still
+    //    sitting in node accumulators (open_round aborts those
+    //    leftovers) or in flight (counted in the run-wide late_events).
+    //    Either way buffered weight can vanish en route — never
+    //    materialize — so under kBuffered the equation relaxes to a
+    //    non-negative deficit, and stays exact everywhere else.
     double late_partial_weight = 0.0;
     for (const EdgeTraceEntry& entry : record.edges) {
       EXPECT_GE(entry.tier, 1u);
       if (entry.status == DeliveryStatus::kLate)
         late_partial_weight += entry.weight;
     }
-    EXPECT_DOUBLE_EQ(record.aggregate_weight,
-                     aggregated_weight - late_partial_weight);
+    const double deficit =
+        aggregated_weight - late_partial_weight - record.aggregate_weight;
+    if (drawn.config.topology.edge_mode == EdgeMode::kBuffered) {
+      EXPECT_GE(deficit, -1e-9);
+    } else {
+      // (late_events can still be nonzero here — a client upload landing
+      // after its round closed counts but never folds, so it is absent
+      // from both sides of the equation.)
+      EXPECT_DOUBLE_EQ(record.aggregate_weight,
+                       aggregated_weight - late_partial_weight);
+    }
     EXPECT_EQ(record.participants, aggregated);
     // 3. Byte accounting.
     EXPECT_EQ(record.bytes_sent, uplink_bytes);
@@ -266,8 +293,13 @@ TEST(TreePropertyTest, RandomConfigurationsHoldTheDesignInvariants) {
   const auto train_slice = data::take(train, 16);
   const auto test_slice = data::take(test, 8);
   Rng rng(kMasterSeed);
+  // FEDSZ_PBT_ONLY=<i> replays one reported iteration without running the
+  // earlier ones (the draws still consume the RNG, so case i is identical).
+  const char* only_env = std::getenv("FEDSZ_PBT_ONLY");
+  const int only = only_env ? std::atoi(only_env) : -1;
   for (int i = 0; i < iterations; ++i) {
     const DrawnCase drawn = draw_case(rng);
+    if (only >= 0 && i != only) continue;
     SCOPED_TRACE(::testing::Message()
                  << "iteration " << i << ": " << drawn.describe);
     const FlRunResult result =
