@@ -13,9 +13,10 @@ chosen to sit above CI-runner noise while still catching real regressions
 like an accidentally de-vectorized hot loop.
 
 Deterministic (virtual-clock) benches like bench_hierarchy gate harder:
-integer metrics ending in "_bytes" must match the baseline exactly — a
-byte-count drift means the compression trajectory moved, which should
-only happen on purpose (regenerate the baseline in the same PR) — and
+integer metrics ending in "_bytes" or "_count" must match the baseline
+exactly — a byte-count or eligibility-count drift means the compression
+or participation trajectory moved, which should only happen on purpose
+(regenerate the baseline in the same PR) — and
 "max_peak_decoded_per_node" must not exceed the baseline (the streaming
 O(fan-in) memory bound). Other fields (ratio, allocs_per_encode) are
 reported informationally but do not gate, except identical_bytes which
@@ -115,6 +116,21 @@ def main():
                         f"{name}.{key}: {cur_val} != baseline {base_val} "
                         "(deterministic byte count moved; regenerate the "
                         "baseline if this is intentional)"
+                    )
+            elif (
+                key.endswith("_count")
+                and isinstance(base_val, int)
+                and not isinstance(base_val, bool)
+            ):
+                cur_val = cur_run.get(key)
+                status = "ok" if cur_val == base_val else "DRIFT"
+                print(f"{status:>10}  {name}.{key}: {base_val} -> {cur_val}")
+                if cur_val != base_val:
+                    failures.append(
+                        f"{name}.{key}: {cur_val} != baseline {base_val} "
+                        "(deterministic eligibility/participation count "
+                        "moved; regenerate the baseline if this is "
+                        "intentional)"
                     )
             elif key == "max_peak_decoded_per_node" and isinstance(
                 base_val, (int, float)

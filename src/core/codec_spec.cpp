@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <limits>
 
+#include "core/fl/population.hpp"
 #include "core/policy.hpp"
 
 namespace fedsz::core {
@@ -132,7 +133,8 @@ bool is_comm_key(const std::string& key) {
   return key == "downlink" || key == "downmode" || key == "ef" ||
          key == "topology" || key == "backhaul" || key == "edgemode" ||
          key == "edgeef" || key == "shard" || key == "transport" ||
-         key == "checkpoint" || key == "data" || backhaul_tier_of(key) != 0;
+         key == "checkpoint" || key == "data" || key == "population" ||
+         backhaul_tier_of(key) != 0;
 }
 
 /// Parse a nested codec spec (downlink=/backhaul= value, ';'-separated
@@ -331,18 +333,56 @@ void apply_key(CodecSpec& spec, const std::string& key,
     if (spec.checkpoint_every == 0)
       bad_spec("'checkpoint' interval must be >= 1");
   } else if (key == "data") {
-    if (value == "iid") {
-      spec.dirichlet_alpha = 0.0;
-    } else if (value.rfind("dirichlet", 0) == 0) {
-      if (value.size() < 11 || value[9] != ':')
+    // '+'-composable parts: iid resets both skews, dirichlet:<alpha> and
+    // sizeskew:<s> each set their own knob. Duplicated parts are rejected
+    // so data=dirichlet:1+dirichlet:2 cannot silently last-write-win.
+    spec.dirichlet_alpha = 0.0;
+    spec.sizeskew_s = 0.0;
+    bool saw_dirichlet = false;
+    bool saw_sizeskew = false;
+    std::size_t start = 0;
+    while (start <= value.size()) {
+      const std::size_t plus = value.find('+', start);
+      const std::string part = value.substr(
+          start, plus == std::string::npos ? std::string::npos : plus - start);
+      if (part == "iid") {
+        if (saw_dirichlet || saw_sizeskew || plus != std::string::npos)
+          bad_spec("'data=iid' does not compose with other parts");
+      } else if (part.rfind("dirichlet", 0) == 0) {
+        if (saw_dirichlet) bad_spec("duplicate 'data' part 'dirichlet'");
+        if (part.size() < 11 || part[9] != ':')
+          bad_spec(
+              "'data=dirichlet' wants a concentration "
+              "(data=dirichlet:<alpha>)");
+        spec.dirichlet_alpha = parse_double(part.substr(10), "data=dirichlet");
+        if (!(spec.dirichlet_alpha > 0.0))
+          bad_spec("'data=dirichlet' alpha must be positive");
+        saw_dirichlet = true;
+      } else if (part.rfind("sizeskew", 0) == 0) {
+        if (saw_sizeskew) bad_spec("duplicate 'data' part 'sizeskew'");
+        if (part.size() < 10 || part[8] != ':')
+          bad_spec("'data=sizeskew' wants an exponent (data=sizeskew:<s>)");
+        spec.sizeskew_s = parse_double(part.substr(9), "data=sizeskew");
+        if (!(spec.sizeskew_s > 0.0))
+          bad_spec("'data=sizeskew' exponent must be positive");
+        saw_sizeskew = true;
+      } else {
         bad_spec(
-            "'data=dirichlet' wants a concentration (data=dirichlet:<alpha>)");
-      spec.dirichlet_alpha = parse_double(value.substr(10), "data=dirichlet");
-      if (!(spec.dirichlet_alpha > 0.0))
-        bad_spec("'data=dirichlet' alpha must be positive");
-    } else {
-      bad_spec("'data' must be iid or dirichlet:<alpha>, got '" + value +
-               "'");
+            "'data' parts must be iid, dirichlet:<alpha> or sizeskew:<s>, "
+            "got '" + part + "'");
+      }
+      if (plus == std::string::npos) break;
+      start = plus + 1;
+    }
+  } else if (key == "population") {
+    // parse -> format canonicalizes the stored string (and validates it);
+    // the population grammar uses ';' and '+' internally, never ',', so the
+    // canonical value embeds verbatim in the comma-separated option list.
+    try {
+      spec.population =
+          format_population_spec(parse_population_spec(value));
+    } catch (const InvalidArgument& error) {
+      bad_spec(std::string("'population': ") + error.what());
     }
   } else if (key == "downmode") {
     if (value == "full")
@@ -363,7 +403,7 @@ void apply_key(CodecSpec& spec, const std::string& key,
              "' (expected lossy, lossless, eb, policy, sparsity, bits, "
              "chunk, threads, threshold, downlink, downmode, ef, topology, "
              "backhaul, backhaul<k>, edgemode, edgeef, shard, transport, "
-             "checkpoint or data)");
+             "checkpoint, data or population)");
   }
 }
 
@@ -388,7 +428,7 @@ void parse_options(CodecSpec& out, const std::string& body,
       bad_spec("'" + family +
                "' takes only downlink, downmode, ef, topology, backhaul, "
                "backhaul<k>, edgemode, edgeef, shard, transport, "
-               "checkpoint or data options");
+               "checkpoint, data or population options");
     apply_key(out, key, pair.substr(eq + 1));
     if (comma == std::string::npos) break;
     pos = comma + 1;
@@ -471,8 +511,19 @@ std::string comm_suffix(const CodecSpec& spec) {
   if (!spec.checkpoint_path.empty())
     out += ",checkpoint=" + spec.checkpoint_path + ":" +
            std::to_string(spec.checkpoint_every);
-  if (spec.dirichlet_alpha > 0.0)
-    out += ",data=dirichlet:" + format_double(spec.dirichlet_alpha);
+  if (spec.dirichlet_alpha > 0.0 || spec.sizeskew_s > 0.0) {
+    std::string parts;
+    if (spec.dirichlet_alpha > 0.0)
+      parts += "dirichlet:" + format_double(spec.dirichlet_alpha);
+    if (spec.sizeskew_s > 0.0) {
+      if (!parts.empty()) parts += '+';
+      parts += "sizeskew:" + format_double(spec.sizeskew_s);
+    }
+    out += ",data=" + parts;
+  }
+  // Stored canonically by apply_key; the population grammar never contains
+  // ',' so no separator swap is needed.
+  if (!spec.population.empty()) out += ",population=" + spec.population;
   return out;
 }
 

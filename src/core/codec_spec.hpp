@@ -58,9 +58,20 @@
 //                                             coordinator to <path> every K
 //                                             rounds; the path may not
 //                                             contain ',' or ';')
-//               data=iid|dirichlet:<alpha>   (client data sharding: IID
-//                                             deal, or Dirichlet label skew
-//                                             with concentration alpha)
+//               data=PART[+PART...]          (client data sharding, '+'-
+//                                             composable: iid (the default
+//                                             deal), dirichlet:<alpha>
+//                                             label skew, sizeskew:<s>
+//                                             power-law per-client sample
+//                                             counts — e.g.
+//                                             data=dirichlet:0.5+sizeskew:1.2)
+//               population=PRESET[:OPT;...]  (client population: device
+//                                             classes + diurnal availability
+//                                             driving per-round eligibility;
+//                                             presets mixed|mobile|iot_fleet
+//                                             |uniform|custom, options
+//                                             ';'-separated — see
+//                                             core/fl/population.hpp)
 //
 // The sparse family reroutes every would-be-lossy tensor through the
 // sparse-quantization codec (threshold + adaptive-width quantization) at
@@ -164,10 +175,18 @@ struct CodecSpec {
   /// Client data sharding (data= comm key): 0 = IID deal (the default),
   /// > 0 = Dirichlet label skew with this concentration alpha.
   double dirichlet_alpha = 0.0;
+  /// Power-law per-client sample-count skew exponent (data=sizeskew:<s>):
+  /// 0 = off, > 0 = shard at skew rank r keeps fraction (r+1)^-s of its
+  /// samples (minimum one). Composes with dirichlet_alpha.
+  double sizeskew_s = 0.0;
+  /// Client population spec (population= comm key) in canonical form —
+  /// directly parseable by parse_population_spec. Empty = the flat,
+  /// always-available pool.
+  std::string population;
 
   /// True when any comm-level key (downlink/downmode/ef/topology/backhaul/
-  /// backhaul<k>/edgemode/edgeef/shard/transport/checkpoint/data) is set —
-  /// the keys that configure an
+  /// backhaul<k>/edgemode/edgeef/shard/transport/checkpoint/data/
+  /// population) is set — the keys that configure an
   /// FL run rather than a codec. The single predicate behind every "this
   /// spec cannot carry comm keys" rejection (nested downlink/backhaul
   /// specs, make_codec_by_name), so a future comm key only needs adding
@@ -177,7 +196,8 @@ struct CodecSpec {
            !hier_tiers.empty() || !backhaul.empty() ||
            !tier_backhauls.empty() || edge_buffered ||
            edge_error_feedback || shard_shuffled || !transport.empty() ||
-           !checkpoint_path.empty() || dirichlet_alpha > 0.0;
+           !checkpoint_path.empty() || dirichlet_alpha > 0.0 ||
+           sizeskew_s > 0.0 || !population.empty();
   }
 };
 

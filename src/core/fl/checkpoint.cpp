@@ -58,6 +58,7 @@ Bytes serialize_checkpoint(const CheckpointState& state) {
   body.put_blob({state.aggregator_state.data(), state.aggregator_state.size()});
   put_rng(body, state.cohort_rng);
   put_rng(body, state.failure_rng);
+  put_rng(body, state.eligibility_rng);
   put_dicts(body, state.client_residuals);
   put_dicts(body, state.downlink_sessions);
   put_dicts(body, state.edge_residuals);
@@ -101,6 +102,7 @@ CheckpointState parse_checkpoint(ByteSpan bytes) {
     state.aggregator_state.assign(agg.begin(), agg.end());
     state.cohort_rng = get_rng(in);
     state.failure_rng = get_rng(in);
+    state.eligibility_rng = get_rng(in);
     state.client_residuals = get_dicts(in);
     state.downlink_sessions = get_dicts(in);
     state.edge_residuals = get_dicts(in);
@@ -220,6 +222,20 @@ std::uint32_t run_fingerprint(const FlRunConfig& config,
   out.put_f64(config.failures.edge_failure_rate);
   out.put_f64(config.failures.straggler_deadline_seconds);
   out.put_u64(config.failures.seed);
+  const PopulationConfig& p = config.population;
+  out.put_string(p.preset);
+  out.put_varint(p.mix.size());
+  for (const DeviceClassShare& share : p.mix) {
+    out.put_string(share.name);
+    out.put_f64(share.weight);
+  }
+  out.put_u8(static_cast<std::uint8_t>(p.availability));
+  out.put_f64(p.flat_availability);
+  out.put_f64(p.period_seconds);
+  out.put_f64(p.phase_jitter);
+  out.put_f64(p.dropout_rate);
+  out.put_u64(p.seed);
+  out.put_f64(config.sizeskew_s);
   out.put_string(model.arch);
   out.put_varint(static_cast<std::uint64_t>(model.in_channels));
   out.put_varint(static_cast<std::uint64_t>(model.image_size));

@@ -27,7 +27,8 @@
 namespace fedsz::core {
 
 inline constexpr std::uint32_t kCheckpointMagic = 0x314B4346u;  // "FCK1" LE
-inline constexpr std::uint8_t kCheckpointVersion = 1;
+/// v2 added the population-eligibility RNG stream after failure_rng.
+inline constexpr std::uint8_t kCheckpointVersion = 2;
 
 struct CheckpointState {
   /// Rounds fully aggregated when the checkpoint was taken; the resumed
@@ -48,6 +49,9 @@ struct CheckpointState {
   /// Coordinator RNG streams, mid-sequence.
   Rng::State cohort_rng;
   Rng::State failure_rng;
+  /// Population eligibility draws (advanced every round open whenever a
+  /// population is active; idle otherwise, but always serialized).
+  Rng::State eligibility_rng;
   /// Per-client uplink EF residuals (empty dict = none carried yet).
   std::vector<StateDict> client_residuals;
   /// kDelta downlink sessions, client order (empty vector when the run has

@@ -25,6 +25,8 @@ std::string delivery_status_name(DeliveryStatus status) {
       return "evicted";
     case DeliveryStatus::kLate:
       return "late";
+    case DeliveryStatus::kIneligible:
+      return "ineligible";
   }
   return "unknown";
 }
@@ -66,6 +68,9 @@ void FlRunConfig::apply_comm_spec(const CodecSpec& spec) {
   checkpoint_path = spec.checkpoint_path;
   checkpoint_every = spec.checkpoint_every;
   dirichlet_alpha = spec.dirichlet_alpha;
+  sizeskew_s = spec.sizeskew_s;
+  population = spec.population.empty() ? PopulationConfig{}
+                                       : parse_population_spec(spec.population);
 }
 
 void FlRunConfig::validate() const {
@@ -97,6 +102,14 @@ void FlRunConfig::validate() const {
   if (!(dirichlet_alpha >= 0.0) || !std::isfinite(dirichlet_alpha))
     throw InvalidArgument(
         "FlRunConfig: dirichlet_alpha must be finite and >= 0 (0 = IID)");
+  if (!(sizeskew_s >= 0.0) || !std::isfinite(sizeskew_s))
+    throw InvalidArgument(
+        "FlRunConfig: sizeskew_s must be finite and >= 0 (0 = off)");
+  population.validate();
+  if (!population.empty() && heterogeneous)
+    throw InvalidArgument(
+        "FlRunConfig: population and heterogeneous both configure per-client "
+        "links; set at most one");
   failures.validate();
   if (failures.edge_failure_rate > 0.0 && topology.mode != TopologyMode::kHier)
     throw InvalidArgument(
@@ -129,12 +142,51 @@ FlRunConfig validated(FlRunConfig config) {
   return config;
 }
 
-net::HeterogeneousNetwork build_network(const FlRunConfig& config) {
+}  // namespace
+
+net::HeterogeneousNetwork build_population_network(
+    const FlRunConfig& config, const ClientPopulation* population) {
+  if (population)
+    return net::HeterogeneousNetwork::from_profiles(
+        population->link_profiles());
   return net::build_links(config.heterogeneous, config.network,
                           config.clients);
 }
 
-}  // namespace
+std::vector<std::vector<std::size_t>> build_client_shards(
+    const data::Dataset& train, const FlRunConfig& config,
+    const ClientPopulation* population) {
+  Rng rng(config.seed);
+  auto shards = config.dirichlet_alpha > 0.0
+                    ? data::partition_dirichlet(data::dataset_labels(train),
+                                                config.clients,
+                                                config.dirichlet_alpha, rng)
+                    : data::partition_iid(train.size(), config.clients, rng);
+  // A heavily skewed Dirichlet draw can leave a client with no samples;
+  // an empty shard cannot train, so deterministically move one sample over
+  // from the largest shard (conservation holds, skew barely changes).
+  if (config.dirichlet_alpha > 0.0) data::ensure_nonempty_shards(shards);
+  if (config.sizeskew_s > 0.0) {
+    // Its own stream, so turning size skew on leaves the base partition
+    // byte-identical to a sizeskew-free run.
+    Rng skew_rng(config.seed ^ 0x517E55EDull);
+    data::apply_sizeskew(shards, config.sizeskew_s, skew_rng);
+  }
+  if (population) {
+    // Device-class data weight: a phone holds a fraction of what a laptop
+    // does. The shard is already shuffled, so a prefix is an unbiased
+    // subsample and costs no randomness.
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+      if (shards[i].empty()) continue;
+      const double weight = population->data_weight(i);
+      std::size_t keep = static_cast<std::size_t>(
+          std::llround(weight * static_cast<double>(shards[i].size())));
+      keep = std::min(std::max<std::size_t>(keep, 1), shards[i].size());
+      shards[i].resize(keep);
+    }
+  }
+  return shards;
+}
 
 FlCoordinator::FlCoordinator(const nn::ModelConfig& model_config,
                              data::DatasetPtr train, data::DatasetPtr test,
@@ -146,13 +198,24 @@ FlCoordinator::FlCoordinator(const nn::ModelConfig& model_config,
       codec_(std::move(codec)),
       scheduler_(scheduler ? std::move(scheduler) : make_sync_scheduler()),
       server_(model_config),
-      network_(build_network(config_)) {
+      population_(config_.population.empty()
+                      ? nullptr
+                      : std::make_unique<ClientPopulation>(
+                            config_.population, config_.clients,
+                            config_.seed)),
+      network_(build_population_network(config_, population_.get())) {
   if (!codec_) throw InvalidArgument("FlCoordinator: null update codec");
   if (!config_.failures.empty() && scheduler_->continuous())
     // Continuous policies have no round barrier to drop out of or be
     // evicted from; their own staleness handling IS the churn model.
     throw InvalidArgument(
         "FlCoordinator: failure injection requires a barrier scheduler "
+        "(sync or sampled_sync)");
+  if (population_ && scheduler_->continuous())
+    // Eligibility is a round-open concept; a continuous policy has no round
+    // open to gate, so the combination would silently ignore availability.
+    throw InvalidArgument(
+        "FlCoordinator: a client population requires a barrier scheduler "
         "(sync or sampled_sync)");
   if (!config_.checkpoint_path.empty()) {
     // A checkpoint captures state BETWEEN rounds, when the event queue is
@@ -193,17 +256,7 @@ FlCoordinator::FlCoordinator(const nn::ModelConfig& model_config,
                        make_codec(parse_codec_spec(config_.downlink_spec))},
         config_.clients);
   feedback_.resize(config_.clients);
-  Rng rng(config_.seed);
-  auto shards =
-      config_.dirichlet_alpha > 0.0
-          ? data::partition_dirichlet(data::dataset_labels(*train),
-                                      config_.clients,
-                                      config_.dirichlet_alpha, rng)
-          : data::partition_iid(train->size(), config_.clients, rng);
-  // A heavily skewed Dirichlet draw can leave a client with no samples;
-  // an empty shard cannot train, so deterministically move one sample over
-  // from the largest shard (conservation holds, skew barely changes).
-  if (config_.dirichlet_alpha > 0.0) data::ensure_nonempty_shards(shards);
+  const auto shards = build_client_shards(*train, config_, population_.get());
   Rng speed_rng(config_.seed ^ 0xC0DEC10Cull);
   compute_seconds_.reserve(config_.clients);
   for (std::size_t i = 0; i < config_.clients; ++i) {
@@ -214,13 +267,18 @@ FlCoordinator::FlCoordinator(const nn::ModelConfig& model_config,
         std::make_shared<data::SubsetDataset>(train, shards[i]),
         client_config));
     // Deterministic virtual training time: proportional to the shard, with
-    // an optional per-client speed spread (heterogeneous devices).
+    // an optional per-client speed spread (heterogeneous devices) and the
+    // device class's compute multiplier (after the jitter draw, so the
+    // speed stream's consumption never depends on the population).
     const double factor = speed_rng.uniform(1.0 - config_.compute_jitter,
                                             1.0 + config_.compute_jitter);
+    const double class_multiplier =
+        population_ ? population_->compute_multiplier(i) : 1.0;
     compute_seconds_.push_back(
         config_.compute_seconds_per_sample *
         static_cast<double>(shards[i].size()) *
-        static_cast<double>(config_.client.local_epochs) * factor);
+        static_cast<double>(config_.client.local_epochs) * factor *
+        class_multiplier);
   }
 }
 
@@ -272,6 +330,10 @@ FlRunResult FlCoordinator::run() {
   Rng failure_rng(config_.failures.seed
                       ? config_.failures.seed
                       : (config_.seed ^ 0xFA17A1E5ull));
+  // Population availability draws ride their own stream too (advanced only
+  // when a population is active), checkpointed so a resumed run replays the
+  // exact eligibility sequence.
+  Rng eligibility_rng(config_.seed ^ 0xE11D1B1Eull);
   int completed = 0;  // aggregations finished so far
   bool stopped = false;
   RoundRecord record;
@@ -284,6 +346,8 @@ FlRunResult FlCoordinator::run() {
   std::vector<Phase> phase(clients_.size(), Phase::kIdle);
   std::vector<std::uint64_t> generation(clients_.size(), 0);
   std::vector<char> dropped(clients_.size(), 0);  // this round's dropout draws
+  // This round's availability draws (all 1 when no population is active).
+  std::vector<char> eligible(clients_.size(), 1);
   // Tier-1 edge owning each client THIS round (crash re-sharding moves it).
   std::vector<std::size_t> owner_round(clients_.size(), 0);
 
@@ -440,6 +504,7 @@ FlRunResult FlCoordinator::run() {
     state.aggregator_state = aggregator_out.finish();
     state.cohort_rng = cohort_rng.state();
     state.failure_rng = failure_rng.state();
+    state.eligibility_rng = eligibility_rng.state();
     state.client_residuals.reserve(feedback_.size());
     for (const ErrorFeedbackAccumulator& fb : feedback_)
       state.client_residuals.push_back(fb.residual());
@@ -752,6 +817,7 @@ FlRunResult FlCoordinator::run() {
     trace.downlink_bytes = flight.downlink_bytes;
     trace.downlink_seconds = flight.downlink_seconds;
     trace.status = DeliveryStatus::kDropped;
+    if (population_) trace.device_class = population_->class_name(i);
     record.clients.push_back(std::move(trace));
     if (!tree_) {
       // Barrier goals equal the cohort size, so one fewer possible arrival
@@ -800,6 +866,7 @@ FlRunResult FlCoordinator::run() {
     trace.downlink_bytes = flight.downlink_bytes;
     trace.downlink_seconds = flight.downlink_seconds;
     trace.ef_residual_norm = out.ef_residual_norm;
+    if (population_) trace.device_class = population_->class_name(i);
 
     if (tree_ && !nodes[0][e].open) {
       // Its buffered edge already shipped: the update landed with nowhere
@@ -960,6 +1027,7 @@ FlRunResult FlCoordinator::run() {
       trace.downlink_bytes = flight.downlink_bytes;
       trace.downlink_seconds = flight.downlink_seconds;
       trace.status = DeliveryStatus::kEvicted;
+      if (population_) trace.device_class = population_->class_name(i);
       record.clients.push_back(std::move(trace));
     }
     if (!tree_) {
@@ -988,10 +1056,31 @@ FlRunResult FlCoordinator::run() {
     if (scheduler_->continuous() && !initial) {
       // Clients redispatch themselves on arrival; just reset the buffer.
       root_goal = scheduler_->aggregation_goal(clients_.size());
+      record.eligible_clients = clients_.size();
       return;
     }
     std::fill(phase.begin(), phase.end(), Phase::kIdle);
     std::fill(dropped.begin(), dropped.end(), 0);
+    std::fill(eligible.begin(), eligible.end(), 1);
+    // Zero-eligible fallback: when every availability draw failed,
+    // deterministically wake the most-available client (tie-break lowest
+    // index) so a campaign can never stall on an unlucky night. Consumes no
+    // randomness, so the stream stays aligned with luckier trajectories.
+    const auto ensure_some_eligible = [&] {
+      if (!population_) return;
+      for (std::size_t i = 0; i < clients_.size(); ++i)
+        if (eligible[i]) return;
+      std::size_t best = 0;
+      double best_p = -1.0;
+      for (std::size_t i = 0; i < clients_.size(); ++i) {
+        const double p = population_->availability(i, queue.now());
+        if (p > best_p) {
+          best_p = p;
+          best = i;
+        }
+      }
+      eligible[best] = 1;
+    };
     std::vector<std::size_t> cohort;
     if (tree_) {
       record.backhaul_tier_bytes.assign(levels, 0);
@@ -1043,22 +1132,42 @@ FlRunResult FlCoordinator::run() {
       }
       for (std::size_t e = 0; e < edge_count; ++e)
         for (const std::size_t i : edge_members[e]) owner_round[i] = e;
+      if (population_) {
+        // Availability draws in (edge order, member order) — exactly the
+        // sequence the federation root replays, so both transports consume
+        // the eligibility stream identically.
+        for (std::size_t e = 0; e < edge_count; ++e)
+          for (const std::size_t i : edge_members[e])
+            eligible[i] = eligibility_rng.uniform() <
+                          population_->availability(i, queue.now());
+        ensure_some_eligible();
+      }
       // Per-cohort sampling: the scheduler draws within each edge's member
       // set (cohort-relative indices) in edge order — the same stream and
-      // order as the single-tier runtime when nothing crashed.
+      // order as the single-tier runtime when nothing crashed. With a
+      // population active the member set shrinks to the eligible clients
+      // BEFORE the draw (the scheduler never sees offline devices).
       root_goal = 0;
       for (std::size_t e = 0; e < edge_count; ++e) {
         edge_cohort[e].clear();
         if (edge_members[e].empty()) continue;
+        std::vector<std::size_t> pool;
+        if (population_) {
+          for (const std::size_t i : edge_members[e])
+            if (eligible[i]) pool.push_back(i);
+        } else {
+          pool = edge_members[e];
+        }
+        if (pool.empty()) continue;
         const std::vector<std::size_t> draw =
-            scheduler_->cohort(completed, edge_members[e].size(), cohort_rng);
+            scheduler_->cohort(completed, pool.size(), cohort_rng);
         if (draw.empty()) continue;
         NodeRound& s = nodes[0][e];
         s.participating = s.open = true;
         s.expected = draw.size();
         tree_->node(0, e).begin_round(server_.global_state());
         for (const std::size_t idx : draw)
-          edge_cohort[e].push_back(edge_members[e][idx]);
+          edge_cohort[e].push_back(pool[idx]);
       }
       // Upper tiers participate when anything below them does; their
       // expectation is the participating child count.
@@ -1081,13 +1190,59 @@ FlRunResult FlCoordinator::run() {
         cohort.insert(cohort.end(), edge_cohort[e].begin(),
                       edge_cohort[e].end());
     } else {
-      cohort = scheduler_->cohort(completed, clients_.size(), cohort_rng);
+      if (population_) {
+        for (std::size_t i = 0; i < clients_.size(); ++i)
+          eligible[i] = eligibility_rng.uniform() <
+                        population_->availability(i, queue.now());
+        ensure_some_eligible();
+        std::vector<std::size_t> pool;
+        for (std::size_t i = 0; i < clients_.size(); ++i)
+          if (eligible[i]) pool.push_back(i);
+        const std::vector<std::size_t> draw =
+            scheduler_->cohort(completed, pool.size(), cohort_rng);
+        cohort.reserve(draw.size());
+        for (const std::size_t idx : draw) cohort.push_back(pool[idx]);
+      } else {
+        cohort = scheduler_->cohort(completed, clients_.size(), cohort_rng);
+      }
       root_goal = scheduler_->aggregation_goal(cohort.size());
+    }
+    if (population_) {
+      for (std::size_t i = 0; i < clients_.size(); ++i) {
+        if (eligible[i]) {
+          ++record.eligible_clients;
+          continue;
+        }
+        ++record.ineligible_clients;
+        // Offline devices stay visible in the per-round export: one
+        // weight-0 entry each, appended in client order at round open (the
+        // same order the federation root emits them).
+        ClientTraceEntry trace;
+        trace.client = i;
+        trace.node = tree_ ? 1 + tree_->flat_index(0, owner_round[i]) : 0;
+        trace.dispatch_round = completed;
+        trace.dispatch_seconds = queue.now();
+        trace.arrival_seconds = queue.now();
+        trace.status = DeliveryStatus::kIneligible;
+        trace.device_class = population_->class_name(i);
+        trace.eligible = false;
+        record.clients.push_back(std::move(trace));
+      }
+    } else {
+      record.eligible_clients = clients_.size();
     }
     if (config_.failures.dropout_rate > 0.0)
       for (const std::size_t i : cohort)
         dropped[i] =
             failure_rng.uniform() < config_.failures.dropout_rate;
+    // Population mid-round offline draws ride the eligibility stream (one
+    // unconditional draw per cohort member, so the stream advances the same
+    // way whatever the outcomes) and surface through the existing dropout
+    // machinery.
+    if (population_ && population_->config().dropout_rate > 0.0)
+      for (const std::size_t i : cohort)
+        if (eligibility_rng.uniform() < population_->config().dropout_rate)
+          dropped[i] = 1;
     if (config_.failures.straggler_deadline_seconds > 0.0)
       queue.schedule_after(config_.failures.straggler_deadline_seconds,
                            [&, round = completed] {
@@ -1140,6 +1295,7 @@ FlRunResult FlCoordinator::run() {
       server_.aggregator().load_state(aggregator_in);
       cohort_rng.restore(ck.cohort_rng);
       failure_rng.restore(ck.failure_rng);
+      eligibility_rng.restore(ck.eligibility_rng);
       for (std::size_t i = 0; i < feedback_.size(); ++i)
         feedback_[i].restore_residual(std::move(ck.client_residuals[i]));
       if (downlink_ && downlink_->mode() == DownlinkMode::kDelta)

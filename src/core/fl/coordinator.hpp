@@ -30,6 +30,7 @@
 #include "core/error_feedback.hpp"
 #include "core/fl/client.hpp"
 #include "core/fl/downlink.hpp"
+#include "core/fl/population.hpp"
 #include "core/fl/scheduler.hpp"
 #include "core/fl/server.hpp"
 #include "core/fl/topology.hpp"
@@ -136,6 +137,19 @@ struct FlRunConfig {
   /// partition with this concentration alpha (lower = more skew), seeded
   /// from `seed` so the shards are deterministic.
   double dirichlet_alpha = 0.0;
+  /// Power-law per-client sample-count skew (data=sizeskew:<s> comm key):
+  /// 0 = off; > 0 applies apply_sizeskew after the base partition, from its
+  /// own stream (seed ^ 0x517E55EDull) so the base shards are unchanged.
+  double sizeskew_s = 0.0;
+
+  /// Client population (population= comm key): device classes with
+  /// correlated compute/link/data-size draws plus an availability model
+  /// sampled on the virtual clock at each round open — only eligible
+  /// clients enter the scheduler's cohort draw (per edge cohort under
+  /// kHier). Empty (the default) keeps the flat always-available pool and
+  /// consumes no extra randomness. Requires a barrier scheduler; mutually
+  /// exclusive with `heterogeneous` (the population owns the link draws).
+  PopulationConfig population;
 
   /// Fold the comm-level keys of a parsed codec spec (downlink=, downmode=,
   /// ef=, topology=, backhaul=, backhaul<k>=, edgemode=, edgeef=, shard=,
@@ -155,6 +169,7 @@ enum class DeliveryStatus : std::uint8_t {
   kDropped = 1,     // client failed mid-round; nothing uploaded
   kEvicted = 2,     // still in flight at the straggler deadline
   kLate = 3,        // arrived after its (buffered) parent already shipped
+  kIneligible = 4,  // unavailable at round open; never dispatched
 };
 
 std::string delivery_status_name(DeliveryStatus status);
@@ -196,6 +211,12 @@ struct ClientTraceEntry {
   /// aggregate (and to the per-round byte/second totals); dropped, evicted
   /// and late entries carry weight 0.
   DeliveryStatus status = DeliveryStatus::kAggregated;
+  /// Population segment this client belongs to ("" when no population= key
+  /// is active) — lets figures be re-plotted offline per device class.
+  std::string device_class;
+  /// False only for kIneligible entries (the client was unavailable at
+  /// round open and never dispatched).
+  bool eligible = true;
   net::CompressionDecision decision;  // Eqn (1) against this client's link
 };
 
@@ -239,6 +260,11 @@ struct RoundRecord {
   std::size_t bytes_sent = 0;       // total compressed bytes, participants
   std::size_t raw_bytes = 0;        // total uncompressed bytes, participants
   std::size_t participants = 0;     // updates folded into this aggregation
+  /// Availability split at round open: clients whose eligibility draw
+  /// passed / failed. With no population active every member is eligible
+  /// (eligible_clients == the run's client count, ineligible_clients == 0).
+  std::size_t eligible_clients = 0;
+  std::size_t ineligible_clients = 0;
   double virtual_seconds = 0.0;     // virtual clock at aggregation time
   // ---- downlink (server->client broadcast) leg, zeros when free ----
   std::size_t downlink_bytes = 0;      // total broadcast bytes delivered
@@ -315,6 +341,22 @@ struct FlRunResult {
   std::string scheduler;
 };
 
+/// One simulated link per client: the population's correlated device-class
+/// profiles when `population` is non-null, else the heterogeneous config or
+/// the shared fallback profile. Shared by the in-process coordinator and
+/// the distributed edge runtime so both transports see identical links.
+net::HeterogeneousNetwork build_population_network(
+    const FlRunConfig& config, const ClientPopulation* population);
+
+/// The full client-shard pipeline, shared by the in-process coordinator and
+/// the distributed edge runtime: IID deal or Dirichlet label skew from
+/// Rng(config.seed), optional power-law size skew from its own stream, then
+/// per-client population data_weight truncation (deterministic prefix of
+/// the already-shuffled shard — no extra randomness).
+std::vector<std::vector<std::size_t>> build_client_shards(
+    const data::Dataset& train, const FlRunConfig& config,
+    const ClientPopulation* population);
+
 class FlCoordinator {
  public:
   /// `scheduler` defaults (nullptr) to the synchronous full-participation
@@ -342,6 +384,9 @@ class FlCoordinator {
   UpdateCodecPtr codec_;
   SchedulerPtr scheduler_;
   FlServer server_;
+  // Declared before network_: the member initializer builds the links from
+  // the population's correlated device-class draws.
+  std::unique_ptr<ClientPopulation> population_;  // null = no population
   net::HeterogeneousNetwork network_;
   std::vector<std::unique_ptr<FlClient>> clients_;
   std::vector<double> compute_seconds_;  // virtual training time per client

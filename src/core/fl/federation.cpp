@@ -381,6 +381,7 @@ struct EdgeRuntime {
   UpdateCodecPtr codec;
   bool ef_on = false;
   std::unique_ptr<AggregationTree> tree;
+  std::unique_ptr<ClientPopulation> population;  // before network: links
   net::HeterogeneousNetwork network;
   data::DatasetPtr train;
   std::vector<std::vector<std::size_t>> shards;
@@ -395,22 +396,27 @@ struct EdgeRuntime {
         ef_on(config.error_feedback && !codec->lossless()),
         tree(std::make_unique<AggregationTree>(config.topology,
                                                config.clients)),
-        network(net::build_links(config.heterogeneous, config.network,
-                                 config.clients)),
+        population(config.population.empty()
+                       ? nullptr
+                       : std::make_unique<ClientPopulation>(
+                             config.population, config.clients, config.seed)),
+        network(build_population_network(config, population.get())),
         train(build_train(manifest.dataset)) {
     if (manifest.edge >= tree->edge_count())
       throw CorruptStream("manifest: edge index out of range");
-    Rng rng(config.seed);
-    shards = data::partition_iid(train->size(), config.clients, rng);
+    shards = build_client_shards(*train, config, population.get());
     Rng speed_rng(config.seed ^ 0xC0DEC10Cull);
     compute_seconds.reserve(config.clients);
     for (std::size_t i = 0; i < config.clients; ++i) {
       const double factor = speed_rng.uniform(1.0 - config.compute_jitter,
                                               1.0 + config.compute_jitter);
+      const double class_multiplier =
+          population ? population->compute_multiplier(i) : 1.0;
       compute_seconds.push_back(
           config.compute_seconds_per_sample *
           static_cast<double>(shards[i].size()) *
-          static_cast<double>(config.client.local_epochs) * factor);
+          static_cast<double>(config.client.local_epochs) * factor *
+          class_multiplier);
     }
     clients.resize(config.clients);
     feedback.resize(config.clients);
@@ -666,6 +672,7 @@ struct FederatedRoot::Impl {
   SchedulerPtr scheduler;
   FederationOptions options;
   FlServer server;
+  std::unique_ptr<ClientPopulation> population;  // before network: links
   net::HeterogeneousNetwork network;  // client links (Eqn-1 decisions)
   std::unique_ptr<AggregationTree> tree;
   std::unique_ptr<net::TcpListener> listener;
@@ -680,8 +687,11 @@ struct FederatedRoot::Impl {
         scheduler(sched ? std::move(sched) : make_sync_scheduler()),
         options(opts),
         server(model),
-        network(net::build_links(config.heterogeneous, config.network,
-                                 config.clients)) {}
+        population(config.population.empty()
+                       ? nullptr
+                       : std::make_unique<ClientPopulation>(
+                             config.population, config.clients, config.seed)),
+        network(build_population_network(config, population.get())) {}
 
   RunManifest make_manifest(std::uint32_t edge) const {
     RunManifest m;
@@ -734,6 +744,10 @@ FederatedRoot::FederatedRoot(const nn::ModelConfig& model_config,
     throw InvalidArgument(
         "FederatedRoot: injected failure schedules are in-process only; "
         "distributed churn comes from real worker crashes (heartbeats)");
+  if (impl.config.population.dropout_rate > 0.0)
+    throw InvalidArgument(
+        "FederatedRoot: population mid-round dropout is in-process only; "
+        "remove drop= from population= when using transport=tcp");
   if (impl.config.topology.edge_mode != EdgeMode::kSync)
     throw InvalidArgument(
         "FederatedRoot: distributed edges are sync-only (a buffered edge "
@@ -903,6 +917,8 @@ FlRunResult FederatedRoot::run_with_streams(
     FlRunResult result;
     result.scheduler = impl.scheduler->name();
     Rng cohort_rng(impl.config.seed ^ 0x5C4ED11Eull);
+    Rng eligibility_rng(impl.config.seed ^ 0xE11D1B1Eull);
+    std::vector<char> eligible(impl.config.clients, 1);
     std::vector<std::vector<std::size_t>> members = impl.tree->base_shards();
     std::vector<std::size_t> peak(1 + edges, 0);
     std::vector<char> dead(edges, 0);
@@ -945,16 +961,52 @@ FlRunResult FederatedRoot::run_with_streams(
       impl.server.begin_round();
       const double t_open = virtual_now;
 
+      // Availability draws replay the in-process (edge order, member order)
+      // sequence so both transports consume the eligibility stream
+      // identically; the zero-eligible fallback is the same RNG-free
+      // most-available-client wake.
+      std::fill(eligible.begin(), eligible.end(), 1);
+      if (impl.population) {
+        for (std::size_t e = 0; e < edges; ++e)
+          for (const std::size_t i : members[e])
+            eligible[i] = eligibility_rng.uniform() <
+                          impl.population->availability(i, t_open);
+        bool any = false;
+        for (std::size_t i = 0; i < impl.config.clients; ++i)
+          any = any || eligible[i];
+        if (!any) {
+          std::size_t best = 0;
+          double best_p = -1.0;
+          for (std::size_t i = 0; i < impl.config.clients; ++i) {
+            const double p = impl.population->availability(i, t_open);
+            if (p > best_p) {
+              best_p = p;
+              best = i;
+            }
+          }
+          eligible[best] = 1;
+        }
+      }
+
       // Cohort draws consume cohort_rng per NON-EMPTY edge in edge order —
-      // the same stream positions as the in-process open_round.
+      // the same stream positions as the in-process open_round. With a
+      // population the member set shrinks to the eligible clients BEFORE
+      // the draw, and edges left with no eligible member skip theirs.
       std::vector<std::vector<std::size_t>> cohort(edges);
       std::vector<std::size_t> offset(edges, 0);
       for (std::size_t e = 0; e < edges; ++e) {
         if (dead[e] || members[e].empty()) continue;
+        std::vector<std::size_t> pool;
+        if (impl.population) {
+          for (const std::size_t i : members[e])
+            if (eligible[i]) pool.push_back(i);
+        } else {
+          pool = members[e];
+        }
+        if (pool.empty()) continue;
         const std::vector<std::size_t> draw =
-            impl.scheduler->cohort(completed, members[e].size(), cohort_rng);
-        for (const std::size_t idx : draw)
-          cohort[e].push_back(members[e][idx]);
+            impl.scheduler->cohort(completed, pool.size(), cohort_rng);
+        for (const std::size_t idx : draw) cohort[e].push_back(pool[idx]);
       }
       {
         std::size_t pos = 0;
@@ -962,6 +1014,34 @@ FlRunResult FederatedRoot::run_with_streams(
           offset[e] = pos;
           pos += cohort[e].size();
         }
+      }
+
+      // Offline devices surface first in the round's client list, in
+      // client-index order — the order the in-process open_round appends
+      // them.
+      if (impl.population) {
+        std::vector<std::size_t> owner(impl.config.clients, 0);
+        for (std::size_t e = 0; e < edges; ++e)
+          for (const std::size_t i : members[e]) owner[i] = e;
+        for (std::size_t i = 0; i < impl.config.clients; ++i) {
+          if (eligible[i]) {
+            ++record.eligible_clients;
+            continue;
+          }
+          ++record.ineligible_clients;
+          ClientTraceEntry trace;
+          trace.client = i;
+          trace.node = 1 + impl.tree->flat_index(0, owner[i]);
+          trace.dispatch_round = completed;
+          trace.dispatch_seconds = t_open;
+          trace.arrival_seconds = t_open;
+          trace.status = DeliveryStatus::kIneligible;
+          trace.device_class = impl.population->class_name(i);
+          trace.eligible = false;
+          record.clients.push_back(std::move(trace));
+        }
+      } else {
+        record.eligible_clients = impl.config.clients;
       }
 
       const Bytes global_blob = impl.server.global_state().serialize();
@@ -1008,6 +1088,8 @@ FlRunResult FederatedRoot::run_with_streams(
           trace.dispatch_seconds = t_open;
           trace.arrival_seconds = t_open;
           trace.status = DeliveryStatus::kDropped;
+          if (impl.population)
+            trace.device_class = impl.population->class_name(trace.client);
           record.clients.push_back(trace);
         }
       };
@@ -1114,6 +1196,8 @@ FlRunResult FederatedRoot::run_with_streams(
         const WireClientTrace& t = *g.t;
         ClientTraceEntry trace;
         trace.client = t.client;
+        if (impl.population)
+          trace.device_class = impl.population->class_name(t.client);
         trace.node = 1 + impl.tree->flat_index(0, g.edge);
         trace.dispatch_round = completed;
         trace.dispatch_seconds = t_open;

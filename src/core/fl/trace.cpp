@@ -23,6 +23,8 @@ util::JsonValue client_json(const ClientTraceEntry& t) {
   v.set("downlink_seconds", t.downlink_seconds);
   v.set("ef_residual_norm", t.ef_residual_norm);
   v.set("node", t.node);
+  v.set("device_class", t.device_class);
+  v.set("eligible", t.eligible);
   v.set("status", delivery_status_name(t.status));
   util::JsonValue decision = util::JsonValue::object();
   decision.set("compressed_seconds", t.decision.compressed_seconds);
@@ -65,6 +67,8 @@ util::JsonValue round_json(const RoundRecord& r) {
   v.set("raw_bytes", r.raw_bytes);
   v.set("compression_ratio", r.compression_ratio());
   v.set("participants", r.participants);
+  v.set("eligible_clients", r.eligible_clients);
+  v.set("ineligible_clients", r.ineligible_clients);
   v.set("virtual_seconds", r.virtual_seconds);
   v.set("downlink_bytes", r.downlink_bytes);
   v.set("downlink_raw_bytes", r.downlink_raw_bytes);

@@ -1,6 +1,7 @@
 #include "data/partition.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 namespace fedsz::data {
@@ -65,6 +66,38 @@ std::vector<std::vector<std::size_t>> partition_dirichlet(
     std::uint64_t seed) {
   Rng rng(seed);
   return partition_dirichlet(labels, clients, alpha, rng);
+}
+
+void apply_sizeskew(std::vector<std::vector<std::size_t>>& shards, double s,
+                    Rng& rng, std::size_t min_per_shard) {
+  if (!(s >= 0.0))
+    throw InvalidArgument("apply_sizeskew: exponent must be >= 0");
+  if (s == 0.0 || shards.empty()) return;
+  // Seeded rank permutation: which client lands on the heavy end of the
+  // power law is a draw, not an index-order artifact.
+  std::vector<std::size_t> rank(shards.size());
+  std::iota(rank.begin(), rank.end(), std::size_t{0});
+  for (std::size_t i = rank.size(); i > 1; --i)
+    std::swap(rank[i - 1], rank[rng.uniform_index(i)]);
+  for (std::size_t k = 0; k < shards.size(); ++k) {
+    std::vector<std::size_t>& shard = shards[k];
+    if (shard.empty()) continue;
+    const double keep_fraction =
+        std::pow(static_cast<double>(rank[k] + 1), -s);
+    std::size_t keep = static_cast<std::size_t>(
+        std::ceil(keep_fraction * static_cast<double>(shard.size())));
+    keep = std::max(keep, std::min(min_per_shard, shard.size()));
+    keep = std::min(keep, shard.size());
+    shard.resize(keep);
+  }
+}
+
+std::vector<std::vector<std::size_t>> partition_sizeskew(std::size_t n,
+                                                         std::size_t clients,
+                                                         double s, Rng& rng) {
+  std::vector<std::vector<std::size_t>> shards = partition_iid(n, clients, rng);
+  apply_sizeskew(shards, s, rng);
+  return shards;
 }
 
 std::vector<int> dataset_labels(const Dataset& dataset) {

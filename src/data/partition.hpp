@@ -29,6 +29,21 @@ std::vector<std::vector<std::size_t>> partition_dirichlet(
     const std::vector<int>& labels, std::size_t clients, double alpha,
     std::uint64_t seed);
 
+/// Power-law per-client sample-count skew over existing shards: clients are
+/// assigned skew ranks by a seeded permutation of `rng`, and the shard at
+/// rank r keeps the first ceil(size * (r+1)^-s) of its samples (never fewer
+/// than `min_per_shard`, capped at the shard's size). s = 0 is a no-op;
+/// larger s concentrates samples on fewer clients. Composes with any
+/// upstream partitioner (IID deal or Dirichlet label skew).
+void apply_sizeskew(std::vector<std::vector<std::size_t>>& shards, double s,
+                    Rng& rng, std::size_t min_per_shard = 1);
+
+/// partition_iid followed by apply_sizeskew with the same rng — the
+/// data=sizeskew:<s> comm key without label skew.
+std::vector<std::vector<std::size_t>> partition_sizeskew(std::size_t n,
+                                                         std::size_t clients,
+                                                         double s, Rng& rng);
+
 /// Gather every sample's label (partition_dirichlet input) in index order.
 std::vector<int> dataset_labels(const Dataset& dataset);
 

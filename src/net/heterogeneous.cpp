@@ -125,6 +125,17 @@ HeterogeneousNetwork HeterogeneousNetwork::homogeneous(NetworkProfile profile,
   return network;
 }
 
+HeterogeneousNetwork HeterogeneousNetwork::from_profiles(
+    const std::vector<NetworkProfile>& profiles) {
+  if (profiles.empty())
+    throw InvalidArgument("HeterogeneousNetwork: need at least one profile");
+  HeterogeneousNetwork network;
+  network.links_.reserve(profiles.size());
+  for (const NetworkProfile& profile : profiles)
+    network.links_.emplace_back(profile);
+  return network;
+}
+
 const SimulatedNetwork& HeterogeneousNetwork::link(std::size_t client) const {
   if (client >= links_.size())
     throw InvalidArgument("HeterogeneousNetwork: client index out of range");

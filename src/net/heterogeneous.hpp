@@ -55,6 +55,12 @@ class HeterogeneousNetwork {
   static HeterogeneousNetwork homogeneous(NetworkProfile profile,
                                           std::size_t clients);
 
+  /// One link per explicitly-given profile — how a ClientPopulation's
+  /// device-class-correlated draws become simulated links (the population
+  /// owns the distribution; this class just materializes it).
+  static HeterogeneousNetwork from_profiles(
+      const std::vector<NetworkProfile>& profiles);
+
   std::size_t size() const { return links_.size(); }
   const SimulatedNetwork& link(std::size_t client) const;
 

@@ -48,13 +48,17 @@ CheckpointState sample_state() {
   state.global_state.set("conv.bias", Tensor::from_data({2}, {0.5f, -0.25f}));
   state.aggregator_name = "fedavg";
   state.aggregator_state = {0x01, 0x02, 0xFE};
-  Rng cohort(7), failure(13);
+  Rng cohort(7), failure(13), eligibility(21);
   cohort.next_u64();
   cohort.normal();  // populate the Box-Muller cache
   failure.next_u64();
   failure.next_u64();
+  eligibility.uniform();
+  eligibility.uniform();
+  eligibility.uniform();
   state.cohort_rng = cohort.state();
   state.failure_rng = failure.state();
+  state.eligibility_rng = eligibility.state();
   StateDict residual;
   residual.set("conv.weight", Tensor::from_data({2, 2}, {0.1f, 0, -0.1f, 0}));
   state.client_residuals = {residual, StateDict{}};
@@ -85,6 +89,14 @@ TEST(CheckpointTest, SerializeParseRoundtrip) {
   restored.restore(parsed.cohort_rng);
   for (int i = 0; i < 8; ++i)
     EXPECT_EQ(restored.next_u64(), original.next_u64());
+  Rng elig_original(21);
+  elig_original.uniform();
+  elig_original.uniform();
+  elig_original.uniform();
+  Rng elig_restored;
+  elig_restored.restore(parsed.eligibility_rng);
+  for (int i = 0; i < 8; ++i)
+    EXPECT_EQ(elig_restored.next_u64(), elig_original.next_u64());
   // And re-serializing the parse is byte-identical.
   EXPECT_EQ(serialize_checkpoint(parsed), blob);
 }
@@ -157,6 +169,8 @@ void expect_rounds_identical(const RoundRecord& a, const RoundRecord& b) {
   EXPECT_EQ(a.backhaul_bytes, b.backhaul_bytes);
   EXPECT_EQ(a.backhaul_raw_bytes, b.backhaul_raw_bytes);
   EXPECT_EQ(a.mean_ef_residual_norm, b.mean_ef_residual_norm);
+  EXPECT_EQ(a.eligible_clients, b.eligible_clients);
+  EXPECT_EQ(a.ineligible_clients, b.ineligible_clients);
   EXPECT_EQ(a.clients.size(), b.clients.size());
   EXPECT_EQ(a.edges.size(), b.edges.size());
 }
@@ -191,6 +205,15 @@ TEST(CheckpointTest, ResumeMatchesUninterruptedHier) {
   check_resume_property(
       "fedsz:eb=rel:1e-2,ef=on,topology=hier:2,backhaul=fedsz:eb=rel:1e-2,"
       "edgeef=on");
+}
+
+TEST(CheckpointTest, ResumeMatchesUninterruptedDiurnalPopulation) {
+  // The eligibility stream advances every round open; restoring it
+  // mid-sequence is what keeps the resumed suffix's availability draws —
+  // and therefore cohorts, traces, and accuracy — bit-identical. A short
+  // diurnal period makes eligibility actually change across the cut.
+  check_resume_property(
+      "fedsz:eb=rel:1e-2,population=mixed:period=25;jitter=0.5;seed=6");
 }
 
 TEST(CheckpointTest, ResumeWithoutCheckpointRunsFresh) {

@@ -4,7 +4,10 @@
 // make_codec_by_name construction path built on top of it.
 #include <gtest/gtest.h>
 
+#include <iterator>
+
 #include "core/codec_spec.hpp"
+#include "core/fl/population.hpp"
 #include "core/policy.hpp"
 #include "util/rng.hpp"
 
@@ -123,6 +126,53 @@ TEST(CodecSpecParse, DataKeyIsCommLevel) {
   EXPECT_THROW(make_codec("fedsz:data=dirichlet:0.5"), InvalidArgument);
 }
 
+TEST(CodecSpecParse, DataSizeskewComposesWithDirichlet) {
+  const CodecSpec skew = parse_codec_spec("fedsz:data=sizeskew:1.5");
+  EXPECT_DOUBLE_EQ(skew.sizeskew_s, 1.5);
+  EXPECT_DOUBLE_EQ(skew.dirichlet_alpha, 0.0);
+  const CodecSpec both =
+      parse_codec_spec("identity:data=dirichlet:0.3+sizeskew:1.2");
+  EXPECT_DOUBLE_EQ(both.dirichlet_alpha, 0.3);
+  EXPECT_DOUBLE_EQ(both.sizeskew_s, 1.2);
+  // Canonical order is dirichlet first, whatever the input order was.
+  const std::string canonical = format_codec_spec(
+      parse_codec_spec("identity:data=sizeskew:1.2+dirichlet:0.3"));
+  EXPECT_NE(canonical.find("data=dirichlet:0.3+sizeskew:1.2"),
+            std::string::npos);
+  EXPECT_EQ(normalize(canonical), canonical);
+  // A bare codec cannot honor a sharding directive.
+  EXPECT_THROW(make_codec("fedsz:data=sizeskew:1.5"), InvalidArgument);
+}
+
+TEST(CodecSpecParse, PopulationKeyIsCommLevel) {
+  const CodecSpec spec = parse_codec_spec("fedsz:population=mixed:seed=7");
+  EXPECT_EQ(spec.population, "mixed:seed=7");
+  const std::string canonical = format_codec_spec(spec);
+  EXPECT_NE(canonical.find("population=mixed:seed=7"), std::string::npos);
+  EXPECT_EQ(normalize(canonical), canonical);
+  // The stored value is itself canonical: explicit defaults fold away and
+  // options come out in the grammar's fixed order.
+  EXPECT_EQ(parse_codec_spec("identity:population=mixed:avail=diurnal")
+                .population,
+            "mixed");
+  EXPECT_EQ(parse_codec_spec(
+                "identity:population=custom:seed=2;mix=laptop*2+iot*1")
+                .population,
+            "custom:mix=laptop*2+iot*1;seed=2");
+  // A bare codec cannot field a client population.
+  EXPECT_THROW(make_codec("fedsz:population=mixed"), InvalidArgument);
+}
+
+TEST(CodecSpecErrors, MalformedPopulationKeysThrow) {
+  for (const char* spec :
+       {"fedsz:population=datacenter", "fedsz:population=custom",
+        "fedsz:population=mixed:mix=laptop*1",
+        "fedsz:population=mixed:avail=flat:0",
+        "fedsz:population=mixed:drop=1", "fedsz:population=mixed:wat=1"}) {
+    EXPECT_THROW(parse_codec_spec(spec), InvalidArgument) << spec;
+  }
+}
+
 TEST(CodecSpecErrors, MalformedSparseAndDataKeysThrow) {
   for (const char* spec :
        {// sparse keys demand the sparse family
@@ -137,10 +187,14 @@ TEST(CodecSpecErrors, MalformedSparseAndDataKeysThrow) {
         // gradaware beta strictly inside (0, 1)
         "fedsz:policy=gradaware:0", "fedsz:policy=gradaware:1",
         "fedsz:policy=gradaware:-0.5", "sparse:policy=gradaware:nan",
-        // data: iid or dirichlet:<alpha> with alpha > 0
+        // data: iid, dirichlet:<alpha> with alpha > 0, sizeskew:<s> with
+        // s > 0 -- '+'-composable, no duplicates, iid composes with nothing
         "fedsz:data=", "fedsz:data=dirichlet", "fedsz:data=dirichlet:",
         "fedsz:data=dirichlet:0", "fedsz:data=dirichlet:-1",
-        "fedsz:data=skewed"}) {
+        "fedsz:data=skewed", "fedsz:data=sizeskew", "fedsz:data=sizeskew:",
+        "fedsz:data=sizeskew:0", "fedsz:data=sizeskew:-1",
+        "fedsz:data=iid+sizeskew:1", "fedsz:data=sizeskew:1+sizeskew:2",
+        "fedsz:data=dirichlet:0.5+dirichlet:0.5"}) {
     EXPECT_THROW(parse_codec_spec(spec), InvalidArgument) << spec;
   }
 }
@@ -444,6 +498,14 @@ TEST(CodecSpecFormat, FormatParseFuzzRoundTrip) {
     spec.schedule_factor = rng.uniform(0.1, 1.5);
     spec.gradaware_beta = rng.uniform(0.05, 0.95);
     if (rng.uniform() < 0.2) spec.dirichlet_alpha = rng.uniform(0.1, 5.0);
+    if (rng.uniform() < 0.2) spec.sizeskew_s = rng.uniform(0.1, 3.0);
+    if (rng.uniform() < 0.2) {
+      const char* populations[] = {"mixed", "mobile:avail=always",
+                                   "iot_fleet:avail=flat:0.5",
+                                   "custom:mix=laptop*2+iot*1;drop=0.1"};
+      spec.population = format_population_spec(parse_population_spec(
+          populations[rng.uniform_index(std::size(populations))]));
+    }
     spec.chunk_elements = 1 + rng.uniform_index(1 << 20);
     spec.threads = rng.uniform_index(9);
     spec.lossy_threshold = rng.uniform_index(5000);
@@ -490,6 +552,8 @@ TEST(CodecSpecFormat, FormatParseFuzzRoundTrip) {
     EXPECT_EQ(reparsed.edge_error_feedback, spec.edge_error_feedback);
     EXPECT_EQ(reparsed.shard_shuffled, spec.shard_shuffled);
     EXPECT_DOUBLE_EQ(reparsed.dirichlet_alpha, spec.dirichlet_alpha);
+    EXPECT_DOUBLE_EQ(reparsed.sizeskew_s, spec.sizeskew_s);
+    EXPECT_EQ(reparsed.population, spec.population);
     if (!spec.identity) {
       EXPECT_EQ(reparsed.sparse, spec.sparse);
       if (spec.sparse) {

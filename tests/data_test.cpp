@@ -219,6 +219,76 @@ TEST(PartitionDirichlet, EnsureNonemptyShardsRepairsStarvedClients) {
   EXPECT_EQ(starved[0].size(), 1u);
 }
 
+TEST(PartitionSizeskew, PowerLawShrinksTail) {
+  Rng rng(11);
+  const auto shards = partition_sizeskew(1200, 6, 1.2, rng);
+  ASSERT_EQ(shards.size(), 6u);
+  // No duplicates, nothing out of range; skew truncates, never invents.
+  std::set<std::size_t> seen;
+  std::size_t total = 0;
+  std::size_t largest = 0, smallest = 1200;
+  for (const auto& shard : shards) {
+    EXPECT_GE(shard.size(), 1u);
+    largest = std::max(largest, shard.size());
+    smallest = std::min(smallest, shard.size());
+    total += shard.size();
+    for (const auto idx : shard) {
+      EXPECT_TRUE(seen.insert(idx).second);
+      EXPECT_LT(idx, 1200u);
+    }
+  }
+  EXPECT_LT(total, 1200u);  // a real skew drops samples from the tail
+  // Rank-1 keeps its full shard; rank-6 keeps ~ 6^-1.2 of it.
+  EXPECT_EQ(largest, 200u);
+  EXPECT_LE(smallest * 8, largest);
+}
+
+TEST(PartitionSizeskew, ZeroExponentIsIdentity) {
+  Rng a(12), b(12);
+  const auto plain = partition_iid(500, 5, a);
+  auto skewed = partition_iid(500, 5, b);
+  Rng skew_rng(13);
+  apply_sizeskew(skewed, 0.0, skew_rng);
+  EXPECT_EQ(plain, skewed);
+}
+
+TEST(PartitionSizeskew, SeededRankPermutationIsDeterministic) {
+  Rng a(14), b(14), c(15);
+  const auto x = partition_sizeskew(800, 7, 0.8, a);
+  const auto y = partition_sizeskew(800, 7, 0.8, b);
+  const auto z = partition_sizeskew(800, 7, 0.8, c);
+  EXPECT_EQ(x, y);
+  EXPECT_NE(x, z);  // the rank permutation rides the caller's stream
+}
+
+TEST(PartitionSizeskew, ComposesWithDirichlet) {
+  std::vector<int> labels(900);
+  for (std::size_t i = 0; i < labels.size(); ++i)
+    labels[i] = static_cast<int>(i % 9);
+  Rng rng(16);
+  auto shards = partition_dirichlet(labels, 6, 0.5, rng);
+  ensure_nonempty_shards(shards);
+  const auto before = shards;
+  Rng skew_rng(17);
+  apply_sizeskew(shards, 1.5, skew_rng);
+  ASSERT_EQ(shards.size(), before.size());
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    EXPECT_GE(shards[s].size(), 1u);
+    EXPECT_LE(shards[s].size(), before[s].size());
+    // Truncation is a prefix cut: surviving indices are unchanged.
+    for (std::size_t k = 0; k < shards[s].size(); ++k)
+      EXPECT_EQ(shards[s][k], before[s][k]);
+  }
+}
+
+TEST(PartitionSizeskew, NegativeExponentThrows) {
+  Rng rng(18);
+  std::vector<std::vector<std::size_t>> shards(2);
+  shards[0] = {0, 1};
+  shards[1] = {2, 3};
+  EXPECT_THROW(apply_sizeskew(shards, -0.5, rng), InvalidArgument);
+}
+
 TEST(ShardDataset, ProducesViews) {
   auto base = std::make_shared<SyntheticImageDataset>(cifar10_spec(), 0);
   Rng rng(7);

@@ -50,8 +50,8 @@ FlRunConfig base_config(const CodecSpec& spec) {
   return config;
 }
 
-FlRunResult run_in_process() {
-  const CodecSpec spec = parse_codec_spec(kSpec);
+FlRunResult run_in_process(const char* spec_string = kSpec) {
+  const CodecSpec spec = parse_codec_spec(spec_string);
   auto [train, test] = data::make_dataset("cifar10", 7);
   FlCoordinator coordinator(tiny_model(), data::take(train, kTake),
                             data::take(test, 256), base_config(spec),
@@ -66,6 +66,8 @@ void expect_rounds_identical(const RoundRecord& a, const RoundRecord& b) {
   EXPECT_EQ(a.bytes_sent, b.bytes_sent);
   EXPECT_EQ(a.raw_bytes, b.raw_bytes);
   EXPECT_EQ(a.participants, b.participants);
+  EXPECT_EQ(a.eligible_clients, b.eligible_clients);
+  EXPECT_EQ(a.ineligible_clients, b.ineligible_clients);
   EXPECT_EQ(a.virtual_seconds, b.virtual_seconds);
   EXPECT_EQ(a.comm_seconds, b.comm_seconds);
   EXPECT_EQ(a.aggregate_weight, b.aggregate_weight);
@@ -81,6 +83,9 @@ void expect_rounds_identical(const RoundRecord& a, const RoundRecord& b) {
     EXPECT_EQ(x.arrival_seconds, y.arrival_seconds) << "trace " << k;
     EXPECT_EQ(x.payload_bytes, y.payload_bytes) << "trace " << k;
     EXPECT_EQ(x.weight, y.weight) << "trace " << k;
+    EXPECT_EQ(x.status, y.status) << "trace " << k;
+    EXPECT_EQ(x.device_class, y.device_class) << "trace " << k;
+    EXPECT_EQ(x.eligible, y.eligible) << "trace " << k;
   }
   EXPECT_EQ(a.edges.size(), b.edges.size());
 }
@@ -170,6 +175,50 @@ TEST(FederationTest, LoopbackRunMatchesInProcess) {
   expect_results_identical(distributed, reference);
 }
 
+// A client population must cross the wire bit-identically: the manifest's
+// codec spec rebuilds the same device classes, links, and data weights on
+// every worker, and the root replays the in-process availability draws in
+// the same (edge, member) order.
+TEST(FederationTest, PopulationLoopbackMatchesInProcess) {
+  const char* pop_spec =
+      "fedsz:eb=rel:1e-2,topology=hier:2,population=mixed:seed=9";
+  const FlRunResult reference = run_in_process(pop_spec);
+  ASSERT_EQ(reference.rounds.size(), static_cast<std::size_t>(kRounds));
+
+  const CodecSpec spec = parse_codec_spec(pop_spec);
+  auto [train, test] = data::make_dataset("cifar10", 7);
+  (void)train;
+  FederatedRoot root(tiny_model(), DatasetSpec{"cifar10", 7, kTake},
+                     data::take(test, 256), base_config(spec), spec);
+  std::vector<net::StreamPtr> root_ends;
+  std::vector<std::thread> workers;
+  for (std::size_t e = 0; e < root.edge_count(); ++e) {
+    auto [root_end, worker_end] = net::make_loopback_pair();
+    root_ends.push_back(std::move(root_end));
+    workers.emplace_back(
+        [stream = std::move(worker_end)]() mutable {
+          run_edge_worker(std::move(stream));
+        });
+  }
+  const FlRunResult distributed = root.run_with_streams(std::move(root_ends));
+  for (std::thread& worker : workers) worker.join();
+  expect_results_identical(distributed, reference);
+  for (const RoundRecord& r : distributed.rounds)
+    EXPECT_EQ(r.eligible_clients + r.ineligible_clients, kClients);
+}
+
+// Population mid-round dropout rides the in-process dropout machinery and
+// stays there.
+TEST(FederationTest, CtorRejectsPopulationDropout) {
+  auto [train, test] = data::make_dataset("cifar10", 7);
+  (void)train;
+  const CodecSpec spec = parse_codec_spec(
+      "fedsz:eb=rel:1e-2,topology=hier:2,population=mixed:drop=0.2");
+  EXPECT_THROW(FederatedRoot(tiny_model(), DatasetSpec{"cifar10", 7, kTake},
+                             data::take(test, 256), base_config(spec), spec),
+               InvalidArgument);
+}
+
 // A worker that completes the handshake and then dies: its round-0 cohort
 // is traced as dropped, and from round 1 its members are re-homed onto the
 // survivor — the campaign finishes with full participation.
@@ -179,7 +228,11 @@ TEST(FederationTest, CrashedWorkerIsRehomed) {
   (void)train;
   FlRunConfig config = base_config(spec);
   FederationOptions options;
-  options.heartbeat_timeout_seconds = 2.0;  // fail fast once it dies
+  // The deserter's close() surfaces as an EOF event immediately, so crash
+  // detection never waits on this; keep the timeout generous enough that a
+  // loaded CI box cannot starve the SURVIVOR's heartbeat thread into a
+  // false positive.
+  options.heartbeat_timeout_seconds = 15.0;
   FederatedRoot root(tiny_model(), DatasetSpec{"cifar10", 7, kTake},
                      data::take(test, 256), config, spec, nullptr, options);
   ASSERT_EQ(root.edge_count(), 2u);

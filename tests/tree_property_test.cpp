@@ -120,6 +120,25 @@ DrawnCase draw_case(Rng& rng) {
       config.failures.straggler_deadline_seconds = rng.uniform(0.01, 2.0);
   }
 
+  // A client population composes with everything barrier-scheduled: device
+  // classes reshape links/compute/data, and diurnal or flat eligibility
+  // shrinks the cohorts — the invariants must not care who sat out.
+  if (!continuous && rng.uniform() < 0.3) {
+    const char* presets[] = {"mixed", "mobile", "iot_fleet", "uniform"};
+    std::string spec(presets[rng.uniform_index(std::size(presets))]);
+    const double avail = rng.uniform();
+    if (avail < 0.4) {
+      spec += ":period=" + std::to_string(rng.uniform(1.0, 50.0));
+    } else if (avail < 0.7) {
+      spec += ":avail=flat:" + std::to_string(rng.uniform(0.2, 0.9));
+    } else {
+      spec += ":avail=always";
+    }
+    if (rng.uniform() < 0.4)
+      spec += ";drop=" + std::to_string(rng.uniform(0.05, 0.4));
+    config.population = parse_population_spec(spec);
+  }
+
   const char* uplinks[] = {"identity", "fedsz:eb=rel:1e-2",
                            "sparse:eb=rel:1e-2",
                            "sparse:eb=rel:1e-2,policy=gradaware:0.5"};
@@ -146,6 +165,9 @@ DrawnCase draw_case(Rng& rng) {
   if (out.scheduler) desc << " scheduler=" << out.scheduler->name();
   if (config.dirichlet_alpha > 0.0)
     desc << " dirichlet=" << config.dirichlet_alpha;
+  if (!config.population.empty())
+    desc << " population='" << format_population_spec(config.population)
+         << "'";
   desc << " dropout=" << config.failures.dropout_rate
        << " edge_fail=" << config.failures.edge_failure_rate
        << " deadline=" << config.failures.straggler_deadline_seconds;
@@ -187,6 +209,24 @@ void check_invariants(const DrawnCase& drawn, const FlRunResult& result) {
   const std::size_t interior = result.peak_decoded_per_node.size() - 1;
   for (const RoundRecord& record : result.rounds) {
     SCOPED_TRACE(::testing::Message() << "round " << record.round);
+    // Eligibility accounting: the two counts always cover the fleet, and
+    // ineligible trace entries match the count one-for-one. Without a
+    // population everyone is eligible every round.
+    EXPECT_EQ(record.eligible_clients + record.ineligible_clients,
+              config.clients);
+    std::size_t ineligible_traces = 0;
+    for (const ClientTraceEntry& entry : record.clients)
+      if (entry.status == DeliveryStatus::kIneligible) {
+        ++ineligible_traces;
+        EXPECT_FALSE(entry.eligible);
+      }
+    EXPECT_EQ(ineligible_traces, record.ineligible_clients);
+    if (config.population.empty()) {
+      EXPECT_EQ(record.eligible_clients, config.clients);
+      EXPECT_EQ(ineligible_traces, 0u);
+    } else {
+      EXPECT_GE(record.eligible_clients, 1u);  // zero-eligible fallback
+    }
     double aggregated_weight = 0.0;
     std::size_t aggregated = 0, uplink_bytes = 0;
     for (const ClientTraceEntry& entry : record.clients) {
@@ -265,6 +305,8 @@ void expect_identical(const FlRunResult& a, const FlRunResult& b) {
     EXPECT_EQ(ra.backhaul_bytes, rb.backhaul_bytes);
     EXPECT_EQ(ra.downlink_bytes, rb.downlink_bytes);
     EXPECT_EQ(ra.participants, rb.participants);
+    EXPECT_EQ(ra.eligible_clients, rb.eligible_clients);
+    EXPECT_EQ(ra.ineligible_clients, rb.ineligible_clients);
     EXPECT_EQ(ra.crashed_nodes, rb.crashed_nodes);
     EXPECT_DOUBLE_EQ(ra.aggregate_weight, rb.aggregate_weight);
     EXPECT_DOUBLE_EQ(ra.virtual_seconds, rb.virtual_seconds);

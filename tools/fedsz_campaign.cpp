@@ -124,10 +124,11 @@ void print_result(const core::FlRunResult& result) {
   for (const core::RoundRecord& r : result.rounds) {
     std::printf(
         "ROUND %d accuracy=%.9f bytes=%zu raw=%zu backhaul=%zu "
-        "backhaul_raw=%zu participants=%zu weight=%.17g virtual=%.17g\n",
+        "backhaul_raw=%zu participants=%zu eligible=%zu weight=%.17g "
+        "virtual=%.17g\n",
         r.round, r.accuracy, r.bytes_sent, r.raw_bytes, r.backhaul_bytes,
-        r.backhaul_raw_bytes, r.participants, r.aggregate_weight,
-        r.virtual_seconds);
+        r.backhaul_raw_bytes, r.participants, r.eligible_clients,
+        r.aggregate_weight, r.virtual_seconds);
   }
   // Campaign-total round count (a resumed run's result carries only the
   // replayed rounds, but its records keep their campaign round indices),
